@@ -1,0 +1,90 @@
+//! Benchmark harness support: query builders and figure-series generators.
+//!
+//! Every figure in the paper's evaluation (§2.3 Figure 1, §7 Figures 4–7) is
+//! reproduced by a function in [`figures`] that returns the same series the
+//! paper plots — system name, input size, and runtime (or `None` where the
+//! system fails or exceeds the experiment's time budget, mirroring the points
+//! missing from the paper's plots). The Criterion benches and the
+//! `reproduce` binary are thin wrappers around these functions.
+
+pub mod figures;
+pub mod queries;
+
+/// One point of a figure series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataPoint {
+    /// System / configuration name (e.g. "Conclave", "Sharemind only").
+    pub system: String,
+    /// Total input records across all parties.
+    pub input_records: u64,
+    /// Simulated runtime in seconds; `None` if the system fails at this size
+    /// (out of memory) or exceeds the experiment cut-off.
+    pub runtime_secs: Option<f64>,
+}
+
+impl DataPoint {
+    /// Creates a successful data point.
+    pub fn ok(system: &str, input_records: u64, runtime_secs: f64) -> Self {
+        DataPoint {
+            system: system.to_string(),
+            input_records,
+            runtime_secs: Some(runtime_secs),
+        }
+    }
+
+    /// Creates a failed data point (OOM / timeout).
+    pub fn failed(system: &str, input_records: u64) -> Self {
+        DataPoint {
+            system: system.to_string(),
+            input_records,
+            runtime_secs: None,
+        }
+    }
+}
+
+/// Renders a list of data points as an aligned text table (one row per
+/// (size, system) pair), which is what the `reproduce` binary prints and what
+/// EXPERIMENTS.md records.
+pub fn render_table(title: &str, points: &[DataPoint]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "## {title}");
+    let _ = writeln!(out, "{:>14} {:<24} {:>14}", "input records", "system", "runtime [s]");
+    for p in points {
+        let runtime = match p.runtime_secs {
+            Some(t) => format!("{t:.1}"),
+            None => "FAILED/>cutoff".to_string(),
+        };
+        let _ = writeln!(out, "{:>14} {:<24} {:>14}", p.input_records, p.system, runtime);
+    }
+    out
+}
+
+/// The two-hour experiment cut-off the paper uses (e.g. §7.3: "at 30 k, the
+/// query does not complete within two hours").
+pub const CUTOFF_SECS: f64 = 2.0 * 3600.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_point_constructors() {
+        let ok = DataPoint::ok("Conclave", 1000, 12.5);
+        assert_eq!(ok.runtime_secs, Some(12.5));
+        let failed = DataPoint::failed("Obliv-C", 1000);
+        assert!(failed.runtime_secs.is_none());
+    }
+
+    #[test]
+    fn table_rendering() {
+        let points = vec![
+            DataPoint::ok("Conclave", 10, 1.0),
+            DataPoint::failed("Obliv-C", 10),
+        ];
+        let t = render_table("Figure X", &points);
+        assert!(t.contains("Figure X"));
+        assert!(t.contains("Conclave"));
+        assert!(t.contains("FAILED"));
+    }
+}

@@ -1,0 +1,275 @@
+//! Builders for the paper's benchmark queries, with the annotations each
+//! experiment uses.
+
+use conclave_ir::builder::{Query, QueryBuilder};
+use conclave_ir::expr::Expr;
+use conclave_ir::ops::{AggFunc, Operand};
+use conclave_ir::party::Party;
+use conclave_ir::schema::{ColumnDef, Schema};
+use conclave_ir::trust::TrustSet;
+use conclave_ir::types::DataType;
+
+/// The three parties of the market-concentration and microbenchmark setups.
+pub fn three_parties() -> (Party, Party, Party) {
+    (
+        Party::new(1, "mpc.a.com"),
+        Party::new(2, "mpc.b.com"),
+        Party::new(3, "mpc.c.org"),
+    )
+}
+
+/// The market-concentration (HHI) query of Listing 2 / §7.1.
+///
+/// Taxi trips (`companyID`, `price`, `airport`) are contributed by three
+/// parties; the query filters zero fares, aggregates revenue per company,
+/// computes market shares against the total, squares and sums them. The final
+/// share/HHI arithmetic is reversible and ends up at the recipient after
+/// push-up; the heavy lifting is the per-company revenue aggregation.
+pub fn market_concentration() -> Query {
+    let (pa, pb, pc) = three_parties();
+    let schema = Schema::new(vec![
+        ColumnDef::new("companyID", DataType::Int),
+        ColumnDef::new("price", DataType::Int),
+        ColumnDef::new("airport", DataType::Int),
+    ]);
+    let mut q = QueryBuilder::new();
+    let a = q.input("inputA", schema.clone(), pa.clone());
+    let b = q.input("inputB", schema.clone(), pb);
+    let c = q.input("inputC", schema, pc);
+    let taxi = q.concat(&[a, b, c]);
+    let non_zero = q.filter(taxi, Expr::col("price").gt(Expr::lit(0)));
+    let proj = q.project(non_zero, &["companyID", "price"]);
+    let rev = q.aggregate(proj, "local_rev", AggFunc::Sum, &["companyID"], "price");
+    // Squared revenue per company; dividing by the squared total revenue (a
+    // single public output value) happens at the recipient. Summing the
+    // squared revenues is the remaining aggregation.
+    let sq = q.multiply(rev, "rev_sq", vec![Operand::col("local_rev"), Operand::col("local_rev")]);
+    let hhi_num = q.aggregate_scalar(sq, "hhi_numerator", AggFunc::Sum, "rev_sq");
+    q.collect(hhi_num, &[pa]);
+    q.build().expect("market query is well formed")
+}
+
+/// The credit-card regulation query of Listing 1 / §7.3.
+///
+/// `with_trust_annotations` controls whether the banks annotate their SSN
+/// columns with the regulator as an STP (the §7.3 configuration) or not (the
+/// "Sharemind only" baseline cannot use hybrid operators either way).
+pub fn credit_card_regulation(with_trust_annotations: bool) -> Query {
+    let regulator = Party::new(1, "mpc.ftc.gov");
+    let bank_a = Party::new(2, "mpc.a.com");
+    let bank_b = Party::new(3, "mpc.b.cash");
+    let ssn_trust = if with_trust_annotations {
+        TrustSet::of([1])
+    } else {
+        TrustSet::private()
+    };
+    let demo_schema = Schema::new(vec![
+        ColumnDef::new("ssn", DataType::Int),
+        ColumnDef::with_trust("zip", DataType::Int, TrustSet::of([1])),
+    ]);
+    let bank_schema = Schema::new(vec![
+        ColumnDef::with_trust("ssn", DataType::Int, ssn_trust),
+        ColumnDef::new("score", DataType::Int),
+    ]);
+    let mut q = QueryBuilder::new();
+    let demographics = q.input("demographics", demo_schema, regulator.clone());
+    let s1 = q.input("scores1", bank_schema.clone(), bank_a);
+    let s2 = q.input("scores2", bank_schema, bank_b);
+    let scores = q.concat(&[s1, s2]);
+    let joined = q.join(demographics, scores, &["ssn"], &["ssn"]);
+    let by_zip = q.count(joined, "count", &["zip"]);
+    let total_sc = q.aggregate(joined, "total", AggFunc::Sum, &["zip"], "score");
+    let avg = q.join(total_sc, by_zip, &["zip"], &["zip"]);
+    let avg_scores = q.divide(avg, "avg_score", Operand::col("total"), Operand::col("count"));
+    q.collect(avg_scores, &[regulator]);
+    q.build().expect("credit query is well formed")
+}
+
+/// Microbenchmark query: a single grouped SUM over a two-party or three-party
+/// concatenated relation (Figure 1a / Figure 5b).
+///
+/// `stp_on_key` adds a trust annotation naming party 1 on the group-by column
+/// so that Conclave can use the hybrid aggregation (Figure 5b).
+pub fn single_aggregation(parties: usize, stp_on_key: bool) -> Query {
+    build_micro(parties, stp_on_key, MicroOp::Aggregate)
+}
+
+/// Microbenchmark query: a single equi-join between two parties' relations
+/// (Figure 1b / Figure 5a). `stp_on_key` enables the hybrid join; `public_key`
+/// makes the key column public, enabling the public join.
+pub fn single_join(stp_on_key: bool, public_key: bool) -> Query {
+    let pa = Party::new(1, "mpc.a.com");
+    let pb = Party::new(2, "mpc.b.com");
+    let key_trust = if public_key {
+        TrustSet::Public
+    } else if stp_on_key {
+        TrustSet::of([1])
+    } else {
+        TrustSet::private()
+    };
+    let left_schema = Schema::new(vec![
+        ColumnDef::with_trust("key", DataType::Int, key_trust.clone()),
+        ColumnDef::new("value", DataType::Int),
+    ]);
+    let right_schema = Schema::new(vec![
+        ColumnDef::with_trust("key", DataType::Int, key_trust),
+        ColumnDef::new("weight", DataType::Int),
+    ]);
+    let mut q = QueryBuilder::new();
+    let l = q.input("left", left_schema, pa.clone());
+    let r = q.input("right", right_schema, pb);
+    let j = q.join(l, r, &["key"], &["key"]);
+    q.collect(j, &[pa]);
+    q.build().expect("join micro query is well formed")
+}
+
+/// Microbenchmark query: a single projection (Figure 1c).
+pub fn single_projection(parties: usize) -> Query {
+    build_micro(parties, false, MicroOp::Project)
+}
+
+enum MicroOp {
+    Aggregate,
+    Project,
+}
+
+fn build_micro(parties: usize, stp_on_key: bool, op: MicroOp) -> Query {
+    let parties = parties.clamp(2, 3);
+    let key_trust = if stp_on_key {
+        TrustSet::of([1])
+    } else {
+        TrustSet::private()
+    };
+    let schema = Schema::new(vec![
+        ColumnDef::with_trust("key", DataType::Int, key_trust),
+        ColumnDef::new("value", DataType::Int),
+    ]);
+    let mut q = QueryBuilder::new();
+    let mut handles = Vec::new();
+    for i in 0..parties {
+        let party = Party::new(i as u32 + 1, format!("mpc.p{}.org", i + 1));
+        handles.push(q.input(&format!("input{}", i + 1), schema.clone(), party));
+    }
+    let cat = q.concat(&handles);
+    let result = match op {
+        MicroOp::Aggregate => q.aggregate(cat, "total", AggFunc::Sum, &["key"], "value"),
+        MicroOp::Project => q.project(cat, &["value"]),
+    };
+    q.collect(result, &[Party::new(1, "mpc.p1.org")]);
+    q.build().expect("micro query is well formed")
+}
+
+/// The aspirin-count query of §7.4, expressed for Conclave: patient IDs are
+/// public (enabling the public join and slicing-equivalent behaviour),
+/// diagnosis and medication codes are private.
+pub fn aspirin_count() -> Query {
+    let hospital_a = Party::new(1, "hospital-a.org");
+    let hospital_b = Party::new(2, "hospital-b.org");
+    let diag_schema = Schema::new(vec![
+        ColumnDef::public("patientID", DataType::Int),
+        ColumnDef::new("diagnosis", DataType::Int),
+    ]);
+    let med_schema = Schema::new(vec![
+        ColumnDef::public("patientID", DataType::Int),
+        ColumnDef::new("medication", DataType::Int),
+    ]);
+    let mut q = QueryBuilder::new();
+    let d1 = q.input("diagnoses1", diag_schema.clone(), hospital_a.clone());
+    let d2 = q.input("diagnoses2", diag_schema, hospital_b.clone());
+    let m1 = q.input("medications1", med_schema.clone(), hospital_a.clone());
+    let m2 = q.input("medications2", med_schema, hospital_b);
+    let diag = q.concat(&[d1, d2]);
+    let meds = q.concat(&[m1, m2]);
+    // As in the paper, the join runs on the public patient IDs first (which
+    // lets Conclave use its public join); the filters on the private
+    // diagnosis and medication columns follow.
+    let joined = q.join(diag, meds, &["patientID"], &["patientID"]);
+    let matching = q.filter(
+        joined,
+        Expr::col("diagnosis")
+            .eq(Expr::lit(conclave_data::health::HEART_DISEASE))
+            .and(Expr::col("medication").eq(Expr::lit(conclave_data::health::ASPIRIN))),
+    );
+    let count = q.distinct_count(matching, "patientID", "num_patients");
+    q.collect(count, &[hospital_a]);
+    q.build().expect("aspirin query is well formed")
+}
+
+/// The comorbidity query of §7.4 for Conclave: COUNT grouped by the private
+/// diagnosis column, order by the count, keep the top 10.
+pub fn comorbidity() -> Query {
+    let hospital_a = Party::new(1, "hospital-a.org");
+    let hospital_b = Party::new(2, "hospital-b.org");
+    let diag_schema = Schema::new(vec![
+        ColumnDef::public("patientID", DataType::Int),
+        ColumnDef::new("diagnosis", DataType::Int),
+    ]);
+    let mut q = QueryBuilder::new();
+    let d1 = q.input("diagnoses1", diag_schema.clone(), hospital_a.clone());
+    let d2 = q.input("diagnoses2", diag_schema, hospital_b);
+    let diag = q.concat(&[d1, d2]);
+    let counts = q.count(diag, "cnt", &["diagnosis"]);
+    let sorted = q.sort_by(counts, "cnt", false);
+    let top = q.limit(sorted, 10);
+    q.collect(top, &[hospital_a]);
+    q.build().expect("comorbidity query is well formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conclave_core::{compile, ConclaveConfig};
+
+    #[test]
+    fn all_benchmark_queries_compile_under_every_configuration() {
+        let queries = vec![
+            market_concentration(),
+            credit_card_regulation(true),
+            credit_card_regulation(false),
+            single_aggregation(3, true),
+            single_aggregation(3, false),
+            single_join(true, false),
+            single_join(false, true),
+            single_join(false, false),
+            single_projection(3),
+            aspirin_count(),
+            comorbidity(),
+        ];
+        for q in &queries {
+            for config in [
+                ConclaveConfig::standard(),
+                ConclaveConfig::mpc_only(),
+                ConclaveConfig::without_hybrid(),
+            ] {
+                let plan = compile(q, &config).expect("query should compile");
+                assert!(plan.dag.validate().is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn trust_annotations_control_hybrid_operator_use() {
+        let with = compile(&credit_card_regulation(true), &ConclaveConfig::standard()).unwrap();
+        let without = compile(&credit_card_regulation(false), &ConclaveConfig::standard()).unwrap();
+        assert!(with.hybrid_node_count() >= 2);
+        assert!(without.hybrid_node_count() < with.hybrid_node_count());
+    }
+
+    #[test]
+    fn public_patient_ids_enable_public_join_for_aspirin_count() {
+        let plan = compile(&aspirin_count(), &ConclaveConfig::standard()).unwrap();
+        assert!(plan
+            .dag
+            .iter()
+            .any(|n| matches!(n.op, conclave_ir::ops::Operator::PublicJoin { .. })));
+    }
+
+    #[test]
+    fn market_query_pushes_aggregation_down() {
+        let plan = compile(&market_concentration(), &ConclaveConfig::standard()).unwrap();
+        assert!(plan
+            .transformations
+            .iter()
+            .any(|t| t.contains("secondary aggregation")));
+    }
+}

@@ -1,0 +1,138 @@
+//! Compiler and runtime configuration.
+
+use conclave_mpc::backend::MpcBackendConfig;
+use conclave_parallel::ClusterSpec;
+
+/// Which cleartext backend each party uses for local processing (§4.1: Spark
+/// if available, sequential Python otherwise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocalBackend {
+    /// Sequential, interpreter-like processing.
+    Sequential,
+    /// Data-parallel cluster processing (the Spark stand-in).
+    Parallel,
+}
+
+/// Configuration of a Conclave compilation and execution.
+///
+/// The boolean toggles correspond to the individual optimizations the paper
+/// introduces, so ablation experiments can switch each off independently.
+#[derive(Debug, Clone)]
+pub struct ConclaveConfig {
+    /// Apply the MPC-frontier push-down rewrites of §5.2.
+    pub use_pushdown: bool,
+    /// Apply the MPC-frontier push-up rewrites of §5.2.
+    pub use_pushup: bool,
+    /// Insert hybrid operators (§5.3) when trust annotations authorize an STP.
+    pub use_hybrid_operators: bool,
+    /// Use the public-join operator when join keys are public.
+    pub use_public_join: bool,
+    /// Apply the oblivious-sort tracking/elimination pass of §5.4.
+    pub use_sort_elimination: bool,
+    /// Parties consent to push-downs that change MPC input cardinalities
+    /// (§5.2, "Security implications"): splitting an aggregation reveals the
+    /// number of distinct keys each party contributes. Without consent,
+    /// Conclave chooses the slower plan.
+    pub allow_cardinality_leaking_pushdown: bool,
+    /// Local cleartext backend.
+    pub local_backend: LocalBackend,
+    /// Per-party cluster used when `local_backend` is parallel.
+    pub cluster: ClusterSpec,
+    /// MPC backend configuration.
+    pub mpc: MpcBackendConfig,
+}
+
+impl ConclaveConfig {
+    /// The default configuration: every optimization on, Spark-like local
+    /// processing, Sharemind-like MPC — the configuration the paper's main
+    /// experiments use.
+    pub fn standard() -> Self {
+        ConclaveConfig {
+            use_pushdown: true,
+            use_pushup: true,
+            use_hybrid_operators: true,
+            use_public_join: true,
+            use_sort_elimination: true,
+            allow_cardinality_leaking_pushdown: true,
+            local_backend: LocalBackend::Parallel,
+            cluster: ClusterSpec::paper_party_cluster(),
+            mpc: MpcBackendConfig::sharemind(),
+        }
+    }
+
+    /// A configuration with every Conclave optimization disabled: the whole
+    /// query runs as a single monolithic MPC, which is the "Sharemind only" /
+    /// "MPC framework alone" baseline in Figures 4 and 6.
+    pub fn mpc_only() -> Self {
+        ConclaveConfig {
+            use_pushdown: false,
+            use_pushup: false,
+            use_hybrid_operators: false,
+            use_public_join: false,
+            use_sort_elimination: false,
+            allow_cardinality_leaking_pushdown: false,
+            ..Self::standard()
+        }
+    }
+
+    /// Standard configuration but without hybrid operators (used to isolate
+    /// the effect of trust annotations in §7.2/§7.3).
+    pub fn without_hybrid() -> Self {
+        ConclaveConfig {
+            use_hybrid_operators: false,
+            use_public_join: false,
+            ..Self::standard()
+        }
+    }
+
+    /// Returns a copy using the sequential local backend.
+    pub fn with_sequential_local(mut self) -> Self {
+        self.local_backend = LocalBackend::Sequential;
+        self
+    }
+
+    /// Returns a copy using the given MPC backend configuration.
+    pub fn with_mpc(mut self, mpc: MpcBackendConfig) -> Self {
+        self.mpc = mpc;
+        self
+    }
+}
+
+impl Default for ConclaveConfig {
+    fn default() -> Self {
+        ConclaveConfig::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conclave_mpc::backend::BackendKind;
+
+    #[test]
+    fn standard_enables_all_optimizations() {
+        let c = ConclaveConfig::standard();
+        assert!(c.use_pushdown && c.use_pushup && c.use_hybrid_operators);
+        assert!(c.use_sort_elimination && c.use_public_join);
+        assert_eq!(c.local_backend, LocalBackend::Parallel);
+        assert_eq!(c.mpc.kind, BackendKind::SharemindLike);
+        assert_eq!(ConclaveConfig::default().use_pushdown, true);
+    }
+
+    #[test]
+    fn mpc_only_disables_all_optimizations() {
+        let c = ConclaveConfig::mpc_only();
+        assert!(!c.use_pushdown && !c.use_pushup && !c.use_hybrid_operators);
+        assert!(!c.allow_cardinality_leaking_pushdown);
+    }
+
+    #[test]
+    fn builders_modify_fields() {
+        let c = ConclaveConfig::without_hybrid();
+        assert!(c.use_pushdown && !c.use_hybrid_operators);
+        let c = ConclaveConfig::standard().with_sequential_local();
+        assert_eq!(c.local_backend, LocalBackend::Sequential);
+        let c = ConclaveConfig::standard().with_mpc(MpcBackendConfig::obliv_c());
+        assert_eq!(c.mpc.kind, BackendKind::OblivCLike);
+    }
+}

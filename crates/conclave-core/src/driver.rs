@@ -1,0 +1,625 @@
+//! The multi-party driver: executes a compiled [`PhysicalPlan`].
+//!
+//! The driver plays the role of the per-party Conclave agents (§4.1): it
+//! walks the compiled DAG in topological order and dispatches every node to
+//! the engine its execution site calls for — the sequential or data-parallel
+//! cleartext engine for local and STP steps, the MPC engine for operators
+//! inside the MPC frontier, and the dedicated hybrid-protocol implementations
+//! for the operators §5.3 introduces. Along the way it accumulates simulated
+//! per-party runtimes, MPC statistics, network traffic, and a *leakage audit*
+//! that checks every cleartext reveal against the authorization the trust
+//! analysis derived.
+
+use crate::analysis;
+use crate::config::{ConclaveConfig, LocalBackend};
+use crate::hybrid_exec;
+use crate::plan::PhysicalPlan;
+use crate::report::RunReport;
+use conclave_engine::{execute, Relation, SequentialCostModel};
+use conclave_ir::dag::NodeId;
+use conclave_ir::error::IrError;
+use conclave_ir::ops::{ExecSite, Operator};
+use conclave_ir::party::PartyId;
+use conclave_mpc::backend::{MpcEngine, MpcError};
+use conclave_mpc::oblivious;
+use conclave_parallel::ParallelEngine;
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Duration;
+
+/// Errors raised during plan execution.
+#[derive(Debug)]
+pub enum DriverError {
+    /// An input relation named by the query was not bound to data.
+    MissingInput(String),
+    /// A cleartext engine error.
+    Engine(String),
+    /// An MPC backend error (including garbled-circuit out-of-memory).
+    Mpc(MpcError),
+    /// An IR-level error.
+    Ir(IrError),
+    /// The plan would reveal data to a party that the trust analysis does not
+    /// authorize — the driver refuses to execute it.
+    UnauthorizedReveal {
+        /// Offending node.
+        node: NodeId,
+        /// Party that would receive the data.
+        to_party: PartyId,
+        /// Description of the data.
+        what: String,
+    },
+}
+
+impl fmt::Display for DriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriverError::MissingInput(n) => write!(f, "no data bound for input relation `{n}`"),
+            DriverError::Engine(e) => write!(f, "cleartext engine error: {e}"),
+            DriverError::Mpc(e) => write!(f, "MPC error: {e}"),
+            DriverError::Ir(e) => write!(f, "IR error: {e}"),
+            DriverError::UnauthorizedReveal { node, to_party, what } => write!(
+                f,
+                "refusing to reveal {what} of node #{node} to unauthorized party P{to_party}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+impl From<MpcError> for DriverError {
+    fn from(e: MpcError) -> Self {
+        DriverError::Mpc(e)
+    }
+}
+
+impl From<IrError> for DriverError {
+    fn from(e: IrError) -> Self {
+        DriverError::Ir(e)
+    }
+}
+
+/// Executes compiled plans over bound input data.
+pub struct Driver {
+    config: ConclaveConfig,
+    mpc: MpcEngine,
+    parallel: ParallelEngine,
+    sequential_cost: SequentialCostModel,
+}
+
+impl Driver {
+    /// Creates a driver for the given configuration.
+    pub fn new(config: ConclaveConfig) -> Self {
+        let mpc = MpcEngine::new(config.mpc);
+        let parallel = ParallelEngine::new(config.cluster);
+        Driver {
+            config,
+            mpc,
+            parallel,
+            sequential_cost: SequentialCostModel::default(),
+        }
+    }
+
+    /// Executes a plan. `inputs` binds every `input` relation name to data.
+    pub fn run(
+        &mut self,
+        plan: &PhysicalPlan,
+        inputs: &HashMap<String, Relation>,
+    ) -> Result<RunReport, DriverError> {
+        let mut report = RunReport::default();
+        let mut results: HashMap<NodeId, Relation> = HashMap::new();
+        let viewers = analysis::authorized_viewers(&plan.dag, &plan.parties)?;
+        let order = plan.dag.topo_order()?;
+
+        for id in order {
+            let node = plan.dag.node(id)?;
+            let input_rels: Vec<&Relation> = node
+                .inputs
+                .iter()
+                .map(|i| results.get(i).expect("topological order"))
+                .collect();
+            let (result, elapsed) = match (&node.op, node.site) {
+                (Operator::Input { name, .. }, _) => {
+                    let rel = inputs
+                        .get(name)
+                        .ok_or_else(|| DriverError::MissingInput(name.clone()))?;
+                    (rel.clone(), Duration::ZERO)
+                }
+                (Operator::Collect { recipients }, _) => {
+                    let rel = input_rels[0].clone();
+                    for r in recipients.iter() {
+                        report.record_leakage(id, r, "query result", "output recipient");
+                        report.outputs.insert(r, rel.clone());
+                    }
+                    (rel, Duration::ZERO)
+                }
+                (Operator::HybridJoin {
+                    left_keys,
+                    right_keys,
+                    stp,
+                }, _) => {
+                    self.check_reveal_authorized(plan, node.inputs[0], left_keys, *stp, id)?;
+                    self.check_reveal_authorized(plan, node.inputs[1], right_keys, *stp, id)?;
+                    let outcome = hybrid_exec::hybrid_join(
+                        &mut self.mpc,
+                        &self.sequential_cost,
+                        input_rels[0],
+                        input_rels[1],
+                        left_keys,
+                        right_keys,
+                        *stp,
+                    )?;
+                    self.absorb_hybrid(&mut report, id, &outcome);
+                    (outcome.result, Duration::ZERO)
+                }
+                (Operator::PublicJoin {
+                    left_keys,
+                    right_keys,
+                    helper,
+                }, _) => {
+                    let outcome = hybrid_exec::public_join(
+                        &self.sequential_cost,
+                        input_rels[0],
+                        input_rels[1],
+                        left_keys,
+                        right_keys,
+                        *helper,
+                    )?;
+                    self.absorb_hybrid(&mut report, id, &outcome);
+                    (outcome.result, Duration::ZERO)
+                }
+                (Operator::HybridAggregate {
+                    group_by,
+                    func,
+                    over,
+                    out,
+                    stp,
+                }, _) => {
+                    self.check_reveal_authorized(plan, node.inputs[0], group_by, *stp, id)?;
+                    let outcome = hybrid_exec::hybrid_aggregate(
+                        &mut self.mpc,
+                        &self.sequential_cost,
+                        input_rels[0],
+                        group_by,
+                        *func,
+                        over.as_deref(),
+                        out,
+                        *stp,
+                    )?;
+                    self.absorb_hybrid(&mut report, id, &outcome);
+                    (outcome.result, Duration::ZERO)
+                }
+                (op, ExecSite::Mpc) => {
+                    let (rel, stats) = self.run_mpc_op(plan, id, op, &input_rels)?;
+                    report.mpc_time += stats.simulated_time;
+                    report.network_bytes += stats.counts.bytes();
+                    report.mpc_stats.merge(&stats);
+                    (rel, stats.simulated_time)
+                }
+                (op, ExecSite::Local(party)) | (op, ExecSite::Stp(party)) => {
+                    // If this cleartext step consumes an MPC-produced
+                    // relation, that relation is being revealed to `party`;
+                    // audit it (push-up reveals are authorized because the
+                    // operator is reversible from the query output).
+                    for &input in &node.inputs {
+                        let parent = plan.dag.node(input)?;
+                        if parent.site.is_mpc() && !parent.op.is_output() {
+                            let authorized = viewers
+                                .get(&input)
+                                .map(|v| v.contains(party))
+                                .unwrap_or(false)
+                                || node.op.is_reversible()
+                                || matches!(node.op, Operator::Collect { .. });
+                            if !authorized {
+                                return Err(DriverError::UnauthorizedReveal {
+                                    node: input,
+                                    to_party: party,
+                                    what: "intermediate relation".into(),
+                                });
+                            }
+                            report.record_leakage(
+                                input,
+                                party,
+                                "MPC output opened for local post-processing",
+                                if node.op.is_reversible() {
+                                    "reversible push-up (simulatable from the query output)"
+                                } else {
+                                    "authorized by trust annotations"
+                                },
+                            );
+                        }
+                    }
+                    let (rel, time) = self.run_local_op(op, &input_rels)?;
+                    *report.local_time.entry(party).or_default() += time;
+                    (rel, time)
+                }
+                (op, ExecSite::Undecided) => {
+                    // Uncompiled DAGs (unit tests, direct execution) run in
+                    // the clear sequentially.
+                    let (rel, time) = self.run_local_op(op, &input_rels)?;
+                    (rel, time)
+                }
+            };
+            report.per_node.push((id, node.site, elapsed));
+            results.insert(id, result);
+        }
+        Ok(report)
+    }
+
+    fn absorb_hybrid(&self, report: &mut RunReport, id: NodeId, outcome: &hybrid_exec::HybridOutcome) {
+        report.mpc_time += outcome.mpc_stats.simulated_time;
+        report.stp_time += outcome.stp_time;
+        report.network_bytes += outcome.mpc_stats.counts.bytes();
+        report.mpc_stats.merge(&outcome.mpc_stats);
+        report.record_leakage(
+            id,
+            outcome.revealed_to,
+            format!("columns {:?} (shuffled order)", outcome.revealed_columns),
+            "trust annotation designates this party as the STP / helper",
+        );
+    }
+
+    /// Checks that `stp` is authorized to learn the named columns of the
+    /// relation produced by `input_node`.
+    fn check_reveal_authorized(
+        &self,
+        plan: &PhysicalPlan,
+        input_node: NodeId,
+        columns: &[String],
+        stp: PartyId,
+        at_node: NodeId,
+    ) -> Result<(), DriverError> {
+        let trusted = analysis::trusted_parties_for_columns(
+            &plan.dag,
+            input_node,
+            columns,
+            &plan.parties,
+        )?;
+        if trusted.contains(stp) {
+            Ok(())
+        } else {
+            Err(DriverError::UnauthorizedReveal {
+                node: at_node,
+                to_party: stp,
+                what: format!("columns {columns:?}"),
+            })
+        }
+    }
+
+    fn run_local_op(
+        &self,
+        op: &Operator,
+        inputs: &[&Relation],
+    ) -> Result<(Relation, Duration), DriverError> {
+        match self.config.local_backend {
+            LocalBackend::Parallel => self
+                .parallel
+                .execute_op(op, inputs)
+                .map_err(|e| DriverError::Engine(e.to_string())),
+            LocalBackend::Sequential => {
+                let rel = execute(op, inputs).map_err(|e| DriverError::Engine(e.to_string()))?;
+                let time = self.sequential_cost.estimate(
+                    op,
+                    inputs.iter().map(|r| r.num_rows() as u64).sum(),
+                    rel.num_rows() as u64,
+                );
+                Ok((rel, time))
+            }
+        }
+    }
+
+    fn run_mpc_op(
+        &mut self,
+        plan: &PhysicalPlan,
+        id: NodeId,
+        op: &Operator,
+        inputs: &[&Relation],
+    ) -> Result<(Relation, conclave_mpc::backend::MpcStepStats), DriverError> {
+        // Division under MPC: Sharemind supports fixed-point division, but our
+        // secret-sharing layer stays integer-only. The result is computed by
+        // the simulator while the cost of an oblivious division protocol
+        // (roughly thirty comparison-equivalents per row) is charged, so the
+        // "whole query under MPC" baselines of Figures 4 and 6 remain runnable.
+        if matches!(op, Operator::Divide { .. }) && self.mpc.config().kind.is_secret_sharing() {
+            let rel = execute(op, inputs).map_err(|e| DriverError::Engine(e.to_string()))?;
+            let n: u64 = inputs.iter().map(|r| r.num_rows() as u64).sum();
+            let counts = conclave_mpc::cost::PrimitiveCounts {
+                comparisons: 30 * n,
+                input_elems: n,
+                opened_elems: rel.num_rows() as u64,
+                ..Default::default()
+            };
+            let config = self.mpc.config();
+            let stats = conclave_mpc::backend::MpcStepStats {
+                simulated_time: config.ss_cost.time_no_overhead(&counts, &config.network),
+                counts,
+                input_rows: n,
+                output_rows: rel.num_rows() as u64,
+                ..Default::default()
+            };
+            return Ok((rel, stats));
+        }
+        // Sort-elimination pay-off: an MPC aggregation whose input is already
+        // sorted by its group-by key skips the oblivious sort (§5.4).
+        if let Operator::Aggregate {
+            group_by,
+            func,
+            over,
+            out,
+        } = op
+        {
+            if self.config.use_sort_elimination && self.mpc.config().kind.is_secret_sharing() {
+                if let Some(key) = group_by.first() {
+                    let input_node = plan.dag.node(id)?.inputs[0];
+                    let pre_sorted =
+                        plan.dag.node(input_node)?.sorted_by.as_deref() == Some(key.as_str());
+                    if pre_sorted {
+                        self.mpc.protocol().reset_counts();
+                        let shared = self.mpc.share(inputs[0])?;
+                        let aggregated = oblivious::aggregate_sorted(
+                            &shared,
+                            group_by,
+                            *func,
+                            over.as_deref(),
+                            out,
+                            self.mpc.protocol(),
+                        )
+                        .map_err(MpcError::Exec)?;
+                        let rel = self.mpc.reconstruct(&aggregated);
+                        let stats = self
+                            .mpc
+                            .drain_stats(inputs[0].num_rows() as u64, rel.num_rows() as u64);
+                        return Ok((rel, stats));
+                    }
+                }
+            }
+        }
+        self.mpc.execute_op(op, inputs).map_err(DriverError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::compile;
+    use conclave_ir::builder::QueryBuilder;
+    use conclave_ir::expr::Expr;
+    use conclave_ir::ops::AggFunc;
+    use conclave_ir::party::Party;
+    use conclave_ir::schema::{ColumnDef, Schema};
+    use conclave_ir::trust::TrustSet;
+    use conclave_ir::types::{DataType, Value};
+
+    fn market_inputs() -> HashMap<String, Relation> {
+        let mut m = HashMap::new();
+        m.insert(
+            "inputA".to_string(),
+            Relation::from_ints(&["companyID", "price"], &[vec![1, 10], vec![2, 0], vec![1, 5]]),
+        );
+        m.insert(
+            "inputB".to_string(),
+            Relation::from_ints(&["companyID", "price"], &[vec![2, 7], vec![3, 9]]),
+        );
+        m.insert(
+            "inputC".to_string(),
+            Relation::from_ints(&["companyID", "price"], &[vec![1, 3], vec![3, 4]]),
+        );
+        m
+    }
+
+    fn market_query() -> conclave_ir::builder::Query {
+        let pa = Party::new(1, "a");
+        let pb = Party::new(2, "b");
+        let pc = Party::new(3, "c");
+        let schema = Schema::ints(&["companyID", "price"]);
+        let mut q = QueryBuilder::new();
+        let a = q.input("inputA", schema.clone(), pa.clone());
+        let b = q.input("inputB", schema.clone(), pb);
+        let c = q.input("inputC", schema, pc);
+        let taxi = q.concat(&[a, b, c]);
+        let filtered = q.filter(taxi, Expr::col("price").gt(Expr::lit(0)));
+        let rev = q.aggregate(filtered, "local_rev", AggFunc::Sum, &["companyID"], "price");
+        q.collect(rev, &[pa]);
+        q.build().unwrap()
+    }
+
+    /// Expected per-company revenue for `market_inputs` (zero fares removed).
+    fn expected_market_result() -> Relation {
+        Relation::from_ints(&["companyID", "local_rev"], &[vec![1, 18], vec![2, 7], vec![3, 13]])
+    }
+
+    #[test]
+    fn end_to_end_market_query_matches_cleartext_reference() {
+        let query = market_query();
+        for config in [
+            ConclaveConfig::standard(),
+            ConclaveConfig::standard().with_sequential_local(),
+            ConclaveConfig::mpc_only(),
+        ] {
+            let plan = compile(&query, &config).unwrap();
+            let mut driver = Driver::new(config);
+            let report = driver.run(&plan, &market_inputs()).unwrap();
+            let out = report.output_for(1).expect("party 1 receives the result");
+            assert!(
+                out.same_rows_unordered(&expected_market_result()),
+                "wrong result:\n{out}"
+            );
+            assert!(report.total_time() > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn optimized_plan_is_faster_than_mpc_only_plan() {
+        let query = market_query();
+        let optimized_plan = compile(&query, &ConclaveConfig::standard()).unwrap();
+        let baseline_plan = compile(&query, &ConclaveConfig::mpc_only()).unwrap();
+        let mut d1 = Driver::new(ConclaveConfig::standard().with_sequential_local());
+        let mut d2 = Driver::new(ConclaveConfig::mpc_only().with_sequential_local());
+        let optimized = d1.run(&optimized_plan, &market_inputs()).unwrap();
+        let baseline = d2.run(&baseline_plan, &market_inputs()).unwrap();
+        assert!(
+            optimized.mpc_time < baseline.mpc_time,
+            "optimized MPC time {:?} should be below baseline {:?}",
+            optimized.mpc_time,
+            baseline.mpc_time
+        );
+    }
+
+    #[test]
+    fn missing_input_is_reported() {
+        let query = market_query();
+        let plan = compile(&query, &ConclaveConfig::standard()).unwrap();
+        let mut driver = Driver::new(ConclaveConfig::standard());
+        let mut inputs = market_inputs();
+        inputs.remove("inputB");
+        match driver.run(&plan, &inputs) {
+            Err(DriverError::MissingInput(name)) => assert_eq!(name, "inputB"),
+            other => panic!("expected MissingInput, got {other:?}"),
+        }
+    }
+
+    fn credit_query() -> conclave_ir::builder::Query {
+        let regulator = Party::new(1, "gov");
+        let bank_a = Party::new(2, "a");
+        let bank_b = Party::new(3, "b");
+        let demo = Schema::new(vec![
+            ColumnDef::new("ssn", DataType::Int),
+            ColumnDef::with_trust("zip", DataType::Int, TrustSet::of([1])),
+        ]);
+        let bank = Schema::new(vec![
+            ColumnDef::with_trust("ssn", DataType::Int, TrustSet::of([1])),
+            ColumnDef::new("score", DataType::Int),
+        ]);
+        let mut q = QueryBuilder::new();
+        let demographics = q.input("demographics", demo, regulator.clone());
+        let s1 = q.input("scores1", bank.clone(), bank_a);
+        let s2 = q.input("scores2", bank, bank_b);
+        let scores = q.concat(&[s1, s2]);
+        let joined = q.join(demographics, scores, &["ssn"], &["ssn"]);
+        let total = q.aggregate(joined, "total", AggFunc::Sum, &["zip"], "score");
+        q.collect(total, &[regulator]);
+        q.build().unwrap()
+    }
+
+    fn credit_inputs() -> HashMap<String, Relation> {
+        let mut m = HashMap::new();
+        m.insert(
+            "demographics".to_string(),
+            Relation::from_ints(
+                &["ssn", "zip"],
+                &[vec![1, 10], vec![2, 20], vec![3, 10], vec![4, 30]],
+            ),
+        );
+        m.insert(
+            "scores1".to_string(),
+            Relation::from_ints(&["ssn", "score"], &[vec![1, 700], vec![3, 650]]),
+        );
+        m.insert(
+            "scores2".to_string(),
+            Relation::from_ints(&["ssn", "score"], &[vec![2, 600], vec![3, 640], vec![9, 1]]),
+        );
+        m
+    }
+
+    #[test]
+    fn credit_query_with_hybrid_operators_is_correct_and_audited() {
+        let query = credit_query();
+        let plan = compile(&query, &ConclaveConfig::standard()).unwrap();
+        assert_eq!(plan.hybrid_node_count(), 2);
+        let mut driver = Driver::new(ConclaveConfig::standard().with_sequential_local());
+        let report = driver.run(&plan, &credit_inputs()).unwrap();
+        let out = report.output_for(1).unwrap();
+        // zip 10: scores 700 + 650 + 640 = 1990; zip 20: 600.
+        let expected =
+            Relation::from_ints(&["zip", "total"], &[vec![10, 1990], vec![20, 600]]);
+        assert!(out.same_rows_unordered(&expected), "got\n{out}");
+        // The audit shows reveals to the STP (party 1) only.
+        assert!(report.leakage.iter().all(|e| e.to_party == 1));
+        assert!(report
+            .leakage
+            .iter()
+            .any(|e| e.justification.contains("STP")));
+        assert!(report.stp_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn hybrid_and_mpc_only_plans_agree_on_results() {
+        let query = credit_query();
+        // Use a somewhat larger input so the asymptotic advantage of the
+        // hybrid operators is visible (at a handful of rows the oblivious
+        // indexing overhead dominates).
+        let mut inputs = HashMap::new();
+        let demo: Vec<Vec<i64>> = (0..60).map(|i| vec![i, i % 7]).collect();
+        let s1: Vec<Vec<i64>> = (0..30).map(|i| vec![i * 2, 500 + i]).collect();
+        let s2: Vec<Vec<i64>> = (0..30).map(|i| vec![i * 2 + 1, 600 + i]).collect();
+        inputs.insert("demographics".to_string(), Relation::from_ints(&["ssn", "zip"], &demo));
+        inputs.insert("scores1".to_string(), Relation::from_ints(&["ssn", "score"], &s1));
+        inputs.insert("scores2".to_string(), Relation::from_ints(&["ssn", "score"], &s2));
+        let hybrid_plan = compile(&query, &ConclaveConfig::standard()).unwrap();
+        let mpc_plan = compile(&query, &ConclaveConfig::mpc_only()).unwrap();
+        let mut d1 = Driver::new(ConclaveConfig::standard().with_sequential_local());
+        let mut d2 = Driver::new(ConclaveConfig::mpc_only().with_sequential_local());
+        let a = d1.run(&hybrid_plan, &inputs).unwrap();
+        let b = d2.run(&mpc_plan, &inputs).unwrap();
+        assert!(a
+            .output_for(1)
+            .unwrap()
+            .same_rows_unordered(b.output_for(1).unwrap()));
+        // Hybrid execution needs fewer non-linear MPC operations.
+        assert!(
+            a.mpc_stats.counts.nonlinear_ops() < b.mpc_stats.counts.nonlinear_ops(),
+            "{} vs {}",
+            a.mpc_stats.counts.nonlinear_ops(),
+            b.mpc_stats.counts.nonlinear_ops()
+        );
+    }
+
+    #[test]
+    fn driver_refuses_unauthorized_hybrid_reveals() {
+        // Build a plan where the hybrid join's STP is NOT in the key columns'
+        // trust sets by tampering with the compiled plan.
+        let query = credit_query();
+        let mut plan = compile(&query, &ConclaveConfig::standard()).unwrap();
+        let join_id = plan
+            .dag
+            .iter()
+            .find(|n| matches!(n.op, Operator::HybridJoin { .. }))
+            .unwrap()
+            .id;
+        if let Operator::HybridJoin { ref mut stp, .. } = plan.dag.node_mut(join_id).unwrap().op {
+            *stp = 2; // bank A is not trusted with the regulator's SSN column
+        }
+        let mut driver = Driver::new(ConclaveConfig::standard().with_sequential_local());
+        match driver.run(&plan, &credit_inputs()) {
+            Err(DriverError::UnauthorizedReveal { to_party, .. }) => assert_eq!(to_party, 2),
+            other => panic!("expected UnauthorizedReveal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn collect_outputs_are_recorded_per_recipient() {
+        let pa = Party::new(1, "a");
+        let pb = Party::new(2, "b");
+        let mut q = QueryBuilder::new();
+        let a = q.input("a", Schema::ints(&["k", "v"]), pa.clone());
+        let b = q.input("b", Schema::ints(&["k", "v"]), pb.clone());
+        let cat = q.concat(&[a, b]);
+        let agg = q.aggregate(cat, "s", AggFunc::Sum, &["k"], "v");
+        q.collect(agg, &[pa, pb]);
+        let query = q.build().unwrap();
+        let plan = compile(&query, &ConclaveConfig::standard()).unwrap();
+        let mut driver = Driver::new(ConclaveConfig::standard().with_sequential_local());
+        let mut inputs = HashMap::new();
+        inputs.insert("a".to_string(), Relation::from_ints(&["k", "v"], &[vec![1, 2]]));
+        inputs.insert("b".to_string(), Relation::from_ints(&["k", "v"], &[vec![1, 3]]));
+        let report = driver.run(&plan, &inputs).unwrap();
+        assert!(report.output_for(1).is_some());
+        assert!(report.output_for(2).is_some());
+        assert_eq!(
+            report.output_for(1).unwrap().rows[0],
+            vec![Value::Int(1), Value::Int(5)]
+        );
+        let shown = report.to_string();
+        assert!(shown.contains("total simulated time"));
+    }
+}

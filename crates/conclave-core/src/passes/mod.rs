@@ -1,0 +1,7 @@
+//! Query rewrite passes (§5.2–§5.4).
+
+pub mod hybrid;
+pub mod pushdown;
+pub mod pushup;
+pub mod sites;
+pub mod sort_elim;

@@ -1,0 +1,328 @@
+//! MPC-frontier push-down (§5.2).
+//!
+//! Two rewrites move work out of the monolithic MPC and into local, per-party
+//! cleartext processing:
+//!
+//! 1. **Concat push-down**: an operator that distributes over partitions
+//!    (`project`, `filter`, column arithmetic) and consumes a `concat` of
+//!    per-party relations is replicated onto each branch, so each party
+//!    applies it locally before its data ever enters MPC.
+//! 2. **Aggregation splitting**: a grouped (or scalar) aggregation over a
+//!    `concat` becomes per-party local pre-aggregations followed by a much
+//!    smaller *secondary* aggregation under MPC. Because the pre-aggregation
+//!    reveals how many distinct keys each party contributes, this rewrite is
+//!    only applied when the configuration records the parties' consent
+//!    (`allow_cardinality_leaking_pushdown`), mirroring the paper's security
+//!    discussion.
+
+use crate::config::ConclaveConfig;
+use conclave_ir::dag::{NodeId, OpDag};
+use conclave_ir::error::IrResult;
+use conclave_ir::ops::{AggFunc, Operator};
+
+/// Applies push-down rewrites until a fixpoint. Returns a log of the
+/// transformations applied (for the compilation report).
+pub fn run(dag: &mut OpDag, config: &ConclaveConfig) -> IrResult<Vec<String>> {
+    let mut log = Vec::new();
+    loop {
+        let mut changed = false;
+        if push_distributive_past_concat(dag, &mut log)? {
+            changed = true;
+        }
+        if config.allow_cardinality_leaking_pushdown && split_aggregations(dag, &mut log)? {
+            changed = true;
+        }
+        if !changed {
+            break;
+        }
+    }
+    Ok(log)
+}
+
+/// Finds a distributive unary operator whose input is a `concat` and pushes
+/// it below the concat. Returns `true` if a rewrite was applied.
+fn push_distributive_past_concat(dag: &mut OpDag, log: &mut Vec<String>) -> IrResult<bool> {
+    let candidates: Vec<(NodeId, NodeId)> = dag
+        .iter()
+        .filter(|n| n.op.is_distributive() && n.inputs.len() == 1)
+        .filter_map(|n| {
+            let input = n.inputs[0];
+            let parent = dag.node(input).ok()?;
+            if matches!(parent.op, Operator::Concat) {
+                Some((n.id, input))
+            } else {
+                None
+            }
+        })
+        .collect();
+
+    let Some(&(op_id, concat_id)) = candidates.first() else {
+        return Ok(false);
+    };
+
+    let op = dag.node(op_id)?.op.clone();
+    let branches = dag.node(concat_id)?.inputs.clone();
+
+    // Per-branch copies of the distributive operator.
+    let mut new_branches = Vec::with_capacity(branches.len());
+    for &b in &branches {
+        let schema = op.output_schema(&[dag.node(b)?.schema.clone()])?;
+        new_branches.push(dag.add_node(op.clone(), vec![b], schema));
+    }
+    // New concat over the transformed branches.
+    let schemas: Vec<_> = new_branches
+        .iter()
+        .map(|&id| dag.node(id).map(|n| n.schema.clone()))
+        .collect::<IrResult<Vec<_>>>()?;
+    let concat_schema = Operator::Concat.output_schema(&schemas)?;
+    let new_concat = dag.add_node(Operator::Concat, new_branches, concat_schema);
+
+    // Rewire consumers of the old operator to the new concat, then delete the
+    // old operator (and the old concat if it became dead).
+    dag.replace_input_everywhere(op_id, new_concat);
+    dag.delete_node(op_id)?;
+    if dag.children_of(concat_id).is_empty() {
+        dag.delete_node(concat_id)?;
+    }
+    log.push(format!(
+        "push-down: moved {} below concat #{concat_id} onto {} branches",
+        op.name(),
+        branches.len()
+    ));
+    Ok(true)
+}
+
+/// Splits an aggregation over a `concat` into local pre-aggregations plus a
+/// secondary aggregation. Returns `true` if a rewrite was applied.
+fn split_aggregations(dag: &mut OpDag, log: &mut Vec<String>) -> IrResult<bool> {
+    let candidates: Vec<(NodeId, NodeId)> = dag
+        .iter()
+        .filter_map(|n| {
+            if let Operator::Aggregate { out, .. } = &n.op {
+                let input = *n.inputs.first()?;
+                let parent = dag.node(input).ok()?;
+                if !matches!(parent.op, Operator::Concat) || parent.inputs.len() < 2 {
+                    return None;
+                }
+                // Skip aggregations whose concat branches are already the
+                // per-party pre-aggregations this rewrite introduces —
+                // otherwise the secondary aggregation would be split again,
+                // forever.
+                let already_split = parent.inputs.iter().all(|&b| {
+                    dag.node(b)
+                        .map(|branch| {
+                            matches!(&branch.op, Operator::Aggregate { out: branch_out, .. }
+                                if branch_out == out)
+                        })
+                        .unwrap_or(false)
+                });
+                if already_split {
+                    return None;
+                }
+                return Some((n.id, input));
+            }
+            None
+        })
+        .collect();
+
+    let Some(&(agg_id, concat_id)) = candidates.first() else {
+        return Ok(false);
+    };
+
+    let Operator::Aggregate {
+        group_by,
+        func,
+        over,
+        out,
+    } = dag.node(agg_id)?.op.clone()
+    else {
+        unreachable!("candidate filter guarantees an aggregate");
+    };
+    let branches = dag.node(concat_id)?.inputs.clone();
+
+    // Local pre-aggregation on every branch.
+    let local_op = Operator::Aggregate {
+        group_by: group_by.clone(),
+        func,
+        over: over.clone(),
+        out: out.clone(),
+    };
+    let mut locals = Vec::with_capacity(branches.len());
+    for &b in &branches {
+        let schema = local_op.output_schema(&[dag.node(b)?.schema.clone()])?;
+        locals.push(dag.add_node(local_op.clone(), vec![b], schema));
+    }
+    let schemas: Vec<_> = locals
+        .iter()
+        .map(|&id| dag.node(id).map(|n| n.schema.clone()))
+        .collect::<IrResult<Vec<_>>>()?;
+    let concat_schema = Operator::Concat.output_schema(&schemas)?;
+    let new_concat = dag.add_node(Operator::Concat, locals, concat_schema.clone());
+
+    // Secondary aggregation over the pre-aggregated column.
+    let secondary_func = match func {
+        AggFunc::Count | AggFunc::Sum => AggFunc::Sum,
+        AggFunc::Min => AggFunc::Min,
+        AggFunc::Max => AggFunc::Max,
+    };
+    let secondary_op = Operator::Aggregate {
+        group_by: group_by.clone(),
+        func: secondary_func,
+        over: Some(out.clone()),
+        out: out.clone(),
+    };
+    let secondary_schema = secondary_op.output_schema(&[concat_schema])?;
+    let secondary = dag.add_node(secondary_op, vec![new_concat], secondary_schema);
+
+    dag.replace_input_everywhere(agg_id, secondary);
+    dag.delete_node(agg_id)?;
+    if dag.children_of(concat_id).is_empty() {
+        dag.delete_node(concat_id)?;
+    }
+    log.push(format!(
+        "push-down: split {func} aggregation #{agg_id} into {} local pre-aggregations and a secondary aggregation",
+        branches.len()
+    ));
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::propagate_ownership;
+    use conclave_ir::builder::QueryBuilder;
+    use conclave_ir::expr::Expr;
+    use conclave_ir::ops::AggFunc;
+    use conclave_ir::party::Party;
+    use conclave_ir::schema::Schema;
+
+    fn three_party_query() -> conclave_ir::builder::Query {
+        let pa = Party::new(1, "a");
+        let pb = Party::new(2, "b");
+        let pc = Party::new(3, "c");
+        let schema = Schema::ints(&["companyID", "price"]);
+        let mut q = QueryBuilder::new();
+        let a = q.input("a", schema.clone(), pa.clone());
+        let b = q.input("b", schema.clone(), pb);
+        let c = q.input("c", schema, pc);
+        let cat = q.concat(&[a, b, c]);
+        let filtered = q.filter(cat, Expr::col("price").gt(Expr::lit(0)));
+        let proj = q.project(filtered, &["companyID", "price"]);
+        let agg = q.aggregate(proj, "rev", AggFunc::Sum, &["companyID"], "price");
+        q.collect(agg, &[pa]);
+        q.build().unwrap()
+    }
+
+    #[test]
+    fn distributive_ops_and_aggregation_are_pushed_below_concat() {
+        let query = three_party_query();
+        let mut dag = query.dag.clone();
+        let config = ConclaveConfig::standard();
+        let log = run(&mut dag, &config).unwrap();
+        dag.recompute_schemas().unwrap();
+        assert!(dag.validate().is_ok());
+        assert!(log.iter().any(|l| l.contains("filter")));
+        assert!(log.iter().any(|l| l.contains("project")));
+        assert!(log.iter().any(|l| l.contains("secondary aggregation")));
+
+        // After the rewrite, each party has its own filter, project and local
+        // pre-aggregation (three of each), and exactly one secondary
+        // aggregation consumes the concat.
+        propagate_ownership(&mut dag).unwrap();
+        let local_aggs: Vec<_> = dag
+            .iter()
+            .filter(|n| matches!(n.op, Operator::Aggregate { .. }) && n.owner.is_some())
+            .collect();
+        assert_eq!(local_aggs.len(), 3);
+        let mpc_aggs: Vec<_> = dag
+            .iter()
+            .filter(|n| matches!(n.op, Operator::Aggregate { .. }) && n.owner.is_none())
+            .collect();
+        assert_eq!(mpc_aggs.len(), 1);
+        // The concat now feeds the secondary aggregation directly.
+        let concat = dag
+            .iter()
+            .find(|n| matches!(n.op, Operator::Concat))
+            .unwrap();
+        let children = dag.children_of(concat.id);
+        assert_eq!(children.len(), 1);
+        assert!(matches!(
+            dag.node(children[0]).unwrap().op,
+            Operator::Aggregate { .. }
+        ));
+    }
+
+    #[test]
+    fn correctness_is_preserved_by_pushdown() {
+        use conclave_engine::{execute, Relation};
+        // Execute both the original and rewritten DAG on the same data and
+        // compare results.
+        let query = three_party_query();
+        let mut rewritten = query.dag.clone();
+        let config = ConclaveConfig::standard();
+        run(&mut rewritten, &config).unwrap();
+        rewritten.recompute_schemas().unwrap();
+
+        let data = [
+            Relation::from_ints(&["companyID", "price"], &[vec![1, 10], vec![2, 0], vec![1, 5]]),
+            Relation::from_ints(&["companyID", "price"], &[vec![2, 7], vec![3, 9]]),
+            Relation::from_ints(&["companyID", "price"], &[vec![1, 3], vec![3, 0]]),
+        ];
+        let run_dag = |dag: &OpDag| -> Relation {
+            let mut results: std::collections::HashMap<usize, Relation> = Default::default();
+            for id in dag.topo_order().unwrap() {
+                let node = dag.node(id).unwrap();
+                let out = match &node.op {
+                    Operator::Input { name, .. } => {
+                        let idx = match name.as_str() {
+                            "a" => 0,
+                            "b" => 1,
+                            _ => 2,
+                        };
+                        data[idx].clone()
+                    }
+                    op => {
+                        let inputs: Vec<&Relation> =
+                            node.inputs.iter().map(|i| &results[i]).collect();
+                        execute(op, &inputs).unwrap()
+                    }
+                };
+                results.insert(id, out);
+            }
+            results[&dag.leaves()[0]].clone()
+        };
+        let original = run_dag(&query.dag);
+        let optimized = run_dag(&rewritten);
+        assert!(original.same_rows_unordered(&optimized));
+    }
+
+    #[test]
+    fn cardinality_leaking_split_requires_consent() {
+        let query = three_party_query();
+        let mut dag = query.dag.clone();
+        let mut config = ConclaveConfig::standard();
+        config.allow_cardinality_leaking_pushdown = false;
+        let log = run(&mut dag, &config).unwrap();
+        assert!(
+            !log.iter().any(|l| l.contains("secondary aggregation")),
+            "aggregation must not be split without consent"
+        );
+        // The distributive push-downs are still applied: they do not change
+        // MPC input cardinalities beyond what filters always reveal.
+        assert!(log.iter().any(|l| l.contains("project")));
+    }
+
+    #[test]
+    fn pushdown_is_a_noop_without_concat() {
+        let pa = Party::new(1, "a");
+        let mut q = QueryBuilder::new();
+        let t = q.input("t", Schema::ints(&["k", "v"]), pa.clone());
+        let agg = q.aggregate(t, "s", AggFunc::Sum, &["k"], "v");
+        q.collect(agg, &[pa]);
+        let mut dag = q.build().unwrap().dag;
+        let before = dag.node_count();
+        let log = run(&mut dag, &ConclaveConfig::standard()).unwrap();
+        assert!(log.is_empty());
+        assert_eq!(dag.node_count(), before);
+    }
+}

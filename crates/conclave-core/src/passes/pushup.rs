@@ -1,0 +1,110 @@
+//! MPC-frontier push-up (§5.2).
+//!
+//! Reversible operators adjacent to the query output need not run under MPC:
+//! revealing their *input* to the output recipients leaks nothing beyond what
+//! the output itself already reveals (the input is simulatable from the
+//! output, Theorem A.2). The pass therefore walks up from every `collect`
+//! leaf and re-assigns chains of reversible operators to run in the clear at
+//! the receiving party.
+
+use conclave_ir::dag::OpDag;
+use conclave_ir::error::IrResult;
+use conclave_ir::ops::{ExecSite, Operator};
+
+/// Applies the push-up rewrite. Returns a log of re-assigned operators.
+pub fn run(dag: &mut OpDag) -> IrResult<Vec<String>> {
+    let mut log = Vec::new();
+    let leaves = dag.leaves();
+    for leaf in leaves {
+        let node = dag.node(leaf)?;
+        let Operator::Collect { recipients } = &node.op else {
+            continue;
+        };
+        let Some(recipient) = recipients.any_member() else {
+            continue;
+        };
+        // Walk up through single-input reversible operators currently under
+        // MPC and move them to the recipient.
+        let mut current = node.inputs.first().copied();
+        while let Some(id) = current {
+            let n = dag.node(id)?;
+            let movable = n.site.is_mpc()
+                && n.op.is_reversible()
+                && n.inputs.len() == 1
+                // Only safe if this relation feeds nothing but the output
+                // chain being revealed.
+                && dag.children_of(id).len() == 1;
+            if !movable {
+                break;
+            }
+            let op_name = n.op.name();
+            let next = n.inputs.first().copied();
+            dag.node_mut(id)?.site = ExecSite::Local(recipient);
+            log.push(format!(
+                "push-up: {op_name} #{id} now runs in the clear at recipient P{recipient}"
+            ));
+            current = next;
+        }
+    }
+    Ok(log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::propagate_ownership;
+    use crate::passes::sites;
+    use conclave_ir::builder::QueryBuilder;
+    use conclave_ir::ops::{AggFunc, Operand};
+    use conclave_ir::party::Party;
+    use conclave_ir::schema::Schema;
+
+    #[test]
+    fn reversible_tail_operators_move_to_the_recipient() {
+        let pa = Party::new(1, "a");
+        let pb = Party::new(2, "b");
+        let mut q = QueryBuilder::new();
+        let a = q.input("a", Schema::ints(&["k", "v"]), pa.clone());
+        let b = q.input("b", Schema::ints(&["k", "v"]), pb);
+        let cat = q.concat(&[a, b]);
+        let agg = q.aggregate(cat, "total", AggFunc::Sum, &["k"], "v");
+        let count = q.count(cat, "n", &["k"]);
+        let joined = q.join(agg, count, &["k"], &["k"]);
+        // The division producing the average is reversible: it can run at the
+        // regulator after the MPC reveals (total, n).
+        let avg = q.divide(joined, "avg", Operand::col("total"), Operand::col("n"));
+        let scaled = q.multiply(avg, "scaled", vec![Operand::col("total"), Operand::lit(100)]);
+        q.collect(scaled, &[pa]);
+        let mut dag = q.build().unwrap().dag;
+        propagate_ownership(&mut dag).unwrap();
+        sites::run(&mut dag).unwrap();
+        let mpc_before = sites::mpc_node_count(&dag);
+        let log = run(&mut dag).unwrap();
+        let mpc_after = sites::mpc_node_count(&dag);
+        assert_eq!(log.len(), 2, "divide and multiply both move: {log:?}");
+        assert_eq!(mpc_before - mpc_after, 2);
+        // The join stays under MPC: it is not reversible.
+        let join = dag
+            .iter()
+            .find(|n| matches!(n.op, Operator::Join { .. }))
+            .unwrap();
+        assert!(join.site.is_mpc());
+    }
+
+    #[test]
+    fn non_reversible_leaves_are_untouched() {
+        let pa = Party::new(1, "a");
+        let pb = Party::new(2, "b");
+        let mut q = QueryBuilder::new();
+        let a = q.input("a", Schema::ints(&["k", "v"]), pa.clone());
+        let b = q.input("b", Schema::ints(&["k", "v"]), pb);
+        let cat = q.concat(&[a, b]);
+        let agg = q.aggregate(cat, "total", AggFunc::Sum, &["k"], "v");
+        q.collect(agg, &[pa]);
+        let mut dag = q.build().unwrap().dag;
+        propagate_ownership(&mut dag).unwrap();
+        sites::run(&mut dag).unwrap();
+        let log = run(&mut dag).unwrap();
+        assert!(log.is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! Execution reports: results, simulated runtime breakdown and leakage audit.
+
+use conclave_engine::Relation;
+use conclave_ir::ops::ExecSite;
+use conclave_ir::party::PartyId;
+use conclave_mpc::backend::MpcStepStats;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+/// One entry of the leakage audit: a place where data left the MPC boundary
+/// in cleartext, with the justification the compiler derived.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeakageEvent {
+    /// Node at whose execution the reveal happened.
+    pub node: usize,
+    /// Party that received cleartext data.
+    pub to_party: PartyId,
+    /// What was revealed (column names or "result").
+    pub what: String,
+    /// Why the reveal is authorized (trust annotation, output recipient,
+    /// reversible push-up, or cardinality-only).
+    pub justification: String,
+}
+
+/// Report of one end-to-end query execution.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// The query output, per recipient party.
+    pub outputs: BTreeMap<PartyId, Relation>,
+    /// Simulated local (cleartext) processing time per party; parties work in
+    /// parallel, so the critical path takes the maximum.
+    pub local_time: BTreeMap<PartyId, Duration>,
+    /// Simulated time spent in MPC steps (sequential across all parties).
+    pub mpc_time: Duration,
+    /// Simulated time spent in STP cleartext steps of hybrid protocols.
+    pub stp_time: Duration,
+    /// Total simulated data moved between parties, in bytes.
+    pub network_bytes: u64,
+    /// Aggregated MPC statistics (primitive counts, gates, memory).
+    pub mpc_stats: MpcStepStats,
+    /// Leakage audit log.
+    pub leakage: Vec<LeakageEvent>,
+    /// Per-node simulated runtimes, for detailed breakdowns.
+    pub per_node: Vec<(usize, ExecSite, Duration)>,
+}
+
+impl RunReport {
+    /// End-to-end simulated runtime: the slowest party's local work plus the
+    /// (sequential) MPC and STP phases.
+    pub fn total_time(&self) -> Duration {
+        let local_max = self.local_time.values().copied().max().unwrap_or_default();
+        local_max + self.mpc_time + self.stp_time
+    }
+
+    /// The output delivered to a given party, if it is a recipient.
+    pub fn output_for(&self, party: PartyId) -> Option<&Relation> {
+        self.outputs.get(&party)
+    }
+
+    /// Records a leakage event.
+    pub fn record_leakage(
+        &mut self,
+        node: usize,
+        to_party: PartyId,
+        what: impl Into<String>,
+        justification: impl Into<String>,
+    ) {
+        self.leakage.push(LeakageEvent {
+            node,
+            to_party,
+            what: what.into(),
+            justification: justification.into(),
+        });
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== Conclave run report ===")?;
+        writeln!(f, "total simulated time: {:.2} s", self.total_time().as_secs_f64())?;
+        for (party, t) in &self.local_time {
+            writeln!(f, "  local @ P{party}: {:.2} s", t.as_secs_f64())?;
+        }
+        writeln!(f, "  MPC: {:.2} s", self.mpc_time.as_secs_f64())?;
+        writeln!(f, "  STP: {:.2} s", self.stp_time.as_secs_f64())?;
+        writeln!(f, "network bytes: {}", self.network_bytes)?;
+        writeln!(
+            f,
+            "MPC primitives: {} non-linear ops, {} AND gates",
+            self.mpc_stats.counts.nonlinear_ops(),
+            self.mpc_stats.circuit.and_gates
+        )?;
+        writeln!(f, "leakage events: {}", self.leakage.len())?;
+        for e in &self.leakage {
+            writeln!(
+                f,
+                "  node #{} -> P{}: {} ({})",
+                e.node, e.to_party, e.what, e.justification
+            )?;
+        }
+        for (party, rel) in &self.outputs {
+            writeln!(f, "output for P{party}: {} rows", rel.num_rows())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_time_is_critical_path() {
+        let mut r = RunReport::default();
+        r.local_time.insert(1, Duration::from_secs(5));
+        r.local_time.insert(2, Duration::from_secs(9));
+        r.mpc_time = Duration::from_secs(3);
+        r.stp_time = Duration::from_secs(1);
+        assert_eq!(r.total_time(), Duration::from_secs(13));
+        // With no local work at all, only MPC+STP count.
+        let mut r2 = RunReport::default();
+        r2.mpc_time = Duration::from_secs(2);
+        assert_eq!(r2.total_time(), Duration::from_secs(2));
+    }
+
+    #[test]
+    fn leakage_and_outputs_render() {
+        let mut r = RunReport::default();
+        r.record_leakage(3, 1, "ssn column", "trust annotation names P1 as STP");
+        r.outputs.insert(1, Relation::from_ints(&["x"], &[vec![1]]));
+        assert!(r.output_for(1).is_some());
+        assert!(r.output_for(2).is_none());
+        let text = r.to_string();
+        assert!(text.contains("leakage events: 1"));
+        assert!(text.contains("ssn column"));
+        assert!(text.contains("output for P1: 1 rows"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Synthetic credit-card regulation data (§2.1, §7.3).
+//!
+//! The regulator holds a demographics relation mapping SSNs to ZIP codes;
+//! each credit-reporting agency holds a relation mapping (a subset of) those
+//! SSNs to credit scores. The query joins on SSN and averages scores by ZIP.
+
+use conclave_engine::Relation;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Generator for the credit-card regulation workload.
+#[derive(Debug, Clone)]
+pub struct CreditGenerator {
+    rng: StdRng,
+    /// Number of distinct ZIP codes in the demographics relation.
+    pub num_zips: i64,
+    /// Fraction of the regulator's SSNs that each agency has a score for.
+    pub coverage: f64,
+}
+
+impl CreditGenerator {
+    /// Creates a generator with defaults mirroring the paper's description.
+    pub fn new(seed: u64) -> Self {
+        CreditGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            num_zips: 100,
+            coverage: 0.6,
+        }
+    }
+
+    /// The regulator's demographics relation: `ssn`, `zip` for `rows` people.
+    pub fn demographics(&mut self, rows: usize) -> Relation {
+        let data: Vec<Vec<i64>> = (0..rows as i64)
+            .map(|ssn| vec![ssn, self.rng.gen_range(0..self.num_zips)])
+            .collect();
+        Relation::from_ints(&["ssn", "zip"], &data)
+    }
+
+    /// One agency's score relation: `ssn`, `score`, covering a random subset
+    /// of the demographics SSNs (`coverage` fraction of `population` SSNs).
+    pub fn agency_scores(&mut self, population: usize) -> Relation {
+        let take = ((population as f64) * self.coverage).round() as usize;
+        let mut ssns: Vec<i64> = (0..population as i64).collect();
+        ssns.shuffle(&mut self.rng);
+        ssns.truncate(take);
+        let data: Vec<Vec<i64>> = ssns
+            .into_iter()
+            .map(|ssn| vec![ssn, self.rng.gen_range(300..850)])
+            .collect();
+        Relation::from_ints(&["ssn", "score"], &data)
+    }
+
+    /// Cleartext reference: average credit score by ZIP, given the regulator's
+    /// demographics and all agencies' score relations.
+    pub fn reference_average_by_zip(
+        demographics: &Relation,
+        scores: &[Relation],
+    ) -> Vec<(i64, f64)> {
+        use std::collections::HashMap;
+        let mut zip_of: HashMap<i64, i64> = HashMap::new();
+        for row in &demographics.rows {
+            zip_of.insert(row[0].as_int().unwrap(), row[1].as_int().unwrap());
+        }
+        let mut sums: HashMap<i64, (f64, f64)> = HashMap::new();
+        for rel in scores {
+            for row in &rel.rows {
+                let ssn = row[0].as_int().unwrap();
+                if let Some(&zip) = zip_of.get(&ssn) {
+                    let e = sums.entry(zip).or_insert((0.0, 0.0));
+                    e.0 += row[1].as_int().unwrap() as f64;
+                    e.1 += 1.0;
+                }
+            }
+        }
+        let mut out: Vec<(i64, f64)> = sums.into_iter().map(|(z, (s, n))| (z, s / n)).collect();
+        out.sort_by_key(|(z, _)| *z);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demographics_and_scores_shapes() {
+        let mut g = CreditGenerator::new(1);
+        let demo = g.demographics(1_000);
+        assert_eq!(demo.num_rows(), 1_000);
+        assert_eq!(demo.schema.names(), vec!["ssn", "zip"]);
+        let scores = g.agency_scores(1_000);
+        assert_eq!(scores.num_rows(), 600, "60% coverage of 1000 SSNs");
+        assert!(scores
+            .rows
+            .iter()
+            .all(|r| (300..850).contains(&r[1].as_int().unwrap())));
+        // Agency SSNs are a subset of the population.
+        assert!(scores
+            .rows
+            .iter()
+            .all(|r| (0..1_000).contains(&r[0].as_int().unwrap())));
+    }
+
+    #[test]
+    fn reference_average_is_within_score_range() {
+        let mut g = CreditGenerator::new(2);
+        let demo = g.demographics(2_000);
+        let s1 = g.agency_scores(2_000);
+        let s2 = g.agency_scores(2_000);
+        let avg = CreditGenerator::reference_average_by_zip(&demo, &[s1, s2]);
+        assert!(!avg.is_empty());
+        assert!(avg.iter().all(|(_, a)| (300.0..850.0).contains(a)));
+        // Zips are sorted and unique.
+        assert!(avg.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn reference_handles_unmatched_ssns() {
+        let demo = Relation::from_ints(&["ssn", "zip"], &[vec![1, 10]]);
+        let scores = Relation::from_ints(&["ssn", "score"], &[vec![99, 700]]);
+        let avg = CreditGenerator::reference_average_by_zip(&demo, &[scores]);
+        assert!(avg.is_empty());
+    }
+}

@@ -1,0 +1,189 @@
+//! Synthetic HealthLNK-like clinical data for the SMCQL comparison (§7.4).
+//!
+//! Two hospitals each hold `diagnoses(patientID, diagnosis)` and
+//! `medications(patientID, medication)` relations. The *aspirin count* query
+//! joins diagnoses and medications on (public) patient IDs, filters for a
+//! heart-disease diagnosis and an aspirin prescription, and counts distinct
+//! patients; the *comorbidity* query counts the most common diagnoses among
+//! c. diff patients. The generator reproduces the workload parameters the
+//! paper states: 2 % overlap between the two hospitals' patient IDs and a
+//! number of distinct diagnosis codes equal to 10 % of the row count.
+
+use conclave_engine::Relation;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Diagnosis code used for heart disease in the aspirin-count query.
+pub const HEART_DISEASE: i64 = 414;
+/// Medication code used for aspirin in the aspirin-count query.
+pub const ASPIRIN: i64 = 1191;
+/// Diagnosis code used for c. diff in the comorbidity query.
+pub const CDIFF: i64 = 8;
+
+/// Generator for HealthLNK-like relations.
+#[derive(Debug, Clone)]
+pub struct HealthGenerator {
+    rng: StdRng,
+    /// Fraction of patient IDs shared between the two hospitals.
+    pub overlap: f64,
+    /// Fraction of rows that carry the "interesting" code (heart disease /
+    /// aspirin / c. diff), so query selectivities are realistic.
+    pub positive_fraction: f64,
+}
+
+impl HealthGenerator {
+    /// Creates a generator with the paper's workload parameters.
+    pub fn new(seed: u64) -> Self {
+        HealthGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            overlap: 0.02,
+            positive_fraction: 0.25,
+        }
+    }
+
+    fn patient_id(&mut self, hospital: usize, rows: usize, i: usize) -> i64 {
+        let shared = ((rows as f64) * self.overlap).round() as usize;
+        if i < shared {
+            i as i64
+        } else {
+            (1_000_000 * (hospital as i64 + 1)) + i as i64
+        }
+    }
+
+    /// One hospital's diagnoses relation: `patientID`, `diagnosis`.
+    pub fn diagnoses(&mut self, hospital: usize, rows: usize) -> Relation {
+        let data: Vec<Vec<i64>> = (0..rows)
+            .map(|i| {
+                let pid = self.patient_id(hospital, rows, i);
+                let diag = if self.rng.gen_bool(self.positive_fraction) {
+                    HEART_DISEASE
+                } else {
+                    self.rng.gen_range(1..500)
+                };
+                vec![pid, diag]
+            })
+            .collect();
+        Relation::from_ints(&["patientID", "diagnosis"], &data)
+    }
+
+    /// One hospital's medications relation: `patientID`, `medication`.
+    pub fn medications(&mut self, hospital: usize, rows: usize) -> Relation {
+        let data: Vec<Vec<i64>> = (0..rows)
+            .map(|i| {
+                let pid = self.patient_id(hospital, rows, i);
+                let med = if self.rng.gen_bool(self.positive_fraction) {
+                    ASPIRIN
+                } else {
+                    self.rng.gen_range(1..3_000)
+                };
+                vec![pid, med]
+            })
+            .collect();
+        Relation::from_ints(&["patientID", "medication"], &data)
+    }
+
+    /// One hospital's diagnoses relation for the comorbidity query, with the
+    /// number of distinct diagnosis codes set to 10 % of the row count (the
+    /// parameter §7.4 uses).
+    pub fn comorbidity_diagnoses(&mut self, hospital: usize, rows: usize) -> Relation {
+        let distinct = (rows / 10).max(1) as i64;
+        let data: Vec<Vec<i64>> = (0..rows)
+            .map(|i| {
+                let pid = self.patient_id(hospital, rows, i);
+                let diag = self.rng.gen_range(0..distinct);
+                vec![pid, diag]
+            })
+            .collect();
+        Relation::from_ints(&["patientID", "diagnosis"], &data)
+    }
+
+    /// Cleartext reference for the aspirin-count query: the number of
+    /// distinct patients who have a heart-disease diagnosis in either
+    /// hospital's data and an aspirin prescription in either hospital's data.
+    pub fn reference_aspirin_count(diagnoses: &[Relation], medications: &[Relation]) -> i64 {
+        use std::collections::HashSet;
+        let diagnosed: HashSet<i64> = diagnoses
+            .iter()
+            .flat_map(|r| r.rows.iter())
+            .filter(|row| row[1].as_int() == Some(HEART_DISEASE))
+            .map(|row| row[0].as_int().unwrap())
+            .collect();
+        let medicated: HashSet<i64> = medications
+            .iter()
+            .flat_map(|r| r.rows.iter())
+            .filter(|row| row[1].as_int() == Some(ASPIRIN))
+            .map(|row| row[0].as_int().unwrap())
+            .collect();
+        diagnosed.intersection(&medicated).count() as i64
+    }
+
+    /// Cleartext reference for the comorbidity query: the `limit` most common
+    /// diagnoses with their counts, in descending count order.
+    pub fn reference_comorbidity(diagnoses: &[Relation], limit: usize) -> Vec<(i64, i64)> {
+        use std::collections::HashMap;
+        let mut counts: HashMap<i64, i64> = HashMap::new();
+        for rel in diagnoses {
+            for row in &rel.rows {
+                *counts.entry(row[1].as_int().unwrap()).or_default() += 1;
+            }
+        }
+        let mut v: Vec<(i64, i64)> = counts.into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(limit);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn diagnoses_and_medications_shapes() {
+        let mut g = HealthGenerator::new(1);
+        let d = g.diagnoses(0, 1_000);
+        let m = g.medications(0, 1_000);
+        assert_eq!(d.schema.names(), vec!["patientID", "diagnosis"]);
+        assert_eq!(m.schema.names(), vec!["patientID", "medication"]);
+        assert_eq!(d.num_rows(), 1_000);
+        let heart = d
+            .rows
+            .iter()
+            .filter(|r| r[1].as_int() == Some(HEART_DISEASE))
+            .count();
+        assert!(heart > 150, "positive fraction should make matches common");
+    }
+
+    #[test]
+    fn hospitals_share_two_percent_of_patients() {
+        let mut g = HealthGenerator::new(2);
+        let d0 = g.diagnoses(0, 2_000);
+        let d1 = g.diagnoses(1, 2_000);
+        let p0: HashSet<i64> = d0.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        let p1: HashSet<i64> = d1.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(p0.intersection(&p1).count(), 40, "2% of 2000");
+    }
+
+    #[test]
+    fn comorbidity_distinct_keys_are_ten_percent() {
+        let mut g = HealthGenerator::new(3);
+        let d = g.comorbidity_diagnoses(0, 5_000);
+        let distinct: HashSet<i64> = d.rows.iter().map(|r| r[1].as_int().unwrap()).collect();
+        assert!(distinct.len() <= 500);
+        assert!(distinct.len() > 400, "should use most of the key space");
+    }
+
+    #[test]
+    fn references_are_consistent() {
+        let mut g = HealthGenerator::new(4);
+        let d = vec![g.diagnoses(0, 500), g.diagnoses(1, 500)];
+        let m = vec![g.medications(0, 500), g.medications(1, 500)];
+        let count = HealthGenerator::reference_aspirin_count(&d, &m);
+        assert!(count >= 0);
+        let cd = vec![g.comorbidity_diagnoses(0, 500), g.comorbidity_diagnoses(1, 500)];
+        let top = HealthGenerator::reference_comorbidity(&cd, 10);
+        assert_eq!(top.len(), 10);
+        assert!(top.windows(2).all(|w| w[0].1 >= w[1].1), "sorted by count");
+    }
+}

@@ -1,0 +1,18 @@
+//! Synthetic workload generators.
+//!
+//! The paper's end-to-end experiments use data we cannot redistribute or
+//! obtain (six years of NYC taxi trips, credit-bureau records keyed by SSN,
+//! and the HealthLNK clinical data repository). This crate generates
+//! synthetic data with the statistical properties those experiments depend
+//! on — row counts, key cardinalities, cross-party overlap and group-size
+//! distributions — so every figure's workload can be regenerated at any scale.
+
+pub mod credit;
+pub mod health;
+pub mod synthetic;
+pub mod taxi;
+
+pub use credit::CreditGenerator;
+pub use health::HealthGenerator;
+pub use synthetic::SyntheticGenerator;
+pub use taxi::TaxiGenerator;

@@ -1,0 +1,150 @@
+//! Generic synthetic relation generators (uniform and Zipf-distributed keys).
+
+use conclave_engine::Relation;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates random integer relations for microbenchmarks (Figures 1 and 5).
+#[derive(Debug, Clone)]
+pub struct SyntheticGenerator {
+    rng: StdRng,
+}
+
+impl SyntheticGenerator {
+    /// Creates a generator with a fixed seed (experiments are reproducible).
+    pub fn new(seed: u64) -> Self {
+        SyntheticGenerator {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A relation of `rows` rows with the given integer columns drawn
+    /// uniformly from `0..key_space`.
+    pub fn uniform(&mut self, columns: &[&str], rows: usize, key_space: i64) -> Relation {
+        let key_space = key_space.max(1);
+        let data: Vec<Vec<i64>> = (0..rows)
+            .map(|_| {
+                columns
+                    .iter()
+                    .map(|_| self.rng.gen_range(0..key_space))
+                    .collect()
+            })
+            .collect();
+        Relation::from_ints(columns, &data)
+    }
+
+    /// A two-column `(key, value)` relation whose keys follow a Zipf-like
+    /// distribution (skewed group sizes, as real aggregation inputs have).
+    pub fn zipf_keyed(&mut self, rows: usize, distinct_keys: usize, exponent: f64) -> Relation {
+        let distinct = distinct_keys.max(1);
+        // Precompute cumulative Zipf weights.
+        let weights: Vec<f64> = (1..=distinct).map(|k| 1.0 / (k as f64).powf(exponent)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut cumulative = Vec::with_capacity(distinct);
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w / total;
+            cumulative.push(acc);
+        }
+        let data: Vec<Vec<i64>> = (0..rows)
+            .map(|_| {
+                let u: f64 = self.rng.gen();
+                let key = cumulative.partition_point(|&c| c < u).min(distinct - 1) as i64;
+                let value = self.rng.gen_range(0..1_000);
+                vec![key, value]
+            })
+            .collect();
+        Relation::from_ints(&["key", "value"], &data)
+    }
+
+    /// Two relations that share exactly `overlap_fraction` of their keys —
+    /// used by join microbenchmarks and the SMCQL comparison (2 % patient-ID
+    /// overlap in §7.4).
+    pub fn overlapping_pair(
+        &mut self,
+        rows_each: usize,
+        overlap_fraction: f64,
+    ) -> (Relation, Relation) {
+        let overlap = ((rows_each as f64) * overlap_fraction.clamp(0.0, 1.0)).round() as usize;
+        let make = |rng: &mut StdRng, base: i64, rows: usize, shared: usize| -> Vec<Vec<i64>> {
+            (0..rows)
+                .map(|i| {
+                    let key = if i < shared {
+                        i as i64 // shared key range
+                    } else {
+                        base + i as i64 // disjoint per-side range
+                    };
+                    vec![key, rng.gen_range(0..1_000)]
+                })
+                .collect()
+        };
+        let left = make(&mut self.rng, 1_000_000_000, rows_each, overlap);
+        let right = make(&mut self.rng, 2_000_000_000, rows_each, overlap);
+        (
+            Relation::from_ints(&["key", "value"], &left),
+            Relation::from_ints(&["key", "value"], &right),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn uniform_shape_and_range() {
+        let mut g = SyntheticGenerator::new(1);
+        let r = g.uniform(&["a", "b"], 500, 10);
+        assert_eq!(r.num_rows(), 500);
+        assert_eq!(r.num_cols(), 2);
+        assert!(r
+            .rows
+            .iter()
+            .all(|row| (0..10).contains(&row[0].as_int().unwrap())));
+        // Degenerate key space.
+        let r = g.uniform(&["a"], 10, 0);
+        assert!(r.rows.iter().all(|row| row[0].as_int() == Some(0)));
+    }
+
+    #[test]
+    fn determinism_by_seed() {
+        let a = SyntheticGenerator::new(7).uniform(&["a"], 100, 50);
+        let b = SyntheticGenerator::new(7).uniform(&["a"], 100, 50);
+        let c = SyntheticGenerator::new(8).uniform(&["a"], 100, 50);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_small_keys() {
+        let mut g = SyntheticGenerator::new(2);
+        let r = g.zipf_keyed(20_000, 100, 1.2);
+        assert_eq!(r.num_rows(), 20_000);
+        let count_key0 = r.rows.iter().filter(|row| row[0].as_int() == Some(0)).count();
+        let count_key99 = r
+            .rows
+            .iter()
+            .filter(|row| row[0].as_int() == Some(99))
+            .count();
+        assert!(
+            count_key0 > count_key99 * 3,
+            "Zipf head key should dominate: {count_key0} vs {count_key99}"
+        );
+    }
+
+    #[test]
+    fn overlapping_pair_has_requested_intersection() {
+        let mut g = SyntheticGenerator::new(3);
+        let (l, r) = g.overlapping_pair(1_000, 0.02);
+        let lk: HashSet<i64> = l.rows.iter().map(|row| row[0].as_int().unwrap()).collect();
+        let rk: HashSet<i64> = r.rows.iter().map(|row| row[0].as_int().unwrap()).collect();
+        let shared = lk.intersection(&rk).count();
+        assert_eq!(shared, 20, "2% of 1000 keys should overlap");
+        // Full overlap and zero overlap edge cases.
+        let (l, r) = g.overlapping_pair(100, 1.5);
+        let lk: HashSet<i64> = l.rows.iter().map(|row| row[0].as_int().unwrap()).collect();
+        let rk: HashSet<i64> = r.rows.iter().map(|row| row[0].as_int().unwrap()).collect();
+        assert_eq!(lk.intersection(&rk).count(), 100);
+    }
+}

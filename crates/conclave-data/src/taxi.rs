@@ -1,0 +1,149 @@
+//! Synthetic vehicle-for-hire trip data for the market-concentration query.
+//!
+//! The paper models the sales books of several imaginary VFH companies by
+//! randomly dividing six years of NYC yellow-cab trips across three parties
+//! and filtering out zero-fare trips (§7.1). This generator produces trips
+//! with the same relevant structure: a `companyID`, a `price` in cents (a
+//! small fraction of which is zero and must be filtered out), and an
+//! `airport` flag with roughly the 3.5 % airport-transfer share reported in
+//! the 2014 Taxicab Factbook (§2.1).
+
+use conclave_engine::Relation;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator for synthetic taxi/VFH trip relations.
+#[derive(Debug, Clone)]
+pub struct TaxiGenerator {
+    rng: StdRng,
+    /// Number of VFH companies across all parties.
+    pub num_companies: i64,
+    /// Fraction of trips with a zero fare (filtered out by the query).
+    pub zero_fare_fraction: f64,
+    /// Fraction of trips that are airport transfers.
+    pub airport_fraction: f64,
+}
+
+impl TaxiGenerator {
+    /// Creates a generator with the paper's workload characteristics.
+    pub fn new(seed: u64) -> Self {
+        TaxiGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            num_companies: 12,
+            zero_fare_fraction: 0.01,
+            airport_fraction: 0.035,
+        }
+    }
+
+    /// Generates one party's trip relation with `rows` trips. Columns:
+    /// `companyID`, `price` (cents), `airport` (0/1).
+    pub fn party_trips(&mut self, rows: usize) -> Relation {
+        let data: Vec<Vec<i64>> = (0..rows)
+            .map(|_| {
+                let company = self.rng.gen_range(0..self.num_companies);
+                let zero = self.rng.gen_bool(self.zero_fare_fraction);
+                let price = if zero {
+                    0
+                } else {
+                    // Fares roughly $5–$80, in cents.
+                    self.rng.gen_range(500..8_000)
+                };
+                let airport = i64::from(self.rng.gen_bool(self.airport_fraction));
+                vec![company, price, airport]
+            })
+            .collect();
+        Relation::from_ints(&["companyID", "price", "airport"], &data)
+    }
+
+    /// Generates the per-party relations for a total of `total_rows` trips
+    /// split across `parties` parties (the paper splits 1.3 B trips across
+    /// three imaginary companies' books).
+    pub fn split_across_parties(&mut self, total_rows: usize, parties: usize) -> Vec<Relation> {
+        let parties = parties.max(1);
+        let per_party = total_rows / parties;
+        let mut out = Vec::with_capacity(parties);
+        for i in 0..parties {
+            let rows = if i == parties - 1 {
+                total_rows - per_party * (parties - 1)
+            } else {
+                per_party
+            };
+            out.push(self.party_trips(rows));
+        }
+        out
+    }
+
+    /// Cleartext reference computation of the Herfindahl–Hirschman Index over
+    /// a set of trip relations (used by tests to check end-to-end results).
+    pub fn reference_hhi(parts: &[Relation]) -> f64 {
+        use std::collections::HashMap;
+        let mut revenue: HashMap<i64, f64> = HashMap::new();
+        for part in parts {
+            for row in &part.rows {
+                let company = row[0].as_int().unwrap_or(0);
+                let price = row[1].as_int().unwrap_or(0);
+                if price > 0 {
+                    *revenue.entry(company).or_default() += price as f64;
+                }
+            }
+        }
+        let total: f64 = revenue.values().sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        revenue.values().map(|r| (r / total) * (r / total)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_have_expected_shape() {
+        let mut g = TaxiGenerator::new(1);
+        let r = g.party_trips(10_000);
+        assert_eq!(r.num_rows(), 10_000);
+        assert_eq!(r.schema.names(), vec!["companyID", "price", "airport"]);
+        let zero_fares = r.rows.iter().filter(|row| row[1].as_int() == Some(0)).count();
+        let airport = r
+            .rows
+            .iter()
+            .filter(|row| row[2].as_int() == Some(1))
+            .count();
+        // ~1% zero fares, ~3.5% airport trips.
+        assert!((50..200).contains(&zero_fares), "zero fares: {zero_fares}");
+        assert!((200..550).contains(&airport), "airport trips: {airport}");
+    }
+
+    #[test]
+    fn split_preserves_total_rows() {
+        let mut g = TaxiGenerator::new(2);
+        let parts = g.split_across_parties(10_001, 3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts.iter().map(|p| p.num_rows()).sum::<usize>(), 10_001);
+        let single = g.split_across_parties(10, 0);
+        assert_eq!(single.len(), 1);
+    }
+
+    #[test]
+    fn reference_hhi_is_a_valid_index() {
+        let mut g = TaxiGenerator::new(3);
+        let parts = g.split_across_parties(30_000, 3);
+        let hhi = TaxiGenerator::reference_hhi(&parts);
+        // With 12 similarly-sized companies, HHI should be near 1/12 ≈ 0.083
+        // and always within (0, 1].
+        assert!(hhi > 0.05 && hhi < 0.2, "hhi = {hhi}");
+        assert!(TaxiGenerator::reference_hhi(&[]) == 0.0);
+    }
+
+    #[test]
+    fn monopoly_has_hhi_one() {
+        let rel = Relation::from_ints(
+            &["companyID", "price", "airport"],
+            &[vec![1, 100, 0], vec![1, 300, 0]],
+        );
+        let hhi = TaxiGenerator::reference_hhi(&[rel]);
+        assert!((hhi - 1.0).abs() < 1e-9);
+    }
+}

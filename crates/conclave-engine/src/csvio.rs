@@ -1,0 +1,179 @@
+//! Minimal CSV reading and writing for relations.
+//!
+//! The paper's prototype exchanges input/output relations as CSV files between
+//! the per-party agents and the backends (`writeToCSV` in Listings 1–2). This
+//! module provides the same capability without external dependencies; it
+//! handles the integer/float data the workloads use and does not attempt full
+//! RFC 4180 quoting.
+
+use crate::relation::Relation;
+use conclave_ir::schema::{ColumnDef, Schema};
+use conclave_ir::types::{DataType, Value};
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Serializes a relation to CSV text with a header row.
+pub fn to_csv_string(rel: &Relation) -> String {
+    let mut out = String::new();
+    out.push_str(&rel.schema.names().join(","));
+    out.push('\n');
+    for row in &rel.rows {
+        let cells: Vec<String> = row.iter().map(value_to_cell).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn value_to_cell(v: &Value) -> String {
+    match v {
+        Value::Null => String::new(),
+        other => other.to_string(),
+    }
+}
+
+/// Writes a relation to a CSV file.
+pub fn write_csv(rel: &Relation, path: &Path) -> io::Result<()> {
+    let mut f = fs::File::create(path)?;
+    f.write_all(to_csv_string(rel).as_bytes())
+}
+
+/// Parses CSV text into a relation using the given schema. The header row is
+/// validated against the schema's column names.
+pub fn from_csv_string(text: &str, schema: &Schema) -> Result<Relation, String> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty CSV input")?;
+    let names: Vec<&str> = header.split(',').map(str::trim).collect();
+    if names != schema.names() {
+        return Err(format!(
+            "CSV header {:?} does not match schema {:?}",
+            names,
+            schema.names()
+        ));
+    }
+    let mut rows = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != schema.len() {
+            return Err(format!(
+                "line {}: expected {} cells, got {}",
+                lineno + 2,
+                schema.len(),
+                cells.len()
+            ));
+        }
+        let mut row = Vec::with_capacity(cells.len());
+        for (cell, col) in cells.iter().zip(&schema.columns) {
+            row.push(parse_cell(cell.trim(), col)?);
+        }
+        rows.push(row);
+    }
+    Ok(Relation {
+        schema: schema.clone(),
+        rows,
+    })
+}
+
+fn parse_cell(cell: &str, col: &ColumnDef) -> Result<Value, String> {
+    if cell.is_empty() {
+        return Ok(Value::Null);
+    }
+    match col.dtype {
+        DataType::Int => cell
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|e| format!("column `{}`: {e}", col.name)),
+        DataType::Float => cell
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|e| format!("column `{}`: {e}", col.name)),
+        DataType::Bool => match cell {
+            "true" | "1" => Ok(Value::Bool(true)),
+            "false" | "0" => Ok(Value::Bool(false)),
+            other => Err(format!("column `{}`: invalid bool `{other}`", col.name)),
+        },
+        DataType::Str => Ok(Value::Str(cell.to_string())),
+    }
+}
+
+/// Reads a CSV file into a relation using the given schema.
+pub fn read_csv(path: &Path, schema: &Schema) -> Result<Relation, String> {
+    let text = fs::read_to_string(path).map_err(|e| e.to_string())?;
+    from_csv_string(&text, schema)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_ints() {
+        let rel = Relation::from_ints(&["k", "v"], &[vec![1, 10], vec![2, -20]]);
+        let csv = to_csv_string(&rel);
+        assert!(csv.starts_with("k,v\n"));
+        let back = from_csv_string(&csv, &rel.schema).unwrap();
+        assert_eq!(back, rel);
+    }
+
+    #[test]
+    fn round_trip_mixed_types() {
+        let schema = Schema::new(vec![
+            ColumnDef::new("i", DataType::Int),
+            ColumnDef::new("f", DataType::Float),
+            ColumnDef::new("b", DataType::Bool),
+            ColumnDef::new("s", DataType::Str),
+        ]);
+        let rel = Relation::new(
+            schema.clone(),
+            vec![
+                vec![
+                    Value::Int(1),
+                    Value::Float(2.5),
+                    Value::Bool(true),
+                    Value::Str("abc".into()),
+                ],
+                vec![Value::Int(2), Value::Null, Value::Bool(false), Value::Null],
+            ],
+        )
+        .unwrap();
+        let csv = to_csv_string(&rel);
+        let back = from_csv_string(&csv, &schema).unwrap();
+        assert_eq!(back.rows[0][3], Value::Str("abc".into()));
+        assert_eq!(back.rows[1][1], Value::Null);
+    }
+
+    #[test]
+    fn header_mismatch_rejected() {
+        let rel = Relation::from_ints(&["a"], &[vec![1]]);
+        let other = Schema::ints(&["b"]);
+        assert!(from_csv_string(&to_csv_string(&rel), &other).is_err());
+        assert!(from_csv_string("", &other).is_err());
+    }
+
+    #[test]
+    fn arity_and_parse_errors() {
+        let schema = Schema::ints(&["a", "b"]);
+        assert!(from_csv_string("a,b\n1\n", &schema).is_err());
+        assert!(from_csv_string("a,b\n1,notanumber\n", &schema).is_err());
+        let bool_schema = Schema::new(vec![ColumnDef::new("x", DataType::Bool)]);
+        assert!(from_csv_string("x\nmaybe\n", &bool_schema).is_err());
+        assert!(from_csv_string("x\n1\n", &bool_schema).is_ok());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("conclave_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        let rel = Relation::from_ints(&["k", "v"], &[vec![7, 8]]);
+        write_csv(&rel, &path).unwrap();
+        let back = read_csv(&path, &rel.schema).unwrap();
+        assert_eq!(back, rel);
+        let missing = dir.join("does_not_exist.csv");
+        assert!(read_csv(&missing, &rel.schema).is_err());
+    }
+}

@@ -1,0 +1,842 @@
+//! Cleartext execution of relational operators.
+//!
+//! [`execute`] evaluates one operator over materialized input relations. It
+//! implements every operator that can run in the clear, including the
+//! "physical" operators the compiler inserts (enumerate, select-by-index,
+//! reveal, open). Hybrid operators are *protocols*, not single-site
+//! operators, so they are rejected here and executed by the driver in
+//! `conclave-core` (which combines MPC steps with cleartext steps from this
+//! module).
+
+use crate::relation::Relation;
+use conclave_ir::expr::Expr;
+use conclave_ir::ops::{AggFunc, Operand, Operator};
+use conclave_ir::schema::Schema;
+use conclave_ir::types::Value;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors produced by the cleartext engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Wrong number of inputs for the operator.
+    Arity {
+        /// Operator name.
+        op: String,
+        /// Expected input count description.
+        expected: String,
+        /// Actual input count.
+        got: usize,
+    },
+    /// Referenced column does not exist.
+    UnknownColumn(String),
+    /// The operator cannot run in a single-site cleartext engine.
+    Unsupported(String),
+    /// Expression evaluation failed.
+    Eval(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Arity { op, expected, got } => {
+                write!(f, "operator {op} expects {expected} inputs, got {got}")
+            }
+            EngineError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            EngineError::Unsupported(op) => write!(f, "operator {op} is not a cleartext operator"),
+            EngineError::Eval(e) => write!(f, "expression evaluation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Result alias for engine operations.
+pub type EngineResult<T> = Result<T, EngineError>;
+
+fn need(op: &Operator, inputs: &[&Relation], n: usize) -> EngineResult<()> {
+    if inputs.len() == n {
+        Ok(())
+    } else {
+        Err(EngineError::Arity {
+            op: op.name().to_string(),
+            expected: n.to_string(),
+            got: inputs.len(),
+        })
+    }
+}
+
+fn col_idx(rel: &Relation, name: &str) -> EngineResult<usize> {
+    rel.col_index(name)
+        .ok_or_else(|| EngineError::UnknownColumn(name.to_string()))
+}
+
+/// Executes one operator over its inputs, producing the output relation.
+pub fn execute(op: &Operator, inputs: &[&Relation]) -> EngineResult<Relation> {
+    match op {
+        Operator::Input { name, .. } => Err(EngineError::Unsupported(format!(
+            "input({name}) must be bound to stored data by the driver"
+        ))),
+        Operator::Concat => {
+            if inputs.is_empty() {
+                return Err(EngineError::Arity {
+                    op: "concat".into(),
+                    expected: ">=1".into(),
+                    got: 0,
+                });
+            }
+            let parts: Vec<Relation> = inputs.iter().map(|r| (*r).clone()).collect();
+            Relation::concat(&parts).map_err(EngineError::Eval)
+        }
+        Operator::Project { columns } => {
+            need(op, inputs, 1)?;
+            project(inputs[0], columns)
+        }
+        Operator::Filter { predicate } => {
+            need(op, inputs, 1)?;
+            filter(inputs[0], predicate)
+        }
+        Operator::Join {
+            left_keys,
+            right_keys,
+            ..
+        } => {
+            need(op, inputs, 2)?;
+            join(inputs[0], inputs[1], left_keys, right_keys)
+        }
+        Operator::Aggregate {
+            group_by,
+            func,
+            over,
+            out,
+        } => {
+            need(op, inputs, 1)?;
+            aggregate(inputs[0], group_by, *func, over.as_deref(), out)
+        }
+        Operator::Multiply { out, operands } => {
+            need(op, inputs, 1)?;
+            multiply(inputs[0], out, operands)
+        }
+        Operator::Divide { out, num, den } => {
+            need(op, inputs, 1)?;
+            divide(inputs[0], out, num, den)
+        }
+        Operator::SortBy { column, ascending } => {
+            need(op, inputs, 1)?;
+            let mut rel = inputs[0].clone();
+            rel.sort_by_column(column, *ascending)
+                .map_err(EngineError::Eval)?;
+            Ok(rel)
+        }
+        Operator::Limit { n } => {
+            need(op, inputs, 1)?;
+            let mut rel = inputs[0].clone();
+            rel.rows.truncate(*n);
+            Ok(rel)
+        }
+        Operator::Distinct { columns } => {
+            need(op, inputs, 1)?;
+            distinct(inputs[0], columns)
+        }
+        Operator::DistinctCount { column, out } => {
+            need(op, inputs, 1)?;
+            distinct_count(inputs[0], column, out)
+        }
+        Operator::Collect { .. } | Operator::Open { .. } | Operator::CloseTo => {
+            need(op, inputs, 1)?;
+            Ok(inputs[0].clone())
+        }
+        Operator::RevealTo { columns, .. } => {
+            need(op, inputs, 1)?;
+            match columns {
+                Some(cols) => project(inputs[0], cols),
+                None => Ok(inputs[0].clone()),
+            }
+        }
+        Operator::Shuffle => {
+            need(op, inputs, 1)?;
+            // In cleartext the shuffle permutes deterministically by reversing
+            // blocks; the *oblivious* shuffle lives in `conclave-mpc`. Any
+            // permutation preserves multiset semantics.
+            let mut rel = inputs[0].clone();
+            rel.rows.reverse();
+            Ok(rel)
+        }
+        Operator::Enumerate { out } => {
+            need(op, inputs, 1)?;
+            enumerate(inputs[0], out)
+        }
+        Operator::ObliviousSelect { index_column } => {
+            need(op, inputs, 2)?;
+            select_by_index(inputs[0], inputs[1], index_column)
+        }
+        Operator::Merge { column, ascending } => {
+            if inputs.is_empty() {
+                return Err(EngineError::Arity {
+                    op: "merge".into(),
+                    expected: ">=1".into(),
+                    got: 0,
+                });
+            }
+            merge_sorted(inputs, column, *ascending)
+        }
+        Operator::HybridJoin { .. }
+        | Operator::PublicJoin { .. }
+        | Operator::HybridAggregate { .. } => {
+            Err(EngineError::Unsupported(op.name().to_string()))
+        }
+    }
+}
+
+fn out_schema(op: &Operator, inputs: &[&Relation]) -> Schema {
+    let schemas: Vec<Schema> = inputs.iter().map(|r| r.schema.clone()).collect();
+    op.output_schema(&schemas)
+        .unwrap_or_else(|_| inputs[0].schema.clone())
+}
+
+fn project(rel: &Relation, columns: &[String]) -> EngineResult<Relation> {
+    let idxs: Vec<usize> = columns
+        .iter()
+        .map(|c| col_idx(rel, c))
+        .collect::<EngineResult<_>>()?;
+    let op = Operator::Project {
+        columns: columns.to_vec(),
+    };
+    let schema = out_schema(&op, &[rel]);
+    let rows = rel
+        .rows
+        .iter()
+        .map(|r| idxs.iter().map(|&i| r[i].clone()).collect())
+        .collect();
+    Ok(Relation { schema, rows })
+}
+
+fn filter(rel: &Relation, predicate: &Expr) -> EngineResult<Relation> {
+    let mut rows = Vec::new();
+    for row in &rel.rows {
+        let v = predicate
+            .eval(&rel.schema, row)
+            .map_err(|e| EngineError::Eval(e.to_string()))?;
+        if v.as_bool().unwrap_or(false) {
+            rows.push(row.clone());
+        }
+    }
+    Ok(Relation {
+        schema: rel.schema.clone(),
+        rows,
+    })
+}
+
+/// Hash equi-join (inner).
+fn join(
+    left: &Relation,
+    right: &Relation,
+    left_keys: &[String],
+    right_keys: &[String],
+) -> EngineResult<Relation> {
+    let lk: Vec<usize> = left_keys
+        .iter()
+        .map(|c| col_idx(left, c))
+        .collect::<EngineResult<_>>()?;
+    let rk: Vec<usize> = right_keys
+        .iter()
+        .map(|c| col_idx(right, c))
+        .collect::<EngineResult<_>>()?;
+    let op = Operator::Join {
+        left_keys: left_keys.to_vec(),
+        right_keys: right_keys.to_vec(),
+        kind: conclave_ir::ops::JoinKind::Inner,
+    };
+    let schema = out_schema(&op, &[left, right]);
+
+    // Build hash table on the right side.
+    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    for (i, row) in right.rows.iter().enumerate() {
+        let key: Vec<Value> = rk.iter().map(|&c| row[c].clone()).collect();
+        table.entry(key).or_default().push(i);
+    }
+    let right_keep: Vec<usize> = (0..right.num_cols()).filter(|i| !rk.contains(i)).collect();
+
+    let mut rows = Vec::new();
+    for lrow in &left.rows {
+        let key: Vec<Value> = lk.iter().map(|&c| lrow[c].clone()).collect();
+        if let Some(matches) = table.get(&key) {
+            for &ri in matches {
+                let mut out = lrow.clone();
+                for &c in &right_keep {
+                    out.push(right.rows[ri][c].clone());
+                }
+                rows.push(out);
+            }
+        }
+    }
+    Ok(Relation { schema, rows })
+}
+
+fn aggregate(
+    rel: &Relation,
+    group_by: &[String],
+    func: AggFunc,
+    over: Option<&str>,
+    out: &str,
+) -> EngineResult<Relation> {
+    let key_cols: Vec<usize> = group_by
+        .iter()
+        .map(|c| col_idx(rel, c))
+        .collect::<EngineResult<_>>()?;
+    let over_col = match over {
+        Some(o) => Some(col_idx(rel, o)?),
+        None => {
+            if func.needs_over() {
+                return Err(EngineError::Eval(format!("{func} requires an over column")));
+            }
+            None
+        }
+    };
+    let op = Operator::Aggregate {
+        group_by: group_by.to_vec(),
+        func,
+        over: over.map(|s| s.to_string()),
+        out: out.to_string(),
+    };
+    let schema = out_schema(&op, &[rel]);
+
+    let groups = if key_cols.is_empty() {
+        vec![(Vec::new(), (0..rel.num_rows()).collect::<Vec<_>>())]
+    } else {
+        rel.group_indices(&key_cols)
+    };
+
+    let mut rows = Vec::new();
+    for (key, idxs) in groups {
+        let agg_value = match func {
+            AggFunc::Count => Value::Int(idxs.len() as i64),
+            AggFunc::Sum => {
+                let c = over_col.expect("checked above");
+                let mut acc = Value::Int(0);
+                for &i in &idxs {
+                    acc = acc.add(&rel.rows[i][c]);
+                }
+                acc
+            }
+            AggFunc::Min => {
+                let c = over_col.expect("checked above");
+                idxs.iter()
+                    .map(|&i| rel.rows[i][c].clone())
+                    .min()
+                    .unwrap_or(Value::Null)
+            }
+            AggFunc::Max => {
+                let c = over_col.expect("checked above");
+                idxs.iter()
+                    .map(|&i| rel.rows[i][c].clone())
+                    .max()
+                    .unwrap_or(Value::Null)
+            }
+        };
+        let mut row = key;
+        row.push(agg_value);
+        rows.push(row);
+    }
+    // A scalar aggregate over an empty relation still yields one row (the
+    // additive identity), matching SQL's SUM semantics under COALESCE and the
+    // behaviour the downstream HHI computation expects.
+    if rows.is_empty() && key_cols.is_empty() {
+        rows.push(vec![match func {
+            AggFunc::Count => Value::Int(0),
+            AggFunc::Sum => Value::Int(0),
+            _ => Value::Null,
+        }]);
+    }
+    Ok(Relation { schema, rows })
+}
+
+fn operand_value(rel: &Relation, row: &[Value], operand: &Operand) -> EngineResult<Value> {
+    match operand {
+        Operand::Col(c) => {
+            let idx = col_idx(rel, c)?;
+            Ok(row[idx].clone())
+        }
+        Operand::Lit(v) => Ok(v.clone()),
+    }
+}
+
+fn multiply(rel: &Relation, out: &str, operands: &[Operand]) -> EngineResult<Relation> {
+    let op = Operator::Multiply {
+        out: out.to_string(),
+        operands: operands.to_vec(),
+    };
+    let schema = out_schema(&op, &[rel]);
+    let replace_idx = rel.col_index(out);
+    let mut rows = Vec::with_capacity(rel.num_rows());
+    for row in &rel.rows {
+        let mut acc = Value::Int(1);
+        for o in operands {
+            acc = acc.mul(&operand_value(rel, row, o)?);
+        }
+        let mut new_row = row.clone();
+        match replace_idx {
+            Some(i) => new_row[i] = acc,
+            None => new_row.push(acc),
+        }
+        rows.push(new_row);
+    }
+    Ok(Relation { schema, rows })
+}
+
+fn divide(rel: &Relation, out: &str, num: &Operand, den: &Operand) -> EngineResult<Relation> {
+    let op = Operator::Divide {
+        out: out.to_string(),
+        num: num.clone(),
+        den: den.clone(),
+    };
+    let schema = out_schema(&op, &[rel]);
+    let replace_idx = rel.col_index(out);
+    let mut rows = Vec::with_capacity(rel.num_rows());
+    for row in &rel.rows {
+        let n = operand_value(rel, row, num)?;
+        let d = operand_value(rel, row, den)?;
+        let v = n.div(&d);
+        let mut new_row = row.clone();
+        match replace_idx {
+            Some(i) => new_row[i] = v,
+            None => new_row.push(v),
+        }
+        rows.push(new_row);
+    }
+    Ok(Relation { schema, rows })
+}
+
+fn distinct(rel: &Relation, columns: &[String]) -> EngineResult<Relation> {
+    let proj = project(rel, columns)?;
+    let mut seen = std::collections::HashSet::new();
+    let mut rows = Vec::new();
+    for row in proj.rows {
+        if seen.insert(row.clone()) {
+            rows.push(row);
+        }
+    }
+    Ok(Relation {
+        schema: proj.schema,
+        rows,
+    })
+}
+
+fn distinct_count(rel: &Relation, column: &str, out: &str) -> EngineResult<Relation> {
+    let idx = col_idx(rel, column)?;
+    let mut seen = std::collections::HashSet::new();
+    for row in &rel.rows {
+        seen.insert(row[idx].clone());
+    }
+    let op = Operator::DistinctCount {
+        column: column.to_string(),
+        out: out.to_string(),
+    };
+    let schema = out_schema(&op, &[rel]);
+    Ok(Relation {
+        schema,
+        rows: vec![vec![Value::Int(seen.len() as i64)]],
+    })
+}
+
+fn enumerate(rel: &Relation, out: &str) -> EngineResult<Relation> {
+    let op = Operator::Enumerate {
+        out: out.to_string(),
+    };
+    let schema = out_schema(&op, &[rel]);
+    let rows = rel
+        .rows
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let mut row = r.clone();
+            row.push(Value::Int(i as i64));
+            row
+        })
+        .collect();
+    Ok(Relation { schema, rows })
+}
+
+fn select_by_index(
+    data: &Relation,
+    indexes: &Relation,
+    index_column: &str,
+) -> EngineResult<Relation> {
+    let idx_col = col_idx(indexes, index_column)?;
+    let mut rows = Vec::with_capacity(indexes.num_rows());
+    for row in &indexes.rows {
+        let i = row[idx_col]
+            .as_int()
+            .ok_or_else(|| EngineError::Eval("non-integer index".to_string()))?;
+        let i = usize::try_from(i).map_err(|_| EngineError::Eval("negative index".to_string()))?;
+        let data_row = data
+            .rows
+            .get(i)
+            .ok_or_else(|| EngineError::Eval(format!("index {i} out of bounds")))?;
+        rows.push(data_row.clone());
+    }
+    Ok(Relation {
+        schema: data.schema.clone(),
+        rows,
+    })
+}
+
+fn merge_sorted(inputs: &[&Relation], column: &str, ascending: bool) -> EngineResult<Relation> {
+    let parts: Vec<Relation> = inputs.iter().map(|r| (*r).clone()).collect();
+    let mut merged = Relation::concat(&parts).map_err(EngineError::Eval)?;
+    merged
+        .sort_by_column(column, ascending)
+        .map_err(EngineError::Eval)?;
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conclave_ir::expr::Expr;
+    use conclave_ir::party::PartySet;
+
+    fn sales() -> Relation {
+        Relation::from_ints(
+            &["companyID", "price"],
+            &[
+                vec![1, 10],
+                vec![2, 5],
+                vec![1, 20],
+                vec![3, 7],
+                vec![2, 5],
+            ],
+        )
+    }
+
+    #[test]
+    fn concat_appends_rows() {
+        let a = sales();
+        let b = sales();
+        let out = execute(&Operator::Concat, &[&a, &b]).unwrap();
+        assert_eq!(out.num_rows(), 10);
+        assert!(execute(&Operator::Concat, &[]).is_err());
+    }
+
+    #[test]
+    fn project_selects_and_reorders() {
+        let r = sales();
+        let out = execute(
+            &Operator::Project {
+                columns: vec!["price".into(), "companyID".into()],
+            },
+            &[&r],
+        )
+        .unwrap();
+        assert_eq!(out.schema.names(), vec!["price", "companyID"]);
+        assert_eq!(out.rows[0], vec![Value::Int(10), Value::Int(1)]);
+        assert!(execute(
+            &Operator::Project {
+                columns: vec!["zzz".into()]
+            },
+            &[&r]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn filter_drops_rows() {
+        let r = sales();
+        let out = execute(
+            &Operator::Filter {
+                predicate: Expr::col("price").gt(Expr::lit(6)),
+            },
+            &[&r],
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 3);
+    }
+
+    #[test]
+    fn join_matches_keys_and_drops_right_key() {
+        let left = Relation::from_ints(&["ssn", "zip"], &[vec![1, 100], vec![2, 200], vec![3, 300]]);
+        let right = Relation::from_ints(&["ssn", "score"], &[vec![2, 700], vec![3, 650], vec![3, 660], vec![9, 1]]);
+        let out = execute(
+            &Operator::Join {
+                left_keys: vec!["ssn".into()],
+                right_keys: vec!["ssn".into()],
+                kind: conclave_ir::ops::JoinKind::Inner,
+            },
+            &[&left, &right],
+        )
+        .unwrap();
+        assert_eq!(out.schema.names(), vec!["ssn", "zip", "score"]);
+        assert_eq!(out.num_rows(), 3);
+        let ssns: Vec<i64> = out.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(ssns, vec![2, 3, 3]);
+    }
+
+    #[test]
+    fn grouped_aggregates() {
+        let r = sales();
+        let sum = execute(
+            &Operator::Aggregate {
+                group_by: vec!["companyID".into()],
+                func: AggFunc::Sum,
+                over: Some("price".into()),
+                out: "rev".into(),
+            },
+            &[&r],
+        )
+        .unwrap();
+        assert_eq!(sum.num_rows(), 3);
+        let rev: HashMap<i64, i64> = sum
+            .rows
+            .iter()
+            .map(|row| (row[0].as_int().unwrap(), row[1].as_int().unwrap()))
+            .collect();
+        assert_eq!(rev[&1], 30);
+        assert_eq!(rev[&2], 10);
+        assert_eq!(rev[&3], 7);
+
+        let count = execute(
+            &Operator::Aggregate {
+                group_by: vec!["companyID".into()],
+                func: AggFunc::Count,
+                over: None,
+                out: "n".into(),
+            },
+            &[&r],
+        )
+        .unwrap();
+        let n: HashMap<i64, i64> = count
+            .rows
+            .iter()
+            .map(|row| (row[0].as_int().unwrap(), row[1].as_int().unwrap()))
+            .collect();
+        assert_eq!(n[&2], 2);
+
+        let min = execute(
+            &Operator::Aggregate {
+                group_by: vec![],
+                func: AggFunc::Min,
+                over: Some("price".into()),
+                out: "m".into(),
+            },
+            &[&r],
+        )
+        .unwrap();
+        assert_eq!(min.scalar(), Some(&Value::Int(5)));
+        let max = execute(
+            &Operator::Aggregate {
+                group_by: vec![],
+                func: AggFunc::Max,
+                over: Some("price".into()),
+                out: "m".into(),
+            },
+            &[&r],
+        )
+        .unwrap();
+        assert_eq!(max.scalar(), Some(&Value::Int(20)));
+    }
+
+    #[test]
+    fn scalar_sum_of_empty_relation_is_zero() {
+        let r = Relation::from_ints(&["v"], &[]);
+        let out = execute(
+            &Operator::Aggregate {
+                group_by: vec![],
+                func: AggFunc::Sum,
+                over: Some("v".into()),
+                out: "t".into(),
+            },
+            &[&r],
+        )
+        .unwrap();
+        assert_eq!(out.scalar(), Some(&Value::Int(0)));
+    }
+
+    #[test]
+    fn multiply_and_divide_append_or_replace() {
+        let r = sales();
+        let sq = execute(
+            &Operator::Multiply {
+                out: "p2".into(),
+                operands: vec![Operand::col("price"), Operand::col("price")],
+            },
+            &[&r],
+        )
+        .unwrap();
+        assert_eq!(sq.rows[0][2], Value::Int(100));
+        // Replacing an existing column.
+        let scaled = execute(
+            &Operator::Multiply {
+                out: "price".into(),
+                operands: vec![Operand::col("price"), Operand::lit(2)],
+            },
+            &[&r],
+        )
+        .unwrap();
+        assert_eq!(scaled.rows[0][1], Value::Int(20));
+        assert_eq!(scaled.num_cols(), 2);
+
+        let div = execute(
+            &Operator::Divide {
+                out: "ratio".into(),
+                num: Operand::col("price"),
+                den: Operand::lit(4),
+            },
+            &[&r],
+        )
+        .unwrap();
+        assert_eq!(div.rows[0][2], Value::Float(2.5));
+    }
+
+    #[test]
+    fn sort_limit_distinct() {
+        let r = sales();
+        let sorted = execute(
+            &Operator::SortBy {
+                column: "price".into(),
+                ascending: false,
+            },
+            &[&r],
+        )
+        .unwrap();
+        assert_eq!(sorted.rows[0][1], Value::Int(20));
+        let limited = execute(&Operator::Limit { n: 2 }, &[&sorted]).unwrap();
+        assert_eq!(limited.num_rows(), 2);
+        let d = execute(
+            &Operator::Distinct {
+                columns: vec!["companyID".into()],
+            },
+            &[&r],
+        )
+        .unwrap();
+        assert_eq!(d.num_rows(), 3);
+        let dc = execute(
+            &Operator::DistinctCount {
+                column: "price".into(),
+                out: "n".into(),
+            },
+            &[&r],
+        )
+        .unwrap();
+        assert_eq!(dc.scalar(), Some(&Value::Int(4)));
+    }
+
+    #[test]
+    fn enumerate_and_select_round_trip() {
+        let r = sales();
+        let idx = execute(&Operator::Enumerate { out: "idx".into() }, &[&r]).unwrap();
+        assert_eq!(idx.rows[3][2], Value::Int(3));
+        let indexes = Relation::from_ints(&["idx"], &[vec![4], vec![0]]);
+        let sel = execute(
+            &Operator::ObliviousSelect {
+                index_column: "idx".into(),
+            },
+            &[&r, &indexes],
+        )
+        .unwrap();
+        assert_eq!(sel.num_rows(), 2);
+        assert_eq!(sel.rows[0], r.rows[4]);
+        assert_eq!(sel.rows[1], r.rows[0]);
+        // Out-of-bounds and negative indexes error.
+        let bad = Relation::from_ints(&["idx"], &[vec![99]]);
+        assert!(execute(
+            &Operator::ObliviousSelect {
+                index_column: "idx".into()
+            },
+            &[&r, &bad]
+        )
+        .is_err());
+        let neg = Relation::from_ints(&["idx"], &[vec![-1]]);
+        assert!(execute(
+            &Operator::ObliviousSelect {
+                index_column: "idx".into()
+            },
+            &[&r, &neg]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn merge_produces_sorted_output() {
+        let mut a = Relation::from_ints(&["k"], &[vec![1], vec![5], vec![9]]);
+        let b = Relation::from_ints(&["k"], &[vec![2], vec![6]]);
+        a.sort_by_column("k", true).unwrap();
+        let out = execute(
+            &Operator::Merge {
+                column: "k".into(),
+                ascending: true,
+            },
+            &[&a, &b],
+        )
+        .unwrap();
+        assert!(out.is_sorted_by("k", true));
+        assert_eq!(out.num_rows(), 5);
+    }
+
+    #[test]
+    fn passthrough_operators() {
+        let r = sales();
+        for op in [
+            Operator::CloseTo,
+            Operator::Open {
+                recipients: PartySet::singleton(1),
+            },
+            Operator::Collect {
+                recipients: PartySet::singleton(1),
+            },
+        ] {
+            let out = execute(&op, &[&r]).unwrap();
+            assert_eq!(out.num_rows(), r.num_rows());
+        }
+        let revealed = execute(
+            &Operator::RevealTo {
+                party: 1,
+                columns: Some(vec!["companyID".into()]),
+            },
+            &[&r],
+        )
+        .unwrap();
+        assert_eq!(revealed.num_cols(), 1);
+        let shuffled = execute(&Operator::Shuffle, &[&r]).unwrap();
+        assert!(shuffled.same_rows_unordered(&r));
+    }
+
+    #[test]
+    fn unsupported_operators_are_rejected() {
+        let r = sales();
+        assert!(matches!(
+            execute(
+                &Operator::HybridJoin {
+                    left_keys: vec!["companyID".into()],
+                    right_keys: vec!["companyID".into()],
+                    stp: 1
+                },
+                &[&r, &r]
+            ),
+            Err(EngineError::Unsupported(_))
+        ));
+        assert!(execute(
+            &Operator::Input {
+                name: "t".into(),
+                party: 1
+            },
+            &[]
+        )
+        .is_err());
+        // Wrong arity.
+        assert!(execute(&Operator::Limit { n: 1 }, &[&r, &r]).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = EngineError::UnknownColumn("x".into());
+        assert!(e.to_string().contains('x'));
+        let e = EngineError::Arity {
+            op: "join".into(),
+            expected: "2".into(),
+            got: 1,
+        };
+        assert!(e.to_string().contains("join"));
+        assert!(EngineError::Unsupported("h".into()).to_string().contains('h'));
+        assert!(EngineError::Eval("boom".into()).to_string().contains("boom"));
+    }
+}

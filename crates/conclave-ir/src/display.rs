@@ -1,0 +1,120 @@
+//! Human-readable and Graphviz renderings of operator DAGs.
+
+use crate::dag::OpDag;
+use crate::ops::ExecSite;
+use std::fmt::Write as _;
+
+/// Renders the DAG as an indented, topologically ordered text plan.
+///
+/// Each line shows the node id, operator, execution site, owner and schema —
+/// the same information the compiler's passes reason about, which makes the
+/// output useful both for debugging rewrites and for documentation.
+pub fn render_text(dag: &OpDag) -> String {
+    let mut out = String::new();
+    let order = match dag.topo_order() {
+        Ok(o) => o,
+        Err(e) => return format!("<malformed dag: {e}>"),
+    };
+    for id in order {
+        let node = dag.node(id).expect("topo order returns live nodes");
+        let owner = match node.owner {
+            Some(p) => format!("P{p}"),
+            None => "-".to_string(),
+        };
+        let sorted = node
+            .sorted_by
+            .as_deref()
+            .map(|c| format!(" sorted_by={c}"))
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "#{:<3} {:<40} site={:<10} owner={:<4} inputs={:?}{} {}",
+            node.id,
+            node.op.to_string(),
+            node.site.to_string(),
+            owner,
+            node.inputs,
+            sorted,
+            node.schema,
+        );
+    }
+    out
+}
+
+/// Renders the DAG in Graphviz DOT format. MPC nodes are drawn as red boxes,
+/// STP nodes as blue diamonds and local cleartext nodes as green ellipses,
+/// mirroring Figure 2 of the paper.
+pub fn render_dot(dag: &OpDag) -> String {
+    let mut out = String::from("digraph conclave {\n  rankdir=BT;\n");
+    for node in dag.iter() {
+        let (shape, color) = match node.site {
+            ExecSite::Mpc => ("box", "red"),
+            ExecSite::Stp(_) => ("diamond", "blue"),
+            ExecSite::Local(_) => ("ellipse", "darkgreen"),
+            ExecSite::Undecided => ("ellipse", "gray"),
+        };
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\\n{}\", shape={}, color={}];",
+            node.id, node.op, node.site, shape, color
+        );
+        for &input in &node.inputs {
+            let _ = writeln!(out, "  n{} -> n{};", input, node.id);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::QueryBuilder;
+    use crate::ops::AggFunc;
+    use crate::party::Party;
+    use crate::schema::Schema;
+
+    fn demo_dag() -> OpDag {
+        let pa = Party::new(1, "a");
+        let pb = Party::new(2, "b");
+        let mut q = QueryBuilder::new();
+        let a = q.input("a", Schema::ints(&["k", "v"]), pa.clone());
+        let b = q.input("b", Schema::ints(&["k", "v"]), pb);
+        let c = q.concat(&[a, b]);
+        let agg = q.aggregate(c, "total", AggFunc::Sum, &["k"], "v");
+        q.collect(agg, &[pa]);
+        q.build().unwrap().dag
+    }
+
+    #[test]
+    fn text_rendering_lists_every_node() {
+        let dag = demo_dag();
+        let text = render_text(&dag);
+        assert_eq!(text.lines().count(), dag.node_count());
+        assert!(text.contains("aggregate"));
+        assert!(text.contains("concat"));
+    }
+
+    #[test]
+    fn dot_rendering_has_edges_and_nodes() {
+        let dag = demo_dag();
+        let dot = render_dot(&dag);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("->"));
+        assert!(dot.ends_with("}\n"));
+        // One node line per live node.
+        let node_lines = dot.lines().filter(|l| l.contains("[label=")).count();
+        assert_eq!(node_lines, dag.node_count());
+    }
+
+    #[test]
+    fn malformed_dag_renders_error_text() {
+        let mut dag = demo_dag();
+        // Introduce a cycle.
+        let roots = dag.roots();
+        let leaves = dag.leaves();
+        dag.node_mut(roots[0]).unwrap().inputs = vec![leaves[0]];
+        let text = render_text(&dag);
+        assert!(text.contains("malformed"));
+    }
+}

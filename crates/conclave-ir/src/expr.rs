@@ -1,0 +1,401 @@
+//! Scalar expressions used by filters and computed projections.
+
+use crate::error::{IrError, IrResult};
+use crate::schema::Schema;
+use crate::types::{DataType, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Binary operators on scalar values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (always produces a float).
+    Div,
+    /// Equality comparison.
+    Eq,
+    /// Inequality comparison.
+    Ne,
+    /// Less-than comparison.
+    Lt,
+    /// Less-or-equal comparison.
+    Le,
+    /// Greater-than comparison.
+    Gt,
+    /// Greater-or-equal comparison.
+    Ge,
+    /// Logical and.
+    And,
+    /// Logical or.
+    Or,
+}
+
+impl BinOp {
+    /// Returns `true` for comparison or logical operators (boolean result).
+    pub fn is_predicate(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::And | BinOp::Or
+        )
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A scalar expression over the columns of a single relation row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Reference to a column by name.
+    Col(String),
+    /// A literal constant.
+    Const(Value),
+    /// A binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Logical negation of a boolean expression.
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    /// Column reference.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Col(name.into())
+    }
+
+    /// Literal constant.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Const(v.into())
+    }
+
+    /// Builds a binary expression.
+    pub fn bin(op: BinOp, left: Expr, right: Expr) -> Expr {
+        Expr::Bin {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// `self == other`.
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Eq, self, other)
+    }
+
+    /// `self != other`.
+    pub fn ne(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Ne, self, other)
+    }
+
+    /// `self > other`.
+    pub fn gt(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Gt, self, other)
+    }
+
+    /// `self >= other`.
+    pub fn ge(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Ge, self, other)
+    }
+
+    /// `self < other`.
+    pub fn lt(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Lt, self, other)
+    }
+
+    /// `self <= other`.
+    pub fn le(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Le, self, other)
+    }
+
+    /// `self && other`.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::And, self, other)
+    }
+
+    /// `self || other`.
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Or, self, other)
+    }
+
+    /// `self + other`.
+    pub fn add(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Add, self, other)
+    }
+
+    /// `self - other`.
+    pub fn sub(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Sub, self, other)
+    }
+
+    /// `self * other`.
+    pub fn mul(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Mul, self, other)
+    }
+
+    /// `self / other`.
+    pub fn div(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Div, self, other)
+    }
+
+    /// Logical negation.
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// Names of all columns referenced by this expression.
+    pub fn referenced_columns(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Col(name) => out.push(name.clone()),
+            Expr::Const(_) => {}
+            Expr::Bin { left, right, .. } => {
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+            Expr::Not(inner) => inner.collect_columns(out),
+        }
+    }
+
+    /// Statically infers the result type of this expression against a schema.
+    pub fn infer_type(&self, schema: &Schema) -> IrResult<DataType> {
+        match self {
+            Expr::Col(name) => schema
+                .column(name)
+                .map(|c| c.dtype)
+                .ok_or_else(|| IrError::UnknownColumn {
+                    column: name.clone(),
+                    context: "expression".into(),
+                }),
+            Expr::Const(v) => v
+                .data_type()
+                .ok_or_else(|| IrError::TypeError("NULL literal has no type".into())),
+            Expr::Bin { op, left, right } => {
+                let lt = left.infer_type(schema)?;
+                let rt = right.infer_type(schema)?;
+                if op.is_predicate() {
+                    Ok(DataType::Bool)
+                } else if *op == BinOp::Div {
+                    Ok(DataType::Float)
+                } else if lt == DataType::Float || rt == DataType::Float {
+                    Ok(DataType::Float)
+                } else if lt == DataType::Int && rt == DataType::Int {
+                    Ok(DataType::Int)
+                } else {
+                    Err(IrError::TypeError(format!(
+                        "cannot apply {op} to {lt} and {rt}"
+                    )))
+                }
+            }
+            Expr::Not(inner) => {
+                let t = inner.infer_type(schema)?;
+                if t == DataType::Bool {
+                    Ok(DataType::Bool)
+                } else {
+                    Err(IrError::TypeError(format!("cannot negate {t}")))
+                }
+            }
+        }
+    }
+
+    /// Evaluates the expression against a row described by `schema`.
+    pub fn eval(&self, schema: &Schema, row: &[Value]) -> IrResult<Value> {
+        match self {
+            Expr::Col(name) => {
+                let idx = schema.require(name, "expression")?;
+                Ok(row[idx].clone())
+            }
+            Expr::Const(v) => Ok(v.clone()),
+            Expr::Bin { op, left, right } => {
+                let l = left.eval(schema, row)?;
+                let r = right.eval(schema, row)?;
+                Ok(apply_binop(*op, &l, &r))
+            }
+            Expr::Not(inner) => {
+                let v = inner.eval(schema, row)?;
+                Ok(match v.as_bool() {
+                    Some(b) => Value::Bool(!b),
+                    None => Value::Null,
+                })
+            }
+        }
+    }
+
+    /// Rough count of arithmetic/comparison operations in the expression,
+    /// used by MPC cost models (each non-linear op costs communication).
+    pub fn op_count(&self) -> usize {
+        match self {
+            Expr::Col(_) | Expr::Const(_) => 0,
+            Expr::Bin { left, right, .. } => 1 + left.op_count() + right.op_count(),
+            Expr::Not(inner) => 1 + inner.op_count(),
+        }
+    }
+}
+
+/// Applies a binary operator to two runtime values.
+pub fn apply_binop(op: BinOp, l: &Value, r: &Value) -> Value {
+    match op {
+        BinOp::Add => l.add(r),
+        BinOp::Sub => l.sub(r),
+        BinOp::Mul => l.mul(r),
+        BinOp::Div => l.div(r),
+        BinOp::Eq => Value::Bool(l == r),
+        BinOp::Ne => Value::Bool(l != r),
+        BinOp::Lt => Value::Bool(l < r),
+        BinOp::Le => Value::Bool(l <= r),
+        BinOp::Gt => Value::Bool(l > r),
+        BinOp::Ge => Value::Bool(l >= r),
+        BinOp::And => match (l.as_bool(), r.as_bool()) {
+            (Some(a), Some(b)) => Value::Bool(a && b),
+            _ => Value::Null,
+        },
+        BinOp::Or => match (l.as_bool(), r.as_bool()) {
+            (Some(a), Some(b)) => Value::Bool(a || b),
+            _ => Value::Null,
+        },
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Col(name) => write!(f, "{name}"),
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::Bin { op, left, right } => write!(f, "({left} {op} {right})"),
+            Expr::Not(inner) => write!(f, "!({inner})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::new("a", DataType::Int),
+            ColumnDef::new("b", DataType::Int),
+            ColumnDef::new("s", DataType::Str),
+        ])
+    }
+
+    #[test]
+    fn referenced_columns_dedup() {
+        let e = Expr::col("a").add(Expr::col("b")).mul(Expr::col("a"));
+        assert_eq!(e.referenced_columns(), vec!["a".to_string(), "b".into()]);
+    }
+
+    #[test]
+    fn eval_arithmetic_and_compare() {
+        let s = schema();
+        let row = vec![Value::Int(6), Value::Int(4), Value::Str("x".into())];
+        let e = Expr::col("a").add(Expr::col("b"));
+        assert_eq!(e.eval(&s, &row).unwrap(), Value::Int(10));
+        let e = Expr::col("a").div(Expr::col("b"));
+        assert_eq!(e.eval(&s, &row).unwrap(), Value::Float(1.5));
+        let e = Expr::col("a").gt(Expr::lit(5));
+        assert_eq!(e.eval(&s, &row).unwrap(), Value::Bool(true));
+        let e = Expr::col("a").lt(Expr::lit(5)).or(Expr::col("b").eq(Expr::lit(4)));
+        assert_eq!(e.eval(&s, &row).unwrap(), Value::Bool(true));
+        let e = Expr::col("a").ge(Expr::lit(6)).and(Expr::col("b").le(Expr::lit(3)));
+        assert_eq!(e.eval(&s, &row).unwrap(), Value::Bool(false));
+        let e = Expr::col("a").ne(Expr::lit(6)).not();
+        assert_eq!(e.eval(&s, &row).unwrap(), Value::Bool(true));
+        let e = Expr::col("a").sub(Expr::lit(1));
+        assert_eq!(e.eval(&s, &row).unwrap(), Value::Int(5));
+    }
+
+    #[test]
+    fn eval_unknown_column_errors() {
+        let s = schema();
+        let row = vec![Value::Int(1), Value::Int(2), Value::Str("x".into())];
+        assert!(Expr::col("zzz").eval(&s, &row).is_err());
+    }
+
+    #[test]
+    fn type_inference() {
+        let s = schema();
+        assert_eq!(Expr::col("a").infer_type(&s).unwrap(), DataType::Int);
+        assert_eq!(
+            Expr::col("a").add(Expr::col("b")).infer_type(&s).unwrap(),
+            DataType::Int
+        );
+        assert_eq!(
+            Expr::col("a").div(Expr::col("b")).infer_type(&s).unwrap(),
+            DataType::Float
+        );
+        assert_eq!(
+            Expr::col("a").gt(Expr::lit(1)).infer_type(&s).unwrap(),
+            DataType::Bool
+        );
+        assert_eq!(
+            Expr::lit(1.5).mul(Expr::col("a")).infer_type(&s).unwrap(),
+            DataType::Float
+        );
+        assert!(Expr::col("s").add(Expr::col("a")).infer_type(&s).is_err());
+        assert!(Expr::col("a").not().infer_type(&s).is_err());
+        assert!(Expr::col("missing").infer_type(&s).is_err());
+        assert!(Expr::Const(Value::Null).infer_type(&s).is_err());
+    }
+
+    #[test]
+    fn op_count_counts_nonlinear_ops() {
+        let e = Expr::col("a")
+            .add(Expr::col("b"))
+            .mul(Expr::lit(2))
+            .gt(Expr::lit(100));
+        assert_eq!(e.op_count(), 3);
+        assert_eq!(Expr::col("a").op_count(), 0);
+        assert_eq!(Expr::col("a").eq(Expr::lit(1)).not().op_count(), 2);
+    }
+
+    #[test]
+    fn display_round_trip_like() {
+        let e = Expr::col("a").add(Expr::lit(1)).gt(Expr::col("b"));
+        assert_eq!(e.to_string(), "((a + 1) > b)");
+        assert_eq!(BinOp::And.to_string(), "&&");
+    }
+
+    #[test]
+    fn binop_predicate_classification() {
+        assert!(BinOp::Eq.is_predicate());
+        assert!(BinOp::Or.is_predicate());
+        assert!(!BinOp::Add.is_predicate());
+        assert!(!BinOp::Div.is_predicate());
+    }
+}

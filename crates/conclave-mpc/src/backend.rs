@@ -1,0 +1,1282 @@
+//! Unified MPC backend engine.
+//!
+//! [`MpcEngine`] executes individual relational operators under a configured
+//! backend — secret sharing (Sharemind-like) or garbled circuits (Obliv-C /
+//! ObliVM-like) — over cleartext inputs, returning the result together with
+//! [`MpcStepStats`] (simulated runtime, primitive/gate counts, traffic and
+//! memory). It also provides *analytic estimators* that produce the same
+//! statistics from cardinalities alone, which the benchmark harness uses to
+//! reproduce the paper's figures at scales that cannot be executed in-process
+//! (up to 10⁹ records).
+
+use crate::cost::{GarbledCostModel, PrimitiveCounts, SecretShareCostModel};
+use crate::garbled::{gates, CircuitStats};
+use crate::oblivious;
+use crate::protocol::Protocol;
+use crate::relation::SharedRelation;
+use crate::share::Shares;
+use conclave_engine::Relation;
+use conclave_ir::expr::{BinOp, Expr};
+use conclave_ir::ops::{Operand, Operator};
+use conclave_net::NetworkModel;
+use std::fmt;
+use std::time::Duration;
+
+/// Which MPC framework the backend models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum BackendKind {
+    /// Three-party additive secret sharing (Sharemind-like).
+    SharemindLike,
+    /// Two-party garbled circuits (Obliv-C-like).
+    OblivCLike,
+    /// Two-party garbled circuits with a heavier runtime (ObliVM-like), used
+    /// for the SMCQL comparison.
+    OblivVmLike,
+}
+
+impl BackendKind {
+    /// Number of computing parties the framework supports.
+    pub fn parties(self) -> u32 {
+        match self {
+            BackendKind::SharemindLike => 3,
+            BackendKind::OblivCLike | BackendKind::OblivVmLike => 2,
+        }
+    }
+
+    /// Returns `true` for secret-sharing backends.
+    pub fn is_secret_sharing(self) -> bool {
+        matches!(self, BackendKind::SharemindLike)
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BackendKind::SharemindLike => "sharemind-like",
+            BackendKind::OblivCLike => "obliv-c-like",
+            BackendKind::OblivVmLike => "oblivm-like",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Configuration of an MPC backend instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MpcBackendConfig {
+    /// Framework being modelled.
+    pub kind: BackendKind,
+    /// Network model between the parties.
+    pub network: NetworkModel,
+    /// RNG seed for the sharing layer (determinism in tests and benches).
+    pub seed: u64,
+    /// Secret-sharing cost calibration.
+    pub ss_cost: SecretShareCostModel,
+    /// Garbled-circuit cost calibration.
+    pub gc_cost: GarbledCostModel,
+}
+
+impl MpcBackendConfig {
+    /// Default configuration for the given framework.
+    pub fn new(kind: BackendKind) -> Self {
+        let gc_cost = match kind {
+            BackendKind::OblivVmLike => GarbledCostModel::obliv_vm(),
+            _ => GarbledCostModel::obliv_c(),
+        };
+        MpcBackendConfig {
+            kind,
+            network: NetworkModel::lan(),
+            seed: 0xC0C1A7E,
+            ss_cost: SecretShareCostModel::default(),
+            gc_cost,
+        }
+    }
+
+    /// Sharemind-like defaults.
+    pub fn sharemind() -> Self {
+        Self::new(BackendKind::SharemindLike)
+    }
+
+    /// Obliv-C-like defaults.
+    pub fn obliv_c() -> Self {
+        Self::new(BackendKind::OblivCLike)
+    }
+
+    /// ObliVM-like defaults.
+    pub fn obliv_vm() -> Self {
+        Self::new(BackendKind::OblivVmLike)
+    }
+}
+
+impl Default for MpcBackendConfig {
+    fn default() -> Self {
+        MpcBackendConfig::sharemind()
+    }
+}
+
+/// Statistics for one MPC step (one operator, or one whole MPC job).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MpcStepStats {
+    /// Simulated wall-clock time of the step.
+    pub simulated_time: Duration,
+    /// Secret-sharing primitive counts (zero for garbled-circuit backends).
+    pub counts: PrimitiveCounts,
+    /// Garbled-circuit gate counts (zero for secret-sharing backends).
+    pub circuit: CircuitStats,
+    /// Peak additional memory the step needs, in bytes (garbled backends).
+    pub memory_bytes: f64,
+    /// Total input rows processed.
+    pub input_rows: u64,
+    /// Output rows produced.
+    pub output_rows: u64,
+}
+
+impl MpcStepStats {
+    /// Merges another step's statistics (times add; the memory peak is the max).
+    pub fn merge(&mut self, other: &MpcStepStats) {
+        self.simulated_time += other.simulated_time;
+        self.counts.merge(&other.counts);
+        self.circuit.merge(&other.circuit);
+        self.memory_bytes = self.memory_bytes.max(other.memory_bytes);
+        self.input_rows += other.input_rows;
+        self.output_rows = other.output_rows;
+    }
+}
+
+/// Errors from the MPC engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MpcError {
+    /// The operator is not executable under this backend.
+    Unsupported(String),
+    /// The garbled-circuit backend exceeded its memory limit (the OOM cliffs
+    /// of Figure 1).
+    OutOfMemory {
+        /// Bytes the computation would need.
+        needed: f64,
+        /// The backend's limit.
+        limit: f64,
+    },
+    /// Execution failed (bad column, arity, etc.).
+    Exec(String),
+}
+
+impl fmt::Display for MpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpcError::Unsupported(s) => write!(f, "unsupported under MPC: {s}"),
+            MpcError::OutOfMemory { needed, limit } => write!(
+                f,
+                "garbled-circuit backend out of memory: needs {:.1} GB, limit {:.1} GB",
+                needed / 1e9,
+                limit / 1e9
+            ),
+            MpcError::Exec(s) => write!(f, "MPC execution failed: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for MpcError {}
+
+/// Result alias for MPC operations.
+pub type MpcResult<T> = Result<T, MpcError>;
+
+/// Executes relational operators under a simulated MPC backend.
+#[derive(Debug)]
+pub struct MpcEngine {
+    config: MpcBackendConfig,
+    proto: Protocol,
+}
+
+impl MpcEngine {
+    /// Creates an engine for the given configuration.
+    pub fn new(config: MpcBackendConfig) -> Self {
+        let proto = Protocol::new(config.kind.parties() as usize, config.seed);
+        MpcEngine { config, proto }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &MpcBackendConfig {
+        &self.config
+    }
+
+    /// Mutable access to the underlying secret-sharing protocol (used by the
+    /// driver to run hybrid protocols that interleave MPC and STP steps).
+    pub fn protocol(&mut self) -> &mut Protocol {
+        &mut self.proto
+    }
+
+    /// Secret-shares a cleartext relation into the engine.
+    pub fn share(&mut self, rel: &Relation) -> MpcResult<SharedRelation> {
+        SharedRelation::from_relation(rel, &mut self.proto).map_err(MpcError::Exec)
+    }
+
+    /// Opens a shared relation back to cleartext.
+    pub fn reconstruct(&mut self, rel: &SharedRelation) -> Relation {
+        rel.reconstruct(&mut self.proto)
+    }
+
+    /// Converts the protocol's current primitive counters into step stats and
+    /// resets them.
+    pub fn drain_stats(&mut self, input_rows: u64, output_rows: u64) -> MpcStepStats {
+        let counts = self.proto.counts();
+        self.proto.reset_counts();
+        MpcStepStats {
+            simulated_time: self
+                .config
+                .ss_cost
+                .time_no_overhead(&counts, &self.config.network),
+            counts,
+            circuit: CircuitStats::default(),
+            memory_bytes: 0.0,
+            input_rows,
+            output_rows,
+        }
+    }
+
+    /// Executes one operator on cleartext inputs: shares them, runs the
+    /// oblivious protocol, reconstructs the result, and reports statistics
+    /// (including the sharing/opening cost, as a standalone MPC job would pay).
+    pub fn execute_op(
+        &mut self,
+        op: &Operator,
+        inputs: &[&Relation],
+    ) -> MpcResult<(Relation, MpcStepStats)> {
+        let input_rows: u64 = inputs.iter().map(|r| r.num_rows() as u64).sum();
+        match self.config.kind {
+            BackendKind::SharemindLike => {
+                self.proto.reset_counts();
+                let shared_inputs: Vec<SharedRelation> = inputs
+                    .iter()
+                    .map(|r| self.share(r))
+                    .collect::<MpcResult<_>>()?;
+                let refs: Vec<&SharedRelation> = shared_inputs.iter().collect();
+                let shared_out = self.execute_shared(op, &refs)?;
+                let out = self.reconstruct(&shared_out);
+                let mut stats = self.drain_stats(input_rows, out.num_rows() as u64);
+                stats.simulated_time += Duration::from_secs_f64(self.config.ss_cost.job_overhead);
+                Ok((out, stats))
+            }
+            BackendKind::OblivCLike | BackendKind::OblivVmLike => {
+                self.execute_garbled(op, inputs, input_rows)
+            }
+        }
+    }
+
+    /// Executes one operator over already-shared relations (secret-sharing
+    /// backends only). Statistics accumulate in the protocol counters; call
+    /// [`MpcEngine::drain_stats`] to collect them.
+    pub fn execute_shared(
+        &mut self,
+        op: &Operator,
+        inputs: &[&SharedRelation],
+    ) -> MpcResult<SharedRelation> {
+        if !self.config.kind.is_secret_sharing() {
+            return Err(MpcError::Unsupported(
+                "execute_shared requires a secret-sharing backend".into(),
+            ));
+        }
+        let need = |n: usize| -> MpcResult<()> {
+            if inputs.len() == n {
+                Ok(())
+            } else {
+                Err(MpcError::Exec(format!(
+                    "{} expects {n} inputs, got {}",
+                    op.name(),
+                    inputs.len()
+                )))
+            }
+        };
+        let proto = &mut self.proto;
+        match op {
+            Operator::Project { columns } => {
+                need(1)?;
+                inputs[0].project(columns).map_err(MpcError::Exec)
+            }
+            Operator::Concat => {
+                let parts: Vec<SharedRelation> = inputs.iter().map(|r| (*r).clone()).collect();
+                SharedRelation::concat(&parts).map_err(MpcError::Exec)
+            }
+            Operator::Filter { predicate } => {
+                need(1)?;
+                oblivious_filter(inputs[0], predicate, proto)
+            }
+            Operator::Join {
+                left_keys,
+                right_keys,
+                ..
+            } => {
+                need(2)?;
+                oblivious::cartesian_join(inputs[0], inputs[1], left_keys, right_keys, proto)
+                    .map_err(MpcError::Exec)
+            }
+            Operator::Aggregate {
+                group_by,
+                func,
+                over,
+                out,
+            } => {
+                need(1)?;
+                if group_by.len() > 1 {
+                    return Err(MpcError::Unsupported(
+                        "multi-column group-by under MPC".into(),
+                    ));
+                }
+                let sorted = if let Some(key) = group_by.first() {
+                    oblivious::sort_by(inputs[0], key, true, proto).map_err(MpcError::Exec)?
+                } else {
+                    inputs[0].clone()
+                };
+                oblivious::aggregate_sorted(&sorted, group_by, *func, over.as_deref(), out, proto)
+                    .map_err(MpcError::Exec)
+            }
+            Operator::Multiply { out, operands } => {
+                need(1)?;
+                mpc_multiply(inputs[0], out, operands, proto)
+            }
+            Operator::SortBy { column, ascending } => {
+                need(1)?;
+                oblivious::sort_by(inputs[0], column, *ascending, proto).map_err(MpcError::Exec)
+            }
+            Operator::Merge { column, ascending } => {
+                let parts: Vec<SharedRelation> = inputs.iter().map(|r| (*r).clone()).collect();
+                oblivious::merge_sorted(&parts, column, *ascending, proto).map_err(MpcError::Exec)
+            }
+            Operator::Limit { n } => {
+                need(1)?;
+                let mut rel = inputs[0].clone();
+                rel.rows.truncate(*n);
+                Ok(rel)
+            }
+            Operator::Shuffle => {
+                need(1)?;
+                Ok(oblivious::shuffle(inputs[0], proto))
+            }
+            Operator::Enumerate { out } => {
+                need(1)?;
+                let mut schema = inputs[0].schema.clone();
+                schema
+                    .push(conclave_ir::schema::ColumnDef::new(
+                        out,
+                        conclave_ir::types::DataType::Int,
+                    ))
+                    .map_err(|e| MpcError::Exec(e.to_string()))?;
+                let rows = inputs[0]
+                    .rows
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| {
+                        let mut row = r.clone();
+                        row.push(proto.constant(i as i64));
+                        row
+                    })
+                    .collect();
+                Ok(SharedRelation { schema, rows })
+            }
+            Operator::ObliviousSelect { index_column } => {
+                need(2)?;
+                oblivious::oblivious_select(inputs[0], inputs[1], index_column, proto)
+                    .map_err(MpcError::Exec)
+            }
+            Operator::Distinct { columns } => {
+                need(1)?;
+                let proj = inputs[0].project(columns).map_err(MpcError::Exec)?;
+                let key = columns
+                    .first()
+                    .ok_or_else(|| MpcError::Exec("distinct needs columns".into()))?;
+                let sorted = oblivious::sort_by(&proj, key, true, proto).map_err(MpcError::Exec)?;
+                distinct_sorted(&sorted, proto)
+            }
+            Operator::DistinctCount { column, out } => {
+                need(1)?;
+                let proj = inputs[0]
+                    .project(&[column.clone()])
+                    .map_err(MpcError::Exec)?;
+                let sorted =
+                    oblivious::sort_by(&proj, column, true, proto).map_err(MpcError::Exec)?;
+                let distinct = distinct_sorted(&sorted, proto)?;
+                let n = distinct.num_rows() as i64;
+                let schema = conclave_ir::schema::Schema::new(vec![
+                    conclave_ir::schema::ColumnDef::new(out, conclave_ir::types::DataType::Int),
+                ]);
+                Ok(SharedRelation {
+                    schema,
+                    rows: vec![vec![proto.constant(n)]],
+                })
+            }
+            Operator::RevealTo { .. }
+            | Operator::Open { .. }
+            | Operator::CloseTo
+            | Operator::Collect { .. } => {
+                need(1)?;
+                Ok(inputs[0].clone())
+            }
+            Operator::Divide { .. } => Err(MpcError::Unsupported(
+                "division under MPC; Conclave pushes divisions out of the MPC frontier".into(),
+            )),
+            Operator::Input { .. } => Err(MpcError::Unsupported("input binding".into())),
+            Operator::HybridJoin { .. }
+            | Operator::PublicJoin { .. }
+            | Operator::HybridAggregate { .. } => Err(MpcError::Unsupported(format!(
+                "{} is a multi-site protocol orchestrated by the driver",
+                op.name()
+            ))),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Garbled-circuit execution (gate counting + memory model).
+    // ------------------------------------------------------------------
+
+    fn execute_garbled(
+        &mut self,
+        op: &Operator,
+        inputs: &[&Relation],
+        input_rows: u64,
+    ) -> MpcResult<(Relation, MpcStepStats)> {
+        let cols: u64 = inputs.iter().map(|r| r.num_cols() as u64).max().unwrap_or(1);
+        let (and_gates, memory) = self.garbled_cost_of(op, inputs)?;
+        if self.config.gc_cost.exceeds_memory(memory) {
+            return Err(MpcError::OutOfMemory {
+                needed: memory,
+                limit: self.config.gc_cost.memory_limit_bytes,
+            });
+        }
+        let out = conclave_engine::execute(op, inputs)
+            .map_err(|e| MpcError::Exec(e.to_string()))?;
+        let circuit = CircuitStats {
+            and_gates,
+            xor_gates: and_gates * 2,
+            input_wires: input_rows * cols * 64,
+            output_wires: out.num_rows() as u64 * out.num_cols() as u64 * 64,
+        };
+        let stats = MpcStepStats {
+            simulated_time: self.config.gc_cost.time(and_gates, &self.config.network),
+            counts: PrimitiveCounts::default(),
+            circuit,
+            memory_bytes: memory,
+            input_rows,
+            output_rows: out.num_rows() as u64,
+        };
+        Ok((out, stats))
+    }
+
+    /// Gate count and memory footprint of an operator under garbled circuits.
+    fn garbled_cost_of(&self, op: &Operator, inputs: &[&Relation]) -> MpcResult<(u64, f64)> {
+        let rows: Vec<u64> = inputs.iter().map(|r| r.num_rows() as u64).collect();
+        let widths: Vec<u64> = inputs.iter().map(|r| r.num_cols() as u64).collect();
+        let total_rows: u64 = rows.iter().sum();
+        let per_record = self.config.gc_cost.state_bytes_per_record;
+        Ok(match op {
+            Operator::Join { left_keys, .. } => {
+                let n = rows.first().copied().unwrap_or(0);
+                let m = rows.get(1).copied().unwrap_or(0);
+                let w = widths.iter().sum::<u64>();
+                (
+                    gates::join(n, m, left_keys.len() as u64, w),
+                    total_rows as f64 * per_record * 10.0,
+                )
+            }
+            Operator::Aggregate { group_by, .. } => (
+                gates::aggregate(total_rows, group_by.len() as u64),
+                total_rows as f64 * per_record * 3.0,
+            ),
+            Operator::Distinct { .. } | Operator::DistinctCount { .. } | Operator::SortBy { .. } => (
+                gates::distinct(total_rows),
+                total_rows as f64 * per_record * 3.0,
+            ),
+            Operator::Filter { predicate } => (
+                total_rows * predicate.op_count() as u64 * 64,
+                total_rows as f64 * per_record,
+            ),
+            Operator::Multiply { operands, .. } => (
+                total_rows * operands.len().saturating_sub(1) as u64 * 64 * 64,
+                total_rows as f64 * per_record,
+            ),
+            _ => (
+                gates::project(total_rows, widths.iter().copied().max().unwrap_or(1)),
+                total_rows as f64 * per_record,
+            ),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Analytic estimators (for paper-scale cardinalities).
+    // ------------------------------------------------------------------
+
+    /// Estimates the cost of secret-sharing `rows × cols` elements into the MPC.
+    pub fn estimate_input(&self, rows: u64, cols: u64) -> MpcStepStats {
+        let counts = PrimitiveCounts {
+            input_elems: rows * cols,
+            ..Default::default()
+        };
+        self.stats_from_counts(counts, rows, rows)
+    }
+
+    /// Estimates the cost of opening `rows × cols` elements out of the MPC.
+    pub fn estimate_open(&self, rows: u64, cols: u64) -> MpcStepStats {
+        let counts = PrimitiveCounts {
+            opened_elems: rows * cols,
+            ..Default::default()
+        };
+        self.stats_from_counts(counts, rows, rows)
+    }
+
+    /// Estimates the cost of one operator from cardinalities alone.
+    ///
+    /// `input_rows`/`input_cols` describe each input; `output_rows` is the
+    /// (estimated) result cardinality. The same primitive-count formulas as
+    /// the real execution path are used, so estimates and measurements agree
+    /// asymptotically.
+    pub fn estimate_op(
+        &self,
+        op: &Operator,
+        input_rows: &[u64],
+        input_cols: &[u64],
+        output_rows: u64,
+    ) -> MpcResult<MpcStepStats> {
+        let n: u64 = input_rows.iter().sum();
+        let cols: u64 = input_cols.iter().copied().max().unwrap_or(1);
+        match self.config.kind {
+            BackendKind::SharemindLike => {
+                let counts = match op {
+                    Operator::Join { left_keys, .. } => PrimitiveCounts {
+                        equalities: input_rows.first().copied().unwrap_or(0)
+                            * input_rows.get(1).copied().unwrap_or(0)
+                            * left_keys.len() as u64,
+                        ..Default::default()
+                    },
+                    Operator::Aggregate { group_by, .. } => {
+                        let mut c = sort_counts(n, cols);
+                        if group_by.is_empty() {
+                            c = PrimitiveCounts::default();
+                        }
+                        c.merge(&PrimitiveCounts {
+                            equalities: n,
+                            mults: 2 * n,
+                            shuffled_elems: n * (cols + 1),
+                            opened_elems: n,
+                            ..Default::default()
+                        });
+                        c
+                    }
+                    Operator::SortBy { .. } | Operator::Distinct { .. } | Operator::DistinctCount { .. } => {
+                        let mut c = sort_counts(n, cols);
+                        c.merge(&PrimitiveCounts {
+                            equalities: n,
+                            opened_elems: n,
+                            ..Default::default()
+                        });
+                        c
+                    }
+                    Operator::Merge { .. } => PrimitiveCounts {
+                        comparisons: n * log2(n),
+                        mults: 2 * n * log2(n) * cols,
+                        ..Default::default()
+                    },
+                    Operator::Filter { predicate } => PrimitiveCounts {
+                        comparisons: n * predicate.op_count() as u64,
+                        shuffled_elems: n * cols,
+                        opened_elems: n,
+                        ..Default::default()
+                    },
+                    Operator::Multiply { operands, .. } => PrimitiveCounts {
+                        mults: n * operands.len().saturating_sub(1) as u64,
+                        ..Default::default()
+                    },
+                    Operator::Shuffle => PrimitiveCounts {
+                        shuffled_elems: n * cols,
+                        ..Default::default()
+                    },
+                    Operator::ObliviousSelect { .. } => PrimitiveCounts {
+                        mults: (n + output_rows) * log2(n + output_rows) * cols,
+                        ..Default::default()
+                    },
+                    Operator::Project { .. }
+                    | Operator::Concat
+                    | Operator::Limit { .. }
+                    | Operator::Enumerate { .. }
+                    | Operator::RevealTo { .. }
+                    | Operator::CloseTo
+                    | Operator::Open { .. }
+                    | Operator::Collect { .. } => PrimitiveCounts::default(),
+                    Operator::HybridJoin { .. } => {
+                        return Ok(self.estimate_hybrid_join(
+                            input_rows.first().copied().unwrap_or(0),
+                            input_rows.get(1).copied().unwrap_or(0),
+                            output_rows,
+                            cols,
+                        ))
+                    }
+                    Operator::HybridAggregate { .. } => {
+                        return Ok(self.estimate_hybrid_aggregate(n, output_rows, cols))
+                    }
+                    Operator::PublicJoin { .. } => {
+                        return Ok(self.estimate_public_join(n, output_rows))
+                    }
+                    other => {
+                        return Err(MpcError::Unsupported(format!(
+                            "no secret-sharing estimate for {}",
+                            other.name()
+                        )))
+                    }
+                };
+                Ok(self.stats_from_counts(counts, n, output_rows))
+            }
+            BackendKind::OblivCLike | BackendKind::OblivVmLike => {
+                let per_record = self.config.gc_cost.state_bytes_per_record;
+                let (and_gates, memory) = match op {
+                    Operator::Join { left_keys, .. } => (
+                        gates::join(
+                            input_rows.first().copied().unwrap_or(0),
+                            input_rows.get(1).copied().unwrap_or(0),
+                            left_keys.len() as u64,
+                            cols,
+                        ),
+                        n as f64 * per_record * 10.0,
+                    ),
+                    Operator::Aggregate { group_by, .. } => (
+                        gates::aggregate(n, group_by.len() as u64),
+                        n as f64 * per_record * 3.0,
+                    ),
+                    Operator::Distinct { .. }
+                    | Operator::DistinctCount { .. }
+                    | Operator::SortBy { .. } => {
+                        (gates::distinct(n), n as f64 * per_record * 3.0)
+                    }
+                    Operator::Filter { predicate } => (
+                        n * predicate.op_count() as u64 * 64,
+                        n as f64 * per_record,
+                    ),
+                    _ => (gates::project(n, cols), n as f64 * per_record),
+                };
+                if self.config.gc_cost.exceeds_memory(memory) {
+                    return Err(MpcError::OutOfMemory {
+                        needed: memory,
+                        limit: self.config.gc_cost.memory_limit_bytes,
+                    });
+                }
+                Ok(MpcStepStats {
+                    simulated_time: self.config.gc_cost.time(and_gates, &self.config.network),
+                    counts: PrimitiveCounts::default(),
+                    circuit: CircuitStats {
+                        and_gates,
+                        xor_gates: 2 * and_gates,
+                        input_wires: n * cols * 64,
+                        output_wires: output_rows * cols * 64,
+                    },
+                    memory_bytes: memory,
+                    input_rows: n,
+                    output_rows,
+                })
+            }
+        }
+    }
+
+    /// Estimates the MPC-side cost of the hybrid join protocol of §5.3
+    /// (Figure 3): oblivious shuffles of both inputs, revealing the key
+    /// columns to the STP, secret-sharing the index relations back, two
+    /// oblivious-select invocations, and a final shuffle of the result.
+    pub fn estimate_hybrid_join(
+        &self,
+        n_left: u64,
+        n_right: u64,
+        output_rows: u64,
+        cols: u64,
+    ) -> MpcStepStats {
+        let n = n_left + n_right;
+        let total = (n + output_rows).max(2);
+        let counts = PrimitiveCounts {
+            shuffled_elems: n * cols + output_rows * 2 * cols,
+            opened_elems: n,           // key columns revealed to the STP
+            input_elems: 2 * output_rows, // index relations shared back in
+            mults: total * log2(total) * cols, // oblivious indexing
+            ..Default::default()
+        };
+        self.stats_from_counts(counts, n, output_rows)
+    }
+
+    /// Estimates the MPC-side cost of the hybrid aggregation protocol of
+    /// §5.3: an oblivious shuffle, revealing the group-by column, re-sharing
+    /// the equality flags, a linear oblivious accumulation scan, and a final
+    /// shuffle-and-reveal of the flags.
+    pub fn estimate_hybrid_aggregate(&self, n: u64, output_rows: u64, cols: u64) -> MpcStepStats {
+        let counts = PrimitiveCounts {
+            shuffled_elems: 2 * n * cols,
+            opened_elems: 2 * n, // group-by column + final flags
+            input_elems: n,      // equality flags shared by the STP
+            mults: 2 * n,        // conditional accumulation muxes
+            ..Default::default()
+        };
+        self.stats_from_counts(counts, n, output_rows)
+    }
+
+    /// Estimates the cost of the public join of §5.3: the MPC is avoided
+    /// entirely; parties exchange key columns in the clear and the helper
+    /// joins locally, so the only cost charged here is data movement.
+    pub fn estimate_public_join(&self, n: u64, output_rows: u64) -> MpcStepStats {
+        let bytes = (n + output_rows) * 8;
+        MpcStepStats {
+            simulated_time: self.config.network.transfer_time(bytes),
+            counts: PrimitiveCounts::default(),
+            circuit: CircuitStats::default(),
+            memory_bytes: 0.0,
+            input_rows: n,
+            output_rows,
+        }
+    }
+
+    fn stats_from_counts(
+        &self,
+        counts: PrimitiveCounts,
+        input_rows: u64,
+        output_rows: u64,
+    ) -> MpcStepStats {
+        MpcStepStats {
+            simulated_time: self.config.ss_cost.time_no_overhead(&counts, &self.config.network),
+            counts,
+            circuit: CircuitStats::default(),
+            memory_bytes: 0.0,
+            input_rows,
+            output_rows,
+        }
+    }
+}
+
+/// Primitive counts of a Batcher sort of `n` rows of `cols` columns.
+fn sort_counts(n: u64, cols: u64) -> PrimitiveCounts {
+    let n = n.max(2);
+    let log = log2(n);
+    let compare_exchanges = n * log * log / 4;
+    PrimitiveCounts {
+        comparisons: compare_exchanges,
+        mults: 2 * compare_exchanges * cols,
+        ..Default::default()
+    }
+}
+
+fn log2(n: u64) -> u64 {
+    64 - n.max(2).leading_zeros() as u64
+}
+
+/// Evaluates a (restricted) predicate over a shared row, producing a shared
+/// 0/1 bit. Supported forms: comparisons between columns and integer
+/// literals, and boolean combinations thereof.
+fn eval_predicate_shared(
+    expr: &Expr,
+    rel: &SharedRelation,
+    row: &[Shares],
+    proto: &mut Protocol,
+) -> MpcResult<Shares> {
+    match expr {
+        Expr::Bin { op, left, right } => {
+            match op {
+                BinOp::And | BinOp::Or => {
+                    let l = eval_predicate_shared(left, rel, row, proto)?;
+                    let r = eval_predicate_shared(right, rel, row, proto)?;
+                    let prod = proto.mul(&l, &r);
+                    if *op == BinOp::And {
+                        Ok(prod)
+                    } else {
+                        // a OR b = a + b - a·b
+                        let sum = proto.add(&l, &r);
+                        Ok(proto.sub(&sum, &prod))
+                    }
+                }
+                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                    let l = operand_shares(left, rel, row, proto)?;
+                    let r = operand_shares(right, rel, row, proto)?;
+                    let result = match op {
+                        BinOp::Eq => proto.eq(&l, &r),
+                        BinOp::Ne => {
+                            let e = proto.eq(&l, &r);
+                            let one = proto.constant(1);
+                            proto.sub(&one, &e)
+                        }
+                        BinOp::Lt => proto.lt(&l, &r),
+                        BinOp::Gt => proto.lt(&r, &l),
+                        BinOp::Le => {
+                            let gt = proto.lt(&r, &l);
+                            let one = proto.constant(1);
+                            proto.sub(&one, &gt)
+                        }
+                        BinOp::Ge => {
+                            let lt = proto.lt(&l, &r);
+                            let one = proto.constant(1);
+                            proto.sub(&one, &lt)
+                        }
+                        _ => unreachable!(),
+                    };
+                    Ok(result)
+                }
+                _ => Err(MpcError::Unsupported(format!(
+                    "arithmetic operator {op} in an MPC filter predicate"
+                ))),
+            }
+        }
+        Expr::Not(inner) => {
+            let b = eval_predicate_shared(inner, rel, row, proto)?;
+            let one = proto.constant(1);
+            Ok(proto.sub(&one, &b))
+        }
+        other => Err(MpcError::Unsupported(format!(
+            "predicate form `{other}` under MPC"
+        ))),
+    }
+}
+
+fn operand_shares(
+    expr: &Expr,
+    rel: &SharedRelation,
+    row: &[Shares],
+    proto: &mut Protocol,
+) -> MpcResult<Shares> {
+    match expr {
+        Expr::Col(name) => {
+            let idx = rel
+                .col_index(name)
+                .ok_or_else(|| MpcError::Exec(format!("unknown column `{name}`")))?;
+            Ok(row[idx].clone())
+        }
+        Expr::Const(v) => {
+            let i = v
+                .as_int()
+                .ok_or_else(|| MpcError::Unsupported("non-integer literal under MPC".into()))?;
+            Ok(proto.constant(i))
+        }
+        other => Err(MpcError::Unsupported(format!(
+            "operand form `{other}` under MPC"
+        ))),
+    }
+}
+
+/// Oblivious filter: computes the predicate bit per row, shuffles, reveals
+/// the bits and keeps the selected rows (leaking only the output size, like
+/// the paper's non-padded operators).
+fn oblivious_filter(
+    rel: &SharedRelation,
+    predicate: &Expr,
+    proto: &mut Protocol,
+) -> MpcResult<SharedRelation> {
+    let mut flagged_rows = Vec::with_capacity(rel.num_rows());
+    for row in &rel.rows {
+        let flag = eval_predicate_shared(predicate, rel, row, proto)?;
+        let mut r = row.clone();
+        r.push(flag);
+        flagged_rows.push(r);
+    }
+    let mut schema = rel.schema.clone();
+    schema
+        .push(conclave_ir::schema::ColumnDef::new(
+            "__filter_flag",
+            conclave_ir::types::DataType::Int,
+        ))
+        .map_err(|e| MpcError::Exec(e.to_string()))?;
+    let flagged = SharedRelation {
+        schema,
+        rows: flagged_rows,
+    };
+    let shuffled = oblivious::shuffle(&flagged, proto);
+    let mut rows = Vec::new();
+    for row in shuffled.rows {
+        let flag = row.last().expect("flag present").clone();
+        if proto.open(&flag) == 1 {
+            rows.push(row[..row.len() - 1].to_vec());
+        }
+    }
+    Ok(SharedRelation {
+        schema: rel.schema.clone(),
+        rows,
+    })
+}
+
+/// Column arithmetic under MPC: multiplies operand columns/literals into `out`.
+fn mpc_multiply(
+    rel: &SharedRelation,
+    out: &str,
+    operands: &[Operand],
+    proto: &mut Protocol,
+) -> MpcResult<SharedRelation> {
+    let replace = rel.col_index(out);
+    let mut schema = rel.schema.clone();
+    if replace.is_none() {
+        schema
+            .push(conclave_ir::schema::ColumnDef::new(
+                out,
+                conclave_ir::types::DataType::Int,
+            ))
+            .map_err(|e| MpcError::Exec(e.to_string()))?;
+    }
+    let mut rows = Vec::with_capacity(rel.num_rows());
+    for row in &rel.rows {
+        let mut acc = proto.constant(1);
+        let mut first = true;
+        for o in operands {
+            match o {
+                Operand::Col(c) => {
+                    let idx = rel
+                        .col_index(c)
+                        .ok_or_else(|| MpcError::Exec(format!("unknown column `{c}`")))?;
+                    if first {
+                        acc = row[idx].clone();
+                        first = false;
+                    } else {
+                        acc = proto.mul(&acc, &row[idx]);
+                    }
+                }
+                Operand::Lit(v) => {
+                    let i = v.as_int().ok_or_else(|| {
+                        MpcError::Unsupported("non-integer literal under MPC".into())
+                    })?;
+                    acc = proto.mul_public(&acc, i);
+                    first = false;
+                }
+            }
+        }
+        let mut new_row = row.clone();
+        match replace {
+            Some(i) => new_row[i] = acc,
+            None => new_row.push(acc),
+        }
+        rows.push(new_row);
+    }
+    Ok(SharedRelation { schema, rows })
+}
+
+/// Removes duplicate adjacent rows (over all columns) from a key-sorted
+/// relation, the core of the MPC `distinct` operator.
+fn distinct_sorted(rel: &SharedRelation, proto: &mut Protocol) -> MpcResult<SharedRelation> {
+    if rel.num_rows() == 0 {
+        return Ok(rel.clone());
+    }
+    let mut keep_flags: Vec<Shares> = Vec::with_capacity(rel.num_rows());
+    keep_flags.push(proto.constant(1));
+    for i in 1..rel.num_rows() {
+        // keep = 1 - all-columns-equal(previous, current)
+        let mut all_eq = proto.constant(1);
+        for c in 0..rel.num_cols() {
+            let e = proto.eq(&rel.rows[i][c], &rel.rows[i - 1][c]);
+            all_eq = proto.mul(&all_eq, &e);
+        }
+        let one = proto.constant(1);
+        keep_flags.push(proto.sub(&one, &all_eq));
+    }
+    let mut rows = Vec::new();
+    for (i, row) in rel.rows.iter().enumerate() {
+        if proto.open(&keep_flags[i]) == 1 {
+            rows.push(row.clone());
+        }
+    }
+    Ok(SharedRelation {
+        schema: rel.schema.clone(),
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conclave_engine::execute;
+    use conclave_ir::ops::{AggFunc, JoinKind};
+
+    fn sharemind() -> MpcEngine {
+        MpcEngine::new(MpcBackendConfig::sharemind())
+    }
+
+    fn sales() -> Relation {
+        Relation::from_ints(
+            &["companyID", "price"],
+            &[vec![1, 10], vec![2, 5], vec![1, 20], vec![3, 7], vec![2, 5]],
+        )
+    }
+
+    #[test]
+    fn backend_kind_properties() {
+        assert_eq!(BackendKind::SharemindLike.parties(), 3);
+        assert_eq!(BackendKind::OblivCLike.parties(), 2);
+        assert!(BackendKind::SharemindLike.is_secret_sharing());
+        assert!(!BackendKind::OblivVmLike.is_secret_sharing());
+        assert_eq!(BackendKind::SharemindLike.to_string(), "sharemind-like");
+    }
+
+    #[test]
+    fn sharemind_aggregate_matches_cleartext() {
+        let mut eng = sharemind();
+        let rel = sales();
+        let op = Operator::Aggregate {
+            group_by: vec!["companyID".into()],
+            func: AggFunc::Sum,
+            over: Some("price".into()),
+            out: "rev".into(),
+        };
+        let (out, stats) = eng.execute_op(&op, &[&rel]).unwrap();
+        let expected = execute(&op, &[&rel]).unwrap();
+        assert!(out.same_rows_unordered(&expected));
+        assert!(stats.counts.comparisons > 0);
+        assert!(stats.simulated_time > Duration::from_secs(1), "includes job overhead");
+        assert_eq!(stats.input_rows, 5);
+        assert_eq!(stats.output_rows, 3);
+    }
+
+    #[test]
+    fn sharemind_join_matches_cleartext_and_counts_quadratic_equalities() {
+        let mut eng = sharemind();
+        let left = Relation::from_ints(&["k", "a"], &[vec![1, 1], vec![2, 2], vec![3, 3]]);
+        let right = Relation::from_ints(&["k", "b"], &[vec![2, 20], vec![3, 30], vec![4, 40]]);
+        let op = Operator::Join {
+            left_keys: vec!["k".into()],
+            right_keys: vec!["k".into()],
+            kind: JoinKind::Inner,
+        };
+        let (out, stats) = eng.execute_op(&op, &[&left, &right]).unwrap();
+        let expected = execute(&op, &[&left, &right]).unwrap();
+        assert!(out.same_rows_unordered(&expected));
+        assert_eq!(stats.counts.equalities, 9);
+    }
+
+    #[test]
+    fn sharemind_filter_multiply_sort_limit() {
+        let mut eng = sharemind();
+        let rel = sales();
+        let filter = Operator::Filter {
+            predicate: Expr::col("price").gt(Expr::lit(6)),
+        };
+        let (out, _) = eng.execute_op(&filter, &[&rel]).unwrap();
+        assert!(out.same_rows_unordered(&execute(&filter, &[&rel]).unwrap()));
+
+        let mul = Operator::Multiply {
+            out: "sq".into(),
+            operands: vec![Operand::col("price"), Operand::col("price"), Operand::lit(2)],
+        };
+        let (out, _) = eng.execute_op(&mul, &[&rel]).unwrap();
+        assert_eq!(out.column_values("sq").unwrap()[0], conclave_ir::types::Value::Int(200));
+
+        let sort = Operator::SortBy {
+            column: "price".into(),
+            ascending: true,
+        };
+        let (out, _) = eng.execute_op(&sort, &[&rel]).unwrap();
+        assert!(out.is_sorted_by("price", true));
+
+        let limit = Operator::Limit { n: 2 };
+        let (out, _) = eng.execute_op(&limit, &[&rel]).unwrap();
+        assert_eq!(out.num_rows(), 2);
+    }
+
+    #[test]
+    fn sharemind_distinct_and_distinct_count() {
+        let mut eng = sharemind();
+        let rel = sales();
+        let d = Operator::Distinct {
+            columns: vec!["companyID".into()],
+        };
+        let (out, _) = eng.execute_op(&d, &[&rel]).unwrap();
+        assert_eq!(out.num_rows(), 3);
+        let dc = Operator::DistinctCount {
+            column: "price".into(),
+            out: "n".into(),
+        };
+        let (out, _) = eng.execute_op(&dc, &[&rel]).unwrap();
+        assert_eq!(out.scalar(), Some(&conclave_ir::types::Value::Int(4)));
+    }
+
+    #[test]
+    fn complex_predicates_under_mpc() {
+        let mut eng = sharemind();
+        let rel = sales();
+        let pred = Expr::col("price")
+            .ge(Expr::lit(5))
+            .and(Expr::col("companyID").ne(Expr::lit(3)))
+            .or(Expr::col("price").eq(Expr::lit(7)));
+        let op = Operator::Filter {
+            predicate: pred.clone(),
+        };
+        let (out, _) = eng.execute_op(&op, &[&rel]).unwrap();
+        let expected = execute(&op, &[&rel]).unwrap();
+        assert!(out.same_rows_unordered(&expected));
+        // An arithmetic predicate is rejected.
+        let bad = Operator::Filter {
+            predicate: Expr::col("price").add(Expr::lit(1)),
+        };
+        assert!(matches!(
+            eng.execute_op(&bad, &[&rel]),
+            Err(MpcError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn unsupported_operators() {
+        let mut eng = sharemind();
+        let rel = sales();
+        assert!(matches!(
+            eng.execute_op(
+                &Operator::Divide {
+                    out: "x".into(),
+                    num: Operand::col("price"),
+                    den: Operand::lit(2)
+                },
+                &[&rel]
+            ),
+            Err(MpcError::Unsupported(_))
+        ));
+        assert!(eng
+            .execute_op(
+                &Operator::HybridJoin {
+                    left_keys: vec!["companyID".into()],
+                    right_keys: vec!["companyID".into()],
+                    stp: 1
+                },
+                &[&rel, &rel]
+            )
+            .is_err());
+        // Multi-column group-by is not supported under MPC.
+        assert!(eng
+            .execute_op(
+                &Operator::Aggregate {
+                    group_by: vec!["companyID".into(), "price".into()],
+                    func: AggFunc::Count,
+                    over: None,
+                    out: "n".into()
+                },
+                &[&rel]
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn garbled_backend_executes_and_counts_gates() {
+        let mut eng = MpcEngine::new(MpcBackendConfig::obliv_c());
+        let rel = sales();
+        let op = Operator::Aggregate {
+            group_by: vec!["companyID".into()],
+            func: AggFunc::Sum,
+            over: Some("price".into()),
+            out: "rev".into(),
+        };
+        let (out, stats) = eng.execute_op(&op, &[&rel]).unwrap();
+        assert!(out.same_rows_unordered(&execute(&op, &[&rel]).unwrap()));
+        assert!(stats.circuit.and_gates > 0);
+        assert_eq!(stats.counts, PrimitiveCounts::default());
+        // execute_shared is a secret-sharing-only API.
+        let mut p = Protocol::new(2, 1);
+        let shared = SharedRelation::from_relation(&rel, &mut p).unwrap();
+        assert!(eng.execute_shared(&Operator::Shuffle, &[&shared]).is_err());
+    }
+
+    #[test]
+    fn garbled_join_hits_out_of_memory_at_figure_1_scale() {
+        let mut eng = MpcEngine::new(MpcBackendConfig::obliv_c());
+        let n = 20_000usize;
+        let rows: Vec<Vec<i64>> = (0..n as i64).map(|i| vec![i, i]).collect();
+        let big = Relation::from_ints(&["k", "v"], &rows);
+        let op = Operator::Join {
+            left_keys: vec!["k".into()],
+            right_keys: vec!["k".into()],
+            kind: JoinKind::Inner,
+        };
+        match eng.execute_op(&op, &[&big, &big]) {
+            Err(MpcError::OutOfMemory { needed, limit }) => {
+                assert!(needed > limit);
+            }
+            other => panic!("expected OOM, got {other:?}"),
+        }
+        // Estimates hit the same wall.
+        assert!(matches!(
+            eng.estimate_op(&op, &[40_000, 40_000], &[2, 2], 40_000),
+            Err(MpcError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn estimates_track_paper_asymptotics() {
+        let eng = sharemind();
+        let join = Operator::Join {
+            left_keys: vec!["k".into()],
+            right_keys: vec!["k".into()],
+            kind: JoinKind::Inner,
+        };
+        let t1 = eng
+            .estimate_op(&join, &[1_000, 1_000], &[2, 2], 1_000)
+            .unwrap()
+            .simulated_time
+            .as_secs_f64();
+        let t2 = eng
+            .estimate_op(&join, &[2_000, 2_000], &[2, 2], 2_000)
+            .unwrap()
+            .simulated_time
+            .as_secs_f64();
+        assert!((t2 / t1 - 4.0).abs() < 0.5, "MPC join should be quadratic");
+
+        // Hybrid join is asymptotically better than the MPC join at scale.
+        let hybrid = eng.estimate_hybrid_join(100_000, 100_000, 100_000, 2);
+        let full = eng
+            .estimate_op(&join, &[100_000, 100_000], &[2, 2], 100_000)
+            .unwrap();
+        assert!(hybrid.simulated_time < full.simulated_time / 10);
+
+        // Public join is cheaper still.
+        let public = eng.estimate_public_join(200_000, 100_000);
+        assert!(public.simulated_time < hybrid.simulated_time);
+
+        // Hybrid aggregation beats the sort-based MPC aggregation.
+        let agg = Operator::Aggregate {
+            group_by: vec!["k".into()],
+            func: AggFunc::Sum,
+            over: Some("v".into()),
+            out: "s".into(),
+        };
+        let hybrid_agg = eng.estimate_hybrid_aggregate(100_000, 10_000, 2);
+        let full_agg = eng.estimate_op(&agg, &[100_000], &[2], 10_000).unwrap();
+        assert!(hybrid_agg.simulated_time < full_agg.simulated_time);
+    }
+
+    #[test]
+    fn estimate_input_and_open_scale_linearly() {
+        let eng = sharemind();
+        let a = eng.estimate_input(1_000, 2).simulated_time.as_secs_f64();
+        let b = eng.estimate_input(10_000, 2).simulated_time.as_secs_f64();
+        assert!((b / a - 10.0).abs() < 0.5);
+        assert!(eng.estimate_open(1_000, 2).simulated_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn step_stats_merge() {
+        let mut a = MpcStepStats {
+            simulated_time: Duration::from_secs(1),
+            memory_bytes: 10.0,
+            input_rows: 5,
+            output_rows: 5,
+            ..Default::default()
+        };
+        let b = MpcStepStats {
+            simulated_time: Duration::from_secs(2),
+            memory_bytes: 3.0,
+            input_rows: 7,
+            output_rows: 2,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.simulated_time, Duration::from_secs(3));
+        assert_eq!(a.memory_bytes, 10.0);
+        assert_eq!(a.input_rows, 12);
+        assert_eq!(a.output_rows, 2);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(MpcError::Unsupported("x".into()).to_string().contains('x'));
+        assert!(MpcError::OutOfMemory {
+            needed: 5e9,
+            limit: 4e9
+        }
+        .to_string()
+        .contains("out of memory"));
+        assert!(MpcError::Exec("boom".into()).to_string().contains("boom"));
+    }
+
+    #[test]
+    fn config_constructors() {
+        assert_eq!(MpcBackendConfig::default().kind, BackendKind::SharemindLike);
+        assert_eq!(MpcBackendConfig::obliv_vm().kind, BackendKind::OblivVmLike);
+        let eng = MpcEngine::new(MpcBackendConfig::obliv_c());
+        assert_eq!(eng.config().kind, BackendKind::OblivCLike);
+    }
+}

@@ -1,0 +1,120 @@
+//! Beaver multiplication triples.
+//!
+//! A Beaver triple is a sharing of random values `(a, b, c)` with `c = a·b`.
+//! Given shared `x` and `y`, the parties open `d = x - a` and `e = y - b`
+//! (which reveal nothing, because `a` and `b` are uniform) and compute a
+//! sharing of `x·y` locally as `c + d·b + e·a + d·e`.
+//!
+//! Production systems generate triples with offline protocols (homomorphic
+//! encryption or oblivious transfer). Like Sharemind's deployment model, our
+//! simulator uses a trusted dealer for the offline phase and charges the
+//! online communication (one opening round per batch) to the simulated
+//! network.
+
+use crate::ring::RingElem;
+use crate::share::Shares;
+use rand::Rng;
+
+/// A Beaver triple in shared form.
+#[derive(Debug, Clone)]
+pub struct BeaverTriple {
+    /// Sharing of the random value `a`.
+    pub a: Shares,
+    /// Sharing of the random value `b`.
+    pub b: Shares,
+    /// Sharing of `c = a * b`.
+    pub c: Shares,
+}
+
+/// Dealer that generates Beaver triples for `n` parties.
+#[derive(Debug)]
+pub struct TripleDealer {
+    parties: usize,
+    /// Number of triples handed out, for cost accounting.
+    pub issued: u64,
+}
+
+impl TripleDealer {
+    /// Creates a dealer for `parties` computing parties.
+    pub fn new(parties: usize) -> Self {
+        TripleDealer { parties, issued: 0 }
+    }
+
+    /// Generates one triple.
+    pub fn triple<R: Rng>(&mut self, rng: &mut R) -> BeaverTriple {
+        let a = RingElem(rng.gen::<u64>());
+        let b = RingElem(rng.gen::<u64>());
+        let c = a * b;
+        self.issued += 1;
+        BeaverTriple {
+            a: Shares::share(a, self.parties, rng),
+            b: Shares::share(b, self.parties, rng),
+            c: Shares::share(c, self.parties, rng),
+        }
+    }
+
+    /// Multiplies two shared values using a fresh triple, returning the
+    /// sharing of the product along with the two masked openings `(d, e)`
+    /// whose transmission the caller must account to the network.
+    pub fn beaver_multiply<R: Rng>(
+        &mut self,
+        x: &Shares,
+        y: &Shares,
+        rng: &mut R,
+    ) -> (Shares, RingElem, RingElem) {
+        let t = self.triple(rng);
+        let d = x.sub(&t.a).reconstruct();
+        let e = y.sub(&t.b).reconstruct();
+        // z = c + d*b + e*a + d*e
+        let mut z = t.c.clone();
+        z = z.add(&t.b.mul_public(d));
+        z = z.add(&t.a.mul_public(e));
+        z = z.add_public(d * e);
+        (z, d, e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn triple_is_consistent() {
+        let mut dealer = TripleDealer::new(3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = dealer.triple(&mut rng);
+        assert_eq!(
+            t.a.reconstruct() * t.b.reconstruct(),
+            t.c.reconstruct()
+        );
+        assert_eq!(dealer.issued, 1);
+    }
+
+    #[test]
+    fn beaver_multiplication_is_correct() {
+        let mut dealer = TripleDealer::new(3);
+        let mut rng = StdRng::seed_from_u64(2);
+        for (x, y) in [(3i64, 4i64), (-5, 7), (0, 123), (i32::MAX as i64, 2)] {
+            let sx = Shares::share(RingElem::from_i64(x), 3, &mut rng);
+            let sy = Shares::share(RingElem::from_i64(y), 3, &mut rng);
+            let (z, _d, _e) = dealer.beaver_multiply(&sx, &sy, &mut rng);
+            assert_eq!(z.reconstruct().to_i64(), x.wrapping_mul(y));
+        }
+        assert_eq!(dealer.issued, 4);
+    }
+
+    proptest! {
+        #[test]
+        fn beaver_multiplication_matches_wrapping_mul(x in any::<i64>(), y in any::<i64>()) {
+            let mut dealer = TripleDealer::new(3);
+            let mut rng = StdRng::seed_from_u64(3);
+            let sx = Shares::share(RingElem::from_i64(x), 3, &mut rng);
+            let sy = Shares::share(RingElem::from_i64(y), 3, &mut rng);
+            let (z, _, _) = dealer.beaver_multiply(&sx, &sy, &mut rng);
+            prop_assert_eq!(z.reconstruct().to_i64(), x.wrapping_mul(y));
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Simulated multi-party network.
+//!
+//! MPC performance is dominated by communication: secret-sharing protocols
+//! pay a network round per batch of multiplications, and garbled circuits
+//! ship large wire-label state. The paper ran its parties on separate VMs;
+//! here, the MPC backends run in-process and account their communication
+//! through this crate, which converts message counts, bytes and rounds into
+//! simulated elapsed time using a configurable latency/bandwidth model.
+
+pub mod message;
+pub mod model;
+pub mod sim;
+pub mod stats;
+
+pub use message::{Message, MessageKind};
+pub use model::NetworkModel;
+pub use sim::SimNetwork;
+pub use stats::{LinkStats, NetStats};

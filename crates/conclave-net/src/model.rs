@@ -1,0 +1,91 @@
+//! Latency/bandwidth model for links between parties.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// A symmetric network model shared by all links.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// One-way message latency in seconds.
+    pub latency_s: f64,
+    /// Link bandwidth in bytes per second.
+    pub bandwidth_bps: f64,
+}
+
+impl NetworkModel {
+    /// A LAN-like model (0.5 ms latency, 1 Gbit/s), matching the paper's
+    /// same-datacenter VM deployment.
+    pub fn lan() -> Self {
+        NetworkModel {
+            latency_s: 0.5e-3,
+            bandwidth_bps: 125.0e6,
+        }
+    }
+
+    /// A WAN-like model (25 ms latency, 100 Mbit/s) for sensitivity studies:
+    /// Conclave parties are different organizations, so a wide-area
+    /// deployment is plausible and stresses round-heavy protocols further.
+    pub fn wan() -> Self {
+        NetworkModel {
+            latency_s: 25.0e-3,
+            bandwidth_bps: 12.5e6,
+        }
+    }
+
+    /// Time for one party to transfer `bytes` to another (latency + serialization).
+    pub fn transfer_time(&self, bytes: u64) -> Duration {
+        Duration::from_secs_f64(self.latency_s + bytes as f64 / self.bandwidth_bps)
+    }
+
+    /// Time for `rounds` synchronous protocol rounds in which each round
+    /// moves `bytes_per_round` bytes between the parties. Protocol rounds are
+    /// sequential, so latency is paid once per round.
+    pub fn round_time(&self, rounds: u64, bytes_per_round: u64) -> Duration {
+        Duration::from_secs_f64(
+            rounds as f64 * (self.latency_s + bytes_per_round as f64 / self.bandwidth_bps),
+        )
+    }
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        NetworkModel::lan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lan_is_faster_than_wan() {
+        let lan = NetworkModel::lan();
+        let wan = NetworkModel::wan();
+        assert!(lan.transfer_time(1_000_000) < wan.transfer_time(1_000_000));
+        assert!(lan.latency_s < wan.latency_s);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let m = NetworkModel::lan();
+        let t1 = m.transfer_time(1_000_000);
+        let t2 = m.transfer_time(10_000_000);
+        assert!(t2 > t1);
+        // Pure-latency floor for tiny messages.
+        let tiny = m.transfer_time(1);
+        assert!(tiny.as_secs_f64() >= m.latency_s);
+    }
+
+    #[test]
+    fn round_time_pays_latency_per_round() {
+        let m = NetworkModel::lan();
+        let one = m.round_time(1, 1000);
+        let hundred = m.round_time(100, 1000);
+        assert!((hundred.as_secs_f64() / one.as_secs_f64() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn default_is_lan() {
+        assert_eq!(NetworkModel::default(), NetworkModel::lan());
+    }
+}

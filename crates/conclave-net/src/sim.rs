@@ -1,0 +1,202 @@
+//! The simulated network shared by all MPC endpoints of one computation.
+
+use crate::message::{Message, MessageKind};
+use crate::model::NetworkModel;
+use crate::stats::NetStats;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A thread-safe, shared simulated network.
+///
+/// MPC backends call [`SimNetwork::send`] and [`SimNetwork::rounds`] as they
+/// execute; the network accumulates traffic statistics and the simulated time
+/// spent communicating. Cloning the handle shares the underlying state.
+#[derive(Debug, Clone)]
+pub struct SimNetwork {
+    inner: Arc<Mutex<Inner>>,
+    model: NetworkModel,
+    trace_limit: usize,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    stats: NetStats,
+    elapsed: Duration,
+    trace: Vec<Message>,
+}
+
+impl SimNetwork {
+    /// Creates a network with the given model. At most `trace_limit` message
+    /// records are retained for inspection (counters are always exact).
+    pub fn new(model: NetworkModel) -> Self {
+        SimNetwork {
+            inner: Arc::new(Mutex::new(Inner::default())),
+            model,
+            trace_limit: 10_000,
+        }
+    }
+
+    /// Creates a LAN network (the default deployment in the paper).
+    pub fn lan() -> Self {
+        SimNetwork::new(NetworkModel::lan())
+    }
+
+    /// The network model in use.
+    pub fn model(&self) -> NetworkModel {
+        self.model
+    }
+
+    /// Records a message of `bytes` from one party to another and advances
+    /// simulated time by its transfer time. Returns that transfer time.
+    pub fn send(
+        &self,
+        from: u32,
+        to: u32,
+        bytes: u64,
+        kind: MessageKind,
+        label: &str,
+    ) -> Duration {
+        let t = self.model.transfer_time(bytes);
+        let mut inner = self.inner.lock();
+        inner.stats.record(from, to, bytes, kind);
+        inner.elapsed += t;
+        if inner.trace.len() < self.trace_limit {
+            inner.trace.push(Message::new(from, to, bytes, kind, label));
+        }
+        t
+    }
+
+    /// Records a broadcast from one party to every other participant.
+    pub fn broadcast(
+        &self,
+        from: u32,
+        to: &[u32],
+        bytes: u64,
+        kind: MessageKind,
+        label: &str,
+    ) -> Duration {
+        let mut total = Duration::ZERO;
+        for &p in to {
+            if p != from {
+                // Broadcasts to different receivers proceed in parallel, so
+                // elapsed time is the maximum, but stats count every copy.
+                let t = self.send(from, p, bytes, kind, label);
+                total = total.max(t);
+            }
+        }
+        total
+    }
+
+    /// Records `rounds` synchronous protocol rounds moving `bytes_per_round`
+    /// per party pair among `parties` parties, and advances simulated time.
+    pub fn rounds(&self, parties: u32, rounds: u64, bytes_per_round: u64, label: &str) -> Duration {
+        let t = self.model.round_time(rounds, bytes_per_round);
+        let mut inner = self.inner.lock();
+        inner.stats.record_rounds(rounds);
+        // Each round, every party sends to every other party.
+        let pairs = u64::from(parties.saturating_sub(1)) * u64::from(parties);
+        let per_pair_bytes = bytes_per_round;
+        for _ in 0..rounds.min(1) {
+            // Only trace a single representative message per call to bound
+            // memory; byte counters below account for everything.
+            if inner.trace.len() < self.trace_limit {
+                inner
+                    .trace
+                    .push(Message::new(0, 0, bytes_per_round, MessageKind::Control, label));
+            }
+        }
+        let link = inner.stats.links.entry((0, 0)).or_default();
+        link.messages += rounds * pairs.max(1);
+        link.bytes += rounds * per_pair_bytes * pairs.max(1);
+        *inner
+            .stats
+            .bytes_by_kind
+            .entry(MessageKind::Control.to_string())
+            .or_default() += rounds * per_pair_bytes * pairs.max(1);
+        inner.elapsed += t;
+        t
+    }
+
+    /// Snapshot of the traffic statistics.
+    pub fn stats(&self) -> NetStats {
+        self.inner.lock().stats.clone()
+    }
+
+    /// Simulated time spent on communication so far.
+    pub fn elapsed(&self) -> Duration {
+        self.inner.lock().elapsed
+    }
+
+    /// Recorded message trace (bounded).
+    pub fn trace(&self) -> Vec<Message> {
+        self.inner.lock().trace.clone()
+    }
+
+    /// Resets statistics, elapsed time and trace.
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock();
+        *inner = Inner::default();
+    }
+}
+
+impl Default for SimNetwork {
+    fn default() -> Self {
+        SimNetwork::lan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_accumulates_stats_and_time() {
+        let net = SimNetwork::lan();
+        net.send(1, 2, 1_000, MessageKind::SecretShare, "shares");
+        net.send(2, 3, 2_000, MessageKind::Reveal, "reveal");
+        let stats = net.stats();
+        assert_eq!(stats.total_bytes(), 3_000);
+        assert_eq!(stats.total_messages(), 2);
+        assert!(net.elapsed() > Duration::ZERO);
+        assert_eq!(net.trace().len(), 2);
+        assert_eq!(net.trace()[0].label, "shares");
+    }
+
+    #[test]
+    fn broadcast_skips_self_and_counts_all_receivers() {
+        let net = SimNetwork::lan();
+        net.broadcast(1, &[1, 2, 3], 100, MessageKind::Cleartext, "open");
+        let stats = net.stats();
+        assert_eq!(stats.total_messages(), 2);
+        assert_eq!(stats.bytes_to(2), 100);
+        assert_eq!(stats.bytes_to(1), 0);
+    }
+
+    #[test]
+    fn rounds_advance_time_linearly() {
+        let net = SimNetwork::lan();
+        let t1 = net.rounds(3, 10, 1_000, "mult batch");
+        let t2 = net.rounds(3, 20, 1_000, "mult batch");
+        assert!((t2.as_secs_f64() / t1.as_secs_f64() - 2.0).abs() < 1e-9);
+        assert_eq!(net.stats().rounds, 30);
+        assert!(net.stats().total_bytes() > 0);
+    }
+
+    #[test]
+    fn clones_share_state_and_reset_clears() {
+        let net = SimNetwork::lan();
+        let clone = net.clone();
+        clone.send(1, 2, 10, MessageKind::Control, "x");
+        assert_eq!(net.stats().total_messages(), 1);
+        net.reset();
+        assert_eq!(clone.stats().total_messages(), 0);
+        assert_eq!(clone.elapsed(), Duration::ZERO);
+    }
+
+    #[test]
+    fn model_accessor() {
+        let net = SimNetwork::new(NetworkModel::wan());
+        assert_eq!(net.model(), NetworkModel::wan());
+    }
+}

@@ -1,0 +1,122 @@
+//! Aggregated traffic statistics.
+
+use crate::message::MessageKind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Traffic counters for one directed link (from → to).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Number of messages sent.
+    pub messages: u64,
+    /// Total payload bytes sent.
+    pub bytes: u64,
+}
+
+/// Traffic statistics for the whole computation.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Per-link counters keyed by `(from, to)`.
+    pub links: BTreeMap<(u32, u32), LinkStats>,
+    /// Per-kind byte counters.
+    pub bytes_by_kind: BTreeMap<String, u64>,
+    /// Number of synchronous protocol rounds recorded.
+    pub rounds: u64,
+}
+
+impl NetStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        NetStats::default()
+    }
+
+    /// Records one message.
+    pub fn record(&mut self, from: u32, to: u32, bytes: u64, kind: MessageKind) {
+        let link = self.links.entry((from, to)).or_default();
+        link.messages += 1;
+        link.bytes += bytes;
+        *self.bytes_by_kind.entry(kind.to_string()).or_default() += bytes;
+    }
+
+    /// Records `rounds` synchronous protocol rounds.
+    pub fn record_rounds(&mut self, rounds: u64) {
+        self.rounds += rounds;
+    }
+
+    /// Total bytes across all links.
+    pub fn total_bytes(&self) -> u64 {
+        self.links.values().map(|l| l.bytes).sum()
+    }
+
+    /// Total messages across all links.
+    pub fn total_messages(&self) -> u64 {
+        self.links.values().map(|l| l.messages).sum()
+    }
+
+    /// Bytes received by a given party.
+    pub fn bytes_to(&self, party: u32) -> u64 {
+        self.links
+            .iter()
+            .filter(|((_, to), _)| *to == party)
+            .map(|(_, l)| l.bytes)
+            .sum()
+    }
+
+    /// Bytes sent with a given kind label.
+    pub fn bytes_of_kind(&self, kind: MessageKind) -> u64 {
+        self.bytes_by_kind
+            .get(&kind.to_string())
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Merges another statistics object into this one.
+    pub fn merge(&mut self, other: &NetStats) {
+        for (k, l) in &other.links {
+            let entry = self.links.entry(*k).or_default();
+            entry.messages += l.messages;
+            entry.bytes += l.bytes;
+        }
+        for (k, b) in &other.bytes_by_kind {
+            *self.bytes_by_kind.entry(k.clone()).or_default() += b;
+        }
+        self.rounds += other.rounds;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_totals() {
+        let mut s = NetStats::new();
+        s.record(1, 2, 100, MessageKind::SecretShare);
+        s.record(1, 2, 50, MessageKind::SecretShare);
+        s.record(2, 1, 10, MessageKind::Reveal);
+        s.record_rounds(3);
+        assert_eq!(s.total_bytes(), 160);
+        assert_eq!(s.total_messages(), 3);
+        assert_eq!(s.bytes_to(1), 10);
+        assert_eq!(s.bytes_to(2), 150);
+        assert_eq!(s.bytes_of_kind(MessageKind::SecretShare), 150);
+        assert_eq!(s.bytes_of_kind(MessageKind::Cleartext), 0);
+        assert_eq!(s.rounds, 3);
+        assert_eq!(s.links[&(1, 2)].messages, 2);
+    }
+
+    #[test]
+    fn merge_combines_counters() {
+        let mut a = NetStats::new();
+        a.record(1, 2, 100, MessageKind::Control);
+        a.record_rounds(1);
+        let mut b = NetStats::new();
+        b.record(1, 2, 50, MessageKind::Control);
+        b.record(3, 1, 5, MessageKind::Reveal);
+        b.record_rounds(2);
+        a.merge(&b);
+        assert_eq!(a.total_bytes(), 155);
+        assert_eq!(a.links[&(1, 2)].bytes, 150);
+        assert_eq!(a.rounds, 3);
+    }
+}

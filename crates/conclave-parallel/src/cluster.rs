@@ -1,0 +1,77 @@
+//! Description of the simulated cluster a party runs its local jobs on.
+
+use serde::{Deserialize, Serialize};
+
+/// A party's local data-parallel cluster.
+///
+/// The paper's evaluation gives each party three Spark VMs with 2 vCPUs each
+/// (§7, "Setup"); [`ClusterSpec::paper_party_cluster`] mirrors that, and
+/// [`ClusterSpec::paper_insecure_cluster`] mirrors the joint nine-node
+/// cluster used for the insecure Spark baseline of Figure 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of worker nodes.
+    pub workers: u32,
+    /// Executor cores per worker.
+    pub cores_per_worker: u32,
+}
+
+impl ClusterSpec {
+    /// Creates a cluster description.
+    pub fn new(workers: u32, cores_per_worker: u32) -> Self {
+        assert!(workers > 0 && cores_per_worker > 0);
+        ClusterSpec {
+            workers,
+            cores_per_worker,
+        }
+    }
+
+    /// The per-party cluster of the paper's setup: 3 Spark VMs × 2 vCPUs.
+    pub fn paper_party_cluster() -> Self {
+        ClusterSpec::new(3, 2)
+    }
+
+    /// The joint insecure-baseline cluster of Figure 4: 9 nodes × 2 vCPUs.
+    pub fn paper_insecure_cluster() -> Self {
+        ClusterSpec::new(9, 2)
+    }
+
+    /// Total parallel task slots.
+    pub fn total_cores(&self) -> u32 {
+        self.workers * self.cores_per_worker
+    }
+
+    /// Default number of partitions for a job (2 tasks per core, Spark's
+    /// usual guidance).
+    pub fn default_partitions(&self) -> usize {
+        (self.total_cores() * 2) as usize
+    }
+}
+
+impl Default for ClusterSpec {
+    fn default() -> Self {
+        ClusterSpec::paper_party_cluster()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_clusters() {
+        let party = ClusterSpec::paper_party_cluster();
+        assert_eq!(party.total_cores(), 6);
+        assert_eq!(party.default_partitions(), 12);
+        let joint = ClusterSpec::paper_insecure_cluster();
+        assert_eq!(joint.total_cores(), 18);
+        assert!(joint.total_cores() > party.total_cores());
+        assert_eq!(ClusterSpec::default(), party);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_workers_rejected() {
+        let _ = ClusterSpec::new(0, 2);
+    }
+}

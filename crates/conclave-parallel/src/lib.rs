@@ -1,0 +1,22 @@
+//! Data-parallel cleartext engine (the "Spark" backend).
+//!
+//! The paper runs each party's local, cleartext query steps on a small Spark
+//! cluster so that pre-processing scales to hundreds of millions of rows
+//! (§6, §7.1). This crate stands in for Spark: relations are split into
+//! partitions, narrow operators run on every partition concurrently (real
+//! threads via crossbeam), wide operators (joins, grouped aggregations)
+//! shuffle partitions by key first, and a [`cost::ClusterCostModel`]
+//! translates the work into the simulated wall-clock time a small cluster
+//! would need — including the fixed job-scheduling overhead that makes Spark
+//! slower than plain Python on tiny inputs but vastly faster on large ones
+//! (the crossover visible in Figures 1 and 4).
+
+pub mod cluster;
+pub mod cost;
+pub mod exec;
+pub mod partition;
+
+pub use cluster::ClusterSpec;
+pub use cost::ClusterCostModel;
+pub use exec::ParallelEngine;
+pub use partition::PartitionedRelation;

@@ -1,0 +1,137 @@
+//! Partitioned relations: the unit of parallelism.
+
+use conclave_engine::Relation;
+use conclave_ir::schema::Schema;
+use conclave_ir::types::Value;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// A relation split into horizontal partitions, each processed by one task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionedRelation {
+    /// Shared schema of every partition.
+    pub schema: Schema,
+    /// The partitions.
+    pub partitions: Vec<Relation>,
+}
+
+impl PartitionedRelation {
+    /// Splits a relation into `n` near-equal partitions.
+    pub fn from_relation(rel: &Relation, n: usize) -> Self {
+        PartitionedRelation {
+            schema: rel.schema.clone(),
+            partitions: rel.split(n),
+        }
+    }
+
+    /// Wraps existing partitions (they must share the given schema's arity).
+    pub fn from_parts(schema: Schema, partitions: Vec<Relation>) -> Self {
+        PartitionedRelation { schema, partitions }
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total number of rows across all partitions.
+    pub fn num_rows(&self) -> usize {
+        self.partitions.iter().map(|p| p.num_rows()).sum()
+    }
+
+    /// Collects all partitions back into one relation (Spark's `collect`).
+    pub fn collect(&self) -> Relation {
+        if self.partitions.is_empty() {
+            return Relation::empty(self.schema.clone());
+        }
+        Relation::concat(&self.partitions).expect("partitions share a schema")
+    }
+
+    /// Re-partitions by hashing the given key columns, so that all rows with
+    /// equal keys land in the same partition (the shuffle before a wide
+    /// operator).
+    pub fn shuffle_by_key(&self, key_cols: &[usize], num_partitions: usize) -> PartitionedRelation {
+        let num_partitions = num_partitions.max(1);
+        let mut buckets: Vec<Vec<Vec<Value>>> = vec![Vec::new(); num_partitions];
+        for part in &self.partitions {
+            for row in &part.rows {
+                let mut hasher = DefaultHasher::new();
+                for &c in key_cols {
+                    row[c].hash(&mut hasher);
+                }
+                let bucket = (hasher.finish() % num_partitions as u64) as usize;
+                buckets[bucket].push(row.clone());
+            }
+        }
+        let partitions = buckets
+            .into_iter()
+            .map(|rows| Relation {
+                schema: self.schema.clone(),
+                rows,
+            })
+            .collect();
+        PartitionedRelation {
+            schema: self.schema.clone(),
+            partitions,
+        }
+    }
+
+    /// Total bytes the shuffle of this relation would move.
+    pub fn shuffle_bytes(&self) -> u64 {
+        (self.num_rows() * self.schema.row_byte_size()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(n: i64) -> Relation {
+        Relation::from_ints(&["k", "v"], &(0..n).map(|i| vec![i % 7, i]).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn split_and_collect_round_trip() {
+        let r = rel(100);
+        let p = PartitionedRelation::from_relation(&r, 8);
+        assert_eq!(p.num_partitions(), 8);
+        assert_eq!(p.num_rows(), 100);
+        assert!(p.collect().same_rows_unordered(&r));
+        assert!(p.shuffle_bytes() > 0);
+    }
+
+    #[test]
+    fn empty_partitioned_relation_collects_to_empty() {
+        let p = PartitionedRelation::from_parts(Schema::ints(&["a"]), vec![]);
+        assert_eq!(p.collect().num_rows(), 0);
+        assert_eq!(p.num_rows(), 0);
+    }
+
+    #[test]
+    fn shuffle_by_key_groups_equal_keys_together() {
+        let r = rel(200);
+        let p = PartitionedRelation::from_relation(&r, 4);
+        let shuffled = p.shuffle_by_key(&[0], 5);
+        assert_eq!(shuffled.num_rows(), 200);
+        assert_eq!(shuffled.num_partitions(), 5);
+        // Every distinct key must appear in exactly one partition.
+        for key in 0..7i64 {
+            let holders = shuffled
+                .partitions
+                .iter()
+                .filter(|part| part.rows.iter().any(|row| row[0] == Value::Int(key)))
+                .count();
+            assert_eq!(holders, 1, "key {key} appears in {holders} partitions");
+        }
+        // All rows survive the shuffle.
+        assert!(shuffled.collect().same_rows_unordered(&r));
+    }
+
+    #[test]
+    fn shuffle_with_zero_partitions_is_clamped() {
+        let r = rel(10);
+        let p = PartitionedRelation::from_relation(&r, 2);
+        let shuffled = p.shuffle_by_key(&[0], 0);
+        assert_eq!(shuffled.num_partitions(), 1);
+    }
+}

@@ -1,0 +1,24 @@
+//! SMCQL baseline (§7.4 comparison).
+//!
+//! SMCQL (Bater et al., VLDB 2017) is the system closest to Conclave: it also
+//! compiles relational queries over federated private data into a mix of
+//! local processing and MPC. Its distinguishing features, reproduced here,
+//! are:
+//!
+//! * column-level annotations limited to **public** vs **private** (no
+//!   selectively-trusted parties and therefore no hybrid operators),
+//! * **slicing**: data partitioned on a public key column so that slices only
+//!   one party holds are processed locally and only the shared slices enter
+//!   MPC, and
+//! * a two-party **garbled-circuit** backend (ObliVM), which is slower than
+//!   Sharemind for the arithmetic-heavy relational workloads of §7.4.
+//!
+//! The crate provides an executable baseline for the aspirin-count and
+//! comorbidity queries plus analytic estimators used by the Figure 7 benches.
+
+pub mod planner;
+pub mod queries;
+pub mod slicing;
+
+pub use planner::{SmcqlConfig, SmcqlPlanner};
+pub use slicing::slice_by_key;

@@ -1,0 +1,122 @@
+//! SMCQL's slicing optimization.
+//!
+//! When a query's join or group-by key column is public, SMCQL partitions the
+//! data by key value. A *single-party slice* contains keys that only one
+//! party holds and can be processed entirely at that party; the remaining
+//! *shared slices* must be processed under MPC. With low cross-party overlap
+//! (2 % of patient IDs in the HealthLNK workload), slicing removes most of
+//! the data from the MPC.
+
+use conclave_engine::Relation;
+use conclave_ir::types::Value;
+use std::collections::HashSet;
+
+/// The result of slicing two parties' relations on a public key column.
+#[derive(Debug, Clone)]
+pub struct Slices {
+    /// Rows of party 0 whose key only party 0 holds.
+    pub only_left: Relation,
+    /// Rows of party 1 whose key only party 1 holds.
+    pub only_right: Relation,
+    /// Rows of party 0 whose key both parties hold (processed under MPC).
+    pub shared_left: Relation,
+    /// Rows of party 1 whose key both parties hold (processed under MPC).
+    pub shared_right: Relation,
+}
+
+impl Slices {
+    /// Fraction of all rows that fall into the shared (MPC) slices.
+    pub fn shared_fraction(&self) -> f64 {
+        let shared = (self.shared_left.num_rows() + self.shared_right.num_rows()) as f64;
+        let total = shared
+            + (self.only_left.num_rows() + self.only_right.num_rows()) as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            shared / total
+        }
+    }
+}
+
+/// Slices two relations on a (public) key column.
+pub fn slice_by_key(left: &Relation, right: &Relation, key: &str) -> Result<Slices, String> {
+    let lk = left
+        .col_index(key)
+        .ok_or_else(|| format!("unknown key column `{key}` in left relation"))?;
+    let rk = right
+        .col_index(key)
+        .ok_or_else(|| format!("unknown key column `{key}` in right relation"))?;
+    let left_keys: HashSet<Value> = left.rows.iter().map(|r| r[lk].clone()).collect();
+    let right_keys: HashSet<Value> = right.rows.iter().map(|r| r[rk].clone()).collect();
+
+    let split = |rel: &Relation, col: usize, other: &HashSet<Value>| -> (Relation, Relation) {
+        let mut only = Vec::new();
+        let mut shared = Vec::new();
+        for row in &rel.rows {
+            if other.contains(&row[col]) {
+                shared.push(row.clone());
+            } else {
+                only.push(row.clone());
+            }
+        }
+        (
+            Relation {
+                schema: rel.schema.clone(),
+                rows: only,
+            },
+            Relation {
+                schema: rel.schema.clone(),
+                rows: shared,
+            },
+        )
+    };
+    let (only_left, shared_left) = split(left, lk, &right_keys);
+    let (only_right, shared_right) = split(right, rk, &left_keys);
+    Ok(Slices {
+        only_left,
+        only_right,
+        shared_left,
+        shared_right,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slicing_partitions_rows_by_key_ownership() {
+        let left = Relation::from_ints(&["pid", "diag"], &[vec![1, 10], vec![2, 20], vec![3, 30]]);
+        let right = Relation::from_ints(&["pid", "med"], &[vec![2, 99], vec![4, 88]]);
+        let slices = slice_by_key(&left, &right, "pid").unwrap();
+        assert_eq!(slices.only_left.num_rows(), 2); // pids 1 and 3
+        assert_eq!(slices.shared_left.num_rows(), 1); // pid 2
+        assert_eq!(slices.only_right.num_rows(), 1); // pid 4
+        assert_eq!(slices.shared_right.num_rows(), 1); // pid 2
+        let total = slices.only_left.num_rows()
+            + slices.only_right.num_rows()
+            + slices.shared_left.num_rows()
+            + slices.shared_right.num_rows();
+        assert_eq!(total, 5, "no rows lost");
+        assert!((slices.shared_fraction() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_relations_have_no_shared_slices() {
+        let left = Relation::from_ints(&["pid", "x"], &[vec![1, 1]]);
+        let right = Relation::from_ints(&["pid", "y"], &[vec![2, 2]]);
+        let slices = slice_by_key(&left, &right, "pid").unwrap();
+        assert_eq!(slices.shared_left.num_rows(), 0);
+        assert_eq!(slices.shared_right.num_rows(), 0);
+        assert_eq!(slices.shared_fraction(), 0.0);
+        assert!(slice_by_key(&left, &right, "zzz").is_err());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let left = Relation::from_ints(&["pid"], &[]);
+        let right = Relation::from_ints(&["pid"], &[]);
+        let slices = slice_by_key(&left, &right, "pid").unwrap();
+        assert_eq!(slices.shared_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Conclave-RS: a Rust reproduction of *Conclave: secure multi-party
+//! computation on big data* (EuroSys 2019).
+//!
+//! This facade crate re-exports the workspace crates under stable paths so
+//! that examples and downstream users can depend on a single `conclave`
+//! package.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use conclave::prelude::*;
+//!
+//! // Two parties each hold a table of (key, value) pairs; a regulator (party
+//! // A) should learn the per-key sums without either party revealing rows.
+//! let pa = Party::new(1, "mpc.a.org");
+//! let pb = Party::new(2, "mpc.b.org");
+//! let schema = Schema::new(vec![
+//!     ColumnDef::new("key", DataType::Int),
+//!     ColumnDef::new("val", DataType::Int),
+//! ]);
+//! let mut q = QueryBuilder::new();
+//! let ta = q.input("ta", schema.clone(), pa.clone());
+//! let tb = q.input("tb", schema, pb.clone());
+//! let both = q.concat(&[ta, tb]);
+//! let sums = q.aggregate(both, "total", AggFunc::Sum, &["key"], "val");
+//! q.collect(sums, &[pa.clone()]);
+//! let query = q.build().unwrap();
+//! assert!(query.dag.node_count() >= 4);
+//! ```
+
+pub use conclave_core as core;
+pub use conclave_data as data;
+pub use conclave_engine as engine;
+pub use conclave_ir as ir;
+pub use conclave_mpc as mpc;
+pub use conclave_net as net;
+pub use conclave_parallel as parallel;
+pub use conclave_smcql as smcql;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use conclave_core::{
+        compile, config::ConclaveConfig, driver::Driver, plan::PhysicalPlan, report::RunReport,
+    };
+    pub use conclave_data::{credit::CreditGenerator, health::HealthGenerator, taxi::TaxiGenerator};
+    pub use conclave_engine::relation::Relation;
+    pub use conclave_ir::{
+        builder::QueryBuilder,
+        ops::AggFunc,
+        party::Party,
+        schema::{ColumnDef, Schema},
+        types::{DataType, Value},
+    };
+    pub use conclave_mpc::backend::{BackendKind, MpcBackendConfig};
+}

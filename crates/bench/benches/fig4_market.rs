@@ -38,17 +38,12 @@ fn real_end_to_end(c: &mut Criterion) {
     for &total in &[300usize, 3_000] {
         let inputs = taxi_inputs(total);
         let plan = compile(&query, &ConclaveConfig::standard()).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("conclave", total),
-            &inputs,
-            |b, inputs| {
-                b.iter(|| {
-                    let mut driver =
-                        Driver::new(ConclaveConfig::standard().with_sequential_local());
-                    driver.run(&plan, inputs).unwrap()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("conclave", total), &inputs, |b, inputs| {
+            b.iter(|| {
+                let mut driver = Driver::new(ConclaveConfig::standard().with_sequential_local());
+                driver.run(&plan, inputs).unwrap()
+            })
+        });
     }
     // The MPC-only baseline is only feasible at the smallest size.
     let inputs = taxi_inputs(120);

@@ -14,10 +14,23 @@ use bench::figures::{self, MicroOp};
 use bench::render_table;
 
 fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let mut status = 0;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let selected: Vec<&str> = if args.is_empty() {
         vec![
-            "fig1a", "fig1b", "fig1c", "fig4", "fig5a", "fig5b", "fig6", "fig7a", "fig7b",
+            "fig1a",
+            "fig1b",
+            "fig1c",
+            "fig4",
+            "fig5a",
+            "fig5b",
+            "fig6",
+            "fig7a",
+            "fig7b",
             "ablations",
         ]
     } else {
@@ -50,10 +63,7 @@ fn main() {
                 "Figure 5b — hybrid aggregation vs MPC aggregation",
                 &figures::fig5b(),
             ),
-            "fig6" => print_table(
-                "Figure 6 — credit-card regulation query",
-                &figures::fig6(),
-            ),
+            "fig6" => print_table("Figure 6 — credit-card regulation query", &figures::fig6()),
             "fig7a" => print_table(
                 "Figure 7a — aspirin count: Conclave vs SMCQL",
                 &figures::fig7a(),
@@ -66,9 +76,15 @@ fn main() {
                 "Ablations — market query (1 M records) under each optimization toggle",
                 &figures::ablations(1_000_000),
             ),
-            other => eprintln!("unknown experiment `{other}` (expected fig1a..fig7b, ablations)"),
+            other => {
+                // Keep running the remaining requested figures; report the
+                // failure via the exit code at the end.
+                eprintln!("unknown experiment `{other}` (expected fig1a..fig7b, ablations)");
+                status = 2;
+            }
         }
     }
+    status
 }
 
 fn print_table(title: &str, points: &[bench::DataPoint]) {

@@ -6,7 +6,7 @@
 //! two-hour cut-off produce `None` runtimes, mirroring the truncated curves
 //! in the original plots.
 
-use crate::{queries, CUTOFF_SECS, DataPoint};
+use crate::{queries, DataPoint, CUTOFF_SECS};
 use conclave_core::{compile, CardinalityEstimator, ConclaveConfig, WorkloadStats};
 use conclave_ir::ops::{AggFunc, JoinKind, Operator};
 use conclave_mpc::backend::{MpcBackendConfig, MpcEngine};
@@ -91,7 +91,11 @@ pub fn fig1(op: MicroOp) -> Vec<DataPoint> {
 
         // Obliv-C: garbled circuits with the memory model.
         match obliv_c.estimate_op(&operator, &in_rows, &in_cols, output_rows(op, n)) {
-            Ok(stats) => points.push(cap("Secure (Obliv-C)", n, stats.simulated_time.as_secs_f64())),
+            Ok(stats) => points.push(cap(
+                "Secure (Obliv-C)",
+                n,
+                stats.simulated_time.as_secs_f64(),
+            )),
             Err(_) => points.push(DataPoint::failed("Secure (Obliv-C)", n)),
         }
     }
@@ -189,7 +193,9 @@ pub fn fig4() -> Vec<DataPoint> {
         points.push(cap("Insecure Spark", n, insecure));
 
         // Conclave.
-        let e = conclave_est.estimate(&conclave_plan, &inputs).expect("estimate");
+        let e = conclave_est
+            .estimate(&conclave_plan, &inputs)
+            .expect("estimate");
         points.push(cap("Conclave", n, e.total_time().as_secs_f64()));
     }
     points
@@ -202,23 +208,40 @@ fn split_three(n: u64) -> [u64; 3] {
 /// Figure 5a: join microbenchmark — Sharemind MPC join vs Conclave hybrid
 /// join vs Conclave public join, for 10 … 2 M total records.
 pub fn fig5a() -> Vec<DataPoint> {
-    let sizes: Vec<u64> = vec![10, 100, 1_000, 10_000, 100_000, 200_000, 1_000_000, 2_000_000];
+    let sizes: Vec<u64> = vec![
+        10, 100, 1_000, 10_000, 100_000, 200_000, 1_000_000, 2_000_000,
+    ];
     let stats = WorkloadStats {
         join_selectivity: 1.0,
         ..Default::default()
     };
     let plans = [
-        ("Sharemind join", queries::single_join(false, false), ConclaveConfig::mpc_only()),
-        ("Conclave hybrid join", queries::single_join(true, false), ConclaveConfig::standard()),
-        ("Conclave public join", queries::single_join(false, true), ConclaveConfig::standard()),
+        (
+            "Sharemind join",
+            queries::single_join(false, false),
+            ConclaveConfig::mpc_only(),
+        ),
+        (
+            "Conclave hybrid join",
+            queries::single_join(true, false),
+            ConclaveConfig::standard(),
+        ),
+        (
+            "Conclave public join",
+            queries::single_join(false, true),
+            ConclaveConfig::standard(),
+        ),
     ];
     let mut points = Vec::new();
     for &n in &sizes {
         for (name, query, config) in &plans {
             let plan = compile(query, config).expect("compiles");
             let est = CardinalityEstimator::new(config.clone(), stats);
-            let inputs: HashMap<String, u64> =
-                [("left".to_string(), n / 2), ("right".to_string(), n - n / 2)].into();
+            let inputs: HashMap<String, u64> = [
+                ("left".to_string(), n / 2),
+                ("right".to_string(), n - n / 2),
+            ]
+            .into();
             let e = est.estimate(&plan, &inputs).expect("estimate");
             if e.failed() {
                 points.push(DataPoint::failed(name, n));
@@ -295,13 +318,17 @@ pub fn fig6() -> Vec<DataPoint> {
             ("scores2".to_string(), n - n / 2 - n / 4),
         ]
         .into();
-        let b = baseline_est.estimate(&baseline_plan, &inputs).expect("estimate");
+        let b = baseline_est
+            .estimate(&baseline_plan, &inputs)
+            .expect("estimate");
         if b.failed() {
             points.push(DataPoint::failed("Sharemind only", n));
         } else {
             points.push(cap("Sharemind only", n, b.total_time().as_secs_f64()));
         }
-        let c = conclave_est.estimate(&conclave_plan, &inputs).expect("estimate");
+        let c = conclave_est
+            .estimate(&conclave_plan, &inputs)
+            .expect("estimate");
         points.push(cap("Conclave", n, c.total_time().as_secs_f64()));
     }
     points
@@ -310,7 +337,8 @@ pub fn fig6() -> Vec<DataPoint> {
 /// Figure 7a: the aspirin-count query — SMCQL vs Conclave — for 10 … 4 M
 /// records per party.
 pub fn fig7a() -> Vec<DataPoint> {
-    let sizes_per_party: Vec<u64> = vec![10, 100, 1_000, 10_000, 40_000, 200_000, 400_000, 4_000_000];
+    let sizes_per_party: Vec<u64> =
+        vec![10, 100, 1_000, 10_000, 40_000, 200_000, 400_000, 4_000_000];
     let overlap = 0.02;
     let selectivity = 0.25;
     let query = queries::aspirin_count();
@@ -389,8 +417,14 @@ pub fn ablations(total_records: u64) -> Vec<DataPoint> {
     };
     let configs = vec![
         ("all optimizations", ConclaveConfig::standard()),
-        ("sequential local backend", ConclaveConfig::standard().with_sequential_local()),
-        ("no aggregation split", ConclaveConfig::standard().without_pushdown_split()),
+        (
+            "sequential local backend",
+            ConclaveConfig::standard().with_sequential_local(),
+        ),
+        (
+            "no aggregation split",
+            ConclaveConfig::standard().without_pushdown_split(),
+        ),
         ("no push-down at all", {
             let mut c = ConclaveConfig::standard();
             c.use_pushdown = false;
@@ -410,7 +444,11 @@ pub fn ablations(total_records: u64) -> Vec<DataPoint> {
         let plan = compile(&query, &config).expect("compiles");
         let est = CardinalityEstimator::new(config, stats);
         let e = est.estimate(&plan, &inputs).expect("estimate");
-        points.push(DataPoint::ok(name, total_records, e.total_time().as_secs_f64()));
+        points.push(DataPoint::ok(
+            name,
+            total_records,
+            e.total_time().as_secs_f64(),
+        ));
     }
     points
 }
@@ -496,16 +534,25 @@ mod tests {
         let points = fig5a();
         let hybrid = runtime(&points, "Conclave hybrid join", 200_000).unwrap();
         let public = runtime(&points, "Conclave public join", 200_000).unwrap();
-        assert!(runtime(&points, "Sharemind join", 200_000).is_none(), "MPC join way past cutoff");
+        assert!(
+            runtime(&points, "Sharemind join", 200_000).is_none(),
+            "MPC join way past cutoff"
+        );
         let mpc_10k = runtime(&points, "Sharemind join", 10_000).unwrap();
         assert!(mpc_10k > 600.0, "paper: >20 min at 10k, got {mpc_10k}");
-        assert!(hybrid < 1_200.0, "hybrid join at 200k ≈ 10 min, got {hybrid}");
+        assert!(
+            hybrid < 1_200.0,
+            "hybrid join at 200k ≈ 10 min, got {hybrid}"
+        );
         assert!(public < hybrid);
 
         let agg = fig5b();
         let sm = runtime(&agg, "Sharemind agg.", 30_000).unwrap();
         let hybrid_agg = runtime(&agg, "Conclave hybrid agg.", 30_000).unwrap();
-        assert!(sm > 7.0 * hybrid_agg, "hybrid agg should win by >7x: {sm} vs {hybrid_agg}");
+        assert!(
+            sm > 7.0 * hybrid_agg,
+            "hybrid agg should win by >7x: {sm} vs {hybrid_agg}"
+        );
     }
 
     #[test]

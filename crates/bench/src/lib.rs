@@ -49,13 +49,21 @@ pub fn render_table(title: &str, points: &[DataPoint]) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(out, "## {title}");
-    let _ = writeln!(out, "{:>14} {:<24} {:>14}", "input records", "system", "runtime [s]");
+    let _ = writeln!(
+        out,
+        "{:>14} {:<24} {:>14}",
+        "input records", "system", "runtime [s]"
+    );
     for p in points {
         let runtime = match p.runtime_secs {
             Some(t) => format!("{t:.1}"),
             None => "FAILED/>cutoff".to_string(),
         };
-        let _ = writeln!(out, "{:>14} {:<24} {:>14}", p.input_records, p.system, runtime);
+        let _ = writeln!(
+            out,
+            "{:>14} {:<24} {:>14}",
+            p.input_records, p.system, runtime
+        );
     }
     out
 }

@@ -43,7 +43,11 @@ pub fn market_concentration() -> Query {
     // Squared revenue per company; dividing by the squared total revenue (a
     // single public output value) happens at the recipient. Summing the
     // squared revenues is the remaining aggregation.
-    let sq = q.multiply(rev, "rev_sq", vec![Operand::col("local_rev"), Operand::col("local_rev")]);
+    let sq = q.multiply(
+        rev,
+        "rev_sq",
+        vec![Operand::col("local_rev"), Operand::col("local_rev")],
+    );
     let hhi_num = q.aggregate_scalar(sq, "hhi_numerator", AggFunc::Sum, "rev_sq");
     q.collect(hhi_num, &[pa]);
     q.build().expect("market query is well formed")
@@ -80,7 +84,12 @@ pub fn credit_card_regulation(with_trust_annotations: bool) -> Query {
     let by_zip = q.count(joined, "count", &["zip"]);
     let total_sc = q.aggregate(joined, "total", AggFunc::Sum, &["zip"], "score");
     let avg = q.join(total_sc, by_zip, &["zip"], &["zip"]);
-    let avg_scores = q.divide(avg, "avg_score", Operand::col("total"), Operand::col("count"));
+    let avg_scores = q.divide(
+        avg,
+        "avg_score",
+        Operand::col("total"),
+        Operand::col("count"),
+    );
     q.collect(avg_scores, &[regulator]);
     q.build().expect("credit query is well formed")
 }

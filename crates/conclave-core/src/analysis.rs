@@ -99,7 +99,10 @@ pub fn trusted_parties_for_columns(
     let mut trusted = universe.clone();
     for c in columns {
         let idx = schema.require(c, "trust lookup")?;
-        trusted = schema.columns[idx].trust.trusted_within(universe).intersection(&trusted);
+        trusted = schema.columns[idx]
+            .trust
+            .trusted_within(universe)
+            .intersection(&trusted);
     }
     Ok(trusted)
 }
@@ -189,7 +192,10 @@ mod tests {
         let pa = Party::new(1, "a");
         let mut q = QueryBuilder::new();
         let t = q.input("t", Schema::ints(&["k", "v"]), pa.clone());
-        let f = q.filter(t, conclave_ir::expr::Expr::col("v").gt(conclave_ir::expr::Expr::lit(0)));
+        let f = q.filter(
+            t,
+            conclave_ir::expr::Expr::col("v").gt(conclave_ir::expr::Expr::lit(0)),
+        );
         let p = q.project(f, &["k"]);
         q.collect(p, &[pa]);
         let mut dag = q.build().unwrap().dag;
@@ -215,7 +221,10 @@ mod tests {
             .unwrap();
         let ssn_trust = &concat.schema.column("ssn").unwrap().trust;
         assert!(ssn_trust.trusts(1), "regulator is trusted with bank SSNs");
-        assert!(!ssn_trust.trusts(2), "bank A not trusted with bank B's SSNs");
+        assert!(
+            !ssn_trust.trusts(2),
+            "bank A not trusted with bank B's SSNs"
+        );
 
         // The score column is private: nobody (beyond implicit owners, which
         // differ across banks) is in its intersection.
@@ -247,7 +256,9 @@ mod tests {
         let trusted =
             trusted_parties_for_columns(&dag, concat, &["ssn".to_string()], &universe).unwrap();
         assert_eq!(trusted.iter().collect::<Vec<_>>(), vec![1]);
-        assert!(trusted_parties_for_columns(&dag, concat, &["zzz".to_string()], &universe).is_err());
+        assert!(
+            trusted_parties_for_columns(&dag, concat, &["zzz".to_string()], &universe).is_err()
+        );
 
         let viewers = authorized_viewers(&dag, &universe).unwrap();
         // Every input node's owner may view it.
@@ -285,6 +296,11 @@ mod tests {
             .iter()
             .find(|n| matches!(n.op, Operator::Project { .. }))
             .unwrap();
-        assert!(leaf_proj.schema.column("patientID").unwrap().trust.is_public());
+        assert!(leaf_proj
+            .schema
+            .column("patientID")
+            .unwrap()
+            .trust
+            .is_public());
     }
 }

@@ -275,7 +275,9 @@ impl CardinalityEstimator {
                 Ok((stats.simulated_time, stp))
             }
             Operator::PublicJoin { .. } => {
-                let stats = self.mpc.estimate_public_join(in_rows.iter().sum(), out_rows);
+                let stats = self
+                    .mpc
+                    .estimate_public_join(in_rows.iter().sum(), out_rows);
                 let stp = self.local_time(
                     &Operator::Join {
                         left_keys: vec!["k".into()],
@@ -305,7 +307,7 @@ impl CardinalityEstimator {
             // oblivious sort and costs only the linear accumulation scan.
             Operator::Aggregate { group_by, .. }
                 if self.config.use_sort_elimination
-                    && group_by.first().is_some()
+                    && !group_by.is_empty()
                     && plan
                         .dag
                         .node(id)
@@ -505,8 +507,8 @@ mod tests {
     #[test]
     fn garbled_backend_reports_oom_at_scale() {
         let query = market_query();
-        let config = ConclaveConfig::mpc_only()
-            .with_mpc(conclave_mpc::backend::MpcBackendConfig::obliv_c());
+        let config =
+            ConclaveConfig::mpc_only().with_mpc(conclave_mpc::backend::MpcBackendConfig::obliv_c());
         let plan = compile(&query, &config).unwrap();
         let est = CardinalityEstimator::new(config, stats());
         let e = est.estimate(&plan, &inputs(10_000_000)).unwrap();

@@ -66,7 +66,11 @@ pub fn generate_jobs(plan: &PhysicalPlan) -> Vec<JobSpec> {
 /// Renders all generated jobs as one annotated document.
 pub fn render_all(plan: &PhysicalPlan) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "# Generated Conclave jobs ({} stages)", plan.stages().len());
+    let _ = writeln!(
+        out,
+        "# Generated Conclave jobs ({} stages)",
+        plan.stages().len()
+    );
     for (i, job) in generate_jobs(plan).iter().enumerate() {
         let _ = writeln!(out, "\n## Job {i}: {} @ {}", job.backend, job.site);
         out.push_str(&job.script);

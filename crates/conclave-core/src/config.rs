@@ -116,7 +116,7 @@ mod tests {
         assert!(c.use_sort_elimination && c.use_public_join);
         assert_eq!(c.local_backend, LocalBackend::Parallel);
         assert_eq!(c.mpc.kind, BackendKind::SharemindLike);
-        assert_eq!(ConclaveConfig::default().use_pushdown, true);
+        assert!(ConclaveConfig::default().use_pushdown);
     }
 
     #[test]

@@ -57,7 +57,11 @@ impl fmt::Display for DriverError {
             DriverError::Engine(e) => write!(f, "cleartext engine error: {e}"),
             DriverError::Mpc(e) => write!(f, "MPC error: {e}"),
             DriverError::Ir(e) => write!(f, "IR error: {e}"),
-            DriverError::UnauthorizedReveal { node, to_party, what } => write!(
+            DriverError::UnauthorizedReveal {
+                node,
+                to_party,
+                what,
+            } => write!(
                 f,
                 "refusing to reveal {what} of node #{node} to unauthorized party P{to_party}"
             ),
@@ -133,11 +137,14 @@ impl Driver {
                     }
                     (rel, Duration::ZERO)
                 }
-                (Operator::HybridJoin {
-                    left_keys,
-                    right_keys,
-                    stp,
-                }, _) => {
+                (
+                    Operator::HybridJoin {
+                        left_keys,
+                        right_keys,
+                        stp,
+                    },
+                    _,
+                ) => {
                     self.check_reveal_authorized(plan, node.inputs[0], left_keys, *stp, id)?;
                     self.check_reveal_authorized(plan, node.inputs[1], right_keys, *stp, id)?;
                     let outcome = hybrid_exec::hybrid_join(
@@ -152,11 +159,14 @@ impl Driver {
                     self.absorb_hybrid(&mut report, id, &outcome);
                     (outcome.result, Duration::ZERO)
                 }
-                (Operator::PublicJoin {
-                    left_keys,
-                    right_keys,
-                    helper,
-                }, _) => {
+                (
+                    Operator::PublicJoin {
+                        left_keys,
+                        right_keys,
+                        helper,
+                    },
+                    _,
+                ) => {
                     let outcome = hybrid_exec::public_join(
                         &self.sequential_cost,
                         input_rels[0],
@@ -168,13 +178,16 @@ impl Driver {
                     self.absorb_hybrid(&mut report, id, &outcome);
                     (outcome.result, Duration::ZERO)
                 }
-                (Operator::HybridAggregate {
-                    group_by,
-                    func,
-                    over,
-                    out,
-                    stp,
-                }, _) => {
+                (
+                    Operator::HybridAggregate {
+                        group_by,
+                        func,
+                        over,
+                        out,
+                        stp,
+                    },
+                    _,
+                ) => {
                     self.check_reveal_authorized(plan, node.inputs[0], group_by, *stp, id)?;
                     let outcome = hybrid_exec::hybrid_aggregate(
                         &mut self.mpc,
@@ -246,7 +259,12 @@ impl Driver {
         Ok(report)
     }
 
-    fn absorb_hybrid(&self, report: &mut RunReport, id: NodeId, outcome: &hybrid_exec::HybridOutcome) {
+    fn absorb_hybrid(
+        &self,
+        report: &mut RunReport,
+        id: NodeId,
+        outcome: &hybrid_exec::HybridOutcome,
+    ) {
         report.mpc_time += outcome.mpc_stats.simulated_time;
         report.stp_time += outcome.stp_time;
         report.network_bytes += outcome.mpc_stats.counts.bytes();
@@ -269,12 +287,8 @@ impl Driver {
         stp: PartyId,
         at_node: NodeId,
     ) -> Result<(), DriverError> {
-        let trusted = analysis::trusted_parties_for_columns(
-            &plan.dag,
-            input_node,
-            columns,
-            &plan.parties,
-        )?;
+        let trusted =
+            analysis::trusted_parties_for_columns(&plan.dag, input_node, columns, &plan.parties)?;
         if trusted.contains(stp) {
             Ok(())
         } else {
@@ -394,7 +408,10 @@ mod tests {
         let mut m = HashMap::new();
         m.insert(
             "inputA".to_string(),
-            Relation::from_ints(&["companyID", "price"], &[vec![1, 10], vec![2, 0], vec![1, 5]]),
+            Relation::from_ints(
+                &["companyID", "price"],
+                &[vec![1, 10], vec![2, 0], vec![1, 5]],
+            ),
         );
         m.insert(
             "inputB".to_string(),
@@ -425,7 +442,10 @@ mod tests {
 
     /// Expected per-company revenue for `market_inputs` (zero fares removed).
     fn expected_market_result() -> Relation {
-        Relation::from_ints(&["companyID", "local_rev"], &[vec![1, 18], vec![2, 7], vec![3, 13]])
+        Relation::from_ints(
+            &["companyID", "local_rev"],
+            &[vec![1, 18], vec![2, 7], vec![3, 13]],
+        )
     }
 
     #[test]
@@ -530,8 +550,7 @@ mod tests {
         let report = driver.run(&plan, &credit_inputs()).unwrap();
         let out = report.output_for(1).unwrap();
         // zip 10: scores 700 + 650 + 640 = 1990; zip 20: 600.
-        let expected =
-            Relation::from_ints(&["zip", "total"], &[vec![10, 1990], vec![20, 600]]);
+        let expected = Relation::from_ints(&["zip", "total"], &[vec![10, 1990], vec![20, 600]]);
         assert!(out.same_rows_unordered(&expected), "got\n{out}");
         // The audit shows reveals to the STP (party 1) only.
         assert!(report.leakage.iter().all(|e| e.to_party == 1));
@@ -552,9 +571,18 @@ mod tests {
         let demo: Vec<Vec<i64>> = (0..60).map(|i| vec![i, i % 7]).collect();
         let s1: Vec<Vec<i64>> = (0..30).map(|i| vec![i * 2, 500 + i]).collect();
         let s2: Vec<Vec<i64>> = (0..30).map(|i| vec![i * 2 + 1, 600 + i]).collect();
-        inputs.insert("demographics".to_string(), Relation::from_ints(&["ssn", "zip"], &demo));
-        inputs.insert("scores1".to_string(), Relation::from_ints(&["ssn", "score"], &s1));
-        inputs.insert("scores2".to_string(), Relation::from_ints(&["ssn", "score"], &s2));
+        inputs.insert(
+            "demographics".to_string(),
+            Relation::from_ints(&["ssn", "zip"], &demo),
+        );
+        inputs.insert(
+            "scores1".to_string(),
+            Relation::from_ints(&["ssn", "score"], &s1),
+        );
+        inputs.insert(
+            "scores2".to_string(),
+            Relation::from_ints(&["ssn", "score"], &s2),
+        );
         let hybrid_plan = compile(&query, &ConclaveConfig::standard()).unwrap();
         let mpc_plan = compile(&query, &ConclaveConfig::mpc_only()).unwrap();
         let mut d1 = Driver::new(ConclaveConfig::standard().with_sequential_local());
@@ -610,8 +638,14 @@ mod tests {
         let plan = compile(&query, &ConclaveConfig::standard()).unwrap();
         let mut driver = Driver::new(ConclaveConfig::standard().with_sequential_local());
         let mut inputs = HashMap::new();
-        inputs.insert("a".to_string(), Relation::from_ints(&["k", "v"], &[vec![1, 2]]));
-        inputs.insert("b".to_string(), Relation::from_ints(&["k", "v"], &[vec![1, 3]]));
+        inputs.insert(
+            "a".to_string(),
+            Relation::from_ints(&["k", "v"], &[vec![1, 2]]),
+        );
+        inputs.insert(
+            "b".to_string(),
+            Relation::from_ints(&["k", "v"], &[vec![1, 3]]),
+        );
         let report = driver.run(&plan, &inputs).unwrap();
         assert!(report.output_for(1).is_some());
         assert!(report.output_for(2).is_some());

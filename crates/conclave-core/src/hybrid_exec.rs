@@ -61,10 +61,20 @@ pub fn hybrid_join(
 
     // 3–5. STP: enumerate both key relations, join in the clear, and project
     // the row-index columns into two index relations.
-    let enum_left = execute(&Operator::Enumerate { out: "__lidx".into() }, &[&left_keys_clear])
-        .map_err(|e| MpcError::Exec(e.to_string()))?;
-    let enum_right = execute(&Operator::Enumerate { out: "__ridx".into() }, &[&right_keys_clear])
-        .map_err(|e| MpcError::Exec(e.to_string()))?;
+    let enum_left = execute(
+        &Operator::Enumerate {
+            out: "__lidx".into(),
+        },
+        &[&left_keys_clear],
+    )
+    .map_err(|e| MpcError::Exec(e.to_string()))?;
+    let enum_right = execute(
+        &Operator::Enumerate {
+            out: "__ridx".into(),
+        },
+        &[&right_keys_clear],
+    )
+    .map_err(|e| MpcError::Exec(e.to_string()))?;
     let joined_keys = execute(
         &Operator::Join {
             left_keys: left_keys.to_vec(),
@@ -102,12 +112,20 @@ pub fn hybrid_join(
     // select the matching rows from the shuffled inputs.
     let left_indexes_shared = engine.share(&left_indexes)?;
     let right_indexes_shared = engine.share(&right_indexes)?;
-    let left_rows =
-        oblivious::oblivious_select(&left_shuffled, &left_indexes_shared, "__lidx", engine.protocol())
-            .map_err(MpcError::Exec)?;
-    let right_rows =
-        oblivious::oblivious_select(&right_shuffled, &right_indexes_shared, "__ridx", engine.protocol())
-            .map_err(MpcError::Exec)?;
+    let left_rows = oblivious::oblivious_select(
+        &left_shuffled,
+        &left_indexes_shared,
+        "__lidx",
+        engine.protocol(),
+    )
+    .map_err(MpcError::Exec)?;
+    let right_rows = oblivious::oblivious_select(
+        &right_shuffled,
+        &right_indexes_shared,
+        "__ridx",
+        engine.protocol(),
+    )
+    .map_err(MpcError::Exec)?;
 
     // 7. Concatenate column-wise (dropping the right key columns) and shuffle.
     let schema = join_schema(&left.schema, &right.schema, left_keys, right_keys)
@@ -136,11 +154,7 @@ pub fn hybrid_join(
         result,
         mpc_stats,
         stp_time,
-        revealed_columns: left_keys
-            .iter()
-            .chain(right_keys.iter())
-            .cloned()
-            .collect(),
+        revealed_columns: left_keys.iter().chain(right_keys.iter()).cloned().collect(),
         revealed_to: stp,
     })
 }
@@ -170,18 +184,16 @@ pub fn public_join(
     // The only cross-party traffic is the key columns and the joined index
     // relation; account it as opened/shared elements so the cost model can
     // convert it to time and bytes.
-    let mut mpc_stats = MpcStepStats::default();
-    mpc_stats.input_rows = (left.num_rows() + right.num_rows()) as u64;
-    mpc_stats.output_rows = result.num_rows() as u64;
+    let mpc_stats = MpcStepStats {
+        input_rows: (left.num_rows() + right.num_rows()) as u64,
+        output_rows: result.num_rows() as u64,
+        ..Default::default()
+    };
     Ok(HybridOutcome {
         result,
         mpc_stats,
         stp_time,
-        revealed_columns: left_keys
-            .iter()
-            .chain(right_keys.iter())
-            .cloned()
-            .collect(),
+        revealed_columns: left_keys.iter().chain(right_keys.iter()).cloned().collect(),
         revealed_to: helper,
     })
 }
@@ -190,6 +202,9 @@ pub fn public_join(
 /// shuffled, the group-by column is revealed to the STP, the STP sorts it in
 /// the clear and returns the ordering, and the parties finish with a linear
 /// oblivious accumulation scan instead of an oblivious sort.
+// The signature mirrors the aggregate operator's fields one-to-one; bundling
+// them into a struct would just duplicate `Operator::Aggregate`.
+#[allow(clippy::too_many_arguments)]
 pub fn hybrid_aggregate(
     engine: &mut MpcEngine,
     stp_cost: &SequentialCostModel,
@@ -210,14 +225,21 @@ pub fn hybrid_aggregate(
     let shuffled = oblivious::shuffle(&shared, engine.protocol());
 
     // 2. Reveal the (shuffled) group-by column to the STP.
-    let keys_shared = shuffled.project(&[key.clone()]).map_err(MpcError::Exec)?;
+    let keys_shared = shuffled
+        .project(std::slice::from_ref(key))
+        .map_err(MpcError::Exec)?;
     let keys_clear = engine.reconstruct(&keys_shared);
 
     // 3–4. STP: enumerate and sort by key in the clear; the resulting index
     // order is sent back to the parties (it refers to shuffled positions, so
     // it reveals nothing about the original order).
-    let enumerated = execute(&Operator::Enumerate { out: "__idx".into() }, &[&keys_clear])
-        .map_err(|e| MpcError::Exec(e.to_string()))?;
+    let enumerated = execute(
+        &Operator::Enumerate {
+            out: "__idx".into(),
+        },
+        &[&keys_clear],
+    )
+    .map_err(|e| MpcError::Exec(e.to_string()))?;
     let sorted = execute(
         &Operator::SortBy {
             column: key.clone(),
@@ -249,8 +271,9 @@ pub fn hybrid_aggregate(
     // inside `aggregate_sorted`). The oblivious equality tests stand in for
     // the STP-provided equality flags; their cost is a small constant factor
     // of the linear scan either way.
-    let aggregated = oblivious::aggregate_sorted(&reordered, group_by, func, over, out, engine.protocol())
-        .map_err(MpcError::Exec)?;
+    let aggregated =
+        oblivious::aggregate_sorted(&reordered, group_by, func, over, out, engine.protocol())
+            .map_err(MpcError::Exec)?;
     let result = engine.reconstruct(&aggregated);
     let mpc_stats = engine.drain_stats(input.num_rows() as u64, result.num_rows() as u64);
 
@@ -275,11 +298,23 @@ mod tests {
     fn demo_relations() -> (Relation, Relation) {
         let demographics = Relation::from_ints(
             &["ssn", "zip"],
-            &[vec![1, 10], vec![2, 20], vec![3, 10], vec![4, 30], vec![5, 20]],
+            &[
+                vec![1, 10],
+                vec![2, 20],
+                vec![3, 10],
+                vec![4, 30],
+                vec![5, 20],
+            ],
         );
         let scores = Relation::from_ints(
             &["ssn", "score"],
-            &[vec![2, 700], vec![3, 650], vec![3, 640], vec![5, 720], vec![9, 500]],
+            &[
+                vec![2, 700],
+                vec![3, 650],
+                vec![3, 640],
+                vec![5, 720],
+                vec![9, 500],
+            ],
         );
         (demographics, scores)
     }
@@ -386,7 +421,14 @@ mod tests {
         let mut eng = engine();
         let input = Relation::from_ints(
             &["zip", "score"],
-            &[vec![10, 700], vec![20, 650], vec![10, 640], vec![30, 720], vec![20, 500], vec![10, 100]],
+            &[
+                vec![10, 700],
+                vec![20, 650],
+                vec![10, 640],
+                vec![30, 720],
+                vec![20, 500],
+                vec![10, 100],
+            ],
         );
         for (func, over, out) in [
             (AggFunc::Sum, Some("score"), "total"),

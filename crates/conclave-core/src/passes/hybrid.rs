@@ -47,10 +47,18 @@ pub fn run(dag: &mut OpDag, universe: &PartySet, config: &ConclaveConfig) -> IrR
                 let right_schema = dag.node(node.inputs[1])?.schema.clone();
                 let mut trust = TrustSet::Public;
                 for k in &left_keys {
-                    trust = trust.intersect(&left_schema.require(k, "hybrid join").map(|i| left_schema.columns[i].trust.clone())?);
+                    trust = trust.intersect(
+                        &left_schema
+                            .require(k, "hybrid join")
+                            .map(|i| left_schema.columns[i].trust.clone())?,
+                    );
                 }
                 for k in &right_keys {
-                    trust = trust.intersect(&right_schema.require(k, "hybrid join").map(|i| right_schema.columns[i].trust.clone())?);
+                    trust = trust.intersect(
+                        &right_schema
+                            .require(k, "hybrid join")
+                            .map(|i| right_schema.columns[i].trust.clone())?,
+                    );
                 }
                 let trusted = trust.trusted_within(universe);
                 if config.use_public_join && trusted.len() == universe.len() && !universe.is_empty()
@@ -240,7 +248,12 @@ mod tests {
         assert!(dag.iter().all(|n| !n.op.is_hybrid()));
         // without_hybrid also disables both hybrid and public rewrites.
         let mut dag2 = prepare(&query);
-        let log2 = run(&mut dag2, &query.party_set(), &ConclaveConfig::without_hybrid()).unwrap();
+        let log2 = run(
+            &mut dag2,
+            &query.party_set(),
+            &ConclaveConfig::without_hybrid(),
+        )
+        .unwrap();
         assert!(log2.is_empty());
     }
 }

@@ -264,7 +264,10 @@ mod tests {
         rewritten.recompute_schemas().unwrap();
 
         let data = [
-            Relation::from_ints(&["companyID", "price"], &[vec![1, 10], vec![2, 0], vec![1, 5]]),
+            Relation::from_ints(
+                &["companyID", "price"],
+                &[vec![1, 10], vec![2, 0], vec![1, 5]],
+            ),
             Relation::from_ints(&["companyID", "price"], &[vec![2, 7], vec![3, 9]]),
             Relation::from_ints(&["companyID", "price"], &[vec![1, 3], vec![3, 0]]),
         ];

@@ -73,7 +73,11 @@ mod tests {
         // The division producing the average is reversible: it can run at the
         // regulator after the MPC reveals (total, n).
         let avg = q.divide(joined, "avg", Operand::col("total"), Operand::col("n"));
-        let scaled = q.multiply(avg, "scaled", vec![Operand::col("total"), Operand::lit(100)]);
+        let scaled = q.multiply(
+            avg,
+            "scaled",
+            vec![Operand::col("total"), Operand::lit(100)],
+        );
         q.collect(scaled, &[pa]);
         let mut dag = q.build().unwrap().dag;
         propagate_ownership(&mut dag).unwrap();

@@ -72,7 +72,9 @@ impl PhysicalPlan {
             return stages;
         };
         for id in order {
-            let Ok(node) = self.dag.node(id) else { continue };
+            let Ok(node) = self.dag.node(id) else {
+                continue;
+            };
             match stages.last_mut() {
                 Some(stage) if stage.site == node.site => stage.nodes.push(id),
                 _ => stages.push(Stage {

@@ -78,7 +78,11 @@ impl RunReport {
 impl fmt::Display for RunReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "=== Conclave run report ===")?;
-        writeln!(f, "total simulated time: {:.2} s", self.total_time().as_secs_f64())?;
+        writeln!(
+            f,
+            "total simulated time: {:.2} s",
+            self.total_time().as_secs_f64()
+        )?;
         for (party, t) in &self.local_time {
             writeln!(f, "  local @ P{party}: {:.2} s", t.as_secs_f64())?;
         }
@@ -119,8 +123,10 @@ mod tests {
         r.stp_time = Duration::from_secs(1);
         assert_eq!(r.total_time(), Duration::from_secs(13));
         // With no local work at all, only MPC+STP count.
-        let mut r2 = RunReport::default();
-        r2.mpc_time = Duration::from_secs(2);
+        let r2 = RunReport {
+            mpc_time: Duration::from_secs(2),
+            ..Default::default()
+        };
         assert_eq!(r2.total_time(), Duration::from_secs(2));
     }
 

@@ -181,7 +181,10 @@ mod tests {
         let m = vec![g.medications(0, 500), g.medications(1, 500)];
         let count = HealthGenerator::reference_aspirin_count(&d, &m);
         assert!(count >= 0);
-        let cd = vec![g.comorbidity_diagnoses(0, 500), g.comorbidity_diagnoses(1, 500)];
+        let cd = vec![
+            g.comorbidity_diagnoses(0, 500),
+            g.comorbidity_diagnoses(1, 500),
+        ];
         let top = HealthGenerator::reference_comorbidity(&cd, 10);
         assert_eq!(top.len(), 10);
         assert!(top.windows(2).all(|w| w[0].1 >= w[1].1), "sorted by count");

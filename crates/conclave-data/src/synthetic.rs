@@ -38,7 +38,9 @@ impl SyntheticGenerator {
     pub fn zipf_keyed(&mut self, rows: usize, distinct_keys: usize, exponent: f64) -> Relation {
         let distinct = distinct_keys.max(1);
         // Precompute cumulative Zipf weights.
-        let weights: Vec<f64> = (1..=distinct).map(|k| 1.0 / (k as f64).powf(exponent)).collect();
+        let weights: Vec<f64> = (1..=distinct)
+            .map(|k| 1.0 / (k as f64).powf(exponent))
+            .collect();
         let total: f64 = weights.iter().sum();
         let mut cumulative = Vec::with_capacity(distinct);
         let mut acc = 0.0;
@@ -121,7 +123,11 @@ mod tests {
         let mut g = SyntheticGenerator::new(2);
         let r = g.zipf_keyed(20_000, 100, 1.2);
         assert_eq!(r.num_rows(), 20_000);
-        let count_key0 = r.rows.iter().filter(|row| row[0].as_int() == Some(0)).count();
+        let count_key0 = r
+            .rows
+            .iter()
+            .filter(|row| row[0].as_int() == Some(0))
+            .count();
         let count_key99 = r
             .rows
             .iter()

@@ -105,7 +105,11 @@ mod tests {
         let r = g.party_trips(10_000);
         assert_eq!(r.num_rows(), 10_000);
         assert_eq!(r.schema.names(), vec!["companyID", "price", "airport"]);
-        let zero_fares = r.rows.iter().filter(|row| row[1].as_int() == Some(0)).count();
+        let zero_fares = r
+            .rows
+            .iter()
+            .filter(|row| row[1].as_int() == Some(0))
+            .count();
         let airport = r
             .rows
             .iter()

@@ -182,9 +182,7 @@ pub fn execute(op: &Operator, inputs: &[&Relation]) -> EngineResult<Relation> {
         }
         Operator::HybridJoin { .. }
         | Operator::PublicJoin { .. }
-        | Operator::HybridAggregate { .. } => {
-            Err(EngineError::Unsupported(op.name().to_string()))
-        }
+        | Operator::HybridAggregate { .. } => Err(EngineError::Unsupported(op.name().to_string())),
     }
 }
 
@@ -499,13 +497,7 @@ mod tests {
     fn sales() -> Relation {
         Relation::from_ints(
             &["companyID", "price"],
-            &[
-                vec![1, 10],
-                vec![2, 5],
-                vec![1, 20],
-                vec![3, 7],
-                vec![2, 5],
-            ],
+            &[vec![1, 10], vec![2, 5], vec![1, 20], vec![3, 7], vec![2, 5]],
         )
     }
 
@@ -554,8 +546,12 @@ mod tests {
 
     #[test]
     fn join_matches_keys_and_drops_right_key() {
-        let left = Relation::from_ints(&["ssn", "zip"], &[vec![1, 100], vec![2, 200], vec![3, 300]]);
-        let right = Relation::from_ints(&["ssn", "score"], &[vec![2, 700], vec![3, 650], vec![3, 660], vec![9, 1]]);
+        let left =
+            Relation::from_ints(&["ssn", "zip"], &[vec![1, 100], vec![2, 200], vec![3, 300]]);
+        let right = Relation::from_ints(
+            &["ssn", "score"],
+            &[vec![2, 700], vec![3, 650], vec![3, 660], vec![9, 1]],
+        );
         let out = execute(
             &Operator::Join {
                 left_keys: vec!["ssn".into()],
@@ -836,7 +832,11 @@ mod tests {
             got: 1,
         };
         assert!(e.to_string().contains("join"));
-        assert!(EngineError::Unsupported("h".into()).to_string().contains('h'));
-        assert!(EngineError::Eval("boom".into()).to_string().contains("boom"));
+        assert!(EngineError::Unsupported("h".into())
+            .to_string()
+            .contains('h'));
+        assert!(EngineError::Eval("boom".into())
+            .to_string()
+            .contains("boom"));
     }
 }

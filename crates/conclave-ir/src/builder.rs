@@ -381,8 +381,17 @@ mod tests {
         // by a constant companyID-independent key, which we model by joining
         // on a projected constant. For IR purposes a plain join on
         // companyID is sufficient to exercise the builder here.
-        let share = q.divide(rev, "m_share", Operand::col("local_rev"), Operand::col("local_rev"));
-        let sq = q.multiply(share, "ms_squared", vec![Operand::col("m_share"), Operand::col("m_share")]);
+        let share = q.divide(
+            rev,
+            "m_share",
+            Operand::col("local_rev"),
+            Operand::col("local_rev"),
+        );
+        let sq = q.multiply(
+            share,
+            "ms_squared",
+            vec![Operand::col("m_share"), Operand::col("m_share")],
+        );
         let hhi = q.aggregate_scalar(sq, "hhi", AggFunc::Sum, "ms_squared");
         q.collect(hhi, &[pa]);
         // market_size is left dangling on purpose in this IR-level test.

@@ -376,7 +376,7 @@ mod tests {
             over: Some("v".into()),
             out: "total".into(),
         };
-        let agg_schema = agg_op.output_schema(&[schema.clone()]).unwrap();
+        let agg_schema = agg_op.output_schema(std::slice::from_ref(&schema)).unwrap();
         let agg = dag.add_node(agg_op, vec![cat], agg_schema.clone());
         let col = dag.add_node(
             Operator::Collect {
@@ -490,7 +490,9 @@ mod tests {
             out: "v2".into(),
             operands: vec![Operand::col("v"), Operand::lit(2)],
         };
-        let mul_schema = mul.output_schema(&[dag.node(a).unwrap().schema.clone()]).unwrap();
+        let mul_schema = mul
+            .output_schema(&[dag.node(a).unwrap().schema.clone()])
+            .unwrap();
         let mul_id = dag.add_node(mul, vec![a], mul_schema);
         // Concat now has mismatched arity of columns; rewire both inputs via
         // projection back to (k, v) to keep it valid.

@@ -40,7 +40,14 @@ impl BinOp {
     pub fn is_predicate(self) -> bool {
         matches!(
             self,
-            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::And | BinOp::Or
+            BinOp::Eq
+                | BinOp::Ne
+                | BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::And
+                | BinOp::Or
         )
     }
 }
@@ -145,27 +152,35 @@ impl Expr {
         Expr::bin(BinOp::Or, self, other)
     }
 
+    // The arithmetic names below intentionally shadow the std operator trait
+    // methods: they are fluent builder methods producing `Expr` nodes, and the
+    // query-building code reads better as `col.add(other)` chains.
     /// `self + other`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Expr) -> Expr {
         Expr::bin(BinOp::Add, self, other)
     }
 
     /// `self - other`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Expr) -> Expr {
         Expr::bin(BinOp::Sub, self, other)
     }
 
     /// `self * other`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Expr) -> Expr {
         Expr::bin(BinOp::Mul, self, other)
     }
 
     /// `self / other`.
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, other: Expr) -> Expr {
         Expr::bin(BinOp::Div, self, other)
     }
 
     /// Logical negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Expr {
         Expr::Not(Box::new(self))
     }
@@ -194,13 +209,15 @@ impl Expr {
     /// Statically infers the result type of this expression against a schema.
     pub fn infer_type(&self, schema: &Schema) -> IrResult<DataType> {
         match self {
-            Expr::Col(name) => schema
-                .column(name)
-                .map(|c| c.dtype)
-                .ok_or_else(|| IrError::UnknownColumn {
-                    column: name.clone(),
-                    context: "expression".into(),
-                }),
+            Expr::Col(name) => {
+                schema
+                    .column(name)
+                    .map(|c| c.dtype)
+                    .ok_or_else(|| IrError::UnknownColumn {
+                        column: name.clone(),
+                        context: "expression".into(),
+                    })
+            }
             Expr::Const(v) => v
                 .data_type()
                 .ok_or_else(|| IrError::TypeError("NULL literal has no type".into())),
@@ -209,9 +226,8 @@ impl Expr {
                 let rt = right.infer_type(schema)?;
                 if op.is_predicate() {
                     Ok(DataType::Bool)
-                } else if *op == BinOp::Div {
-                    Ok(DataType::Float)
-                } else if lt == DataType::Float || rt == DataType::Float {
+                } else if *op == BinOp::Div || lt == DataType::Float || rt == DataType::Float {
+                    // Division always produces a float (averages, shares).
                     Ok(DataType::Float)
                 } else if lt == DataType::Int && rt == DataType::Int {
                     Ok(DataType::Int)
@@ -330,9 +346,13 @@ mod tests {
         assert_eq!(e.eval(&s, &row).unwrap(), Value::Float(1.5));
         let e = Expr::col("a").gt(Expr::lit(5));
         assert_eq!(e.eval(&s, &row).unwrap(), Value::Bool(true));
-        let e = Expr::col("a").lt(Expr::lit(5)).or(Expr::col("b").eq(Expr::lit(4)));
+        let e = Expr::col("a")
+            .lt(Expr::lit(5))
+            .or(Expr::col("b").eq(Expr::lit(4)));
         assert_eq!(e.eval(&s, &row).unwrap(), Value::Bool(true));
-        let e = Expr::col("a").ge(Expr::lit(6)).and(Expr::col("b").le(Expr::lit(3)));
+        let e = Expr::col("a")
+            .ge(Expr::lit(6))
+            .and(Expr::col("b").le(Expr::lit(3)));
         assert_eq!(e.eval(&s, &row).unwrap(), Value::Bool(false));
         let e = Expr::col("a").ne(Expr::lit(6)).not();
         assert_eq!(e.eval(&s, &row).unwrap(), Value::Bool(true));

@@ -16,6 +16,10 @@ use crate::types::{DataType, Value};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// Per-output-column dependency list: each entry pairs an output column name
+/// with the `(input_index, column_name)` pairs it depends on.
+pub type ColumnDeps = Vec<(String, Vec<(usize, String)>)>;
+
 /// Aggregation functions supported by `aggregate`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AggFunc {
@@ -567,12 +571,8 @@ impl Operator {
     /// For each output column, the set of input columns it depends on, as
     /// `(input_index, column_name)` pairs (§5.1: both "contributes rows" and
     /// "affects how rows are combined/filtered/reordered" dependencies).
-    pub fn column_dependencies(
-        &self,
-        inputs: &[Schema],
-        output: &Schema,
-    ) -> IrResult<Vec<(String, Vec<(usize, String)>)>> {
-        let mut deps: Vec<(String, Vec<(usize, String)>)> = Vec::new();
+    pub fn column_dependencies(&self, inputs: &[Schema], output: &Schema) -> IrResult<ColumnDeps> {
+        let mut deps: ColumnDeps = Vec::new();
         match self {
             Operator::Input { .. } => {}
             Operator::Concat => {
@@ -619,12 +619,8 @@ impl Operator {
                     deps.push((col.name.clone(), d));
                 }
             }
-            Operator::Aggregate {
-                group_by, over, ..
-            }
-            | Operator::HybridAggregate {
-                group_by, over, ..
-            } => {
+            Operator::Aggregate { group_by, over, .. }
+            | Operator::HybridAggregate { group_by, over, .. } => {
                 for col in &output.columns {
                     let mut d: Vec<(usize, String)> =
                         group_by.iter().map(|g| (0, g.clone())).collect();
@@ -706,7 +702,7 @@ impl Operator {
 }
 
 fn default_unary_deps(
-    deps: &mut Vec<(String, Vec<(usize, String)>)>,
+    deps: &mut ColumnDeps,
     output: &Schema,
     computed: &str,
     computed_deps: impl Fn() -> Vec<(usize, String)>,
@@ -725,7 +721,9 @@ fn upsert_column(schema: &mut Schema, name: &str, dtype: DataType, trust: TrustS
         c.dtype = dtype;
         c.trust = trust;
     } else {
-        schema.columns.push(ColumnDef::with_trust(name, dtype, trust));
+        schema
+            .columns
+            .push(ColumnDef::with_trust(name, dtype, trust));
     }
 }
 
@@ -898,11 +896,14 @@ mod tests {
         let p = Operator::Project {
             columns: vec!["b".into()],
         };
-        assert_eq!(p.output_schema(&[s.clone()]).unwrap().names(), vec!["b"]);
+        assert_eq!(
+            p.output_schema(std::slice::from_ref(&s)).unwrap().names(),
+            vec!["b"]
+        );
         let f = Operator::Filter {
             predicate: Expr::col("a").gt(Expr::lit(0)),
         };
-        assert_eq!(f.output_schema(&[s.clone()]).unwrap().len(), 2);
+        assert_eq!(f.output_schema(std::slice::from_ref(&s)).unwrap().len(), 2);
         let bad = Operator::Filter {
             predicate: Expr::col("zzz").gt(Expr::lit(0)),
         };
@@ -915,13 +916,7 @@ mod tests {
         left.column_mut("ssn").unwrap().trust = TrustSet::of([1]);
         let mut right = Schema::ints(&["ssn", "score", "zip"]);
         right.column_mut("ssn").unwrap().trust = TrustSet::of([1, 2]);
-        let out = join_schema(
-            &left,
-            &right,
-            &["ssn".to_string()],
-            &["ssn".to_string()],
-        )
-        .unwrap();
+        let out = join_schema(&left, &right, &["ssn".to_string()], &["ssn".to_string()]).unwrap();
         assert_eq!(out.names(), vec!["ssn", "zip", "score", "zip_r"]);
         assert!(out.column("ssn").unwrap().trust.trusts(1));
         assert!(!out.column("ssn").unwrap().trust.trusts(2));
@@ -951,8 +946,8 @@ mod tests {
         let out = aggregate_schema(&s, &[], AggFunc::Sum, Some("price"), "total").unwrap();
         assert_eq!(out.names(), vec!["total"]);
         // COUNT does not need `over`.
-        let out = aggregate_schema(&s, &["companyID".to_string()], AggFunc::Count, None, "n")
-            .unwrap();
+        let out =
+            aggregate_schema(&s, &["companyID".to_string()], AggFunc::Count, None, "n").unwrap();
         assert_eq!(out.column("n").unwrap().dtype, DataType::Int);
         // SUM without `over` is invalid.
         assert!(aggregate_schema(&s, &[], AggFunc::Sum, None, "x").is_err());
@@ -965,7 +960,7 @@ mod tests {
             out: "ms_squared".into(),
             operands: vec![Operand::col("m_share"), Operand::col("m_share")],
         };
-        let out = m.output_schema(&[s.clone()]).unwrap();
+        let out = m.output_schema(std::slice::from_ref(&s)).unwrap();
         assert_eq!(out.len(), 3);
         assert_eq!(out.column("ms_squared").unwrap().dtype, DataType::Int);
 
@@ -974,7 +969,7 @@ mod tests {
             num: Operand::col("m_share"),
             den: Operand::lit(2),
         };
-        let out = d.output_schema(&[s.clone()]).unwrap();
+        let out = d.output_schema(std::slice::from_ref(&s)).unwrap();
         assert_eq!(out.column("avg").unwrap().dtype, DataType::Float);
 
         let bad = Operator::Multiply {
@@ -991,10 +986,13 @@ mod tests {
             column: "pid".into(),
             out: "n".into(),
         };
-        assert_eq!(dc.output_schema(&[s.clone()]).unwrap().names(), vec!["n"]);
+        assert_eq!(
+            dc.output_schema(std::slice::from_ref(&s)).unwrap().names(),
+            vec!["n"]
+        );
         let e = Operator::Enumerate { out: "idx".into() };
         assert_eq!(
-            e.output_schema(&[s.clone()]).unwrap().names(),
+            e.output_schema(std::slice::from_ref(&s)).unwrap().names(),
             vec!["pid", "diag", "idx"]
         );
         let sel = Operator::ObliviousSelect {
@@ -1015,12 +1013,18 @@ mod tests {
             party: 1,
             columns: Some(vec!["a".into()]),
         };
-        assert_eq!(r.output_schema(&[s.clone()]).unwrap().names(), vec!["a"]);
+        assert_eq!(
+            r.output_schema(std::slice::from_ref(&s)).unwrap().names(),
+            vec!["a"]
+        );
         let r_all = Operator::RevealTo {
             party: 1,
             columns: None,
         };
-        assert_eq!(r_all.output_schema(&[s.clone()]).unwrap().len(), 2);
+        assert_eq!(
+            r_all.output_schema(std::slice::from_ref(&s)).unwrap().len(),
+            2
+        );
         let c = Operator::Collect {
             recipients: PartySet::singleton(1),
         };
@@ -1126,7 +1130,7 @@ mod tests {
             over: Some("score".into()),
             out: "total".into(),
         };
-        let out = op.output_schema(&[s.clone()]).unwrap();
+        let out = op.output_schema(std::slice::from_ref(&s)).unwrap();
         let deps = op.column_dependencies(&[s], &out).unwrap();
         let total = &deps.iter().find(|(n, _)| n == "total").unwrap().1;
         assert!(total.contains(&(0, "zip".to_string())));
@@ -1141,7 +1145,7 @@ mod tests {
         let op = Operator::Filter {
             predicate: Expr::col("b").gt(Expr::lit(0)),
         };
-        let out = op.output_schema(&[s.clone()]).unwrap();
+        let out = op.output_schema(std::slice::from_ref(&s)).unwrap();
         let deps = op.column_dependencies(&[s], &out).unwrap();
         let a_deps = &deps.iter().find(|(n, _)| n == "a").unwrap().1;
         assert!(a_deps.contains(&(0, "b".to_string())));

@@ -152,7 +152,7 @@ impl Value {
     /// `divide` operator (used for averages and market shares).
     pub fn div(&self, other: &Value) -> Value {
         match (self.as_float(), other.as_float()) {
-            (Some(_), Some(b)) if b == 0.0 => Value::Null,
+            (Some(_), Some(0.0)) => Value::Null,
             (Some(a), Some(b)) => Value::Float(a / b),
             _ => Value::Null,
         }
@@ -344,7 +344,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut vals = vec![
+        let mut vals = [
             Value::Str("b".into()),
             Value::Int(10),
             Value::Null,

@@ -388,15 +388,17 @@ impl MpcEngine {
             Operator::DistinctCount { column, out } => {
                 need(1)?;
                 let proj = inputs[0]
-                    .project(&[column.clone()])
+                    .project(std::slice::from_ref(column))
                     .map_err(MpcError::Exec)?;
                 let sorted =
                     oblivious::sort_by(&proj, column, true, proto).map_err(MpcError::Exec)?;
                 let distinct = distinct_sorted(&sorted, proto)?;
                 let n = distinct.num_rows() as i64;
-                let schema = conclave_ir::schema::Schema::new(vec![
-                    conclave_ir::schema::ColumnDef::new(out, conclave_ir::types::DataType::Int),
-                ]);
+                let schema =
+                    conclave_ir::schema::Schema::new(vec![conclave_ir::schema::ColumnDef::new(
+                        out,
+                        conclave_ir::types::DataType::Int,
+                    )]);
                 Ok(SharedRelation {
                     schema,
                     rows: vec![vec![proto.constant(n)]],
@@ -432,7 +434,11 @@ impl MpcEngine {
         inputs: &[&Relation],
         input_rows: u64,
     ) -> MpcResult<(Relation, MpcStepStats)> {
-        let cols: u64 = inputs.iter().map(|r| r.num_cols() as u64).max().unwrap_or(1);
+        let cols: u64 = inputs
+            .iter()
+            .map(|r| r.num_cols() as u64)
+            .max()
+            .unwrap_or(1);
         let (and_gates, memory) = self.garbled_cost_of(op, inputs)?;
         if self.config.gc_cost.exceeds_memory(memory) {
             return Err(MpcError::OutOfMemory {
@@ -440,8 +446,8 @@ impl MpcEngine {
                 limit: self.config.gc_cost.memory_limit_bytes,
             });
         }
-        let out = conclave_engine::execute(op, inputs)
-            .map_err(|e| MpcError::Exec(e.to_string()))?;
+        let out =
+            conclave_engine::execute(op, inputs).map_err(|e| MpcError::Exec(e.to_string()))?;
         let circuit = CircuitStats {
             and_gates,
             xor_gates: and_gates * 2,
@@ -479,7 +485,9 @@ impl MpcEngine {
                 gates::aggregate(total_rows, group_by.len() as u64),
                 total_rows as f64 * per_record * 3.0,
             ),
-            Operator::Distinct { .. } | Operator::DistinctCount { .. } | Operator::SortBy { .. } => (
+            Operator::Distinct { .. }
+            | Operator::DistinctCount { .. }
+            | Operator::SortBy { .. } => (
                 gates::distinct(total_rows),
                 total_rows as f64 * per_record * 3.0,
             ),
@@ -558,7 +566,9 @@ impl MpcEngine {
                         });
                         c
                     }
-                    Operator::SortBy { .. } | Operator::Distinct { .. } | Operator::DistinctCount { .. } => {
+                    Operator::SortBy { .. }
+                    | Operator::Distinct { .. }
+                    | Operator::DistinctCount { .. } => {
                         let mut c = sort_counts(n, cols);
                         c.merge(&PrimitiveCounts {
                             equalities: n,
@@ -639,13 +649,10 @@ impl MpcEngine {
                     ),
                     Operator::Distinct { .. }
                     | Operator::DistinctCount { .. }
-                    | Operator::SortBy { .. } => {
-                        (gates::distinct(n), n as f64 * per_record * 3.0)
+                    | Operator::SortBy { .. } => (gates::distinct(n), n as f64 * per_record * 3.0),
+                    Operator::Filter { predicate } => {
+                        (n * predicate.op_count() as u64 * 64, n as f64 * per_record)
                     }
-                    Operator::Filter { predicate } => (
-                        n * predicate.op_count() as u64 * 64,
-                        n as f64 * per_record,
-                    ),
                     _ => (gates::project(n, cols), n as f64 * per_record),
                 };
                 if self.config.gc_cost.exceeds_memory(memory) {
@@ -686,8 +693,8 @@ impl MpcEngine {
         let total = (n + output_rows).max(2);
         let counts = PrimitiveCounts {
             shuffled_elems: n * cols + output_rows * 2 * cols,
-            opened_elems: n,           // key columns revealed to the STP
-            input_elems: 2 * output_rows, // index relations shared back in
+            opened_elems: n,                   // key columns revealed to the STP
+            input_elems: 2 * output_rows,      // index relations shared back in
             mults: total * log2(total) * cols, // oblivious indexing
             ..Default::default()
         };
@@ -731,7 +738,10 @@ impl MpcEngine {
         output_rows: u64,
     ) -> MpcStepStats {
         MpcStepStats {
-            simulated_time: self.config.ss_cost.time_no_overhead(&counts, &self.config.network),
+            simulated_time: self
+                .config
+                .ss_cost
+                .time_no_overhead(&counts, &self.config.network),
             counts,
             circuit: CircuitStats::default(),
             memory_bytes: 0.0,
@@ -1011,7 +1021,10 @@ mod tests {
         let expected = execute(&op, &[&rel]).unwrap();
         assert!(out.same_rows_unordered(&expected));
         assert!(stats.counts.comparisons > 0);
-        assert!(stats.simulated_time > Duration::from_secs(1), "includes job overhead");
+        assert!(
+            stats.simulated_time > Duration::from_secs(1),
+            "includes job overhead"
+        );
         assert_eq!(stats.input_rows, 5);
         assert_eq!(stats.output_rows, 3);
     }
@@ -1044,10 +1057,17 @@ mod tests {
 
         let mul = Operator::Multiply {
             out: "sq".into(),
-            operands: vec![Operand::col("price"), Operand::col("price"), Operand::lit(2)],
+            operands: vec![
+                Operand::col("price"),
+                Operand::col("price"),
+                Operand::lit(2),
+            ],
         };
         let (out, _) = eng.execute_op(&mul, &[&rel]).unwrap();
-        assert_eq!(out.column_values("sq").unwrap()[0], conclave_ir::types::Value::Int(200));
+        assert_eq!(
+            out.column_values("sq").unwrap()[0],
+            conclave_ir::types::Value::Int(200)
+        );
 
         let sort = Operator::SortBy {
             column: "price".into(),

@@ -65,7 +65,9 @@ impl PrimitiveCounts {
     /// (per-party, one direction): every non-linear op opens two masked
     /// values, every input/open moves one share.
     pub fn bytes(&self) -> u64 {
-        16 * self.nonlinear_ops() + 8 * (self.input_elems + self.opened_elems) + 8 * self.shuffled_elems
+        16 * self.nonlinear_ops()
+            + 8 * (self.input_elems + self.opened_elems)
+            + 8 * self.shuffled_elems
     }
 }
 

@@ -114,6 +114,8 @@ fn compare_exchange(
         proto.lt(&a, &b)
     };
     let cols = rows[i].len();
+    // Indexing (not iterators) because each column touches two distinct rows.
+    #[allow(clippy::needless_range_loop)]
     for c in 0..cols {
         let x = rows[i][c].clone();
         let y = rows[j][c].clone();
@@ -203,7 +205,10 @@ pub fn cartesian_join(
 ) -> Result<SharedRelation, String> {
     let lk: Vec<usize> = left_keys
         .iter()
-        .map(|c| left.col_index(c).ok_or_else(|| format!("unknown column `{c}`")))
+        .map(|c| {
+            left.col_index(c)
+                .ok_or_else(|| format!("unknown column `{c}`"))
+        })
         .collect::<Result<_, _>>()?;
     let rk: Vec<usize> = right_keys
         .iter()
@@ -256,7 +261,10 @@ pub fn aggregate_sorted(
 ) -> Result<SharedRelation, String> {
     let key_cols: Vec<usize> = group_by
         .iter()
-        .map(|c| rel.col_index(c).ok_or_else(|| format!("unknown column `{c}`")))
+        .map(|c| {
+            rel.col_index(c)
+                .ok_or_else(|| format!("unknown column `{c}`"))
+        })
         .collect::<Result<_, _>>()?;
     let over_col = match over {
         Some(o) => Some(
@@ -268,7 +276,8 @@ pub fn aggregate_sorted(
     if func.needs_over() && over_col.is_none() {
         return Err(format!("{func} requires an over column"));
     }
-    let schema = aggregate_schema(&rel.schema, group_by, func, over, out).map_err(|e| e.to_string())?;
+    let schema =
+        aggregate_schema(&rel.schema, group_by, func, over, out).map_err(|e| e.to_string())?;
 
     let n = rel.num_rows();
     if n == 0 {
@@ -392,7 +401,10 @@ pub fn multiply_columns(
 ) -> Result<SharedRelation, String> {
     let idxs: Vec<usize> = operand_cols
         .iter()
-        .map(|c| rel.col_index(c).ok_or_else(|| format!("unknown column `{c}`")))
+        .map(|c| {
+            rel.col_index(c)
+                .ok_or_else(|| format!("unknown column `{c}`"))
+        })
         .collect::<Result<_, _>>()?;
     if idxs.is_empty() {
         return Err("multiply needs at least one operand column".into());
@@ -436,7 +448,10 @@ mod tests {
     #[test]
     fn shuffle_preserves_multiset_and_charges_cost() {
         let mut p = Protocol::new(3, 1);
-        let rel = Relation::from_ints(&["k", "v"], &(0..20).map(|i| vec![i, i * 10]).collect::<Vec<_>>());
+        let rel = Relation::from_ints(
+            &["k", "v"],
+            &(0..20).map(|i| vec![i, i * 10]).collect::<Vec<_>>(),
+        );
         let shared = share(&rel, &mut p);
         let shuffled = shuffle(&shared, &mut p);
         let back = shuffled.reconstruct(&mut p);
@@ -465,7 +480,13 @@ mod tests {
         let mut p = Protocol::new(3, 2);
         let rel = Relation::from_ints(
             &["k", "v"],
-            &[vec![5, 50], vec![1, 10], vec![4, 40], vec![2, 20], vec![3, 30]],
+            &[
+                vec![5, 50],
+                vec![1, 10],
+                vec![4, 40],
+                vec![2, 20],
+                vec![3, 30],
+            ],
         );
         let shared = share(&rel, &mut p);
         let sorted = sort_by(&shared, "k", true, &mut p).unwrap();
@@ -506,7 +527,10 @@ mod tests {
     #[test]
     fn oblivious_select_matches_cleartext_select() {
         let mut p = Protocol::new(3, 4);
-        let data = Relation::from_ints(&["a", "b"], &[vec![0, 0], vec![1, 10], vec![2, 20], vec![3, 30]]);
+        let data = Relation::from_ints(
+            &["a", "b"],
+            &[vec![0, 0], vec![1, 10], vec![2, 20], vec![3, 30]],
+        );
         let idx = Relation::from_ints(&["idx"], &[vec![3], vec![1]]);
         let sdata = share(&data, &mut p);
         let sidx = share(&idx, &mut p);
@@ -531,11 +555,14 @@ mod tests {
     #[test]
     fn cartesian_join_matches_cleartext_join_and_costs_n_squared() {
         let mut p = Protocol::new(3, 5);
-        let left = Relation::from_ints(&["ssn", "zip"], &[vec![1, 100], vec![2, 200], vec![3, 300]]);
-        let right = Relation::from_ints(&["ssn", "score"], &[vec![2, 70], vec![3, 65], vec![3, 66]]);
+        let left =
+            Relation::from_ints(&["ssn", "zip"], &[vec![1, 100], vec![2, 200], vec![3, 300]]);
+        let right =
+            Relation::from_ints(&["ssn", "score"], &[vec![2, 70], vec![3, 65], vec![3, 66]]);
         let sl = share(&left, &mut p);
         let sr = share(&right, &mut p);
-        let joined = cartesian_join(&sl, &sr, &["ssn".to_string()], &["ssn".to_string()], &mut p).unwrap();
+        let joined =
+            cartesian_join(&sl, &sr, &["ssn".to_string()], &["ssn".to_string()], &mut p).unwrap();
         let back = joined.reconstruct(&mut p);
         let expected = execute(
             &Operator::Join {
@@ -548,7 +575,9 @@ mod tests {
         .unwrap();
         assert!(back.same_rows_unordered(&expected));
         assert_eq!(p.counts().equalities, 9, "3x3 Cartesian comparisons");
-        assert!(cartesian_join(&sl, &sr, &["zzz".to_string()], &["ssn".to_string()], &mut p).is_err());
+        assert!(
+            cartesian_join(&sl, &sr, &["zzz".to_string()], &["ssn".to_string()], &mut p).is_err()
+        );
     }
 
     #[test]
@@ -556,7 +585,13 @@ mod tests {
         let mut p = Protocol::new(3, 6);
         let rel = Relation::from_ints(
             &["zip", "score"],
-            &[vec![1, 700], vec![1, 650], vec![2, 600], vec![3, 720], vec![3, 680]],
+            &[
+                vec![1, 700],
+                vec![1, 650],
+                vec![2, 600],
+                vec![3, 720],
+                vec![3, 680],
+            ],
         );
         let shared = share(&rel, &mut p);
         for (func, over, out) in [
@@ -565,7 +600,8 @@ mod tests {
             (AggFunc::Min, Some("score"), "lo"),
             (AggFunc::Max, Some("score"), "hi"),
         ] {
-            let agg = aggregate_sorted(&shared, &["zip".to_string()], func, over, out, &mut p).unwrap();
+            let agg =
+                aggregate_sorted(&shared, &["zip".to_string()], func, over, out, &mut p).unwrap();
             let back = agg.reconstruct(&mut p);
             let expected = execute(
                 &Operator::Aggregate {
@@ -590,13 +626,25 @@ mod tests {
         let rel = Relation::from_ints(&["v"], &[vec![5], vec![7], vec![-2]]);
         let shared = share(&rel, &mut p);
         let sum = aggregate_sorted(&shared, &[], AggFunc::Sum, Some("v"), "t", &mut p).unwrap();
-        assert_eq!(sum.reconstruct(&mut p).rows[0][0], conclave_ir::types::Value::Int(10));
+        assert_eq!(
+            sum.reconstruct(&mut p).rows[0][0],
+            conclave_ir::types::Value::Int(10)
+        );
         let min = aggregate_sorted(&shared, &[], AggFunc::Min, Some("v"), "m", &mut p).unwrap();
-        assert_eq!(min.reconstruct(&mut p).rows[0][0], conclave_ir::types::Value::Int(-2));
+        assert_eq!(
+            min.reconstruct(&mut p).rows[0][0],
+            conclave_ir::types::Value::Int(-2)
+        );
         let max = aggregate_sorted(&shared, &[], AggFunc::Max, Some("v"), "m", &mut p).unwrap();
-        assert_eq!(max.reconstruct(&mut p).rows[0][0], conclave_ir::types::Value::Int(7));
+        assert_eq!(
+            max.reconstruct(&mut p).rows[0][0],
+            conclave_ir::types::Value::Int(7)
+        );
         let cnt = aggregate_sorted(&shared, &[], AggFunc::Count, None, "n", &mut p).unwrap();
-        assert_eq!(cnt.reconstruct(&mut p).rows[0][0], conclave_ir::types::Value::Int(3));
+        assert_eq!(
+            cnt.reconstruct(&mut p).rows[0][0],
+            conclave_ir::types::Value::Int(3)
+        );
 
         let empty = SharedRelation::empty(conclave_ir::schema::Schema::ints(&["v"]));
         let agg = aggregate_sorted(&empty, &[], AggFunc::Sum, Some("v"), "t", &mut p).unwrap();
@@ -612,11 +660,26 @@ mod tests {
         let mut p = Protocol::new(3, 8);
         let rel = Relation::from_ints(
             &["k", "v"],
-            &[vec![3, 1], vec![1, 5], vec![3, 2], vec![2, 7], vec![1, 1], vec![2, 1]],
+            &[
+                vec![3, 1],
+                vec![1, 5],
+                vec![3, 2],
+                vec![2, 7],
+                vec![1, 1],
+                vec![2, 1],
+            ],
         );
         let shared = share(&rel, &mut p);
         let sorted = sort_by(&shared, "k", true, &mut p).unwrap();
-        let agg = aggregate_sorted(&sorted, &["k".to_string()], AggFunc::Sum, Some("v"), "s", &mut p).unwrap();
+        let agg = aggregate_sorted(
+            &sorted,
+            &["k".to_string()],
+            AggFunc::Sum,
+            Some("v"),
+            "s",
+            &mut p,
+        )
+        .unwrap();
         let back = agg.reconstruct(&mut p);
         let expected = execute(
             &Operator::Aggregate {
@@ -636,15 +699,20 @@ mod tests {
         let mut p = Protocol::new(3, 10);
         let rel = Relation::from_ints(&["a", "b"], &[vec![2, 3], vec![-4, 5]]);
         let shared = share(&rel, &mut p);
-        let out = multiply_columns(&shared, "ab", &["a".to_string(), "b".to_string()], &mut p).unwrap();
+        let out =
+            multiply_columns(&shared, "ab", &["a".to_string(), "b".to_string()], &mut p).unwrap();
         let back = out.reconstruct(&mut p);
-        assert_eq!(back.column_values("ab").unwrap(), vec![
-            conclave_ir::types::Value::Int(6),
-            conclave_ir::types::Value::Int(-20)
-        ]);
+        assert_eq!(
+            back.column_values("ab").unwrap(),
+            vec![
+                conclave_ir::types::Value::Int(6),
+                conclave_ir::types::Value::Int(-20)
+            ]
+        );
         assert_eq!(p.counts().mults, 2);
         // Replacing an existing column.
-        let squared = multiply_columns(&shared, "a", &["a".to_string(), "a".to_string()], &mut p).unwrap();
+        let squared =
+            multiply_columns(&shared, "a", &["a".to_string(), "a".to_string()], &mut p).unwrap();
         assert_eq!(squared.num_cols(), 2);
         assert!(multiply_columns(&shared, "x", &[], &mut p).is_err());
         assert!(multiply_columns(&shared, "x", &["zzz".to_string()], &mut p).is_err());

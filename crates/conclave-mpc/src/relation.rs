@@ -111,10 +111,7 @@ impl SharedRelation {
                     .ok_or_else(|| format!("unknown column `{c}`"))
             })
             .collect::<Result<_, _>>()?;
-        let schema = self
-            .schema
-            .project(columns)
-            .map_err(|e| e.to_string())?;
+        let schema = self.schema.project(columns).map_err(|e| e.to_string())?;
         let rows = self
             .rows
             .iter()
@@ -223,8 +220,11 @@ mod tests {
     fn bool_columns_are_shareable() {
         let mut p = Protocol::new(2, 4);
         let schema = Schema::new(vec![ColumnDef::new("b", DataType::Bool)]);
-        let rel = Relation::new(schema, vec![vec![Value::Bool(true)], vec![Value::Bool(false)]])
-            .unwrap();
+        let rel = Relation::new(
+            schema,
+            vec![vec![Value::Bool(true)], vec![Value::Bool(false)]],
+        )
+        .unwrap();
         let shared = SharedRelation::from_relation(&rel, &mut p).unwrap();
         let back = shared.reconstruct(&mut p);
         assert_eq!(back.rows[0][0], Value::Int(1));

@@ -47,9 +47,7 @@ impl Shares {
 
     /// Reconstructs the secret by summing all shares.
     pub fn reconstruct(&self) -> RingElem {
-        self.shares
-            .iter()
-            .fold(RingElem::ZERO, |acc, s| acc + *s)
+        self.shares.iter().fold(RingElem::ZERO, |acc, s| acc + *s)
     }
 
     /// Local addition of two sharings (no communication).
@@ -143,8 +141,14 @@ mod tests {
         let b = Shares::share(RingElem::from_i64(-4), 3, &mut r);
         assert_eq!(a.add(&b).reconstruct().to_i64(), 6);
         assert_eq!(a.sub(&b).reconstruct().to_i64(), 14);
-        assert_eq!(a.add_public(RingElem::from_i64(5)).reconstruct().to_i64(), 15);
-        assert_eq!(a.mul_public(RingElem::from_i64(3)).reconstruct().to_i64(), 30);
+        assert_eq!(
+            a.add_public(RingElem::from_i64(5)).reconstruct().to_i64(),
+            15
+        );
+        assert_eq!(
+            a.mul_public(RingElem::from_i64(3)).reconstruct().to_i64(),
+            30
+        );
     }
 
     #[test]

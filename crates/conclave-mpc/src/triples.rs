@@ -86,10 +86,7 @@ mod tests {
         let mut dealer = TripleDealer::new(3);
         let mut rng = StdRng::seed_from_u64(1);
         let t = dealer.triple(&mut rng);
-        assert_eq!(
-            t.a.reconstruct() * t.b.reconstruct(),
-            t.c.reconstruct()
-        );
+        assert_eq!(t.a.reconstruct() * t.b.reconstruct(), t.c.reconstruct());
         assert_eq!(dealer.issued, 1);
     }
 

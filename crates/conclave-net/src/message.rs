@@ -47,7 +47,13 @@ pub struct Message {
 
 impl Message {
     /// Creates a message record.
-    pub fn new(from: u32, to: u32, bytes: u64, kind: MessageKind, label: impl Into<String>) -> Self {
+    pub fn new(
+        from: u32,
+        to: u32,
+        bytes: u64,
+        kind: MessageKind,
+        label: impl Into<String>,
+    ) -> Self {
         Message {
             from,
             to,

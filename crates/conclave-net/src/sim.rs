@@ -49,14 +49,7 @@ impl SimNetwork {
 
     /// Records a message of `bytes` from one party to another and advances
     /// simulated time by its transfer time. Returns that transfer time.
-    pub fn send(
-        &self,
-        from: u32,
-        to: u32,
-        bytes: u64,
-        kind: MessageKind,
-        label: &str,
-    ) -> Duration {
+    pub fn send(&self, from: u32, to: u32, bytes: u64, kind: MessageKind, label: &str) -> Duration {
         let t = self.model.transfer_time(bytes);
         let mut inner = self.inner.lock();
         inner.stats.record(from, to, bytes, kind);
@@ -101,9 +94,13 @@ impl SimNetwork {
             // Only trace a single representative message per call to bound
             // memory; byte counters below account for everything.
             if inner.trace.len() < self.trace_limit {
-                inner
-                    .trace
-                    .push(Message::new(0, 0, bytes_per_round, MessageKind::Control, label));
+                inner.trace.push(Message::new(
+                    0,
+                    0,
+                    bytes_per_round,
+                    MessageKind::Control,
+                    label,
+                ));
             }
         }
         let link = inner.stats.links.entry((0, 0)).or_default();

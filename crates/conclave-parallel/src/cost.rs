@@ -161,11 +161,7 @@ mod tests {
         let n: u64 = 1_300_000_000;
         let t = m.estimate_job(
             &c,
-            &[
-                (filter, n, n, 24),
-                (proj, n, n, 16),
-                (agg(), n, 1_000, 16),
-            ],
+            &[(filter, n, n, 24), (proj, n, n, 16), (agg(), n, 1_000, 16)],
         );
         let secs = t.as_secs_f64();
         assert!(

@@ -87,7 +87,10 @@ mod tests {
     use super::*;
 
     fn rel(n: i64) -> Relation {
-        Relation::from_ints(&["k", "v"], &(0..n).map(|i| vec![i % 7, i]).collect::<Vec<_>>())
+        Relation::from_ints(
+            &["k", "v"],
+            &(0..n).map(|i| vec![i % 7, i]).collect::<Vec<_>>(),
+        )
     }
 
     #[test]

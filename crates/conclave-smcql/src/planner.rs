@@ -211,7 +211,10 @@ mod tests {
     #[test]
     fn execute_secure_produces_correct_results() {
         let mut p = SmcqlPlanner::default_paper_setup();
-        let rel = conclave_engine::Relation::from_ints(&["k", "v"], &[vec![1, 2], vec![1, 3], vec![2, 5]]);
+        let rel = conclave_engine::Relation::from_ints(
+            &["k", "v"],
+            &[vec![1, 2], vec![1, 3], vec![2, 5]],
+        );
         let op = conclave_ir::ops::Operator::Aggregate {
             group_by: vec!["k".into()],
             func: conclave_ir::ops::AggFunc::Sum,

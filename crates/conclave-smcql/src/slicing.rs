@@ -28,8 +28,7 @@ impl Slices {
     /// Fraction of all rows that fall into the shared (MPC) slices.
     pub fn shared_fraction(&self) -> f64 {
         let shared = (self.shared_left.num_rows() + self.shared_right.num_rows()) as f64;
-        let total = shared
-            + (self.only_left.num_rows() + self.only_right.num_rows()) as f64;
+        let total = shared + (self.only_left.num_rows() + self.only_right.num_rows()) as f64;
         if total == 0.0 {
             0.0
         } else {

@@ -1,0 +1,60 @@
+//! Minimal stand-in for `crossbeam` (offline build): scoped threads with the
+//! `crossbeam::thread::scope` API shape, backed by `std::thread::scope`.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Scope handle with a crossbeam-shaped `spawn`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Token passed to task closures where crossbeam passes the scope itself.
+    /// Nested spawning from inside a task is not supported by this shim; the
+    /// workspace's task closures all ignore the argument.
+    pub struct TaskScope;
+
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&TaskScope) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle(self.inner.spawn(move || f(&TaskScope)))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be spawned; all
+    /// spawned threads are joined before this returns. Unlike crossbeam this
+    /// propagates child panics (via `std::thread::scope`) instead of returning
+    /// them in the `Err` case, so the result is always `Ok` — callers that
+    /// `.expect()` it behave identically.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = [1u64, 2, 3, 4];
+            let total: u64 = super::scope(|scope| {
+                let handles: Vec<_> = data.iter().map(|x| scope.spawn(move |_| *x * 10)).collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            })
+            .unwrap();
+            assert_eq!(total, 100);
+        }
+    }
+}

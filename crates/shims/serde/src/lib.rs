@@ -1,0 +1,16 @@
+//! Minimal stand-in for `serde` (offline build — see crates/shims/README.md).
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as forward-
+//! looking annotations; nothing serializes at runtime yet. The shim provides
+//! the two traits (blanket-implemented so bounds are always satisfiable) and
+//! re-exports no-op derive macros from `serde_derive`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}

@@ -1,0 +1,16 @@
+//! No-op derive macros standing in for `serde_derive` (offline build).
+//!
+//! The `serde` shim blanket-implements its traits, so these derives only need
+//! to exist (and accept `#[serde(...)]` attributes); they expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

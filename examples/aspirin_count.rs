@@ -83,8 +83,11 @@ fn main() {
     println!("cleartext reference count : {reference}");
     println!("Conclave                  : {conclave_count} patients, {:.1} s simulated, {} MPC operators",
         report.total_time().as_secs_f64(), plan.mpc_node_count());
-    println!("SMCQL                     : {} patients, {:.1} s simulated",
-        smcql_run.result, smcql_run.total_time().as_secs_f64());
+    println!(
+        "SMCQL                     : {} patients, {:.1} s simulated",
+        smcql_run.result,
+        smcql_run.total_time().as_secs_f64()
+    );
     assert_eq!(conclave_count, reference);
     assert_eq!(smcql_run.result, reference);
     assert!(

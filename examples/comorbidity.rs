@@ -46,7 +46,9 @@ fn main() {
     inputs.insert("diagnoses2".to_string(), d1.clone());
     let mut driver = Driver::new(config);
     let report = driver.run(&plan, &inputs).expect("runs");
-    let conclave_top = report.output_for(1).expect("hospital A receives the output");
+    let conclave_top = report
+        .output_for(1)
+        .expect("hospital A receives the output");
 
     // --- SMCQL baseline ---
     let mut planner = SmcqlPlanner::default_paper_setup();

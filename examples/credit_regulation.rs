@@ -39,7 +39,12 @@ fn build_query(trust_regulator_with_ssn: bool) -> conclave_ir::builder::Query {
     let by_zip = q.count(joined, "count", &["zip"]);
     let totals = q.aggregate(joined, "total", AggFunc::Sum, &["zip"], "score");
     let combined = q.join(totals, by_zip, &["zip"], &["zip"]);
-    let avg = q.divide(combined, "avg_score", Operand::col("total"), Operand::col("count"));
+    let avg = q.divide(
+        combined,
+        "avg_score",
+        Operand::col("total"),
+        Operand::col("count"),
+    );
     q.collect(avg, &[regulator]);
     q.build().expect("well formed")
 }
@@ -50,15 +55,20 @@ fn main() {
     let demographics = gen.demographics(population);
     let scores1 = gen.agency_scores(population);
     let scores2 = gen.agency_scores(population);
-    let reference =
-        CreditGenerator::reference_average_by_zip(&demographics, &[scores1.clone(), scores2.clone()]);
+    let reference = CreditGenerator::reference_average_by_zip(
+        &demographics,
+        &[scores1.clone(), scores2.clone()],
+    );
 
     let mut inputs = HashMap::new();
     inputs.insert("demographics".to_string(), demographics);
     inputs.insert("scores1".to_string(), scores1);
     inputs.insert("scores2".to_string(), scores2);
 
-    for (name, annotated) in [("with SSN trust annotation", true), ("without annotation", false)] {
+    for (name, annotated) in [
+        ("with SSN trust annotation", true),
+        ("without annotation", false),
+    ] {
         let query = build_query(annotated);
         let config = ConclaveConfig::standard().with_sequential_local();
         let plan = compile(&query, &config).expect("compiles");
@@ -69,23 +79,34 @@ fn main() {
         // Check a few averages against the cleartext reference.
         let mut checked = 0;
         for row in &output.rows {
-            let zip = row[output.schema.index_of("zip").unwrap()].as_int().unwrap();
+            let zip = row[output.schema.index_of("zip").unwrap()]
+                .as_int()
+                .unwrap();
             let avg = row[output.schema.index_of("avg_score").unwrap()]
                 .as_float()
                 .unwrap();
             if let Some((_, expected)) = reference.iter().find(|(z, _)| *z == zip) {
-                assert!((avg - expected).abs() < 1e-6, "zip {zip}: {avg} vs {expected}");
+                assert!(
+                    (avg - expected).abs() < 1e-6,
+                    "zip {zip}: {avg} vs {expected}"
+                );
                 checked += 1;
             }
         }
         println!("== {name} ==");
         println!("  hybrid operators      : {}", plan.hybrid_node_count());
         println!("  operators under MPC   : {}", plan.mpc_node_count());
-        println!("  simulated runtime     : {:.1} s", report.total_time().as_secs_f64());
+        println!(
+            "  simulated runtime     : {:.1} s",
+            report.total_time().as_secs_f64()
+        );
         println!("  ZIP averages verified : {checked}");
         println!("  leakage audit entries : {}", report.leakage.len());
         for event in report.leakage.iter().take(3) {
-            println!("    - to P{}: {} ({})", event.to_party, event.what, event.justification);
+            println!(
+                "    - to P{}: {} ({})",
+                event.to_party, event.what, event.justification
+            );
         }
         println!();
     }

@@ -46,19 +46,46 @@ fn main() {
         .expect("MPC join runs");
 
     assert!(outcome.result.same_rows_unordered(&mpc_result));
-    println!("both protocols produce the same {} joined rows\n", mpc_result.num_rows());
+    println!(
+        "both protocols produce the same {} joined rows\n",
+        mpc_result.num_rows()
+    );
 
     println!("hybrid join (STP = P{}):", outcome.revealed_to);
-    println!("  revealed to STP      : {:?} (shuffled order only)", outcome.revealed_columns);
-    println!("  oblivious shuffles   : {} elements", outcome.mpc_stats.counts.shuffled_elems);
-    println!("  Beaver mults (select): {}", outcome.mpc_stats.counts.mults);
-    println!("  equality tests       : {}", outcome.mpc_stats.counts.equalities);
-    println!("  simulated MPC time   : {:.2} s", outcome.mpc_stats.simulated_time.as_secs_f64());
-    println!("  simulated STP time   : {:.2} s", outcome.stp_time.as_secs_f64());
+    println!(
+        "  revealed to STP      : {:?} (shuffled order only)",
+        outcome.revealed_columns
+    );
+    println!(
+        "  oblivious shuffles   : {} elements",
+        outcome.mpc_stats.counts.shuffled_elems
+    );
+    println!(
+        "  Beaver mults (select): {}",
+        outcome.mpc_stats.counts.mults
+    );
+    println!(
+        "  equality tests       : {}",
+        outcome.mpc_stats.counts.equalities
+    );
+    println!(
+        "  simulated MPC time   : {:.2} s",
+        outcome.mpc_stats.simulated_time.as_secs_f64()
+    );
+    println!(
+        "  simulated STP time   : {:.2} s",
+        outcome.stp_time.as_secs_f64()
+    );
 
     println!("\nstandard MPC join:");
-    println!("  equality tests       : {} (= n × m)", mpc_stats.counts.equalities);
-    println!("  simulated MPC time   : {:.2} s", mpc_stats.simulated_time.as_secs_f64());
+    println!(
+        "  equality tests       : {} (= n × m)",
+        mpc_stats.counts.equalities
+    );
+    println!(
+        "  simulated MPC time   : {:.2} s",
+        mpc_stats.simulated_time.as_secs_f64()
+    );
 
     let speedup =
         mpc_stats.simulated_time.as_secs_f64() / outcome.mpc_stats.simulated_time.as_secs_f64();

@@ -79,9 +79,15 @@ fn main() {
         let hhi = sum_sq / (total_rev * total_rev);
         println!("== {name} ==");
         println!("  operators under MPC : {}", plan.mpc_node_count());
-        println!("  simulated runtime   : {:.1} s", report.total_time().as_secs_f64());
+        println!(
+            "  simulated runtime   : {:.1} s",
+            report.total_time().as_secs_f64()
+        );
         println!("  HHI                 : {hhi:.4} (cleartext reference {reference_hhi:.4})");
-        assert!((hhi - reference_hhi).abs() < 1e-9, "HHI must match the reference");
+        assert!(
+            (hhi - reference_hhi).abs() < 1e-9,
+            "HHI must match the reference"
+        );
     }
 
     // Paper-scale projection (Figure 4): what would happen at 1.3 B trips?

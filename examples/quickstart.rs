@@ -25,7 +25,7 @@ fn main() {
     let sales_b = q.input("sales_b", schema, org_b.clone());
     let all_sales = q.concat(&[sales_a, sales_b]);
     let by_region = q.aggregate(all_sales, "total", AggFunc::Sum, &["region"], "amount");
-    q.collect(by_region, &[org_a.clone()]);
+    q.collect(by_region, std::slice::from_ref(&org_a));
     let query = q.build().expect("query is well formed");
 
     // 3. Compile. The plan shows which operators stay under MPC.
@@ -42,7 +42,10 @@ fn main() {
     let mut inputs = HashMap::new();
     inputs.insert(
         "sales_a".to_string(),
-        Relation::from_ints(&["region", "amount"], &[vec![1, 100], vec![2, 50], vec![1, 25]]),
+        Relation::from_ints(
+            &["region", "amount"],
+            &[vec![1, 100], vec![2, 50], vec![1, 25]],
+        ),
     );
     inputs.insert(
         "sales_b".to_string(),
@@ -54,6 +57,9 @@ fn main() {
     // 5. Party 1 receives the result; the report shows the cost breakdown and
     //    the leakage audit.
     println!("=== result delivered to {org_a} ===");
-    println!("{}", report.output_for(1).expect("party 1 is the recipient"));
+    println!(
+        "{}",
+        report.output_for(1).expect("party 1 is the recipient")
+    );
     println!("{report}");
 }

@@ -42,7 +42,9 @@ pub mod prelude {
     pub use conclave_core::{
         compile, config::ConclaveConfig, driver::Driver, plan::PhysicalPlan, report::RunReport,
     };
-    pub use conclave_data::{credit::CreditGenerator, health::HealthGenerator, taxi::TaxiGenerator};
+    pub use conclave_data::{
+        credit::CreditGenerator, health::HealthGenerator, taxi::TaxiGenerator,
+    };
     pub use conclave_engine::relation::Relation;
     pub use conclave_ir::{
         builder::QueryBuilder,

@@ -62,7 +62,10 @@ fn market_query_is_correct_under_all_configurations() {
     let reference = reference_revenue(&parts);
     let configs = vec![
         ("standard/parallel", ConclaveConfig::standard()),
-        ("standard/sequential", ConclaveConfig::standard().with_sequential_local()),
+        (
+            "standard/sequential",
+            ConclaveConfig::standard().with_sequential_local(),
+        ),
         ("no pushdown consent", {
             let mut c = ConclaveConfig::standard();
             c.allow_cardinality_leaking_pushdown = false;
@@ -71,15 +74,21 @@ fn market_query_is_correct_under_all_configurations() {
         ("mpc only", ConclaveConfig::mpc_only()),
     ];
     for (name, config) in configs {
-        let plan = conclave_core::compile(&query, &config).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let plan =
+            conclave_core::compile(&query, &config).unwrap_or_else(|e| panic!("{name}: {e}"));
         let mut driver = Driver::new(config);
-        let report = driver.run(&plan, &inputs).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let report = driver
+            .run(&plan, &inputs)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
         let out = report.output_for(1).expect("party 1 receives the result");
         assert_eq!(out.num_rows(), reference.len(), "{name}: wrong group count");
         for row in &out.rows {
             let company = row[0].as_int().unwrap();
             let rev = row[1].as_int().unwrap();
-            assert_eq!(reference[&company], rev, "{name}: wrong revenue for company {company}");
+            assert_eq!(
+                reference[&company], rev,
+                "{name}: wrong revenue for company {company}"
+            );
         }
     }
 }
@@ -107,7 +116,11 @@ fn credit_query(annotated: bool) -> conclave_ir::builder::Query {
     let regulator = Party::new(1, "gov");
     let a = Party::new(2, "a");
     let b = Party::new(3, "b");
-    let ssn_trust = if annotated { TrustSet::of([1]) } else { TrustSet::private() };
+    let ssn_trust = if annotated {
+        TrustSet::of([1])
+    } else {
+        TrustSet::private()
+    };
     let demo = Schema::new(vec![
         ColumnDef::new("ssn", DataType::Int),
         ColumnDef::with_trust("zip", DataType::Int, TrustSet::of([1])),
@@ -125,7 +138,12 @@ fn credit_query(annotated: bool) -> conclave_ir::builder::Query {
     let count = q.count(joined, "count", &["zip"]);
     let total = q.aggregate(joined, "total", AggFunc::Sum, &["zip"], "score");
     let both = q.join(total, count, &["zip"], &["zip"]);
-    let avg = q.divide(both, "avg_score", Operand::col("total"), Operand::col("count"));
+    let avg = q.divide(
+        both,
+        "avg_score",
+        Operand::col("total"),
+        Operand::col("count"),
+    );
     q.collect(avg, &[regulator]);
     q.build().unwrap()
 }
@@ -151,7 +169,10 @@ fn credit_query_matches_reference_with_and_without_hybrid_operators() {
         let query = credit_query(annotated);
         let plan = conclave_core::compile(&query, &config).unwrap();
         if annotated {
-            assert!(plan.hybrid_node_count() >= 2, "annotations enable hybrid operators");
+            assert!(
+                plan.hybrid_node_count() >= 2,
+                "annotations enable hybrid operators"
+            );
         }
         let mut driver = Driver::new(config.clone());
         let report = driver.run(&plan, &inputs).unwrap();
@@ -162,8 +183,14 @@ fn credit_query_matches_reference_with_and_without_hybrid_operators() {
         for row in &out.rows {
             let zip = row[zip_idx].as_int().unwrap();
             let avg = row[avg_idx].as_float().unwrap();
-            let (_, expected) = reference.iter().find(|(z, _)| *z == zip).expect("zip exists");
-            assert!((avg - expected).abs() < 1e-9, "zip {zip}: {avg} vs {expected}");
+            let (_, expected) = reference
+                .iter()
+                .find(|(z, _)| *z == zip)
+                .expect("zip exists");
+            assert!(
+                (avg - expected).abs() < 1e-9,
+                "zip {zip}: {avg} vs {expected}"
+            );
         }
     }
 }
@@ -177,8 +204,10 @@ fn hybrid_plan_reveals_only_to_the_stp_and_is_cheaper() {
     inputs.insert("scores1".to_string(), gen.agency_scores(population));
     inputs.insert("scores2".to_string(), gen.agency_scores(population));
 
-    let hybrid_plan = conclave_core::compile(&credit_query(true), &ConclaveConfig::standard()).unwrap();
-    let mpc_plan = conclave_core::compile(&credit_query(false), &ConclaveConfig::mpc_only()).unwrap();
+    let hybrid_plan =
+        conclave_core::compile(&credit_query(true), &ConclaveConfig::standard()).unwrap();
+    let mpc_plan =
+        conclave_core::compile(&credit_query(false), &ConclaveConfig::mpc_only()).unwrap();
     let mut d1 = Driver::new(ConclaveConfig::standard().with_sequential_local());
     let mut d2 = Driver::new(ConclaveConfig::mpc_only().with_sequential_local());
     let hybrid = d1.run(&hybrid_plan, &inputs).unwrap();
@@ -282,5 +311,8 @@ fn garbled_circuit_backend_runs_small_queries_and_fails_predictably_at_scale() {
     let report = driver.run(&plan, &inputs).unwrap();
     let out = report.output_for(1).unwrap();
     assert_eq!(out.num_rows(), reference.len());
-    assert!(report.mpc_stats.circuit.and_gates > 0, "GC backend counts gates");
+    assert!(
+        report.mpc_stats.circuit.and_gates > 0,
+        "GC backend counts gates"
+    );
 }

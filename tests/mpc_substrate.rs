@@ -20,7 +20,11 @@ fn secret_sharing_and_garbled_backends_agree_with_cleartext() {
     let mut gen = SyntheticGenerator::new(21);
     let rel = gen.uniform(&["key", "value"], 120, 12);
     let expected = conclave_engine::execute(&agg_op(), &[&rel]).unwrap();
-    for kind in [BackendKind::SharemindLike, BackendKind::OblivCLike, BackendKind::OblivVmLike] {
+    for kind in [
+        BackendKind::SharemindLike,
+        BackendKind::OblivCLike,
+        BackendKind::OblivVmLike,
+    ] {
         let mut engine = MpcEngine::new(MpcBackendConfig::new(kind));
         let (out, stats) = engine.execute_op(&agg_op(), &[&rel]).unwrap();
         assert!(out.same_rows_unordered(&expected), "{kind} result mismatch");
@@ -80,7 +84,9 @@ fn hybrid_protocol_estimates_beat_full_mpc_at_scale_for_all_sizes() {
             .estimate_op(&join, &[n / 2, n / 2], &[2, 2], n / 2)
             .unwrap()
             .simulated_time;
-        let hybrid = engine.estimate_hybrid_join(n / 2, n / 2, n / 2, 2).simulated_time;
+        let hybrid = engine
+            .estimate_hybrid_join(n / 2, n / 2, n / 2, 2)
+            .simulated_time;
         let public = engine.estimate_public_join(n, n / 2).simulated_time;
         assert!(hybrid < full, "n={n}");
         assert!(public < hybrid, "n={n}");

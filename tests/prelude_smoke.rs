@@ -1,0 +1,40 @@
+//! Smoke test for the `conclave::prelude` surface.
+//!
+//! Guards against re-export regressions: every documented entry point must be
+//! nameable through the prelude alone, and compiling a trivial two-party
+//! aggregate query through it must yield a non-empty plan.
+
+use conclave::prelude::*;
+
+#[test]
+fn prelude_exposes_documented_entry_points_and_compiles_a_query() {
+    let pa = Party::new(1, "a.example");
+    let pb = Party::new(2, "b.example");
+    let schema = Schema::new(vec![
+        ColumnDef::new("key", DataType::Int),
+        ColumnDef::new("val", DataType::Int),
+    ]);
+
+    let mut q = QueryBuilder::new();
+    let ta = q.input("ta", schema.clone(), pa.clone());
+    let tb = q.input("tb", schema, pb);
+    let both = q.concat(&[ta, tb]);
+    let sums = q.aggregate(both, "total", AggFunc::Sum, &["key"], "val");
+    q.collect(sums, std::slice::from_ref(&pa));
+    let query = q.build().expect("query builds");
+
+    let config = ConclaveConfig::standard();
+    let plan: PhysicalPlan = compile(&query, &config).expect("query compiles");
+    assert!(!plan.stages().is_empty(), "compiled plan must be non-empty");
+
+    // The remaining prelude items must at least be nameable and constructible.
+    let _driver: Driver = Driver::new(ConclaveConfig::standard());
+    let _relation = Relation::from_ints(&["key", "val"], &[vec![1, 2]]);
+    let _backend: MpcBackendConfig = MpcBackendConfig::sharemind();
+    let _kind: BackendKind = _backend.kind;
+    let _value = Value::Int(42);
+    let _gen_credit = CreditGenerator::new(7);
+    let _gen_health = HealthGenerator::new(7);
+    let _gen_taxi = TaxiGenerator::new(7);
+    let _report_ty = std::marker::PhantomData::<RunReport>;
+}

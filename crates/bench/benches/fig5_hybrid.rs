@@ -10,7 +10,7 @@
 use bench::figures::{fig5a, fig5b};
 use conclave_core::hybrid_exec;
 use conclave_data::SyntheticGenerator;
-use conclave_engine::SequentialCostModel;
+use conclave_engine::{EngineMode, SequentialCostModel};
 use conclave_ir::ops::{AggFunc, JoinKind, Operator};
 use conclave_mpc::backend::{MpcBackendConfig, MpcEngine};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -42,6 +42,7 @@ fn real_protocols(c: &mut Criterion) {
                 &["key".to_string()],
                 &["key".to_string()],
                 1,
+                EngineMode::Columnar,
             )
             .unwrap()
         })
@@ -55,6 +56,7 @@ fn real_protocols(c: &mut Criterion) {
                 &["key".to_string()],
                 &["key".to_string()],
                 1,
+                EngineMode::Columnar,
             )
             .unwrap()
         })
@@ -82,6 +84,7 @@ fn real_protocols(c: &mut Criterion) {
                 Some("value"),
                 "total",
                 1,
+                EngineMode::Columnar,
             )
             .unwrap()
         })

@@ -1,0 +1,85 @@
+//! Row engine vs vectorized columnar engine microbenchmark.
+//!
+//! Measures the cleartext hot path the ROADMAP's "as fast as the hardware
+//! allows" goal cares about: a filter followed by a grouped aggregation —
+//! the shape of the market/taxi queries' local pre-processing — at 10⁴, 10⁵
+//! and 10⁶ rows. Each engine consumes its native storage format (rows stay
+//! `Vec<Vec<Value>>`, columns stay typed vectors), so the numbers compare
+//! execution strategies, not conversion overhead. A `convert` group prices
+//! the row↔columnar conversions separately.
+
+use conclave_engine::{execute, execute_columnar, ColumnarRelation, Relation};
+use conclave_ir::expr::Expr;
+use conclave_ir::ops::{AggFunc, Operator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const SIZES: [usize; 3] = [10_000, 100_000, 1_000_000];
+
+fn filter_op() -> Operator {
+    Operator::Filter {
+        predicate: Expr::col("price").gt(Expr::lit(500)),
+    }
+}
+
+fn aggregate_op() -> Operator {
+    Operator::Aggregate {
+        group_by: vec!["companyID".into()],
+        func: AggFunc::Sum,
+        over: Some("price".into()),
+        out: "rev".into(),
+    }
+}
+
+fn dataset(n: usize) -> Relation {
+    // Deterministic data: 50 companies, prices spread over 0..1000 so the
+    // `price > 500` filter keeps roughly half the rows.
+    let rows: Vec<Vec<i64>> = (0..n as i64)
+        .map(|i| vec![i % 50, (i * 37) % 1000])
+        .collect();
+    Relation::from_ints(&["companyID", "price"], &rows)
+}
+
+fn row_pipeline(rel: &Relation) -> Relation {
+    let filtered = execute(&filter_op(), &[rel]).expect("filter");
+    execute(&aggregate_op(), &[&filtered]).expect("aggregate")
+}
+
+fn columnar_pipeline(rel: &ColumnarRelation) -> ColumnarRelation {
+    let filtered = execute_columnar(&filter_op(), &[rel]).expect("filter");
+    execute_columnar(&aggregate_op(), &[&filtered]).expect("aggregate")
+}
+
+fn filter_aggregate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("row_vs_columnar/filter_aggregate");
+    for n in SIZES {
+        group.sample_size(if n >= 1_000_000 { 5 } else { 10 });
+        let rows = dataset(n);
+        let cols = ColumnarRelation::from_rows(&rows);
+        // Sanity: the engines agree before we time them.
+        assert!(row_pipeline(&rows).same_rows_unordered(&columnar_pipeline(&cols).to_rows()));
+        group.bench_with_input(BenchmarkId::new("row", n), &rows, |b, rel| {
+            b.iter(|| row_pipeline(criterion::black_box(rel)))
+        });
+        group.bench_with_input(BenchmarkId::new("columnar", n), &cols, |b, rel| {
+            b.iter(|| columnar_pipeline(criterion::black_box(rel)))
+        });
+    }
+    group.finish();
+}
+
+fn conversion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("row_vs_columnar/convert");
+    group.sample_size(10);
+    let rows = dataset(100_000);
+    let cols = ColumnarRelation::from_rows(&rows);
+    group.bench_function("from_rows_100k", |b| {
+        b.iter(|| ColumnarRelation::from_rows(criterion::black_box(&rows)))
+    });
+    group.bench_function("to_rows_100k", |b| {
+        b.iter(|| criterion::black_box(&cols).to_rows())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, filter_aggregate, conversion);
+criterion_main!(benches);

@@ -1,5 +1,6 @@
 //! Compiler and runtime configuration.
 
+use conclave_engine::EngineMode;
 use conclave_mpc::backend::MpcBackendConfig;
 use conclave_parallel::ClusterSpec;
 
@@ -36,6 +37,9 @@ pub struct ConclaveConfig {
     pub allow_cardinality_leaking_pushdown: bool,
     /// Local cleartext backend.
     pub local_backend: LocalBackend,
+    /// Cleartext execution strategy used by the local backends and STP steps:
+    /// row-at-a-time or vectorized columnar.
+    pub engine_mode: EngineMode,
     /// Per-party cluster used when `local_backend` is parallel.
     pub cluster: ClusterSpec,
     /// MPC backend configuration.
@@ -55,6 +59,7 @@ impl ConclaveConfig {
             use_sort_elimination: true,
             allow_cardinality_leaking_pushdown: true,
             local_backend: LocalBackend::Parallel,
+            engine_mode: EngineMode::Row,
             cluster: ClusterSpec::paper_party_cluster(),
             mpc: MpcBackendConfig::sharemind(),
         }
@@ -89,6 +94,17 @@ impl ConclaveConfig {
     pub fn with_sequential_local(mut self) -> Self {
         self.local_backend = LocalBackend::Sequential;
         self
+    }
+
+    /// Returns a copy using the given cleartext engine mode.
+    pub fn with_engine_mode(mut self, mode: EngineMode) -> Self {
+        self.engine_mode = mode;
+        self
+    }
+
+    /// Returns a copy using the vectorized columnar cleartext engine.
+    pub fn with_columnar(self) -> Self {
+        self.with_engine_mode(EngineMode::Columnar)
     }
 
     /// Returns a copy using the given MPC backend configuration.
@@ -134,5 +150,10 @@ mod tests {
         assert_eq!(c.local_backend, LocalBackend::Sequential);
         let c = ConclaveConfig::standard().with_mpc(MpcBackendConfig::obliv_c());
         assert_eq!(c.mpc.kind, BackendKind::OblivCLike);
+        assert_eq!(ConclaveConfig::standard().engine_mode, EngineMode::Row);
+        let c = ConclaveConfig::standard().with_columnar();
+        assert_eq!(c.engine_mode, EngineMode::Columnar);
+        let c = ConclaveConfig::standard().with_engine_mode(EngineMode::Row);
+        assert_eq!(c.engine_mode, EngineMode::Row);
     }
 }

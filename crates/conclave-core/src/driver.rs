@@ -15,7 +15,9 @@ use crate::config::{ConclaveConfig, LocalBackend};
 use crate::hybrid_exec;
 use crate::plan::PhysicalPlan;
 use crate::report::RunReport;
-use conclave_engine::{execute, Relation, SequentialCostModel};
+use conclave_engine::{
+    execute, execute_vectorized, ColumnarRelation, EngineMode, Relation, SequentialCostModel,
+};
 use conclave_ir::dag::NodeId;
 use conclave_ir::error::IrError;
 use conclave_ir::ops::{ExecSite, Operator};
@@ -155,6 +157,7 @@ impl Driver {
                         left_keys,
                         right_keys,
                         *stp,
+                        self.config.engine_mode,
                     )?;
                     self.absorb_hybrid(&mut report, id, &outcome);
                     (outcome.result, Duration::ZERO)
@@ -174,6 +177,7 @@ impl Driver {
                         left_keys,
                         right_keys,
                         *helper,
+                        self.config.engine_mode,
                     )?;
                     self.absorb_hybrid(&mut report, id, &outcome);
                     (outcome.result, Duration::ZERO)
@@ -198,6 +202,7 @@ impl Driver {
                         over.as_deref(),
                         out,
                         *stp,
+                        self.config.engine_mode,
                     )?;
                     self.absorb_hybrid(&mut report, id, &outcome);
                     (outcome.result, Duration::ZERO)
@@ -308,10 +313,14 @@ impl Driver {
         match self.config.local_backend {
             LocalBackend::Parallel => self
                 .parallel
-                .execute_op(op, inputs)
+                .execute_op_mode(op, inputs, self.config.engine_mode)
                 .map_err(|e| DriverError::Engine(e.to_string())),
             LocalBackend::Sequential => {
-                let rel = execute(op, inputs).map_err(|e| DriverError::Engine(e.to_string()))?;
+                let rel = match self.config.engine_mode {
+                    EngineMode::Row => execute(op, inputs),
+                    EngineMode::Columnar => execute_vectorized(op, inputs),
+                }
+                .map_err(|e| DriverError::Engine(e.to_string()))?;
                 let time = self.sequential_cost.estimate(
                     op,
                     inputs.iter().map(|r| r.num_rows() as u64).sum(),
@@ -369,7 +378,12 @@ impl Driver {
                         plan.dag.node(input_node)?.sorted_by.as_deref() == Some(key.as_str());
                     if pre_sorted {
                         self.mpc.protocol().reset_counts();
-                        let shared = self.mpc.share(inputs[0])?;
+                        let shared = match self.config.engine_mode {
+                            EngineMode::Row => self.mpc.share(inputs[0])?,
+                            EngineMode::Columnar => self
+                                .mpc
+                                .share_columnar(&ColumnarRelation::from_rows(inputs[0]))?,
+                        };
                         let aggregated = oblivious::aggregate_sorted(
                             &shared,
                             group_by,

@@ -7,7 +7,9 @@
 //! driver can account them like the paper's deployment would (the STP works
 //! while the other parties wait).
 
-use conclave_engine::{execute, Relation, SequentialCostModel};
+use conclave_engine::{
+    execute, execute_vectorized, ColumnarRelation, EngineMode, Relation, SequentialCostModel,
+};
 use conclave_ir::ops::{join_schema, AggFunc, Operator};
 use conclave_ir::party::PartyId;
 use conclave_mpc::backend::{MpcEngine, MpcError, MpcResult, MpcStepStats};
@@ -31,12 +33,37 @@ pub struct HybridOutcome {
     pub revealed_to: PartyId,
 }
 
+/// Runs one cleartext (STP-side) step with the configured engine mode.
+fn run_clear(op: &Operator, inputs: &[&Relation], mode: EngineMode) -> MpcResult<Relation> {
+    let result = match mode {
+        EngineMode::Row => execute(op, inputs),
+        EngineMode::Columnar => execute_vectorized(op, inputs),
+    };
+    result.map_err(|e| MpcError::Exec(e.to_string()))
+}
+
+/// Secret-shares a relation with the configured engine mode: columnar mode
+/// shares whole columns at once.
+fn share_rel(
+    engine: &mut MpcEngine,
+    rel: &Relation,
+    mode: EngineMode,
+) -> MpcResult<SharedRelation> {
+    match mode {
+        EngineMode::Row => engine.share(rel),
+        EngineMode::Columnar => engine.share_columnar(&ColumnarRelation::from_rows(rel)),
+    }
+}
+
 /// Executes the hybrid join of Figure 3.
 ///
 /// MPC steps: oblivious shuffles of both inputs, revealing the key columns to
 /// the STP, secret-sharing the matching row-index relations back in, two
 /// oblivious-index selections and a final shuffle. STP steps: enumerating
 /// both key relations and joining them in the clear.
+// The signature mirrors the join operator's fields plus the execution mode;
+// bundling them into a struct would just duplicate `Operator::HybridJoin`.
+#[allow(clippy::too_many_arguments)]
 pub fn hybrid_join(
     engine: &mut MpcEngine,
     stp_cost: &SequentialCostModel,
@@ -45,11 +72,12 @@ pub fn hybrid_join(
     left_keys: &[String],
     right_keys: &[String],
     stp: PartyId,
+    mode: EngineMode,
 ) -> MpcResult<HybridOutcome> {
     engine.protocol().reset_counts();
     // 1. Share and obliviously shuffle both inputs.
-    let left_shared = engine.share(left)?;
-    let right_shared = engine.share(right)?;
+    let left_shared = share_rel(engine, left, mode)?;
+    let right_shared = share_rel(engine, right, mode)?;
     let left_shuffled = oblivious::shuffle(&left_shared, engine.protocol());
     let right_shuffled = oblivious::shuffle(&right_shared, engine.protocol());
 
@@ -61,43 +89,43 @@ pub fn hybrid_join(
 
     // 3–5. STP: enumerate both key relations, join in the clear, and project
     // the row-index columns into two index relations.
-    let enum_left = execute(
+    let enum_left = run_clear(
         &Operator::Enumerate {
             out: "__lidx".into(),
         },
         &[&left_keys_clear],
-    )
-    .map_err(|e| MpcError::Exec(e.to_string()))?;
-    let enum_right = execute(
+        mode,
+    )?;
+    let enum_right = run_clear(
         &Operator::Enumerate {
             out: "__ridx".into(),
         },
         &[&right_keys_clear],
-    )
-    .map_err(|e| MpcError::Exec(e.to_string()))?;
-    let joined_keys = execute(
+        mode,
+    )?;
+    let joined_keys = run_clear(
         &Operator::Join {
             left_keys: left_keys.to_vec(),
             right_keys: right_keys.to_vec(),
             kind: conclave_ir::ops::JoinKind::Inner,
         },
         &[&enum_left, &enum_right],
-    )
-    .map_err(|e| MpcError::Exec(e.to_string()))?;
-    let left_indexes = execute(
+        mode,
+    )?;
+    let left_indexes = run_clear(
         &Operator::Project {
             columns: vec!["__lidx".into()],
         },
         &[&joined_keys],
-    )
-    .map_err(|e| MpcError::Exec(e.to_string()))?;
-    let right_indexes = execute(
+        mode,
+    )?;
+    let right_indexes = run_clear(
         &Operator::Project {
             columns: vec!["__ridx".into()],
         },
         &[&joined_keys],
-    )
-    .map_err(|e| MpcError::Exec(e.to_string()))?;
+        mode,
+    )?;
     let stp_time = stp_cost.estimate(
         &Operator::Join {
             left_keys: left_keys.to_vec(),
@@ -110,8 +138,8 @@ pub fn hybrid_join(
 
     // 5–6. The STP secret-shares the index relations; the parties obliviously
     // select the matching rows from the shuffled inputs.
-    let left_indexes_shared = engine.share(&left_indexes)?;
-    let right_indexes_shared = engine.share(&right_indexes)?;
+    let left_indexes_shared = share_rel(engine, &left_indexes, mode)?;
+    let right_indexes_shared = share_rel(engine, &right_indexes, mode)?;
     let left_rows = oblivious::oblivious_select(
         &left_shuffled,
         &left_indexes_shared,
@@ -169,13 +197,14 @@ pub fn public_join(
     left_keys: &[String],
     right_keys: &[String],
     helper: PartyId,
+    mode: EngineMode,
 ) -> MpcResult<HybridOutcome> {
     let op = Operator::Join {
         left_keys: left_keys.to_vec(),
         right_keys: right_keys.to_vec(),
         kind: conclave_ir::ops::JoinKind::Inner,
     };
-    let result = execute(&op, &[left, right]).map_err(|e| MpcError::Exec(e.to_string()))?;
+    let result = run_clear(&op, &[left, right], mode)?;
     let stp_time = helper_cost.estimate(
         &op,
         (left.num_rows() + right.num_rows()) as u64,
@@ -214,6 +243,7 @@ pub fn hybrid_aggregate(
     over: Option<&str>,
     out: &str,
     stp: PartyId,
+    mode: EngineMode,
 ) -> MpcResult<HybridOutcome> {
     engine.protocol().reset_counts();
     let key = group_by
@@ -221,7 +251,7 @@ pub fn hybrid_aggregate(
         .ok_or_else(|| MpcError::Exec("hybrid aggregation needs a group-by column".into()))?;
 
     // 1. Share and obliviously shuffle the input.
-    let shared = engine.share(input)?;
+    let shared = share_rel(engine, input, mode)?;
     let shuffled = oblivious::shuffle(&shared, engine.protocol());
 
     // 2. Reveal the (shuffled) group-by column to the STP.
@@ -233,21 +263,21 @@ pub fn hybrid_aggregate(
     // 3–4. STP: enumerate and sort by key in the clear; the resulting index
     // order is sent back to the parties (it refers to shuffled positions, so
     // it reveals nothing about the original order).
-    let enumerated = execute(
+    let enumerated = run_clear(
         &Operator::Enumerate {
             out: "__idx".into(),
         },
         &[&keys_clear],
-    )
-    .map_err(|e| MpcError::Exec(e.to_string()))?;
-    let sorted = execute(
+        mode,
+    )?;
+    let sorted = run_clear(
         &Operator::SortBy {
             column: key.clone(),
             ascending: true,
         },
         &[&enumerated],
-    )
-    .map_err(|e| MpcError::Exec(e.to_string()))?;
+        mode,
+    )?;
     let stp_time = stp_cost.estimate(
         &Operator::SortBy {
             column: key.clone(),
@@ -331,6 +361,7 @@ mod tests {
             &["ssn".to_string()],
             &["ssn".to_string()],
             1,
+            EngineMode::Row,
         )
         .unwrap();
         let expected = execute(
@@ -369,6 +400,7 @@ mod tests {
             &["k".to_string()],
             &["k".to_string()],
             1,
+            EngineMode::Row,
         )
         .unwrap();
         let mut eng2 = engine();
@@ -400,6 +432,7 @@ mod tests {
             &["ssn".to_string()],
             &["ssn".to_string()],
             2,
+            EngineMode::Row,
         )
         .unwrap();
         let expected = execute(
@@ -444,6 +477,7 @@ mod tests {
                 over,
                 out,
                 1,
+                EngineMode::Row,
             )
             .unwrap();
             let expected = execute(
@@ -467,6 +501,96 @@ mod tests {
     }
 
     #[test]
+    fn hybrid_protocols_agree_across_engine_modes() {
+        let (left, right) = demo_relations();
+        let keys = ["ssn".to_string()];
+        let mut row_eng = engine();
+        let row = hybrid_join(
+            &mut row_eng,
+            &SequentialCostModel::default(),
+            &left,
+            &right,
+            &keys,
+            &keys,
+            1,
+            EngineMode::Row,
+        )
+        .unwrap();
+        let mut col_eng = engine();
+        let col = hybrid_join(
+            &mut col_eng,
+            &SequentialCostModel::default(),
+            &left,
+            &right,
+            &keys,
+            &keys,
+            1,
+            EngineMode::Columnar,
+        )
+        .unwrap();
+        assert!(row.result.same_rows_unordered(&col.result));
+        // Column-at-a-time sharing charges the same number of input elements.
+        assert_eq!(
+            row.mpc_stats.counts.input_elems,
+            col.mpc_stats.counts.input_elems
+        );
+
+        let pub_row = public_join(
+            &SequentialCostModel::default(),
+            &left,
+            &right,
+            &keys,
+            &keys,
+            2,
+            EngineMode::Row,
+        )
+        .unwrap();
+        let pub_col = public_join(
+            &SequentialCostModel::default(),
+            &left,
+            &right,
+            &keys,
+            &keys,
+            2,
+            EngineMode::Columnar,
+        )
+        .unwrap();
+        assert!(pub_row.result.same_rows_unordered(&pub_col.result));
+
+        let input = Relation::from_ints(
+            &["zip", "score"],
+            &[vec![10, 700], vec![20, 650], vec![10, 640]],
+        );
+        let mut agg_row_eng = engine();
+        let agg_row = hybrid_aggregate(
+            &mut agg_row_eng,
+            &SequentialCostModel::default(),
+            &input,
+            &["zip".to_string()],
+            AggFunc::Sum,
+            Some("score"),
+            "total",
+            1,
+            EngineMode::Row,
+        )
+        .unwrap();
+        let mut agg_col_eng = engine();
+        let agg_col = hybrid_aggregate(
+            &mut agg_col_eng,
+            &SequentialCostModel::default(),
+            &input,
+            &["zip".to_string()],
+            AggFunc::Sum,
+            Some("score"),
+            "total",
+            1,
+            EngineMode::Columnar,
+        )
+        .unwrap();
+        assert!(agg_row.result.same_rows_unordered(&agg_col.result));
+    }
+
+    #[test]
     fn hybrid_aggregate_requires_a_group_by_column() {
         let mut eng = engine();
         let input = Relation::from_ints(&["v"], &[vec![1]]);
@@ -478,7 +602,8 @@ mod tests {
             AggFunc::Sum,
             Some("v"),
             "t",
-            1
+            1,
+            EngineMode::Row,
         )
         .is_err());
     }

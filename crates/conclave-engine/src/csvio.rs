@@ -6,6 +6,7 @@
 //! handles the integer/float data the workloads use and does not attempt full
 //! RFC 4180 quoting.
 
+use crate::error::{EngineError, EngineResult};
 use crate::relation::Relation;
 use conclave_ir::schema::{ColumnDef, Schema};
 use conclave_ir::types::{DataType, Value};
@@ -40,17 +41,24 @@ pub fn write_csv(rel: &Relation, path: &Path) -> io::Result<()> {
 }
 
 /// Parses CSV text into a relation using the given schema. The header row is
-/// validated against the schema's column names.
-pub fn from_csv_string(text: &str, schema: &Schema) -> Result<Relation, String> {
+/// validated against the schema's column names; parse failures carry the
+/// 1-based CSV line number in a typed [`EngineError::Csv`].
+pub fn from_csv_string(text: &str, schema: &Schema) -> EngineResult<Relation> {
     let mut lines = text.lines();
-    let header = lines.next().ok_or("empty CSV input")?;
+    let header = lines.next().ok_or(EngineError::Csv {
+        line: 1,
+        message: "empty CSV input".to_string(),
+    })?;
     let names: Vec<&str> = header.split(',').map(str::trim).collect();
     if names != schema.names() {
-        return Err(format!(
-            "CSV header {:?} does not match schema {:?}",
-            names,
-            schema.names()
-        ));
+        return Err(EngineError::Csv {
+            line: 1,
+            message: format!(
+                "header {:?} does not match schema {:?}",
+                names,
+                schema.names()
+            ),
+        });
     }
     let mut rows = Vec::new();
     for (lineno, line) in lines.enumerate() {
@@ -59,23 +67,25 @@ pub fn from_csv_string(text: &str, schema: &Schema) -> Result<Relation, String> 
         }
         let cells: Vec<&str> = line.split(',').collect();
         if cells.len() != schema.len() {
-            return Err(format!(
-                "line {}: expected {} cells, got {}",
-                lineno + 2,
-                schema.len(),
-                cells.len()
-            ));
+            return Err(EngineError::Csv {
+                line: lineno + 2,
+                message: format!("expected {} cells, got {}", schema.len(), cells.len()),
+            });
         }
         let mut row = Vec::with_capacity(cells.len());
         for (cell, col) in cells.iter().zip(&schema.columns) {
-            row.push(parse_cell(cell.trim(), col)?);
+            row.push(
+                parse_cell(cell.trim(), col).map_err(|message| EngineError::Csv {
+                    line: lineno + 2,
+                    message,
+                })?,
+            );
         }
         rows.push(row);
     }
-    Ok(Relation {
-        schema: schema.clone(),
-        rows,
-    })
+    // Arity was validated per line, but routing through the typed constructor
+    // keeps `RowArity` as the single source of truth for shape errors.
+    Relation::new(schema.clone(), rows)
 }
 
 fn parse_cell(cell: &str, col: &ColumnDef) -> Result<Value, String> {
@@ -101,8 +111,8 @@ fn parse_cell(cell: &str, col: &ColumnDef) -> Result<Value, String> {
 }
 
 /// Reads a CSV file into a relation using the given schema.
-pub fn read_csv(path: &Path, schema: &Schema) -> Result<Relation, String> {
-    let text = fs::read_to_string(path).map_err(|e| e.to_string())?;
+pub fn read_csv(path: &Path, schema: &Schema) -> EngineResult<Relation> {
+    let text = fs::read_to_string(path).map_err(|e| EngineError::Io(e.to_string()))?;
     from_csv_string(&text, schema)
 }
 
@@ -157,8 +167,14 @@ mod tests {
     #[test]
     fn arity_and_parse_errors() {
         let schema = Schema::ints(&["a", "b"]);
-        assert!(from_csv_string("a,b\n1\n", &schema).is_err());
-        assert!(from_csv_string("a,b\n1,notanumber\n", &schema).is_err());
+        assert!(matches!(
+            from_csv_string("a,b\n1\n", &schema),
+            Err(EngineError::Csv { line: 2, .. })
+        ));
+        assert!(matches!(
+            from_csv_string("a,b\n1,2\n3,notanumber\n", &schema),
+            Err(EngineError::Csv { line: 3, .. })
+        ));
         let bool_schema = Schema::new(vec![ColumnDef::new("x", DataType::Bool)]);
         assert!(from_csv_string("x\nmaybe\n", &bool_schema).is_err());
         assert!(from_csv_string("x\n1\n", &bool_schema).is_ok());
@@ -174,6 +190,9 @@ mod tests {
         let back = read_csv(&path, &rel.schema).unwrap();
         assert_eq!(back, rel);
         let missing = dir.join("does_not_exist.csv");
-        assert!(read_csv(&missing, &rel.schema).is_err());
+        assert!(matches!(
+            read_csv(&missing, &rel.schema),
+            Err(EngineError::Io(_))
+        ));
     }
 }

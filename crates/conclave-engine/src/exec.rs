@@ -14,45 +14,8 @@ use conclave_ir::ops::{AggFunc, Operand, Operator};
 use conclave_ir::schema::Schema;
 use conclave_ir::types::Value;
 use std::collections::HashMap;
-use std::fmt;
 
-/// Errors produced by the cleartext engine.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum EngineError {
-    /// Wrong number of inputs for the operator.
-    Arity {
-        /// Operator name.
-        op: String,
-        /// Expected input count description.
-        expected: String,
-        /// Actual input count.
-        got: usize,
-    },
-    /// Referenced column does not exist.
-    UnknownColumn(String),
-    /// The operator cannot run in a single-site cleartext engine.
-    Unsupported(String),
-    /// Expression evaluation failed.
-    Eval(String),
-}
-
-impl fmt::Display for EngineError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            EngineError::Arity { op, expected, got } => {
-                write!(f, "operator {op} expects {expected} inputs, got {got}")
-            }
-            EngineError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
-            EngineError::Unsupported(op) => write!(f, "operator {op} is not a cleartext operator"),
-            EngineError::Eval(e) => write!(f, "expression evaluation failed: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for EngineError {}
-
-/// Result alias for engine operations.
-pub type EngineResult<T> = Result<T, EngineError>;
+pub use crate::error::{EngineError, EngineResult};
 
 fn need(op: &Operator, inputs: &[&Relation], n: usize) -> EngineResult<()> {
     if inputs.len() == n {
@@ -86,7 +49,7 @@ pub fn execute(op: &Operator, inputs: &[&Relation]) -> EngineResult<Relation> {
                 });
             }
             let parts: Vec<Relation> = inputs.iter().map(|r| (*r).clone()).collect();
-            Relation::concat(&parts).map_err(EngineError::Eval)
+            Relation::concat(&parts)
         }
         Operator::Project { columns } => {
             need(op, inputs, 1)?;
@@ -124,8 +87,7 @@ pub fn execute(op: &Operator, inputs: &[&Relation]) -> EngineResult<Relation> {
         Operator::SortBy { column, ascending } => {
             need(op, inputs, 1)?;
             let mut rel = inputs[0].clone();
-            rel.sort_by_column(column, *ascending)
-                .map_err(EngineError::Eval)?;
+            rel.sort_by_column(column, *ascending)?;
             Ok(rel)
         }
         Operator::Limit { n } => {
@@ -481,10 +443,8 @@ fn select_by_index(
 
 fn merge_sorted(inputs: &[&Relation], column: &str, ascending: bool) -> EngineResult<Relation> {
     let parts: Vec<Relation> = inputs.iter().map(|r| (*r).clone()).collect();
-    let mut merged = Relation::concat(&parts).map_err(EngineError::Eval)?;
-    merged
-        .sort_by_column(column, ascending)
-        .map_err(EngineError::Eval)?;
+    let mut merged = Relation::concat(&parts)?;
+    merged.sort_by_column(column, ascending)?;
     Ok(merged)
 }
 
@@ -820,6 +780,200 @@ mod tests {
         .is_err());
         // Wrong arity.
         assert!(execute(&Operator::Limit { n: 1 }, &[&r, &r]).is_err());
+    }
+
+    #[test]
+    fn empty_relations_flow_through_every_unary_operator() {
+        let empty = Relation::from_ints(&["companyID", "price"], &[]);
+        for op in [
+            Operator::Project {
+                columns: vec!["price".into()],
+            },
+            Operator::Filter {
+                predicate: Expr::col("price").gt(Expr::lit(0)),
+            },
+            Operator::SortBy {
+                column: "price".into(),
+                ascending: true,
+            },
+            Operator::Limit { n: 5 },
+            Operator::Distinct {
+                columns: vec!["companyID".into()],
+            },
+            Operator::Shuffle,
+            Operator::Enumerate { out: "i".into() },
+            Operator::Multiply {
+                out: "x".into(),
+                operands: vec![Operand::col("price"), Operand::lit(2)],
+            },
+            Operator::Divide {
+                out: "d".into(),
+                num: Operand::col("price"),
+                den: Operand::lit(2),
+            },
+        ] {
+            let out = execute(&op, &[&empty]).unwrap_or_else(|e| panic!("{op}: {e}"));
+            assert_eq!(out.num_rows(), 0, "{op} should produce no rows");
+        }
+        // Grouped aggregation over an empty input yields zero groups...
+        let grouped = execute(
+            &Operator::Aggregate {
+                group_by: vec!["companyID".into()],
+                func: AggFunc::Sum,
+                over: Some("price".into()),
+                out: "rev".into(),
+            },
+            &[&empty],
+        )
+        .unwrap();
+        assert_eq!(grouped.num_rows(), 0);
+        assert_eq!(grouped.schema.names(), vec!["companyID", "rev"]);
+        // ...while distinct-count still yields its single scalar row.
+        let dc = execute(
+            &Operator::DistinctCount {
+                column: "price".into(),
+                out: "n".into(),
+            },
+            &[&empty],
+        )
+        .unwrap();
+        assert_eq!(dc.scalar(), Some(&Value::Int(0)));
+        // Joins against an empty side are empty.
+        let some = sales();
+        let join = Operator::Join {
+            left_keys: vec!["companyID".into()],
+            right_keys: vec!["companyID".into()],
+            kind: conclave_ir::ops::JoinKind::Inner,
+        };
+        assert_eq!(execute(&join, &[&empty, &some]).unwrap().num_rows(), 0);
+        assert_eq!(execute(&join, &[&some, &empty]).unwrap().num_rows(), 0);
+    }
+
+    #[test]
+    fn all_duplicate_join_keys_produce_the_full_cross_product() {
+        let left = Relation::from_ints(&["k", "a"], &[vec![1, 1], vec![1, 2], vec![1, 3]]);
+        let right = Relation::from_ints(&["k", "b"], &[vec![1, 10], vec![1, 20]]);
+        let out = execute(
+            &Operator::Join {
+                left_keys: vec!["k".into()],
+                right_keys: vec!["k".into()],
+                kind: conclave_ir::ops::JoinKind::Inner,
+            },
+            &[&left, &right],
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 6);
+        // Left-major order, right matches in insertion order.
+        assert_eq!(
+            out.rows[0],
+            vec![Value::Int(1), Value::Int(1), Value::Int(10)]
+        );
+        assert_eq!(
+            out.rows[1],
+            vec![Value::Int(1), Value::Int(1), Value::Int(20)]
+        );
+    }
+
+    #[test]
+    fn single_row_inputs_are_handled_by_every_operator() {
+        let one = Relation::from_ints(&["companyID", "price"], &[vec![2, 9]]);
+        let sorted = execute(
+            &Operator::SortBy {
+                column: "price".into(),
+                ascending: false,
+            },
+            &[&one],
+        )
+        .unwrap();
+        assert_eq!(sorted.rows, one.rows);
+        let agg = execute(
+            &Operator::Aggregate {
+                group_by: vec!["companyID".into()],
+                func: AggFunc::Max,
+                over: Some("price".into()),
+                out: "m".into(),
+            },
+            &[&one],
+        )
+        .unwrap();
+        assert_eq!(agg.rows, vec![vec![Value::Int(2), Value::Int(9)]]);
+        let joined = execute(
+            &Operator::Join {
+                left_keys: vec!["companyID".into()],
+                right_keys: vec!["companyID".into()],
+                kind: conclave_ir::ops::JoinKind::Inner,
+            },
+            &[&one, &one],
+        )
+        .unwrap();
+        assert_eq!(joined.num_rows(), 1);
+    }
+
+    #[test]
+    fn null_heavy_columns_follow_sql_like_semantics() {
+        let schema = Schema::new(vec![
+            conclave_ir::schema::ColumnDef::new("k", conclave_ir::types::DataType::Int),
+            conclave_ir::schema::ColumnDef::new("v", conclave_ir::types::DataType::Int),
+        ]);
+        let rel = Relation::new(
+            schema,
+            vec![
+                vec![Value::Int(1), Value::Null],
+                vec![Value::Int(1), Value::Int(5)],
+                vec![Value::Int(2), Value::Int(3)],
+            ],
+        )
+        .unwrap();
+        // A null poisons the sum of its group.
+        let sum = execute(
+            &Operator::Aggregate {
+                group_by: vec!["k".into()],
+                func: AggFunc::Sum,
+                over: Some("v".into()),
+                out: "s".into(),
+            },
+            &[&rel],
+        )
+        .unwrap();
+        let by_key: HashMap<i64, Value> = sum
+            .rows
+            .iter()
+            .map(|r| (r[0].as_int().unwrap(), r[1].clone()))
+            .collect();
+        assert_eq!(by_key[&1], Value::Null);
+        assert_eq!(by_key[&2], Value::Int(3));
+        // NULL sorts below every value and never passes a comparison filter.
+        let sorted = execute(
+            &Operator::SortBy {
+                column: "v".into(),
+                ascending: true,
+            },
+            &[&rel],
+        )
+        .unwrap();
+        assert!(sorted.rows[0][1].is_null());
+        let filtered = execute(
+            &Operator::Filter {
+                predicate: Expr::col("v").gt(Expr::lit(-1000)),
+            },
+            &[&rel],
+        )
+        .unwrap();
+        assert_eq!(filtered.num_rows(), 2);
+        // Null join keys compare equal to each other under the total order,
+        // so a null-keyed row matches its counterpart.
+        let nulled_keys = Relation::new(
+            Schema::ints(&["k", "v"]),
+            vec![vec![Value::Null, Value::Int(1)]],
+        )
+        .unwrap();
+        let join = Operator::Join {
+            left_keys: vec!["k".into()],
+            right_keys: vec!["k".into()],
+            kind: conclave_ir::ops::JoinKind::Inner,
+        };
+        let out = execute(&join, &[&nulled_keys, &nulled_keys]).unwrap();
+        assert_eq!(out.num_rows(), 1);
     }
 
     #[test]

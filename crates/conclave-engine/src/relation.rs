@@ -1,5 +1,6 @@
 //! In-memory relations: a schema plus a vector of rows.
 
+use crate::error::{EngineError, EngineResult};
 use conclave_ir::schema::Schema;
 use conclave_ir::types::Value;
 use std::collections::HashMap;
@@ -24,14 +25,15 @@ impl Relation {
     }
 
     /// Creates a relation from a schema and rows. Rows with the wrong arity
-    /// are rejected.
-    pub fn new(schema: Schema, rows: Vec<Vec<Value>>) -> Result<Self, String> {
+    /// are rejected with a typed [`EngineError::RowArity`].
+    pub fn new(schema: Schema, rows: Vec<Vec<Value>>) -> EngineResult<Self> {
         let width = schema.len();
         if let Some(bad) = rows.iter().position(|r| r.len() != width) {
-            return Err(format!(
-                "row {bad} has {} values, schema has {width} columns",
-                rows[bad].len()
-            ));
+            return Err(EngineError::RowArity {
+                row: bad,
+                got: rows[bad].len(),
+                expected: width,
+            });
         }
         Ok(Relation { schema, rows })
     }
@@ -88,10 +90,10 @@ impl Relation {
     }
 
     /// Sorts rows in place by the named column.
-    pub fn sort_by_column(&mut self, name: &str, ascending: bool) -> Result<(), String> {
+    pub fn sort_by_column(&mut self, name: &str, ascending: bool) -> EngineResult<()> {
         let idx = self
             .col_index(name)
-            .ok_or_else(|| format!("unknown column `{name}`"))?;
+            .ok_or_else(|| EngineError::UnknownColumn(name.to_string()))?;
         self.rows.sort_by(|a, b| a[idx].cmp(&b[idx]));
         if !ascending {
             self.rows.reverse();
@@ -153,14 +155,14 @@ impl Relation {
     }
 
     /// Concatenates relations with identical arity into one (union all).
-    pub fn concat(parts: &[Relation]) -> Result<Relation, String> {
+    pub fn concat(parts: &[Relation]) -> EngineResult<Relation> {
         let Some(first) = parts.first() else {
-            return Err("concat of zero relations".to_string());
+            return Err(EngineError::Eval("concat of zero relations".to_string()));
         };
         let mut rows = Vec::new();
         for p in parts {
             if p.num_cols() != first.num_cols() {
-                return Err("concat arity mismatch".to_string());
+                return Err(EngineError::Eval("concat arity mismatch".to_string()));
             }
             rows.extend(p.rows.iter().cloned());
         }
@@ -221,9 +223,16 @@ mod tests {
     }
 
     #[test]
-    fn new_rejects_bad_arity() {
+    fn new_rejects_bad_arity_with_typed_error() {
         let schema = Schema::ints(&["a", "b"]);
-        assert!(Relation::new(schema.clone(), vec![vec![Value::Int(1)]]).is_err());
+        assert!(matches!(
+            Relation::new(schema.clone(), vec![vec![Value::Int(1)]]),
+            Err(EngineError::RowArity {
+                row: 0,
+                got: 1,
+                expected: 2
+            })
+        ));
         assert!(Relation::new(schema, vec![vec![Value::Int(1), Value::Int(2)]]).is_ok());
     }
 

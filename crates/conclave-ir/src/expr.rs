@@ -282,6 +282,390 @@ impl Expr {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Vectorized (batch) evaluation.
+//
+// The columnar engine in `conclave-engine` evaluates expressions one column
+// at a time instead of one row at a time. The scalar semantics above remain
+// the specification: every fast path below must produce exactly the values
+// `Expr::eval` would produce row by row (the differential test suite checks
+// this), so the typed loops only engage when coercion rules cannot differ.
+// ---------------------------------------------------------------------------
+
+/// A borrowed, typed view of one stored column, handed to [`Expr::eval_batch`]
+/// by a [`ColumnSource`].
+#[derive(Debug, Clone, Copy)]
+pub enum BatchRef<'a> {
+    /// 64-bit integers.
+    Int(&'a [i64]),
+    /// 64-bit floats.
+    Float(&'a [f64]),
+    /// Booleans.
+    Bool(&'a [bool]),
+    /// UTF-8 strings.
+    Str(&'a [String]),
+    /// Heterogeneous values (the lossless fallback representation).
+    Mixed(&'a [Value]),
+}
+
+/// A provider of column batches: implemented by columnar relation storage so
+/// expressions can be evaluated without materializing rows.
+pub trait ColumnSource {
+    /// Number of rows in every column.
+    fn batch_rows(&self) -> usize;
+    /// The typed data of the column at `col` (schema index).
+    fn batch(&self, col: usize) -> BatchRef<'_>;
+    /// Validity mask of the column at `col`: `Some(mask)` where `mask[i]`
+    /// is `true` marks a NULL at row `i`; `None` means no nulls.
+    fn batch_nulls(&self, col: usize) -> Option<&[bool]>;
+}
+
+/// The result of vectorized expression evaluation: one value per input row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValueBatch {
+    /// All-integer result.
+    Int(Vec<i64>),
+    /// All-float result.
+    Float(Vec<f64>),
+    /// All-boolean result.
+    Bool(Vec<bool>),
+    /// Generic per-row values (mixed types and/or nulls).
+    Values(Vec<Value>),
+    /// A constant broadcast over the given number of rows.
+    Splat(Value, usize),
+}
+
+impl ValueBatch {
+    /// Number of rows the batch covers.
+    pub fn len(&self) -> usize {
+        match self {
+            ValueBatch::Int(v) => v.len(),
+            ValueBatch::Float(v) => v.len(),
+            ValueBatch::Bool(v) => v.len(),
+            ValueBatch::Values(v) => v.len(),
+            ValueBatch::Splat(_, n) => *n,
+        }
+    }
+
+    /// Returns `true` if the batch covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value at row `i` (cloned).
+    pub fn value(&self, i: usize) -> Value {
+        match self {
+            ValueBatch::Int(v) => Value::Int(v[i]),
+            ValueBatch::Float(v) => Value::Float(v[i]),
+            ValueBatch::Bool(v) => Value::Bool(v[i]),
+            ValueBatch::Values(v) => v[i].clone(),
+            ValueBatch::Splat(v, _) => v.clone(),
+        }
+    }
+
+    /// Materializes the batch as one `Value` per row.
+    pub fn into_values(self) -> Vec<Value> {
+        match self {
+            ValueBatch::Int(v) => v.into_iter().map(Value::Int).collect(),
+            ValueBatch::Float(v) => v.into_iter().map(Value::Float).collect(),
+            ValueBatch::Bool(v) => v.into_iter().map(Value::Bool).collect(),
+            ValueBatch::Values(v) => v,
+            ValueBatch::Splat(v, n) => vec![v; n],
+        }
+    }
+
+    /// Interprets the batch as a selection mask, with exactly the semantics
+    /// the row engine's filter uses: `value.as_bool().unwrap_or(false)`.
+    pub fn to_mask(&self) -> Vec<bool> {
+        match self {
+            ValueBatch::Bool(v) => v.clone(),
+            ValueBatch::Int(v) => v.iter().map(|x| *x != 0).collect(),
+            ValueBatch::Float(v) => v.iter().map(|x| *x != 0.0).collect(),
+            ValueBatch::Values(v) => v.iter().map(|x| x.as_bool().unwrap_or(false)).collect(),
+            ValueBatch::Splat(v, n) => vec![v.as_bool().unwrap_or(false); *n],
+        }
+    }
+}
+
+/// Borrowed integer operand: a slice or a broadcast constant.
+#[derive(Clone, Copy)]
+enum IntView<'a> {
+    Slice(&'a [i64]),
+    Splat(i64),
+}
+
+impl IntView<'_> {
+    #[inline]
+    fn get(&self, i: usize) -> i64 {
+        match self {
+            IntView::Slice(v) => v[i],
+            IntView::Splat(k) => *k,
+        }
+    }
+}
+
+/// Borrowed float operand: a slice (possibly int-sourced) or a constant.
+#[derive(Clone, Copy)]
+enum FloatView<'a> {
+    Floats(&'a [f64]),
+    Ints(&'a [i64]),
+    Splat(f64),
+}
+
+impl FloatView<'_> {
+    #[inline]
+    fn get(&self, i: usize) -> f64 {
+        match self {
+            FloatView::Floats(v) => v[i],
+            FloatView::Ints(v) => v[i] as f64,
+            FloatView::Splat(k) => *k,
+        }
+    }
+}
+
+/// Borrowed boolean operand.
+#[derive(Clone, Copy)]
+enum BoolView<'a> {
+    Slice(&'a [bool]),
+    Splat(bool),
+}
+
+impl BoolView<'_> {
+    #[inline]
+    fn get(&self, i: usize) -> bool {
+        match self {
+            BoolView::Slice(v) => v[i],
+            BoolView::Splat(k) => *k,
+        }
+    }
+}
+
+/// Views a batch as genuinely-integer operands (`Value::Int` semantics only:
+/// booleans and floats follow different coercion rules and are excluded).
+fn int_view(b: &ValueBatch) -> Option<IntView<'_>> {
+    match b {
+        ValueBatch::Int(v) => Some(IntView::Slice(v)),
+        ValueBatch::Splat(Value::Int(k), _) => Some(IntView::Splat(*k)),
+        _ => None,
+    }
+}
+
+/// Views a batch as numeric operands for the int/float coercion path. Bools
+/// are excluded: `Value`'s comparison order does not coerce them to numbers.
+fn float_view(b: &ValueBatch) -> Option<FloatView<'_>> {
+    match b {
+        ValueBatch::Int(v) => Some(FloatView::Ints(v)),
+        ValueBatch::Float(v) => Some(FloatView::Floats(v)),
+        ValueBatch::Splat(Value::Int(k), _) => Some(FloatView::Splat(*k as f64)),
+        ValueBatch::Splat(Value::Float(k), _) => Some(FloatView::Splat(*k)),
+        _ => None,
+    }
+}
+
+fn bool_view(b: &ValueBatch) -> Option<BoolView<'_>> {
+    match b {
+        ValueBatch::Bool(v) => Some(BoolView::Slice(v)),
+        ValueBatch::Splat(Value::Bool(k), _) => Some(BoolView::Splat(*k)),
+        _ => None,
+    }
+}
+
+/// Applies a binary operator over two batches, using tight typed loops where
+/// the scalar coercion rules permit and falling back to per-row [`Value`]
+/// semantics otherwise.
+pub fn apply_binop_batch(op: BinOp, l: &ValueBatch, r: &ValueBatch) -> ValueBatch {
+    let n = l.len().max(r.len());
+    // Pure-integer fast path (matches `numeric_binop`'s `(Int, Int)` arm and
+    // the integer comparison arms of `Value::cmp`).
+    if let (Some(a), Some(b)) = (int_view(l), int_view(r)) {
+        return match op {
+            BinOp::Add => {
+                ValueBatch::Int((0..n).map(|i| a.get(i).wrapping_add(b.get(i))).collect())
+            }
+            BinOp::Sub => {
+                ValueBatch::Int((0..n).map(|i| a.get(i).wrapping_sub(b.get(i))).collect())
+            }
+            BinOp::Mul => {
+                ValueBatch::Int((0..n).map(|i| a.get(i).wrapping_mul(b.get(i))).collect())
+            }
+            BinOp::Div => div_batch(
+                FloatViewPair(float_view(l).unwrap(), float_view(r).unwrap()),
+                n,
+            ),
+            BinOp::Eq => ValueBatch::Bool((0..n).map(|i| a.get(i) == b.get(i)).collect()),
+            BinOp::Ne => ValueBatch::Bool((0..n).map(|i| a.get(i) != b.get(i)).collect()),
+            BinOp::Lt => ValueBatch::Bool((0..n).map(|i| a.get(i) < b.get(i)).collect()),
+            BinOp::Le => ValueBatch::Bool((0..n).map(|i| a.get(i) <= b.get(i)).collect()),
+            BinOp::Gt => ValueBatch::Bool((0..n).map(|i| a.get(i) > b.get(i)).collect()),
+            BinOp::Ge => ValueBatch::Bool((0..n).map(|i| a.get(i) >= b.get(i)).collect()),
+            BinOp::And => {
+                ValueBatch::Bool((0..n).map(|i| a.get(i) != 0 && b.get(i) != 0).collect())
+            }
+            BinOp::Or => ValueBatch::Bool((0..n).map(|i| a.get(i) != 0 || b.get(i) != 0).collect()),
+        };
+    }
+    // Mixed int/float numeric fast path (matches the float arm of
+    // `numeric_binop` and `total_f64_cmp` comparisons).
+    if let (Some(a), Some(b)) = (float_view(l), float_view(r)) {
+        return match op {
+            BinOp::Add => ValueBatch::Float((0..n).map(|i| a.get(i) + b.get(i)).collect()),
+            BinOp::Sub => ValueBatch::Float((0..n).map(|i| a.get(i) - b.get(i)).collect()),
+            BinOp::Mul => ValueBatch::Float((0..n).map(|i| a.get(i) * b.get(i)).collect()),
+            BinOp::Div => div_batch(FloatViewPair(a, b), n),
+            BinOp::Eq => ValueBatch::Bool(
+                (0..n)
+                    .map(|i| a.get(i).total_cmp(&b.get(i)).is_eq())
+                    .collect(),
+            ),
+            BinOp::Ne => ValueBatch::Bool(
+                (0..n)
+                    .map(|i| !a.get(i).total_cmp(&b.get(i)).is_eq())
+                    .collect(),
+            ),
+            BinOp::Lt => ValueBatch::Bool(
+                (0..n)
+                    .map(|i| a.get(i).total_cmp(&b.get(i)).is_lt())
+                    .collect(),
+            ),
+            BinOp::Le => ValueBatch::Bool(
+                (0..n)
+                    .map(|i| a.get(i).total_cmp(&b.get(i)).is_le())
+                    .collect(),
+            ),
+            BinOp::Gt => ValueBatch::Bool(
+                (0..n)
+                    .map(|i| a.get(i).total_cmp(&b.get(i)).is_gt())
+                    .collect(),
+            ),
+            BinOp::Ge => ValueBatch::Bool(
+                (0..n)
+                    .map(|i| a.get(i).total_cmp(&b.get(i)).is_ge())
+                    .collect(),
+            ),
+            BinOp::And => {
+                ValueBatch::Bool((0..n).map(|i| a.get(i) != 0.0 && b.get(i) != 0.0).collect())
+            }
+            BinOp::Or => {
+                ValueBatch::Bool((0..n).map(|i| a.get(i) != 0.0 || b.get(i) != 0.0).collect())
+            }
+        };
+    }
+    // Boolean logic fast path.
+    if let (Some(a), Some(b)) = (bool_view(l), bool_view(r)) {
+        match op {
+            BinOp::And => return ValueBatch::Bool((0..n).map(|i| a.get(i) && b.get(i)).collect()),
+            BinOp::Or => return ValueBatch::Bool((0..n).map(|i| a.get(i) || b.get(i)).collect()),
+            BinOp::Eq => return ValueBatch::Bool((0..n).map(|i| a.get(i) == b.get(i)).collect()),
+            BinOp::Ne => return ValueBatch::Bool((0..n).map(|i| a.get(i) != b.get(i)).collect()),
+            _ => {}
+        }
+    }
+    // Generic fallback: exact scalar semantics per row.
+    ValueBatch::Values(
+        (0..n)
+            .map(|i| apply_binop(op, &l.value(i), &r.value(i)))
+            .collect(),
+    )
+}
+
+struct FloatViewPair<'a>(FloatView<'a>, FloatView<'a>);
+
+/// Division: int/int produces floats, any division by zero produces NULL —
+/// exactly `Value::div`. A zero-free denominator keeps the typed float batch.
+fn div_batch(views: FloatViewPair<'_>, n: usize) -> ValueBatch {
+    let FloatViewPair(a, b) = views;
+    if (0..n).any(|i| b.get(i) == 0.0) {
+        ValueBatch::Values(
+            (0..n)
+                .map(|i| {
+                    if b.get(i) == 0.0 {
+                        Value::Null
+                    } else {
+                        Value::Float(a.get(i) / b.get(i))
+                    }
+                })
+                .collect(),
+        )
+    } else {
+        ValueBatch::Float((0..n).map(|i| a.get(i) / b.get(i)).collect())
+    }
+}
+
+impl Expr {
+    /// Evaluates the expression over whole columns at once.
+    ///
+    /// Produces exactly the values row-at-a-time [`Expr::eval`] would — the
+    /// typed fast paths engage only where the coercion rules are identical —
+    /// but runs as tight loops over primitive slices for the common
+    /// integer-heavy workloads.
+    pub fn eval_batch(&self, schema: &Schema, src: &dyn ColumnSource) -> IrResult<ValueBatch> {
+        match self {
+            Expr::Col(name) => {
+                let idx = schema.require(name, "expression")?;
+                Ok(load_column(src, idx))
+            }
+            Expr::Const(v) => Ok(ValueBatch::Splat(v.clone(), src.batch_rows())),
+            Expr::Bin { op, left, right } => {
+                let l = left.eval_batch(schema, src)?;
+                let r = right.eval_batch(schema, src)?;
+                Ok(apply_binop_batch(*op, &l, &r))
+            }
+            Expr::Not(inner) => {
+                let b = inner.eval_batch(schema, src)?;
+                if let Some(v) = bool_view(&b) {
+                    let n = b.len();
+                    return Ok(ValueBatch::Bool((0..n).map(|i| !v.get(i)).collect()));
+                }
+                if let Some(v) = int_view(&b) {
+                    let n = b.len();
+                    return Ok(ValueBatch::Bool((0..n).map(|i| v.get(i) == 0).collect()));
+                }
+                Ok(ValueBatch::Values(
+                    (0..b.len())
+                        .map(|i| match b.value(i).as_bool() {
+                            Some(x) => Value::Bool(!x),
+                            None => Value::Null,
+                        })
+                        .collect(),
+                ))
+            }
+        }
+    }
+}
+
+/// Loads a stored column into an owned batch, demoting to generic values when
+/// a null mask is present (typed loops cannot represent NULL).
+fn load_column(src: &dyn ColumnSource, idx: usize) -> ValueBatch {
+    let nulls = src.batch_nulls(idx);
+    match (src.batch(idx), nulls) {
+        (BatchRef::Int(v), None) => ValueBatch::Int(v.to_vec()),
+        (BatchRef::Float(v), None) => ValueBatch::Float(v.to_vec()),
+        (BatchRef::Bool(v), None) => ValueBatch::Bool(v.to_vec()),
+        (BatchRef::Str(v), None) => {
+            ValueBatch::Values(v.iter().map(|s| Value::Str(s.clone())).collect())
+        }
+        (BatchRef::Mixed(v), None) => ValueBatch::Values(v.to_vec()),
+        (data, Some(mask)) => {
+            let values = (0..mask.len())
+                .map(|i| {
+                    if mask[i] {
+                        Value::Null
+                    } else {
+                        match data {
+                            BatchRef::Int(v) => Value::Int(v[i]),
+                            BatchRef::Float(v) => Value::Float(v[i]),
+                            BatchRef::Bool(v) => Value::Bool(v[i]),
+                            BatchRef::Str(v) => Value::Str(v[i].clone()),
+                            BatchRef::Mixed(v) => v[i].clone(),
+                        }
+                    }
+                })
+                .collect();
+            ValueBatch::Values(values)
+        }
+    }
+}
+
 /// Applies a binary operator to two runtime values.
 pub fn apply_binop(op: BinOp, l: &Value, r: &Value) -> Value {
     match op {
@@ -417,5 +801,107 @@ mod tests {
         assert!(BinOp::Or.is_predicate());
         assert!(!BinOp::Add.is_predicate());
         assert!(!BinOp::Div.is_predicate());
+    }
+
+    /// A tiny in-memory column source for batch-eval tests.
+    struct TestSource {
+        ints: Vec<Vec<i64>>,
+        nulls: Vec<Option<Vec<bool>>>,
+    }
+
+    impl ColumnSource for TestSource {
+        fn batch_rows(&self) -> usize {
+            self.ints.first().map_or(0, |c| c.len())
+        }
+        fn batch(&self, col: usize) -> BatchRef<'_> {
+            BatchRef::Int(&self.ints[col])
+        }
+        fn batch_nulls(&self, col: usize) -> Option<&[bool]> {
+            self.nulls[col].as_deref()
+        }
+    }
+
+    /// Batch evaluation must agree with scalar evaluation row by row.
+    fn assert_batch_matches_scalar(e: &Expr, s: &Schema, src: &TestSource) {
+        let batch = e.eval_batch(s, src).unwrap().into_values();
+        for i in 0..src.batch_rows() {
+            let row: Vec<Value> = (0..src.ints.len())
+                .map(|c| match &src.nulls[c] {
+                    Some(mask) if mask[i] => Value::Null,
+                    _ => Value::Int(src.ints[c][i]),
+                })
+                .collect();
+            assert_eq!(batch[i], e.eval(s, &row).unwrap(), "row {i} of {e}");
+        }
+    }
+
+    #[test]
+    fn batch_eval_matches_scalar_eval() {
+        let s = Schema::ints(&["a", "b"]);
+        let src = TestSource {
+            ints: vec![vec![6, -3, 0, i64::MAX], vec![4, 0, 7, 2]],
+            nulls: vec![None, None],
+        };
+        for e in [
+            Expr::col("a").add(Expr::col("b")),
+            Expr::col("a").sub(Expr::lit(1)),
+            Expr::col("a").mul(Expr::col("b")),
+            Expr::col("a").div(Expr::col("b")), // includes division by zero
+            Expr::col("a").div(Expr::lit(2)),
+            Expr::col("a").gt(Expr::col("b")),
+            Expr::col("a").le(Expr::lit(0)),
+            Expr::col("a").eq(Expr::col("b")).not(),
+            Expr::col("a")
+                .gt(Expr::lit(0))
+                .and(Expr::col("b").lt(Expr::lit(5))),
+            Expr::col("a").ne(Expr::lit(6)).or(Expr::col("b").not()),
+            Expr::lit(1.5).mul(Expr::col("a")),
+            Expr::lit(3).add(Expr::lit(4)),
+        ] {
+            assert_batch_matches_scalar(&e, &s, &src);
+        }
+    }
+
+    #[test]
+    fn batch_eval_handles_nulls_via_generic_path() {
+        let s = Schema::ints(&["a", "b"]);
+        let src = TestSource {
+            ints: vec![vec![1, 2, 3], vec![10, 20, 30]],
+            nulls: vec![Some(vec![false, true, false]), None],
+        };
+        for e in [
+            Expr::col("a").add(Expr::col("b")),
+            Expr::col("a").gt(Expr::lit(1)),
+            Expr::col("a").not(),
+        ] {
+            assert_batch_matches_scalar(&e, &s, &src);
+        }
+    }
+
+    #[test]
+    fn batch_eval_unknown_column_errors() {
+        let s = Schema::ints(&["a"]);
+        let src = TestSource {
+            ints: vec![vec![1]],
+            nulls: vec![None],
+        };
+        assert!(Expr::col("zzz").eval_batch(&s, &src).is_err());
+    }
+
+    #[test]
+    fn value_batch_accessors() {
+        let b = ValueBatch::Int(vec![1, 0, 2]);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        assert_eq!(b.value(1), Value::Int(0));
+        assert_eq!(b.to_mask(), vec![true, false, true]);
+        let f = ValueBatch::Float(vec![0.0, 2.5]);
+        assert_eq!(f.to_mask(), vec![false, true]);
+        let s = ValueBatch::Splat(Value::Bool(true), 2);
+        assert_eq!(s.to_mask(), vec![true, true]);
+        assert_eq!(s.into_values(), vec![Value::Bool(true), Value::Bool(true)]);
+        let v = ValueBatch::Values(vec![Value::Null, Value::Int(1)]);
+        assert_eq!(v.to_mask(), vec![false, true]);
+        assert!(ValueBatch::Bool(vec![]).is_empty());
     }
 }

@@ -209,6 +209,15 @@ impl MpcEngine {
         SharedRelation::from_relation(rel, &mut self.proto).map_err(MpcError::Exec)
     }
 
+    /// Secret-shares a columnar relation into the engine, column-at-a-time
+    /// (used by the driver when the vectorized cleartext engine is active).
+    pub fn share_columnar(
+        &mut self,
+        rel: &conclave_engine::ColumnarRelation,
+    ) -> MpcResult<SharedRelation> {
+        SharedRelation::from_columnar(rel, &mut self.proto).map_err(MpcError::Exec)
+    }
+
     /// Opens a shared relation back to cleartext.
     pub fn reconstruct(&mut self, rel: &SharedRelation) -> Relation {
         rel.reconstruct(&mut self.proto)

@@ -695,6 +695,120 @@ mod tests {
     }
 
     #[test]
+    fn empty_relations_flow_through_every_oblivious_operator() {
+        let mut p = Protocol::new(3, 21);
+        let schema = conclave_ir::schema::Schema::ints(&["k", "v"]);
+        let empty = SharedRelation::empty(schema.clone());
+        assert_eq!(shuffle(&empty, &mut p).num_rows(), 0);
+        assert_eq!(sort_by(&empty, "k", true, &mut p).unwrap().num_rows(), 0);
+        assert_eq!(
+            merge_sorted(&[empty.clone(), empty.clone()], "k", true, &mut p)
+                .unwrap()
+                .num_rows(),
+            0
+        );
+        let grouped = aggregate_sorted(
+            &empty,
+            &["k".to_string()],
+            AggFunc::Sum,
+            Some("v"),
+            "s",
+            &mut p,
+        )
+        .unwrap();
+        assert_eq!(grouped.num_rows(), 0);
+        assert_eq!(grouped.schema.names(), vec!["k", "s"]);
+        // Joining with an empty side yields no rows and no equality tests.
+        let some = share(&Relation::from_ints(&["k", "v"], &[vec![1, 2]]), &mut p);
+        p.reset_counts();
+        let joined = cartesian_join(
+            &empty,
+            &some,
+            &["k".to_string()],
+            &["k".to_string()],
+            &mut p,
+        )
+        .unwrap();
+        assert_eq!(joined.num_rows(), 0);
+        assert_eq!(p.counts().equalities, 0);
+        // Selecting with an empty index relation selects nothing.
+        let empty_idx = SharedRelation::empty(conclave_ir::schema::Schema::ints(&["i"]));
+        let selected = oblivious_select(&some, &empty_idx, "i", &mut p).unwrap();
+        assert_eq!(selected.num_rows(), 0);
+        // Selecting from empty data with a non-empty index is out of bounds.
+        let idx = share(&Relation::from_ints(&["i"], &[vec![0]]), &mut p);
+        assert!(oblivious_select(&empty, &idx, "i", &mut p).is_err());
+    }
+
+    #[test]
+    fn all_duplicate_join_keys_produce_the_full_cross_product_obliviously() {
+        let mut p = Protocol::new(3, 22);
+        let rows: Vec<Vec<i64>> = (0..4).map(|i| vec![7, i]).collect();
+        let rel = Relation::from_ints(&["k", "v"], &rows);
+        let sl = share(&rel, &mut p);
+        let sr = share(&rel, &mut p);
+        p.reset_counts();
+        let joined =
+            cartesian_join(&sl, &sr, &["k".to_string()], &["k".to_string()], &mut p).unwrap();
+        assert_eq!(joined.num_rows(), 16, "4x4 all-match cross product");
+        assert_eq!(p.counts().equalities, 16, "one equality test per pair");
+        // And an all-duplicate sort/aggregate collapses to a single group.
+        let sorted = sort_by(&sl, "k", true, &mut p).unwrap();
+        let agg = aggregate_sorted(
+            &sorted,
+            &["k".to_string()],
+            AggFunc::Sum,
+            Some("v"),
+            "s",
+            &mut p,
+        )
+        .unwrap();
+        let back = agg.reconstruct(&mut p);
+        assert_eq!(back.num_rows(), 1);
+        assert_eq!(
+            back.rows[0],
+            vec![
+                conclave_ir::types::Value::Int(7),
+                conclave_ir::types::Value::Int(6)
+            ]
+        );
+    }
+
+    #[test]
+    fn single_row_inputs_are_fixed_points_of_oblivious_operators() {
+        let mut p = Protocol::new(3, 23);
+        let rel = Relation::from_ints(&["k", "v"], &[vec![3, 4]]);
+        let shared = share(&rel, &mut p);
+        assert_eq!(shuffle(&shared, &mut p).reconstruct(&mut p).rows, rel.rows);
+        assert_eq!(
+            sort_by(&shared, "k", true, &mut p)
+                .unwrap()
+                .reconstruct(&mut p)
+                .rows,
+            rel.rows
+        );
+        let agg = aggregate_sorted(
+            &shared,
+            &["k".to_string()],
+            AggFunc::Min,
+            Some("v"),
+            "m",
+            &mut p,
+        )
+        .unwrap();
+        assert_eq!(agg.reconstruct(&mut p).rows, rel.rows);
+        let joined = cartesian_join(
+            &shared,
+            &shared,
+            &["k".to_string()],
+            &["k".to_string()],
+            &mut p,
+        )
+        .unwrap();
+        assert_eq!(joined.num_rows(), 1);
+    }
+
+    #[test]
     fn multiply_columns_matches_cleartext() {
         let mut p = Protocol::new(3, 10);
         let rel = Relation::from_ints(&["a", "b"], &[vec![2, 3], vec![-4, 5]]);

@@ -75,6 +75,14 @@ impl Protocol {
         Shares::share(RingElem::from_i64(v), self.parties, &mut self.rng)
     }
 
+    /// Secret-shares a whole column of input values at once (one bulk call
+    /// per column instead of per-cell call sites). Delegates to
+    /// [`Protocol::share_value`] so accounting and share construction have a
+    /// single source of truth.
+    pub fn share_column(&mut self, values: &[i64]) -> Vec<Shares> {
+        values.iter().map(|&v| self.share_value(v)).collect()
+    }
+
     /// Shares a public constant (no randomness, no input cost).
     pub fn constant(&self, v: i64) -> Shares {
         Shares::constant(RingElem::from_i64(v), self.parties)

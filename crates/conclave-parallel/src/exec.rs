@@ -9,8 +9,10 @@
 
 use crate::cluster::ClusterSpec;
 use crate::cost::ClusterCostModel;
-use crate::partition::PartitionedRelation;
-use conclave_engine::{execute, EngineError, EngineResult, Relation};
+use crate::partition::{ColumnarPartitionedRelation, PartitionedRelation};
+use conclave_engine::{
+    execute, execute_columnar, ColumnarRelation, EngineError, EngineMode, EngineResult, Relation,
+};
 use conclave_ir::ops::Operator;
 use std::time::Duration;
 
@@ -46,11 +48,24 @@ impl ParallelEngine {
     }
 
     /// Executes one operator, returning the result and the simulated cluster
-    /// time the stage would take.
+    /// time the stage would take. Uses the row-at-a-time engine per task; see
+    /// [`ParallelEngine::execute_op_mode`] to select the vectorized engine.
     pub fn execute_op(
         &self,
         op: &Operator,
         inputs: &[&Relation],
+    ) -> EngineResult<(Relation, Duration)> {
+        self.execute_op_mode(op, inputs, EngineMode::Row)
+    }
+
+    /// Executes one operator with the chosen per-task engine: row tasks
+    /// process `Vec<Vec<Value>>` partitions, columnar tasks slice typed
+    /// column vectors and run the vectorized engine on each slice.
+    pub fn execute_op_mode(
+        &self,
+        op: &Operator,
+        inputs: &[&Relation],
+        mode: EngineMode,
     ) -> EngineResult<(Relation, Duration)> {
         let input_rows: u64 = inputs.iter().map(|r| r.num_rows() as u64).sum();
         let row_bytes = inputs
@@ -58,7 +73,10 @@ impl ParallelEngine {
             .map(|r| r.schema.row_byte_size() as u64)
             .max()
             .unwrap_or(16);
-        let out = self.execute_parallel(op, inputs)?;
+        let out = match mode {
+            EngineMode::Row => self.execute_parallel(op, inputs)?,
+            EngineMode::Columnar => self.execute_parallel_columnar(op, inputs)?,
+        };
         let time = self.cost.estimate(
             &self.cluster,
             op,
@@ -174,6 +192,150 @@ impl ParallelEngine {
     fn combine_scalar(&self, _op: &Operator, result: Relation, _input: &Relation) -> Relation {
         result
     }
+
+    /// The columnar twin of [`ParallelEngine::execute_parallel`]: partitions
+    /// are column slices and every per-partition task runs the vectorized
+    /// engine.
+    fn execute_parallel_columnar(
+        &self,
+        op: &Operator,
+        inputs: &[&Relation],
+    ) -> EngineResult<Relation> {
+        let partitions = self.cluster.default_partitions();
+        let columnar: Vec<ColumnarRelation> = inputs
+            .iter()
+            .map(|r| ColumnarRelation::from_rows(r))
+            .collect();
+        let refs: Vec<&ColumnarRelation> = columnar.iter().collect();
+        let out = match op {
+            // Narrow, partition-wise operators.
+            Operator::Project { .. }
+            | Operator::Filter { .. }
+            | Operator::Multiply { .. }
+            | Operator::Divide { .. } => {
+                let input = single_columnar(&refs, op)?;
+                let parted = ColumnarPartitionedRelation::from_relation(input, partitions);
+                let results =
+                    run_per_partition(&parted.partitions, |p| execute_columnar(op, &[p]))?;
+                merge_columnar(results, op, &refs)?
+            }
+            // Aggregations: shuffle by the group-by key, reduce per partition.
+            Operator::Aggregate { group_by, .. } => {
+                let input = single_columnar(&refs, op)?;
+                if group_by.is_empty() {
+                    execute_columnar(op, &refs)?
+                } else {
+                    let key_cols: Vec<usize> = group_by
+                        .iter()
+                        .map(|c| {
+                            input
+                                .col_index(c)
+                                .ok_or_else(|| EngineError::UnknownColumn(c.clone()))
+                        })
+                        .collect::<EngineResult<_>>()?;
+                    let parted = ColumnarPartitionedRelation::from_relation(input, partitions)
+                        .shuffle_by_key(&key_cols, partitions);
+                    let results =
+                        run_per_partition(&parted.partitions, |p| execute_columnar(op, &[p]))?;
+                    merge_columnar(results, op, &refs)?
+                }
+            }
+            Operator::Distinct { columns } => {
+                let input = single_columnar(&refs, op)?;
+                let key_cols: Vec<usize> = columns
+                    .iter()
+                    .map(|c| {
+                        input
+                            .col_index(c)
+                            .ok_or_else(|| EngineError::UnknownColumn(c.clone()))
+                    })
+                    .collect::<EngineResult<_>>()?;
+                let parted = ColumnarPartitionedRelation::from_relation(input, partitions)
+                    .shuffle_by_key(&key_cols, partitions);
+                let results =
+                    run_per_partition(&parted.partitions, |p| execute_columnar(op, &[p]))?;
+                merge_columnar(results, op, &refs)?
+            }
+            // Joins: co-partition both sides by the join key.
+            Operator::Join {
+                left_keys,
+                right_keys,
+                ..
+            } => {
+                if refs.len() != 2 {
+                    return Err(EngineError::Arity {
+                        op: op.name().into(),
+                        expected: "2".into(),
+                        got: refs.len(),
+                    });
+                }
+                let lk: Vec<usize> = left_keys
+                    .iter()
+                    .map(|c| {
+                        refs[0]
+                            .col_index(c)
+                            .ok_or_else(|| EngineError::UnknownColumn(c.clone()))
+                    })
+                    .collect::<EngineResult<_>>()?;
+                let rk: Vec<usize> = right_keys
+                    .iter()
+                    .map(|c| {
+                        refs[1]
+                            .col_index(c)
+                            .ok_or_else(|| EngineError::UnknownColumn(c.clone()))
+                    })
+                    .collect::<EngineResult<_>>()?;
+                let left = ColumnarPartitionedRelation::from_relation(refs[0], partitions)
+                    .shuffle_by_key(&lk, partitions);
+                let right = ColumnarPartitionedRelation::from_relation(refs[1], partitions)
+                    .shuffle_by_key(&rk, partitions);
+                let pairs: Vec<(&ColumnarRelation, &ColumnarRelation)> = left
+                    .partitions
+                    .iter()
+                    .zip(right.partitions.iter())
+                    .collect();
+                let results = run_per_partition(&pairs, |(l, r)| execute_columnar(op, &[l, r]))?;
+                merge_columnar(results, op, &refs)?
+            }
+            // Everything else runs on the collected data.
+            _ => execute_columnar(op, &refs)?,
+        };
+        Ok(out.to_rows())
+    }
+}
+
+fn single_columnar<'a>(
+    inputs: &[&'a ColumnarRelation],
+    op: &Operator,
+) -> EngineResult<&'a ColumnarRelation> {
+    if inputs.len() == 1 {
+        Ok(inputs[0])
+    } else {
+        Err(EngineError::Arity {
+            op: op.name().into(),
+            expected: "1".into(),
+            got: inputs.len(),
+        })
+    }
+}
+
+fn merge_columnar(
+    results: Vec<ColumnarRelation>,
+    op: &Operator,
+    inputs: &[&ColumnarRelation],
+) -> EngineResult<ColumnarRelation> {
+    let non_empty: Vec<ColumnarRelation> =
+        results.into_iter().filter(|r| r.num_rows() > 0).collect();
+    if non_empty.is_empty() {
+        // Derive the output schema from a direct (empty) execution.
+        let empty_inputs: Vec<ColumnarRelation> = inputs
+            .iter()
+            .map(|r| ColumnarRelation::empty(r.schema.clone()))
+            .collect();
+        let refs: Vec<&ColumnarRelation> = empty_inputs.iter().collect();
+        return execute_columnar(op, &refs);
+    }
+    ColumnarRelation::concat(&non_empty)
 }
 
 fn single<'a>(inputs: &[&'a Relation], op: &Operator) -> EngineResult<&'a Relation> {
@@ -240,7 +402,7 @@ fn merge_results(
         let refs: Vec<&Relation> = empty_inputs.iter().collect();
         return execute(op, &refs);
     }
-    Relation::concat(&non_empty).map_err(EngineError::Eval)
+    Relation::concat(&non_empty)
 }
 
 #[cfg(test)]
@@ -388,6 +550,101 @@ mod tests {
             out: "rev".into(),
         };
         let (out, _) = eng.execute_op(&op, &[&rel]).unwrap();
+        assert_eq!(out.num_rows(), 0);
+        assert_eq!(out.schema.names(), vec!["companyID", "rev"]);
+    }
+
+    #[test]
+    fn columnar_mode_matches_row_mode_across_operators() {
+        let eng = engine();
+        let rel = random_sales(4_000, 11);
+        let mut right = random_sales(2_000, 12);
+        right.schema = conclave_ir::schema::Schema::ints(&["companyID", "weight"]);
+        let unary = [
+            Operator::Project {
+                columns: vec!["price".into()],
+            },
+            Operator::Filter {
+                predicate: Expr::col("price").gt(Expr::lit(500)),
+            },
+            Operator::Multiply {
+                out: "x".into(),
+                operands: vec![Operand::col("price"), Operand::lit(3)],
+            },
+            Operator::Divide {
+                out: "r".into(),
+                num: Operand::col("price"),
+                den: Operand::lit(10),
+            },
+            Operator::Aggregate {
+                group_by: vec!["companyID".into()],
+                func: AggFunc::Sum,
+                over: Some("price".into()),
+                out: "rev".into(),
+            },
+            Operator::Aggregate {
+                group_by: vec![],
+                func: AggFunc::Max,
+                over: Some("price".into()),
+                out: "hi".into(),
+            },
+            Operator::Distinct {
+                columns: vec!["companyID".into()],
+            },
+            Operator::SortBy {
+                column: "price".into(),
+                ascending: true,
+            },
+        ];
+        for op in unary {
+            let (row, _) = eng.execute_op_mode(&op, &[&rel], EngineMode::Row).unwrap();
+            let (col, t) = eng
+                .execute_op_mode(&op, &[&rel], EngineMode::Columnar)
+                .unwrap();
+            assert!(col.same_rows_unordered(&row), "{op} mismatch");
+            assert_eq!(col.schema.names(), row.schema.names());
+            assert!(t > Duration::ZERO);
+        }
+        let join = Operator::Join {
+            left_keys: vec!["companyID".into()],
+            right_keys: vec!["companyID".into()],
+            kind: JoinKind::Inner,
+        };
+        let (row, _) = eng
+            .execute_op_mode(&join, &[&rel, &right], EngineMode::Row)
+            .unwrap();
+        let (col, _) = eng
+            .execute_op_mode(&join, &[&rel, &right], EngineMode::Columnar)
+            .unwrap();
+        assert!(col.same_rows_unordered(&row));
+        // Errors surface in columnar mode too.
+        assert!(eng
+            .execute_op_mode(&join, &[&rel], EngineMode::Columnar)
+            .is_err());
+        let bad = Operator::Aggregate {
+            group_by: vec!["zzz".into()],
+            func: AggFunc::Count,
+            over: None,
+            out: "n".into(),
+        };
+        assert!(eng
+            .execute_op_mode(&bad, &[&rel], EngineMode::Columnar)
+            .is_err());
+    }
+
+    #[test]
+    fn columnar_mode_empty_input_keeps_schema() {
+        let eng = engine();
+        let rel = Relation::from_ints(&["companyID", "price"], &[]);
+        let op = Operator::Aggregate {
+            group_by: vec!["companyID".into()],
+            func: AggFunc::Sum,
+            over: Some("price".into()),
+            out: "rev".into(),
+        };
+        let (out, _) = eng
+            .execute_op_mode(&op, &[&rel], EngineMode::Columnar)
+            .unwrap();
         assert_eq!(out.num_rows(), 0);
         assert_eq!(out.schema.names(), vec!["companyID", "rev"]);
     }

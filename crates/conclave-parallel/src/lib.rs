@@ -19,4 +19,4 @@ pub mod partition;
 pub use cluster::ClusterSpec;
 pub use cost::ClusterCostModel;
 pub use exec::ParallelEngine;
-pub use partition::PartitionedRelation;
+pub use partition::{ColumnarPartitionedRelation, PartitionedRelation};

@@ -1,6 +1,11 @@
 //! Partitioned relations: the unit of parallelism.
+//!
+//! Two flavors are provided: [`PartitionedRelation`] partitions row-major
+//! relations (vectors of row vectors), while [`ColumnarPartitionedRelation`]
+//! partitions columnar relations by slicing every typed column — the shuffle
+//! then moves contiguous column chunks instead of individual boxed rows.
 
-use conclave_engine::Relation;
+use conclave_engine::{ColumnarRelation, Relation};
 use conclave_ir::schema::Schema;
 use conclave_ir::types::Value;
 use std::collections::hash_map::DefaultHasher;
@@ -82,6 +87,102 @@ impl PartitionedRelation {
     }
 }
 
+/// A columnar relation split into horizontal partitions: each partition keeps
+/// the typed column vectors of its row range, so per-partition tasks run the
+/// vectorized engine directly with no row materialization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnarPartitionedRelation {
+    /// Shared schema of every partition.
+    pub schema: Schema,
+    /// The partitions.
+    pub partitions: Vec<ColumnarRelation>,
+}
+
+impl ColumnarPartitionedRelation {
+    /// Splits a columnar relation into `n` near-equal partitions by slicing
+    /// every column.
+    pub fn from_relation(rel: &ColumnarRelation, n: usize) -> Self {
+        ColumnarPartitionedRelation {
+            schema: rel.schema.clone(),
+            partitions: rel.split(n),
+        }
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total number of rows across all partitions.
+    pub fn num_rows(&self) -> usize {
+        self.partitions.iter().map(|p| p.num_rows()).sum()
+    }
+
+    /// Collects all partitions back into one columnar relation.
+    pub fn collect(&self) -> ColumnarRelation {
+        if self.partitions.is_empty() {
+            return ColumnarRelation::empty(self.schema.clone());
+        }
+        ColumnarRelation::concat(&self.partitions).expect("partitions share a schema")
+    }
+
+    /// Re-partitions by hashing the given key columns, so that all rows with
+    /// equal keys land in the same partition. Buckets are materialized as
+    /// per-partition gather index lists, then every column is gathered once.
+    pub fn shuffle_by_key(
+        &self,
+        key_cols: &[usize],
+        num_partitions: usize,
+    ) -> ColumnarPartitionedRelation {
+        let num_partitions = num_partitions.max(1);
+        let partitions = self
+            .partitions
+            .iter()
+            .flat_map(|part| {
+                // Bucket indices within this partition.
+                let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); num_partitions];
+                for i in 0..part.num_rows() {
+                    let mut hasher = DefaultHasher::new();
+                    for &c in key_cols {
+                        part.value(i, c).hash(&mut hasher);
+                    }
+                    let bucket = (hasher.finish() % num_partitions as u64) as usize;
+                    buckets[bucket].push(i);
+                }
+                buckets
+                    .into_iter()
+                    .map(|idx| part.gather(&idx))
+                    .collect::<Vec<_>>()
+            })
+            .collect::<Vec<_>>();
+        // Merge the per-source-partition buckets bucket-wise.
+        let merged = (0..num_partitions)
+            .map(|b| {
+                let parts: Vec<ColumnarRelation> = partitions
+                    .iter()
+                    .skip(b)
+                    .step_by(num_partitions)
+                    .cloned()
+                    .collect();
+                if parts.is_empty() {
+                    ColumnarRelation::empty(self.schema.clone())
+                } else {
+                    ColumnarRelation::concat(&parts).expect("buckets share a schema")
+                }
+            })
+            .collect();
+        ColumnarPartitionedRelation {
+            schema: self.schema.clone(),
+            partitions: merged,
+        }
+    }
+
+    /// Total bytes the shuffle of this relation would move.
+    pub fn shuffle_bytes(&self) -> u64 {
+        (self.num_rows() * self.schema.row_byte_size()) as u64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,5 +237,50 @@ mod tests {
         let p = PartitionedRelation::from_relation(&r, 2);
         let shuffled = p.shuffle_by_key(&[0], 0);
         assert_eq!(shuffled.num_partitions(), 1);
+    }
+
+    #[test]
+    fn columnar_split_and_collect_round_trip() {
+        let r = rel(100);
+        let c = ColumnarRelation::from_rows(&r);
+        let p = ColumnarPartitionedRelation::from_relation(&c, 8);
+        assert_eq!(p.num_partitions(), 8);
+        assert_eq!(p.num_rows(), 100);
+        assert!(p.collect().to_rows().same_rows_unordered(&r));
+        assert!(p.shuffle_bytes() > 0);
+        let empty = ColumnarPartitionedRelation {
+            schema: Schema::ints(&["a"]),
+            partitions: vec![],
+        };
+        assert_eq!(empty.collect().num_rows(), 0);
+    }
+
+    #[test]
+    fn columnar_shuffle_matches_row_shuffle_semantics() {
+        let r = rel(200);
+        let row_part = PartitionedRelation::from_relation(&r, 4).shuffle_by_key(&[0], 5);
+        let col_part =
+            ColumnarPartitionedRelation::from_relation(&ColumnarRelation::from_rows(&r), 4)
+                .shuffle_by_key(&[0], 5);
+        assert_eq!(col_part.num_partitions(), 5);
+        assert_eq!(col_part.num_rows(), 200);
+        // Same bucketing (both hash `Value`s with the same hasher), and every
+        // key lands in exactly one partition.
+        for (rp, cp) in row_part.partitions.iter().zip(&col_part.partitions) {
+            assert_eq!(cp.to_rows().rows, rp.rows);
+        }
+        for key in 0..7i64 {
+            let holders = col_part
+                .partitions
+                .iter()
+                .filter(|part| (0..part.num_rows()).any(|i| part.value(i, 0) == Value::Int(key)))
+                .count();
+            assert_eq!(holders, 1, "key {key} appears in {holders} partitions");
+        }
+        // Zero-partition shuffles clamp.
+        let clamped =
+            ColumnarPartitionedRelation::from_relation(&ColumnarRelation::from_rows(&r), 2)
+                .shuffle_by_key(&[0], 0);
+        assert_eq!(clamped.num_partitions(), 1);
     }
 }

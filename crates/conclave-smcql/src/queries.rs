@@ -245,8 +245,8 @@ fn to_mpc_err(e: conclave_engine::EngineError) -> conclave_mpc::backend::MpcErro
     conclave_mpc::backend::MpcError::Exec(e.to_string())
 }
 
-fn to_mpc_err_str(e: String) -> conclave_mpc::backend::MpcError {
-    conclave_mpc::backend::MpcError::Exec(e)
+fn to_mpc_err_str(e: impl std::fmt::Display) -> conclave_mpc::backend::MpcError {
+    conclave_mpc::backend::MpcError::Exec(e.to_string())
 }
 
 #[cfg(test)]

@@ -120,17 +120,27 @@ impl Bencher {
     }
 }
 
+/// Returns `true` when the bench binary was invoked with `--test` (as
+/// `cargo bench -- --test` does): each bench then runs a single iteration
+/// with no warmup, as a smoke test.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 fn run_bench(group: &str, id: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
     let label = if group.is_empty() {
         id.to_string()
     } else {
         format!("{group}/{id}")
     };
+    let samples = if test_mode() { 1 } else { samples };
     // One warmup run, then `samples` timed runs of one iteration each.
-    let mut warmup = Bencher {
-        elapsed: Duration::ZERO,
-    };
-    f(&mut warmup);
+    if !test_mode() {
+        let mut warmup = Bencher {
+            elapsed: Duration::ZERO,
+        };
+        f(&mut warmup);
+    }
     let mut total = Duration::ZERO;
     let mut best = Duration::MAX;
     for _ in 0..samples.max(1) {

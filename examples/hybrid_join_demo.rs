@@ -9,7 +9,7 @@
 
 use conclave::prelude::*;
 use conclave_core::hybrid_exec;
-use conclave_engine::SequentialCostModel;
+use conclave_engine::{EngineMode, SequentialCostModel};
 use conclave_ir::ops::{JoinKind, Operator};
 use conclave_mpc::backend::MpcEngine;
 
@@ -29,6 +29,7 @@ fn main() {
         &["key".to_string()],
         &["key".to_string()],
         1,
+        EngineMode::Columnar,
     )
     .expect("hybrid join runs");
 

@@ -45,7 +45,9 @@ pub mod prelude {
     pub use conclave_data::{
         credit::CreditGenerator, health::HealthGenerator, taxi::TaxiGenerator,
     };
+    pub use conclave_engine::columnar::ColumnarRelation;
     pub use conclave_engine::relation::Relation;
+    pub use conclave_engine::EngineMode;
     pub use conclave_ir::{
         builder::QueryBuilder,
         ops::AggFunc,

@@ -93,6 +93,119 @@ fn market_query_is_correct_under_all_configurations() {
     }
 }
 
+/// The full oracle matrix: {sequential row, parallel row, sequential
+/// vectorized, parallel vectorized} × {hybrid operators on, off}.
+fn engine_hybrid_matrix() -> Vec<(String, ConclaveConfig)> {
+    let mut out = Vec::new();
+    for (hybrid_name, base) in [
+        ("hybrid", ConclaveConfig::standard()),
+        ("no-hybrid", ConclaveConfig::without_hybrid()),
+    ] {
+        for (engine_name, config) in [
+            ("seq-row", base.clone().with_sequential_local()),
+            (
+                "seq-vectorized",
+                base.clone().with_sequential_local().with_columnar(),
+            ),
+            ("parallel-row", base.clone()),
+            ("parallel-vectorized", base.clone().with_columnar()),
+        ] {
+            out.push((format!("{hybrid_name}/{engine_name}"), config));
+        }
+    }
+    out
+}
+
+#[test]
+fn market_query_agrees_across_engine_and_hybrid_matrix() {
+    let query = market_query();
+    let (inputs, parts) = taxi_inputs(600, 5);
+    let reference = reference_revenue(&parts);
+    let mut outputs: Vec<(String, Relation)> = Vec::new();
+    for (name, config) in engine_hybrid_matrix() {
+        let plan =
+            conclave_core::compile(&query, &config).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let mut driver = Driver::new(config);
+        let report = driver
+            .run(&plan, &inputs)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let out = report.output_for(1).expect("party 1 receives the result");
+        assert_eq!(out.num_rows(), reference.len(), "{name}: wrong group count");
+        for row in &out.rows {
+            let company = row[0].as_int().unwrap();
+            assert_eq!(
+                reference[&company],
+                row[1].as_int().unwrap(),
+                "{name}: wrong revenue for company {company}"
+            );
+        }
+        outputs.push((name, out.clone()));
+    }
+    // Every configuration agrees with every other, not just with the oracle.
+    let (first_name, first) = &outputs[0];
+    for (name, out) in &outputs[1..] {
+        assert!(
+            out.same_rows_unordered(first),
+            "{name} disagrees with {first_name}"
+        );
+    }
+}
+
+#[test]
+fn credit_query_agrees_across_engine_and_hybrid_matrix() {
+    let population = 400;
+    let mut gen = CreditGenerator::new(7);
+    let demographics = gen.demographics(population);
+    let s1 = gen.agency_scores(population);
+    let s2 = gen.agency_scores(population);
+    let reference =
+        CreditGenerator::reference_average_by_zip(&demographics, &[s1.clone(), s2.clone()]);
+    let mut inputs = HashMap::new();
+    inputs.insert("demographics".to_string(), demographics);
+    inputs.insert("scores1".to_string(), s1);
+    inputs.insert("scores2".to_string(), s2);
+
+    let mut outputs: Vec<(String, Relation)> = Vec::new();
+    for (name, config) in engine_hybrid_matrix() {
+        // With trust annotations the hybrid configs compile hybrid operators;
+        // without-hybrid configs run the same query fully under MPC rewrites.
+        let query = credit_query(true);
+        let plan =
+            conclave_core::compile(&query, &config).unwrap_or_else(|e| panic!("{name}: {e}"));
+        if config.use_hybrid_operators {
+            assert!(plan.hybrid_node_count() >= 2, "{name}: hybrid ops expected");
+        }
+        let mut driver = Driver::new(config);
+        let report = driver
+            .run(&plan, &inputs)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let out = report.output_for(1).unwrap();
+        let zip_idx = out.schema.index_of("zip").unwrap();
+        let avg_idx = out.schema.index_of("avg_score").unwrap();
+        assert_eq!(out.num_rows(), reference.len(), "{name}: group count");
+        for row in &out.rows {
+            let zip = row[zip_idx].as_int().unwrap();
+            let avg = row[avg_idx].as_float().unwrap();
+            let (_, expected) = reference
+                .iter()
+                .find(|(z, _)| *z == zip)
+                .expect("zip exists");
+            assert!(
+                (avg - expected).abs() < 1e-9,
+                "{name}: zip {zip}: {avg} vs {expected}"
+            );
+        }
+        outputs.push((name, out.clone()));
+    }
+    let (first_name, first) = &outputs[0];
+    for (name, out) in &outputs[1..] {
+        assert!(
+            out.same_rows_unordered(first),
+            "{name} disagrees with {first_name}"
+        );
+    }
+}
+
 #[test]
 fn parallel_and_sequential_local_backends_agree() {
     let query = market_query();

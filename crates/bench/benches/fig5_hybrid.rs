@@ -10,7 +10,7 @@
 use bench::figures::{fig5a, fig5b};
 use conclave_core::hybrid_exec;
 use conclave_data::SyntheticGenerator;
-use conclave_engine::{EngineMode, SequentialCostModel};
+use conclave_engine::{ColumnarExecutor, Table};
 use conclave_ir::ops::{AggFunc, JoinKind, Operator};
 use conclave_mpc::backend::{MpcBackendConfig, MpcEngine};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -29,20 +29,22 @@ fn real_protocols(c: &mut Criterion) {
     let mut gen = SyntheticGenerator::new(5);
     let (left, right) = gen.overlapping_pair(150, 1.0);
     let keyed = gen.zipf_keyed(200, 20, 1.1);
-    let seq = SequentialCostModel::default();
+    let left_table = Table::from_rows(left.clone());
+    let right_table = Table::from_rows(right.clone());
+    let keyed_table = Table::from_rows(keyed.clone());
+    let stp = ColumnarExecutor::new();
 
     group.bench_function("hybrid_join_150", |b| {
         b.iter(|| {
             let mut engine = MpcEngine::new(MpcBackendConfig::sharemind());
             hybrid_exec::hybrid_join(
                 &mut engine,
-                &seq,
-                &left,
-                &right,
+                &stp,
+                &left_table,
+                &right_table,
                 &["key".to_string()],
                 &["key".to_string()],
                 1,
-                EngineMode::Columnar,
             )
             .unwrap()
         })
@@ -50,13 +52,12 @@ fn real_protocols(c: &mut Criterion) {
     group.bench_function("public_join_150", |b| {
         b.iter(|| {
             hybrid_exec::public_join(
-                &seq,
-                &left,
-                &right,
+                &stp,
+                &left_table,
+                &right_table,
                 &["key".to_string()],
                 &["key".to_string()],
                 1,
-                EngineMode::Columnar,
             )
             .unwrap()
         })
@@ -77,14 +78,13 @@ fn real_protocols(c: &mut Criterion) {
             let mut engine = MpcEngine::new(MpcBackendConfig::sharemind());
             hybrid_exec::hybrid_aggregate(
                 &mut engine,
-                &seq,
-                &keyed,
+                &stp,
+                &keyed_table,
                 &["key".to_string()],
                 AggFunc::Sum,
                 Some("value"),
                 "total",
                 1,
-                EngineMode::Columnar,
             )
             .unwrap()
         })

@@ -7,10 +7,21 @@
 //! `Vec<Vec<Value>>`, columns stay typed vectors), so the numbers compare
 //! execution strategies, not conversion overhead. A `convert` group prices
 //! the row↔columnar conversions separately.
+//!
+//! The `driven` group measures the same pipeline at the *driver* level —
+//! compile, bind, execute through the full `Session`/`Driver` stack — and
+//! contrasts the unified `Table` data plane (conversion only at input and
+//! collect boundaries) with the pre-redesign behavior of converting
+//! row↔columnar at every operator edge.
 
-use conclave_engine::{execute, execute_columnar, ColumnarRelation, Relation};
+use conclave_core::config::ConclaveConfig;
+use conclave_core::session::Session;
+use conclave_engine::{execute, execute_columnar, ColumnarRelation, Relation, Table};
+use conclave_ir::builder::{Query, QueryBuilder};
 use conclave_ir::expr::Expr;
 use conclave_ir::ops::{AggFunc, Operator};
+use conclave_ir::party::Party;
+use conclave_ir::schema::Schema;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 const SIZES: [usize; 3] = [10_000, 100_000, 1_000_000];
@@ -67,6 +78,86 @@ fn filter_aggregate(c: &mut Criterion) {
     group.finish();
 }
 
+/// The single-party filter + grouped-sum query, compiled to an all-local
+/// plan: the driven counterpart of the engine-level pipelines above.
+fn driven_query() -> Query {
+    let p = Party::new(1, "solo");
+    let schema = Schema::ints(&["companyID", "price"]);
+    let mut q = QueryBuilder::new();
+    let t = q.input("sales", schema, p.clone());
+    let paid = q.filter(t, Expr::col("price").gt(Expr::lit(500)));
+    let rev = q.aggregate(paid, "rev", AggFunc::Sum, &["companyID"], "price");
+    q.collect(rev, &[p]);
+    q.build().expect("driven query builds")
+}
+
+/// Emulates the pre-`Table` columnar driver path: every operator edge pays a
+/// row→columnar conversion on the way in and a columnar→row conversion on
+/// the way out (the driver stored row-major `Relation`s between nodes).
+fn per_node_convert_pipeline(rel: &Relation) -> Relation {
+    let filtered = execute_columnar(&filter_op(), &[&ColumnarRelation::from_rows(rel)])
+        .expect("filter")
+        .to_rows();
+    execute_columnar(&aggregate_op(), &[&ColumnarRelation::from_rows(&filtered)])
+        .expect("aggregate")
+        .to_rows()
+}
+
+fn driven(c: &mut Criterion) {
+    let mut group = c.benchmark_group("row_vs_columnar/driven");
+    let query = driven_query();
+    for n in SIZES {
+        group.sample_size(if n >= 1_000_000 { 5 } else { 10 });
+        let rows = dataset(n);
+        let cols = ColumnarRelation::from_rows(&rows);
+
+        // Row-mode driver (pre-redesign default).
+        let row_session = Session::new(ConclaveConfig::standard().with_sequential_local())
+            .bind("sales", rows.clone());
+        group.bench_with_input(BenchmarkId::new("driver_row", n), &row_session, |b, s| {
+            b.iter(|| {
+                criterion::black_box(s)
+                    .run(&query)
+                    .expect("row driver runs")
+            })
+        });
+
+        // Columnar-mode driver on the unified Table plane: column-backed
+        // inputs, zero mid-plan conversions (the report asserts it).
+        let col_session = Session::new(
+            ConclaveConfig::standard()
+                .with_sequential_local()
+                .with_columnar(),
+        )
+        .bind("sales", Table::from_columns(cols.clone()));
+        let report = col_session.run(&query).expect("columnar driver runs");
+        assert_eq!(
+            report.conversions.row_to_columnar, 0,
+            "driven columnar plan must not convert mid-plan"
+        );
+        group.bench_with_input(
+            BenchmarkId::new("driver_columnar", n),
+            &col_session,
+            |b, s| {
+                b.iter(|| {
+                    criterion::black_box(s)
+                        .run(&query)
+                        .expect("columnar driver runs")
+                })
+            },
+        );
+
+        // The pre-redesign columnar data plane: row↔columnar conversion at
+        // every operator boundary.
+        group.bench_with_input(
+            BenchmarkId::new("columnar_per_node_convert", n),
+            &rows,
+            |b, rel| b.iter(|| per_node_convert_pipeline(criterion::black_box(rel))),
+        );
+    }
+    group.finish();
+}
+
 fn conversion(c: &mut Criterion) {
     let mut group = c.benchmark_group("row_vs_columnar/convert");
     group.sample_size(10);
@@ -81,5 +172,5 @@ fn conversion(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, filter_aggregate, conversion);
+criterion_group!(benches, filter_aggregate, driven, conversion);
 criterion_main!(benches);

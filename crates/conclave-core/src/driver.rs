@@ -2,10 +2,17 @@
 //!
 //! The driver plays the role of the per-party Conclave agents (§4.1): it
 //! walks the compiled DAG in topological order and dispatches every node to
-//! the engine its execution site calls for — the sequential or data-parallel
-//! cleartext engine for local and STP steps, the MPC engine for operators
-//! inside the MPC frontier, and the dedicated hybrid-protocol implementations
-//! for the operators §5.3 introduces. Along the way it accumulates simulated
+//! the engine its execution site calls for — a cleartext [`Executor`]
+//! (sequential or data-parallel, row or columnar) for local and STP steps,
+//! the MPC engine for operators inside the MPC frontier, and the dedicated
+//! hybrid-protocol implementations for the operators §5.3 introduces.
+//!
+//! All intermediate results move through the unified [`Table`] data plane:
+//! the result store is a `HashMap<NodeId, Table>`, executors produce tables
+//! in their native representation, and row↔columnar conversion happens only
+//! where data genuinely changes domain (input binding, secret-share reveals,
+//! result collection). The per-run conversion tally lands in
+//! [`RunReport::conversions`]. Along the way the driver accumulates simulated
 //! per-party runtimes, MPC statistics, network traffic, and a *leakage audit*
 //! that checks every cleartext reveal against the authorization the trust
 //! analysis derived.
@@ -16,7 +23,7 @@ use crate::hybrid_exec;
 use crate::plan::PhysicalPlan;
 use crate::report::RunReport;
 use conclave_engine::{
-    execute, execute_vectorized, ColumnarRelation, EngineMode, Relation, SequentialCostModel,
+    execute, sequential_executor, ConversionCounts, EngineError, Executor, Relation, Table,
 };
 use conclave_ir::dag::NodeId;
 use conclave_ir::error::IrError;
@@ -34,8 +41,8 @@ use std::time::Duration;
 pub enum DriverError {
     /// An input relation named by the query was not bound to data.
     MissingInput(String),
-    /// A cleartext engine error.
-    Engine(String),
+    /// A cleartext engine error (typed; the source chain is preserved).
+    Engine(EngineError),
     /// An MPC backend error (including garbled-circuit out-of-memory).
     Mpc(MpcError),
     /// An IR-level error.
@@ -71,7 +78,22 @@ impl fmt::Display for DriverError {
     }
 }
 
-impl std::error::Error for DriverError {}
+impl std::error::Error for DriverError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DriverError::Engine(e) => Some(e),
+            DriverError::Mpc(e) => Some(e),
+            DriverError::Ir(e) => Some(e),
+            DriverError::MissingInput(_) | DriverError::UnauthorizedReveal { .. } => None,
+        }
+    }
+}
+
+impl From<EngineError> for DriverError {
+    fn from(e: EngineError) -> Self {
+        DriverError::Engine(e)
+    }
+}
 
 impl From<MpcError> for DriverError {
     fn from(e: MpcError) -> Self {
@@ -89,55 +111,93 @@ impl From<IrError> for DriverError {
 pub struct Driver {
     config: ConclaveConfig,
     mpc: MpcEngine,
-    parallel: ParallelEngine,
-    sequential_cost: SequentialCostModel,
+    /// Executor for local per-party cleartext steps (site-selected backend).
+    local_exec: Box<dyn Executor + Send + Sync>,
+    /// Executor for STP/helper steps of hybrid protocols (always sequential:
+    /// the trusted party runs them single-site).
+    stp_exec: Box<dyn Executor + Send + Sync>,
 }
 
 impl Driver {
     /// Creates a driver for the given configuration.
     pub fn new(config: ConclaveConfig) -> Self {
         let mpc = MpcEngine::new(config.mpc);
-        let parallel = ParallelEngine::new(config.cluster);
+        let local_exec: Box<dyn Executor + Send + Sync> = match config.local_backend {
+            LocalBackend::Parallel => {
+                Box::new(ParallelEngine::new(config.cluster).with_mode(config.engine_mode))
+            }
+            LocalBackend::Sequential => sequential_executor(config.engine_mode),
+        };
+        let stp_exec = sequential_executor(config.engine_mode);
         Driver {
             config,
             mpc,
-            parallel,
-            sequential_cost: SequentialCostModel::default(),
+            local_exec,
+            stp_exec,
         }
     }
 
-    /// Executes a plan. `inputs` binds every `input` relation name to data.
+    /// The executor used for local cleartext steps.
+    pub fn local_executor(&self) -> &dyn Executor {
+        &*self.local_exec
+    }
+
+    /// Executes a plan over row-major relations. This is a thin shim over
+    /// [`Driver::run_tables`] kept for compatibility with the pre-`Table`
+    /// API: each relation is wrapped into a [`Table`] once and shared from
+    /// there.
     pub fn run(
         &mut self,
         plan: &PhysicalPlan,
         inputs: &HashMap<String, Relation>,
     ) -> Result<RunReport, DriverError> {
+        let tables: HashMap<String, Table> = inputs
+            .iter()
+            .map(|(name, rel)| (name.clone(), Table::from_rows(rel.clone())))
+            .collect();
+        self.run_tables(plan, &tables)
+    }
+
+    /// Executes a plan. `inputs` binds every `input` relation name to a
+    /// [`Table`]; binding column-backed tables lets a columnar-mode plan run
+    /// with zero row↔columnar conversions before the reveal boundary.
+    pub fn run_tables(
+        &mut self,
+        plan: &PhysicalPlan,
+        inputs: &HashMap<String, Table>,
+    ) -> Result<RunReport, DriverError> {
         let mut report = RunReport::default();
-        let mut results: HashMap<NodeId, Relation> = HashMap::new();
+        let mut results: HashMap<NodeId, Table> = HashMap::new();
+        // Every table that enters the result store, with its conversion
+        // counter at insertion time: the per-run conversion tally is the sum
+        // of the deltas (tables bound by the caller may carry pre-run
+        // conversions that must not be charged to this run).
+        let mut tracked: Vec<(Table, ConversionCounts)> = Vec::new();
         let viewers = analysis::authorized_viewers(&plan.dag, &plan.parties)?;
         let order = plan.dag.topo_order()?;
 
         for id in order {
             let node = plan.dag.node(id)?;
-            let input_rels: Vec<&Relation> = node
+            let input_tables: Vec<&Table> = node
                 .inputs
                 .iter()
                 .map(|i| results.get(i).expect("topological order"))
                 .collect();
             let (result, elapsed) = match (&node.op, node.site) {
                 (Operator::Input { name, .. }, _) => {
-                    let rel = inputs
+                    let table = inputs
                         .get(name)
+                        .cloned()
                         .ok_or_else(|| DriverError::MissingInput(name.clone()))?;
-                    (rel.clone(), Duration::ZERO)
+                    (table, Duration::ZERO)
                 }
                 (Operator::Collect { recipients }, _) => {
-                    let rel = input_rels[0].clone();
+                    let table = input_tables[0].clone();
                     for r in recipients.iter() {
                         report.record_leakage(id, r, "query result", "output recipient");
-                        report.outputs.insert(r, rel.clone());
+                        report.outputs.insert(r, table.as_rows().clone());
                     }
-                    (rel, Duration::ZERO)
+                    (table, Duration::ZERO)
                 }
                 (
                     Operator::HybridJoin {
@@ -151,13 +211,12 @@ impl Driver {
                     self.check_reveal_authorized(plan, node.inputs[1], right_keys, *stp, id)?;
                     let outcome = hybrid_exec::hybrid_join(
                         &mut self.mpc,
-                        &self.sequential_cost,
-                        input_rels[0],
-                        input_rels[1],
+                        &*self.stp_exec,
+                        input_tables[0],
+                        input_tables[1],
                         left_keys,
                         right_keys,
                         *stp,
-                        self.config.engine_mode,
                     )?;
                     self.absorb_hybrid(&mut report, id, &outcome);
                     (outcome.result, Duration::ZERO)
@@ -171,13 +230,12 @@ impl Driver {
                     _,
                 ) => {
                     let outcome = hybrid_exec::public_join(
-                        &self.sequential_cost,
-                        input_rels[0],
-                        input_rels[1],
+                        &*self.stp_exec,
+                        input_tables[0],
+                        input_tables[1],
                         left_keys,
                         right_keys,
                         *helper,
-                        self.config.engine_mode,
                     )?;
                     self.absorb_hybrid(&mut report, id, &outcome);
                     (outcome.result, Duration::ZERO)
@@ -195,24 +253,23 @@ impl Driver {
                     self.check_reveal_authorized(plan, node.inputs[0], group_by, *stp, id)?;
                     let outcome = hybrid_exec::hybrid_aggregate(
                         &mut self.mpc,
-                        &self.sequential_cost,
-                        input_rels[0],
+                        &*self.stp_exec,
+                        input_tables[0],
                         group_by,
                         *func,
                         over.as_deref(),
                         out,
                         *stp,
-                        self.config.engine_mode,
                     )?;
                     self.absorb_hybrid(&mut report, id, &outcome);
                     (outcome.result, Duration::ZERO)
                 }
                 (op, ExecSite::Mpc) => {
-                    let (rel, stats) = self.run_mpc_op(plan, id, op, &input_rels)?;
+                    let (table, stats) = self.run_mpc_op(plan, id, op, &input_tables)?;
                     report.mpc_time += stats.simulated_time;
                     report.network_bytes += stats.counts.bytes();
                     report.mpc_stats.merge(&stats);
-                    (rel, stats.simulated_time)
+                    (table, stats.simulated_time)
                 }
                 (op, ExecSite::Local(party)) | (op, ExecSite::Stp(party)) => {
                     // If this cleartext step consumes an MPC-produced
@@ -247,19 +304,32 @@ impl Driver {
                             );
                         }
                     }
-                    let (rel, time) = self.run_local_op(op, &input_rels)?;
+                    let (table, time) = self.run_local_op(op, &input_tables)?;
                     *report.local_time.entry(party).or_default() += time;
-                    (rel, time)
+                    (table, time)
                 }
                 (op, ExecSite::Undecided) => {
                     // Uncompiled DAGs (unit tests, direct execution) run in
                     // the clear sequentially.
-                    let (rel, time) = self.run_local_op(op, &input_rels)?;
-                    (rel, time)
+                    let (table, time) = self.run_local_op(op, &input_tables)?;
+                    (table, time)
                 }
             };
             report.per_node.push((id, node.site, elapsed));
+            tracked.push((result.clone(), result.conversion_counts()));
             results.insert(id, result);
+        }
+        // Tally per-run conversions. Clones share one counter, so count each
+        // distinct cache once, from its earliest baseline.
+        let mut seen: Vec<&Table> = Vec::new();
+        for (table, baseline) in &tracked {
+            if seen.iter().any(|s| s.shares_cache_with(table)) {
+                continue;
+            }
+            seen.push(table);
+            report
+                .conversions
+                .merge(&table.conversion_counts().since(baseline));
         }
         Ok(report)
     }
@@ -274,6 +344,10 @@ impl Driver {
         report.stp_time += outcome.stp_time;
         report.network_bytes += outcome.mpc_stats.counts.bytes();
         report.mpc_stats.merge(&outcome.mpc_stats);
+        // Conversions on the protocol's internal tables (revealed keys,
+        // enumerations, index relations) never enter the result store, so
+        // they are tallied here instead of by the end-of-run sweep.
+        report.conversions.merge(&outcome.conversions);
         report.record_leakage(
             id,
             outcome.revealed_to,
@@ -308,27 +382,16 @@ impl Driver {
     fn run_local_op(
         &self,
         op: &Operator,
-        inputs: &[&Relation],
-    ) -> Result<(Relation, Duration), DriverError> {
-        match self.config.local_backend {
-            LocalBackend::Parallel => self
-                .parallel
-                .execute_op_mode(op, inputs, self.config.engine_mode)
-                .map_err(|e| DriverError::Engine(e.to_string())),
-            LocalBackend::Sequential => {
-                let rel = match self.config.engine_mode {
-                    EngineMode::Row => execute(op, inputs),
-                    EngineMode::Columnar => execute_vectorized(op, inputs),
-                }
-                .map_err(|e| DriverError::Engine(e.to_string()))?;
-                let time = self.sequential_cost.estimate(
-                    op,
-                    inputs.iter().map(|r| r.num_rows() as u64).sum(),
-                    rel.num_rows() as u64,
-                );
-                Ok((rel, time))
-            }
-        }
+        inputs: &[&Table],
+    ) -> Result<(Table, Duration), DriverError> {
+        let table = self
+            .local_exec
+            .execute(op, inputs)
+            .map_err(DriverError::Engine)?;
+        let time = self
+            .local_exec
+            .estimate_tables(op, inputs, table.num_rows() as u64);
+        Ok((table, time))
     }
 
     fn run_mpc_op(
@@ -336,16 +399,17 @@ impl Driver {
         plan: &PhysicalPlan,
         id: NodeId,
         op: &Operator,
-        inputs: &[&Relation],
-    ) -> Result<(Relation, conclave_mpc::backend::MpcStepStats), DriverError> {
+        inputs: &[&Table],
+    ) -> Result<(Table, conclave_mpc::backend::MpcStepStats), DriverError> {
         // Division under MPC: Sharemind supports fixed-point division, but our
         // secret-sharing layer stays integer-only. The result is computed by
         // the simulator while the cost of an oblivious division protocol
         // (roughly thirty comparison-equivalents per row) is charged, so the
         // "whole query under MPC" baselines of Figures 4 and 6 remain runnable.
         if matches!(op, Operator::Divide { .. }) && self.mpc.config().kind.is_secret_sharing() {
-            let rel = execute(op, inputs).map_err(|e| DriverError::Engine(e.to_string()))?;
-            let n: u64 = inputs.iter().map(|r| r.num_rows() as u64).sum();
+            let rows: Vec<&Relation> = inputs.iter().map(|t| t.as_rows()).collect();
+            let rel = execute(op, &rows).map_err(DriverError::Engine)?;
+            let n: u64 = inputs.iter().map(|t| t.num_rows() as u64).sum();
             let counts = conclave_mpc::cost::PrimitiveCounts {
                 comparisons: 30 * n,
                 input_elems: n,
@@ -360,7 +424,7 @@ impl Driver {
                 output_rows: rel.num_rows() as u64,
                 ..Default::default()
             };
-            return Ok((rel, stats));
+            return Ok((Table::from_rows(rel), stats));
         }
         // Sort-elimination pay-off: an MPC aggregation whose input is already
         // sorted by its group-by key skips the oblivious sort (§5.4).
@@ -378,12 +442,7 @@ impl Driver {
                         plan.dag.node(input_node)?.sorted_by.as_deref() == Some(key.as_str());
                     if pre_sorted {
                         self.mpc.protocol().reset_counts();
-                        let shared = match self.config.engine_mode {
-                            EngineMode::Row => self.mpc.share(inputs[0])?,
-                            EngineMode::Columnar => self
-                                .mpc
-                                .share_columnar(&ColumnarRelation::from_rows(inputs[0]))?,
-                        };
+                        let shared = self.mpc.share_table(inputs[0])?;
                         let aggregated = oblivious::aggregate_sorted(
                             &shared,
                             group_by,
@@ -397,12 +456,15 @@ impl Driver {
                         let stats = self
                             .mpc
                             .drain_stats(inputs[0].num_rows() as u64, rel.num_rows() as u64);
-                        return Ok((rel, stats));
+                        return Ok((Table::from_rows(rel), stats));
                     }
                 }
             }
         }
-        self.mpc.execute_op(op, inputs).map_err(DriverError::from)
+        self.mpc
+            .execute_op_tables(op, inputs)
+            .map(|(rel, stats)| (Table::from_rows(rel), stats))
+            .map_err(DriverError::from)
     }
 }
 

@@ -34,6 +34,7 @@ pub mod hybrid_exec;
 pub mod passes;
 pub mod plan;
 pub mod report;
+pub mod session;
 
 pub use analysis::{propagate_ownership, propagate_trust};
 pub use cardinality::{CardinalityEstimator, RuntimeEstimate, WorkloadStats};
@@ -41,3 +42,4 @@ pub use config::ConclaveConfig;
 pub use driver::Driver;
 pub use plan::{compile, CompileError, CompileResult, PhysicalPlan};
 pub use report::RunReport;
+pub use session::{Session, SessionError};

@@ -1,6 +1,6 @@
 //! Execution reports: results, simulated runtime breakdown and leakage audit.
 
-use conclave_engine::Relation;
+use conclave_engine::{ConversionCounts, Relation};
 use conclave_ir::ops::ExecSite;
 use conclave_ir::party::PartyId;
 use conclave_mpc::backend::MpcStepStats;
@@ -43,6 +43,11 @@ pub struct RunReport {
     pub leakage: Vec<LeakageEvent>,
     /// Per-node simulated runtimes, for detailed breakdowns.
     pub per_node: Vec<(usize, ExecSite, Duration)>,
+    /// Row↔columnar conversions the run's data plane performed. With the
+    /// unified `Table` representation, a columnar-mode driven query should
+    /// convert only at input binding and reveal/collect boundaries — never
+    /// between plan operators — and tests assert exactly that on this field.
+    pub conversions: ConversionCounts,
 }
 
 impl RunReport {
@@ -89,6 +94,11 @@ impl fmt::Display for RunReport {
         writeln!(f, "  MPC: {:.2} s", self.mpc_time.as_secs_f64())?;
         writeln!(f, "  STP: {:.2} s", self.stp_time.as_secs_f64())?;
         writeln!(f, "network bytes: {}", self.network_bytes)?;
+        writeln!(
+            f,
+            "data-plane conversions: {} row->columnar, {} columnar->row",
+            self.conversions.row_to_columnar, self.conversions.columnar_to_row
+        )?;
         writeln!(
             f,
             "MPC primitives: {} non-linear ops, {} AND gates",

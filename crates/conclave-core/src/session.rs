@@ -1,0 +1,246 @@
+//! The [`Session`] facade: the one-stop entry point for compiling and
+//! driving a Conclave query.
+//!
+//! A session owns a [`ConclaveConfig`] and a set of named input bindings
+//! ([`Table`]s), and `run` compiles the query and executes it in one call:
+//!
+//! ```text
+//! Session::new(config).bind("inputA", table).run(&query)
+//! ```
+//!
+//! Bindings accept anything convertible into a [`Table`] — a row-major
+//! [`conclave_engine::Relation`], a [`conclave_engine::ColumnarRelation`], or
+//! a `Table` built elsewhere. Binding column-backed tables to a columnar-mode
+//! session means the whole driven query runs without row↔columnar conversion
+//! until the reveal/collect boundary.
+
+use crate::config::ConclaveConfig;
+use crate::driver::{Driver, DriverError};
+use crate::plan::{compile, CompileError, PhysicalPlan};
+use crate::report::RunReport;
+use conclave_engine::Table;
+use conclave_ir::builder::Query;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors raised by [`Session::run`]: compilation or execution failures, with
+/// the underlying cause preserved in [`std::error::Error::source`].
+#[derive(Debug)]
+pub enum SessionError {
+    /// The query failed to compile under the session's configuration.
+    Compile(CompileError),
+    /// The compiled plan failed to execute.
+    Driver(DriverError),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Compile(e) => write!(f, "compilation failed: {e}"),
+            SessionError::Driver(e) => write!(f, "execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SessionError::Compile(e) => Some(e),
+            SessionError::Driver(e) => Some(e),
+        }
+    }
+}
+
+impl From<CompileError> for SessionError {
+    fn from(e: CompileError) -> Self {
+        SessionError::Compile(e)
+    }
+}
+
+impl From<DriverError> for SessionError {
+    fn from(e: DriverError) -> Self {
+        SessionError::Driver(e)
+    }
+}
+
+/// Compiles and drives queries over bound input tables.
+///
+/// # Example
+///
+/// The credit-scoring query of the paper's running example (Listing 1 shape):
+/// a regulator holds demographics, two credit agencies hold score tables, and
+/// only the per-zip totals ever leave the MPC boundary.
+///
+/// ```
+/// use conclave_core::session::Session;
+/// use conclave_core::config::ConclaveConfig;
+/// use conclave_engine::Relation;
+/// use conclave_ir::builder::QueryBuilder;
+/// use conclave_ir::ops::AggFunc;
+/// use conclave_ir::party::Party;
+/// use conclave_ir::schema::{ColumnDef, Schema};
+/// use conclave_ir::trust::TrustSet;
+/// use conclave_ir::types::DataType;
+///
+/// let regulator = Party::new(1, "gov");
+/// let bank_a = Party::new(2, "a");
+/// let bank_b = Party::new(3, "b");
+/// let demo = Schema::new(vec![
+///     ColumnDef::new("ssn", DataType::Int),
+///     ColumnDef::with_trust("zip", DataType::Int, TrustSet::of([1])),
+/// ]);
+/// let bank = Schema::new(vec![
+///     ColumnDef::with_trust("ssn", DataType::Int, TrustSet::of([1])),
+///     ColumnDef::new("score", DataType::Int),
+/// ]);
+/// let mut q = QueryBuilder::new();
+/// let demographics = q.input("demographics", demo, regulator.clone());
+/// let s1 = q.input("scores1", bank.clone(), bank_a);
+/// let s2 = q.input("scores2", bank, bank_b);
+/// let scores = q.concat(&[s1, s2]);
+/// let joined = q.join(demographics, scores, &["ssn"], &["ssn"]);
+/// let total = q.aggregate(joined, "total", AggFunc::Sum, &["zip"], "score");
+/// q.collect(total, &[regulator]);
+/// let query = q.build().unwrap();
+///
+/// let report = Session::new(ConclaveConfig::standard().with_sequential_local())
+///     .bind(
+///         "demographics",
+///         Relation::from_ints(&["ssn", "zip"], &[vec![1, 10], vec![2, 20], vec![3, 10]]),
+///     )
+///     .bind(
+///         "scores1",
+///         Relation::from_ints(&["ssn", "score"], &[vec![1, 700], vec![3, 650]]),
+///     )
+///     .bind(
+///         "scores2",
+///         Relation::from_ints(&["ssn", "score"], &[vec![2, 600]]),
+///     )
+///     .run(&query)
+///     .unwrap();
+/// let out = report.output_for(1).expect("the regulator receives the result");
+/// // zip 10: 700 + 650; zip 20: 600.
+/// let expected = Relation::from_ints(&["zip", "total"], &[vec![10, 1350], vec![20, 600]]);
+/// assert!(out.same_rows_unordered(&expected));
+/// ```
+#[derive(Debug, Default)]
+pub struct Session {
+    config: ConclaveConfig,
+    bindings: HashMap<String, Table>,
+}
+
+impl Session {
+    /// Creates a session with the given configuration and no bindings.
+    pub fn new(config: ConclaveConfig) -> Self {
+        Session {
+            config,
+            bindings: HashMap::new(),
+        }
+    }
+
+    /// Binds a named input relation to data. Accepts a [`Table`] or anything
+    /// convertible into one ([`conclave_engine::Relation`],
+    /// [`conclave_engine::ColumnarRelation`]).
+    pub fn bind(mut self, name: impl Into<String>, table: impl Into<Table>) -> Self {
+        self.bindings.insert(name.into(), table.into());
+        self
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &ConclaveConfig {
+        &self.config
+    }
+
+    /// The current input bindings.
+    pub fn bindings(&self) -> &HashMap<String, Table> {
+        &self.bindings
+    }
+
+    /// Compiles the query under the session's configuration.
+    pub fn compile(&self, query: &Query) -> Result<PhysicalPlan, SessionError> {
+        compile(query, &self.config).map_err(SessionError::from)
+    }
+
+    /// Compiles and executes the query over the bound inputs.
+    pub fn run(&self, query: &Query) -> Result<RunReport, SessionError> {
+        let plan = self.compile(query)?;
+        self.run_plan(&plan)
+    }
+
+    /// Executes an already-compiled plan over the bound inputs.
+    pub fn run_plan(&self, plan: &PhysicalPlan) -> Result<RunReport, SessionError> {
+        let mut driver = Driver::new(self.config.clone());
+        driver
+            .run_tables(plan, &self.bindings)
+            .map_err(SessionError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conclave_engine::{ColumnarRelation, EngineMode, Relation};
+    use conclave_ir::builder::QueryBuilder;
+    use conclave_ir::ops::AggFunc;
+    use conclave_ir::party::Party;
+    use conclave_ir::schema::Schema;
+
+    fn two_party_sum_query() -> Query {
+        let pa = Party::new(1, "a");
+        let pb = Party::new(2, "b");
+        let schema = Schema::ints(&["k", "v"]);
+        let mut q = QueryBuilder::new();
+        let a = q.input("ta", schema.clone(), pa.clone());
+        let b = q.input("tb", schema, pb);
+        let both = q.concat(&[a, b]);
+        let sums = q.aggregate(both, "total", AggFunc::Sum, &["k"], "v");
+        q.collect(sums, &[pa]);
+        q.build().unwrap()
+    }
+
+    #[test]
+    fn session_compiles_binds_and_runs() {
+        let query = two_party_sum_query();
+        let report = Session::new(ConclaveConfig::standard().with_sequential_local())
+            .bind("ta", Relation::from_ints(&["k", "v"], &[vec![1, 2]]))
+            .bind("tb", Relation::from_ints(&["k", "v"], &[vec![1, 3]]))
+            .run(&query)
+            .unwrap();
+        let out = report.output_for(1).unwrap();
+        let expected = Relation::from_ints(&["k", "total"], &[vec![1, 5]]);
+        assert!(out.same_rows_unordered(&expected));
+    }
+
+    #[test]
+    fn session_accepts_columnar_bindings_and_exposes_state() {
+        let query = two_party_sum_query();
+        let session = Session::new(
+            ConclaveConfig::standard()
+                .with_sequential_local()
+                .with_columnar(),
+        )
+        .bind(
+            "ta",
+            ColumnarRelation::from_rows(&Relation::from_ints(&["k", "v"], &[vec![1, 2]])),
+        )
+        .bind("tb", Relation::from_ints(&["k", "v"], &[vec![2, 3]]));
+        assert_eq!(session.config().engine_mode, EngineMode::Columnar);
+        assert_eq!(session.bindings().len(), 2);
+        assert!(session.bindings()["ta"].has_columns());
+        let plan = session.compile(&query).unwrap();
+        let report = session.run_plan(&plan).unwrap();
+        assert_eq!(report.output_for(1).unwrap().num_rows(), 2);
+    }
+
+    #[test]
+    fn missing_binding_surfaces_as_driver_error_with_source() {
+        let query = two_party_sum_query();
+        let err = Session::new(ConclaveConfig::standard().with_sequential_local())
+            .bind("ta", Relation::from_ints(&["k", "v"], &[vec![1, 2]]))
+            .run(&query)
+            .unwrap_err();
+        assert!(matches!(err, SessionError::Driver(_)));
+        assert!(std::error::Error::source(&err).is_some());
+        assert!(err.to_string().contains("tb"));
+    }
+}

@@ -16,20 +16,32 @@
 //! wall-clock costs come from [`cost::SequentialCostModel`], so end-to-end
 //! experiment harnesses can reproduce the paper's runtime comparisons
 //! without a cluster.
+//!
+//! Plan-level execution moves data through the unified [`table::Table`]
+//! value, which holds either (or both) representations and converts lazily
+//! with a one-shot cache, and dispatches operators through the
+//! [`executor::Executor`] trait ([`RowExecutor`], [`ColumnarExecutor`], and
+//! `conclave-parallel`'s engine), so a driven query pays row↔columnar
+//! conversion only at genuine domain boundaries instead of at every
+//! operator edge.
 
 pub mod columnar;
 pub mod cost;
 pub mod csvio;
 pub mod error;
 pub mod exec;
+pub mod executor;
 pub mod relation;
+pub mod table;
 pub mod vexec;
 
 pub use columnar::{Column, ColumnData, ColumnarRelation};
 pub use cost::SequentialCostModel;
 pub use error::{EngineError, EngineResult};
 pub use exec::execute;
+pub use executor::{sequential_executor, ColumnarExecutor, Executor, RowExecutor};
 pub use relation::Relation;
+pub use table::{ConversionCounts, Table};
 pub use vexec::{execute_columnar, execute_vectorized};
 
 /// Which cleartext execution strategy an engine uses.

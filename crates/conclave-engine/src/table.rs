@@ -1,0 +1,410 @@
+//! The unified execution data plane: [`Table`].
+//!
+//! Plan nodes exchange [`Table`] values instead of committing to one storage
+//! layout. A `Table` holds a relation in row-major form ([`Relation`]),
+//! columnar form ([`ColumnarRelation`]), or both: [`Table::as_rows`] and
+//! [`Table::as_columns`] materialize the missing representation *lazily* and
+//! cache it, so a table converted once is never converted again — and a
+//! driven query pays row↔columnar conversion only where data genuinely
+//! changes domain (input binding, MPC reveals, result collection), not at
+//! every operator boundary.
+//!
+//! Cloning a `Table` is cheap (the representations live behind an `Arc`) and
+//! clones share the conversion cache: converting any clone converts them all.
+//! Each table also counts the conversions it performed
+//! ([`Table::conversion_counts`]), which the driver aggregates into
+//! `RunReport` so tests can assert that columnar-mode plans stay columnar
+//! end to end.
+
+use crate::columnar::ColumnarRelation;
+use crate::relation::Relation;
+use conclave_ir::schema::Schema;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Conversion work a [`Table`] (or a whole run) performed, by direction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConversionCounts {
+    /// Number of row→columnar materializations.
+    pub row_to_columnar: u64,
+    /// Number of columnar→row materializations.
+    pub columnar_to_row: u64,
+}
+
+impl ConversionCounts {
+    /// Total conversions in either direction.
+    pub fn total(&self) -> u64 {
+        self.row_to_columnar + self.columnar_to_row
+    }
+
+    /// Adds another count pair.
+    pub fn merge(&mut self, other: &ConversionCounts) {
+        self.row_to_columnar += other.row_to_columnar;
+        self.columnar_to_row += other.columnar_to_row;
+    }
+
+    /// Element-wise saturating difference (`self - earlier`), used to turn
+    /// absolute per-table counters into per-run deltas.
+    pub fn since(&self, earlier: &ConversionCounts) -> ConversionCounts {
+        ConversionCounts {
+            row_to_columnar: self.row_to_columnar.saturating_sub(earlier.row_to_columnar),
+            columnar_to_row: self.columnar_to_row.saturating_sub(earlier.columnar_to_row),
+        }
+    }
+}
+
+/// Shared state of a table: at least one representation is always populated.
+struct TableInner {
+    rows: OnceLock<Relation>,
+    columns: OnceLock<ColumnarRelation>,
+    row_to_columnar: AtomicU64,
+    columnar_to_row: AtomicU64,
+}
+
+/// A materialized relation in whichever representation(s) the query has
+/// needed so far. See the [module docs](self) for the caching contract.
+#[derive(Clone)]
+pub struct Table {
+    inner: Arc<TableInner>,
+}
+
+impl Table {
+    /// Wraps a row-major relation. The columnar form is materialized lazily
+    /// on the first [`Table::as_columns`] call.
+    pub fn from_rows(rel: Relation) -> Table {
+        let inner = TableInner {
+            rows: OnceLock::from(rel),
+            columns: OnceLock::new(),
+            row_to_columnar: AtomicU64::new(0),
+            columnar_to_row: AtomicU64::new(0),
+        };
+        Table {
+            inner: Arc::new(inner),
+        }
+    }
+
+    /// Wraps a columnar relation. The row form is materialized lazily on the
+    /// first [`Table::as_rows`] call.
+    pub fn from_columns(rel: ColumnarRelation) -> Table {
+        let inner = TableInner {
+            rows: OnceLock::new(),
+            columns: OnceLock::from(rel),
+            row_to_columnar: AtomicU64::new(0),
+            columnar_to_row: AtomicU64::new(0),
+        };
+        Table {
+            inner: Arc::new(inner),
+        }
+    }
+
+    /// The row-major representation, converting (and caching the conversion)
+    /// if only the columnar form is materialized. Repeated calls return the
+    /// same allocation.
+    pub fn as_rows(&self) -> &Relation {
+        self.inner.rows.get_or_init(|| {
+            let cols = self
+                .inner
+                .columns
+                .get()
+                .expect("a table always holds at least one representation");
+            self.inner.columnar_to_row.fetch_add(1, Ordering::Relaxed);
+            cols.to_rows()
+        })
+    }
+
+    /// The columnar representation, converting (and caching the conversion)
+    /// if only the row form is materialized. Repeated calls return the same
+    /// allocation.
+    pub fn as_columns(&self) -> &ColumnarRelation {
+        self.inner.columns.get_or_init(|| {
+            let rows = self
+                .inner
+                .rows
+                .get()
+                .expect("a table always holds at least one representation");
+            self.inner.row_to_columnar.fetch_add(1, Ordering::Relaxed);
+            ColumnarRelation::from_rows(rows)
+        })
+    }
+
+    /// Extracts an owned row relation (avoiding a clone when this table is
+    /// the sole owner and the row form is already materialized).
+    pub fn into_rows(self) -> Relation {
+        self.as_rows();
+        match Arc::try_unwrap(self.inner) {
+            Ok(inner) => inner.rows.into_inner().expect("materialized above"),
+            Err(shared) => shared.rows.get().expect("materialized above").clone(),
+        }
+    }
+
+    /// Returns `true` if the row representation is already materialized.
+    pub fn has_rows(&self) -> bool {
+        self.inner.rows.get().is_some()
+    }
+
+    /// Returns `true` if the columnar representation is already materialized.
+    pub fn has_columns(&self) -> bool {
+        self.inner.columns.get().is_some()
+    }
+
+    /// The schema shared by both representations.
+    pub fn schema(&self) -> &Schema {
+        match self.inner.rows.get() {
+            Some(r) => &r.schema,
+            None => {
+                &self
+                    .inner
+                    .columns
+                    .get()
+                    .expect("a table always holds at least one representation")
+                    .schema
+            }
+        }
+    }
+
+    /// Column names in schema order.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.schema().names()
+    }
+
+    /// Number of rows (without forcing a conversion).
+    pub fn num_rows(&self) -> usize {
+        match self.inner.rows.get() {
+            Some(r) => r.num_rows(),
+            None => self
+                .inner
+                .columns
+                .get()
+                .expect("a table always holds at least one representation")
+                .num_rows(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.schema().len()
+    }
+
+    /// Returns `true` if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.num_rows() == 0
+    }
+
+    /// Returns `true` if the named column is sorted in the given direction.
+    /// Uses whichever representation is materialized (preferring rows, whose
+    /// comparison is the semantic reference) without forcing a conversion.
+    pub fn is_sorted_by(&self, column: &str, ascending: bool) -> bool {
+        if let Some(rows) = self.inner.rows.get() {
+            return rows.is_sorted_by(column, ascending);
+        }
+        // Only the columnar form exists; compare via materialized cell values
+        // without building the whole row relation.
+        let cols = self
+            .inner
+            .columns
+            .get()
+            .expect("a table always holds at least one representation");
+        let Some(idx) = cols.col_index(column) else {
+            return false;
+        };
+        let col = cols.column(idx);
+        (1..col.len()).all(|i| {
+            let prev = col.value(i - 1);
+            let cur = col.value(i);
+            if ascending {
+                prev <= cur
+            } else {
+                prev >= cur
+            }
+        })
+    }
+
+    /// The values of a named column, materialized, read from whichever
+    /// representation already exists (no conversion is forced).
+    pub fn column_values(&self, name: &str) -> Option<Vec<conclave_ir::types::Value>> {
+        if let Some(cols) = self.inner.columns.get() {
+            let idx = cols.col_index(name)?;
+            return Some(cols.column(idx).values());
+        }
+        let rows = self
+            .inner
+            .rows
+            .get()
+            .expect("a table always holds at least one representation");
+        let idx = rows.col_index(name)?;
+        Some(rows.rows.iter().map(|r| r[idx].clone()).collect())
+    }
+
+    /// How many conversions this table (and every clone sharing its cache)
+    /// has performed so far.
+    pub fn conversion_counts(&self) -> ConversionCounts {
+        ConversionCounts {
+            row_to_columnar: self.inner.row_to_columnar.load(Ordering::Relaxed),
+            columnar_to_row: self.inner.columnar_to_row.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Returns `true` if `self` and `other` share the same cache (i.e. they
+    /// are clones of one table).
+    pub fn shares_cache_with(&self, other: &Table) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl From<Relation> for Table {
+    fn from(rel: Relation) -> Table {
+        Table::from_rows(rel)
+    }
+}
+
+impl From<ColumnarRelation> for Table {
+    fn from(rel: ColumnarRelation) -> Table {
+        Table::from_columns(rel)
+    }
+}
+
+impl PartialEq for Table {
+    /// Tables compare by row-level contents (forcing materialization of the
+    /// row form on both sides if needed).
+    fn eq(&self, other: &Table) -> bool {
+        self.as_rows() == other.as_rows()
+    }
+}
+
+impl fmt::Debug for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Table")
+            .field("rows", &self.num_rows())
+            .field("cols", &self.num_cols())
+            .field("has_rows", &self.has_rows())
+            .field("has_columns", &self.has_columns())
+            .finish()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_rows().fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conclave_ir::types::Value;
+
+    fn demo() -> Relation {
+        Relation::from_ints(&["k", "v"], &[vec![1, 10], vec![2, 20], vec![3, 30]])
+    }
+
+    #[test]
+    fn lazy_conversion_is_cached_and_counted() {
+        let t = Table::from_rows(demo());
+        assert!(t.has_rows() && !t.has_columns());
+        assert_eq!(t.conversion_counts(), ConversionCounts::default());
+        let c1: *const ColumnarRelation = t.as_columns();
+        assert!(t.has_columns());
+        let c2: *const ColumnarRelation = t.as_columns();
+        assert_eq!(c1, c2, "repeated access returns the cached allocation");
+        assert_eq!(t.conversion_counts().row_to_columnar, 1);
+        assert_eq!(t.conversion_counts().columnar_to_row, 0);
+        // The pre-existing row form never counts as a conversion.
+        let r1: *const Relation = t.as_rows();
+        let r2: *const Relation = t.as_rows();
+        assert_eq!(r1, r2);
+        assert_eq!(t.conversion_counts().total(), 1);
+    }
+
+    #[test]
+    fn clones_share_the_cache() {
+        let t = Table::from_columns(ColumnarRelation::from_rows(&demo()));
+        let u = t.clone();
+        assert!(t.shares_cache_with(&u));
+        let p1: *const Relation = u.as_rows();
+        let p2: *const Relation = t.as_rows();
+        assert_eq!(p1, p2, "a clone's conversion serves the original");
+        assert_eq!(t.conversion_counts().columnar_to_row, 1);
+        assert_eq!(u.conversion_counts().columnar_to_row, 1);
+        let fresh = Table::from_rows(demo());
+        assert!(!fresh.shares_cache_with(&t));
+    }
+
+    #[test]
+    fn metadata_accessors_do_not_convert() {
+        let rows = Table::from_rows(demo());
+        assert_eq!(rows.num_rows(), 3);
+        assert_eq!(rows.num_cols(), 2);
+        assert_eq!(rows.column_names(), vec!["k", "v"]);
+        assert_eq!(rows.schema().names(), vec!["k", "v"]);
+        assert!(!rows.is_empty());
+        assert!(rows.is_sorted_by("k", true));
+        assert!(!rows.is_sorted_by("k", false));
+        assert_eq!(rows.conversion_counts().total(), 0);
+
+        let cols = Table::from_columns(ColumnarRelation::from_rows(&demo()));
+        assert_eq!(cols.num_rows(), 3);
+        assert_eq!(cols.column_names(), vec!["k", "v"]);
+        assert!(cols.is_sorted_by("v", true));
+        assert!(!cols.is_sorted_by("missing", true));
+        assert!(!cols.is_sorted_by("v", false));
+        let tens: Vec<Value> = vec![Value::Int(10), Value::Int(20), Value::Int(30)];
+        assert_eq!(rows.column_values("v").unwrap(), tens);
+        assert_eq!(cols.column_values("v").unwrap(), tens);
+        assert!(cols.column_values("missing").is_none());
+        assert!(rows.column_values("missing").is_none());
+        assert_eq!(cols.conversion_counts().total(), 0);
+    }
+
+    #[test]
+    fn into_rows_and_equality() {
+        let t = Table::from_columns(ColumnarRelation::from_rows(&demo()));
+        let u: Table = demo().into();
+        assert_eq!(t, u);
+        assert_eq!(t.clone().into_rows(), demo());
+        // Sole-owner extraction hands back the cached relation.
+        let sole = Table::from_rows(demo());
+        assert_eq!(sole.into_rows(), demo());
+        let via_columns: Table = ColumnarRelation::from_rows(&demo()).into();
+        assert_eq!(via_columns.into_rows(), demo());
+    }
+
+    #[test]
+    fn display_and_debug_render() {
+        let t = Table::from_rows(Relation::from_ints(&["x"], &[vec![42]]));
+        assert!(t.to_string().contains("42"));
+        let dbg = format!("{t:?}");
+        assert!(dbg.contains("Table") && dbg.contains("has_rows"));
+    }
+
+    #[test]
+    fn conversion_counts_arithmetic() {
+        let mut a = ConversionCounts {
+            row_to_columnar: 2,
+            columnar_to_row: 1,
+        };
+        let b = ConversionCounts {
+            row_to_columnar: 1,
+            columnar_to_row: 0,
+        };
+        assert_eq!(a.since(&b).row_to_columnar, 1);
+        assert_eq!(b.since(&a).row_to_columnar, 0, "saturates at zero");
+        a.merge(&b);
+        assert_eq!(a.total(), 4);
+    }
+
+    #[test]
+    fn empty_and_null_tables_round_trip() {
+        let empty = Table::from_rows(Relation::from_ints(&["a"], &[]));
+        assert!(empty.is_empty());
+        assert_eq!(empty.as_columns().num_rows(), 0);
+        let nulled = Table::from_rows(
+            Relation::new(
+                Schema::ints(&["a"]),
+                vec![vec![Value::Null], vec![Value::Int(1)]],
+            )
+            .unwrap(),
+        );
+        assert_eq!(nulled.as_columns().to_rows(), *nulled.as_rows());
+    }
+}

@@ -4,6 +4,7 @@ use crate::error::{IrError, IrResult};
 use crate::schema::Schema;
 use crate::types::{DataType, Value};
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::fmt;
 
 /// Binary operators on scalar values.
@@ -597,37 +598,98 @@ impl Expr {
     /// Produces exactly the values row-at-a-time [`Expr::eval`] would — the
     /// typed fast paths engage only where the coercion rules are identical —
     /// but runs as tight loops over primitive slices for the common
-    /// integer-heavy workloads.
+    /// integer-heavy workloads. Each referenced column is loaded from the
+    /// [`ColumnSource`] exactly once per evaluation, no matter how many
+    /// `Col` nodes reference it: repeated references borrow the cached batch
+    /// and do O(1) extra work.
     pub fn eval_batch(&self, schema: &Schema, src: &dyn ColumnSource) -> IrResult<ValueBatch> {
+        // A bare column reference needs no cache machinery: load it once and
+        // hand the owned batch straight back.
+        if let Expr::Col(name) = self {
+            let idx = schema.require(name, "expression")?;
+            return Ok(load_column(src, idx));
+        }
+        // Pre-load every distinct referenced column once; the recursion below
+        // borrows from this cache instead of re-materializing per `Col` node.
+        let mut indices: Vec<usize> = Vec::new();
+        self.collect_column_indices(schema, &mut indices)?;
+        let cache: Vec<(usize, ValueBatch)> = indices
+            .into_iter()
+            .map(|i| (i, load_column(src, i)))
+            .collect();
+        Ok(self
+            .eval_batch_cached(schema, src.batch_rows(), &cache)?
+            .into_owned())
+    }
+
+    /// Resolves and deduplicates the schema indices of every column the
+    /// expression references (erroring on unknown columns, as evaluation
+    /// would).
+    fn collect_column_indices(&self, schema: &Schema, out: &mut Vec<usize>) -> IrResult<()> {
         match self {
             Expr::Col(name) => {
                 let idx = schema.require(name, "expression")?;
-                Ok(load_column(src, idx))
+                if !out.contains(&idx) {
+                    out.push(idx);
+                }
+                Ok(())
             }
-            Expr::Const(v) => Ok(ValueBatch::Splat(v.clone(), src.batch_rows())),
+            Expr::Const(_) => Ok(()),
+            Expr::Bin { left, right, .. } => {
+                left.collect_column_indices(schema, out)?;
+                right.collect_column_indices(schema, out)
+            }
+            Expr::Not(inner) => inner.collect_column_indices(schema, out),
+        }
+    }
+
+    /// The recursive evaluator behind [`Expr::eval_batch`]: `Col` nodes
+    /// borrow their pre-loaded batch from `cache`, so only operator nodes
+    /// allocate.
+    fn eval_batch_cached<'a>(
+        &self,
+        schema: &Schema,
+        rows: usize,
+        cache: &'a [(usize, ValueBatch)],
+    ) -> IrResult<Cow<'a, ValueBatch>> {
+        match self {
+            Expr::Col(name) => {
+                let idx = schema.require(name, "expression")?;
+                let batch = cache
+                    .iter()
+                    .find(|(i, _)| *i == idx)
+                    .map(|(_, b)| b)
+                    .expect("every referenced column is pre-loaded");
+                Ok(Cow::Borrowed(batch))
+            }
+            Expr::Const(v) => Ok(Cow::Owned(ValueBatch::Splat(v.clone(), rows))),
             Expr::Bin { op, left, right } => {
-                let l = left.eval_batch(schema, src)?;
-                let r = right.eval_batch(schema, src)?;
-                Ok(apply_binop_batch(*op, &l, &r))
+                let l = left.eval_batch_cached(schema, rows, cache)?;
+                let r = right.eval_batch_cached(schema, rows, cache)?;
+                Ok(Cow::Owned(apply_binop_batch(*op, &l, &r)))
             }
             Expr::Not(inner) => {
-                let b = inner.eval_batch(schema, src)?;
+                let b = inner.eval_batch_cached(schema, rows, cache)?;
                 if let Some(v) = bool_view(&b) {
                     let n = b.len();
-                    return Ok(ValueBatch::Bool((0..n).map(|i| !v.get(i)).collect()));
+                    return Ok(Cow::Owned(ValueBatch::Bool(
+                        (0..n).map(|i| !v.get(i)).collect(),
+                    )));
                 }
                 if let Some(v) = int_view(&b) {
                     let n = b.len();
-                    return Ok(ValueBatch::Bool((0..n).map(|i| v.get(i) == 0).collect()));
+                    return Ok(Cow::Owned(ValueBatch::Bool(
+                        (0..n).map(|i| v.get(i) == 0).collect(),
+                    )));
                 }
-                Ok(ValueBatch::Values(
+                Ok(Cow::Owned(ValueBatch::Values(
                     (0..b.len())
                         .map(|i| match b.value(i).as_bool() {
                             Some(x) => Value::Bool(!x),
                             None => Value::Null,
                         })
                         .collect(),
-                ))
+                )))
             }
         }
     }
@@ -876,6 +938,63 @@ mod tests {
         ] {
             assert_batch_matches_scalar(&e, &s, &src);
         }
+    }
+
+    /// A column source that counts how many times each column's data is
+    /// materialized into a batch.
+    struct CountingSource {
+        ints: Vec<Vec<i64>>,
+        loads: std::cell::RefCell<Vec<usize>>,
+    }
+
+    impl CountingSource {
+        fn new(ints: Vec<Vec<i64>>) -> Self {
+            let n = ints.len();
+            CountingSource {
+                ints,
+                loads: std::cell::RefCell::new(vec![0; n]),
+            }
+        }
+    }
+
+    impl ColumnSource for CountingSource {
+        fn batch_rows(&self) -> usize {
+            self.ints.first().map_or(0, |c| c.len())
+        }
+        fn batch(&self, col: usize) -> BatchRef<'_> {
+            self.loads.borrow_mut()[col] += 1;
+            BatchRef::Int(&self.ints[col])
+        }
+        fn batch_nulls(&self, _col: usize) -> Option<&[bool]> {
+            None
+        }
+    }
+
+    #[test]
+    fn batch_eval_loads_each_referenced_column_exactly_once() {
+        let s = Schema::ints(&["a", "b"]);
+        let src = CountingSource::new(vec![vec![1, 7, 3], vec![2, 2, 9]]);
+        // `a` is referenced three times, `b` twice.
+        let e = Expr::col("a")
+            .gt(Expr::lit(0))
+            .and(Expr::col("a").lt(Expr::col("b")))
+            .or(Expr::col("a").eq(Expr::col("b")));
+        let out = e.eval_batch(&s, &src).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(
+            *src.loads.borrow(),
+            vec![1, 1],
+            "each column must be loaded once, not once per Col node"
+        );
+        // The cached path produces exactly what scalar evaluation produces.
+        for i in 0..3 {
+            let row = vec![Value::Int(src.ints[0][i]), Value::Int(src.ints[1][i])];
+            assert_eq!(out.value(i), e.eval(&s, &row).unwrap());
+        }
+        // A bare column reference also loads exactly once.
+        let src2 = CountingSource::new(vec![vec![5, 6], vec![0, 0]]);
+        Expr::col("a").eval_batch(&s, &src2).unwrap();
+        assert_eq!(*src2.loads.borrow(), vec![1, 0]);
     }
 
     #[test]

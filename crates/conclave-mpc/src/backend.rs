@@ -218,6 +218,13 @@ impl MpcEngine {
         SharedRelation::from_columnar(rel, &mut self.proto).map_err(MpcError::Exec)
     }
 
+    /// Secret-shares a [`conclave_engine::Table`], picking the
+    /// column-at-a-time path whenever its columnar representation is already
+    /// materialized (see [`SharedRelation::from_table`]).
+    pub fn share_table(&mut self, table: &conclave_engine::Table) -> MpcResult<SharedRelation> {
+        SharedRelation::from_table(table, &mut self.proto).map_err(MpcError::Exec)
+    }
+
     /// Opens a shared relation back to cleartext.
     pub fn reconstruct(&mut self, rel: &SharedRelation) -> Relation {
         rel.reconstruct(&mut self.proto)
@@ -257,17 +264,56 @@ impl MpcEngine {
                     .iter()
                     .map(|r| self.share(r))
                     .collect::<MpcResult<_>>()?;
-                let refs: Vec<&SharedRelation> = shared_inputs.iter().collect();
-                let shared_out = self.execute_shared(op, &refs)?;
-                let out = self.reconstruct(&shared_out);
-                let mut stats = self.drain_stats(input_rows, out.num_rows() as u64);
-                stats.simulated_time += Duration::from_secs_f64(self.config.ss_cost.job_overhead);
-                Ok((out, stats))
+                self.execute_and_open(op, shared_inputs, input_rows)
             }
             BackendKind::OblivCLike | BackendKind::OblivVmLike => {
                 self.execute_garbled(op, inputs, input_rows)
             }
         }
+    }
+
+    /// [`MpcEngine::execute_op`] over the unified [`conclave_engine::Table`]
+    /// data plane. Secret-sharing backends share each input in whatever
+    /// representation it already holds (columnar tables go column-at-a-time
+    /// with no conversion); garbled backends materialize rows, which is the
+    /// unavoidable share boundary for that substrate.
+    pub fn execute_op_tables(
+        &mut self,
+        op: &Operator,
+        inputs: &[&conclave_engine::Table],
+    ) -> MpcResult<(Relation, MpcStepStats)> {
+        let input_rows: u64 = inputs.iter().map(|t| t.num_rows() as u64).sum();
+        match self.config.kind {
+            BackendKind::SharemindLike => {
+                self.proto.reset_counts();
+                let shared_inputs: Vec<SharedRelation> = inputs
+                    .iter()
+                    .map(|t| self.share_table(t))
+                    .collect::<MpcResult<_>>()?;
+                self.execute_and_open(op, shared_inputs, input_rows)
+            }
+            BackendKind::OblivCLike | BackendKind::OblivVmLike => {
+                let rows: Vec<&Relation> = inputs.iter().map(|t| t.as_rows()).collect();
+                self.execute_garbled(op, &rows, input_rows)
+            }
+        }
+    }
+
+    /// Shared tail of the secret-sharing execution paths: run the oblivious
+    /// protocol over already-shared inputs, open the result and charge the
+    /// standalone-job overhead.
+    fn execute_and_open(
+        &mut self,
+        op: &Operator,
+        shared_inputs: Vec<SharedRelation>,
+        input_rows: u64,
+    ) -> MpcResult<(Relation, MpcStepStats)> {
+        let refs: Vec<&SharedRelation> = shared_inputs.iter().collect();
+        let shared_out = self.execute_shared(op, &refs)?;
+        let out = self.reconstruct(&shared_out);
+        let mut stats = self.drain_stats(input_rows, out.num_rows() as u64);
+        stats.simulated_time += Duration::from_secs_f64(self.config.ss_cost.job_overhead);
+        Ok((out, stats))
     }
 
     /// Executes one operator over already-shared relations (secret-sharing
@@ -1168,6 +1214,34 @@ mod tests {
                 &[&rel]
             )
             .is_err());
+    }
+
+    #[test]
+    fn execute_op_tables_matches_execute_op_and_avoids_conversions() {
+        let rel = sales();
+        let op = Operator::Aggregate {
+            group_by: vec!["companyID".into()],
+            func: AggFunc::Sum,
+            over: Some("price".into()),
+            out: "rev".into(),
+        };
+        let mut eng = sharemind();
+        let (expected, row_stats) = eng.execute_op(&op, &[&rel]).unwrap();
+        // Columnar-backed table: shared column-at-a-time, zero conversions.
+        let mut eng2 = sharemind();
+        let table = conclave_engine::Table::from_columns(
+            conclave_engine::ColumnarRelation::from_rows(&rel),
+        );
+        let (out, stats) = eng2.execute_op_tables(&op, &[&table]).unwrap();
+        assert!(out.same_rows_unordered(&expected));
+        assert_eq!(table.conversion_counts().total(), 0);
+        assert_eq!(stats.counts.input_elems, row_stats.counts.input_elems);
+        // Garbled backends take the row path through the same entry point.
+        let mut gc = MpcEngine::new(MpcBackendConfig::obliv_c());
+        let rows_table = conclave_engine::Table::from_rows(rel.clone());
+        let (gc_out, gc_stats) = gc.execute_op_tables(&op, &[&rows_table]).unwrap();
+        assert!(gc_out.same_rows_unordered(&expected));
+        assert!(gc_stats.circuit.and_gates > 0);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use crate::protocol::Protocol;
 use crate::share::Shares;
-use conclave_engine::{ColumnarRelation, Relation};
+use conclave_engine::{ColumnarRelation, Relation, Table};
 use conclave_ir::schema::Schema;
 use conclave_ir::types::{DataType, Value};
 
@@ -90,6 +90,18 @@ impl SharedRelation {
             schema: rel.schema.clone(),
             rows,
         })
+    }
+
+    /// Secret-shares a [`Table`] into the MPC, picking the column-at-a-time
+    /// sharing path whenever the table's columnar representation is already
+    /// materialized (no conversion is ever forced: a row-only table shares
+    /// row by row).
+    pub fn from_table(table: &Table, proto: &mut Protocol) -> Result<Self, String> {
+        if table.has_columns() {
+            SharedRelation::from_columnar(table.as_columns(), proto)
+        } else {
+            SharedRelation::from_relation(table.as_rows(), proto)
+        }
     }
 
     /// Creates an empty shared relation with the given schema.
@@ -230,6 +242,24 @@ mod tests {
         // Row-wise and column-wise sharing cost the same number of inputs.
         let mut p2 = Protocol::new(3, 1);
         SharedRelation::from_relation(&rel, &mut p2).unwrap();
+        assert_eq!(p.counts().input_elems, p2.counts().input_elems);
+    }
+
+    #[test]
+    fn from_table_picks_the_materialized_representation() {
+        let rel = demo();
+        // Row-only table: shares row by row, forcing no conversion.
+        let mut p = Protocol::new(3, 1);
+        let rows_table = Table::from_rows(rel.clone());
+        let shared = SharedRelation::from_table(&rows_table, &mut p).unwrap();
+        assert_eq!(rows_table.conversion_counts().total(), 0);
+        assert_eq!(shared.reconstruct(&mut p).rows, rel.rows);
+        // Column-backed table: shares whole columns.
+        let mut p2 = Protocol::new(3, 1);
+        let cols_table = Table::from_columns(ColumnarRelation::from_rows(&rel));
+        let shared2 = SharedRelation::from_table(&cols_table, &mut p2).unwrap();
+        assert_eq!(cols_table.conversion_counts().total(), 0);
+        assert_eq!(shared2.reconstruct(&mut p2).rows, rel.rows);
         assert_eq!(p.counts().input_elems, p2.counts().input_elems);
     }
 

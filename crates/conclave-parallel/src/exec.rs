@@ -11,7 +11,8 @@ use crate::cluster::ClusterSpec;
 use crate::cost::ClusterCostModel;
 use crate::partition::{ColumnarPartitionedRelation, PartitionedRelation};
 use conclave_engine::{
-    execute, execute_columnar, ColumnarRelation, EngineError, EngineMode, EngineResult, Relation,
+    execute, execute_columnar, ColumnarRelation, EngineError, EngineMode, EngineResult, Executor,
+    Relation, Table,
 };
 use conclave_ir::ops::Operator;
 use std::time::Duration;
@@ -21,20 +22,38 @@ use std::time::Duration;
 pub struct ParallelEngine {
     cluster: ClusterSpec,
     cost: ClusterCostModel,
+    mode: EngineMode,
 }
 
 impl ParallelEngine {
-    /// Creates an engine for the given cluster.
+    /// Creates an engine for the given cluster (row-mode tasks by default).
     pub fn new(cluster: ClusterSpec) -> Self {
         ParallelEngine {
             cluster,
             cost: ClusterCostModel::default(),
+            mode: EngineMode::Row,
         }
     }
 
     /// Creates an engine with an explicit cost model.
     pub fn with_cost(cluster: ClusterSpec, cost: ClusterCostModel) -> Self {
-        ParallelEngine { cluster, cost }
+        ParallelEngine {
+            cluster,
+            cost,
+            mode: EngineMode::Row,
+        }
+    }
+
+    /// Returns a copy whose per-task engine is the given mode; this is the
+    /// mode the [`Executor`] implementation dispatches on.
+    pub fn with_mode(mut self, mode: EngineMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The per-task engine mode.
+    pub fn mode(&self) -> EngineMode {
+        self.mode
     }
 
     /// The engine's cluster description.
@@ -61,6 +80,10 @@ impl ParallelEngine {
     /// Executes one operator with the chosen per-task engine: row tasks
     /// process `Vec<Vec<Value>>` partitions, columnar tasks slice typed
     /// column vectors and run the vectorized engine on each slice.
+    ///
+    /// This is the row-in/row-out compatibility surface; driven execution
+    /// goes through the [`Executor`] implementation, which keeps columnar
+    /// data columnar end to end.
     pub fn execute_op_mode(
         &self,
         op: &Operator,
@@ -75,7 +98,14 @@ impl ParallelEngine {
             .unwrap_or(16);
         let out = match mode {
             EngineMode::Row => self.execute_parallel(op, inputs)?,
-            EngineMode::Columnar => self.execute_parallel_columnar(op, inputs)?,
+            EngineMode::Columnar => {
+                let columnar: Vec<ColumnarRelation> = inputs
+                    .iter()
+                    .map(|r| ColumnarRelation::from_rows(r))
+                    .collect();
+                let refs: Vec<&ColumnarRelation> = columnar.iter().collect();
+                self.execute_parallel_columnar(op, &refs)?.to_rows()
+            }
         };
         let time = self.cost.estimate(
             &self.cluster,
@@ -195,35 +225,31 @@ impl ParallelEngine {
 
     /// The columnar twin of [`ParallelEngine::execute_parallel`]: partitions
     /// are column slices and every per-partition task runs the vectorized
-    /// engine.
+    /// engine. Consumes and produces columnar relations directly, so driven
+    /// columnar plans never round-trip through rows between operators.
     fn execute_parallel_columnar(
         &self,
         op: &Operator,
-        inputs: &[&Relation],
-    ) -> EngineResult<Relation> {
+        refs: &[&ColumnarRelation],
+    ) -> EngineResult<ColumnarRelation> {
         let partitions = self.cluster.default_partitions();
-        let columnar: Vec<ColumnarRelation> = inputs
-            .iter()
-            .map(|r| ColumnarRelation::from_rows(r))
-            .collect();
-        let refs: Vec<&ColumnarRelation> = columnar.iter().collect();
         let out = match op {
             // Narrow, partition-wise operators.
             Operator::Project { .. }
             | Operator::Filter { .. }
             | Operator::Multiply { .. }
             | Operator::Divide { .. } => {
-                let input = single_columnar(&refs, op)?;
+                let input = single_columnar(refs, op)?;
                 let parted = ColumnarPartitionedRelation::from_relation(input, partitions);
                 let results =
                     run_per_partition(&parted.partitions, |p| execute_columnar(op, &[p]))?;
-                merge_columnar(results, op, &refs)?
+                merge_columnar(results, op, refs)?
             }
             // Aggregations: shuffle by the group-by key, reduce per partition.
             Operator::Aggregate { group_by, .. } => {
-                let input = single_columnar(&refs, op)?;
+                let input = single_columnar(refs, op)?;
                 if group_by.is_empty() {
-                    execute_columnar(op, &refs)?
+                    execute_columnar(op, refs)?
                 } else {
                     let key_cols: Vec<usize> = group_by
                         .iter()
@@ -237,11 +263,11 @@ impl ParallelEngine {
                         .shuffle_by_key(&key_cols, partitions);
                     let results =
                         run_per_partition(&parted.partitions, |p| execute_columnar(op, &[p]))?;
-                    merge_columnar(results, op, &refs)?
+                    merge_columnar(results, op, refs)?
                 }
             }
             Operator::Distinct { columns } => {
-                let input = single_columnar(&refs, op)?;
+                let input = single_columnar(refs, op)?;
                 let key_cols: Vec<usize> = columns
                     .iter()
                     .map(|c| {
@@ -254,7 +280,7 @@ impl ParallelEngine {
                     .shuffle_by_key(&key_cols, partitions);
                 let results =
                     run_per_partition(&parted.partitions, |p| execute_columnar(op, &[p]))?;
-                merge_columnar(results, op, &refs)?
+                merge_columnar(results, op, refs)?
             }
             // Joins: co-partition both sides by the join key.
             Operator::Join {
@@ -295,12 +321,50 @@ impl ParallelEngine {
                     .zip(right.partitions.iter())
                     .collect();
                 let results = run_per_partition(&pairs, |(l, r)| execute_columnar(op, &[l, r]))?;
-                merge_columnar(results, op, &refs)?
+                merge_columnar(results, op, refs)?
             }
             // Everything else runs on the collected data.
-            _ => execute_columnar(op, &refs)?,
+            _ => execute_columnar(op, refs)?,
         };
-        Ok(out.to_rows())
+        Ok(out)
+    }
+}
+
+impl Executor for ParallelEngine {
+    /// Executes one operator over [`Table`]s with the configured per-task
+    /// engine mode. Row mode partitions the row representation; columnar mode
+    /// slices typed columns and returns a column-backed table, so chained
+    /// columnar stages never round-trip through rows.
+    fn execute(&self, op: &Operator, inputs: &[&Table]) -> Result<Table, EngineError> {
+        match self.mode {
+            EngineMode::Row => {
+                let rows: Vec<&Relation> = inputs.iter().map(|t| t.as_rows()).collect();
+                self.execute_parallel(op, &rows).map(Table::from_rows)
+            }
+            EngineMode::Columnar => {
+                let cols: Vec<&ColumnarRelation> = inputs.iter().map(|t| t.as_columns()).collect();
+                self.execute_parallel_columnar(op, &cols)
+                    .map(Table::from_columns)
+            }
+        }
+    }
+
+    fn estimate(
+        &self,
+        op: &Operator,
+        input_rows: u64,
+        output_rows: u64,
+        row_bytes: u64,
+    ) -> Duration {
+        self.cost
+            .estimate(&self.cluster, op, input_rows, output_rows, row_bytes)
+    }
+
+    fn name(&self) -> &'static str {
+        match self.mode {
+            EngineMode::Row => "parallel-row",
+            EngineMode::Columnar => "parallel-columnar",
+        }
     }
 }
 
@@ -630,6 +694,32 @@ mod tests {
         assert!(eng
             .execute_op_mode(&bad, &[&rel], EngineMode::Columnar)
             .is_err());
+    }
+
+    #[test]
+    fn executor_trait_keeps_native_layout_and_matches_row_results() {
+        let row_exec = engine();
+        let col_exec = engine().with_mode(EngineMode::Columnar);
+        assert_eq!(Executor::name(&row_exec), "parallel-row");
+        assert_eq!(Executor::name(&col_exec), "parallel-columnar");
+        let rel = random_sales(3_000, 21);
+        let table = Table::from_columns(ColumnarRelation::from_rows(&rel));
+        let op = Operator::Aggregate {
+            group_by: vec!["companyID".into()],
+            func: AggFunc::Sum,
+            over: Some("price".into()),
+            out: "rev".into(),
+        };
+        let col_out = col_exec.execute(&op, &[&table]).unwrap();
+        assert!(col_out.has_columns() && !col_out.has_rows());
+        // Columnar-in, columnar-out: the input table never converted.
+        assert_eq!(table.conversion_counts().total(), 0);
+        let row_table = Table::from_rows(rel.clone());
+        let row_out = Executor::execute(&row_exec, &op, &[&row_table]).unwrap();
+        assert!(row_out.has_rows() && !row_out.has_columns());
+        assert!(row_out.as_rows().same_rows_unordered(col_out.as_rows()));
+        // Cost estimates flow through the trait.
+        assert!(Executor::estimate(&row_exec, &op, 3_000, 50, 16) > Duration::ZERO);
     }
 
     #[test]

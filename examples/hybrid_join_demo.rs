@@ -9,7 +9,6 @@
 
 use conclave::prelude::*;
 use conclave_core::hybrid_exec;
-use conclave_engine::{EngineMode, SequentialCostModel};
 use conclave_ir::ops::{JoinKind, Operator};
 use conclave_mpc::backend::MpcEngine;
 
@@ -23,13 +22,12 @@ fn main() {
     let mut engine = MpcEngine::new(MpcBackendConfig::sharemind());
     let outcome = hybrid_exec::hybrid_join(
         &mut engine,
-        &SequentialCostModel::default(),
-        &left,
-        &right,
+        &ColumnarExecutor::new(),
+        &Table::from_rows(left.clone()),
+        &Table::from_rows(right.clone()),
         &["key".to_string()],
         &["key".to_string()],
         1,
-        EngineMode::Columnar,
     )
     .expect("hybrid join runs");
 
@@ -46,7 +44,7 @@ fn main() {
         )
         .expect("MPC join runs");
 
-    assert!(outcome.result.same_rows_unordered(&mpc_result));
+    assert!(outcome.result.as_rows().same_rows_unordered(&mpc_result));
     println!(
         "both protocols produce the same {} joined rows\n",
         mpc_result.num_rows()

@@ -8,7 +8,6 @@
 //! Run with: `cargo run --example quickstart`
 
 use conclave::prelude::*;
-use std::collections::HashMap;
 
 fn main() {
     // 1. Declare the parties and their input schemas.
@@ -38,21 +37,24 @@ fn main() {
     }
     println!("operators under MPC: {}\n", plan.mpc_node_count());
 
-    // 4. Bind each party's private data and execute.
-    let mut inputs = HashMap::new();
-    inputs.insert(
-        "sales_a".to_string(),
-        Relation::from_ints(
-            &["region", "amount"],
-            &[vec![1, 100], vec![2, 50], vec![1, 25]],
-        ),
-    );
-    inputs.insert(
-        "sales_b".to_string(),
-        Relation::from_ints(&["region", "amount"], &[vec![1, 10], vec![3, 70]]),
-    );
-    let mut driver = Driver::new(config);
-    let report = driver.run(&plan, &inputs).expect("execution succeeds");
+    // 4. Bind each party's private data and execute through the `Session`
+    //    facade. Bindings accept row relations, columnar relations, or
+    //    `Table`s; the driver moves everything through the unified `Table`
+    //    data plane.
+    let report = Session::new(config)
+        .bind(
+            "sales_a",
+            Relation::from_ints(
+                &["region", "amount"],
+                &[vec![1, 100], vec![2, 50], vec![1, 25]],
+            ),
+        )
+        .bind(
+            "sales_b",
+            Relation::from_ints(&["region", "amount"], &[vec![1, 10], vec![3, 70]]),
+        )
+        .run_plan(&plan)
+        .expect("execution succeeds");
 
     // 5. Party 1 receives the result; the report shows the cost breakdown and
     //    the leakage audit.

@@ -41,13 +41,16 @@ pub use conclave_smcql as smcql;
 pub mod prelude {
     pub use conclave_core::{
         compile, config::ConclaveConfig, driver::Driver, plan::PhysicalPlan, report::RunReport,
+        session::Session, session::SessionError,
     };
     pub use conclave_data::{
         credit::CreditGenerator, health::HealthGenerator, taxi::TaxiGenerator,
     };
     pub use conclave_engine::columnar::ColumnarRelation;
     pub use conclave_engine::relation::Relation;
-    pub use conclave_engine::EngineMode;
+    pub use conclave_engine::{
+        ColumnarExecutor, ConversionCounts, EngineMode, Executor, RowExecutor, Table,
+    };
     pub use conclave_ir::{
         builder::QueryBuilder,
         ops::AggFunc,

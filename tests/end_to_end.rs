@@ -206,6 +206,107 @@ fn credit_query_agrees_across_engine_and_hybrid_matrix() {
     }
 }
 
+/// A single-party query whose compiled plan is entirely local: the cleanest
+/// probe for mid-plan conversion behavior.
+fn local_only_query() -> conclave_ir::builder::Query {
+    let p = Party::new(1, "solo");
+    let schema = Schema::ints(&["companyID", "price"]);
+    let mut q = QueryBuilder::new();
+    let t = q.input("sales", schema, p.clone());
+    let paid = q.filter(t, Expr::col("price").gt(Expr::lit(0)));
+    let rev = q.aggregate(paid, "rev", AggFunc::Sum, &["companyID"], "price");
+    q.collect(rev, &[p]);
+    q.build().unwrap()
+}
+
+#[test]
+fn columnar_driven_query_converts_only_at_input_and_collect_boundaries() {
+    let query = local_only_query();
+    let rel = Relation::from_ints(
+        &["companyID", "price"],
+        &(0..500)
+            .map(|i| vec![i % 7, (i * 13) % 100])
+            .collect::<Vec<_>>(),
+    );
+    let config = ConclaveConfig::standard()
+        .with_sequential_local()
+        .with_columnar();
+
+    // Column-backed inputs: ZERO mid-plan conversions; the single
+    // columnar→row conversion happens at the collect (reveal) boundary.
+    let report = Session::new(config.clone())
+        .bind("sales", ColumnarRelation::from_rows(&rel))
+        .run(&query)
+        .unwrap();
+    assert_eq!(
+        report.conversions.row_to_columnar, 0,
+        "columnar-bound inputs must never be re-converted mid-plan"
+    );
+    assert_eq!(
+        report.conversions.columnar_to_row, 1,
+        "exactly one conversion, at the collect boundary"
+    );
+
+    // Row-backed inputs (the legacy `Driver::run` shim): one conversion at
+    // the input binding, one at the collect boundary — still nothing between
+    // plan operators.
+    let plan = conclave_core::compile(&query, &config).unwrap();
+    let mut driver = Driver::new(config.clone());
+    let mut inputs = HashMap::new();
+    inputs.insert("sales".to_string(), rel.clone());
+    let report = driver.run(&plan, &inputs).unwrap();
+    assert_eq!(report.conversions.row_to_columnar, 1, "input binding only");
+    assert_eq!(report.conversions.columnar_to_row, 1, "collect only");
+
+    // Row mode never converts at all.
+    let row_report = Session::new(ConclaveConfig::standard().with_sequential_local())
+        .bind("sales", rel)
+        .run(&query)
+        .unwrap();
+    assert_eq!(row_report.conversions.total(), 0);
+}
+
+#[test]
+fn multi_party_columnar_queries_convert_only_at_boundaries() {
+    let query = market_query();
+    let (inputs, _) = taxi_inputs(600, 11);
+    let tables: HashMap<String, conclave_engine::Table> = inputs
+        .iter()
+        .map(|(k, v)| {
+            (
+                k.clone(),
+                conclave_engine::Table::from_columns(ColumnarRelation::from_rows(v)),
+            )
+        })
+        .collect();
+    let n_inputs = tables.len() as u64;
+    for config in [
+        ConclaveConfig::standard()
+            .with_sequential_local()
+            .with_columnar(),
+        ConclaveConfig::mpc_only()
+            .with_sequential_local()
+            .with_columnar(),
+    ] {
+        let plan = conclave_core::compile(&query, &config).unwrap();
+        let node_count = plan.dag.node_count() as u64;
+        let mut driver = Driver::new(config);
+        let report = driver.run_tables(&plan, &tables).unwrap();
+        // Column-backed inputs are shared column-at-a-time and never
+        // round-trip through rows; conversions are bounded by the genuine
+        // domain boundaries (inputs, reveals, collect), not by plan size.
+        assert_eq!(report.conversions.row_to_columnar, 0);
+        assert!(
+            report.conversions.columnar_to_row <= n_inputs + 1,
+            "conversions ({}) must stay at reveal boundaries, got report:\n{report}",
+            report.conversions.columnar_to_row
+        );
+        // The pre-redesign data plane converted at every operator edge; the
+        // new one is strictly below one conversion per node.
+        assert!(report.conversions.total() < node_count);
+    }
+}
+
 #[test]
 fn parallel_and_sequential_local_backends_agree() {
     let query = market_query();

@@ -27,14 +27,34 @@ fn prelude_exposes_documented_entry_points_and_compiles_a_query() {
     let plan: PhysicalPlan = compile(&query, &config).expect("query compiles");
     assert!(!plan.stages().is_empty(), "compiled plan must be non-empty");
 
+    // The documented `Session` entry point drives the query end to end,
+    // binding one row-backed and one column-backed table.
+    let report: RunReport = Session::new(ConclaveConfig::standard().with_sequential_local())
+        .bind("ta", Relation::from_ints(&["key", "val"], &[vec![1, 2]]))
+        .bind(
+            "tb",
+            ColumnarRelation::from_rows(&Relation::from_ints(&["key", "val"], &[vec![1, 3]])),
+        )
+        .run(&query)
+        .expect("session drives the query");
+    assert_eq!(
+        report.output_for(1).expect("party 1 is the recipient").rows[0],
+        vec![Value::Int(1), Value::Int(5)]
+    );
+
     // The remaining prelude items must at least be nameable and constructible.
     let _driver: Driver = Driver::new(ConclaveConfig::standard());
     let _relation = Relation::from_ints(&["key", "val"], &[vec![1, 2]]);
+    let _table: Table = _relation.clone().into();
+    let _counts: ConversionCounts = _table.conversion_counts();
+    let _mode: EngineMode = EngineMode::Columnar;
+    let _row_exec: &dyn Executor = &RowExecutor::new();
+    let _col_exec: &dyn Executor = &ColumnarExecutor::new();
     let _backend: MpcBackendConfig = MpcBackendConfig::sharemind();
     let _kind: BackendKind = _backend.kind;
     let _value = Value::Int(42);
     let _gen_credit = CreditGenerator::new(7);
     let _gen_health = HealthGenerator::new(7);
     let _gen_taxi = TaxiGenerator::new(7);
-    let _report_ty = std::marker::PhantomData::<RunReport>;
+    let _err_ty = std::marker::PhantomData::<SessionError>;
 }

@@ -1,0 +1,148 @@
+//! Property tests for the unified [`Table`] data plane.
+//!
+//! The `Table` caching contract is load-bearing for the whole execution
+//! redesign: `as_rows`/`as_columns` must round-trip *losslessly* over
+//! arbitrary relations (nulls, mixed-type columns, empty, single-row), the
+//! one-shot conversion cache must hand back pointer-identical data on
+//! repeated access, and clones must share cache and conversion counters.
+
+use conclave::prelude::*;
+use conclave_engine::{ColumnarRelation, Relation, Table};
+use proptest::prelude::*;
+
+/// Raw generated cell material: `(int value, type selector)` per column.
+type RawRow = (i64, i64, i64, u8);
+
+/// Maps a raw integer plus a selector to a runtime value, biased toward
+/// integers with a tail of nulls, floats, bools and strings (same shape as
+/// the engine differential suite).
+fn to_value(raw: i64, sel: u8) -> Value {
+    match sel % 12 {
+        0 => Value::Null,
+        1 => Value::Float(raw as f64 / 2.0),
+        2 => Value::Bool(raw % 2 == 0),
+        3 => Value::Str(format!("s{}", raw.rem_euclid(5))),
+        _ => Value::Int(raw),
+    }
+}
+
+fn to_relation(rows: &[RawRow]) -> Relation {
+    let schema = Schema::new(vec![
+        ColumnDef::new("a", DataType::Int),
+        ColumnDef::new("b", DataType::Int),
+        ColumnDef::new("c", DataType::Int),
+    ]);
+    let data = rows
+        .iter()
+        .map(|&(k, v, w, sel)| vec![Value::Int(k.rem_euclid(6)), to_value(v, sel), Value::Int(w)])
+        .collect();
+    Relation::new(schema, data).unwrap()
+}
+
+fn rows_strategy(max: usize) -> impl Strategy<Value = Vec<RawRow>> {
+    prop::collection::vec((0i64..1000, -500i64..500, -3i64..40, 0u8..255), 0..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Row → columns → rows is the identity for any relation, including
+    /// empty, single-row, nulled and mixed-type inputs.
+    #[test]
+    fn as_columns_round_trips_losslessly(rows in rows_strategy(40)) {
+        let rel = to_relation(&rows);
+        let table = Table::from_rows(rel.clone());
+        let back = table.as_columns().to_rows();
+        prop_assert_eq!(&back.schema, &rel.schema);
+        prop_assert_eq!(&back.rows, &rel.rows);
+        // Metadata accessors agree with both representations.
+        prop_assert_eq!(table.num_rows(), rel.num_rows());
+        prop_assert_eq!(table.num_cols(), rel.num_cols());
+        prop_assert_eq!(table.is_empty(), rel.num_rows() == 0);
+    }
+
+    /// Columns → rows → columns preserves every cell for any relation.
+    #[test]
+    fn as_rows_round_trips_losslessly(rows in rows_strategy(40)) {
+        let rel = to_relation(&rows);
+        let table = Table::from_columns(ColumnarRelation::from_rows(&rel));
+        prop_assert_eq!(&table.as_rows().rows, &rel.rows);
+        // A second conversion of the reconstructed rows is still lossless.
+        let again = ColumnarRelation::from_rows(table.as_rows()).to_rows();
+        prop_assert_eq!(&again.rows, &rel.rows);
+    }
+
+    /// The conversion cache is one-shot: repeated access returns
+    /// pointer-identical data and the conversion counter stays at one.
+    #[test]
+    fn conversion_cache_returns_pointer_identical_data(rows in rows_strategy(20)) {
+        let table = Table::from_rows(to_relation(&rows));
+        let first: *const ColumnarRelation = table.as_columns();
+        let second: *const ColumnarRelation = table.as_columns();
+        prop_assert_eq!(first, second);
+        prop_assert_eq!(table.conversion_counts().row_to_columnar, 1);
+        // The other direction was never exercised.
+        prop_assert_eq!(table.conversion_counts().columnar_to_row, 0);
+        // Clones share the cache: the clone sees the same allocation and the
+        // same counters without converting again.
+        let clone = table.clone();
+        let third: *const ColumnarRelation = clone.as_columns();
+        prop_assert_eq!(first, third);
+        prop_assert_eq!(clone.conversion_counts().row_to_columnar, 1);
+    }
+
+    /// Column values read the same through either representation, without
+    /// forcing a conversion.
+    #[test]
+    fn column_values_agree_across_representations(rows in rows_strategy(30)) {
+        let rel = to_relation(&rows);
+        let row_table = Table::from_rows(rel.clone());
+        let col_table = Table::from_columns(ColumnarRelation::from_rows(&rel));
+        for name in ["a", "b", "c"] {
+            prop_assert_eq!(
+                row_table.column_values(name).unwrap(),
+                col_table.column_values(name).unwrap()
+            );
+        }
+        prop_assert_eq!(row_table.conversion_counts().total(), 0);
+        prop_assert_eq!(col_table.conversion_counts().total(), 0);
+    }
+}
+
+#[test]
+fn edge_cases_round_trip() {
+    // Empty relation.
+    let empty = Table::from_rows(Relation::from_ints(&["x", "y"], &[]));
+    assert_eq!(empty.as_columns().to_rows(), *empty.as_rows());
+    assert!(empty.is_empty());
+    // Single row.
+    let single = Table::from_rows(Relation::from_ints(&["x"], &[vec![7]]));
+    assert_eq!(
+        single.as_columns().to_rows().rows,
+        vec![vec![Value::Int(7)]]
+    );
+    // All-null column.
+    let nulls = Table::from_rows(
+        Relation::new(
+            Schema::ints(&["n"]),
+            vec![vec![Value::Null], vec![Value::Null]],
+        )
+        .unwrap(),
+    );
+    assert_eq!(nulls.as_columns().to_rows(), *nulls.as_rows());
+    // Mixed-type column.
+    let mixed = Table::from_rows(
+        Relation::new(
+            Schema::ints(&["m"]),
+            vec![
+                vec![Value::Int(1)],
+                vec![Value::Str("s".into())],
+                vec![Value::Float(0.5)],
+                vec![Value::Bool(true)],
+                vec![Value::Null],
+            ],
+        )
+        .unwrap(),
+    );
+    assert_eq!(mixed.as_columns().to_rows(), *mixed.as_rows());
+}

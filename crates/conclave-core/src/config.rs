@@ -14,6 +14,33 @@ pub enum LocalBackend {
     Parallel,
 }
 
+/// How the MPC steps of a plan are executed.
+///
+/// The default [`PartyRuntime::Simulated`] mode runs the single-process
+/// protocol engine (all shares in one struct, modeled network costs) — fast,
+/// and the differential-testing oracle. The distributed modes spawn one
+/// protocol endpoint **per computing party**, each holding only its own
+/// shares and exchanging real messages over a
+/// [`conclave_net::Transport`]; [`crate::report::RunReport::net`] then
+/// carries *measured* per-link bytes and rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartyRuntime {
+    /// Single-process protocol engine with modeled network costs (default).
+    #[default]
+    Simulated,
+    /// One thread per party over an in-process channel mesh.
+    Channel,
+    /// One thread per party over localhost TCP sockets.
+    Tcp,
+}
+
+impl PartyRuntime {
+    /// True for the modes that run real per-party protocol endpoints.
+    pub fn is_distributed(self) -> bool {
+        !matches!(self, PartyRuntime::Simulated)
+    }
+}
+
 /// Configuration of a Conclave compilation and execution.
 ///
 /// The boolean toggles correspond to the individual optimizations the paper
@@ -44,6 +71,9 @@ pub struct ConclaveConfig {
     pub cluster: ClusterSpec,
     /// MPC backend configuration.
     pub mpc: MpcBackendConfig,
+    /// How MPC plan steps execute: simulated in-process (default) or as a
+    /// real per-party mesh over a transport.
+    pub party_runtime: PartyRuntime,
 }
 
 impl ConclaveConfig {
@@ -62,6 +92,7 @@ impl ConclaveConfig {
             engine_mode: EngineMode::Row,
             cluster: ClusterSpec::paper_party_cluster(),
             mpc: MpcBackendConfig::sharemind(),
+            party_runtime: PartyRuntime::Simulated,
         }
     }
 
@@ -112,6 +143,23 @@ impl ConclaveConfig {
         self.mpc = mpc;
         self
     }
+
+    /// Returns a copy using the given party-runtime mode for MPC steps.
+    pub fn with_party_runtime(mut self, runtime: PartyRuntime) -> Self {
+        self.party_runtime = runtime;
+        self
+    }
+
+    /// Returns a copy executing MPC steps over the in-process channel mesh
+    /// (real per-party message rounds, one thread per party).
+    pub fn with_channel_runtime(self) -> Self {
+        self.with_party_runtime(PartyRuntime::Channel)
+    }
+
+    /// Returns a copy executing MPC steps over localhost TCP sockets.
+    pub fn with_tcp_runtime(self) -> Self {
+        self.with_party_runtime(PartyRuntime::Tcp)
+    }
 }
 
 impl Default for ConclaveConfig {
@@ -155,5 +203,22 @@ mod tests {
         assert_eq!(c.engine_mode, EngineMode::Columnar);
         let c = ConclaveConfig::standard().with_engine_mode(EngineMode::Row);
         assert_eq!(c.engine_mode, EngineMode::Row);
+    }
+
+    #[test]
+    fn party_runtime_modes() {
+        assert_eq!(
+            ConclaveConfig::standard().party_runtime,
+            PartyRuntime::Simulated
+        );
+        assert!(!PartyRuntime::Simulated.is_distributed());
+        let c = ConclaveConfig::standard().with_channel_runtime();
+        assert_eq!(c.party_runtime, PartyRuntime::Channel);
+        assert!(c.party_runtime.is_distributed());
+        let c = ConclaveConfig::standard().with_tcp_runtime();
+        assert_eq!(c.party_runtime, PartyRuntime::Tcp);
+        assert!(c.party_runtime.is_distributed());
+        let c = ConclaveConfig::standard().with_party_runtime(PartyRuntime::default());
+        assert_eq!(c.party_runtime, PartyRuntime::Simulated);
     }
 }

@@ -20,6 +20,7 @@
 use crate::analysis;
 use crate::config::{ConclaveConfig, LocalBackend};
 use crate::hybrid_exec;
+use crate::party_exec;
 use crate::plan::PhysicalPlan;
 use crate::report::RunReport;
 use conclave_engine::{
@@ -31,6 +32,7 @@ use conclave_ir::ops::{ExecSite, Operator};
 use conclave_ir::party::PartyId;
 use conclave_mpc::backend::{MpcEngine, MpcError};
 use conclave_mpc::oblivious;
+use conclave_net::NetStats;
 use conclave_parallel::ParallelEngine;
 use std::collections::HashMap;
 use std::fmt;
@@ -47,6 +49,9 @@ pub enum DriverError {
     Mpc(MpcError),
     /// An IR-level error.
     Ir(IrError),
+    /// A transport failure in the distributed party runtime (timeout,
+    /// disconnect, socket I/O).
+    Transport(conclave_net::TransportError),
     /// The plan would reveal data to a party that the trust analysis does not
     /// authorize — the driver refuses to execute it.
     UnauthorizedReveal {
@@ -66,6 +71,7 @@ impl fmt::Display for DriverError {
             DriverError::Engine(e) => write!(f, "cleartext engine error: {e}"),
             DriverError::Mpc(e) => write!(f, "MPC error: {e}"),
             DriverError::Ir(e) => write!(f, "IR error: {e}"),
+            DriverError::Transport(e) => write!(f, "party-runtime transport error: {e}"),
             DriverError::UnauthorizedReveal {
                 node,
                 to_party,
@@ -84,6 +90,7 @@ impl std::error::Error for DriverError {
             DriverError::Engine(e) => Some(e),
             DriverError::Mpc(e) => Some(e),
             DriverError::Ir(e) => Some(e),
+            DriverError::Transport(e) => Some(e),
             DriverError::MissingInput(_) | DriverError::UnauthorizedReveal { .. } => None,
         }
     }
@@ -265,10 +272,19 @@ impl Driver {
                     (outcome.result, Duration::ZERO)
                 }
                 (op, ExecSite::Mpc) => {
-                    let (table, stats) = self.run_mpc_op(plan, id, op, &input_tables)?;
+                    let (table, stats, measured) = self.run_mpc_op(plan, id, op, &input_tables)?;
                     report.mpc_time += stats.simulated_time;
-                    report.network_bytes += stats.counts.bytes();
                     report.mpc_stats.merge(&stats);
+                    match measured {
+                        // Distributed party runtime: account the *observed*
+                        // wire traffic (rounds across sequential steps add).
+                        Some(net) => {
+                            report.network_bytes += net.total_bytes();
+                            report.net.merge(&net);
+                            report.net_measured = true;
+                        }
+                        None => report.network_bytes += stats.counts.bytes(),
+                    }
                     (table, stats.simulated_time)
                 }
                 (op, ExecSite::Local(party)) | (op, ExecSite::Stp(party)) => {
@@ -394,18 +410,40 @@ impl Driver {
         Ok((table, time))
     }
 
+    /// Whether this MPC aggregation's input is already sorted by its group-by
+    /// key, so the oblivious sort can be skipped (§5.4 sort elimination).
+    fn aggregate_is_presorted(
+        &self,
+        plan: &PhysicalPlan,
+        id: NodeId,
+        op: &Operator,
+    ) -> Result<bool, DriverError> {
+        if let Operator::Aggregate { group_by, .. } = op {
+            if self.config.use_sort_elimination && self.mpc.config().kind.is_secret_sharing() {
+                if let Some(key) = group_by.first() {
+                    let input_node = plan.dag.node(id)?.inputs[0];
+                    return Ok(
+                        plan.dag.node(input_node)?.sorted_by.as_deref() == Some(key.as_str())
+                    );
+                }
+            }
+        }
+        Ok(false)
+    }
+
     fn run_mpc_op(
         &mut self,
         plan: &PhysicalPlan,
         id: NodeId,
         op: &Operator,
         inputs: &[&Table],
-    ) -> Result<(Table, conclave_mpc::backend::MpcStepStats), DriverError> {
+    ) -> Result<(Table, conclave_mpc::backend::MpcStepStats, Option<NetStats>), DriverError> {
         // Division under MPC: Sharemind supports fixed-point division, but our
         // secret-sharing layer stays integer-only. The result is computed by
         // the simulator while the cost of an oblivious division protocol
         // (roughly thirty comparison-equivalents per row) is charged, so the
         // "whole query under MPC" baselines of Figures 4 and 6 remain runnable.
+        // This holds in every party-runtime mode.
         if matches!(op, Operator::Divide { .. }) && self.mpc.config().kind.is_secret_sharing() {
             let rows: Vec<&Relation> = inputs.iter().map(|t| t.as_rows()).collect();
             let rel = execute(op, &rows).map_err(DriverError::Engine)?;
@@ -424,46 +462,69 @@ impl Driver {
                 output_rows: rel.num_rows() as u64,
                 ..Default::default()
             };
-            return Ok((Table::from_rows(rel), stats));
+            return Ok((Table::from_rows(rel), stats, None));
+        }
+        let presorted = self.aggregate_is_presorted(plan, id, op)?;
+        // Distributed party runtime: run the step as a real multi-party
+        // protocol (one endpoint per party, observed traffic) instead of the
+        // in-process simulation. Hybrid operators never reach here — they
+        // are orchestrated by the driver itself.
+        if self.config.party_runtime.is_distributed() && self.mpc.config().kind.is_secret_sharing()
+        {
+            // A per-step seed keeps repeated runs deterministic while giving
+            // every step an independent common-randomness stream.
+            let seed = self
+                .config
+                .mpc
+                .seed
+                .wrapping_add((id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let outcome = party_exec::execute_op_distributed(
+                op,
+                inputs,
+                self.mpc.config().kind.parties(),
+                seed,
+                self.config.party_runtime,
+                presorted,
+            )?;
+            let input_rows: u64 = inputs.iter().map(|t| t.num_rows() as u64).sum();
+            let stats = self.mpc.stats_from_counts(
+                outcome.counts,
+                input_rows,
+                outcome.relation.num_rows() as u64,
+            );
+            return Ok((Table::from_rows(outcome.relation), stats, Some(outcome.net)));
         }
         // Sort-elimination pay-off: an MPC aggregation whose input is already
         // sorted by its group-by key skips the oblivious sort (§5.4).
-        if let Operator::Aggregate {
-            group_by,
-            func,
-            over,
-            out,
-        } = op
-        {
-            if self.config.use_sort_elimination && self.mpc.config().kind.is_secret_sharing() {
-                if let Some(key) = group_by.first() {
-                    let input_node = plan.dag.node(id)?.inputs[0];
-                    let pre_sorted =
-                        plan.dag.node(input_node)?.sorted_by.as_deref() == Some(key.as_str());
-                    if pre_sorted {
-                        self.mpc.protocol().reset_counts();
-                        let shared = self.mpc.share_table(inputs[0])?;
-                        let aggregated = oblivious::aggregate_sorted(
-                            &shared,
-                            group_by,
-                            *func,
-                            over.as_deref(),
-                            out,
-                            self.mpc.protocol(),
-                        )
-                        .map_err(MpcError::Exec)?;
-                        let rel = self.mpc.reconstruct(&aggregated);
-                        let stats = self
-                            .mpc
-                            .drain_stats(inputs[0].num_rows() as u64, rel.num_rows() as u64);
-                        return Ok((Table::from_rows(rel), stats));
-                    }
-                }
+        if presorted {
+            if let Operator::Aggregate {
+                group_by,
+                func,
+                over,
+                out,
+            } = op
+            {
+                self.mpc.protocol().reset_counts();
+                let shared = self.mpc.share_table(inputs[0])?;
+                let aggregated = oblivious::aggregate_sorted(
+                    &shared,
+                    group_by,
+                    *func,
+                    over.as_deref(),
+                    out,
+                    self.mpc.protocol(),
+                )
+                .map_err(MpcError::Exec)?;
+                let rel = self.mpc.reconstruct(&aggregated);
+                let stats = self
+                    .mpc
+                    .drain_stats(inputs[0].num_rows() as u64, rel.num_rows() as u64);
+                return Ok((Table::from_rows(rel), stats, None));
             }
         }
         self.mpc
             .execute_op_tables(op, inputs)
-            .map(|(rel, stats)| (Table::from_rows(rel), stats))
+            .map(|(rel, stats)| (Table::from_rows(rel), stats, None))
             .map_err(DriverError::from)
     }
 }
@@ -697,6 +758,39 @@ mod tests {
         match driver.run(&plan, &credit_inputs()) {
             Err(DriverError::UnauthorizedReveal { to_party, .. }) => assert_eq!(to_party, 2),
             other => panic!("expected UnauthorizedReveal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn distributed_party_runtime_matches_the_simulated_oracle_end_to_end() {
+        use crate::config::PartyRuntime;
+        let query = market_query();
+        let inputs = market_inputs();
+        // Oracle: the default simulated in-process path.
+        let plan = compile(&query, &ConclaveConfig::mpc_only()).unwrap();
+        let mut oracle = Driver::new(ConclaveConfig::mpc_only().with_sequential_local());
+        let expected = oracle.run(&plan, &inputs).unwrap();
+        assert!(!expected.net_measured);
+        assert_eq!(expected.net.total_bytes(), 0);
+        for runtime in [PartyRuntime::Channel, PartyRuntime::Tcp] {
+            let config = ConclaveConfig::mpc_only()
+                .with_sequential_local()
+                .with_party_runtime(runtime);
+            let plan = compile(&query, &config).unwrap();
+            let mut driver = Driver::new(config);
+            let report = driver.run(&plan, &inputs).unwrap();
+            let out = report.output_for(1).unwrap();
+            assert!(
+                out.same_rows_unordered(expected.output_for(1).unwrap()),
+                "{runtime:?} runtime diverged from the oracle:\n{out}"
+            );
+            assert!(report.net_measured, "{runtime:?} must measure traffic");
+            assert!(report.net.total_bytes() > 0);
+            assert!(report.net.rounds > 0);
+            assert_eq!(report.network_bytes, report.net.total_bytes());
+            let shown = report.to_string();
+            assert!(shown.contains("measured"));
+            assert!(shown.contains("link P0 -> P1"));
         }
     }
 

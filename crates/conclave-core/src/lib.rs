@@ -21,6 +21,14 @@
 //!    substrates (`conclave-mpc`) and reports results, simulated runtime and
 //!    a leakage audit ([`report`]).
 //!
+//! MPC plan steps run in one of two modes, selected by
+//! [`config::ConclaveConfig::party_runtime`]: the default *simulated* mode
+//! (single-process protocol engine, modeled network costs) or the
+//! *distributed party runtime* ([`party_exec`]), which spawns one protocol
+//! endpoint per computing party over a real
+//! [`Transport`](conclave_net::Transport) and records measured per-link
+//! traffic in [`report::RunReport::net`].
+//!
 //! For paper-scale inputs that cannot be materialized, [`cardinality`]
 //! propagates row counts through the compiled plan and converts them into
 //! simulated runtimes using the same cost models the driver charges.
@@ -31,6 +39,7 @@ pub mod codegen;
 pub mod config;
 pub mod driver;
 pub mod hybrid_exec;
+pub mod party_exec;
 pub mod passes;
 pub mod plan;
 pub mod report;
@@ -38,7 +47,7 @@ pub mod session;
 
 pub use analysis::{propagate_ownership, propagate_trust};
 pub use cardinality::{CardinalityEstimator, RuntimeEstimate, WorkloadStats};
-pub use config::ConclaveConfig;
+pub use config::{ConclaveConfig, PartyRuntime};
 pub use driver::Driver;
 pub use plan::{compile, CompileError, CompileResult, PhysicalPlan};
 pub use report::RunReport;

@@ -1,0 +1,229 @@
+//! Distributed execution of MPC plan steps: one thread per computing party.
+//!
+//! When [`crate::config::ConclaveConfig::party_runtime`] selects a
+//! distributed mode, the driver routes every secret-sharing MPC step here
+//! instead of into the in-process engine. For each step this module
+//!
+//! 1. builds a transport mesh ([`ChannelTransport`] or a localhost
+//!    [`TcpTransport`] mesh, per the configured [`PartyRuntime`]),
+//! 2. spawns one thread per computing party, each constructing a
+//!    [`PartyProtocol`] endpoint that holds **only that party's shares**,
+//! 3. has the input-owning parties secret-share their relations in, runs the
+//!    operator through real message rounds
+//!    ([`conclave_mpc::runtime::execute_party_op`]), and opens the result,
+//! 4. verifies that every party opened the *identical* relation (a built-in
+//!    consistency check of the share arithmetic), and
+//! 5. merges the per-endpoint [`NetStats`] into one measured per-link
+//!    byte/round picture for [`crate::report::RunReport::net`].
+//!
+//! The in-process [`conclave_mpc::Protocol`] path remains the default and the
+//! differential-testing oracle: a transport-executed step must reveal
+//! cell-identical results.
+
+use crate::config::PartyRuntime;
+use crate::driver::DriverError;
+use conclave_engine::{Relation, Table};
+use conclave_ir::ops::Operator;
+use conclave_mpc::cost::PrimitiveCounts;
+use conclave_mpc::runtime::{
+    execute_party_op, open_relation, share_relation, PartyError, PartyProtocol,
+};
+use conclave_mpc::MpcError;
+use conclave_net::{merge_mesh_stats, ChannelTransport, NetStats, TcpTransport, Transport};
+
+/// Outcome of one distributed MPC step: the opened result, the primitive
+/// counts every party tallied, and the merged *measured* traffic.
+#[derive(Debug, Clone)]
+pub struct DistributedOutcome {
+    /// The opened (revealed) result relation.
+    pub relation: Relation,
+    /// Primitive counts of the step (identical on every party).
+    pub counts: PrimitiveCounts,
+    /// Observed per-link bytes/messages and synchronous rounds.
+    pub net: NetStats,
+}
+
+/// Executes one relational operator as a real multi-party protocol.
+///
+/// `parties` is the computing-party count of the configured backend, `seed`
+/// must be unique per plan step (it drives the mesh's common randomness), and
+/// `presorted_aggregate` mirrors the driver's §5.4 sort-elimination shortcut.
+pub fn execute_op_distributed(
+    op: &Operator,
+    inputs: &[&Table],
+    parties: u32,
+    seed: u64,
+    runtime: PartyRuntime,
+    presorted_aggregate: bool,
+) -> Result<DistributedOutcome, DriverError> {
+    let input_rels: Vec<&Relation> = inputs.iter().map(|t| t.as_rows()).collect();
+    match runtime {
+        PartyRuntime::Simulated => Err(DriverError::Mpc(MpcError::Exec(
+            "execute_op_distributed called in simulated mode".into(),
+        ))),
+        PartyRuntime::Channel => {
+            let mesh = ChannelTransport::mesh(parties);
+            run_mesh(mesh, op, &input_rels, seed, presorted_aggregate)
+        }
+        PartyRuntime::Tcp => {
+            let mesh = TcpTransport::localhost_mesh(parties).map_err(DriverError::Transport)?;
+            run_mesh(mesh, op, &input_rels, seed, presorted_aggregate)
+        }
+    }
+}
+
+/// The per-party program: share every input (owner `i % parties` holds input
+/// `i`), execute the operator, open the result.
+fn run_party(
+    transport: &dyn Transport,
+    op: &Operator,
+    inputs: &[&Relation],
+    seed: u64,
+    presorted_aggregate: bool,
+) -> Result<(Relation, PrimitiveCounts), PartyError> {
+    let mut proto = PartyProtocol::new(transport, seed);
+    let parties = proto.parties();
+    let mut shared = Vec::with_capacity(inputs.len());
+    for (i, rel) in inputs.iter().enumerate() {
+        let owner = (i as u32) % parties;
+        let cleartext = (proto.party() == owner).then_some(*rel);
+        shared.push(share_relation(
+            &mut proto,
+            owner,
+            cleartext,
+            &rel.schema,
+            rel.num_rows(),
+        )?);
+    }
+    let refs: Vec<&conclave_mpc::PartyRelation> = shared.iter().collect();
+    let result = execute_party_op(&mut proto, op, &refs, presorted_aggregate)?;
+    let opened = open_relation(&mut proto, &result)?;
+    Ok((opened, proto.counts()))
+}
+
+fn run_mesh<T: Transport>(
+    mesh: Vec<T>,
+    op: &Operator,
+    inputs: &[&Relation],
+    seed: u64,
+    presorted_aggregate: bool,
+) -> Result<DistributedOutcome, DriverError> {
+    type PartyReturn = (Result<(Relation, PrimitiveCounts), PartyError>, NetStats);
+    let outcomes: Vec<PartyReturn> = std::thread::scope(|s| {
+        let handles: Vec<_> = mesh
+            .into_iter()
+            .map(|transport| {
+                s.spawn(move || {
+                    let result = run_party(&transport, op, inputs, seed, presorted_aggregate);
+                    (result, transport.stats())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("party thread panicked"))
+            .collect()
+    });
+    let net = merge_mesh_stats(outcomes.iter().map(|(_, stats)| stats.clone()));
+    let mut opened: Option<(Relation, PrimitiveCounts)> = None;
+    for (result, _) in outcomes {
+        let (relation, counts) = result.map_err(party_to_driver_error)?;
+        match &opened {
+            None => opened = Some((relation, counts)),
+            Some((first, _)) => {
+                if first != &relation {
+                    return Err(DriverError::Mpc(MpcError::Exec(
+                        "parties opened divergent results from one MPC step".into(),
+                    )));
+                }
+            }
+        }
+    }
+    let (relation, counts) = opened.expect("mesh has at least two parties");
+    Ok(DistributedOutcome {
+        relation,
+        counts,
+        net,
+    })
+}
+
+fn party_to_driver_error(e: PartyError) -> DriverError {
+    match e {
+        PartyError::Net(t) => DriverError::Transport(t),
+        PartyError::Proto(s) => DriverError::Mpc(MpcError::Exec(s)),
+        PartyError::Unsupported(s) => DriverError::Mpc(MpcError::Unsupported(s)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conclave_ir::ops::AggFunc;
+    use conclave_mpc::backend::{MpcBackendConfig, MpcEngine};
+
+    fn sales_table() -> Table {
+        Table::from_rows(Relation::from_ints(
+            &["companyID", "price"],
+            &[vec![1, 10], vec![2, 5], vec![1, 20], vec![3, 7], vec![2, 5]],
+        ))
+    }
+
+    #[test]
+    fn channel_step_matches_the_inprocess_oracle() {
+        let table = sales_table();
+        let op = Operator::Aggregate {
+            group_by: vec!["companyID".into()],
+            func: AggFunc::Sum,
+            over: Some("price".into()),
+            out: "rev".into(),
+        };
+        let mut oracle = MpcEngine::new(MpcBackendConfig::sharemind());
+        let (expected, _) = oracle.execute_op(&op, &[table.as_rows()]).unwrap();
+        let outcome =
+            execute_op_distributed(&op, &[&table], 3, 42, PartyRuntime::Channel, false).unwrap();
+        assert!(outcome.relation.same_rows_unordered(&expected));
+        assert!(outcome.net.total_bytes() > 0, "bytes must be measured");
+        assert!(outcome.net.rounds > 0, "rounds must be measured");
+        assert!(outcome.counts.nonlinear_ops() > 0);
+    }
+
+    #[test]
+    fn tcp_step_matches_the_channel_step() {
+        let table = sales_table();
+        let op = Operator::SortBy {
+            column: "price".into(),
+            ascending: true,
+        };
+        let chan =
+            execute_op_distributed(&op, &[&table], 3, 7, PartyRuntime::Channel, false).unwrap();
+        let tcp = execute_op_distributed(&op, &[&table], 3, 7, PartyRuntime::Tcp, false).unwrap();
+        assert_eq!(chan.relation.rows, tcp.relation.rows);
+        // Equal payload flow, different framing is allowed; both measured.
+        assert!(tcp.net.total_bytes() > 0);
+        assert_eq!(chan.net.rounds, tcp.net.rounds);
+    }
+
+    #[test]
+    fn simulated_mode_is_rejected_here() {
+        let table = sales_table();
+        let op = Operator::Shuffle;
+        assert!(matches!(
+            execute_op_distributed(&op, &[&table], 3, 1, PartyRuntime::Simulated, false),
+            Err(DriverError::Mpc(MpcError::Exec(_)))
+        ));
+    }
+
+    #[test]
+    fn unsupported_operators_surface_as_mpc_unsupported() {
+        let table = sales_table();
+        let op = Operator::Divide {
+            out: "x".into(),
+            num: conclave_ir::ops::Operand::col("price"),
+            den: conclave_ir::ops::Operand::lit(2),
+        };
+        assert!(matches!(
+            execute_op_distributed(&op, &[&table], 3, 1, PartyRuntime::Channel, false),
+            Err(DriverError::Mpc(MpcError::Unsupported(_)))
+        ));
+    }
+}

@@ -4,6 +4,7 @@ use conclave_engine::{ConversionCounts, Relation};
 use conclave_ir::ops::ExecSite;
 use conclave_ir::party::PartyId;
 use conclave_mpc::backend::MpcStepStats;
+use conclave_net::NetStats;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::time::Duration;
@@ -35,8 +36,22 @@ pub struct RunReport {
     pub mpc_time: Duration,
     /// Simulated time spent in STP cleartext steps of hybrid protocols.
     pub stp_time: Duration,
-    /// Total simulated data moved between parties, in bytes.
+    /// Total data moved between parties, in bytes. Modeled from primitive
+    /// counts in simulated mode. When the distributed party runtime executed
+    /// the MPC steps, their contribution is the *observed* wire-byte total
+    /// instead — but driver-orchestrated hybrid protocols and the simulated
+    /// division path still contribute modeled bytes, so on plans containing
+    /// those this total mixes both accountings (the purely-measured portion
+    /// is always available as [`RunReport::net`]`.total_bytes()`).
     pub network_bytes: u64,
+    /// Per-link traffic of the distributed MPC steps. Empty in simulated
+    /// mode; when [`RunReport::net_measured`] is set, these are **measured**
+    /// per-link byte/message counts and synchronous round totals observed on
+    /// the party transports — not cost-model output.
+    pub net: NetStats,
+    /// True when [`RunReport::net`] holds measured transport statistics
+    /// (i.e. MPC steps ran on the distributed party runtime).
+    pub net_measured: bool,
     /// Aggregated MPC statistics (primitive counts, gates, memory).
     pub mpc_stats: MpcStepStats,
     /// Leakage audit log.
@@ -94,6 +109,22 @@ impl fmt::Display for RunReport {
         writeln!(f, "  MPC: {:.2} s", self.mpc_time.as_secs_f64())?;
         writeln!(f, "  STP: {:.2} s", self.stp_time.as_secs_f64())?;
         writeln!(f, "network bytes: {}", self.network_bytes)?;
+        if self.net_measured {
+            writeln!(
+                f,
+                "measured MPC traffic: {} B over {} messages in {} rounds",
+                self.net.total_bytes(),
+                self.net.total_messages(),
+                self.net.rounds
+            )?;
+            for ((from, to), link) in &self.net.links {
+                writeln!(
+                    f,
+                    "  link P{from} -> P{to}: {} B in {} messages",
+                    link.bytes, link.messages
+                )?;
+            }
+        }
         writeln!(
             f,
             "data-plane conversions: {} row->columnar, {} columnar->row",

@@ -786,7 +786,11 @@ impl MpcEngine {
         }
     }
 
-    fn stats_from_counts(
+    /// Builds step statistics from primitive counts. Also the entry point
+    /// for externally-measured counts: the distributed party runtime
+    /// executes operators itself and reports its counters here so
+    /// simulated-time accounting stays uniform across both modes.
+    pub fn stats_from_counts(
         &self,
         counts: PrimitiveCounts,
         input_rows: u64,

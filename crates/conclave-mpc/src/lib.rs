@@ -23,6 +23,12 @@
 //! * [`backend`] — a unified engine that executes IR operators under a chosen
 //!   backend over cleartext inputs, returning the result relation together
 //!   with simulated runtime and traffic statistics.
+//! * [`runtime`] — the **distributed party runtime**: a per-party
+//!   [`runtime::PartyProtocol`] that owns only its local shares and drives
+//!   open/multiply/comparisons and the oblivious relational operators through
+//!   real [`conclave_net::Transport`] message rounds, recording observed (not
+//!   modeled) traffic. The in-process [`Protocol`] remains the fast path and
+//!   the differential-testing oracle for it.
 
 pub mod backend;
 pub mod cost;
@@ -31,6 +37,7 @@ pub mod oblivious;
 pub mod protocol;
 pub mod relation;
 pub mod ring;
+pub mod runtime;
 pub mod share;
 pub mod triples;
 
@@ -39,4 +46,5 @@ pub use cost::{GarbledCostModel, PrimitiveCounts, SecretShareCostModel};
 pub use protocol::Protocol;
 pub use relation::SharedRelation;
 pub use ring::RingElem;
+pub use runtime::{PartyError, PartyProtocol, PartyRelation, PartyResult};
 pub use share::Shares;

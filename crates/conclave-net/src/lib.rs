@@ -1,18 +1,31 @@
-//! Simulated multi-party network.
+//! Multi-party networking: a [`Transport`] abstraction with real and
+//! simulated implementations.
 //!
 //! MPC performance is dominated by communication: secret-sharing protocols
 //! pay a network round per batch of multiplications, and garbled circuits
-//! ship large wire-label state. The paper ran its parties on separate VMs;
-//! here, the MPC backends run in-process and account their communication
-//! through this crate, which converts message counts, bytes and rounds into
-//! simulated elapsed time using a configurable latency/bandwidth model.
+//! ship large wire-label state. This crate provides both ways of accounting
+//! for that:
+//!
+//! * the [`Transport`] trait ([`transport`]) moves typed [`Envelope`]s
+//!   between parties for real — over an in-process channel mesh
+//!   ([`ChannelTransport`]) or TCP sockets ([`TcpTransport`]) — recording
+//!   *observed* per-link bytes and rounds into [`NetStats`]; and
+//! * [`SimNetwork`] ([`sim`]) converts message counts, bytes and rounds into
+//!   simulated elapsed time using a configurable latency/bandwidth
+//!   [`NetworkModel`]. It implements [`Transport`] too (with in-memory
+//!   loopback queues), so the cost-model path and the measured path share
+//!   one interface.
 
 pub mod message;
 pub mod model;
 pub mod sim;
 pub mod stats;
+pub mod transport;
 
 pub use message::{Message, MessageKind};
 pub use model::NetworkModel;
 pub use sim::SimNetwork;
 pub use stats::{LinkStats, NetStats};
+pub use transport::{
+    merge_mesh_stats, ChannelTransport, Envelope, TcpTransport, Transport, TransportError,
+};

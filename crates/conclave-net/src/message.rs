@@ -18,6 +18,29 @@ pub enum MessageKind {
     Control,
 }
 
+impl MessageKind {
+    /// Stable one-byte wire code used by the TCP transport framing.
+    pub fn code(self) -> u8 {
+        match self {
+            MessageKind::SecretShare => 0,
+            MessageKind::Reveal => 1,
+            MessageKind::Cleartext => 2,
+            MessageKind::Control => 3,
+        }
+    }
+
+    /// Decodes a wire code produced by [`MessageKind::code`].
+    pub fn from_code(code: u8) -> Option<MessageKind> {
+        match code {
+            0 => Some(MessageKind::SecretShare),
+            1 => Some(MessageKind::Reveal),
+            2 => Some(MessageKind::Cleartext),
+            3 => Some(MessageKind::Control),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for MessageKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -94,5 +117,18 @@ mod tests {
         assert_eq!(MessageKind::SecretShare.to_string(), "share");
         assert_eq!(MessageKind::Cleartext.to_string(), "cleartext");
         assert_eq!(MessageKind::Control.to_string(), "control");
+    }
+
+    #[test]
+    fn kind_codes_round_trip() {
+        for kind in [
+            MessageKind::SecretShare,
+            MessageKind::Reveal,
+            MessageKind::Cleartext,
+            MessageKind::Control,
+        ] {
+            assert_eq!(MessageKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(MessageKind::from_code(200), None);
     }
 }

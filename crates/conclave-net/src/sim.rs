@@ -1,11 +1,21 @@
 //! The simulated network shared by all MPC endpoints of one computation.
+//!
+//! [`SimNetwork`] converts message counts, bytes and rounds into simulated
+//! elapsed time via a [`NetworkModel`]. It also implements the [`Transport`]
+//! trait (backed by in-memory loopback queues), so protocol code written
+//! against `&dyn Transport` can run over the cost model and over the real
+//! channel/TCP meshes through one interface: obtain per-party endpoints with
+//! [`SimNetwork::endpoint`].
 
 use crate::message::{Message, MessageKind};
 use crate::model::NetworkModel;
 use crate::stats::NetStats;
+use crate::transport::{Envelope, Transport, TransportError, DEFAULT_RECV_TIMEOUT};
 use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A thread-safe, shared simulated network.
 ///
@@ -17,6 +27,10 @@ pub struct SimNetwork {
     inner: Arc<Mutex<Inner>>,
     model: NetworkModel,
     trace_limit: usize,
+    /// Party id this handle speaks as when used through [`Transport`].
+    local_party: u32,
+    /// Mesh size when used through [`Transport`] (0 = not an endpoint).
+    num_parties: u32,
 }
 
 #[derive(Debug, Default)]
@@ -24,6 +38,9 @@ struct Inner {
     stats: NetStats,
     elapsed: Duration,
     trace: Vec<Message>,
+    /// Loopback payload queues keyed by `(from, to)`, for the
+    /// [`Transport`] implementation.
+    queues: BTreeMap<(u32, u32), VecDeque<Envelope>>,
 }
 
 impl SimNetwork {
@@ -34,12 +51,28 @@ impl SimNetwork {
             inner: Arc::new(Mutex::new(Inner::default())),
             model,
             trace_limit: 10_000,
+            local_party: 0,
+            num_parties: 0,
         }
     }
 
     /// Creates a LAN network (the default deployment in the paper).
     pub fn lan() -> Self {
         SimNetwork::new(NetworkModel::lan())
+    }
+
+    /// Returns a handle bound to a party identity, usable as a
+    /// [`Transport`] endpoint in an `n`-party mesh. All endpoints share this
+    /// network's counters, simulated clock and loopback queues.
+    pub fn endpoint(&self, party: u32, parties: u32) -> SimNetwork {
+        assert!(party < parties, "endpoint party id out of range");
+        SimNetwork {
+            inner: self.inner.clone(),
+            model: self.model,
+            trace_limit: self.trace_limit,
+            local_party: party,
+            num_parties: parties,
+        }
     }
 
     /// The network model in use.
@@ -143,6 +176,81 @@ impl Default for SimNetwork {
     }
 }
 
+/// [`SimNetwork`] as a [`Transport`]: sends are charged to the cost model
+/// *and* enqueued on an in-memory loopback queue, so protocol code written
+/// against `&dyn Transport` runs unchanged over the simulator — with modeled
+/// elapsed time instead of wall-clock network time. Endpoints must be
+/// created with [`SimNetwork::endpoint`].
+impl Transport for SimNetwork {
+    fn party(&self) -> u32 {
+        self.local_party
+    }
+
+    fn parties(&self) -> u32 {
+        self.num_parties
+    }
+
+    fn send_to(
+        &self,
+        to: u32,
+        kind: MessageKind,
+        label: &str,
+        payload: &[u64],
+    ) -> Result<(), TransportError> {
+        if self.num_parties == 0 || to >= self.num_parties || to == self.local_party {
+            return Err(TransportError::InvalidPeer { party: to });
+        }
+        let env = Envelope::new(self.local_party, kind, label, payload.to_vec());
+        // Charge the cost model exactly as the in-process accounting path
+        // does, then deliver the payload for real.
+        self.send(self.local_party, to, env.wire_bytes(), kind, label);
+        self.inner
+            .lock()
+            .queues
+            .entry((self.local_party, to))
+            .or_default()
+            .push_back(env);
+        Ok(())
+    }
+
+    fn recv_from(&self, from: u32) -> Result<Envelope, TransportError> {
+        if self.num_parties == 0 || from >= self.num_parties || from == self.local_party {
+            return Err(TransportError::InvalidPeer { party: from });
+        }
+        let deadline = Instant::now() + DEFAULT_RECV_TIMEOUT;
+        loop {
+            {
+                let mut inner = self.inner.lock();
+                if let Some(env) = inner
+                    .queues
+                    .get_mut(&(from, self.local_party))
+                    .and_then(VecDeque::pop_front)
+                {
+                    return Ok(env);
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(TransportError::Timeout { from });
+            }
+            // Back off briefly between polls so blocked endpoints don't pin
+            // a core for the whole timeout window.
+            std::thread::sleep(Duration::from_micros(50));
+        }
+    }
+
+    fn record_round(&self) {
+        let mut inner = self.inner.lock();
+        inner.stats.record_rounds(1);
+        // One synchronous round costs one latency beat in the model.
+        let t = self.model.round_time(1, 0);
+        inner.elapsed += t;
+    }
+
+    fn stats(&self) -> NetStats {
+        SimNetwork::stats(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,5 +303,43 @@ mod tests {
     fn model_accessor() {
         let net = SimNetwork::new(NetworkModel::wan());
         assert_eq!(net.model(), NetworkModel::wan());
+    }
+
+    #[test]
+    fn sim_network_acts_as_a_transport_endpoint() {
+        let net = SimNetwork::lan();
+        let a = net.endpoint(0, 2);
+        let b = net.endpoint(1, 2);
+        a.send_to(1, MessageKind::SecretShare, "shares", &[5, 6])
+            .unwrap();
+        let env = b.recv_from(0).unwrap();
+        assert_eq!(env.payload, vec![5, 6]);
+        assert_eq!(env.from, 0);
+        // The cost model was charged for the delivered bytes...
+        assert!(net.elapsed() > Duration::ZERO);
+        assert_eq!(net.stats().total_messages(), 1);
+        // ...and rounds advance the simulated clock by a latency beat.
+        let before = net.elapsed();
+        Transport::record_round(&b);
+        assert_eq!(net.stats().rounds, 1);
+        assert!(net.elapsed() > before);
+        // Endpoint misuse is rejected.
+        assert!(a.send_to(0, MessageKind::Control, "", &[]).is_err());
+        assert!(a.recv_from(2).is_err());
+        // A non-endpoint handle refuses transport sends.
+        assert!(net.send_to(1, MessageKind::Control, "", &[]).is_err());
+    }
+
+    #[test]
+    fn sim_transport_send_all_and_cross_thread_delivery() {
+        let net = SimNetwork::lan();
+        let endpoints: Vec<SimNetwork> = (0..3).map(|p| net.endpoint(p, 3)).collect();
+        let [e0, e1, e2]: [SimNetwork; 3] = endpoints.try_into().ok().unwrap();
+        std::thread::scope(|s| {
+            s.spawn(|| e0.send_all(MessageKind::Control, "go", &[1]).unwrap());
+            s.spawn(|| assert_eq!(e1.recv_from(0).unwrap().payload, vec![1]));
+            s.spawn(|| assert_eq!(e2.recv_from(0).unwrap().payload, vec![1]));
+        });
+        assert_eq!(net.stats().total_messages(), 2);
     }
 }

@@ -1,0 +1,684 @@
+//! The [`Transport`] abstraction: typed per-party message exchange.
+//!
+//! The extended Conclave TR treats per-party message exchange as *the*
+//! defining cost of MPC, so the real execution path needs parties that hold
+//! only their own shares and communicate explicitly. This module provides the
+//! interface those parties program against — [`Transport::send_to`],
+//! [`Transport::recv_from`] and [`Transport::send_all`] of typed
+//! [`Envelope`]s — together with two genuine implementations:
+//!
+//! * [`ChannelTransport`] — an in-process full mesh of unbounded channels,
+//!   one thread per party, for fast local multi-party runs and tests; and
+//! * [`TcpTransport`] — length-prefixed frames over `std::net` TCP sockets,
+//!   for real multi-process deployments (or multi-thread over localhost).
+//!
+//! [`crate::SimNetwork`] implements the same trait, so the latency/bandwidth
+//! *cost-model* path and the *measured* path share one interface: MPC code
+//! written against `&dyn Transport` runs unchanged over either.
+//!
+//! Every transport records the traffic it **sends** into a [`NetStats`]
+//! (observed wire bytes, not modeled ones); merging the per-party snapshots
+//! after a run yields the full per-link picture.
+
+use crate::message::MessageKind;
+use crate::stats::NetStats;
+use parking_lot::Mutex;
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+/// Fixed per-frame overhead charged on every message: 4 bytes sender id,
+/// 1 byte kind, 2 bytes label length, 4 bytes payload length.
+pub const FRAME_HEADER_BYTES: u64 = 11;
+
+/// Default bound on blocking receives: a peer that stays silent this long is
+/// assumed dead, so a failed party cannot hang the whole mesh.
+pub const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Upper bound on a single frame's payload length in 64-bit words (128 MiB).
+/// A length above this is treated as a corrupt/desynchronized stream rather
+/// than an allocation request.
+pub const MAX_FRAME_WORDS: usize = 1 << 24;
+
+/// One typed message as it crosses a transport: sender, payload kind, a
+/// protocol-step label for tracing, and the raw `Z_{2^64}` payload words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sending party id.
+    pub from: u32,
+    /// What the payload semantically is (shares, reveal, control…).
+    pub kind: MessageKind,
+    /// Free-form protocol-step label (for tracing and debugging).
+    pub label: String,
+    /// Payload: ring elements / masked values as raw 64-bit words.
+    pub payload: Vec<u64>,
+}
+
+impl Envelope {
+    /// Creates an envelope.
+    pub fn new(from: u32, kind: MessageKind, label: impl Into<String>, payload: Vec<u64>) -> Self {
+        Envelope {
+            from,
+            kind,
+            label: label.into(),
+            payload,
+        }
+    }
+
+    /// Bytes this envelope occupies on the wire (header + label + payload).
+    pub fn wire_bytes(&self) -> u64 {
+        FRAME_HEADER_BYTES + self.label.len() as u64 + 8 * self.payload.len() as u64
+    }
+}
+
+/// Errors raised by transport operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The target/source party id is not part of this mesh (or is self).
+    InvalidPeer {
+        /// The offending party id.
+        party: u32,
+    },
+    /// No message arrived from `from` within the receive timeout.
+    Timeout {
+        /// The party that stayed silent.
+        from: u32,
+    },
+    /// The link to/from `party` is closed (peer dropped or socket shut down).
+    Disconnected {
+        /// The unreachable party.
+        party: u32,
+    },
+    /// An I/O or framing failure (TCP transport).
+    Io(String),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::InvalidPeer { party } => {
+                write!(f, "party P{party} is not a valid peer on this transport")
+            }
+            TransportError::Timeout { from } => {
+                write!(f, "timed out waiting for a message from P{from}")
+            }
+            TransportError::Disconnected { party } => {
+                write!(f, "link to P{party} is disconnected")
+            }
+            TransportError::Io(e) => write!(f, "transport I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        TransportError::Io(e.to_string())
+    }
+}
+
+/// Typed message exchange between the parties of one multi-party computation.
+///
+/// A `Transport` value is **one party's endpoint** into the mesh: it knows its
+/// own id, the total party count, and how to reach every peer. Protocol code
+/// holds a `&dyn Transport` and stays agnostic of whether messages move over
+/// in-process channels, TCP sockets, or the simulated cost-model network.
+pub trait Transport: Send {
+    /// This endpoint's party id (`0..parties`).
+    fn party(&self) -> u32;
+
+    /// Total number of parties in the mesh.
+    fn parties(&self) -> u32;
+
+    /// Sends a typed payload to one peer.
+    fn send_to(
+        &self,
+        to: u32,
+        kind: MessageKind,
+        label: &str,
+        payload: &[u64],
+    ) -> Result<(), TransportError>;
+
+    /// Receives the next message from one peer (blocking, bounded by the
+    /// transport's receive timeout). Messages on one link arrive in order.
+    fn recv_from(&self, from: u32) -> Result<Envelope, TransportError>;
+
+    /// Records one synchronous protocol round in this endpoint's statistics.
+    fn record_round(&self);
+
+    /// Snapshot of the traffic this endpoint has sent (and rounds recorded).
+    fn stats(&self) -> NetStats;
+
+    /// Sends the same payload to every other party.
+    fn send_all(
+        &self,
+        kind: MessageKind,
+        label: &str,
+        payload: &[u64],
+    ) -> Result<(), TransportError> {
+        for p in 0..self.parties() {
+            if p != self.party() {
+                self.send_to(p, kind, label, payload)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-process channel transport.
+// ---------------------------------------------------------------------------
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+/// In-process transport: a full mesh of unbounded channels, one endpoint per
+/// party, each owned by that party's thread. Build the whole mesh with
+/// [`ChannelTransport::mesh`] and hand one endpoint to each thread.
+pub struct ChannelTransport {
+    party: u32,
+    parties: u32,
+    senders: Vec<Option<Sender<Envelope>>>,
+    receivers: Vec<Option<Receiver<Envelope>>>,
+    stats: Mutex<NetStats>,
+    timeout: Duration,
+}
+
+impl ChannelTransport {
+    /// Builds a fully-connected mesh of `n` endpoints (index = party id).
+    pub fn mesh(n: u32) -> Vec<ChannelTransport> {
+        assert!(n >= 2, "a transport mesh needs at least two parties");
+        // links[from][to] carries messages from `from` to `to`.
+        let mut txs: Vec<Vec<Option<Sender<Envelope>>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        let mut rxs: Vec<Vec<Option<Receiver<Envelope>>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        for from in 0..n as usize {
+            for to in 0..n as usize {
+                if from != to {
+                    let (tx, rx) = unbounded();
+                    txs[from][to] = Some(tx);
+                    rxs[to][from] = Some(rx);
+                }
+            }
+        }
+        txs.into_iter()
+            .zip(rxs)
+            .enumerate()
+            .map(|(party, (senders, receivers))| ChannelTransport {
+                party: party as u32,
+                parties: n,
+                senders,
+                receivers,
+                stats: Mutex::new(NetStats::new()),
+                timeout: DEFAULT_RECV_TIMEOUT,
+            })
+            .collect()
+    }
+
+    /// Overrides the blocking-receive timeout (default 10 s).
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn party(&self) -> u32 {
+        self.party
+    }
+
+    fn parties(&self) -> u32 {
+        self.parties
+    }
+
+    fn send_to(
+        &self,
+        to: u32,
+        kind: MessageKind,
+        label: &str,
+        payload: &[u64],
+    ) -> Result<(), TransportError> {
+        let sender = self
+            .senders
+            .get(to as usize)
+            .and_then(|s| s.as_ref())
+            .ok_or(TransportError::InvalidPeer { party: to })?;
+        let env = Envelope::new(self.party, kind, label, payload.to_vec());
+        self.stats
+            .lock()
+            .record(self.party, to, env.wire_bytes(), kind);
+        sender
+            .send(env)
+            .map_err(|_| TransportError::Disconnected { party: to })
+    }
+
+    fn recv_from(&self, from: u32) -> Result<Envelope, TransportError> {
+        let receiver = self
+            .receivers
+            .get(from as usize)
+            .and_then(|r| r.as_ref())
+            .ok_or(TransportError::InvalidPeer { party: from })?;
+        receiver.recv_timeout(self.timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => TransportError::Timeout { from },
+            RecvTimeoutError::Disconnected => TransportError::Disconnected { party: from },
+        })
+    }
+
+    fn record_round(&self) {
+        self.stats.lock().record_rounds(1);
+    }
+
+    fn stats(&self) -> NetStats {
+        self.stats.lock().clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TCP transport.
+// ---------------------------------------------------------------------------
+
+/// TCP transport: one dedicated socket per party pair, length-prefixed binary
+/// framing, blocking reads bounded by a timeout. Suitable for genuine
+/// multi-process deployments; [`TcpTransport::localhost_mesh`] builds an
+/// ephemeral-port mesh for single-machine runs and tests.
+pub struct TcpTransport {
+    party: u32,
+    parties: u32,
+    streams: Vec<Option<Mutex<TcpStream>>>,
+    stats: Mutex<NetStats>,
+}
+
+impl TcpTransport {
+    /// Joins the mesh as `party`: accepts connections from higher-numbered
+    /// parties on `listener` and connects to the lower-numbered parties at
+    /// `addrs` (indexed by party id). Every party must call this
+    /// concurrently; the pairwise "higher id dials lower id" rule makes the
+    /// rendezvous deadlock-free, and both dialing and accepting are bounded
+    /// by [`DEFAULT_RECV_TIMEOUT`] so a dead peer surfaces as an error
+    /// instead of hanging the mesh. A 4-byte party-id handshake identifies
+    /// each inbound connection.
+    pub fn connect_mesh(
+        party: u32,
+        listener: TcpListener,
+        addrs: &[SocketAddr],
+    ) -> Result<TcpTransport, TransportError> {
+        let n = addrs.len() as u32;
+        if party >= n || n < 2 {
+            return Err(TransportError::InvalidPeer { party });
+        }
+        let mut streams: Vec<Option<Mutex<TcpStream>>> = (0..n).map(|_| None).collect();
+        // Dial every lower-numbered party (their listeners are already bound).
+        for peer in 0..party {
+            let mut stream =
+                TcpStream::connect_timeout(&addrs[peer as usize], DEFAULT_RECV_TIMEOUT)?;
+            stream.set_nodelay(true)?;
+            stream.write_all(&party.to_le_bytes())?;
+            stream.set_read_timeout(Some(DEFAULT_RECV_TIMEOUT))?;
+            streams[peer as usize] = Some(Mutex::new(stream));
+        }
+        // Accept one connection from every higher-numbered party, polling a
+        // non-blocking listener so a peer that never dials in produces a
+        // Timeout error rather than an indefinite accept().
+        listener.set_nonblocking(true)?;
+        let deadline = std::time::Instant::now() + DEFAULT_RECV_TIMEOUT;
+        for _ in party + 1..n {
+            let mut stream = loop {
+                match listener.accept() {
+                    Ok((stream, _)) => break stream,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        if std::time::Instant::now() >= deadline {
+                            return Err(TransportError::Timeout { from: u32::MAX });
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            };
+            stream.set_nonblocking(false)?;
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(Some(DEFAULT_RECV_TIMEOUT))?;
+            let mut id = [0u8; 4];
+            stream.read_exact(&mut id)?;
+            let peer = u32::from_le_bytes(id);
+            if peer <= party || peer >= n || streams[peer as usize].is_some() {
+                return Err(TransportError::Io(format!(
+                    "unexpected handshake from party {peer}"
+                )));
+            }
+            streams[peer as usize] = Some(Mutex::new(stream));
+        }
+        Ok(TcpTransport {
+            party,
+            parties: n,
+            streams,
+            stats: Mutex::new(NetStats::new()),
+        })
+    }
+
+    /// Builds a fully-connected `n`-party mesh over ephemeral localhost
+    /// ports: binds `n` listeners on `127.0.0.1:0`, then performs the
+    /// pairwise rendezvous on one thread per party. Returns the endpoints
+    /// ordered by party id.
+    pub fn localhost_mesh(n: u32) -> Result<Vec<TcpTransport>, TransportError> {
+        assert!(n >= 2, "a transport mesh needs at least two parties");
+        let listeners: Vec<TcpListener> = (0..n)
+            .map(|_| TcpListener::bind("127.0.0.1:0"))
+            .collect::<std::io::Result<_>>()?;
+        let addrs: Vec<SocketAddr> = listeners
+            .iter()
+            .map(|l| l.local_addr())
+            .collect::<std::io::Result<_>>()?;
+        let mut endpoints: Vec<Option<TcpTransport>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = listeners
+                .into_iter()
+                .enumerate()
+                .map(|(party, listener)| {
+                    let addrs = &addrs;
+                    s.spawn(move || TcpTransport::connect_mesh(party as u32, listener, addrs))
+                })
+                .collect();
+            for (party, handle) in handles.into_iter().enumerate() {
+                endpoints[party] = Some(handle.join().expect("mesh thread panicked")?);
+            }
+            Ok::<(), TransportError>(())
+        })?;
+        Ok(endpoints.into_iter().map(|e| e.expect("filled")).collect())
+    }
+
+    fn stream(&self, peer: u32) -> Result<&Mutex<TcpStream>, TransportError> {
+        self.streams
+            .get(peer as usize)
+            .and_then(|s| s.as_ref())
+            .ok_or(TransportError::InvalidPeer { party: peer })
+    }
+}
+
+/// Encodes one envelope into its wire frame.
+fn encode_frame(env: &Envelope) -> Vec<u8> {
+    let label = env.label.as_bytes();
+    let mut buf = Vec::with_capacity(env.wire_bytes() as usize);
+    buf.extend_from_slice(&env.from.to_le_bytes());
+    buf.push(env.kind.code());
+    buf.extend_from_slice(&(label.len() as u16).to_le_bytes());
+    buf.extend_from_slice(label);
+    buf.extend_from_slice(&(env.payload.len() as u32).to_le_bytes());
+    for word in &env.payload {
+        buf.extend_from_slice(&word.to_le_bytes());
+    }
+    buf
+}
+
+/// Reads one envelope frame from a stream.
+fn decode_frame(stream: &mut TcpStream) -> Result<Envelope, TransportError> {
+    let mut u32buf = [0u8; 4];
+    stream.read_exact(&mut u32buf).map_err(map_read_err)?;
+    let from = u32::from_le_bytes(u32buf);
+    let mut kind_buf = [0u8; 1];
+    stream.read_exact(&mut kind_buf).map_err(map_read_err)?;
+    let kind = MessageKind::from_code(kind_buf[0])
+        .ok_or_else(|| TransportError::Io(format!("bad message kind code {}", kind_buf[0])))?;
+    let mut u16buf = [0u8; 2];
+    stream.read_exact(&mut u16buf).map_err(map_read_err)?;
+    let mut label_bytes = vec![0u8; u16::from_le_bytes(u16buf) as usize];
+    stream.read_exact(&mut label_bytes).map_err(map_read_err)?;
+    let label =
+        String::from_utf8(label_bytes).map_err(|_| TransportError::Io("non-UTF-8 label".into()))?;
+    stream.read_exact(&mut u32buf).map_err(map_read_err)?;
+    let len = u32::from_le_bytes(u32buf) as usize;
+    if len > MAX_FRAME_WORDS {
+        return Err(TransportError::Io(format!(
+            "frame payload length {len} exceeds the {MAX_FRAME_WORDS}-word cap \
+             (corrupt or desynchronized stream)"
+        )));
+    }
+    let mut payload = Vec::with_capacity(len);
+    let mut word = [0u8; 8];
+    for _ in 0..len {
+        stream.read_exact(&mut word).map_err(map_read_err)?;
+        payload.push(u64::from_le_bytes(word));
+    }
+    Ok(Envelope {
+        from,
+        kind,
+        label,
+        payload,
+    })
+}
+
+fn map_read_err(e: std::io::Error) -> TransportError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+            // `from` is substituted by the caller, which knows the peer.
+            TransportError::Timeout { from: u32::MAX }
+        }
+        std::io::ErrorKind::UnexpectedEof => TransportError::Disconnected { party: u32::MAX },
+        _ => TransportError::Io(e.to_string()),
+    }
+}
+
+impl Transport for TcpTransport {
+    fn party(&self) -> u32 {
+        self.party
+    }
+
+    fn parties(&self) -> u32 {
+        self.parties
+    }
+
+    fn send_to(
+        &self,
+        to: u32,
+        kind: MessageKind,
+        label: &str,
+        payload: &[u64],
+    ) -> Result<(), TransportError> {
+        let env = Envelope::new(self.party, kind, label, payload.to_vec());
+        let frame = encode_frame(&env);
+        {
+            let mut stream = self.stream(to)?.lock();
+            stream.write_all(&frame)?;
+            stream.flush()?;
+        }
+        self.stats
+            .lock()
+            .record(self.party, to, frame.len() as u64, kind);
+        Ok(())
+    }
+
+    fn recv_from(&self, from: u32) -> Result<Envelope, TransportError> {
+        let mut stream = self.stream(from)?.lock();
+        let env = decode_frame(&mut stream).map_err(|e| match e {
+            TransportError::Timeout { .. } => TransportError::Timeout { from },
+            TransportError::Disconnected { .. } => TransportError::Disconnected { party: from },
+            other => other,
+        })?;
+        if env.from != from {
+            return Err(TransportError::Io(format!(
+                "frame from P{} arrived on the P{from} link",
+                env.from
+            )));
+        }
+        Ok(env)
+    }
+
+    fn record_round(&self) {
+        self.stats.lock().record_rounds(1);
+    }
+
+    fn stats(&self) -> NetStats {
+        self.stats.lock().clone()
+    }
+}
+
+/// Merges per-party endpoint statistics into one mesh-wide view: links are
+/// summed (each endpoint records only what *it* sent, so every directed link
+/// is counted exactly once) while rounds are taken as the maximum (every
+/// party counts the same synchronous rounds).
+pub fn merge_mesh_stats<I: IntoIterator<Item = NetStats>>(endpoints: I) -> NetStats {
+    let mut merged = NetStats::new();
+    let mut rounds = 0;
+    for stats in endpoints {
+        rounds = rounds.max(stats.rounds);
+        let mut links_only = stats;
+        links_only.rounds = 0;
+        merged.merge(&links_only);
+    }
+    merged.rounds = rounds;
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise_pair<T: Transport>(a: &T, b: &T) {
+        a.send_to(b.party(), MessageKind::SecretShare, "x", &[1, 2, 3])
+            .unwrap();
+        a.send_to(b.party(), MessageKind::Control, "y", &[4])
+            .unwrap();
+        let first = b.recv_from(a.party()).unwrap();
+        assert_eq!(first.payload, vec![1, 2, 3]);
+        assert_eq!(first.kind, MessageKind::SecretShare);
+        assert_eq!(first.label, "x");
+        assert_eq!(first.from, a.party());
+        let second = b.recv_from(a.party()).unwrap();
+        assert_eq!(second.payload, vec![4]);
+        b.send_to(a.party(), MessageKind::Reveal, "z", &[9])
+            .unwrap();
+        assert_eq!(a.recv_from(b.party()).unwrap().payload, vec![9]);
+    }
+
+    #[test]
+    fn channel_mesh_delivers_in_order_and_counts_bytes() {
+        let mesh = ChannelTransport::mesh(3);
+        exercise_pair(&mesh[0], &mesh[1]);
+        let stats = mesh[0].stats();
+        // Two messages 0 -> 1: headers + labels + payloads.
+        assert_eq!(stats.links[&(0, 1)].messages, 2);
+        assert_eq!(
+            stats.links[&(0, 1)].bytes,
+            (FRAME_HEADER_BYTES + 1 + 24) + (FRAME_HEADER_BYTES + 1 + 8)
+        );
+        // Endpoint 0 never recorded 1 -> 0 traffic (endpoint 1 did).
+        assert!(!stats.links.contains_key(&(1, 0)));
+        assert_eq!(mesh[1].stats().links[&(1, 0)].messages, 1);
+    }
+
+    #[test]
+    fn channel_send_all_reaches_every_peer() {
+        let mesh = ChannelTransport::mesh(3);
+        mesh[2]
+            .send_all(MessageKind::Cleartext, "bcast", &[7, 8])
+            .unwrap();
+        for p in [0usize, 1] {
+            assert_eq!(mesh[p].recv_from(2).unwrap().payload, vec![7, 8]);
+        }
+        assert_eq!(mesh[2].stats().total_messages(), 2);
+    }
+
+    #[test]
+    fn channel_recv_times_out_and_rejects_bad_peers() {
+        let mesh: Vec<_> = ChannelTransport::mesh(2)
+            .into_iter()
+            .map(|t| t.with_timeout(Duration::from_millis(5)))
+            .collect();
+        assert_eq!(
+            mesh[0].recv_from(1),
+            Err(TransportError::Timeout { from: 1 })
+        );
+        assert_eq!(
+            mesh[0].recv_from(0),
+            Err(TransportError::InvalidPeer { party: 0 })
+        );
+        assert!(matches!(
+            mesh[0].send_to(9, MessageKind::Control, "", &[]),
+            Err(TransportError::InvalidPeer { party: 9 })
+        ));
+    }
+
+    #[test]
+    fn channel_disconnect_is_reported() {
+        let mut mesh = ChannelTransport::mesh(2);
+        let b = mesh.pop().unwrap();
+        drop(b);
+        assert!(matches!(
+            mesh[0].send_to(1, MessageKind::Control, "", &[1]),
+            Err(TransportError::Disconnected { party: 1 })
+        ));
+    }
+
+    #[test]
+    fn rounds_are_recorded_per_endpoint_and_merged_as_max() {
+        let mesh = ChannelTransport::mesh(2);
+        mesh[0].record_round();
+        mesh[0].record_round();
+        mesh[1].record_round();
+        mesh[1].record_round();
+        mesh[0].send_to(1, MessageKind::Control, "r", &[1]).unwrap();
+        let merged = merge_mesh_stats(mesh.iter().map(|t| t.stats()));
+        assert_eq!(merged.rounds, 2, "rounds are synchronized, not summed");
+        assert_eq!(merged.total_messages(), 1);
+    }
+
+    #[test]
+    fn tcp_mesh_exchanges_frames_across_threads() {
+        let mesh = TcpTransport::localhost_mesh(3).unwrap();
+        let [t0, t1, t2]: [TcpTransport; 3] = mesh.try_into().ok().unwrap();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                t0.send_to(1, MessageKind::SecretShare, "shares", &[10, 20])
+                    .unwrap();
+                t0.send_to(2, MessageKind::SecretShare, "shares", &[30])
+                    .unwrap();
+                assert_eq!(t0.recv_from(1).unwrap().payload, vec![42]);
+            });
+            s.spawn(|| {
+                let env = t1.recv_from(0).unwrap();
+                assert_eq!(env.payload, vec![10, 20]);
+                assert_eq!(env.kind, MessageKind::SecretShare);
+                t1.send_to(0, MessageKind::Reveal, "back", &[42]).unwrap();
+            });
+            s.spawn(|| {
+                assert_eq!(t2.recv_from(0).unwrap().payload, vec![30]);
+            });
+        });
+        let merged = merge_mesh_stats([t0.stats(), t1.stats(), t2.stats()]);
+        assert_eq!(merged.total_messages(), 3);
+        assert_eq!(merged.links[&(0, 1)].messages, 1);
+        assert_eq!(merged.links[&(1, 0)].messages, 1);
+    }
+
+    #[test]
+    fn tcp_empty_payload_round_trips() {
+        let mesh = TcpTransport::localhost_mesh(2).unwrap();
+        mesh[0].send_to(1, MessageKind::Control, "", &[]).unwrap();
+        let env = mesh[1].recv_from(0).unwrap();
+        assert!(env.payload.is_empty());
+        assert_eq!(env.wire_bytes(), FRAME_HEADER_BYTES);
+    }
+
+    #[test]
+    fn envelope_wire_bytes_counts_header_label_and_payload() {
+        let env = Envelope::new(0, MessageKind::Control, "ab", vec![1, 2]);
+        assert_eq!(env.wire_bytes(), FRAME_HEADER_BYTES + 2 + 16);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(TransportError::InvalidPeer { party: 3 }
+            .to_string()
+            .contains("P3"));
+        assert!(TransportError::Timeout { from: 1 }
+            .to_string()
+            .contains("P1"));
+        assert!(TransportError::Disconnected { party: 2 }
+            .to_string()
+            .contains("P2"));
+        assert!(TransportError::Io("boom".into())
+            .to_string()
+            .contains("boom"));
+    }
+}

@@ -1,5 +1,125 @@
 //! Minimal stand-in for `crossbeam` (offline build): scoped threads with the
-//! `crossbeam::thread::scope` API shape, backed by `std::thread::scope`.
+//! `crossbeam::thread::scope` API shape (backed by `std::thread::scope`) and
+//! unbounded MPSC channels with the `crossbeam::channel` API shape (backed by
+//! `std::sync::mpsc`).
+
+pub mod channel {
+    //! Unbounded channels with the `crossbeam-channel` API surface the
+    //! workspace consumes: [`unbounded`], cloneable [`Sender`]s, and a
+    //! [`Receiver`] with blocking and deadline-bounded receives. Unlike real
+    //! crossbeam channels the receiver is single-consumer (`std::sync::mpsc`
+    //! underneath), which is all the per-party transport mesh needs.
+
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    /// Error returned by [`Sender::send`] when the receiver is gone; carries
+    /// the unsent message like crossbeam's.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived before the deadline.
+        Timeout,
+        /// All senders disconnected and the queue is drained.
+        Disconnected,
+    }
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message; fails only if the receiver was dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender disconnects.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Blocks up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+
+        /// Non-blocking receive: `None` when the queue is currently empty.
+        pub fn try_recv(&self) -> Option<T> {
+            self.0.try_recv().ok()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_and_timeout() {
+            let (tx, rx) = unbounded::<u32>();
+            tx.send(7).unwrap();
+            assert_eq!(rx.recv(), Ok(7));
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(1)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            let tx2 = tx.clone();
+            tx2.send(8).unwrap();
+            assert_eq!(rx.try_recv(), Some(8));
+            drop(tx);
+            drop(tx2);
+            assert_eq!(rx.recv(), Err(RecvError));
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(1)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn cross_thread_delivery() {
+            let (tx, rx) = unbounded::<u64>();
+            let h = std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let mut sum = 0;
+            for _ in 0..100 {
+                sum += rx.recv().unwrap();
+            }
+            h.join().unwrap();
+            assert_eq!(sum, 4950);
+        }
+    }
+}
 
 pub mod thread {
     use std::any::Any;

@@ -40,8 +40,8 @@ pub use conclave_smcql as smcql;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use conclave_core::{
-        compile, config::ConclaveConfig, driver::Driver, plan::PhysicalPlan, report::RunReport,
-        session::Session, session::SessionError,
+        compile, config::ConclaveConfig, config::PartyRuntime, driver::Driver, plan::PhysicalPlan,
+        report::RunReport, session::Session, session::SessionError,
     };
     pub use conclave_data::{
         credit::CreditGenerator, health::HealthGenerator, taxi::TaxiGenerator,

@@ -1,0 +1,287 @@
+//! Transport-equivalence property tests.
+//!
+//! The distributed party runtime must be **observationally identical** to the
+//! single-process `Protocol` oracle: for random share/open/multiply/aggregate
+//! workloads (including the empty-relation edge case), the values revealed by
+//! a mesh of real per-party endpoints — over the in-process channel transport
+//! *and* over localhost TCP — must be cell-identical to what the in-process
+//! engine reveals. Row *order* may differ where a protocol step involves an
+//! oblivious shuffle (the permutation streams differ), so relation-valued
+//! results are compared as multisets, exactly like the driver-level suites.
+
+use conclave::core::config::PartyRuntime;
+use conclave::core::party_exec::execute_op_distributed;
+use conclave::mpc::backend::{MpcBackendConfig, MpcEngine};
+use conclave::mpc::runtime::{PartyProtocol, PartyResult};
+use conclave::mpc::RingElem;
+use conclave::net::{ChannelTransport, TcpTransport, Transport};
+use conclave::prelude::*;
+use conclave_ir::ops::Operator;
+use proptest::prelude::*;
+
+/// Runs the same per-party program on every endpoint of a mesh and returns
+/// each party's result.
+fn run_mesh<T, R, F>(mesh: Vec<T>, seed: u64, f: F) -> Vec<R>
+where
+    T: Transport,
+    R: Send,
+    F: Fn(&mut PartyProtocol) -> PartyResult<R> + Sync,
+{
+    std::thread::scope(|s| {
+        let handles: Vec<_> = mesh
+            .into_iter()
+            .map(|t| {
+                let f = &f;
+                s.spawn(move || {
+                    let mut proto = PartyProtocol::new(&t, seed);
+                    f(&mut proto)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .expect("party thread panicked")
+                    .expect("party program failed")
+            })
+            .collect()
+    })
+}
+
+/// Runs the same program on a channel mesh and a TCP-localhost mesh,
+/// returning `(transport name, per-party results)` for each.
+fn run_both_transports<R, F>(parties: u32, seed: u64, f: F) -> Vec<(&'static str, Vec<R>)>
+where
+    R: Send,
+    F: Fn(&mut PartyProtocol) -> PartyResult<R> + Sync,
+{
+    let chan = run_mesh(ChannelTransport::mesh(parties), seed, &f);
+    let tcp = run_mesh(
+        TcpTransport::localhost_mesh(parties).expect("localhost mesh"),
+        seed,
+        &f,
+    );
+    vec![("channel", chan), ("tcp", tcp)]
+}
+
+/// Shares `values` from its owner, opens them again, and returns the opened
+/// vector (exercises share → open round trips over real messages).
+fn share_open_program(
+    proto: &mut PartyProtocol,
+    owner: u32,
+    values: &[i64],
+) -> PartyResult<Vec<i64>> {
+    let own = (proto.party() == owner).then_some(values);
+    let shares = proto.input_column(owner, own, values.len())?;
+    proto.open_column(&shares)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// share → open round-trips arbitrary i64 vectors on both transports.
+    #[test]
+    fn share_open_round_trips(values in prop::collection::vec(any::<i64>(), 0..12),
+                              owner in 0u32..3,
+                              seed in any::<u64>()) {
+        for (name, outs) in
+            run_both_transports(3, seed, |p| share_open_program(p, owner, &values))
+        {
+            for out in &outs {
+                prop_assert_eq!(out, &values, "{} transport corrupted a share/open", name);
+            }
+        }
+    }
+
+    /// Distributed Beaver multiplication opens the exact wrapping products —
+    /// the same values the in-process `Protocol` oracle produces.
+    #[test]
+    fn multiply_matches_the_oracle(pairs in prop::collection::vec((any::<i64>(), any::<i64>()), 1..10),
+                                   seed in any::<u64>()) {
+        // Oracle: in-process protocol.
+        let mut oracle = conclave::mpc::Protocol::new(3, seed);
+        let expected: Vec<i64> = pairs
+            .iter()
+            .map(|&(x, y)| {
+                let sx = oracle.share_value(x);
+                let sy = oracle.share_value(y);
+                let prod = oracle.mul(&sx, &sy);
+                oracle.open(&prod)
+            })
+            .collect();
+        let program = |proto: &mut PartyProtocol| -> PartyResult<Vec<i64>> {
+            let own = proto.party() == 0;
+            let xs: Vec<i64> = pairs.iter().map(|p| p.0).collect();
+            let ys: Vec<i64> = pairs.iter().map(|p| p.1).collect();
+            let sx = proto.input_column(0, own.then_some(xs.as_slice()), xs.len())?;
+            let sy = proto.input_column(0, own.then_some(ys.as_slice()), ys.len())?;
+            let ps: Vec<(RingElem, RingElem)> = sx.into_iter().zip(sy).collect();
+            let prod = proto.mul_batch(&ps)?;
+            proto.open_column(&prod)
+        };
+        for (name, outs) in run_both_transports(3, seed, program) {
+            for out in &outs {
+                prop_assert_eq!(out, &expected, "{} transport multiply diverged", name);
+            }
+        }
+    }
+}
+
+/// Builds a small keyed relation from generated material.
+fn keyed_relation(rows: &[(i64, i64)]) -> Relation {
+    Relation::from_ints(
+        &["k", "v"],
+        &rows
+            .iter()
+            .map(|&(k, v)| vec![k.rem_euclid(5), v % 1000])
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Executes `op` on the in-process oracle and on both distributed transports,
+/// and requires cell-identical reveals. `ordered` demands the exact same row
+/// order (sorts, whose networks are deterministic and shuffle-free);
+/// unordered comparison is for operators whose output order depends on an
+/// oblivious shuffle, where the two runtimes draw different permutations.
+fn assert_op_equivalence(op: &Operator, rel: &Relation, seed: u64, ordered: bool) {
+    let mut oracle = MpcEngine::new(MpcBackendConfig::sharemind());
+    let (expected, _) = oracle.execute_op(op, &[rel]).expect("oracle executes");
+    let table = Table::from_rows(rel.clone());
+    for runtime in [PartyRuntime::Channel, PartyRuntime::Tcp] {
+        let outcome = execute_op_distributed(op, &[&table], 3, seed, runtime, false)
+            .expect("distributed step executes");
+        let matches = if ordered {
+            outcome.relation.rows == expected.rows
+        } else {
+            outcome.relation.same_rows_unordered(&expected)
+        };
+        assert!(
+            matches,
+            "{runtime:?} diverged on {}:\n{}\nvs oracle\n{}",
+            op.name(),
+            outcome.relation,
+            expected
+        );
+        assert!(outcome.net.total_bytes() > 0, "traffic must be observed");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random grouped-aggregation workloads reveal identical cells on the
+    /// oracle, the channel mesh and the TCP mesh.
+    #[test]
+    fn aggregate_matches_the_oracle(rows in prop::collection::vec((any::<i64>(), any::<i64>()), 0..10),
+                                    func_sel in 0u8..4,
+                                    seed in any::<u64>()) {
+        let rel = keyed_relation(&rows);
+        let func = match func_sel {
+            0 => AggFunc::Sum,
+            1 => AggFunc::Count,
+            2 => AggFunc::Min,
+            _ => AggFunc::Max,
+        };
+        let over = (func != AggFunc::Count).then(|| "v".to_string());
+        let op = Operator::Aggregate {
+            group_by: vec!["k".into()],
+            func,
+            over,
+            out: "agg".into(),
+        };
+        assert_op_equivalence(&op, &rel, seed, false);
+    }
+
+    /// Random sort workloads produce identically-ordered reveals.
+    #[test]
+    fn sort_matches_the_oracle(rows in prop::collection::vec((any::<i64>(), any::<i64>()), 0..10),
+                               ascending in any::<bool>(),
+                               seed in any::<u64>()) {
+        let rel = keyed_relation(&rows);
+        let op = Operator::SortBy { column: "v".into(), ascending };
+        assert_op_equivalence(&op, &rel, seed, true);
+    }
+}
+
+/// The empty-relation edge case, explicitly on both transports.
+#[test]
+fn empty_relation_share_open_and_aggregate() {
+    let empty = Relation::from_ints(&["k", "v"], &[]);
+    let op = Operator::Aggregate {
+        group_by: vec!["k".into()],
+        func: AggFunc::Sum,
+        over: Some("v".into()),
+        out: "s".into(),
+    };
+    assert_op_equivalence(&op, &empty, 99, false);
+    // Raw share/open of an empty column moves no payload but still works.
+    let outs = run_mesh(ChannelTransport::mesh(2), 5, |p| {
+        share_open_program(p, 0, &[])
+    });
+    for out in outs {
+        assert!(out.is_empty());
+    }
+}
+
+/// A whole two-party query over the TCP runtime reveals cell-identical
+/// results to the simulated session, and the report is measured — the
+/// acceptance scenario of the party-runtime issue.
+#[test]
+fn tcp_two_party_query_matches_the_simulated_session() {
+    let pa = Party::new(1, "a");
+    let pb = Party::new(2, "b");
+    let schema = Schema::ints(&["k", "v"]);
+    let mut q = QueryBuilder::new();
+    let a = q.input("ta", schema.clone(), pa.clone());
+    let b = q.input("tb", schema, pb);
+    let both = q.concat(&[a, b]);
+    let sums = q.aggregate(both, "total", AggFunc::Sum, &["k"], "v");
+    q.collect(sums, &[pa]);
+    let query = q.build().unwrap();
+
+    let bindings = |session: Session| {
+        session
+            .bind(
+                "ta",
+                Relation::from_ints(&["k", "v"], &[vec![1, 2], vec![2, 9], vec![1, 1]]),
+            )
+            .bind(
+                "tb",
+                Relation::from_ints(&["k", "v"], &[vec![1, 3], vec![3, 4]]),
+            )
+    };
+    let oracle = bindings(Session::new(
+        ConclaveConfig::standard().with_sequential_local(),
+    ))
+    .run(&query)
+    .unwrap();
+    assert!(!oracle.net_measured);
+
+    let measured = bindings(Session::new(
+        ConclaveConfig::standard()
+            .with_sequential_local()
+            .with_tcp_runtime(),
+    ))
+    .run(&query)
+    .unwrap();
+    assert!(measured
+        .output_for(1)
+        .unwrap()
+        .same_rows_unordered(oracle.output_for(1).unwrap()));
+    assert!(measured.net_measured);
+    assert!(measured.net.total_bytes() > 0);
+    assert!(measured.net.rounds > 0);
+    assert_eq!(measured.network_bytes, measured.net.total_bytes());
+    // Every link between the three computing parties carried traffic.
+    for from in 0..3u32 {
+        for to in 0..3u32 {
+            if from != to {
+                assert!(
+                    measured.net.links.contains_key(&(from, to)),
+                    "no observed traffic on link P{from}->P{to}"
+                );
+            }
+        }
+    }
+}

@@ -43,6 +43,11 @@ use std::time::Duration;
 pub enum DriverError {
     /// An input relation named by the query was not bound to data.
     MissingInput(String),
+    /// The SQL text passed to [`Driver::run_sql`] failed to parse or lower.
+    Sql(conclave_sql::SqlError),
+    /// The query lowered from SQL failed to compile under the driver's
+    /// configuration.
+    Compile(crate::plan::CompileError),
     /// A cleartext engine error (typed; the source chain is preserved).
     Engine(EngineError),
     /// An MPC backend error (including garbled-circuit out-of-memory).
@@ -68,6 +73,8 @@ impl fmt::Display for DriverError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DriverError::MissingInput(n) => write!(f, "no data bound for input relation `{n}`"),
+            DriverError::Sql(e) => write!(f, "SQL frontend error: {e}"),
+            DriverError::Compile(e) => write!(f, "compilation error: {e}"),
             DriverError::Engine(e) => write!(f, "cleartext engine error: {e}"),
             DriverError::Mpc(e) => write!(f, "MPC error: {e}"),
             DriverError::Ir(e) => write!(f, "IR error: {e}"),
@@ -91,6 +98,8 @@ impl std::error::Error for DriverError {
             DriverError::Mpc(e) => Some(e),
             DriverError::Ir(e) => Some(e),
             DriverError::Transport(e) => Some(e),
+            DriverError::Sql(e) => Some(e),
+            DriverError::Compile(e) => Some(e),
             DriverError::MissingInput(_) | DriverError::UnauthorizedReveal { .. } => None,
         }
     }
@@ -163,6 +172,25 @@ impl Driver {
             .map(|(name, rel)| (name.clone(), Table::from_rows(rel.clone())))
             .collect();
         self.run_tables(plan, &tables)
+    }
+
+    /// Compiles and executes a self-contained SQL script (see `docs/SQL.md`)
+    /// in one call: the script's `CREATE TABLE` declarations must cover every
+    /// referenced relation, the SQL is lowered to an IR query, compiled under
+    /// this driver's configuration, and executed over `inputs`.
+    ///
+    /// Most callers should prefer [`crate::session::Session::run_sql`], which
+    /// additionally validates the declared schemas against the bound data;
+    /// this entry point exists for code already driving compiled plans by
+    /// hand.
+    pub fn run_sql(
+        &mut self,
+        sql: &str,
+        inputs: &HashMap<String, Table>,
+    ) -> Result<RunReport, DriverError> {
+        let query = conclave_sql::compile_sql(sql).map_err(|e| DriverError::Sql(e.located(sql)))?;
+        let plan = crate::plan::compile(&query, &self.config).map_err(DriverError::Compile)?;
+        self.run_tables(&plan, inputs)
     }
 
     /// Executes a plan. `inputs` binds every `input` relation name to a

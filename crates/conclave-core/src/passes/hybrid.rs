@@ -1,5 +1,11 @@
-//! Hybrid operator insertion (§5.3).
+//! Hybrid operator insertion (§5.3): shrink what remains *inside* the
+//! frontier.
 //!
+//! Push-down and push-up move whole operators across the MPC frontier; this
+//! pass instead splits the expensive operators that must stay inside it into
+//! an MPC half and a cleartext half executed by a *selectively-trusted
+//! party* (STP), turning O(n·m) oblivious work into an oblivious shuffle, a
+//! narrow key reveal, and a cleartext join or sort at the STP.
 //! MPC joins and grouped aggregations dominate query cost. When the
 //! propagated trust annotations show that some party is authorized to learn
 //! the key columns involved, Conclave rewrites:

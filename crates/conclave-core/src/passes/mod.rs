@@ -1,4 +1,28 @@
-//! Query rewrite passes (§5.2–§5.4).
+//! Query rewrite passes (§5.2–§5.4): the pipeline that decides what runs
+//! under MPC.
+//!
+//! After `analysis` propagates ownership and trust annotations through the
+//! operator DAG, [`crate::plan::compile`] runs the passes in this order:
+//!
+//! | # | Pass | Direction across the MPC frontier |
+//! |---|------|-----------------------------------|
+//! | 1 | [`pushdown`] | moves distributive operators and aggregation splits *below* the frontier, into per-party local cleartext |
+//! | 2 | [`sites`] | draws the frontier: assigns every node `Local(p)`, `Stp(p)` or `Mpc` |
+//! | 3 | [`pushup`] | moves reversible operators *above* the frontier, into cleartext at the output recipient |
+//! | 4 | [`hybrid`] | splits expensive MPC joins/aggregations into MPC + selectively-trusted-party cleartext halves |
+//! | 5 | [`sort_elim`] | deletes oblivious sorts whose input is already sorted and annotates order for MPC aggregations |
+//!
+//! Each pass returns a human-readable log of the rewrites it applied; the
+//! logs surface in [`crate::plan::PhysicalPlan::transformations`] and in the
+//! examples' output. The narrative version of this pipeline — from SQL text
+//! to `Table` execution — is the "Life of a query" section of
+//! `ARCHITECTURE.md`; each pass's module documentation below tells the same
+//! story next to its code.
+//!
+//! Queries enter the pipeline identically whether they were written in the
+//! Conclave SQL dialect (`conclave-sql`, `Session::run_sql`) or assembled
+//! with the programmatic `QueryBuilder`: the SQL frontend lowers to the same
+//! DAG, so the passes neither know nor care which surface produced it.
 
 pub mod hybrid;
 pub mod pushdown;

@@ -1,7 +1,10 @@
-//! MPC-frontier push-down (§5.2).
+//! MPC-frontier push-down (§5.2): move work *below* the frontier.
 //!
-//! Two rewrites move work out of the monolithic MPC and into local, per-party
-//! cleartext processing:
+//! This is the first rewrite pass and the workhorse of the pipeline: every
+//! operator it relocates runs as cheap per-party cleartext instead of under
+//! MPC, and — just as important — shrinks the relations that later get
+//! secret-shared. Two rewrites move work out of the monolithic MPC and into
+//! local, per-party cleartext processing:
 //!
 //! 1. **Concat push-down**: an operator that distributes over partitions
 //!    (`project`, `filter`, column arithmetic) and consumes a `concat` of

@@ -1,5 +1,8 @@
-//! MPC-frontier push-up (§5.2).
+//! MPC-frontier push-up (§5.2): move work *above* the frontier.
 //!
+//! The mirror image of push-down: instead of moving operators below the
+//! frontier into per-party pre-processing, this pass moves them above it,
+//! into cleartext post-processing at the party that receives the output.
 //! Reversible operators adjacent to the query output need not run under MPC:
 //! revealing their *input* to the output recipients leaks nothing beyond what
 //! the output itself already reveals (the input is simulatable from the

@@ -1,9 +1,16 @@
-//! Execution-site assignment.
+//! Execution-site assignment: draw the MPC frontier.
 //!
-//! After ownership propagation and the frontier rewrites, every node is
+//! After ownership propagation and the push-down rewrites, every node is
 //! assigned where it runs: locally at its owning party, or under MPC when its
 //! output combines data from several parties. `collect` nodes run at their
 //! recipient (they only re-label data that the MPC boundary already revealed).
+//!
+//! The *MPC frontier* the other passes talk about is precisely the boundary
+//! this pass draws between `Local(p)`/`Stp(p)` sites and `Mpc` sites: every
+//! `Local → Mpc` edge is a secret-sharing step, every `Mpc → Local` edge a
+//! reveal. Push-up and the hybrid rewrites run after this pass and re-label
+//! nodes to move or split that boundary; the driver later dispatches each
+//! node to the engine its final site calls for.
 
 use conclave_ir::dag::OpDag;
 use conclave_ir::error::IrResult;

@@ -1,6 +1,9 @@
-//! Oblivious-sort tracking and elimination (§5.4).
+//! Oblivious-sort tracking and elimination (§5.4): delete work *inside* the
+//! frontier.
 //!
-//! Oblivious sorts are among the most expensive MPC sub-protocols. This pass
+//! While the other passes relocate or split operators, this one removes them
+//! outright. Oblivious sorts are among the most expensive MPC sub-protocols.
+//! This pass
 //! tracks, for every intermediate relation, the column (if any) by which it
 //! is known to be sorted, then removes `sort_by` operators whose input is
 //! already sorted on the same column and direction. The tracked order is also

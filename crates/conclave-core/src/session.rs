@@ -20,13 +20,18 @@ use crate::plan::{compile, CompileError, PhysicalPlan};
 use crate::report::RunReport;
 use conclave_engine::Table;
 use conclave_ir::builder::Query;
+use conclave_sql::SqlError;
 use std::collections::HashMap;
 use std::fmt;
 
-/// Errors raised by [`Session::run`]: compilation or execution failures, with
-/// the underlying cause preserved in [`std::error::Error::source`].
+/// Errors raised by [`Session::run`] and [`Session::run_sql`]: SQL frontend,
+/// compilation or execution failures, with the underlying cause preserved in
+/// [`std::error::Error::source`].
 #[derive(Debug)]
 pub enum SessionError {
+    /// The SQL text failed to parse, bind or type-check (the error's
+    /// `Display` includes a caret diagnostic into the query text).
+    Sql(SqlError),
     /// The query failed to compile under the session's configuration.
     Compile(CompileError),
     /// The compiled plan failed to execute.
@@ -36,6 +41,7 @@ pub enum SessionError {
 impl fmt::Display for SessionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            SessionError::Sql(e) => write!(f, "SQL frontend failed: {e}"),
             SessionError::Compile(e) => write!(f, "compilation failed: {e}"),
             SessionError::Driver(e) => write!(f, "execution failed: {e}"),
         }
@@ -45,9 +51,16 @@ impl fmt::Display for SessionError {
 impl std::error::Error for SessionError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
+            SessionError::Sql(e) => Some(e),
             SessionError::Compile(e) => Some(e),
             SessionError::Driver(e) => Some(e),
         }
+    }
+}
+
+impl From<SqlError> for SessionError {
+    fn from(e: SqlError) -> Self {
+        SessionError::Sql(e)
     }
 }
 
@@ -167,6 +180,102 @@ impl Session {
         self.run_plan(&plan)
     }
 
+    /// Compiles and executes a SQL script over the bound inputs.
+    ///
+    /// The script's `CREATE TABLE … WITH OWNER` declarations name the input
+    /// relations (the same names passed to [`Session::bind`]), carry the
+    /// per-column `PUBLIC` / `TRUSTED BY` annotations, and the query's
+    /// `REVEAL TO` clause names the output recipients. The SQL lowers to the
+    /// same operator DAG the [`conclave_ir::builder::QueryBuilder`] would
+    /// build, then flows through the full pass pipeline and whichever runtime
+    /// the session is configured for. Declared schemas are checked against
+    /// the bound tables (column names and types must match).
+    ///
+    /// # Example
+    ///
+    /// The credit-scoring query of the paper's running example, in SQL:
+    ///
+    /// ```
+    /// use conclave_core::config::ConclaveConfig;
+    /// use conclave_core::session::Session;
+    /// use conclave_engine::Relation;
+    ///
+    /// let report = Session::new(ConclaveConfig::standard().with_sequential_local())
+    ///     .bind(
+    ///         "demographics",
+    ///         Relation::from_ints(&["ssn", "zip"], &[vec![1, 10], vec![2, 20], vec![3, 10]]),
+    ///     )
+    ///     .bind(
+    ///         "scores1",
+    ///         Relation::from_ints(&["ssn", "score"], &[vec![1, 700], vec![3, 650]]),
+    ///     )
+    ///     .bind(
+    ///         "scores2",
+    ///         Relation::from_ints(&["ssn", "score"], &[vec![2, 600]]),
+    ///     )
+    ///     .run_sql(
+    ///         "CREATE TABLE demographics (ssn INT, zip INT TRUSTED BY (p1)) WITH OWNER p1;
+    ///          CREATE TABLE scores1 (ssn INT TRUSTED BY (p1), score INT) WITH OWNER p2;
+    ///          CREATE TABLE scores2 (ssn INT TRUSTED BY (p1), score INT) WITH OWNER p3;
+    ///          SELECT zip, SUM(score) AS total
+    ///          FROM demographics JOIN (scores1 UNION ALL scores2) ON ssn = ssn
+    ///          GROUP BY zip
+    ///          REVEAL TO p1;",
+    ///     )
+    ///     .unwrap();
+    /// let out = report.output_for(1).expect("the regulator receives the result");
+    /// // zip 10: 700 + 650; zip 20: 600.
+    /// let expected = Relation::from_ints(&["zip", "total"], &[vec![10, 1350], vec![20, 600]]);
+    /// assert!(out.same_rows_unordered(&expected));
+    /// ```
+    pub fn run_sql(&self, sql: &str) -> Result<RunReport, SessionError> {
+        let query = self.sql_query(sql)?;
+        self.run(&query)
+    }
+
+    /// Parses, binds and lowers a SQL script to an IR [`Query`] without
+    /// executing it, checking each declared table against the session's
+    /// bound data (names and types) along the way.
+    pub fn sql_query(&self, sql: &str) -> Result<Query, SessionError> {
+        let script = conclave_sql::parse_script(sql).map_err(|e| located(e, sql))?;
+        for decl in &script.tables {
+            let Some(bound) = self.bindings.get(&decl.name) else {
+                continue;
+            };
+            let declared = conclave_sql::declared_schema(decl).map_err(|e| located(e, sql))?;
+            let actual = bound.schema();
+            if declared.names() != actual.names() {
+                return Err(located(
+                    SqlError::at(
+                        decl.span,
+                        format!(
+                            "declared columns {:?} of table `{}` do not match the bound data's columns {:?}",
+                            declared.names(),
+                            decl.name,
+                            actual.names()
+                        ),
+                    ),
+                    sql,
+                ));
+            }
+            for (d, a) in declared.columns.iter().zip(&actual.columns) {
+                if d.dtype != a.dtype {
+                    return Err(located(
+                        SqlError::at(
+                            decl.span,
+                            format!(
+                                "column `{}` of table `{}` is declared {} but the bound data is {}",
+                                d.name, decl.name, d.dtype, a.dtype
+                            ),
+                        ),
+                        sql,
+                    ));
+                }
+            }
+        }
+        conclave_sql::lower_script(&script).map_err(|e| located(e, sql))
+    }
+
     /// Executes an already-compiled plan over the bound inputs.
     pub fn run_plan(&self, plan: &PhysicalPlan) -> Result<RunReport, SessionError> {
         let mut driver = Driver::new(self.config.clone());
@@ -174,6 +283,12 @@ impl Session {
             .run_tables(plan, &self.bindings)
             .map_err(SessionError::from)
     }
+}
+
+/// Locates a SQL error against its source so `Display` renders the caret
+/// diagnostic, and wraps it for the session.
+fn located(e: SqlError, sql: &str) -> SessionError {
+    SessionError::Sql(e.located(sql))
 }
 
 #[cfg(test)]
@@ -230,6 +345,55 @@ mod tests {
         let plan = session.compile(&query).unwrap();
         let report = session.run_plan(&plan).unwrap();
         assert_eq!(report.output_for(1).unwrap().num_rows(), 2);
+    }
+
+    const SUM_SQL: &str = "
+        CREATE TABLE ta (k INT, v INT) WITH OWNER p1;
+        CREATE TABLE tb (k INT, v INT) WITH OWNER p2;
+        SELECT k, SUM(v) AS total FROM (ta UNION ALL tb) GROUP BY k REVEAL TO p1;
+    ";
+
+    #[test]
+    fn run_sql_matches_builder_query() {
+        let session = Session::new(ConclaveConfig::standard().with_sequential_local())
+            .bind("ta", Relation::from_ints(&["k", "v"], &[vec![1, 2]]))
+            .bind("tb", Relation::from_ints(&["k", "v"], &[vec![1, 3]]));
+        let sql_report = session.run_sql(SUM_SQL).unwrap();
+        let builder_report = session.run(&two_party_sum_query()).unwrap();
+        let sql_out = sql_report.output_for(1).unwrap();
+        let builder_out = builder_report.output_for(1).unwrap();
+        assert!(sql_out.same_rows_unordered(builder_out));
+    }
+
+    #[test]
+    fn run_sql_rejects_mismatched_bindings() {
+        // Wrong column names.
+        let err = Session::new(ConclaveConfig::standard().with_sequential_local())
+            .bind("ta", Relation::from_ints(&["k", "w"], &[vec![1, 2]]))
+            .bind("tb", Relation::from_ints(&["k", "v"], &[vec![1, 3]]))
+            .run_sql(SUM_SQL)
+            .unwrap_err();
+        assert!(matches!(err, SessionError::Sql(_)));
+        assert!(err.to_string().contains("do not match"));
+        // Wrong column type.
+        let sql = "CREATE TABLE ta (k INT, v TEXT) WITH OWNER p1;
+                   SELECT k FROM ta REVEAL TO p1;";
+        let err = Session::new(ConclaveConfig::standard().with_sequential_local())
+            .bind("ta", Relation::from_ints(&["k", "v"], &[vec![1, 2]]))
+            .run_sql(sql)
+            .unwrap_err();
+        assert!(err.to_string().contains("declared STR"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn run_sql_parse_errors_carry_caret_diagnostics() {
+        let err = Session::new(ConclaveConfig::standard().with_sequential_local())
+            .run_sql("SELECT FROM t REVEAL TO p1")
+            .unwrap_err();
+        let shown = err.to_string();
+        assert!(shown.contains("line 1"));
+        assert!(shown.contains('^'));
     }
 
     #[test]

@@ -92,7 +92,11 @@ impl QueryBuilder {
         }
     }
 
-    fn schema_of(&self, t: TableHandle) -> Schema {
+    /// The current output schema of an intermediate relation. Frontends (such
+    /// as the SQL binder in `conclave-sql`) use this to resolve and type-check
+    /// column references as they lower clauses onto the builder. Returns an
+    /// empty schema for handles produced by failed operations.
+    pub fn schema_of(&self, t: TableHandle) -> Schema {
         self.dag
             .node(t.0)
             .map(|n| n.schema.clone())

@@ -16,6 +16,8 @@
 //! The crate provides an executable baseline for the aspirin-count and
 //! comorbidity queries plus analytic estimators used by the Figure 7 benches.
 
+#![warn(missing_docs)]
+
 pub mod planner;
 pub mod queries;
 pub mod slicing;

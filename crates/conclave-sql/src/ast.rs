@@ -1,0 +1,545 @@
+//! The typed abstract syntax tree the parser produces.
+//!
+//! Every node carries the byte [`Span`] of the source text it was parsed
+//! from, so the binder can report schema and type errors with carets into
+//! the original query. The `Display` implementations pretty-print a node
+//! back to canonical dialect text (uppercase keywords, fully parenthesized
+//! expressions); `parse(print(ast))` re-produces an equivalent AST, which
+//! the round-trip property test pins.
+
+use crate::error::Span;
+use conclave_ir::expr::BinOp;
+use conclave_ir::ops::AggFunc;
+use std::fmt;
+
+/// A full SQL script: zero or more `CREATE TABLE` declarations followed by
+/// exactly one revealed `SELECT` query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Script {
+    /// Input-table declarations, in source order.
+    pub tables: Vec<CreateTable>,
+    /// The query itself (must end in `REVEAL TO`).
+    pub query: SelectStmt,
+}
+
+/// A `CREATE TABLE name (columns…) WITH OWNER party` declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateTable {
+    /// Relation name (the binding key used by `Session::bind`).
+    pub name: String,
+    /// Column declarations in order.
+    pub columns: Vec<ColumnSpec>,
+    /// The party that stores the relation (the paper's `at=` annotation).
+    pub owner: PartyRef,
+    /// Span of the whole statement.
+    pub span: Span,
+}
+
+/// One column declaration inside `CREATE TABLE`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnSpec {
+    /// Column name.
+    pub name: String,
+    /// Declared type.
+    pub dtype: TypeName,
+    /// Trust annotation (§4.3): who may see the column in cleartext.
+    pub trust: TrustSpec,
+    /// Span of the declaration.
+    pub span: Span,
+}
+
+/// A column type name in the dialect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypeName {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// Boolean.
+    Bool,
+    /// UTF-8 text.
+    Text,
+}
+
+impl fmt::Display for TypeName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TypeName::Int => "INT",
+            TypeName::Float => "FLOAT",
+            TypeName::Bool => "BOOL",
+            TypeName::Text => "TEXT",
+        })
+    }
+}
+
+/// The per-column trust annotation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrustSpec {
+    /// No annotation: private to the owner (the default).
+    Private,
+    /// `PUBLIC`: every party may learn the column.
+    Public,
+    /// `TRUSTED BY (p1, p2, …)`: only the listed parties may learn it.
+    Parties(Vec<PartyRef>),
+}
+
+/// A reference to a party: `p<id>` or a bare integer id, optionally followed
+/// by `AT 'host'`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartyRef {
+    /// Numeric party id.
+    pub id: u32,
+    /// Optional host name (`AT 'mpc.example.org'`).
+    pub host: Option<String>,
+    /// Span of the reference.
+    pub span: Span,
+}
+
+impl fmt::Display for PartyRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.id)?;
+        if let Some(host) = &self.host {
+            write!(f, " AT '{}'", host.replace('\'', "''"))?;
+        }
+        Ok(())
+    }
+}
+
+/// A possibly-qualified column name (`cnt` or `d.patientID`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualName {
+    /// Optional table-or-alias qualifier.
+    pub qualifier: Option<String>,
+    /// Column name.
+    pub name: String,
+    /// Span of the whole reference.
+    pub span: Span,
+}
+
+impl fmt::Display for QualName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.qualifier {
+            Some(q) => write!(f, "{q}.{}", self.name),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+/// A literal constant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lit {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// `NULL`.
+    Null,
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lit::Int(v) => write!(f, "{v}"),
+            Lit::Float(v) => {
+                if v.fract() == 0.0 && v.is_finite() {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Lit::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Lit::Bool(true) => write!(f, "TRUE"),
+            Lit::Bool(false) => write!(f, "FALSE"),
+            Lit::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+/// A scalar expression (used by `WHERE` and computed `SELECT` items).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlExpr {
+    /// Column reference.
+    Column(QualName),
+    /// Literal constant.
+    Literal(Lit, Span),
+    /// `NOT expr`.
+    Not(Box<SqlExpr>, Span),
+    /// A binary operation (the operator set is `conclave_ir`'s [`BinOp`]).
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<SqlExpr>,
+        /// Right operand.
+        right: Box<SqlExpr>,
+        /// Span covering both operands.
+        span: Span,
+    },
+}
+
+impl SqlExpr {
+    /// The source span of the expression.
+    pub fn span(&self) -> Span {
+        match self {
+            SqlExpr::Column(q) => q.span,
+            SqlExpr::Literal(_, span) | SqlExpr::Not(_, span) | SqlExpr::Binary { span, .. } => {
+                *span
+            }
+        }
+    }
+}
+
+/// Renders a [`BinOp`] in SQL spelling (`=`, `AND`, …) rather than the IR's
+/// Rust-like spelling (`==`, `&&`).
+fn sql_binop(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Eq => "=",
+        BinOp::Ne => "!=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::And => "AND",
+        BinOp::Or => "OR",
+    }
+}
+
+// `Display` prints with full parenthesization, so the printed form
+// re-parses to the identical tree regardless of operator precedence.
+impl fmt::Display for SqlExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlExpr::Column(q) => write!(f, "{q}"),
+            SqlExpr::Literal(l, _) => write!(f, "{l}"),
+            SqlExpr::Not(inner, _) => write!(f, "(NOT {inner})"),
+            SqlExpr::Binary {
+                op, left, right, ..
+            } => write!(f, "({left} {} {right})", sql_binop(*op)),
+        }
+    }
+}
+
+/// One item of the `SELECT` list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`: all columns of the `FROM` relation.
+    Star(Span),
+    /// A scalar expression, optionally aliased (`expr AS name`).
+    Expr {
+        /// The expression (a plain column, or arithmetic over columns).
+        expr: SqlExpr,
+        /// Output column name.
+        alias: Option<String>,
+        /// Span of the item.
+        span: Span,
+    },
+    /// An aggregate call: `SUM(x)`, `COUNT(*)`, `COUNT(DISTINCT x)`, ….
+    Agg {
+        /// Aggregation function.
+        func: AggFunc,
+        /// Argument: a column, or `*` (COUNT only).
+        arg: AggArg,
+        /// `DISTINCT` inside the call (COUNT only).
+        distinct: bool,
+        /// Output column name (`AS name`).
+        alias: Option<String>,
+        /// Span of the item.
+        span: Span,
+    },
+}
+
+impl SelectItem {
+    /// The source span of the item.
+    pub fn span(&self) -> Span {
+        match self {
+            SelectItem::Star(span) => *span,
+            SelectItem::Expr { span, .. } | SelectItem::Agg { span, .. } => *span,
+        }
+    }
+}
+
+/// The argument of an aggregate call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggArg {
+    /// `*` (only valid for `COUNT`).
+    Star,
+    /// A column reference.
+    Column(QualName),
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Star(_) => write!(f, "*"),
+            SelectItem::Expr { expr, alias, .. } => {
+                write!(f, "{expr}")?;
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+            SelectItem::Agg {
+                func,
+                arg,
+                distinct,
+                alias,
+                ..
+            } => {
+                write!(f, "{func}(")?;
+                if *distinct {
+                    write!(f, "DISTINCT ")?;
+                }
+                match arg {
+                    AggArg::Star => write!(f, "*")?,
+                    AggArg::Column(c) => write!(f, "{c}")?,
+                }
+                write!(f, ")")?;
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A table expression in the `FROM` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableExpr {
+    /// A named input relation, optionally aliased.
+    Named {
+        /// Relation name (must be declared or in the catalog).
+        name: String,
+        /// Optional alias for qualified column references.
+        alias: Option<String>,
+        /// Span of the reference.
+        span: Span,
+    },
+    /// A parenthesized sub-`SELECT` used as a derived table.
+    Subquery {
+        /// The inner query (must not have a `REVEAL TO` clause).
+        select: Box<SelectStmt>,
+        /// Optional alias.
+        alias: Option<String>,
+        /// Span of the subquery.
+        span: Span,
+    },
+    /// `a UNION ALL b [UNION ALL c …]`: duplicate-preserving concatenation.
+    Union {
+        /// The concatenated branches (two or more).
+        branches: Vec<TableExpr>,
+        /// Span of the whole union.
+        span: Span,
+    },
+    /// `a JOIN b ON l1 = r1 [AND l2 = r2 …]`: inner equi-join.
+    Join {
+        /// Left input.
+        left: Box<TableExpr>,
+        /// Right input.
+        right: Box<TableExpr>,
+        /// Equality conditions pairing a left column with a right column.
+        on: Vec<(QualName, QualName)>,
+        /// Span of the join.
+        span: Span,
+    },
+}
+
+impl TableExpr {
+    /// The source span of the table expression.
+    pub fn span(&self) -> Span {
+        match self {
+            TableExpr::Named { span, .. }
+            | TableExpr::Subquery { span, .. }
+            | TableExpr::Union { span, .. }
+            | TableExpr::Join { span, .. } => *span,
+        }
+    }
+}
+
+impl fmt::Display for TableExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableExpr::Named { name, alias, .. } => {
+                write!(f, "{name}")?;
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+            TableExpr::Subquery { select, alias, .. } => {
+                write!(f, "({select})")?;
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+            TableExpr::Union { branches, .. } => {
+                write!(f, "(")?;
+                for (i, b) in branches.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " UNION ALL ")?;
+                    }
+                    write!(f, "{b}")?;
+                }
+                write!(f, ")")
+            }
+            TableExpr::Join {
+                left, right, on, ..
+            } => {
+                // Nested joins print parenthesized: the grammar reads an
+                // unparenthesized `a JOIN b JOIN c` left-associatively, so
+                // explicit grouping is the only form that round-trips every
+                // tree shape.
+                let print_side = |f: &mut fmt::Formatter<'_>, side: &TableExpr| -> fmt::Result {
+                    if matches!(side, TableExpr::Join { .. }) {
+                        write!(f, "({side})")
+                    } else {
+                        write!(f, "{side}")
+                    }
+                };
+                print_side(f, left)?;
+                write!(f, " JOIN ")?;
+                print_side(f, right)?;
+                write!(f, " ON ")?;
+                for (i, (l, r)) in on.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " AND ")?;
+                    }
+                    write!(f, "{l} = {r}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// An `ORDER BY` clause: one sort column and a direction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderBy {
+    /// Sort column.
+    pub column: QualName,
+    /// `true` for `ASC` (the default), `false` for `DESC`.
+    pub ascending: bool,
+}
+
+impl fmt::Display for OrderBy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}",
+            self.column,
+            if self.ascending { "ASC" } else { "DESC" }
+        )
+    }
+}
+
+/// A `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// `SELECT DISTINCT` flag.
+    pub distinct: bool,
+    /// The select list.
+    pub items: Vec<SelectItem>,
+    /// The `FROM` clause.
+    pub from: TableExpr,
+    /// Optional `WHERE` predicate.
+    pub where_clause: Option<SqlExpr>,
+    /// `GROUP BY` columns (empty when absent).
+    pub group_by: Vec<QualName>,
+    /// Optional `ORDER BY` clause.
+    pub order_by: Option<OrderBy>,
+    /// Optional `LIMIT n`.
+    pub limit: Option<usize>,
+    /// `REVEAL TO` recipients (empty only for subqueries).
+    pub reveal_to: Vec<PartyRef>,
+    /// Span of the whole statement.
+    pub span: Span,
+}
+
+impl fmt::Display for SelectStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, " FROM {}", self.from)?;
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
+        if let Some(o) = &self.order_by {
+            write!(f, " ORDER BY {o}")?;
+        }
+        if let Some(n) = self.limit {
+            write!(f, " LIMIT {n}")?;
+        }
+        if !self.reveal_to.is_empty() {
+            write!(f, " REVEAL TO ")?;
+            for (i, p) in self.reveal_to.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{p}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for CreateTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CREATE TABLE {} (", self.name)?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.dtype)?;
+            match &c.trust {
+                TrustSpec::Private => {}
+                TrustSpec::Public => write!(f, " PUBLIC")?,
+                TrustSpec::Parties(ps) => {
+                    write!(f, " TRUSTED BY (")?;
+                    for (j, p) in ps.iter().enumerate() {
+                        if j > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{p}")?;
+                    }
+                    write!(f, ")")?;
+                }
+            }
+        }
+        write!(f, ") WITH OWNER {}", self.owner)
+    }
+}
+
+impl fmt::Display for Script {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for t in &self.tables {
+            writeln!(f, "{t};")?;
+        }
+        write!(f, "{};", self.query)
+    }
+}

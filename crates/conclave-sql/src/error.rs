@@ -1,0 +1,158 @@
+//! SQL frontend errors with source spans.
+//!
+//! Every stage of the frontend — lexing, parsing, binding/lowering — reports
+//! failures as a [`SqlError`] anchored to a byte [`Span`] of the query text.
+//! The entry points in the crate root locate errors against the source before
+//! returning them, so [`SqlError`]'s `Display` shows the line and column plus
+//! a caret snippet pointing at the offending token:
+//!
+//! ```text
+//! error at line 3, column 8: unknown column `diagnoses` in SELECT
+//!   |
+//! 3 | SELECT diagnoses, COUNT(*) AS cnt
+//!   |        ^^^^^^^^^
+//! ```
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the SQL source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// An error from the SQL frontend: a message plus the source span it refers
+/// to, and — once located against the source text — the line, column and a
+/// caret snippet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlError {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// The byte range of the source text the error refers to.
+    pub span: Span,
+    /// 1-based line of `span.start`, filled in by [`SqlError::located`].
+    pub line: Option<usize>,
+    /// 1-based column of `span.start`, filled in by [`SqlError::located`].
+    pub column: Option<usize>,
+    /// The source line the span starts on, filled in by [`SqlError::located`].
+    pub snippet: Option<String>,
+}
+
+impl SqlError {
+    /// Creates an error at the given span.
+    pub fn at(span: Span, message: impl Into<String>) -> SqlError {
+        SqlError {
+            message: message.into(),
+            span,
+            line: None,
+            column: None,
+            snippet: None,
+        }
+    }
+
+    /// Resolves the span against the source text, filling in line, column and
+    /// the snippet line so `Display` can render a caret diagnostic.
+    pub fn located(mut self, src: &str) -> SqlError {
+        let start = self.span.start.min(src.len());
+        let line_start = src[..start].rfind('\n').map(|i| i + 1).unwrap_or(0);
+        let line_end = src[start..]
+            .find('\n')
+            .map(|i| start + i)
+            .unwrap_or(src.len());
+        self.line = Some(src[..start].matches('\n').count() + 1);
+        self.column = Some(src[line_start..start].chars().count() + 1);
+        self.snippet = Some(src[line_start..line_end].to_string());
+        self
+    }
+
+    /// Renders the caret line under the snippet (spaces up to the column,
+    /// then one `^` per character of the span on this line).
+    fn caret_line(&self) -> Option<String> {
+        let (col, snippet) = (self.column?, self.snippet.as_ref()?);
+        let width = (self.span.end.saturating_sub(self.span.start))
+            .max(1)
+            .min(snippet.chars().count().saturating_sub(col - 1).max(1));
+        Some(format!("{}{}", " ".repeat(col - 1), "^".repeat(width)))
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.line, self.column) {
+            (Some(line), Some(col)) => {
+                write!(f, "error at line {line}, column {col}: {}", self.message)?;
+                if let (Some(snippet), Some(caret)) = (&self.snippet, self.caret_line()) {
+                    write!(f, "\n  |\n{line} | {snippet}\n  | {caret}")?;
+                }
+                Ok(())
+            }
+            _ => write!(f, "error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Convenience result alias for SQL frontend operations.
+pub type SqlResult<T> = Result<T, SqlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge_covers_both() {
+        let a = Span::new(4, 7);
+        let b = Span::new(10, 12);
+        assert_eq!(a.merge(b), Span::new(4, 12));
+        assert_eq!(b.merge(a), Span::new(4, 12));
+    }
+
+    #[test]
+    fn located_computes_line_column_and_snippet() {
+        let src = "SELECT a\nFROM t\nWHERE b > 1";
+        // Span of `b` on line 3.
+        let off = src.find("b >").unwrap();
+        let err = SqlError::at(Span::new(off, off + 1), "unknown column `b`").located(src);
+        assert_eq!(err.line, Some(3));
+        assert_eq!(err.column, Some(7));
+        assert_eq!(err.snippet.as_deref(), Some("WHERE b > 1"));
+        let shown = err.to_string();
+        assert!(shown.contains("line 3, column 7"));
+        assert!(shown.contains("WHERE b > 1"));
+        assert!(shown.contains('^'));
+    }
+
+    #[test]
+    fn unlocated_error_displays_message_only() {
+        let err = SqlError::at(Span::new(0, 1), "boom");
+        assert_eq!(err.to_string(), "error: boom");
+    }
+
+    #[test]
+    fn located_at_end_of_source() {
+        let src = "SELECT";
+        let err = SqlError::at(Span::new(6, 6), "unexpected end of input").located(src);
+        assert_eq!(err.line, Some(1));
+        assert_eq!(err.column, Some(7));
+        assert!(err.to_string().contains("unexpected end of input"));
+    }
+}

@@ -1,0 +1,533 @@
+//! Hand-written lexer for the Conclave SQL dialect.
+//!
+//! The lexer turns the query text into a vector of spanned [`Token`]s.
+//! Keywords are recognized case-insensitively; identifiers keep their
+//! original spelling. Comments run from `--` to the end of the line.
+
+use crate::error::{Span, SqlError, SqlResult};
+use std::fmt;
+
+/// A lexical token kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// An identifier (table, column, alias or party name).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A floating-point literal.
+    Float(f64),
+    /// A single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `.`
+    Dot,
+    /// `*` (projection star or multiplication, decided by the parser).
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `=` or `==`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+
+    /// `SELECT`
+    Select,
+    /// `DISTINCT`
+    Distinct,
+    /// `AS`
+    As,
+    /// `FROM`
+    From,
+    /// `JOIN`
+    Join,
+    /// `ON`
+    On,
+    /// `WHERE`
+    Where,
+    /// `GROUP`
+    Group,
+    /// `BY`
+    By,
+    /// `ORDER`
+    Order,
+    /// `ASC`
+    Asc,
+    /// `DESC`
+    Desc,
+    /// `LIMIT`
+    Limit,
+    /// `UNION`
+    Union,
+    /// `ALL`
+    All,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `NOT`
+    Not,
+    /// `CREATE`
+    Create,
+    /// `TABLE`
+    Table,
+    /// `WITH`
+    With,
+    /// `OWNER`
+    Owner,
+    /// `REVEAL`
+    Reveal,
+    /// `TO`
+    To,
+    /// `PUBLIC`
+    Public,
+    /// `TRUSTED`
+    Trusted,
+    /// `AT`
+    At,
+    /// `TRUE`
+    True,
+    /// `FALSE`
+    False,
+    /// `NULL`
+    Null,
+    /// `INT` (column type)
+    IntType,
+    /// `FLOAT` (column type)
+    FloatType,
+    /// `BOOL` (column type)
+    BoolType,
+    /// `TEXT` / `STRING` (column type)
+    TextType,
+    /// `SUM`
+    Sum,
+    /// `COUNT`
+    Count,
+    /// `MIN`
+    Min,
+    /// `MAX`
+    Max,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(v) => write!(f, "integer `{v}`"),
+            Tok::Float(v) => write!(f, "float `{v}`"),
+            Tok::Str(s) => write!(f, "string '{s}'"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Dot => write!(f, "`.`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Slash => write!(f, "`/`"),
+            Tok::Eq => write!(f, "`=`"),
+            Tok::Ne => write!(f, "`!=`"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Le => write!(f, "`<=`"),
+            Tok::Gt => write!(f, "`>`"),
+            Tok::Ge => write!(f, "`>=`"),
+            other => write!(f, "`{}`", keyword_text(other)),
+        }
+    }
+}
+
+/// The canonical (uppercase) spelling of a keyword token.
+fn keyword_text(tok: &Tok) -> &'static str {
+    match tok {
+        Tok::Select => "SELECT",
+        Tok::Distinct => "DISTINCT",
+        Tok::As => "AS",
+        Tok::From => "FROM",
+        Tok::Join => "JOIN",
+        Tok::On => "ON",
+        Tok::Where => "WHERE",
+        Tok::Group => "GROUP",
+        Tok::By => "BY",
+        Tok::Order => "ORDER",
+        Tok::Asc => "ASC",
+        Tok::Desc => "DESC",
+        Tok::Limit => "LIMIT",
+        Tok::Union => "UNION",
+        Tok::All => "ALL",
+        Tok::And => "AND",
+        Tok::Or => "OR",
+        Tok::Not => "NOT",
+        Tok::Create => "CREATE",
+        Tok::Table => "TABLE",
+        Tok::With => "WITH",
+        Tok::Owner => "OWNER",
+        Tok::Reveal => "REVEAL",
+        Tok::To => "TO",
+        Tok::Public => "PUBLIC",
+        Tok::Trusted => "TRUSTED",
+        Tok::At => "AT",
+        Tok::True => "TRUE",
+        Tok::False => "FALSE",
+        Tok::Null => "NULL",
+        Tok::IntType => "INT",
+        Tok::FloatType => "FLOAT",
+        Tok::BoolType => "BOOL",
+        Tok::TextType => "TEXT",
+        Tok::Sum => "SUM",
+        Tok::Count => "COUNT",
+        Tok::Min => "MIN",
+        Tok::Max => "MAX",
+        _ => unreachable!("keyword_text called on a non-keyword token"),
+    }
+}
+
+/// Maps an identifier to its keyword token, if it is one (case-insensitive).
+fn keyword(word: &str) -> Option<Tok> {
+    let upper = word.to_ascii_uppercase();
+    Some(match upper.as_str() {
+        "SELECT" => Tok::Select,
+        "DISTINCT" => Tok::Distinct,
+        "AS" => Tok::As,
+        "FROM" => Tok::From,
+        "JOIN" => Tok::Join,
+        "ON" => Tok::On,
+        "WHERE" => Tok::Where,
+        "GROUP" => Tok::Group,
+        "BY" => Tok::By,
+        "ORDER" => Tok::Order,
+        "ASC" => Tok::Asc,
+        "DESC" => Tok::Desc,
+        "LIMIT" => Tok::Limit,
+        "UNION" => Tok::Union,
+        "ALL" => Tok::All,
+        "AND" => Tok::And,
+        "OR" => Tok::Or,
+        "NOT" => Tok::Not,
+        "CREATE" => Tok::Create,
+        "TABLE" => Tok::Table,
+        "WITH" => Tok::With,
+        "OWNER" => Tok::Owner,
+        "REVEAL" => Tok::Reveal,
+        "TO" => Tok::To,
+        "PUBLIC" => Tok::Public,
+        "TRUSTED" => Tok::Trusted,
+        "AT" => Tok::At,
+        "TRUE" => Tok::True,
+        "FALSE" => Tok::False,
+        "NULL" => Tok::Null,
+        "INT" | "INTEGER" => Tok::IntType,
+        "FLOAT" | "DOUBLE" => Tok::FloatType,
+        "BOOL" | "BOOLEAN" => Tok::BoolType,
+        "TEXT" | "STRING" | "STR" => Tok::TextType,
+        "SUM" => Tok::Sum,
+        "COUNT" => Tok::Count,
+        "MIN" => Tok::Min,
+        "MAX" => Tok::Max,
+        _ => return None,
+    })
+}
+
+/// A token paired with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind (and literal payload, if any).
+    pub tok: Tok,
+    /// The byte range the token occupies in the source.
+    pub span: Span,
+}
+
+/// Tokenizes the whole source text.
+pub fn lex(src: &str) -> SqlResult<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let start = i;
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // Line comment: skip to end of line.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => push_sym(&mut tokens, Tok::LParen, start, &mut i),
+            ')' => push_sym(&mut tokens, Tok::RParen, start, &mut i),
+            ',' => push_sym(&mut tokens, Tok::Comma, start, &mut i),
+            ';' => push_sym(&mut tokens, Tok::Semi, start, &mut i),
+            '.' => push_sym(&mut tokens, Tok::Dot, start, &mut i),
+            '*' => push_sym(&mut tokens, Tok::Star, start, &mut i),
+            '+' => push_sym(&mut tokens, Tok::Plus, start, &mut i),
+            '-' => push_sym(&mut tokens, Tok::Minus, start, &mut i),
+            '/' => push_sym(&mut tokens, Tok::Slash, start, &mut i),
+            '=' => {
+                i += 1;
+                if bytes.get(i) == Some(&b'=') {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    tok: Tok::Eq,
+                    span: Span::new(start, i),
+                });
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    tokens.push(Token {
+                        tok: Tok::Ne,
+                        span: Span::new(start, i),
+                    });
+                } else {
+                    return Err(SqlError::at(
+                        Span::new(start, start + 1),
+                        "unexpected character `!` (did you mean `!=`?)",
+                    ));
+                }
+            }
+            '<' => {
+                i += 1;
+                let tok = match bytes.get(i) {
+                    Some(b'=') => {
+                        i += 1;
+                        Tok::Le
+                    }
+                    Some(b'>') => {
+                        i += 1;
+                        Tok::Ne
+                    }
+                    _ => Tok::Lt,
+                };
+                tokens.push(Token {
+                    tok,
+                    span: Span::new(start, i),
+                });
+            }
+            '>' => {
+                i += 1;
+                let tok = if bytes.get(i) == Some(&b'=') {
+                    i += 1;
+                    Tok::Ge
+                } else {
+                    Tok::Gt
+                };
+                tokens.push(Token {
+                    tok,
+                    span: Span::new(start, i),
+                });
+            }
+            '\'' => {
+                // Scan byte-wise for the closing quote (quotes are ASCII, so
+                // they cannot occur inside a multi-byte UTF-8 sequence), then
+                // decode the collected bytes as UTF-8 in one go.
+                i += 1;
+                let mut raw: Vec<u8> = Vec::new();
+                loop {
+                    match bytes.get(i) {
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            raw.push(b'\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            raw.push(b);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(SqlError::at(
+                                Span::new(start, i),
+                                "unterminated string literal",
+                            ));
+                        }
+                    }
+                }
+                let value = String::from_utf8(raw)
+                    .expect("a byte slice of valid UTF-8 delimited by ASCII quotes is valid UTF-8");
+                tokens.push(Token {
+                    tok: Tok::Str(value),
+                    span: Span::new(start, i),
+                });
+            }
+            '0'..='9' => {
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &src[start..i];
+                let span = Span::new(start, i);
+                let tok = if is_float {
+                    Tok::Float(text.parse().map_err(|_| {
+                        SqlError::at(span, format!("invalid float literal `{text}`"))
+                    })?)
+                } else {
+                    Tok::Int(text.parse().map_err(|_| {
+                        SqlError::at(span, format!("integer literal `{text}` out of range"))
+                    })?)
+                };
+                tokens.push(Token { tok, span });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let tok = keyword(word).unwrap_or_else(|| Tok::Ident(word.to_string()));
+                tokens.push(Token {
+                    tok,
+                    span: Span::new(start, i),
+                });
+            }
+            _ => {
+                // Decode the actual (possibly multi-byte) character for the
+                // error message; indexing `bytes[i] as char` would mangle it.
+                let other = src[start..].chars().next().expect("in bounds");
+                return Err(SqlError::at(
+                    Span::new(start, start + other.len_utf8()),
+                    format!("unexpected character `{other}`"),
+                ));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn push_sym(tokens: &mut Vec<Token>, tok: Tok, start: usize, i: &mut usize) {
+    *i += 1;
+    tokens.push(Token {
+        tok,
+        span: Span::new(start, *i),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(
+            toks("select Select SELECT"),
+            vec![Tok::Select, Tok::Select, Tok::Select]
+        );
+        assert_eq!(toks("integer double boolean string"), {
+            vec![Tok::IntType, Tok::FloatType, Tok::BoolType, Tok::TextType]
+        });
+    }
+
+    #[test]
+    fn identifiers_keep_case() {
+        assert_eq!(
+            toks("patientID _x a1"),
+            vec![
+                Tok::Ident("patientID".into()),
+                Tok::Ident("_x".into()),
+                Tok::Ident("a1".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        assert_eq!(
+            toks("42 3.5 'it''s'"),
+            vec![Tok::Int(42), Tok::Float(3.5), Tok::Str("it's".into())]
+        );
+    }
+
+    #[test]
+    fn operators_and_symbols() {
+        assert_eq!(
+            toks("= == != <> < <= > >= + - * / ( ) , ; ."),
+            vec![
+                Tok::Eq,
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Ne,
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge,
+                Tok::Plus,
+                Tok::Minus,
+                Tok::Star,
+                Tok::Slash,
+                Tok::LParen,
+                Tok::RParen,
+                Tok::Comma,
+                Tok::Semi,
+                Tok::Dot,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("SELECT -- the whole row\n*"),
+            vec![Tok::Select, Tok::Star]
+        );
+    }
+
+    #[test]
+    fn spans_cover_tokens() {
+        let tokens = lex("SELECT ab").unwrap();
+        assert_eq!(tokens[0].span, Span::new(0, 6));
+        assert_eq!(tokens[1].span, Span::new(7, 9));
+    }
+
+    #[test]
+    fn lex_errors_have_spans() {
+        let err = lex("SELECT @").unwrap_err();
+        assert_eq!(err.span.start, 7);
+        assert!(err.message.contains('@'));
+        let err = lex("'oops").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+        let err = lex("a ! b").unwrap_err();
+        assert!(err.message.contains("!="));
+    }
+
+    #[test]
+    fn huge_integer_is_an_error() {
+        assert!(lex("99999999999999999999999").is_err());
+    }
+}

@@ -1,0 +1,547 @@
+//! SQL frontend for the Conclave reproduction.
+//!
+//! Conclave's analyst-facing surface (§4 of the paper, and its closest
+//! relative SMCQL) is a relational query language: analysts write SQL, the
+//! compiler decides what runs in cleartext and what runs under MPC. This
+//! crate provides that surface for the Rust reproduction:
+//!
+//! * a hand-written lexer and recursive-descent [`parser`] for the Conclave
+//!   SQL dialect (`SELECT` with projections and computed columns, `WHERE`,
+//!   `JOIN … ON`, `GROUP BY` with `SUM`/`COUNT`/`MIN`/`MAX`,
+//!   `COUNT(DISTINCT …)`, `ORDER BY`, `LIMIT`, `SELECT DISTINCT`,
+//!   `UNION ALL`, and subqueries in `FROM`),
+//! * the ownership and trust annotations the paper adds to plain SQL:
+//!   `CREATE TABLE … WITH OWNER p1` declares which party stores an input,
+//!   per-column `PUBLIC` / `TRUSTED BY (p1, …)` annotations populate the
+//!   §4.3 trust sets, and the mandatory `REVEAL TO p1` clause names the
+//!   output recipients,
+//! * a typed [`ast`] in which every node carries its source [`error::Span`],
+//!   and
+//! * a binder/[`lower`]ing stage that resolves and type-checks references
+//!   against the declared (or programmatically registered) input schemas and
+//!   emits a [`conclave_ir::builder::Query`] — the *same* operator DAG the
+//!   hand-driven `QueryBuilder` would produce, so the whole compiler pass
+//!   pipeline, hybrid rewrites and every runtime mode apply unchanged.
+//!
+//! The grammar reference lives in `docs/SQL.md`; errors render with caret
+//! diagnostics into the query text.
+//!
+//! # Example
+//!
+//! The comorbidity query of §7.4 — the ten most common diagnoses across two
+//! hospitals' private data — as SQL:
+//!
+//! ```
+//! use conclave_sql::compile_sql;
+//!
+//! let query = compile_sql(
+//!     "CREATE TABLE diagnoses1 (patientID INT PUBLIC, diagnosis INT) WITH OWNER p1;
+//!      CREATE TABLE diagnoses2 (patientID INT PUBLIC, diagnosis INT) WITH OWNER p2;
+//!      SELECT diagnosis, COUNT(*) AS cnt
+//!      FROM (diagnoses1 UNION ALL diagnoses2)
+//!      GROUP BY diagnosis
+//!      ORDER BY cnt DESC
+//!      LIMIT 10
+//!      REVEAL TO p1;",
+//! )
+//! .unwrap();
+//! assert!(query.dag.validate().is_ok());
+//! assert_eq!(query.parties.len(), 2);
+//! ```
+//!
+//! Schemas can also be bound programmatically through a [`Catalog`], in
+//! which case the SQL needs no `CREATE TABLE` declarations:
+//!
+//! ```
+//! use conclave_ir::party::Party;
+//! use conclave_ir::schema::Schema;
+//! use conclave_sql::{compile_sql_with_catalog, Catalog};
+//!
+//! let catalog = Catalog::new()
+//!     .with_table("ta", Schema::ints(&["k", "v"]), Party::new(1, "a"))
+//!     .with_table("tb", Schema::ints(&["k", "v"]), Party::new(2, "b"));
+//! let query = compile_sql_with_catalog(
+//!     "SELECT k, SUM(v) AS total FROM (ta UNION ALL tb) GROUP BY k REVEAL TO p1",
+//!     &catalog,
+//! )
+//! .unwrap();
+//! assert_eq!(query.dag.leaves().len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+
+pub use ast::Script;
+pub use error::{Span, SqlError, SqlResult};
+pub use lower::{declared_schema, lower_script, lower_script_with_catalog, Catalog};
+pub use parser::{parse_script, parse_select};
+
+use conclave_ir::builder::Query;
+
+/// Compiles a self-contained SQL script (its `CREATE TABLE` declarations
+/// must cover every referenced table) into an IR [`Query`], ready for the
+/// `conclave-core` pass pipeline. Errors are located against `src` so their
+/// `Display` shows line, column and a caret snippet.
+pub fn compile_sql(src: &str) -> SqlResult<Query> {
+    let script = parse_script(src).map_err(|e| e.located(src))?;
+    lower_script(&script).map_err(|e| e.located(src))
+}
+
+/// Like [`compile_sql`], but table references may also resolve against the
+/// given [`Catalog`] (script declarations take precedence).
+pub fn compile_sql_with_catalog(src: &str, catalog: &Catalog) -> SqlResult<Query> {
+    let script = parse_script(src).map_err(|e| e.located(src))?;
+    lower_script_with_catalog(&script, catalog).map_err(|e| e.located(src))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conclave_ir::ops::{AggFunc, Operator};
+    use conclave_ir::party::Party;
+    use conclave_ir::schema::Schema;
+    use conclave_ir::types::DataType;
+
+    const HEALTH_DECLS: &str = "
+        CREATE TABLE diagnoses1 (patientID INT PUBLIC, diagnosis INT) WITH OWNER p1;
+        CREATE TABLE diagnoses2 (patientID INT PUBLIC, diagnosis INT) WITH OWNER p2;
+        CREATE TABLE medications1 (patientID INT PUBLIC, medication INT) WITH OWNER p1;
+        CREATE TABLE medications2 (patientID INT PUBLIC, medication INT) WITH OWNER p2;
+    ";
+
+    #[test]
+    fn comorbidity_lowers_to_the_builder_dag_shape() {
+        let sql = format!(
+            "{HEALTH_DECLS}
+             SELECT diagnosis, COUNT(*) AS cnt
+             FROM (diagnoses1 UNION ALL diagnoses2)
+             GROUP BY diagnosis
+             ORDER BY cnt DESC
+             LIMIT 10
+             REVEAL TO p1;"
+        );
+        let query = compile_sql(&sql).unwrap();
+        assert!(query.dag.validate().is_ok());
+        // input, input, concat, aggregate, sort, limit, collect — exactly the
+        // chain examples/comorbidity.rs builds by hand.
+        assert_eq!(query.dag.node_count(), 7);
+        let ops: Vec<&str> = query
+            .dag
+            .topo_order()
+            .unwrap()
+            .into_iter()
+            .map(|id| query.dag.node(id).unwrap().op.name())
+            .collect();
+        assert_eq!(
+            ops,
+            vec![
+                "input",
+                "input",
+                "concat",
+                "aggregate",
+                "sort_by",
+                "limit",
+                "collect"
+            ]
+        );
+    }
+
+    #[test]
+    fn aspirin_count_lowers_with_join_filter_distinct_count() {
+        let sql = format!(
+            "{HEALTH_DECLS}
+             SELECT COUNT(DISTINCT patientID) AS num_patients
+             FROM (diagnoses1 UNION ALL diagnoses2)
+                  JOIN (medications1 UNION ALL medications2) ON patientID = patientID
+             WHERE diagnosis = 8 AND medication = 1
+             REVEAL TO p1;"
+        );
+        let query = compile_sql(&sql).unwrap();
+        assert!(query.dag.validate().is_ok());
+        let names: Vec<&str> = query.dag.iter().map(|n| n.op.name()).collect();
+        for expected in ["join", "filter", "distinct_count", "collect"] {
+            assert!(names.contains(&expected), "missing {expected} in {names:?}");
+        }
+        // The count column is named by the alias.
+        let leaf = query.dag.leaves()[0];
+        assert_eq!(
+            query.dag.node(leaf).unwrap().schema.names(),
+            vec!["num_patients"]
+        );
+    }
+
+    #[test]
+    fn trust_annotations_reach_the_schema() {
+        let sql = "
+            CREATE TABLE t (a INT PUBLIC, b INT TRUSTED BY (p2, p3), c INT) WITH OWNER p1;
+            SELECT a, b, c FROM t REVEAL TO p1;
+        ";
+        let query = compile_sql(sql).unwrap();
+        let input = query.dag.roots()[0];
+        let schema = &query.dag.node(input).unwrap().schema;
+        assert!(schema.column("a").unwrap().trust.is_public());
+        assert!(schema.column("b").unwrap().trust.trusts(2));
+        assert!(schema.column("b").unwrap().trust.trusts(3));
+        // The owner is implicitly trusted with every column it stores.
+        assert!(schema.column("b").unwrap().trust.trusts(1));
+        assert!(schema.column("c").unwrap().trust.trusts(1));
+        assert!(!schema.column("c").unwrap().trust.trusts(2));
+    }
+
+    #[test]
+    fn owner_hosts_flow_into_parties() {
+        let sql = "
+            CREATE TABLE t (a INT) WITH OWNER p1 AT 'mpc.ftc.gov';
+            SELECT a FROM t REVEAL TO p1;
+        ";
+        let query = compile_sql(sql).unwrap();
+        assert_eq!(query.party(1).unwrap().host, "mpc.ftc.gov");
+    }
+
+    #[test]
+    fn catalog_resolution_and_precedence() {
+        let catalog = Catalog::new().with_table("t", Schema::ints(&["a"]), Party::new(9, "ext"));
+        // The script declaration shadows the catalog entry.
+        let sql = "
+            CREATE TABLE t (a INT) WITH OWNER p1;
+            SELECT a FROM t REVEAL TO p1;
+        ";
+        let query = compile_sql_with_catalog(sql, &catalog).unwrap();
+        assert!(query.party(1).is_some());
+        assert!(query.party(9).is_none());
+        // Catalog-only resolution.
+        let query = compile_sql_with_catalog("SELECT a FROM t REVEAL TO p9", &catalog).unwrap();
+        assert_eq!(query.party(9).unwrap().host, "ext");
+        assert_eq!(catalog.iter().count(), 1);
+    }
+
+    #[test]
+    fn unknown_references_error_with_spans() {
+        let sql = "CREATE TABLE t (a INT) WITH OWNER p1;\nSELECT b FROM t REVEAL TO p1;";
+        let err = compile_sql(sql).unwrap_err();
+        assert!(err.message.contains("unknown column `b`"));
+        assert_eq!(err.line, Some(2));
+        assert_eq!(err.column, Some(8));
+
+        let err = compile_sql("SELECT a FROM nope REVEAL TO p1").unwrap_err();
+        assert!(err.message.contains("unknown table `nope`"));
+
+        let sql = "CREATE TABLE t (a INT) WITH OWNER p1; SELECT z.a FROM t REVEAL TO p1;";
+        let err = compile_sql(sql).unwrap_err();
+        assert!(err.message.contains("unknown table or alias `z`"));
+    }
+
+    #[test]
+    fn where_type_checking() {
+        let decl = "CREATE TABLE t (a INT, s TEXT) WITH OWNER p1;";
+        // Non-boolean predicate.
+        let err =
+            compile_sql(&format!("{decl} SELECT a FROM t WHERE a + 1 REVEAL TO p1")).unwrap_err();
+        assert!(err.message.contains("must be boolean"));
+        // Type error inside the predicate.
+        let err = compile_sql(&format!(
+            "{decl} SELECT a FROM t WHERE s + 1 > 0 REVEAL TO p1"
+        ))
+        .unwrap_err();
+        assert!(err.message.contains("type error"));
+        // NULL literal rejected.
+        let err = compile_sql(&format!(
+            "{decl} SELECT a FROM t WHERE a = NULL REVEAL TO p1"
+        ))
+        .unwrap_err();
+        assert!(err.message.contains("NULL"));
+        // A valid predicate with every comparison and logic operator.
+        let query = compile_sql(&format!(
+            "{decl} SELECT a FROM t \
+             WHERE (a > 0 AND a < 10) OR NOT (a >= 5) AND a <= 7 AND a != 3 AND a = a \
+             REVEAL TO p1"
+        ))
+        .unwrap();
+        assert!(query.dag.validate().is_ok());
+    }
+
+    #[test]
+    fn computed_columns_lower_to_multiply_and_divide() {
+        let sql = "
+            CREATE TABLE t (rev INT, total INT) WITH OWNER p1;
+            SELECT rev, rev / total AS share, rev * rev * 2 AS sq FROM t REVEAL TO p1;
+        ";
+        let query = compile_sql(sql).unwrap();
+        let names: Vec<&str> = query.dag.iter().map(|n| n.op.name()).collect();
+        assert!(names.contains(&"divide"));
+        assert!(names.contains(&"multiply"));
+        let leaf = query.dag.leaves()[0];
+        assert_eq!(
+            query.dag.node(leaf).unwrap().schema.names(),
+            vec!["rev", "share", "sq"]
+        );
+        // The divide output is a float.
+        assert_eq!(
+            query
+                .dag
+                .node(leaf)
+                .unwrap()
+                .schema
+                .column("share")
+                .unwrap()
+                .dtype,
+            DataType::Float
+        );
+    }
+
+    #[test]
+    fn aggregate_select_reorders_via_project() {
+        let sql = "
+            CREATE TABLE t (zip INT, score INT) WITH OWNER p1;
+            SELECT SUM(score) AS total, zip FROM t GROUP BY zip REVEAL TO p1;
+        ";
+        let query = compile_sql(sql).unwrap();
+        let leaf = query.dag.leaves()[0];
+        assert_eq!(
+            query.dag.node(leaf).unwrap().schema.names(),
+            vec!["total", "zip"]
+        );
+        let names: Vec<&str> = query.dag.iter().map(|n| n.op.name()).collect();
+        assert!(names.contains(&"project"));
+    }
+
+    #[test]
+    fn scalar_aggregates_and_default_names() {
+        let decl = "CREATE TABLE t (v INT) WITH OWNER p1;";
+        for (sql_func, expected) in [
+            ("SUM(v)", "sum_v"),
+            ("MIN(v)", "min_v"),
+            ("MAX(v)", "max_v"),
+            ("COUNT(*)", "cnt"),
+            ("COUNT(DISTINCT v)", "distinct_v"),
+        ] {
+            let query =
+                compile_sql(&format!("{decl} SELECT {sql_func} FROM t REVEAL TO p1")).unwrap();
+            let leaf = query.dag.leaves()[0];
+            assert_eq!(
+                query.dag.node(leaf).unwrap().schema.names(),
+                vec![expected],
+                "{sql_func}"
+            );
+        }
+    }
+
+    #[test]
+    fn aggregate_misuse_errors() {
+        let decl = "CREATE TABLE t (k INT, v INT) WITH OWNER p1;";
+        let err = compile_sql(&format!(
+            "{decl} SELECT SUM(v) AS a, SUM(k) AS b FROM t REVEAL TO p1"
+        ))
+        .unwrap_err();
+        assert!(err.message.contains("only one aggregate"));
+        let err = compile_sql(&format!(
+            "{decl} SELECT v, SUM(v) AS s FROM t GROUP BY k REVEAL TO p1"
+        ))
+        .unwrap_err();
+        assert!(err.message.contains("must appear in GROUP BY"));
+        let err =
+            compile_sql(&format!("{decl} SELECT k FROM t GROUP BY k REVEAL TO p1")).unwrap_err();
+        assert!(err.message.contains("requires an aggregate"));
+        let err = compile_sql(&format!(
+            "{decl} SELECT COUNT(DISTINCT v) AS n FROM t GROUP BY k REVEAL TO p1"
+        ))
+        .unwrap_err();
+        assert!(err.message.contains("GROUP BY"));
+        let err = compile_sql(&format!(
+            "{decl} SELECT k, SUM(v) AS s FROM t GROUP BY k, k REVEAL TO p1"
+        ))
+        .unwrap_err();
+        assert!(err.message.contains("duplicate GROUP BY"));
+    }
+
+    #[test]
+    fn distinct_and_star_selects() {
+        let decl = "CREATE TABLE t (a INT, b INT) WITH OWNER p1;";
+        let query =
+            compile_sql(&format!("{decl} SELECT DISTINCT a, b FROM t REVEAL TO p1")).unwrap();
+        let names: Vec<&str> = query.dag.iter().map(|n| n.op.name()).collect();
+        assert!(names.contains(&"distinct"));
+        // `SELECT *` needs no projection node.
+        let query = compile_sql(&format!("{decl} SELECT * FROM t REVEAL TO p1")).unwrap();
+        let names: Vec<&str> = query.dag.iter().map(|n| n.op.name()).collect();
+        assert!(!names.contains(&"project"));
+    }
+
+    #[test]
+    fn subquery_staged_aggregation() {
+        // Two-stage aggregation through a derived table: count per diagnosis,
+        // then take the max count.
+        let sql = "
+            CREATE TABLE d (diagnosis INT) WITH OWNER p1;
+            SELECT MAX(cnt) AS top
+            FROM (SELECT diagnosis, COUNT(*) AS cnt FROM d GROUP BY diagnosis) AS counts
+            REVEAL TO p1;
+        ";
+        let query = compile_sql(sql).unwrap();
+        assert!(query.dag.validate().is_ok());
+        let aggs = query
+            .dag
+            .iter()
+            .filter(|n| matches!(n.op, Operator::Aggregate { .. }))
+            .count();
+        assert_eq!(aggs, 2);
+        let max = query
+            .dag
+            .iter()
+            .find(|n| {
+                matches!(
+                    &n.op,
+                    Operator::Aggregate {
+                        func: AggFunc::Max,
+                        ..
+                    }
+                )
+            })
+            .expect("max aggregate present");
+        assert_eq!(max.schema.names(), vec!["top"]);
+    }
+
+    #[test]
+    fn self_join_gets_one_input_node_per_reference() {
+        let sql = "
+            CREATE TABLE t (k INT, v INT) WITH OWNER p1;
+            SELECT k FROM t AS a JOIN t AS b ON a.k = b.k REVEAL TO p1;
+        ";
+        let query = compile_sql(sql).unwrap();
+        assert!(query.dag.validate().is_ok());
+        // Both references bind the same relation name but are separate scan
+        // nodes, as a self-join requires.
+        assert_eq!(query.dag.roots().len(), 2);
+        assert_eq!(query.parties.len(), 1);
+    }
+
+    #[test]
+    fn qualified_references_survive_join_renames() {
+        // `r.x` collides with `l.x`; join_schema renames it to `x_r`. A
+        // qualified reference through the right table must bind the renamed
+        // column, not silently pick up the left one.
+        let decls = "
+            CREATE TABLE l (k INT, x INT) WITH OWNER p1;
+            CREATE TABLE r (k INT, x INT) WITH OWNER p2;
+        ";
+        let query = compile_sql(&format!(
+            "{decls} SELECT r.x FROM l JOIN r ON l.k = r.k REVEAL TO p1"
+        ))
+        .unwrap();
+        let leaf = query.dag.leaves()[0];
+        assert_eq!(query.dag.node(leaf).unwrap().schema.names(), vec!["x_r"]);
+        // The right join key resolves to the merged key column.
+        let query = compile_sql(&format!(
+            "{decls} SELECT r.k, x_r FROM l JOIN r ON l.k = r.k REVEAL TO p1"
+        ))
+        .unwrap();
+        let leaf = query.dag.leaves()[0];
+        assert_eq!(
+            query.dag.node(leaf).unwrap().schema.names(),
+            vec!["k", "x_r"]
+        );
+        // A qualified reference to a column the qualifier never provided is
+        // an error, not a silent fallback to the same-named left column.
+        let err = compile_sql(&format!(
+            "{decls} SELECT k FROM l JOIN r ON l.k = r.k WHERE r.zzz > 0 REVEAL TO p1"
+        ))
+        .unwrap_err();
+        assert!(err.message.contains("unknown column `r.zzz`"));
+    }
+
+    #[test]
+    fn non_ascii_string_literals_survive_lexing() {
+        let sql = "CREATE TABLE t (a INT) WITH OWNER p1 AT 'münchen.example';
+                   SELECT a FROM t REVEAL TO p1;";
+        let query = compile_sql(sql).unwrap();
+        assert_eq!(query.party(1).unwrap().host, "münchen.example");
+    }
+
+    #[test]
+    fn alias_on_parenthesized_union_is_rejected_clearly() {
+        let err = compile_sql(
+            "CREATE TABLE a (k INT) WITH OWNER p1;
+             CREATE TABLE b (k INT) WITH OWNER p2;
+             SELECT x.k FROM (a UNION ALL b) AS x REVEAL TO p1;",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("subquery"));
+        // The subquery form it suggests works.
+        let query = compile_sql(
+            "CREATE TABLE a (k INT) WITH OWNER p1;
+             CREATE TABLE b (k INT) WITH OWNER p2;
+             SELECT x.k FROM (SELECT k FROM (a UNION ALL b)) AS x REVEAL TO p1;",
+        )
+        .unwrap();
+        assert!(query.dag.validate().is_ok());
+    }
+
+    #[test]
+    fn join_resolves_sides_and_rejects_nonsense() {
+        let sql = "
+            CREATE TABLE l (k INT, x INT) WITH OWNER p1;
+            CREATE TABLE r (k INT, y INT) WITH OWNER p2;
+            SELECT x, y FROM l JOIN r ON r.k = l.k REVEAL TO p1;
+        ";
+        // Swapped sides in the ON clause still resolve.
+        let query = compile_sql(sql).unwrap();
+        assert!(query.dag.validate().is_ok());
+        let err = compile_sql(
+            "CREATE TABLE l (k INT) WITH OWNER p1;
+             CREATE TABLE r (k INT) WITH OWNER p2;
+             SELECT k FROM l JOIN r ON k = zzz REVEAL TO p1;",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("join condition"));
+    }
+
+    #[test]
+    fn duplicate_table_declaration_is_an_error() {
+        let err = compile_sql(
+            "CREATE TABLE t (a INT) WITH OWNER p1;
+             CREATE TABLE t (a INT) WITH OWNER p2;
+             SELECT a FROM t REVEAL TO p1;",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("more than once"));
+        let err = compile_sql(
+            "CREATE TABLE t (a INT, a INT) WITH OWNER p1; SELECT a FROM t REVEAL TO p1;",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("duplicate column"));
+    }
+
+    #[test]
+    fn unsupported_select_items_error() {
+        let decl = "CREATE TABLE t (a INT, b INT) WITH OWNER p1;";
+        let err =
+            compile_sql(&format!("{decl} SELECT a + b AS s FROM t REVEAL TO p1")).unwrap_err();
+        assert!(err.message.contains("unsupported computed SELECT item"));
+        let err = compile_sql(&format!("{decl} SELECT a * b FROM t REVEAL TO p1")).unwrap_err();
+        assert!(err.message.contains("output name"));
+        let err =
+            compile_sql(&format!("{decl} SELECT a AS renamed FROM t REVEAL TO p1")).unwrap_err();
+        assert!(err.message.contains("renaming"));
+    }
+
+    #[test]
+    fn reveal_to_multiple_recipients() {
+        let sql = "CREATE TABLE t (a INT) WITH OWNER p1;
+                   SELECT a FROM t REVEAL TO p1, p2 AT 'b.org';";
+        let query = compile_sql(sql).unwrap();
+        let leaf = query.dag.leaves()[0];
+        match &query.dag.node(leaf).unwrap().op {
+            Operator::Collect { recipients } => {
+                assert!(recipients.contains(1));
+                assert!(recipients.contains(2));
+            }
+            other => panic!("expected collect, got {other}"),
+        }
+        assert_eq!(query.party(2).unwrap().host, "b.org");
+    }
+}

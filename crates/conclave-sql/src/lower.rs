@@ -1,0 +1,737 @@
+//! Binding and lowering: typed AST → `conclave_ir` operator DAG.
+//!
+//! The lowerer resolves every table and column reference against a
+//! [`Catalog`] of input schemas (built from the script's `CREATE TABLE`
+//! declarations and/or supplied programmatically), type-checks predicates,
+//! and emits DAG nodes through [`conclave_ir::builder::QueryBuilder`] — so a
+//! SQL query produces exactly the node chain a hand-built query would:
+//!
+//! | SQL clause | DAG node |
+//! |---|---|
+//! | `FROM t` | `Input` |
+//! | `UNION ALL` | `Concat` |
+//! | `JOIN … ON` | `Join` |
+//! | `WHERE` | `Filter` |
+//! | `GROUP BY` + aggregate | `Aggregate` |
+//! | `COUNT(DISTINCT c)` | `DistinctCount` |
+//! | `a * b AS x` | `Multiply` |
+//! | `a / b AS x` | `Divide` |
+//! | select list reorder | `Project` |
+//! | `SELECT DISTINCT` | `Distinct` |
+//! | `ORDER BY` | `SortBy` |
+//! | `LIMIT` | `Limit` |
+//! | `REVEAL TO` | `Collect` |
+//!
+//! All errors carry the span of the offending reference in the SQL text.
+
+use crate::ast::*;
+use crate::error::{SqlError, SqlResult};
+use conclave_ir::builder::{Query, QueryBuilder, TableHandle};
+use conclave_ir::expr::{BinOp, Expr};
+use conclave_ir::ops::{join_schema, AggFunc, Operand, Operator};
+use conclave_ir::party::Party;
+use conclave_ir::schema::{ColumnDef, Schema};
+use conclave_ir::trust::TrustSet;
+use conclave_ir::types::{DataType, Value};
+
+/// The set of input relations a query may reference: name → (schema, owner).
+///
+/// A catalog can be built programmatically (when the host application knows
+/// its schemas) or from the script's own `CREATE TABLE` declarations; script
+/// declarations take precedence on name clashes.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: Vec<(String, Schema, Party)>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Adds (or replaces) a table, builder-style.
+    pub fn with_table(mut self, name: impl Into<String>, schema: Schema, owner: Party) -> Catalog {
+        self.add_table(name, schema, owner);
+        self
+    }
+
+    /// Adds (or replaces) a table.
+    pub fn add_table(&mut self, name: impl Into<String>, schema: Schema, owner: Party) {
+        let name = name.into();
+        self.tables.retain(|(n, _, _)| n != &name);
+        self.tables.push((name, schema, owner));
+    }
+
+    /// Looks up a table by name.
+    pub fn get(&self, name: &str) -> Option<(&Schema, &Party)> {
+        self.tables
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, s, p)| (s, p))
+    }
+
+    /// Iterates over `(name, schema, owner)` entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Schema, &Party)> {
+        self.tables.iter().map(|(n, s, p)| (n.as_str(), s, p))
+    }
+}
+
+/// Converts a `CREATE TABLE` declaration into an IR schema (types and trust
+/// annotations included).
+pub fn declared_schema(table: &CreateTable) -> SqlResult<Schema> {
+    let mut columns: Vec<ColumnDef> = Vec::with_capacity(table.columns.len());
+    for col in &table.columns {
+        if columns.iter().any(|c| c.name == col.name) {
+            return Err(SqlError::at(
+                col.span,
+                format!("duplicate column `{}` in table `{}`", col.name, table.name),
+            ));
+        }
+        let dtype = match col.dtype {
+            TypeName::Int => DataType::Int,
+            TypeName::Float => DataType::Float,
+            TypeName::Bool => DataType::Bool,
+            TypeName::Text => DataType::Str,
+        };
+        let trust = match &col.trust {
+            TrustSpec::Private => TrustSet::private(),
+            TrustSpec::Public => TrustSet::Public,
+            TrustSpec::Parties(ps) => TrustSet::of(ps.iter().map(|p| p.id)),
+        };
+        columns.push(ColumnDef::with_trust(col.name.clone(), dtype, trust));
+    }
+    Ok(Schema::new(columns))
+}
+
+fn party_of(p: &PartyRef) -> Party {
+    Party::new(p.id, p.host.clone().unwrap_or_else(|| format!("p{}", p.id)))
+}
+
+/// Lowers a parsed script to an IR [`Query`], resolving table references
+/// against the script's own `CREATE TABLE` declarations only.
+pub fn lower_script(script: &Script) -> SqlResult<Query> {
+    lower_script_with_catalog(script, &Catalog::default())
+}
+
+/// Lowers a parsed script to an IR [`Query`]. Table references resolve
+/// against the script's `CREATE TABLE` declarations first, then `external`.
+pub fn lower_script_with_catalog(script: &Script, external: &Catalog) -> SqlResult<Query> {
+    let mut catalog = external.clone();
+    for t in &script.tables {
+        if script
+            .tables
+            .iter()
+            .filter(|other| other.name == t.name)
+            .count()
+            > 1
+        {
+            return Err(SqlError::at(
+                t.span,
+                format!("table `{}` is declared more than once", t.name),
+            ));
+        }
+        catalog.add_table(t.name.clone(), declared_schema(t)?, party_of(&t.owner));
+    }
+    let mut lowerer = Lowerer {
+        builder: QueryBuilder::new(),
+        catalog,
+    };
+    lowerer.lower_select(&script.query)?;
+    lowerer.builder.build().map_err(|e| {
+        SqlError::at(
+            script.query.span,
+            format!("query failed to validate after lowering: {e}"),
+        )
+    })
+}
+
+/// The provenance of one output column during lowering: its current (output)
+/// name, the name it had in the source relation a qualifier refers to, and
+/// the qualifiers (table name, alias) under which it can be referenced.
+/// Joins rename colliding right-side columns to `<name>_r`, so output and
+/// original names can differ — qualified references resolve through the
+/// original name (`r.x` finds the column now called `x_r`).
+#[derive(Debug, Clone)]
+struct ColumnOrigin {
+    output: String,
+    original: String,
+    qualifiers: Vec<String>,
+}
+
+/// The column namespace of one relation during lowering: its schema plus the
+/// per-column provenance used to resolve qualified references.
+#[derive(Debug, Clone)]
+struct Scope {
+    schema: Schema,
+    origins: Vec<ColumnOrigin>,
+}
+
+impl Scope {
+    /// A scope whose columns carry no qualifiers (derived relations: unions,
+    /// select outputs).
+    fn unqualified(schema: Schema) -> Scope {
+        Scope::with_qualifiers(schema, Vec::new())
+    }
+
+    /// A scope whose columns are all referenceable under `qualifiers`.
+    fn with_qualifiers(schema: Schema, qualifiers: Vec<String>) -> Scope {
+        let origins = schema
+            .names()
+            .iter()
+            .map(|n| ColumnOrigin {
+                output: n.to_string(),
+                original: n.to_string(),
+                qualifiers: qualifiers.clone(),
+            })
+            .collect();
+        Scope { schema, origins }
+    }
+
+    /// Resolves a possibly-qualified column reference to its name in the
+    /// current schema, erroring (with the reference's span) on unknown
+    /// qualifiers or columns. Qualified references resolve through the
+    /// column's provenance, so they keep working across join renames.
+    fn resolve(&self, q: &QualName) -> SqlResult<String> {
+        if let Some(qual) = &q.qualifier {
+            if !self
+                .origins
+                .iter()
+                .any(|o| o.qualifiers.iter().any(|x| x == qual))
+            {
+                return Err(SqlError::at(
+                    q.span,
+                    format!("unknown table or alias `{qual}`"),
+                ));
+            }
+            return self
+                .origins
+                .iter()
+                .find(|o| {
+                    o.qualifiers.iter().any(|x| x == qual)
+                        && (o.original == q.name || o.output == q.name)
+                })
+                .map(|o| o.output.clone())
+                .ok_or_else(|| SqlError::at(q.span, format!("unknown column `{q}`")));
+        }
+        if self.schema.index_of(&q.name).is_none() {
+            return Err(SqlError::at(q.span, format!("unknown column `{}`", q.name)));
+        }
+        Ok(q.name.clone())
+    }
+
+    /// Like [`Scope::resolve`] but returns `None` instead of erroring.
+    fn try_resolve(&self, q: &QualName) -> Option<String> {
+        self.resolve(q).ok()
+    }
+}
+
+struct Lowerer {
+    builder: QueryBuilder,
+    catalog: Catalog,
+}
+
+impl Lowerer {
+    // ------------------------------------------------------------------
+    // FROM clause
+    // ------------------------------------------------------------------
+
+    fn lower_table_expr(&mut self, te: &TableExpr) -> SqlResult<(TableHandle, Scope)> {
+        match te {
+            TableExpr::Named { name, alias, span } => {
+                let (schema, party) = match self.catalog.get(name) {
+                    Some((s, p)) => (s.clone(), p.clone()),
+                    None => {
+                        return Err(SqlError::at(
+                            *span,
+                            format!(
+                                "unknown table `{name}` (declare it with CREATE TABLE or register it in the catalog)"
+                            ),
+                        ))
+                    }
+                };
+                // Every reference gets its own `Input` node (the driver binds
+                // input data by relation name, so several references to one
+                // table all see the same rows; a per-reference node is what a
+                // self-join needs).
+                let handle = self.builder.input(name, schema.clone(), party);
+                let mut qualifiers = vec![name.clone()];
+                if let Some(a) = alias {
+                    qualifiers.push(a.clone());
+                }
+                Ok((handle, Scope::with_qualifiers(schema, qualifiers)))
+            }
+            TableExpr::Subquery { select, alias, .. } => {
+                let (handle, scope) = self.lower_select(select)?;
+                let qualifiers = alias.iter().cloned().collect();
+                Ok((handle, Scope::with_qualifiers(scope.schema, qualifiers)))
+            }
+            TableExpr::Union { branches, span } => {
+                let mut handles = Vec::with_capacity(branches.len());
+                let mut schemas = Vec::with_capacity(branches.len());
+                for b in branches {
+                    let (h, s) = self.lower_table_expr(b)?;
+                    handles.push(h);
+                    schemas.push(s.schema);
+                }
+                let out_schema = Operator::Concat.output_schema(&schemas).map_err(|e| {
+                    SqlError::at(*span, format!("UNION ALL branches are incompatible: {e}"))
+                })?;
+                let handle = self.builder.concat(&handles);
+                Ok((handle, Scope::unqualified(out_schema)))
+            }
+            TableExpr::Join {
+                left,
+                right,
+                on,
+                span,
+            } => {
+                let (lh, ls) = self.lower_table_expr(left)?;
+                let (rh, rs) = self.lower_table_expr(right)?;
+                let mut left_keys = Vec::with_capacity(on.len());
+                let mut right_keys = Vec::with_capacity(on.len());
+                for (a, b) in on {
+                    let (lk, rk) = match (ls.try_resolve(a), rs.try_resolve(b)) {
+                        (Some(lk), Some(rk)) => (lk, rk),
+                        _ => match (ls.try_resolve(b), rs.try_resolve(a)) {
+                            (Some(lk), Some(rk)) => (lk, rk),
+                            _ => {
+                                return Err(SqlError::at(
+                                    a.span.merge(b.span),
+                                    format!(
+                                        "join condition `{a} = {b}` must pair a column of the left input with a column of the right input"
+                                    ),
+                                ))
+                            }
+                        },
+                    };
+                    left_keys.push(lk);
+                    right_keys.push(rk);
+                }
+                let out_schema = join_schema(&ls.schema, &rs.schema, &left_keys, &right_keys)
+                    .map_err(|e| SqlError::at(*span, format!("invalid join: {e}")))?;
+                let lk: Vec<&str> = left_keys.iter().map(|s| s.as_str()).collect();
+                let rk: Vec<&str> = right_keys.iter().map(|s| s.as_str()).collect();
+                let handle = self.builder.join(lh, rh, &lk, &rk);
+                // Provenance of the join output, mirroring `join_schema`: all
+                // left columns keep their names; right join keys merge into
+                // the corresponding left key (a qualified reference to the
+                // right key resolves to the merged column); other right
+                // columns colliding with a left name are renamed `<name>_r`,
+                // and qualified references through the right table find them
+                // via their original name.
+                let mut origins: Vec<ColumnOrigin> = ls.origins.clone();
+                for (lk_name, rk_name) in left_keys.iter().zip(&right_keys) {
+                    if let Some(rko) = rs.origins.iter().find(|o| &o.output == rk_name) {
+                        origins.push(ColumnOrigin {
+                            output: lk_name.clone(),
+                            original: rko.original.clone(),
+                            qualifiers: rko.qualifiers.clone(),
+                        });
+                    }
+                }
+                for o in &rs.origins {
+                    if right_keys.contains(&o.output) {
+                        continue;
+                    }
+                    let output = if ls.schema.index_of(&o.output).is_some() {
+                        format!("{}_r", o.output)
+                    } else {
+                        o.output.clone()
+                    };
+                    origins.push(ColumnOrigin {
+                        output,
+                        original: o.original.clone(),
+                        qualifiers: o.qualifiers.clone(),
+                    });
+                }
+                Ok((
+                    handle,
+                    Scope {
+                        schema: out_schema,
+                        origins,
+                    },
+                ))
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Scalar expressions
+    // ------------------------------------------------------------------
+
+    fn lower_expr(&self, e: &SqlExpr, scope: &Scope) -> SqlResult<Expr> {
+        match e {
+            SqlExpr::Column(q) => {
+                let name = scope.resolve(q)?;
+                Ok(Expr::col(name))
+            }
+            SqlExpr::Literal(lit, span) => match lit {
+                Lit::Int(v) => Ok(Expr::lit(*v)),
+                Lit::Float(v) => Ok(Expr::lit(*v)),
+                Lit::Str(s) => Ok(Expr::lit(s.as_str())),
+                Lit::Bool(b) => Ok(Expr::lit(*b)),
+                Lit::Null => Err(SqlError::at(
+                    *span,
+                    "NULL literals are not supported in expressions",
+                )),
+            },
+            SqlExpr::Not(inner, _) => Ok(self.lower_expr(inner, scope)?.not()),
+            SqlExpr::Binary {
+                op, left, right, ..
+            } => {
+                let l = self.lower_expr(left, scope)?;
+                let r = self.lower_expr(right, scope)?;
+                Ok(Expr::bin(*op, l, r))
+            }
+        }
+    }
+
+    /// Interprets an expression as a `Multiply`/`Divide` operand (a column
+    /// reference or a numeric literal), if it is one.
+    fn as_operand(&self, e: &SqlExpr, scope: &Scope) -> SqlResult<Option<Operand>> {
+        Ok(match e {
+            SqlExpr::Column(q) => Some(Operand::col(scope.resolve(q)?)),
+            SqlExpr::Literal(Lit::Int(v), _) => Some(Operand::Lit(Value::Int(*v))),
+            SqlExpr::Literal(Lit::Float(v), _) => Some(Operand::Lit(Value::Float(*v))),
+            _ => None,
+        })
+    }
+
+    /// Flattens a `*`-chain into operands (`a * b * 2`), or returns `None`
+    /// if the expression is not a pure product.
+    fn flatten_product(&self, e: &SqlExpr, scope: &Scope) -> SqlResult<Option<Vec<Operand>>> {
+        if let SqlExpr::Binary {
+            op: BinOp::Mul,
+            left,
+            right,
+            ..
+        } = e
+        {
+            let (Some(mut l), Some(r)) = (
+                self.flatten_product(left, scope)?,
+                self.flatten_product(right, scope)?,
+            ) else {
+                return Ok(None);
+            };
+            l.extend(r);
+            return Ok(Some(l));
+        }
+        Ok(self.as_operand(e, scope)?.map(|o| vec![o]))
+    }
+
+    // ------------------------------------------------------------------
+    // SELECT
+    // ------------------------------------------------------------------
+
+    fn lower_select(&mut self, stmt: &SelectStmt) -> SqlResult<(TableHandle, Scope)> {
+        let (mut handle, mut scope) = self.lower_table_expr(&stmt.from)?;
+
+        // WHERE: a boolean predicate, lowered to Filter.
+        if let Some(w) = &stmt.where_clause {
+            let predicate = self.lower_expr(w, &scope)?;
+            let dtype = predicate
+                .infer_type(&scope.schema)
+                .map_err(|e| SqlError::at(w.span(), format!("type error in WHERE: {e}")))?;
+            if dtype != DataType::Bool {
+                return Err(SqlError::at(
+                    w.span(),
+                    format!("WHERE predicate must be boolean, found {dtype}"),
+                ));
+            }
+            handle = self.builder.filter(handle, predicate);
+        }
+
+        // Split the select list into aggregate and plain items.
+        let agg_items: Vec<&SelectItem> = stmt
+            .items
+            .iter()
+            .filter(|i| matches!(i, SelectItem::Agg { .. }))
+            .collect();
+        if agg_items.len() > 1 {
+            return Err(SqlError::at(
+                agg_items[1].span(),
+                "only one aggregate per SELECT is supported (use a subquery for staged aggregation)",
+            ));
+        }
+
+        if let Some(agg) = agg_items.first() {
+            (handle, scope) = self.lower_aggregate_select(stmt, agg, handle, &scope)?;
+        } else {
+            if !stmt.group_by.is_empty() {
+                return Err(SqlError::at(
+                    stmt.group_by[0].span,
+                    "GROUP BY requires an aggregate in the select list",
+                ));
+            }
+            (handle, scope) = self.lower_plain_select(stmt, handle, &scope)?;
+        }
+
+        // SELECT DISTINCT: de-duplicate over the produced columns.
+        if stmt.distinct {
+            let names: Vec<String> = scope.schema.names().iter().map(|s| s.to_string()).collect();
+            let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+            handle = self.builder.distinct(handle, &refs);
+            scope = Scope::unqualified(scope.schema.project(&names).expect("own columns"));
+        }
+
+        // ORDER BY.
+        if let Some(order) = &stmt.order_by {
+            let col = scope.resolve(&order.column)?;
+            handle = self.builder.sort_by(handle, &col, order.ascending);
+        }
+
+        // LIMIT.
+        if let Some(n) = stmt.limit {
+            handle = self.builder.limit(handle, n);
+        }
+
+        // REVEAL TO (outermost query only; the parser guarantees subqueries
+        // have no reveal clause).
+        if !stmt.reveal_to.is_empty() {
+            let parties: Vec<Party> = stmt.reveal_to.iter().map(party_of).collect();
+            handle = self.builder.collect(handle, &parties);
+        }
+
+        Ok((handle, Scope::unqualified(scope.schema)))
+    }
+
+    /// Lowers a select list containing exactly one aggregate call.
+    fn lower_aggregate_select(
+        &mut self,
+        stmt: &SelectStmt,
+        agg: &SelectItem,
+        handle: TableHandle,
+        scope: &Scope,
+    ) -> SqlResult<(TableHandle, Scope)> {
+        let SelectItem::Agg {
+            func,
+            arg,
+            distinct,
+            alias,
+            span,
+        } = agg
+        else {
+            unreachable!("caller filtered for aggregate items");
+        };
+
+        // Resolve the GROUP BY columns.
+        let mut group_by = Vec::with_capacity(stmt.group_by.len());
+        for g in &stmt.group_by {
+            let name = scope.resolve(g)?;
+            if group_by.contains(&name) {
+                return Err(SqlError::at(
+                    g.span,
+                    format!("duplicate GROUP BY column `{name}`"),
+                ));
+            }
+            group_by.push(name);
+        }
+
+        // Non-aggregate items must be plain grouping columns.
+        let mut desired: Vec<String> = Vec::with_capacity(stmt.items.len());
+        for item in &stmt.items {
+            match item {
+                SelectItem::Agg { .. } => desired.push(String::new()), // placeholder
+                SelectItem::Expr {
+                    expr: SqlExpr::Column(q),
+                    alias,
+                    span,
+                } => {
+                    let name = scope.resolve(q)?;
+                    if let Some(a) = alias {
+                        if a != &name {
+                            return Err(SqlError::at(
+                                *span,
+                                "renaming a grouping column with AS is not supported",
+                            ));
+                        }
+                    }
+                    if !group_by.contains(&name) {
+                        return Err(SqlError::at(
+                            q.span,
+                            format!("column `{name}` must appear in GROUP BY"),
+                        ));
+                    }
+                    desired.push(name);
+                }
+                other => {
+                    return Err(SqlError::at(
+                        other.span(),
+                        "in an aggregate query, non-aggregate SELECT items must be plain grouping columns",
+                    ));
+                }
+            }
+        }
+
+        let (new_handle, out_name) = if *distinct {
+            // COUNT(DISTINCT col) → DistinctCount (global only).
+            let AggArg::Column(col) = arg else {
+                unreachable!("parser rejects COUNT(DISTINCT *)");
+            };
+            if !group_by.is_empty() {
+                return Err(SqlError::at(
+                    *span,
+                    "COUNT(DISTINCT …) cannot be combined with GROUP BY",
+                ));
+            }
+            let col = scope.resolve(col)?;
+            let out = alias.clone().unwrap_or_else(|| format!("distinct_{col}"));
+            (self.builder.distinct_count(handle, &col, &out), out)
+        } else {
+            let over = match arg {
+                AggArg::Star => String::new(),
+                AggArg::Column(c) => scope.resolve(c)?,
+            };
+            if *func != AggFunc::Count && over.is_empty() {
+                return Err(SqlError::at(
+                    *span,
+                    format!("{func} requires a column argument"),
+                ));
+            }
+            let out = alias
+                .clone()
+                .unwrap_or_else(|| default_agg_name(*func, &over));
+            let group_refs: Vec<&str> = group_by.iter().map(|s| s.as_str()).collect();
+            // The IR COUNT takes no `over` column: COUNT(col) counts rows
+            // exactly like COUNT(*).
+            let over_for_ir = if *func == AggFunc::Count {
+                ""
+            } else {
+                over.as_str()
+            };
+            (
+                self.builder
+                    .aggregate(handle, &out, *func, &group_refs, over_for_ir),
+                out,
+            )
+        };
+
+        // The aggregate node produces (group_by…, out); project if the select
+        // list asks for a different order or subset.
+        for d in desired.iter_mut() {
+            if d.is_empty() {
+                *d = out_name.clone();
+            }
+        }
+        let agg_schema_names: Vec<String> = group_by
+            .iter()
+            .cloned()
+            .chain(std::iter::once(out_name.clone()))
+            .collect();
+        let mut handle = new_handle;
+        let mut schema = agg_output_schema(&self.builder, handle);
+        if desired != agg_schema_names {
+            let refs: Vec<&str> = desired.iter().map(|s| s.as_str()).collect();
+            handle = self.builder.project(handle, &refs);
+            schema = schema
+                .project(&desired)
+                .map_err(|e| SqlError::at(stmt.span, format!("invalid select list: {e}")))?;
+        }
+        Ok((handle, Scope::unqualified(schema)))
+    }
+
+    /// Lowers a select list with no aggregates: plain columns, `*`, and
+    /// `a * b AS x` / `a / b AS x` computed columns.
+    fn lower_plain_select(
+        &mut self,
+        stmt: &SelectStmt,
+        mut handle: TableHandle,
+        scope: &Scope,
+    ) -> SqlResult<(TableHandle, Scope)> {
+        let mut schema = scope.schema.clone();
+        let mut desired: Vec<String> = Vec::new();
+        for item in &stmt.items {
+            match item {
+                SelectItem::Star(_) => {
+                    desired.extend(scope.schema.names().iter().map(|s| s.to_string()));
+                }
+                SelectItem::Expr {
+                    expr: SqlExpr::Column(q),
+                    alias,
+                    span,
+                } => {
+                    let name = scope.resolve(q)?;
+                    if let Some(a) = alias {
+                        if a != &name {
+                            return Err(SqlError::at(
+                                *span,
+                                "renaming a column with AS is not supported (project the column and give computed columns new names instead)",
+                            ));
+                        }
+                    }
+                    desired.push(name);
+                }
+                SelectItem::Expr { expr, alias, span } => {
+                    let Some(out) = alias.clone() else {
+                        return Err(SqlError::at(
+                            *span,
+                            "computed SELECT items need an output name (`expr AS name`)",
+                        ));
+                    };
+                    // `a / b AS x` → Divide.
+                    if let SqlExpr::Binary {
+                        op: BinOp::Div,
+                        left,
+                        right,
+                        ..
+                    } = expr
+                    {
+                        let (Some(num), Some(den)) = (
+                            self.as_operand(left, scope)?,
+                            self.as_operand(right, scope)?,
+                        ) else {
+                            return Err(SqlError::at(
+                                *span,
+                                "division operands must be columns or numeric literals",
+                            ));
+                        };
+                        handle = self.builder.divide(handle, &out, num, den);
+                    } else if let Some(operands) = self.flatten_product(expr, scope)? {
+                        if operands.len() < 2 {
+                            return Err(SqlError::at(
+                                *span,
+                                "computed SELECT items must combine at least two operands",
+                            ));
+                        }
+                        handle = self.builder.multiply(handle, &out, operands);
+                    } else {
+                        return Err(SqlError::at(
+                            *span,
+                            "unsupported computed SELECT item: only products (`a * b * …`) and divisions (`a / b`) of columns and numeric literals are supported",
+                        ));
+                    }
+                    schema = agg_output_schema(&self.builder, handle);
+                    desired.push(out);
+                }
+                SelectItem::Agg { .. } => unreachable!("caller handled aggregate selects"),
+            }
+        }
+        // Project to the requested columns unless they already match.
+        let current: Vec<String> = schema.names().iter().map(|s| s.to_string()).collect();
+        if desired != current {
+            let refs: Vec<&str> = desired.iter().map(|s| s.as_str()).collect();
+            handle = self.builder.project(handle, &refs);
+            schema = schema
+                .project(&desired)
+                .map_err(|e| SqlError::at(stmt.span, format!("invalid select list: {e}")))?;
+        }
+        Ok((handle, Scope::unqualified(schema)))
+    }
+}
+
+/// Default output-column name for an unaliased aggregate.
+fn default_agg_name(func: AggFunc, over: &str) -> String {
+    match func {
+        AggFunc::Count => "cnt".to_string(),
+        AggFunc::Sum => format!("sum_{over}"),
+        AggFunc::Min => format!("min_{over}"),
+        AggFunc::Max => format!("max_{over}"),
+    }
+}
+
+/// Reads the current output schema of a builder node. The lowerer validated
+/// the operator before pushing the node, so the handle is always live.
+fn agg_output_schema(builder: &QueryBuilder, handle: TableHandle) -> Schema {
+    builder.schema_of(handle)
+}

@@ -1,0 +1,1051 @@
+//! Recursive-descent parser for the Conclave SQL dialect.
+//!
+//! The grammar is documented in `docs/SQL.md` (EBNF plus a worked lowering
+//! example). Expressions are parsed with classic precedence climbing:
+//!
+//! ```text
+//! OR  <  AND  <  NOT  <  comparisons  <  + -  <  * /  <  unary - / atoms
+//! ```
+//!
+//! Every parse error carries the span of the offending token so the caller
+//! can render a caret diagnostic with [`SqlError::located`].
+
+use crate::ast::*;
+use crate::error::{Span, SqlError, SqlResult};
+use crate::lexer::{lex, Tok, Token};
+use conclave_ir::expr::BinOp;
+use conclave_ir::ops::AggFunc;
+
+/// Parses a full script: zero or more `CREATE TABLE` statements followed by
+/// one `SELECT … REVEAL TO …` query. Statements are separated by `;`.
+pub fn parse_script(src: &str) -> SqlResult<Script> {
+    let tokens = lex(src)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        end: src.len(),
+    };
+    let mut tables = Vec::new();
+    while p.peek_is(&Tok::Create) {
+        tables.push(p.create_table()?);
+        p.expect(&Tok::Semi, "`;` after CREATE TABLE")?;
+    }
+    let query = p.select_stmt(true)?;
+    if p.peek_is(&Tok::Semi) {
+        p.advance();
+    }
+    if let Some(t) = p.peek() {
+        return Err(SqlError::at(
+            t.span,
+            format!("expected end of input, found {}", t.tok),
+        ));
+    }
+    Ok(Script { tables, query })
+}
+
+/// Parses a single `SELECT` statement (with a mandatory `REVEAL TO` clause).
+pub fn parse_select(src: &str) -> SqlResult<SelectStmt> {
+    let tokens = lex(src)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        end: src.len(),
+    };
+    let stmt = p.select_stmt(true)?;
+    if p.peek_is(&Tok::Semi) {
+        p.advance();
+    }
+    if let Some(t) = p.peek() {
+        return Err(SqlError::at(
+            t.span,
+            format!("expected end of input, found {}", t.tok),
+        ));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    /// Byte length of the source, for end-of-input error spans.
+    end: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_is(&self, tok: &Tok) -> bool {
+        self.peek().map(|t| &t.tok == tok).unwrap_or(false)
+    }
+
+    fn advance(&mut self) -> &Token {
+        let t = &self.tokens[self.pos];
+        self.pos += 1;
+        t
+    }
+
+    fn eof_span(&self) -> Span {
+        Span::new(self.end, self.end)
+    }
+
+    /// Consumes `tok` or errors with `expected what`.
+    fn expect(&mut self, tok: &Tok, what: &str) -> SqlResult<Span> {
+        match self.peek() {
+            Some(t) if &t.tok == tok => {
+                let span = t.span;
+                self.pos += 1;
+                Ok(span)
+            }
+            Some(t) => Err(SqlError::at(
+                t.span,
+                format!("expected {what}, found {}", t.tok),
+            )),
+            None => Err(SqlError::at(
+                self.eof_span(),
+                format!("expected {what}, found end of input"),
+            )),
+        }
+    }
+
+    /// Consumes `tok` if present, returning whether it was.
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek_is(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> SqlResult<(String, Span)> {
+        match self.peek() {
+            Some(Token {
+                tok: Tok::Ident(name),
+                span,
+            }) => {
+                let out = (name.clone(), *span);
+                self.pos += 1;
+                Ok(out)
+            }
+            Some(t) => Err(SqlError::at(
+                t.span,
+                format!("expected {what}, found {}", t.tok),
+            )),
+            None => Err(SqlError::at(
+                self.eof_span(),
+                format!("expected {what}, found end of input"),
+            )),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // CREATE TABLE
+    // ------------------------------------------------------------------
+
+    fn create_table(&mut self) -> SqlResult<CreateTable> {
+        let start = self.expect(&Tok::Create, "`CREATE`")?;
+        self.expect(&Tok::Table, "`TABLE` after CREATE")?;
+        let (name, _) = self.ident("a table name")?;
+        self.expect(&Tok::LParen, "`(` beginning the column list")?;
+        let mut columns = Vec::new();
+        loop {
+            columns.push(self.column_spec()?);
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(&Tok::RParen, "`)` closing the column list")?;
+        self.expect(&Tok::With, "`WITH OWNER` after the column list")?;
+        self.expect(&Tok::Owner, "`OWNER` after WITH")?;
+        let owner = self.party_ref()?;
+        let span = start.merge(owner.span);
+        Ok(CreateTable {
+            name,
+            columns,
+            owner,
+            span,
+        })
+    }
+
+    fn column_spec(&mut self) -> SqlResult<ColumnSpec> {
+        let (name, name_span) = self.ident("a column name")?;
+        let (dtype, mut span) = match self.peek() {
+            Some(t) => {
+                let dtype = match t.tok {
+                    Tok::IntType => TypeName::Int,
+                    Tok::FloatType => TypeName::Float,
+                    Tok::BoolType => TypeName::Bool,
+                    Tok::TextType => TypeName::Text,
+                    _ => {
+                        return Err(SqlError::at(
+                            t.span,
+                            format!(
+                                "expected a column type (INT, FLOAT, BOOL, TEXT), found {}",
+                                t.tok
+                            ),
+                        ))
+                    }
+                };
+                let s = t.span;
+                self.pos += 1;
+                (dtype, name_span.merge(s))
+            }
+            None => {
+                return Err(SqlError::at(
+                    self.eof_span(),
+                    "expected a column type, found end of input",
+                ))
+            }
+        };
+        let trust = if self.peek_is(&Tok::Public) {
+            span = span.merge(self.advance().span);
+            TrustSpec::Public
+        } else if self.peek_is(&Tok::Trusted) {
+            self.advance();
+            self.expect(&Tok::By, "`BY` after TRUSTED")?;
+            self.expect(&Tok::LParen, "`(` beginning the trusted-party list")?;
+            let mut parties = Vec::new();
+            loop {
+                parties.push(self.party_ref()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            let close = self.expect(&Tok::RParen, "`)` closing the trusted-party list")?;
+            span = span.merge(close);
+            TrustSpec::Parties(parties)
+        } else {
+            TrustSpec::Private
+        };
+        Ok(ColumnSpec {
+            name,
+            dtype,
+            trust,
+            span,
+        })
+    }
+
+    /// Parses a party reference: `p<id>` or an integer id, optionally
+    /// followed by `AT 'host'`.
+    fn party_ref(&mut self) -> SqlResult<PartyRef> {
+        let (id, mut span) = match self.peek() {
+            Some(Token {
+                tok: Tok::Int(v),
+                span,
+            }) => {
+                let id = u32::try_from(*v)
+                    .map_err(|_| SqlError::at(*span, format!("party id {v} out of range")))?;
+                let s = *span;
+                self.pos += 1;
+                (id, s)
+            }
+            Some(Token {
+                tok: Tok::Ident(name),
+                span,
+            }) => {
+                let id = parse_party_name(name).ok_or_else(|| {
+                    SqlError::at(
+                        *span,
+                        format!("expected a party (`p<id>` or an integer id), found `{name}`"),
+                    )
+                })?;
+                let s = *span;
+                self.pos += 1;
+                (id, s)
+            }
+            Some(t) => {
+                return Err(SqlError::at(
+                    t.span,
+                    format!(
+                        "expected a party (`p<id>` or an integer id), found {}",
+                        t.tok
+                    ),
+                ))
+            }
+            None => {
+                return Err(SqlError::at(
+                    self.eof_span(),
+                    "expected a party, found end of input",
+                ))
+            }
+        };
+        let host = if self.peek_is(&Tok::At) {
+            self.advance();
+            match self.peek() {
+                Some(Token {
+                    tok: Tok::Str(host),
+                    span: host_span,
+                }) => {
+                    let h = host.clone();
+                    span = span.merge(*host_span);
+                    self.pos += 1;
+                    Some(h)
+                }
+                Some(t) => {
+                    return Err(SqlError::at(
+                        t.span,
+                        format!("expected a quoted host name after AT, found {}", t.tok),
+                    ))
+                }
+                None => {
+                    return Err(SqlError::at(
+                        self.eof_span(),
+                        "expected a quoted host name after AT, found end of input",
+                    ))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(PartyRef { id, host, span })
+    }
+
+    // ------------------------------------------------------------------
+    // SELECT
+    // ------------------------------------------------------------------
+
+    /// Parses a `SELECT` statement. `top_level` requires a `REVEAL TO`
+    /// clause; subqueries must not have one.
+    fn select_stmt(&mut self, top_level: bool) -> SqlResult<SelectStmt> {
+        let start = self.expect(&Tok::Select, "`SELECT`")?;
+        let distinct = self.eat(&Tok::Distinct);
+        let mut items = Vec::new();
+        loop {
+            items.push(self.select_item()?);
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(&Tok::From, "`FROM` after the select list")?;
+        let from = self.table_expr()?;
+        let where_clause = if self.eat(&Tok::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.peek_is(&Tok::Group) {
+            self.advance();
+            self.expect(&Tok::By, "`BY` after GROUP")?;
+            loop {
+                group_by.push(self.qual_name()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        let order_by = if self.peek_is(&Tok::Order) {
+            self.advance();
+            self.expect(&Tok::By, "`BY` after ORDER")?;
+            let column = self.qual_name()?;
+            let ascending = if self.eat(&Tok::Desc) {
+                false
+            } else {
+                self.eat(&Tok::Asc);
+                true
+            };
+            Some(OrderBy { column, ascending })
+        } else {
+            None
+        };
+        let limit = if self.eat(&Tok::Limit) {
+            match self.peek() {
+                Some(Token {
+                    tok: Tok::Int(n),
+                    span,
+                }) => {
+                    let n = usize::try_from(*n)
+                        .map_err(|_| SqlError::at(*span, "LIMIT must be non-negative"))?;
+                    self.pos += 1;
+                    Some(n)
+                }
+                Some(t) => {
+                    return Err(SqlError::at(
+                        t.span,
+                        format!("expected a row count after LIMIT, found {}", t.tok),
+                    ))
+                }
+                None => {
+                    return Err(SqlError::at(
+                        self.eof_span(),
+                        "expected a row count after LIMIT, found end of input",
+                    ))
+                }
+            }
+        } else {
+            None
+        };
+        let mut reveal_to = Vec::new();
+        if self.peek_is(&Tok::Reveal) {
+            self.advance();
+            self.expect(&Tok::To, "`TO` after REVEAL")?;
+            loop {
+                reveal_to.push(self.party_ref()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        if top_level && reveal_to.is_empty() {
+            return Err(SqlError::at(
+                start,
+                "the query must end in a `REVEAL TO <party>` clause naming the output recipients",
+            ));
+        }
+        if !top_level && !reveal_to.is_empty() {
+            return Err(SqlError::at(
+                reveal_to[0].span,
+                "`REVEAL TO` is only allowed on the outermost SELECT",
+            ));
+        }
+        // The statement span runs from SELECT through the last consumed
+        // token, whichever clause that was — lowering errors anchored to the
+        // statement then underline the whole statement, not just `SELECT`.
+        let end_span = self
+            .tokens
+            .get(self.pos.saturating_sub(1))
+            .map(|t| t.span)
+            .unwrap_or(start);
+        Ok(SelectStmt {
+            distinct,
+            items,
+            from,
+            where_clause,
+            group_by,
+            order_by,
+            limit,
+            reveal_to,
+            span: start.merge(end_span),
+        })
+    }
+
+    fn select_item(&mut self) -> SqlResult<SelectItem> {
+        match self.peek() {
+            Some(Token {
+                tok: Tok::Star,
+                span,
+            }) => {
+                let span = *span;
+                self.pos += 1;
+                Ok(SelectItem::Star(span))
+            }
+            Some(Token { tok, span })
+                if matches!(tok, Tok::Sum | Tok::Count | Tok::Min | Tok::Max) =>
+            {
+                let func = match tok {
+                    Tok::Sum => AggFunc::Sum,
+                    Tok::Count => AggFunc::Count,
+                    Tok::Min => AggFunc::Min,
+                    Tok::Max => AggFunc::Max,
+                    _ => unreachable!(),
+                };
+                let start = *span;
+                self.pos += 1;
+                self.expect(&Tok::LParen, "`(` after the aggregate function")?;
+                let distinct = self.eat(&Tok::Distinct);
+                let arg = if self.peek_is(&Tok::Star) {
+                    let star_span = self.advance().span;
+                    if func != AggFunc::Count {
+                        return Err(SqlError::at(
+                            star_span,
+                            format!("`*` argument is only valid for COUNT, not {func}"),
+                        ));
+                    }
+                    AggArg::Star
+                } else {
+                    AggArg::Column(self.qual_name()?)
+                };
+                if distinct && func != AggFunc::Count {
+                    return Err(SqlError::at(
+                        start,
+                        format!(
+                            "DISTINCT inside an aggregate is only supported for COUNT, not {func}"
+                        ),
+                    ));
+                }
+                if distinct && matches!(arg, AggArg::Star) {
+                    return Err(SqlError::at(start, "COUNT(DISTINCT *) is not supported"));
+                }
+                let mut span = start.merge(self.expect(&Tok::RParen, "`)` closing the aggregate")?);
+                let alias = self.alias()?;
+                if alias.is_some() {
+                    span = span.merge(self.tokens[self.pos - 1].span);
+                }
+                Ok(SelectItem::Agg {
+                    func,
+                    arg,
+                    distinct,
+                    alias,
+                    span,
+                })
+            }
+            _ => {
+                let expr = self.expr()?;
+                let mut span = expr.span();
+                let alias = self.alias()?;
+                if alias.is_some() {
+                    span = span.merge(self.tokens[self.pos - 1].span);
+                }
+                Ok(SelectItem::Expr { expr, alias, span })
+            }
+        }
+    }
+
+    /// Parses an optional `AS name` (or a bare alias identifier).
+    fn alias(&mut self) -> SqlResult<Option<String>> {
+        if self.eat(&Tok::As) {
+            let (name, _) = self.ident("an alias after AS")?;
+            Ok(Some(name))
+        } else {
+            Ok(None)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // FROM clause
+    // ------------------------------------------------------------------
+
+    /// `table_expr := table_join (UNION ALL table_join)*`
+    fn table_expr(&mut self) -> SqlResult<TableExpr> {
+        let first = self.table_join()?;
+        if !self.peek_is(&Tok::Union) {
+            return Ok(first);
+        }
+        let mut branches = vec![first];
+        while self.eat(&Tok::Union) {
+            self.expect(&Tok::All, "`ALL` after UNION (only UNION ALL is supported)")?;
+            branches.push(self.table_join()?);
+        }
+        let span = branches[0]
+            .span()
+            .merge(branches.last().expect("non-empty").span());
+        Ok(TableExpr::Union { branches, span })
+    }
+
+    /// `table_join := table_primary (JOIN table_primary ON eq (AND eq)*)*`
+    fn table_join(&mut self) -> SqlResult<TableExpr> {
+        let mut left = self.table_primary()?;
+        while self.eat(&Tok::Join) {
+            let right = self.table_primary()?;
+            self.expect(&Tok::On, "`ON` after the joined table")?;
+            let mut on = Vec::new();
+            loop {
+                let l = self.qual_name()?;
+                self.expect(&Tok::Eq, "`=` in the join condition")?;
+                let r = self.qual_name()?;
+                on.push((l, r));
+                if !self.eat(&Tok::And) {
+                    break;
+                }
+            }
+            let span = left.span().merge(on.last().expect("non-empty").1.span);
+            left = TableExpr::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                on,
+                span,
+            };
+        }
+        Ok(left)
+    }
+
+    /// `table_primary := name [AS alias] | '(' SELECT … ')' [AS alias]
+    ///                 | '(' table_expr ')' [AS alias]`
+    fn table_primary(&mut self) -> SqlResult<TableExpr> {
+        if self.peek_is(&Tok::LParen) {
+            let open = self.advance().span;
+            if self.peek_is(&Tok::Select) {
+                let select = self.select_stmt(false)?;
+                let close = self.expect(&Tok::RParen, "`)` closing the subquery")?;
+                let alias = self.alias()?;
+                return Ok(TableExpr::Subquery {
+                    select: Box::new(select),
+                    alias,
+                    span: open.merge(close),
+                });
+            }
+            let inner = self.table_expr()?;
+            let close = self.expect(&Tok::RParen, "`)` closing the table expression")?;
+            let alias_span = self.peek().map(|t| t.span);
+            let alias = self.alias()?;
+            // An alias on a parenthesized table expression re-labels a named
+            // table; unions and joins have no single namespace to re-label,
+            // so an alias there would be silently meaningless — reject it
+            // and point at the supported alternative.
+            if let (Some(a), TableExpr::Named { name, span, .. }) = (&alias, &inner) {
+                return Ok(TableExpr::Named {
+                    name: name.clone(),
+                    alias: Some(a.clone()),
+                    span: *span,
+                });
+            }
+            if alias.is_some() {
+                return Err(SqlError::at(
+                    alias_span.unwrap_or_else(|| self.eof_span()),
+                    "aliases on parenthesized UNION ALL / JOIN expressions are not supported; \
+                     wrap the expression in a subquery instead: `(SELECT * FROM …) AS name`",
+                ));
+            }
+            let _ = (open, close);
+            return Ok(inner);
+        }
+        let (name, span) = self.ident("a table name")?;
+        let alias = self.alias()?;
+        Ok(TableExpr::Named { name, alias, span })
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions (precedence climbing)
+    // ------------------------------------------------------------------
+
+    fn qual_name(&mut self) -> SqlResult<QualName> {
+        let (first, first_span) = self.ident("a column name")?;
+        if self.peek_is(&Tok::Dot) {
+            self.advance();
+            let (name, name_span) = self.ident("a column name after `.`")?;
+            Ok(QualName {
+                qualifier: Some(first),
+                name,
+                span: first_span.merge(name_span),
+            })
+        } else {
+            Ok(QualName {
+                qualifier: None,
+                name: first,
+                span: first_span,
+            })
+        }
+    }
+
+    /// `expr := and_expr (OR and_expr)*`
+    fn expr(&mut self) -> SqlResult<SqlExpr> {
+        let mut left = self.and_expr()?;
+        while self.eat(&Tok::Or) {
+            let right = self.and_expr()?;
+            left = binary(BinOp::Or, left, right);
+        }
+        Ok(left)
+    }
+
+    /// `and_expr := not_expr (AND not_expr)*`
+    fn and_expr(&mut self) -> SqlResult<SqlExpr> {
+        let mut left = self.not_expr()?;
+        while self.peek_is(&Tok::And) {
+            self.advance();
+            let right = self.not_expr()?;
+            left = binary(BinOp::And, left, right);
+        }
+        Ok(left)
+    }
+
+    /// `not_expr := NOT not_expr | cmp_expr`
+    fn not_expr(&mut self) -> SqlResult<SqlExpr> {
+        if self.peek_is(&Tok::Not) {
+            let not_span = self.advance().span;
+            let inner = self.not_expr()?;
+            let span = not_span.merge(inner.span());
+            return Ok(SqlExpr::Not(Box::new(inner), span));
+        }
+        self.cmp_expr()
+    }
+
+    /// `cmp_expr := add_expr [(= | != | < | <= | > | >=) add_expr]`
+    fn cmp_expr(&mut self) -> SqlResult<SqlExpr> {
+        let left = self.add_expr()?;
+        let op = match self.peek().map(|t| &t.tok) {
+            Some(Tok::Eq) => BinOp::Eq,
+            Some(Tok::Ne) => BinOp::Ne,
+            Some(Tok::Lt) => BinOp::Lt,
+            Some(Tok::Le) => BinOp::Le,
+            Some(Tok::Gt) => BinOp::Gt,
+            Some(Tok::Ge) => BinOp::Ge,
+            _ => return Ok(left),
+        };
+        self.advance();
+        let right = self.add_expr()?;
+        Ok(binary(op, left, right))
+    }
+
+    /// `add_expr := mul_expr ((+ | -) mul_expr)*`
+    fn add_expr(&mut self) -> SqlResult<SqlExpr> {
+        let mut left = self.mul_expr()?;
+        loop {
+            let op = match self.peek().map(|t| &t.tok) {
+                Some(Tok::Plus) => BinOp::Add,
+                Some(Tok::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let right = self.mul_expr()?;
+            left = binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    /// `mul_expr := atom ((* | /) atom)*`
+    fn mul_expr(&mut self) -> SqlResult<SqlExpr> {
+        let mut left = self.atom()?;
+        loop {
+            let op = match self.peek().map(|t| &t.tok) {
+                Some(Tok::Star) => BinOp::Mul,
+                Some(Tok::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.advance();
+            let right = self.atom()?;
+            left = binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    /// `atom := literal | [-] number | qual_name | '(' expr ')'`
+    fn atom(&mut self) -> SqlResult<SqlExpr> {
+        let Some(t) = self.peek() else {
+            return Err(SqlError::at(
+                self.eof_span(),
+                "expected an expression, found end of input",
+            ));
+        };
+        let span = t.span;
+        match &t.tok {
+            Tok::Int(v) => {
+                let e = SqlExpr::Literal(Lit::Int(*v), span);
+                self.pos += 1;
+                Ok(e)
+            }
+            Tok::Float(v) => {
+                let e = SqlExpr::Literal(Lit::Float(*v), span);
+                self.pos += 1;
+                Ok(e)
+            }
+            Tok::Str(s) => {
+                let e = SqlExpr::Literal(Lit::Str(s.clone()), span);
+                self.pos += 1;
+                Ok(e)
+            }
+            Tok::True => {
+                self.pos += 1;
+                Ok(SqlExpr::Literal(Lit::Bool(true), span))
+            }
+            Tok::False => {
+                self.pos += 1;
+                Ok(SqlExpr::Literal(Lit::Bool(false), span))
+            }
+            Tok::Null => {
+                self.pos += 1;
+                Ok(SqlExpr::Literal(Lit::Null, span))
+            }
+            Tok::Minus => {
+                // Negative numeric literal (the dialect has no general unary
+                // minus; `0 - x` expresses negation of a column).
+                self.pos += 1;
+                match self.peek() {
+                    Some(Token {
+                        tok: Tok::Int(v),
+                        span: num_span,
+                    }) => {
+                        let e = SqlExpr::Literal(Lit::Int(-*v), span.merge(*num_span));
+                        self.pos += 1;
+                        Ok(e)
+                    }
+                    Some(Token {
+                        tok: Tok::Float(v),
+                        span: num_span,
+                    }) => {
+                        let e = SqlExpr::Literal(Lit::Float(-*v), span.merge(*num_span));
+                        self.pos += 1;
+                        Ok(e)
+                    }
+                    _ => Err(SqlError::at(
+                        span,
+                        "`-` must be followed by a numeric literal (use `0 - x` to negate a column)",
+                    )),
+                }
+            }
+            Tok::LParen => {
+                self.pos += 1;
+                let inner = self.expr()?;
+                self.expect(&Tok::RParen, "`)` closing the parenthesized expression")?;
+                Ok(inner)
+            }
+            Tok::Ident(_) => Ok(SqlExpr::Column(self.qual_name()?)),
+            other => Err(SqlError::at(
+                span,
+                format!("expected an expression, found {other}"),
+            )),
+        }
+    }
+}
+
+fn binary(op: BinOp, left: SqlExpr, right: SqlExpr) -> SqlExpr {
+    let span = left.span().merge(right.span());
+    SqlExpr::Binary {
+        op,
+        left: Box::new(left),
+        right: Box::new(right),
+        span,
+    }
+}
+
+/// Parses a `p<id>` party name into its numeric id.
+fn parse_party_name(name: &str) -> Option<u32> {
+    let rest = name.strip_prefix('p').or_else(|| name.strip_prefix('P'))?;
+    if rest.is_empty() || !rest.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    rest.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_expr(src: &str) -> SqlExpr {
+        let sql = format!("SELECT a FROM t WHERE {src} REVEAL TO p1");
+        parse_select(&sql).unwrap().where_clause.unwrap()
+    }
+
+    #[test]
+    fn precedence_or_lowest_mul_highest() {
+        // a OR b AND c  =>  (a OR (b AND c))
+        assert_eq!(parse_expr("a OR b AND c").to_string(), "(a OR (b AND c))");
+        // a + b * c > d  =>  ((a + (b * c)) > d)
+        assert_eq!(
+            parse_expr("a + b * c > d").to_string(),
+            "((a + (b * c)) > d)"
+        );
+        // NOT binds tighter than AND.
+        assert_eq!(
+            parse_expr("NOT a = 1 AND b = 2").to_string(),
+            "((NOT (a = 1)) AND (b = 2))"
+        );
+        // Parentheses override.
+        assert_eq!(parse_expr("(a + b) * c").to_string(), "((a + b) * c)");
+        // Left associativity of - and /.
+        assert_eq!(
+            parse_expr("a - b - c = 0").to_string(),
+            "(((a - b) - c) = 0)"
+        );
+        assert_eq!(
+            parse_expr("a / b / c = 0").to_string(),
+            "(((a / b) / c) = 0)"
+        );
+    }
+
+    #[test]
+    fn literals_and_negative_numbers() {
+        assert_eq!(parse_expr("a = -5").to_string(), "(a = -5)");
+        assert_eq!(parse_expr("a = -2.5").to_string(), "(a = -2.5)");
+        assert_eq!(parse_expr("a = 'x''y'").to_string(), "(a = 'x''y')");
+        assert_eq!(
+            parse_expr("a = TRUE OR a = FALSE").to_string(),
+            "((a = TRUE) OR (a = FALSE))"
+        );
+        assert_eq!(parse_expr("NOT a = NULL").to_string(), "(NOT (a = NULL))");
+    }
+
+    #[test]
+    fn qualified_names() {
+        let e = parse_expr("d.diagnosis = 8");
+        assert_eq!(e.to_string(), "(d.diagnosis = 8)");
+    }
+
+    #[test]
+    fn full_select_clauses_round_trip() {
+        let sql = "SELECT DISTINCT zip, total FROM (a UNION ALL b) JOIN c ON zip = zip \
+                   WHERE total > 10 GROUP BY zip ORDER BY total DESC LIMIT 5 REVEAL TO p1, p2";
+        let stmt = parse_select(sql).unwrap();
+        assert!(stmt.distinct);
+        assert_eq!(stmt.items.len(), 2);
+        assert_eq!(stmt.group_by.len(), 1);
+        assert_eq!(stmt.limit, Some(5));
+        assert_eq!(stmt.reveal_to.len(), 2);
+        let printed = stmt.to_string();
+        let reparsed = parse_select(&printed).unwrap();
+        assert_eq!(reparsed.to_string(), printed);
+    }
+
+    #[test]
+    fn aggregates() {
+        let sql = "SELECT zip, SUM(score) AS total FROM t GROUP BY zip REVEAL TO p1";
+        let stmt = parse_select(sql).unwrap();
+        assert!(matches!(
+            &stmt.items[1],
+            SelectItem::Agg {
+                func: AggFunc::Sum,
+                distinct: false,
+                ..
+            }
+        ));
+        let sql = "SELECT COUNT(*) AS n FROM t REVEAL TO p1";
+        let stmt = parse_select(sql).unwrap();
+        assert!(matches!(
+            &stmt.items[0],
+            SelectItem::Agg {
+                func: AggFunc::Count,
+                arg: AggArg::Star,
+                ..
+            }
+        ));
+        let sql = "SELECT COUNT(DISTINCT patientID) AS n FROM t REVEAL TO p1";
+        let stmt = parse_select(sql).unwrap();
+        assert!(matches!(
+            &stmt.items[0],
+            SelectItem::Agg { distinct: true, .. }
+        ));
+        for func in ["MIN", "MAX"] {
+            let sql = format!("SELECT {func}(v) AS m FROM t REVEAL TO p1");
+            assert!(parse_select(&sql).is_ok(), "{func}");
+        }
+    }
+
+    #[test]
+    fn aggregate_argument_errors() {
+        assert!(parse_select("SELECT SUM(*) AS s FROM t REVEAL TO p1").is_err());
+        assert!(parse_select("SELECT SUM(DISTINCT v) AS s FROM t REVEAL TO p1").is_err());
+        assert!(parse_select("SELECT COUNT(DISTINCT *) AS s FROM t REVEAL TO p1").is_err());
+    }
+
+    #[test]
+    fn create_table_forms() {
+        let sql = "CREATE TABLE scores (ssn INT TRUSTED BY (p1), score INT, tag TEXT PUBLIC) \
+                   WITH OWNER p2 AT 'mpc.b.com'; \
+                   SELECT score FROM scores REVEAL TO p2";
+        let script = parse_script(sql).unwrap();
+        let t = &script.tables[0];
+        assert_eq!(t.name, "scores");
+        assert_eq!(t.owner.id, 2);
+        assert_eq!(t.owner.host.as_deref(), Some("mpc.b.com"));
+        match &t.columns[0].trust {
+            TrustSpec::Parties(ps) => {
+                assert_eq!(ps.len(), 1);
+                assert_eq!(ps[0].id, 1);
+                assert_eq!(ps[0].host, None);
+            }
+            other => panic!("expected TRUSTED BY list, got {other:?}"),
+        }
+        assert_eq!(t.columns[1].trust, TrustSpec::Private);
+        assert_eq!(t.columns[2].trust, TrustSpec::Public);
+        assert_eq!(t.columns[2].dtype, TypeName::Text);
+    }
+
+    #[test]
+    fn subquery_in_from() {
+        let sql = "SELECT cnt FROM (SELECT diagnosis, COUNT(*) AS cnt FROM d GROUP BY diagnosis) \
+                   ORDER BY cnt DESC REVEAL TO p1";
+        let stmt = parse_select(sql).unwrap();
+        assert!(matches!(stmt.from, TableExpr::Subquery { .. }));
+    }
+
+    #[test]
+    fn reveal_clause_rules() {
+        // Missing REVEAL TO at top level.
+        let err = parse_select("SELECT a FROM t").unwrap_err();
+        assert!(err.message.contains("REVEAL TO"));
+        // REVEAL TO inside a subquery.
+        let err =
+            parse_select("SELECT a FROM (SELECT a FROM t REVEAL TO p1) REVEAL TO p1").unwrap_err();
+        assert!(err.message.contains("outermost"));
+    }
+
+    #[test]
+    fn error_spans_point_at_offending_token() {
+        let sql = "SELECT a FROM t WHERE a >< 2 REVEAL TO p1";
+        let err = parse_select(sql).unwrap_err();
+        // The `<` after `>` starts the bad token; `>` is consumed as Gt and
+        // `< 2` fails at... actually `a >< 2` lexes as a, Gt, Lt, 2: the
+        // parser errors at `<` which begins an invalid atom.
+        assert_eq!(err.span.start, sql.find("< 2").unwrap());
+        let located = err.located(sql);
+        assert_eq!(located.line, Some(1));
+        assert!(located.to_string().contains('^'));
+
+        let sql = "SELECT a FROM t WHERE REVEAL TO p1";
+        let err = parse_select(sql).unwrap_err();
+        assert_eq!(err.span.start, sql.find("REVEAL").unwrap());
+
+        // End-of-input errors point one past the end.
+        let sql = "SELECT a FROM";
+        let err = parse_select(sql).unwrap_err();
+        assert_eq!(err.span.start, sql.len());
+    }
+
+    #[test]
+    fn union_all_and_join_shapes() {
+        let sql = "SELECT x FROM a UNION ALL b UNION ALL c REVEAL TO p1";
+        let stmt = parse_select(sql).unwrap();
+        match &stmt.from {
+            TableExpr::Union { branches, .. } => assert_eq!(branches.len(), 3),
+            other => panic!("expected union, got {other:?}"),
+        }
+        // UNION without ALL is rejected.
+        assert!(parse_select("SELECT x FROM a UNION b REVEAL TO p1").is_err());
+        // JOIN binds tighter than UNION ALL.
+        let sql = "SELECT x FROM a UNION ALL b JOIN c ON k = k REVEAL TO p1";
+        let stmt = parse_select(sql).unwrap();
+        match &stmt.from {
+            TableExpr::Union { branches, .. } => {
+                assert!(matches!(branches[1], TableExpr::Join { .. }))
+            }
+            other => panic!("expected union, got {other:?}"),
+        }
+        // Multi-key join conditions.
+        let sql = "SELECT x FROM a JOIN b ON a.k = b.k AND a.j = b.j REVEAL TO p1";
+        let stmt = parse_select(sql).unwrap();
+        match &stmt.from {
+            TableExpr::Join { on, .. } => assert_eq!(on.len(), 2),
+            other => panic!("expected join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn table_aliases() {
+        let sql = "SELECT d.k FROM t AS d JOIN (u) AS m ON d.k = m.k REVEAL TO p1";
+        let stmt = parse_select(sql).unwrap();
+        match &stmt.from {
+            TableExpr::Join { left, right, .. } => {
+                assert!(matches!(&**left, TableExpr::Named { alias: Some(a), .. } if a == "d"));
+                assert!(matches!(&**right, TableExpr::Named { alias: Some(a), .. } if a == "m"));
+            }
+            other => panic!("expected join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn party_reference_forms() {
+        let sql = "SELECT a FROM t REVEAL TO 3";
+        assert_eq!(parse_select(sql).unwrap().reveal_to[0].id, 3);
+        let sql = "SELECT a FROM t REVEAL TO P7";
+        assert_eq!(parse_select(sql).unwrap().reveal_to[0].id, 7);
+        let err = parse_select("SELECT a FROM t REVEAL TO bob").unwrap_err();
+        assert!(err.message.contains("party"));
+    }
+
+    #[test]
+    fn statement_spans_cover_every_clause() {
+        // Top-level statement: span runs through the final party reference.
+        let sql = "SELECT a FROM t LIMIT 5 REVEAL TO p1";
+        let stmt = parse_select(sql).unwrap();
+        assert_eq!(stmt.span.start, 0);
+        assert_eq!(stmt.span.end, sql.len());
+        // Subquery (no REVEAL TO): span still covers through its last clause
+        // rather than collapsing to the SELECT keyword.
+        let sql = "SELECT a FROM (SELECT a FROM t ORDER BY a DESC LIMIT 3) REVEAL TO p1";
+        let stmt = parse_select(sql).unwrap();
+        let TableExpr::Subquery { select, .. } = &stmt.from else {
+            panic!("expected subquery");
+        };
+        let inner = &sql[select.span.start..select.span.end];
+        assert!(inner.ends_with("LIMIT 3"), "inner span was `{inner}`");
+    }
+
+    #[test]
+    fn trailing_tokens_are_rejected() {
+        assert!(parse_select("SELECT a FROM t REVEAL TO p1 garbage").is_err());
+        assert!(
+            parse_script("SELECT a FROM t REVEAL TO p1; SELECT b FROM t REVEAL TO p1").is_err()
+        );
+    }
+}

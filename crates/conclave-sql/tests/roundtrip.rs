@@ -1,0 +1,280 @@
+//! Property test: pretty-printing a generated AST and re-parsing it
+//! round-trips.
+//!
+//! The AST `Display` implementations print canonical dialect text (uppercase
+//! keywords, fully parenthesized expressions). For any generated script
+//! `s`, `print(parse(print(s))) == print(s)` must hold — i.e. the printed
+//! form is a fixed point of parse∘print, which pins both the printer (it
+//! emits valid syntax for every node) and the parser (it reconstructs the
+//! same tree, spans aside).
+
+use conclave_ir::expr::BinOp;
+use conclave_ir::ops::AggFunc;
+use conclave_sql::ast::*;
+use conclave_sql::error::Span;
+use conclave_sql::parse_script;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const COLUMNS: &[&str] = &["k", "v", "zip", "score", "price", "diagnosis"];
+const TABLES: &[&str] = &["ta", "tb", "tc", "scores", "trips"];
+const ALIASES: &[&str] = &["x", "y", "lhs", "rhs"];
+
+fn sp() -> Span {
+    Span::default()
+}
+
+fn pick<'a>(rng: &mut StdRng, pool: &[&'a str]) -> &'a str {
+    pool[rng.gen_range(0..pool.len())]
+}
+
+fn gen_qual_name(rng: &mut StdRng) -> QualName {
+    QualName {
+        qualifier: if rng.gen_range(0..4) == 0 {
+            Some(pick(rng, ALIASES).to_string())
+        } else {
+            None
+        },
+        name: pick(rng, COLUMNS).to_string(),
+        span: sp(),
+    }
+}
+
+fn gen_lit(rng: &mut StdRng) -> Lit {
+    match rng.gen_range(0..5) {
+        0 => Lit::Int(rng.gen_range(-1000i64..1000)),
+        1 => Lit::Float(rng.gen_range(-4000i64..4000) as f64 / 4.0),
+        2 => Lit::Str(["a", "it's", "", "x y"][rng.gen_range(0..4usize)].to_string()),
+        3 => Lit::Bool(rng.gen_range(0..2) == 0),
+        _ => Lit::Null,
+    }
+}
+
+fn gen_expr(rng: &mut StdRng, depth: usize) -> SqlExpr {
+    if depth == 0 || rng.gen_range(0..3) == 0 {
+        return if rng.gen_range(0..2) == 0 {
+            SqlExpr::Column(gen_qual_name(rng))
+        } else {
+            SqlExpr::Literal(gen_lit(rng), sp())
+        };
+    }
+    if rng.gen_range(0..5) == 0 {
+        return SqlExpr::Not(Box::new(gen_expr(rng, depth - 1)), sp());
+    }
+    let ops = [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Div,
+        BinOp::Eq,
+        BinOp::Ne,
+        BinOp::Lt,
+        BinOp::Le,
+        BinOp::Gt,
+        BinOp::Ge,
+        BinOp::And,
+        BinOp::Or,
+    ];
+    SqlExpr::Binary {
+        op: ops[rng.gen_range(0..ops.len())],
+        left: Box::new(gen_expr(rng, depth - 1)),
+        right: Box::new(gen_expr(rng, depth - 1)),
+        span: sp(),
+    }
+}
+
+fn gen_party(rng: &mut StdRng) -> PartyRef {
+    PartyRef {
+        id: rng.gen_range(1u32..5),
+        host: if rng.gen_range(0..3) == 0 {
+            Some("mpc.example.org".to_string())
+        } else {
+            None
+        },
+        span: sp(),
+    }
+}
+
+fn gen_select_item(rng: &mut StdRng) -> SelectItem {
+    match rng.gen_range(0..4) {
+        0 => SelectItem::Star(sp()),
+        1 => SelectItem::Expr {
+            expr: gen_expr(rng, 2),
+            alias: if rng.gen_range(0..2) == 0 {
+                Some(pick(rng, ALIASES).to_string())
+            } else {
+                None
+            },
+            span: sp(),
+        },
+        2 => SelectItem::Expr {
+            expr: SqlExpr::Column(gen_qual_name(rng)),
+            alias: None,
+            span: sp(),
+        },
+        _ => {
+            let funcs = [AggFunc::Sum, AggFunc::Count, AggFunc::Min, AggFunc::Max];
+            let func = funcs[rng.gen_range(0..funcs.len())];
+            // The parser only accepts `*` and DISTINCT for COUNT.
+            let (arg, distinct) = if func == AggFunc::Count {
+                match rng.gen_range(0..3) {
+                    0 => (AggArg::Star, false),
+                    1 => (AggArg::Column(gen_qual_name(rng)), true),
+                    _ => (AggArg::Column(gen_qual_name(rng)), false),
+                }
+            } else {
+                (AggArg::Column(gen_qual_name(rng)), false)
+            };
+            SelectItem::Agg {
+                func,
+                arg,
+                distinct,
+                alias: if rng.gen_range(0..2) == 0 {
+                    Some(pick(rng, ALIASES).to_string())
+                } else {
+                    None
+                },
+                span: sp(),
+            }
+        }
+    }
+}
+
+fn gen_table_expr(rng: &mut StdRng, depth: usize) -> TableExpr {
+    let named = |rng: &mut StdRng| TableExpr::Named {
+        name: pick(rng, TABLES).to_string(),
+        alias: if rng.gen_range(0..3) == 0 {
+            Some(pick(rng, ALIASES).to_string())
+        } else {
+            None
+        },
+        span: sp(),
+    };
+    if depth == 0 {
+        return named(rng);
+    }
+    match rng.gen_range(0..5) {
+        0 => {
+            let n = rng.gen_range(2..4usize);
+            TableExpr::Union {
+                branches: (0..n).map(|_| gen_table_expr(rng, depth - 1)).collect(),
+                span: sp(),
+            }
+        }
+        1 => {
+            let n = rng.gen_range(1..3usize);
+            TableExpr::Join {
+                left: Box::new(gen_table_expr(rng, depth - 1)),
+                right: Box::new(gen_table_expr(rng, depth - 1)),
+                on: (0..n)
+                    .map(|_| (gen_qual_name(rng), gen_qual_name(rng)))
+                    .collect(),
+                span: sp(),
+            }
+        }
+        2 => TableExpr::Subquery {
+            select: Box::new(gen_select(rng, depth - 1, false)),
+            alias: if rng.gen_range(0..2) == 0 {
+                Some(pick(rng, ALIASES).to_string())
+            } else {
+                None
+            },
+            span: sp(),
+        },
+        _ => named(rng),
+    }
+}
+
+fn gen_select(rng: &mut StdRng, depth: usize, top_level: bool) -> SelectStmt {
+    let n_items = rng.gen_range(1..4usize);
+    SelectStmt {
+        distinct: rng.gen_range(0..4) == 0,
+        items: (0..n_items).map(|_| gen_select_item(rng)).collect(),
+        from: gen_table_expr(rng, depth),
+        where_clause: if rng.gen_range(0..2) == 0 {
+            Some(gen_expr(rng, 3))
+        } else {
+            None
+        },
+        group_by: (0..rng.gen_range(0..3usize))
+            .map(|_| gen_qual_name(rng))
+            .collect(),
+        order_by: if rng.gen_range(0..2) == 0 {
+            Some(OrderBy {
+                column: gen_qual_name(rng),
+                ascending: rng.gen_range(0..2) == 0,
+            })
+        } else {
+            None
+        },
+        limit: if rng.gen_range(0..2) == 0 {
+            Some(rng.gen_range(0..100usize))
+        } else {
+            None
+        },
+        reveal_to: if top_level {
+            (0..rng.gen_range(1..3usize))
+                .map(|_| gen_party(rng))
+                .collect()
+        } else {
+            Vec::new()
+        },
+        span: sp(),
+    }
+}
+
+fn gen_create_table(rng: &mut StdRng, idx: usize) -> CreateTable {
+    let n_cols = rng.gen_range(1..4usize);
+    let types = [
+        TypeName::Int,
+        TypeName::Float,
+        TypeName::Bool,
+        TypeName::Text,
+    ];
+    CreateTable {
+        name: format!("{}{idx}", pick(rng, TABLES)),
+        columns: (0..n_cols)
+            .map(|c| ColumnSpec {
+                name: format!("{}{c}", pick(rng, COLUMNS)),
+                dtype: types[rng.gen_range(0..types.len())],
+                trust: match rng.gen_range(0..3) {
+                    0 => TrustSpec::Private,
+                    1 => TrustSpec::Public,
+                    _ => TrustSpec::Parties(
+                        (0..rng.gen_range(1..3usize))
+                            .map(|_| gen_party(rng))
+                            .collect(),
+                    ),
+                },
+                span: sp(),
+            })
+            .collect(),
+        owner: gen_party(rng),
+        span: sp(),
+    }
+}
+
+fn gen_script(rng: &mut StdRng) -> Script {
+    Script {
+        tables: (0..rng.gen_range(0..3usize))
+            .map(|i| gen_create_table(rng, i))
+            .collect(),
+        query: gen_select(rng, 2, true),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn printed_scripts_reparse_to_the_same_text(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let script = gen_script(&mut rng);
+        let printed = script.to_string();
+        let reparsed = parse_script(&printed)
+            .unwrap_or_else(|e| panic!("printed script failed to parse: {}\n{printed}", e.located(&printed)));
+        let reprinted = reparsed.to_string();
+        prop_assert_eq!(&printed, &reprinted, "print-parse-print is not a fixed point");
+    }
+}

@@ -6,6 +6,10 @@
 //! were prescribed aspirin. Patient IDs being public lets Conclave use its
 //! public join; diagnosis and medication codes stay private.
 //!
+//! The query is written twice — in the Conclave SQL dialect (see
+//! `docs/SQL.md`) and through the programmatic `QueryBuilder` — and the two
+//! must agree on the count.
+//!
 //! Run with: `cargo run --release --example aspirin_count`
 
 use conclave::prelude::*;
@@ -14,6 +18,29 @@ use conclave_ir::expr::Expr;
 use conclave_smcql::queries as smcql;
 use conclave_smcql::SmcqlPlanner;
 use std::collections::HashMap;
+
+/// The aspirin-count query as SQL. The `{hd}` / `{asp}` placeholders are
+/// filled with the HealthLNK-style diagnosis and medication codes.
+fn aspirin_sql() -> String {
+    format!(
+        "CREATE TABLE diagnoses1 (patientID INT PUBLIC, diagnosis INT)
+             WITH OWNER p1 AT 'hospital-a.org';
+         CREATE TABLE diagnoses2 (patientID INT PUBLIC, diagnosis INT)
+             WITH OWNER p2 AT 'hospital-b.org';
+         CREATE TABLE medications1 (patientID INT PUBLIC, medication INT)
+             WITH OWNER p1 AT 'hospital-a.org';
+         CREATE TABLE medications2 (patientID INT PUBLIC, medication INT)
+             WITH OWNER p2 AT 'hospital-b.org';
+
+         SELECT COUNT(DISTINCT patientID) AS num_patients
+         FROM (diagnoses1 UNION ALL diagnoses2)
+              JOIN (medications1 UNION ALL medications2) ON patientID = patientID
+         WHERE diagnosis = {hd} AND medication = {asp}
+         REVEAL TO p1;",
+        hd = HEART_DISEASE,
+        asp = ASPIRIN,
+    )
+}
 
 fn build_query() -> conclave_ir::builder::Query {
     let hospital_a = Party::new(1, "hospital-a.org");
@@ -59,7 +86,22 @@ fn main() {
         &[m0.clone(), m1.clone()],
     );
 
-    // --- Conclave ---
+    // --- Conclave, from SQL ---
+    let sql = aspirin_sql();
+    let sql_report = Session::new(ConclaveConfig::standard().with_sequential_local())
+        .bind("diagnoses1", d0.clone())
+        .bind("diagnoses2", d1.clone())
+        .bind("medications1", m0.clone())
+        .bind("medications2", m1.clone())
+        .run_sql(&sql)
+        .expect("SQL query runs");
+    let sql_count = sql_report
+        .output_for(1)
+        .and_then(|r| r.scalar().cloned())
+        .and_then(|v| v.as_int())
+        .expect("single count value");
+
+    // --- Conclave, from the programmatic builder (must agree) ---
     let query = build_query();
     let config = ConclaveConfig::standard().with_sequential_local();
     let plan = compile(&query, &config).expect("compiles");
@@ -75,6 +117,10 @@ fn main() {
         .and_then(|r| r.scalar().cloned())
         .and_then(|v| v.as_int())
         .expect("single count value");
+    assert_eq!(
+        sql_count, conclave_count,
+        "SQL and builder plans must count the same patients"
+    );
 
     // --- SMCQL baseline ---
     let mut planner = SmcqlPlanner::default_paper_setup();

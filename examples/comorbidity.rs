@@ -1,12 +1,32 @@
 //! The comorbidity query of §7.4: the ten most common diagnoses across two
 //! hospitals' private data, compared between Conclave and the SMCQL baseline.
 //!
+//! The query is written twice — in the Conclave SQL dialect (the
+//! analyst-facing surface, see `docs/SQL.md`) and through the programmatic
+//! `QueryBuilder` — and the two must produce cell-identical results.
+//!
 //! Run with: `cargo run --release --example comorbidity`
 
 use conclave::prelude::*;
 use conclave_smcql::queries as smcql;
 use conclave_smcql::SmcqlPlanner;
 use std::collections::HashMap;
+
+/// The comorbidity query as SQL: count diagnoses across both hospitals'
+/// (concatenated) rows, keep the ten most common, reveal to hospital A.
+const COMORBIDITY_SQL: &str = "
+    CREATE TABLE diagnoses1 (patientID INT PUBLIC, diagnosis INT)
+        WITH OWNER p1 AT 'hospital-a.org';
+    CREATE TABLE diagnoses2 (patientID INT PUBLIC, diagnosis INT)
+        WITH OWNER p2 AT 'hospital-b.org';
+
+    SELECT diagnosis, COUNT(*) AS cnt
+    FROM (diagnoses1 UNION ALL diagnoses2)
+    GROUP BY diagnosis
+    ORDER BY cnt DESC
+    LIMIT 10
+    REVEAL TO p1;
+";
 
 fn build_query() -> conclave_ir::builder::Query {
     let hospital_a = Party::new(1, "hospital-a.org");
@@ -33,7 +53,17 @@ fn main() {
     let d1 = gen.comorbidity_diagnoses(1, rows_per_hospital);
     let reference = HealthGenerator::reference_comorbidity(&[d0.clone(), d1.clone()], 10);
 
-    // --- Conclave ---
+    // --- Conclave, from SQL ---
+    let session = Session::new(ConclaveConfig::standard().with_sequential_local())
+        .bind("diagnoses1", d0.clone())
+        .bind("diagnoses2", d1.clone());
+    println!("=== Conclave SQL query ===\n{COMORBIDITY_SQL}");
+    let report = session.run_sql(COMORBIDITY_SQL).expect("SQL query runs");
+    let conclave_top = report
+        .output_for(1)
+        .expect("hospital A receives the output");
+
+    // --- Conclave, from the programmatic builder (must agree cell for cell) ---
     let query = build_query();
     let config = ConclaveConfig::standard().with_sequential_local();
     let plan = compile(&query, &config).expect("compiles");
@@ -45,10 +75,14 @@ fn main() {
     inputs.insert("diagnoses1".to_string(), d0.clone());
     inputs.insert("diagnoses2".to_string(), d1.clone());
     let mut driver = Driver::new(config);
-    let report = driver.run(&plan, &inputs).expect("runs");
-    let conclave_top = report
+    let builder_report = driver.run(&plan, &inputs).expect("runs");
+    let builder_top = builder_report
         .output_for(1)
         .expect("hospital A receives the output");
+    assert_eq!(
+        conclave_top, builder_top,
+        "SQL and builder plans must produce identical results"
+    );
 
     // --- SMCQL baseline ---
     let mut planner = SmcqlPlanner::default_paper_setup();

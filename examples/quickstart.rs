@@ -2,46 +2,30 @@
 //!
 //! Two organizations each hold a `(region, amount)` sales relation. A
 //! regulator (party 1, who also contributes data here) should learn the total
-//! amount per region — and nothing else. Conclave compiles the query so that
-//! only the small cross-party aggregation runs under MPC.
+//! amount per region — and nothing else. The query is written in the Conclave
+//! SQL dialect (see `docs/SQL.md`); Conclave compiles it so that only the
+//! small cross-party aggregation runs under MPC.
 //!
 //! Run with: `cargo run --example quickstart`
 
 use conclave::prelude::*;
 
+/// The analyst-facing query: table declarations carry the ownership
+/// annotations, `REVEAL TO` names the output recipient.
+const SALES_SQL: &str = "
+    CREATE TABLE sales_a (region INT, amount INT) WITH OWNER p1 AT 'mpc.org-a.example';
+    CREATE TABLE sales_b (region INT, amount INT) WITH OWNER p2 AT 'mpc.org-b.example';
+
+    SELECT region, SUM(amount) AS total
+    FROM (sales_a UNION ALL sales_b)
+    GROUP BY region
+    REVEAL TO p1;
+";
+
 fn main() {
-    // 1. Declare the parties and their input schemas.
-    let org_a = Party::new(1, "mpc.org-a.example");
-    let org_b = Party::new(2, "mpc.org-b.example");
-    let schema = Schema::new(vec![
-        ColumnDef::new("region", DataType::Int),
-        ColumnDef::new("amount", DataType::Int),
-    ]);
-
-    // 2. Write the query as if all data were in one place (Listing 1 style).
-    let mut q = QueryBuilder::new();
-    let sales_a = q.input("sales_a", schema.clone(), org_a.clone());
-    let sales_b = q.input("sales_b", schema, org_b.clone());
-    let all_sales = q.concat(&[sales_a, sales_b]);
-    let by_region = q.aggregate(all_sales, "total", AggFunc::Sum, &["region"], "amount");
-    q.collect(by_region, std::slice::from_ref(&org_a));
-    let query = q.build().expect("query is well formed");
-
-    // 3. Compile. The plan shows which operators stay under MPC.
+    // 1. Bind each party's private data to a session.
     let config = ConclaveConfig::standard().with_sequential_local();
-    let plan = compile(&query, &config).expect("compiles");
-    println!("=== compiled plan ===\n{}", plan.render());
-    println!("transformations applied:");
-    for t in &plan.transformations {
-        println!("  - {t}");
-    }
-    println!("operators under MPC: {}\n", plan.mpc_node_count());
-
-    // 4. Bind each party's private data and execute through the `Session`
-    //    facade. Bindings accept row relations, columnar relations, or
-    //    `Table`s; the driver moves everything through the unified `Table`
-    //    data plane.
-    let report = Session::new(config)
+    let session = Session::new(config.clone())
         .bind(
             "sales_a",
             Relation::from_ints(
@@ -52,16 +36,52 @@ fn main() {
         .bind(
             "sales_b",
             Relation::from_ints(&["region", "amount"], &[vec![1, 10], vec![3, 70]]),
-        )
-        .run_plan(&plan)
-        .expect("execution succeeds");
+        );
 
-    // 5. Party 1 receives the result; the report shows the cost breakdown and
+    // 2. Lower the SQL to a query DAG and compile it. The plan shows which
+    //    operators stay under MPC after the pass pipeline ran.
+    let query = session.sql_query(SALES_SQL).expect("SQL parses and binds");
+    let plan = compile(&query, &config).expect("compiles");
+    println!("=== compiled plan ===\n{}", plan.render());
+    println!("transformations applied:");
+    for t in &plan.transformations {
+        println!("  - {t}");
+    }
+    println!("operators under MPC: {}\n", plan.mpc_node_count());
+
+    // 3. Execute. (`session.run_sql(SALES_SQL)` does steps 2 and 3 in one
+    //    call; they are split here to show the plan.)
+    let report = session.run_plan(&plan).expect("execution succeeds");
+
+    // 4. Party 1 receives the result; the report shows the cost breakdown and
     //    the leakage audit.
-    println!("=== result delivered to {org_a} ===");
+    println!("=== result delivered to party 1 ===");
     println!(
         "{}",
         report.output_for(1).expect("party 1 is the recipient")
     );
     println!("{report}");
+
+    // The same query can be built programmatically — the SQL frontend lowers
+    // to exactly this builder DAG.
+    let org_a = Party::new(1, "mpc.org-a.example");
+    let org_b = Party::new(2, "mpc.org-b.example");
+    let schema = Schema::new(vec![
+        ColumnDef::new("region", DataType::Int),
+        ColumnDef::new("amount", DataType::Int),
+    ]);
+    let mut q = QueryBuilder::new();
+    let sales_a = q.input("sales_a", schema.clone(), org_a.clone());
+    let sales_b = q.input("sales_b", schema, org_b);
+    let all_sales = q.concat(&[sales_a, sales_b]);
+    let by_region = q.aggregate(all_sales, "total", AggFunc::Sum, &["region"], "amount");
+    q.collect(by_region, std::slice::from_ref(&org_a));
+    let built = q.build().expect("query is well formed");
+    let builder_report = session.run(&built).expect("builder query runs");
+    assert_eq!(
+        report.output_for(1),
+        builder_report.output_for(1),
+        "SQL and builder queries agree"
+    );
+    println!("SQL and programmatic builder produced identical results.");
 }

@@ -7,11 +7,37 @@
 //!
 //! # Quickstart
 //!
+//! Two parties each hold a table of (key, value) pairs; a regulator (party 1)
+//! should learn the per-key sums without either party revealing rows.
+//! Queries are written in the Conclave SQL dialect (see `docs/SQL.md`) and
+//! run end to end with [`Session::run_sql`](conclave_core::Session::run_sql):
+//!
 //! ```
 //! use conclave::prelude::*;
 //!
-//! // Two parties each hold a table of (key, value) pairs; a regulator (party
-//! // A) should learn the per-key sums without either party revealing rows.
+//! let report = Session::new(ConclaveConfig::standard().with_sequential_local())
+//!     .bind("ta", Relation::from_ints(&["key", "val"], &[vec![1, 2], vec![2, 7]]))
+//!     .bind("tb", Relation::from_ints(&["key", "val"], &[vec![1, 3]]))
+//!     .run_sql(
+//!         "CREATE TABLE ta (key INT, val INT) WITH OWNER p1;
+//!          CREATE TABLE tb (key INT, val INT) WITH OWNER p2;
+//!          SELECT key, SUM(val) AS total FROM (ta UNION ALL tb)
+//!          GROUP BY key
+//!          REVEAL TO p1;",
+//!     )
+//!     .unwrap();
+//! let out = report.output_for(1).unwrap();
+//! let expected = Relation::from_ints(&["key", "total"], &[vec![1, 5], vec![2, 7]]);
+//! assert!(out.same_rows_unordered(&expected));
+//! ```
+//!
+//! The same query can be assembled programmatically with the LINQ-style
+//! [`QueryBuilder`](conclave_ir::builder::QueryBuilder) — the SQL frontend
+//! lowers to exactly that builder's operator DAG:
+//!
+//! ```
+//! use conclave::prelude::*;
+//!
 //! let pa = Party::new(1, "mpc.a.org");
 //! let pb = Party::new(2, "mpc.b.org");
 //! let schema = Schema::new(vec![
@@ -36,6 +62,7 @@ pub use conclave_mpc as mpc;
 pub use conclave_net as net;
 pub use conclave_parallel as parallel;
 pub use conclave_smcql as smcql;
+pub use conclave_sql as sql;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
@@ -59,4 +86,5 @@ pub mod prelude {
         types::{DataType, Value},
     };
     pub use conclave_mpc::backend::{BackendKind, MpcBackendConfig};
+    pub use conclave_sql::{compile_sql, compile_sql_with_catalog, Catalog, SqlError};
 }

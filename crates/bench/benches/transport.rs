@@ -12,7 +12,7 @@
 //! per-party messages — the quantity the simulated path models and the party
 //! runtime measures.
 
-use conclave_mpc::runtime::{PartyProtocol, PartyResult};
+use conclave_mpc::runtime::{PartyResult, PartySession, StepCtx};
 use conclave_mpc::{Protocol, RingElem};
 use conclave_net::ChannelTransport;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -31,7 +31,7 @@ fn values(n: usize) -> Vec<i64> {
 fn on_mesh<R, F>(f: F) -> R
 where
     R: Send,
-    F: Fn(&mut PartyProtocol) -> PartyResult<R> + Sync,
+    F: Fn(&mut StepCtx) -> PartyResult<R> + Sync,
 {
     let mesh = ChannelTransport::mesh(PARTIES);
     std::thread::scope(|s| {
@@ -40,7 +40,8 @@ where
             .map(|t| {
                 let f = &f;
                 s.spawn(move || {
-                    let mut proto = PartyProtocol::new(&t, 1);
+                    let mut sess = PartySession::new(&t, 1);
+                    let mut proto = sess.step(0);
                     f(&mut proto)
                 })
             })

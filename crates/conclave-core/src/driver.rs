@@ -32,7 +32,6 @@ use conclave_ir::ops::{ExecSite, Operator};
 use conclave_ir::party::PartyId;
 use conclave_mpc::backend::{MpcEngine, MpcError};
 use conclave_mpc::oblivious;
-use conclave_net::NetStats;
 use conclave_parallel::ParallelEngine;
 use std::collections::HashMap;
 use std::fmt;
@@ -211,8 +210,76 @@ impl Driver {
         let viewers = analysis::authorized_viewers(&plan.dag, &plan.parties)?;
         let order = plan.dag.topo_order()?;
 
+        // Distributed party runtime: one mesh and one set of party workers
+        // for the whole plan, created lazily at the first MPC step. Steps are
+        // enqueued without waiting; their intermediate results stay resident
+        // on the workers as shares and are opened only at reveal boundaries.
+        let distributed = self.config.party_runtime.is_distributed()
+            && self.mpc.config().kind.is_secret_sharing();
+        let mut mesh_rt: Option<party_exec::PartyMeshRuntime> = None;
+        // Node → enqueued step id, for wiring resident inputs and reveals.
+        let mut mpc_steps: HashMap<NodeId, u32> = HashMap::new();
+        // Step id → index into `report.per_node` whose duration is patched
+        // once the step's primitive counts arrive at finish.
+        let mut step_nodes: HashMap<u32, usize> = HashMap::new();
+        let pipelined = |node: &conclave_ir::dag::DagNode| {
+            distributed && node.site.is_mpc() && party_exec::op_is_party_capable(&node.op)
+        };
+        // Which nodes consume each node's output: a step must be revealed iff
+        // some consumer runs outside the party pipeline (or nothing consumes
+        // it, so the result would otherwise be lost).
+        let mut consumers: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        for node in plan.dag.iter() {
+            for &i in &node.inputs {
+                consumers.entry(i).or_default().push(node.id);
+            }
+        }
+
         for id in order {
             let node = plan.dag.node(id)?;
+            if pipelined(node) {
+                if mesh_rt.is_none() {
+                    mesh_rt = Some(party_exec::PartyMeshRuntime::new(
+                        self.mpc.config().kind.parties(),
+                        self.config.mpc.seed,
+                        self.config.party_runtime,
+                    )?);
+                }
+                let rt = mesh_rt.as_mut().expect("just created");
+                let reveal = consumers.get(&id).is_none_or(|cs| {
+                    cs.iter()
+                        .any(|&c| plan.dag.node(c).map(|cn| !pipelined(cn)).unwrap_or(true))
+                });
+                let step_inputs: Vec<party_exec::StepInput> = node
+                    .inputs
+                    .iter()
+                    .map(|i| match mpc_steps.get(i) {
+                        Some(&s) => party_exec::StepInput::Resident(s),
+                        None => party_exec::StepInput::Table(
+                            results.get(i).expect("topological order").as_rows().clone(),
+                        ),
+                    })
+                    .collect();
+                let presorted = self.aggregate_is_presorted(plan, id, &node.op)?;
+                let step = rt.enqueue(&node.op, step_inputs, presorted, reveal)?;
+                mpc_steps.insert(id, step);
+                step_nodes.insert(step, report.per_node.len());
+                report.per_node.push((id, node.site, Duration::ZERO));
+                continue;
+            }
+            // This node runs outside the party pipeline: any MPC-resident
+            // input it consumes crosses a reveal boundary here, so block
+            // until the opened (and cross-party-checked) relation arrives.
+            for &i in &node.inputs {
+                if let Some(&s) = mpc_steps.get(&i) {
+                    if let std::collections::hash_map::Entry::Vacant(e) = results.entry(i) {
+                        let rt = mesh_rt.as_mut().expect("enqueued steps imply a runtime");
+                        let table = Table::from_rows(rt.wait_opened(s)?);
+                        tracked.push((table.clone(), table.conversion_counts()));
+                        e.insert(table);
+                    }
+                }
+            }
             let input_tables: Vec<&Table> = node
                 .inputs
                 .iter()
@@ -300,19 +367,13 @@ impl Driver {
                     (outcome.result, Duration::ZERO)
                 }
                 (op, ExecSite::Mpc) => {
-                    let (table, stats, measured) = self.run_mpc_op(plan, id, op, &input_tables)?;
+                    // In distributed mode only the operators the party
+                    // drivers cannot run (the simulated `Divide` path) reach
+                    // here; everything else was enqueued on the mesh above.
+                    let (table, stats) = self.run_mpc_op(plan, id, op, &input_tables)?;
                     report.mpc_time += stats.simulated_time;
                     report.mpc_stats.merge(&stats);
-                    match measured {
-                        // Distributed party runtime: account the *observed*
-                        // wire traffic (rounds across sequential steps add).
-                        Some(net) => {
-                            report.network_bytes += net.total_bytes();
-                            report.net.merge(&net);
-                            report.net_measured = true;
-                        }
-                        None => report.network_bytes += stats.counts.bytes(),
-                    }
+                    report.network_bytes += stats.counts.bytes();
                     (table, stats.simulated_time)
                 }
                 (op, ExecSite::Local(party)) | (op, ExecSite::Stp(party)) => {
@@ -362,6 +423,27 @@ impl Driver {
             report.per_node.push((id, node.site, elapsed));
             tracked.push((result.clone(), result.conversion_counts()));
             results.insert(id, result);
+        }
+        // Wind down the party mesh: flush in-flight opens, collect every
+        // step's primitive counts (patching the per-node duration
+        // placeholders), and account the observed wire traffic exactly once.
+        if let Some(rt) = mesh_rt {
+            let summary = rt.finish()?;
+            for outcome in &summary.steps {
+                let stats = self.mpc.stats_from_counts(
+                    outcome.counts,
+                    outcome.input_rows,
+                    outcome.output_rows,
+                );
+                report.mpc_time += stats.simulated_time;
+                report.mpc_stats.merge(&stats);
+                if let Some(&idx) = step_nodes.get(&outcome.step) {
+                    report.per_node[idx].2 = stats.simulated_time;
+                }
+            }
+            report.net.merge(&summary.net);
+            report.network_bytes += summary.net.total_bytes();
+            report.net_measured = true;
         }
         // Tally per-run conversions. Clones share one counter, so count each
         // distinct cache once, from its earliest baseline.
@@ -465,7 +547,7 @@ impl Driver {
         id: NodeId,
         op: &Operator,
         inputs: &[&Table],
-    ) -> Result<(Table, conclave_mpc::backend::MpcStepStats, Option<NetStats>), DriverError> {
+    ) -> Result<(Table, conclave_mpc::backend::MpcStepStats), DriverError> {
         // Division under MPC: Sharemind supports fixed-point division, but our
         // secret-sharing layer stays integer-only. The result is computed by
         // the simulator while the cost of an oblivious division protocol
@@ -490,38 +572,9 @@ impl Driver {
                 output_rows: rel.num_rows() as u64,
                 ..Default::default()
             };
-            return Ok((Table::from_rows(rel), stats, None));
+            return Ok((Table::from_rows(rel), stats));
         }
         let presorted = self.aggregate_is_presorted(plan, id, op)?;
-        // Distributed party runtime: run the step as a real multi-party
-        // protocol (one endpoint per party, observed traffic) instead of the
-        // in-process simulation. Hybrid operators never reach here — they
-        // are orchestrated by the driver itself.
-        if self.config.party_runtime.is_distributed() && self.mpc.config().kind.is_secret_sharing()
-        {
-            // A per-step seed keeps repeated runs deterministic while giving
-            // every step an independent common-randomness stream.
-            let seed = self
-                .config
-                .mpc
-                .seed
-                .wrapping_add((id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-            let outcome = party_exec::execute_op_distributed(
-                op,
-                inputs,
-                self.mpc.config().kind.parties(),
-                seed,
-                self.config.party_runtime,
-                presorted,
-            )?;
-            let input_rows: u64 = inputs.iter().map(|t| t.num_rows() as u64).sum();
-            let stats = self.mpc.stats_from_counts(
-                outcome.counts,
-                input_rows,
-                outcome.relation.num_rows() as u64,
-            );
-            return Ok((Table::from_rows(outcome.relation), stats, Some(outcome.net)));
-        }
         // Sort-elimination pay-off: an MPC aggregation whose input is already
         // sorted by its group-by key skips the oblivious sort (§5.4).
         if presorted {
@@ -547,12 +600,12 @@ impl Driver {
                 let stats = self
                     .mpc
                     .drain_stats(inputs[0].num_rows() as u64, rel.num_rows() as u64);
-                return Ok((Table::from_rows(rel), stats, None));
+                return Ok((Table::from_rows(rel), stats));
             }
         }
         self.mpc
             .execute_op_tables(op, inputs)
-            .map(|(rel, stats)| (Table::from_rows(rel), stats, None))
+            .map(|(rel, stats)| (Table::from_rows(rel), stats))
             .map_err(DriverError::from)
     }
 }

@@ -1,35 +1,491 @@
-//! Distributed execution of MPC plan steps: one thread per computing party.
+//! Distributed execution of MPC plan steps: a query-lifetime party mesh.
 //!
 //! When [`crate::config::ConclaveConfig::party_runtime`] selects a
-//! distributed mode, the driver routes every secret-sharing MPC step here
-//! instead of into the in-process engine. For each step this module
+//! distributed mode, the driver routes the plan's secret-sharing MPC steps
+//! into a [`PartyMeshRuntime`]:
 //!
-//! 1. builds a transport mesh ([`ChannelTransport`] or a localhost
-//!    [`TcpTransport`] mesh, per the configured [`PartyRuntime`]),
-//! 2. spawns one thread per computing party, each constructing a
-//!    [`PartyProtocol`] endpoint that holds **only that party's shares**,
-//! 3. has the input-owning parties secret-share their relations in, runs the
-//!    operator through real message rounds
-//!    ([`conclave_mpc::runtime::execute_party_op`]), and opens the result,
-//! 4. verifies that every party opened the *identical* relation (a built-in
-//!    consistency check of the share arithmetic), and
-//! 5. merges the per-endpoint [`NetStats`] into one measured per-link
-//!    byte/round picture for [`crate::report::RunReport::net`].
+//! 1. **one** transport mesh ([`Mesh::channel`] or a localhost
+//!    [`Mesh::tcp_localhost`], per the configured [`PartyRuntime`]) is built
+//!    for the whole query — `NetStats::mesh_builds` stays at 1 however many
+//!    steps the plan has;
+//! 2. one worker thread per computing party is spawned **once**, each owning
+//!    a session-lifetime [`PartySession`] (dealer streams, triple cache) that
+//!    holds **only that party's shares**;
+//! 3. the driver feeds plan steps over a work queue. Intermediate relations
+//!    stay **resident** on the workers as shares between steps — they are
+//!    re-used by reference, not re-shared — and results are opened only at
+//!    *reveal boundaries* (steps whose output leaves the MPC pipeline);
+//! 4. opens are split-phase ([`begin_open_relation`] /
+//!    [`finish_open_relation`]): the broadcast goes out as soon as a step
+//!    finishes, but the peer shares are collected only once the work queue
+//!    drains, so a worker accepts the next step's inputs while the previous
+//!    step's final open is still in flight;
+//! 5. at every reveal the driver verifies that all parties opened the
+//!    *identical* relation (a built-in consistency check of the share
+//!    arithmetic), and [`PartyMeshRuntime::finish`] merges the per-endpoint
+//!    [`NetStats`] into one measured per-link byte/round picture for
+//!    [`crate::report::RunReport::net`].
 //!
 //! The in-process [`conclave_mpc::Protocol`] path remains the default and the
-//! differential-testing oracle: a transport-executed step must reveal
-//! cell-identical results.
+//! differential-testing oracle: a transport-executed plan must reveal
+//! cell-identical results. [`execute_op_distributed`] survives as a
+//! single-step convenience wrapper over the runtime.
 
 use crate::config::PartyRuntime;
 use crate::driver::DriverError;
 use conclave_engine::{Relation, Table};
 use conclave_ir::ops::Operator;
+use conclave_ir::schema::Schema;
 use conclave_mpc::cost::PrimitiveCounts;
 use conclave_mpc::runtime::{
-    execute_party_op, open_relation, share_relation, PartyError, PartyProtocol,
+    begin_open_relation, execute_party_op, finish_open_relation, share_relation, PartyError,
+    PartyRelation, PartySession, PendingOpen,
 };
 use conclave_mpc::MpcError;
-use conclave_net::{merge_mesh_stats, ChannelTransport, NetStats, TcpTransport, Transport};
+use conclave_net::{merge_mesh_stats, Mesh, NetStats, Transport};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::thread::JoinHandle;
+
+/// Whether the party-runtime protocol drivers execute this operator.
+///
+/// The exclusions are exactly the operators the driver orchestrates itself:
+/// plan inputs/outputs, the hybrid protocols, and `Divide` (integer-only
+/// secret sharing; the driver substitutes the simulated division path).
+pub fn op_is_party_capable(op: &Operator) -> bool {
+    !matches!(
+        op,
+        Operator::Input { .. }
+            | Operator::Collect { .. }
+            | Operator::Divide { .. }
+            | Operator::HybridJoin { .. }
+            | Operator::PublicJoin { .. }
+            | Operator::HybridAggregate { .. }
+    )
+}
+
+/// One input of a step fed to [`PartyMeshRuntime::enqueue`].
+pub enum StepInput {
+    /// A cleartext relation entering the MPC pipeline: the runtime picks an
+    /// owning party (round-robin by input position) which secret-shares it.
+    Table(Relation),
+    /// The output of an earlier enqueued step, still resident on the workers
+    /// as shares; consumed by reference without re-sharing.
+    Resident(u32),
+}
+
+/// What every party reported for one executed step (identical across
+/// parties; the runtime enforces this).
+#[derive(Debug, Clone)]
+pub struct StepOutcome {
+    /// The step id [`PartyMeshRuntime::enqueue`] returned.
+    pub step: u32,
+    /// Total input rows (shared + resident).
+    pub input_rows: u64,
+    /// Rows of the step's result relation.
+    pub output_rows: u64,
+    /// Primitive counts attributable to this step alone.
+    pub counts: PrimitiveCounts,
+    /// The opened result — present only for reveal-boundary steps.
+    pub opened: Option<Relation>,
+}
+
+/// Everything a finished query measured: per-step outcomes plus the merged
+/// observed traffic of the whole mesh.
+#[derive(Debug)]
+pub struct MeshSummary {
+    /// Outcomes ordered by step id.
+    pub steps: Vec<StepOutcome>,
+    /// Per-link bytes/messages, synchronous rounds, and mesh builds.
+    pub net: NetStats,
+}
+
+/// A step as shipped to one worker: the owning parties' copies carry the
+/// cleartext input data, everyone else's carry schema and row count only.
+struct StepSpec {
+    step: u32,
+    op: Operator,
+    inputs: Vec<WorkerInput>,
+    presorted: bool,
+    reveal: bool,
+}
+
+enum WorkerInput {
+    Share {
+        owner: u32,
+        schema: Schema,
+        num_rows: usize,
+        data: Option<Relation>,
+    },
+    Resident(u32),
+}
+
+enum WorkMsg {
+    Step(Box<StepSpec>),
+    Finish,
+}
+
+type WorkerReply = (u32, Result<StepOutcome, PartyError>);
+
+struct WorkerHandle {
+    work: Sender<WorkMsg>,
+    replies: Receiver<WorkerReply>,
+    join: Option<JoinHandle<NetStats>>,
+}
+
+/// The query-lifetime distributed runtime: one mesh, one worker thread and
+/// one [`PartySession`] per party, a pipelined work queue of plan steps.
+pub struct PartyMeshRuntime {
+    workers: Vec<WorkerHandle>,
+    next_step: u32,
+    /// Replies received out of order, per worker, keyed by step.
+    buffered: Vec<HashMap<u32, StepOutcome>>,
+    /// Cross-party-checked outcomes, keyed by step.
+    completed: BTreeMap<u32, StepOutcome>,
+}
+
+impl PartyMeshRuntime {
+    /// Builds the mesh (once) and spawns the per-party workers (once).
+    pub fn new(parties: u32, seed: u64, runtime: PartyRuntime) -> Result<Self, DriverError> {
+        let mesh = match runtime {
+            PartyRuntime::Simulated => {
+                return Err(DriverError::Mpc(MpcError::Exec(
+                    "PartyMeshRuntime built in simulated mode".into(),
+                )))
+            }
+            PartyRuntime::Channel => Mesh::channel(parties),
+            PartyRuntime::Tcp => Mesh::tcp_localhost(parties).map_err(DriverError::Transport)?,
+        };
+        let workers: Vec<WorkerHandle> = mesh
+            .into_endpoints()
+            .into_iter()
+            .map(|net| {
+                let (work_tx, work_rx) = std::sync::mpsc::channel();
+                let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+                let join = std::thread::spawn(move || worker_main(net, seed, work_rx, reply_tx));
+                WorkerHandle {
+                    work: work_tx,
+                    replies: reply_rx,
+                    join: Some(join),
+                }
+            })
+            .collect();
+        let buffered = workers.iter().map(|_| HashMap::new()).collect();
+        Ok(PartyMeshRuntime {
+            workers,
+            next_step: 0,
+            buffered,
+            completed: BTreeMap::new(),
+        })
+    }
+
+    /// Number of computing parties in the mesh.
+    pub fn parties(&self) -> u32 {
+        self.workers.len() as u32
+    }
+
+    /// Enqueues one plan step on every worker and returns its step id
+    /// without waiting for execution: workers drain the queue at their own
+    /// pace, so the driver can keep feeding steps while earlier opens are in
+    /// flight. `reveal` marks a reveal boundary — the step's result is opened
+    /// and becomes retrievable via [`PartyMeshRuntime::wait_opened`].
+    pub fn enqueue(
+        &mut self,
+        op: &Operator,
+        inputs: Vec<StepInput>,
+        presorted: bool,
+        reveal: bool,
+    ) -> Result<u32, DriverError> {
+        let step = self.next_step;
+        self.next_step += 1;
+        let parties = self.parties();
+        for (w, worker) in self.workers.iter().enumerate() {
+            let spec_inputs: Vec<WorkerInput> = inputs
+                .iter()
+                .enumerate()
+                .map(|(i, input)| match input {
+                    StepInput::Table(rel) => {
+                        let owner = (i as u32) % parties;
+                        WorkerInput::Share {
+                            owner,
+                            schema: rel.schema.clone(),
+                            num_rows: rel.num_rows(),
+                            data: (w as u32 == owner).then(|| rel.clone()),
+                        }
+                    }
+                    StepInput::Resident(s) => WorkerInput::Resident(*s),
+                })
+                .collect();
+            let spec = StepSpec {
+                step,
+                op: op.clone(),
+                inputs: spec_inputs,
+                presorted,
+                reveal,
+            };
+            worker
+                .work
+                .send(WorkMsg::Step(Box::new(spec)))
+                .map_err(|_| {
+                    DriverError::Mpc(MpcError::Exec(format!("party worker {w} exited early")))
+                })?;
+        }
+        Ok(step)
+    }
+
+    /// Blocks until every party has opened step `step`, cross-checks that
+    /// all opened relations are identical, and returns the relation.
+    pub fn wait_opened(&mut self, step: u32) -> Result<Relation, DriverError> {
+        let outcome = self.collect_step(step)?;
+        outcome.opened.clone().ok_or_else(|| {
+            DriverError::Mpc(MpcError::Exec(format!(
+                "step {step} was not enqueued as a reveal step"
+            )))
+        })
+    }
+
+    /// Flushes all in-flight opens, drains every outstanding step outcome,
+    /// joins the workers, and returns the per-step outcomes together with
+    /// the merged measured traffic.
+    pub fn finish(mut self) -> Result<MeshSummary, DriverError> {
+        for w in &self.workers {
+            let _ = w.work.send(WorkMsg::Finish);
+        }
+        let mut first_err = None;
+        for step in 0..self.next_step {
+            if let Err(e) = self.collect_step(step) {
+                first_err = Some(e);
+                break;
+            }
+        }
+        // Join every worker even on error, so no thread outlives the query.
+        let stats: Vec<NetStats> = self
+            .workers
+            .iter_mut()
+            .filter_map(|w| w.join.take())
+            .map(|j| j.join().expect("party worker panicked"))
+            .collect();
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        Ok(MeshSummary {
+            steps: std::mem::take(&mut self.completed).into_values().collect(),
+            net: merge_mesh_stats(stats),
+        })
+    }
+
+    /// Ensures step `step`'s outcome has been received from every worker and
+    /// cross-checked (opened relations and primitive counts must be
+    /// identical on all parties).
+    fn collect_step(&mut self, step: u32) -> Result<&StepOutcome, DriverError> {
+        if !self.completed.contains_key(&step) {
+            let mut agreed: Option<StepOutcome> = None;
+            for w in 0..self.workers.len() {
+                let outcome = self.take_reply(w, step)?;
+                match &agreed {
+                    None => agreed = Some(outcome),
+                    Some(first) => {
+                        if first.opened != outcome.opened
+                            || first.counts != outcome.counts
+                            || first.output_rows != outcome.output_rows
+                        {
+                            return Err(DriverError::Mpc(MpcError::Exec(
+                                "parties opened divergent results from one MPC step".into(),
+                            )));
+                        }
+                    }
+                }
+            }
+            let outcome = agreed.expect("mesh has at least two parties");
+            self.completed.insert(step, outcome);
+        }
+        Ok(&self.completed[&step])
+    }
+
+    /// Receives worker `w`'s reply for `step`, buffering replies for other
+    /// steps (reveal-boundary outcomes are flushed lazily, so replies can
+    /// arrive out of step order).
+    fn take_reply(&mut self, w: usize, step: u32) -> Result<StepOutcome, DriverError> {
+        if let Some(outcome) = self.buffered[w].remove(&step) {
+            return Ok(outcome);
+        }
+        loop {
+            let (s, result) = self.workers[w].replies.recv().map_err(|_| {
+                DriverError::Mpc(MpcError::Exec(format!(
+                    "party worker {w} exited before reporting step {step}"
+                )))
+            })?;
+            let outcome = result.map_err(party_to_driver_error)?;
+            if s == step {
+                return Ok(outcome);
+            }
+            self.buffered[w].insert(s, outcome);
+        }
+    }
+}
+
+impl Drop for PartyMeshRuntime {
+    fn drop(&mut self) {
+        // On early teardown (driver error paths): ask every worker to flush
+        // and exit, then wait for it. All workers received identical work
+        // queues, so their remaining collective steps stay aligned and
+        // terminate; transport timeouts bound the wait if a peer died.
+        for w in &self.workers {
+            let _ = w.work.send(WorkMsg::Finish);
+        }
+        for w in &mut self.workers {
+            if let Some(j) = w.join.take() {
+                let _ = j.join();
+            }
+        }
+    }
+}
+
+/// A reveal whose broadcast went out when the step executed, still waiting
+/// for peer shares. Held on the worker until the work queue drains.
+struct DeferredOpen {
+    outcome: StepOutcome,
+    pending: PendingOpen,
+}
+
+/// The per-party worker: one [`PartySession`] for the whole query, resident
+/// shares between steps, deferred opens flushed when the queue runs dry.
+fn worker_main(
+    net: Box<dyn Transport>,
+    seed: u64,
+    work: Receiver<WorkMsg>,
+    replies: Sender<WorkerReply>,
+) -> NetStats {
+    let mut sess = PartySession::new(&*net, seed);
+    let mut resident: HashMap<u32, PartyRelation> = HashMap::new();
+    let mut deferred: Vec<DeferredOpen> = Vec::new();
+    loop {
+        // Pipelining: only collect in-flight opens once no further step is
+        // queued — the next step's protocol rounds take priority.
+        let msg = match work.try_recv() {
+            Ok(m) => m,
+            Err(TryRecvError::Empty) => {
+                flush_opens(&mut sess, &mut deferred, &replies);
+                match work.recv() {
+                    Ok(m) => m,
+                    Err(_) => break,
+                }
+            }
+            Err(TryRecvError::Disconnected) => break,
+        };
+        match msg {
+            WorkMsg::Finish => break,
+            WorkMsg::Step(spec) => {
+                let step = spec.step;
+                let before = sess.counts();
+                match run_step(&mut sess, &resident, &spec) {
+                    Ok((input_rows, result, pending)) => {
+                        let outcome = StepOutcome {
+                            step,
+                            input_rows,
+                            output_rows: result.num_rows() as u64,
+                            counts: sess.counts().since(&before),
+                            opened: None,
+                        };
+                        resident.insert(step, result);
+                        match pending {
+                            Some(pending) => deferred.push(DeferredOpen { outcome, pending }),
+                            None => {
+                                let _ = replies.send((step, Ok(outcome)));
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        // Step failures are deterministic (validation happens
+                        // before any communication), so every party fails the
+                        // same step identically and the mesh stays aligned.
+                        let _ = replies.send((step, Err(e)));
+                    }
+                }
+            }
+        }
+    }
+    flush_opens(&mut sess, &mut deferred, &replies);
+    net.stats()
+}
+
+/// Shares fresh inputs, resolves resident ones, executes the operator, and —
+/// for reveal boundaries — *begins* the open (broadcast sent, peer shares
+/// left in flight) under the same step context.
+fn run_step(
+    sess: &mut PartySession,
+    resident: &HashMap<u32, PartyRelation>,
+    spec: &StepSpec,
+) -> Result<(u64, PartyRelation, Option<PendingOpen>), PartyError> {
+    let mut proto = sess.step(spec.step);
+    let mut input_rows = 0u64;
+    let mut fresh: Vec<Option<PartyRelation>> = Vec::with_capacity(spec.inputs.len());
+    for input in &spec.inputs {
+        match input {
+            WorkerInput::Share {
+                owner,
+                schema,
+                num_rows,
+                data,
+            } => {
+                input_rows += *num_rows as u64;
+                fresh.push(Some(share_relation(
+                    &mut proto,
+                    *owner,
+                    data.as_ref(),
+                    schema,
+                    *num_rows,
+                )?));
+            }
+            WorkerInput::Resident(s) => {
+                let rel = resident.get(s).ok_or_else(|| {
+                    PartyError::Proto(format!(
+                        "step {} references step {s}, which is not resident",
+                        spec.step
+                    ))
+                })?;
+                input_rows += rel.num_rows() as u64;
+                fresh.push(None);
+            }
+        }
+    }
+    let refs: Vec<&PartyRelation> = spec
+        .inputs
+        .iter()
+        .zip(&fresh)
+        .map(|(input, f)| match input {
+            WorkerInput::Resident(s) => &resident[s],
+            WorkerInput::Share { .. } => f.as_ref().expect("shared above"),
+        })
+        .collect();
+    let result = execute_party_op(&mut proto, &spec.op, &refs, spec.presorted)?;
+    let pending = spec
+        .reveal
+        .then(|| begin_open_relation(&mut proto, &result))
+        .transpose()?;
+    Ok((input_rows, result, pending))
+}
+
+/// Collects every deferred open (FIFO — all parties flush in enqueue order,
+/// keeping receives aligned) and reports the completed outcomes.
+fn flush_opens(
+    sess: &mut PartySession,
+    deferred: &mut Vec<DeferredOpen>,
+    replies: &Sender<WorkerReply>,
+) {
+    for d in deferred.drain(..) {
+        let step = d.outcome.step;
+        let reply = match finish_open_relation(sess, d.pending) {
+            Ok(rel) => {
+                let mut outcome = d.outcome;
+                outcome.opened = Some(rel);
+                Ok(outcome)
+            }
+            Err(e) => Err(e),
+        };
+        let _ = replies.send((step, reply));
+    }
+}
 
 /// Outcome of one distributed MPC step: the opened result, the primitive
 /// counts every party tallied, and the merged *measured* traffic.
@@ -43,11 +499,13 @@ pub struct DistributedOutcome {
     pub net: NetStats,
 }
 
-/// Executes one relational operator as a real multi-party protocol.
+/// Executes one relational operator as a real multi-party protocol — a
+/// single-step convenience wrapper over [`PartyMeshRuntime`] (the driver
+/// feeds whole plans through one runtime instead).
 ///
 /// `parties` is the computing-party count of the configured backend, `seed`
-/// must be unique per plan step (it drives the mesh's common randomness), and
-/// `presorted_aggregate` mirrors the driver's §5.4 sort-elimination shortcut.
+/// drives the mesh's common randomness, and `presorted_aggregate` mirrors
+/// the driver's §5.4 sort-elimination shortcut.
 pub fn execute_op_distributed(
     op: &Operator,
     inputs: &[&Table],
@@ -56,94 +514,19 @@ pub fn execute_op_distributed(
     runtime: PartyRuntime,
     presorted_aggregate: bool,
 ) -> Result<DistributedOutcome, DriverError> {
-    let input_rels: Vec<&Relation> = inputs.iter().map(|t| t.as_rows()).collect();
-    match runtime {
-        PartyRuntime::Simulated => Err(DriverError::Mpc(MpcError::Exec(
-            "execute_op_distributed called in simulated mode".into(),
-        ))),
-        PartyRuntime::Channel => {
-            let mesh = ChannelTransport::mesh(parties);
-            run_mesh(mesh, op, &input_rels, seed, presorted_aggregate)
-        }
-        PartyRuntime::Tcp => {
-            let mesh = TcpTransport::localhost_mesh(parties).map_err(DriverError::Transport)?;
-            run_mesh(mesh, op, &input_rels, seed, presorted_aggregate)
-        }
-    }
-}
-
-/// The per-party program: share every input (owner `i % parties` holds input
-/// `i`), execute the operator, open the result.
-fn run_party(
-    transport: &dyn Transport,
-    op: &Operator,
-    inputs: &[&Relation],
-    seed: u64,
-    presorted_aggregate: bool,
-) -> Result<(Relation, PrimitiveCounts), PartyError> {
-    let mut proto = PartyProtocol::new(transport, seed);
-    let parties = proto.parties();
-    let mut shared = Vec::with_capacity(inputs.len());
-    for (i, rel) in inputs.iter().enumerate() {
-        let owner = (i as u32) % parties;
-        let cleartext = (proto.party() == owner).then_some(*rel);
-        shared.push(share_relation(
-            &mut proto,
-            owner,
-            cleartext,
-            &rel.schema,
-            rel.num_rows(),
-        )?);
-    }
-    let refs: Vec<&conclave_mpc::PartyRelation> = shared.iter().collect();
-    let result = execute_party_op(&mut proto, op, &refs, presorted_aggregate)?;
-    let opened = open_relation(&mut proto, &result)?;
-    Ok((opened, proto.counts()))
-}
-
-fn run_mesh<T: Transport>(
-    mesh: Vec<T>,
-    op: &Operator,
-    inputs: &[&Relation],
-    seed: u64,
-    presorted_aggregate: bool,
-) -> Result<DistributedOutcome, DriverError> {
-    type PartyReturn = (Result<(Relation, PrimitiveCounts), PartyError>, NetStats);
-    let outcomes: Vec<PartyReturn> = std::thread::scope(|s| {
-        let handles: Vec<_> = mesh
-            .into_iter()
-            .map(|transport| {
-                s.spawn(move || {
-                    let result = run_party(&transport, op, inputs, seed, presorted_aggregate);
-                    (result, transport.stats())
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("party thread panicked"))
-            .collect()
-    });
-    let net = merge_mesh_stats(outcomes.iter().map(|(_, stats)| stats.clone()));
-    let mut opened: Option<(Relation, PrimitiveCounts)> = None;
-    for (result, _) in outcomes {
-        let (relation, counts) = result.map_err(party_to_driver_error)?;
-        match &opened {
-            None => opened = Some((relation, counts)),
-            Some((first, _)) => {
-                if first != &relation {
-                    return Err(DriverError::Mpc(MpcError::Exec(
-                        "parties opened divergent results from one MPC step".into(),
-                    )));
-                }
-            }
-        }
-    }
-    let (relation, counts) = opened.expect("mesh has at least two parties");
+    let mut rt = PartyMeshRuntime::new(parties, seed, runtime)?;
+    let step_inputs: Vec<StepInput> = inputs
+        .iter()
+        .map(|t| StepInput::Table(t.as_rows().clone()))
+        .collect();
+    let step = rt.enqueue(op, step_inputs, presorted_aggregate, true)?;
+    let relation = rt.wait_opened(step)?;
+    let summary = rt.finish()?;
+    let counts = summary.steps[0].counts;
     Ok(DistributedOutcome {
         relation,
         counts,
-        net,
+        net: summary.net,
     })
 }
 
@@ -184,6 +567,7 @@ mod tests {
         assert!(outcome.relation.same_rows_unordered(&expected));
         assert!(outcome.net.total_bytes() > 0, "bytes must be measured");
         assert!(outcome.net.rounds > 0, "rounds must be measured");
+        assert_eq!(outcome.net.mesh_builds, 1);
         assert!(outcome.counts.nonlinear_ops() > 0);
     }
 
@@ -225,5 +609,48 @@ mod tests {
             execute_op_distributed(&op, &[&table], 3, 1, PartyRuntime::Channel, false),
             Err(DriverError::Mpc(MpcError::Unsupported(_)))
         ));
+    }
+
+    #[test]
+    fn resident_relations_pipeline_across_steps_on_one_mesh() {
+        let table = sales_table();
+        let filter_op = Operator::SortBy {
+            column: "price".into(),
+            ascending: true,
+        };
+        let agg_op = Operator::Aggregate {
+            group_by: vec!["companyID".into()],
+            func: AggFunc::Sum,
+            over: Some("price".into()),
+            out: "rev".into(),
+        };
+        // Oracle: the same two steps through the in-process engine.
+        let mut oracle = MpcEngine::new(MpcBackendConfig::sharemind());
+        let (sorted, _) = oracle.execute_op(&filter_op, &[table.as_rows()]).unwrap();
+        let (expected, _) = oracle.execute_op(&agg_op, &[&sorted]).unwrap();
+
+        let mut rt = PartyMeshRuntime::new(3, 11, PartyRuntime::Channel).unwrap();
+        let s0 = rt
+            .enqueue(
+                &filter_op,
+                vec![StepInput::Table(table.as_rows().clone())],
+                false,
+                false,
+            )
+            .unwrap();
+        let s1 = rt
+            .enqueue(&agg_op, vec![StepInput::Resident(s0)], false, true)
+            .unwrap();
+        let opened = rt.wait_opened(s1).unwrap();
+        assert!(opened.same_rows_unordered(&expected), "got\n{opened}");
+        let summary = rt.finish().unwrap();
+        assert_eq!(summary.net.mesh_builds, 1, "one mesh for the whole query");
+        assert_eq!(summary.steps.len(), 2);
+        assert!(summary.steps[0].opened.is_none(), "no open between steps");
+        // The intermediate stayed resident: step 0's result was never opened
+        // (sorting opens nothing), so every opened element belongs to the
+        // reveal boundary.
+        assert_eq!(summary.steps[0].counts.opened_elems, 0);
+        assert!(summary.steps[1].opened.is_some());
     }
 }

@@ -78,6 +78,20 @@ impl RunReport {
         self.outputs.get(&party)
     }
 
+    /// Synchronous protocol rounds the whole query paid on the wire —
+    /// the paper's dominant MPC cost. Zero unless
+    /// [`RunReport::net_measured`] is set.
+    pub fn rounds_per_query(&self) -> u64 {
+        self.net.rounds
+    }
+
+    /// How many transport meshes were built for the query. The plan-scoped
+    /// party runtime builds exactly one; more indicates a regression to
+    /// per-step meshes.
+    pub fn mesh_builds(&self) -> u64 {
+        self.net.mesh_builds
+    }
+
     /// Records a leakage event.
     pub fn record_leakage(
         &mut self,
@@ -112,10 +126,12 @@ impl fmt::Display for RunReport {
         if self.net_measured {
             writeln!(
                 f,
-                "measured MPC traffic: {} B over {} messages in {} rounds",
+                "measured MPC traffic: {} B over {} messages in {} rounds \
+                 ({} mesh build(s))",
                 self.net.total_bytes(),
                 self.net.total_messages(),
-                self.net.rounds
+                self.net.rounds,
+                self.net.mesh_builds
             )?;
             for ((from, to), link) in &self.net.links {
                 writeln!(

@@ -55,6 +55,20 @@ impl PrimitiveCounts {
         self.shuffled_elems += other.shuffled_elems;
     }
 
+    /// The counts accumulated since `baseline` was snapshotted (field-wise
+    /// difference). Used by the party runtime to attribute a session-lifetime
+    /// counter to individual plan steps.
+    pub fn since(&self, baseline: &PrimitiveCounts) -> PrimitiveCounts {
+        PrimitiveCounts {
+            input_elems: self.input_elems - baseline.input_elems,
+            opened_elems: self.opened_elems - baseline.opened_elems,
+            mults: self.mults - baseline.mults,
+            comparisons: self.comparisons - baseline.comparisons,
+            equalities: self.equalities - baseline.equalities,
+            shuffled_elems: self.shuffled_elems - baseline.shuffled_elems,
+        }
+    }
+
     /// Total number of non-linear operations (the quantity the paper's
     /// asymptotic arguments count).
     pub fn nonlinear_ops(&self) -> u64 {

@@ -23,12 +23,14 @@
 //! * [`backend`] — a unified engine that executes IR operators under a chosen
 //!   backend over cleartext inputs, returning the result relation together
 //!   with simulated runtime and traffic statistics.
-//! * [`runtime`] — the **distributed party runtime**: a per-party
-//!   [`runtime::PartyProtocol`] that owns only its local shares and drives
+//! * [`runtime`] — the **distributed party runtime**: a session-lifetime
+//!   [`runtime::PartySession`] (identity, dealer streams, triple cache) that
+//!   hands out per-plan-step [`runtime::StepCtx`] drivers. Each step drives
 //!   open/multiply/comparisons and the oblivious relational operators through
-//!   real [`conclave_net::Transport`] message rounds, recording observed (not
-//!   modeled) traffic. The in-process [`Protocol`] remains the fast path and
-//!   the differential-testing oracle for it.
+//!   real [`conclave_net::Transport`] message rounds on its own logical
+//!   stream, recording observed (not modeled) traffic. The in-process
+//!   [`Protocol`] remains the fast path and the differential-testing oracle
+//!   for it.
 
 pub mod backend;
 pub mod cost;
@@ -46,5 +48,5 @@ pub use cost::{GarbledCostModel, PrimitiveCounts, SecretShareCostModel};
 pub use protocol::Protocol;
 pub use relation::SharedRelation;
 pub use ring::RingElem;
-pub use runtime::{PartyError, PartyProtocol, PartyRelation, PartyResult};
+pub use runtime::{PartyError, PartyRelation, PartyResult, PartySession, PendingOpen, StepCtx};
 pub use share::Shares;

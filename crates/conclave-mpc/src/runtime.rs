@@ -4,14 +4,22 @@
 //! The single-process [`crate::protocol::Protocol`] materializes *every*
 //! party's shares inside one struct — convenient for simulation, but it
 //! cannot measure the thing the paper's evaluation is about: per-party
-//! message exchange. This module provides the real counterpart:
+//! message exchange. This module provides the real counterpart, split into
+//! **session-lifetime** and **per-step** state:
 //!
-//! * [`PartyProtocol`] is **one party's** view of the computation. It owns
-//!   only that party's additive shares ([`RingElem`] values), and every
-//!   non-local primitive — input sharing, opening, Beaver multiplication,
-//!   comparisons — is driven through explicit [`Transport`] message rounds,
-//!   so the transport's [`NetStats`](conclave_net::NetStats) record
-//!   *observed* bytes and rounds instead of modeled ones.
+//! * [`PartySession`] is **one party's** query-lifetime endpoint: identity,
+//!   the dealer state (common + private randomness streams, seeded once per
+//!   query), the Beaver triple cache, and the [`Transport`]. Because the
+//!   additive sharing is defined by the session, shares produced in one plan
+//!   step remain valid in every later step — intermediate relations stay
+//!   resident on the parties instead of being opened and re-shared at every
+//!   step boundary.
+//! * [`StepCtx`] (from [`PartySession::step`]) is one plan step's view: the
+//!   protocol primitives — input sharing, opening, Beaver multiplication,
+//!   comparisons — driven through explicit [`Transport`] message rounds, each
+//!   tagged with a `(step, stream)` [`StreamTag`] so concurrent steps can
+//!   multiplex the same session-lifetime connections. The transport's
+//!   [`NetStats`](conclave_net::NetStats) record *observed* bytes and rounds.
 //! * [`PartyRelation`] is the per-party slice of a secret-shared relation
 //!   (public schema, one share per cell), and the free functions implement
 //!   the oblivious relational operators over it ([`sort_by`], [`shuffle`],
@@ -20,6 +28,17 @@
 //! * [`execute_party_op`] dispatches one relational [`Operator`] exactly like
 //!   [`crate::backend::MpcEngine::execute_shared`], so a driver can swap the
 //!   simulated engine for a party mesh without changing plan semantics.
+//!
+//! ## Open/reveal semantics
+//!
+//! Opening is no longer implicit at every step boundary: a result is opened
+//! **only at reveal boundaries** — when a non-party consumer (a local or STP
+//! step, a hybrid protocol, or the query output) needs the cleartext.
+//! [`begin_open_relation`] broadcasts this party's shares immediately and
+//! returns a [`PendingOpen`]; [`finish_open_relation`] collects the peers'
+//! shares later, so a worker can start the *next* step's rounds while the
+//! previous step's final open is still in flight (the stream tags keep the
+//! interleaved frames apart).
 //!
 //! ## Fidelity note
 //!
@@ -46,7 +65,7 @@ use conclave_ir::expr::{BinOp, Expr};
 use conclave_ir::ops::{aggregate_schema, join_schema, AggFunc, Operand, Operator};
 use conclave_ir::schema::{ColumnDef, Schema};
 use conclave_ir::types::{DataType, Value};
-use conclave_net::{MessageKind, Transport, TransportError};
+use conclave_net::{MessageKind, RoundBatcher, StreamTag, Transport, TransportError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
@@ -90,30 +109,47 @@ impl From<TransportError> for PartyError {
 /// Result alias for party-runtime operations.
 pub type PartyResult<T> = Result<T, PartyError>;
 
-/// One party's protocol endpoint: local shares only, real messages.
+/// Number of Beaver triples derived from the common stream per cache refill.
+const TRIPLE_BLOCK: usize = 1024;
+
+/// One party's **session-lifetime** protocol state: identity, dealer state
+/// (the common and private randomness streams), the Beaver triple cache and
+/// the transport endpoint. A session lives as long as the query — shares it
+/// produced in one plan step stay valid in every later step, because the
+/// additive sharing is defined by the session, not by any step.
 ///
-/// All parties of a mesh must construct their `PartyProtocol` with the *same*
+/// All parties of a mesh must construct their `PartySession` with the *same*
 /// `seed` and then execute the *same* sequence of collective operations; the
 /// shared seed drives the common-randomness stream (triples, permutations,
 /// deterministic re-sharing) that keeps the parties in lock-step without a
 /// coordinator.
-pub struct PartyProtocol<'n> {
+///
+/// Per-step work happens through [`PartySession::step`], which hands out a
+/// [`StepCtx`] carrying the plan-step id: every collective exchange inside
+/// the step is tagged with a fresh `(step, stream)` [`StreamTag`], so a
+/// step's final open can still be in flight while the next step's rounds are
+/// already crossing the same connections.
+pub struct PartySession<'n> {
     net: &'n dyn Transport,
     /// Common randomness: identical stream on every party.
     common: StdRng,
     /// Private randomness: distinct per party (used to share own inputs).
     private: StdRng,
+    /// Beaver triple shares pre-derived from the common stream in blocks.
+    triples: std::collections::VecDeque<(RingElem, RingElem, RingElem)>,
     counts: PrimitiveCounts,
 }
 
-impl<'n> PartyProtocol<'n> {
-    /// Creates the endpoint for `net`'s party with the mesh-wide `seed`.
+impl<'n> PartySession<'n> {
+    /// Creates the session for `net`'s party with the mesh-wide `seed`,
+    /// seeding the dealer **once** for the whole query.
     pub fn new(net: &'n dyn Transport, seed: u64) -> Self {
         let party = net.party() as u64;
-        PartyProtocol {
+        PartySession {
             net,
             common: StdRng::seed_from_u64(seed),
             private: StdRng::seed_from_u64(seed ^ (party + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            triples: std::collections::VecDeque::new(),
             counts: PrimitiveCounts::default(),
         }
     }
@@ -128,10 +164,26 @@ impl<'n> PartyProtocol<'n> {
         self.net.parties()
     }
 
+    /// The transport endpoint this session drives.
+    pub fn net(&self) -> &'n dyn Transport {
+        self.net
+    }
+
     /// Snapshot of the primitive counters (identical on every party, because
     /// every party counts the same collective operations).
     pub fn counts(&self) -> PrimitiveCounts {
         self.counts
+    }
+
+    /// Opens the per-step context for plan step `step`: collective exchanges
+    /// made through it are tagged `(step, 0..)`. Every party must open steps
+    /// in the same order with the same ids.
+    pub fn step(&mut self, step: u32) -> StepCtx<'_, 'n> {
+        StepCtx {
+            sess: self,
+            step,
+            next_stream: 0,
+        }
     }
 
     /// Draws `n` shares of `value` from the common randomness stream and
@@ -154,6 +206,93 @@ impl<'n> PartyProtocol<'n> {
         own
     }
 
+    /// Takes the next Beaver triple share from the cache, refilling a whole
+    /// block from the common stream when it runs dry. All parties refill at
+    /// the same point of the same collective operation, so their dealer
+    /// streams stay aligned.
+    fn next_triple(&mut self) -> (RingElem, RingElem, RingElem) {
+        if self.triples.is_empty() {
+            for _ in 0..TRIPLE_BLOCK {
+                let a = RingElem(self.common.gen::<u64>());
+                let b = RingElem(self.common.gen::<u64>());
+                let c = a * b;
+                let a_i = self.reshare_from_common(a);
+                let b_i = self.reshare_from_common(b);
+                let c_i = self.reshare_from_common(c);
+                self.triples.push_back((a_i, b_i, c_i));
+            }
+        }
+        self.triples.pop_front().expect("refilled above")
+    }
+
+    /// A random permutation of `0..n` from the common stream — identical on
+    /// every party, so a shuffle needs no index exchange.
+    pub fn random_permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut perm: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = self.common.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        perm
+    }
+}
+
+impl fmt::Debug for PartySession<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PartySession")
+            .field("party", &self.party())
+            .field("parties", &self.parties())
+            .field("counts", &self.counts)
+            .finish()
+    }
+}
+
+/// One plan step's view of a [`PartySession`]: the same protocol primitives,
+/// with every collective exchange tagged `(step, stream)` so concurrent
+/// steps can share the session-lifetime connections. Borrowing the session
+/// mutably keeps the step sequence race-free within one party while the
+/// dealer state advances across steps.
+pub struct StepCtx<'s, 'n> {
+    sess: &'s mut PartySession<'n>,
+    step: u32,
+    next_stream: u32,
+}
+
+impl<'n> StepCtx<'_, 'n> {
+    /// This endpoint's party id.
+    pub fn party(&self) -> u32 {
+        self.sess.party()
+    }
+
+    /// Number of parties in the mesh.
+    pub fn parties(&self) -> u32 {
+        self.sess.parties()
+    }
+
+    /// The plan step this context belongs to.
+    pub fn step_id(&self) -> u32 {
+        self.step
+    }
+
+    /// Snapshot of the session's primitive counters.
+    pub fn counts(&self) -> PrimitiveCounts {
+        self.sess.counts()
+    }
+
+    /// The session this step borrows.
+    pub fn session(&mut self) -> &mut PartySession<'n> {
+        self.sess
+    }
+
+    /// Allocates the tag for the step's next collective exchange. Every
+    /// party executes the same exchanges in the same order, so the counters
+    /// advance identically mesh-wide.
+    fn next_tag(&mut self) -> StreamTag {
+        let tag = StreamTag::new(self.step, self.next_stream);
+        self.next_stream += 1;
+        tag
+    }
+
     // ------------------------------------------------------------------
     // Input / output.
     // ------------------------------------------------------------------
@@ -170,7 +309,8 @@ impl<'n> PartyProtocol<'n> {
         values: Option<&[i64]>,
         n: usize,
     ) -> PartyResult<Vec<RingElem>> {
-        self.counts.input_elems += n as u64;
+        self.sess.counts.input_elems += n as u64;
+        let tag = self.next_tag();
         if self.party() == owner {
             let values = values.ok_or_else(|| {
                 PartyError::Proto("input owner must supply the cleartext values".into())
@@ -187,7 +327,7 @@ impl<'n> PartyProtocol<'n> {
             for (i, &v) in values.iter().enumerate() {
                 let mut acc = RingElem::ZERO;
                 for row in per_party.iter_mut().take(parties - 1) {
-                    let r = RingElem(self.private.gen::<u64>());
+                    let r = RingElem(self.sess.private.gen::<u64>());
                     row[i] = r;
                     acc += r;
                 }
@@ -196,13 +336,18 @@ impl<'n> PartyProtocol<'n> {
             for (p, shares) in per_party.iter().enumerate() {
                 if p as u32 != owner {
                     let payload: Vec<u64> = shares.iter().map(|s| s.0).collect();
-                    self.net
-                        .send_to(p as u32, MessageKind::SecretShare, "input", &payload)?;
+                    self.sess.net.send_tagged(
+                        p as u32,
+                        tag,
+                        MessageKind::SecretShare,
+                        "input",
+                        &payload,
+                    )?;
                 }
             }
             Ok(per_party.swap_remove(owner as usize))
         } else {
-            let env = self.net.recv_from(owner)?;
+            let env = self.sess.net.recv_tagged(owner, tag)?;
             if env.payload.len() != n {
                 return Err(PartyError::Proto(format!(
                     "expected {n} input shares from P{owner}, got {}",
@@ -215,14 +360,35 @@ impl<'n> PartyProtocol<'n> {
 
     /// Opens a batch of shared values to every party: one broadcast round.
     pub fn open_column(&mut self, shares: &[RingElem]) -> PartyResult<Vec<i64>> {
-        self.counts.opened_elems += shares.len() as u64;
+        self.sess.counts.opened_elems += shares.len() as u64;
         let opened = self.exchange_and_sum(shares, MessageKind::Reveal, "open")?;
         Ok(opened.into_iter().map(RingElem::to_i64).collect())
     }
 
-    /// Opens a single shared value.
+    /// Opens a single shared value. Scalar fast path: the one-word exchange
+    /// happens on the stack instead of allocating the `open_column` vectors.
     pub fn open(&mut self, x: RingElem) -> PartyResult<i64> {
-        Ok(self.open_column(&[x])?[0])
+        self.sess.counts.opened_elems += 1;
+        let tag = self.next_tag();
+        self.sess
+            .net
+            .send_all_tagged(tag, MessageKind::Reveal, "open1", &[x.0])?;
+        let mut sum = x;
+        for peer in 0..self.parties() {
+            if peer == self.party() {
+                continue;
+            }
+            let env = self.sess.net.recv_tagged(peer, tag)?;
+            if env.payload.len() != 1 {
+                return Err(PartyError::Proto(format!(
+                    "P{peer} sent {} words in a scalar open",
+                    env.payload.len()
+                )));
+            }
+            sum += RingElem(env.payload[0]);
+        }
+        self.sess.net.record_round();
+        Ok(sum.to_i64())
     }
 
     /// Broadcasts this party's words and sums them with every peer's: the
@@ -236,14 +402,15 @@ impl<'n> PartyProtocol<'n> {
         if shares.is_empty() {
             return Ok(Vec::new());
         }
+        let tag = self.next_tag();
         let payload: Vec<u64> = shares.iter().map(|s| s.0).collect();
-        self.net.send_all(kind, label, &payload)?;
+        self.sess.net.send_all_tagged(tag, kind, label, &payload)?;
         let mut sums = shares.to_vec();
         for peer in 0..self.parties() {
             if peer == self.party() {
                 continue;
             }
-            let env = self.net.recv_from(peer)?;
+            let env = self.sess.net.recv_tagged(peer, tag)?;
             if env.payload.len() != shares.len() {
                 return Err(PartyError::Proto(format!(
                     "P{peer} sent {} words in a {label} round of {}",
@@ -255,7 +422,7 @@ impl<'n> PartyProtocol<'n> {
                 *acc += RingElem(*word);
             }
         }
-        self.net.record_round();
+        self.sess.net.record_round();
         Ok(sums)
     }
 
@@ -307,18 +474,13 @@ impl<'n> PartyProtocol<'n> {
         if pairs.is_empty() {
             return Ok(Vec::new());
         }
-        self.counts.mults += pairs.len() as u64;
+        self.sess.counts.mults += pairs.len() as u64;
         let mut a_shares = Vec::with_capacity(pairs.len());
         let mut b_shares = Vec::with_capacity(pairs.len());
         let mut c_shares = Vec::with_capacity(pairs.len());
         let mut masked = Vec::with_capacity(pairs.len() * 2);
         for &(x, y) in pairs {
-            let a = RingElem(self.common.gen::<u64>());
-            let b = RingElem(self.common.gen::<u64>());
-            let c = a * b;
-            let a_i = self.reshare_from_common(a);
-            let b_i = self.reshare_from_common(b);
-            let c_i = self.reshare_from_common(c);
+            let (a_i, b_i, c_i) = self.sess.next_triple();
             masked.push(x - a_i);
             masked.push(y - b_i);
             a_shares.push(a_i);
@@ -348,14 +510,68 @@ impl<'n> PartyProtocol<'n> {
     /// Oblivious less-than over a batch of pairs: shared `1` where `x < y`.
     /// One broadcast round for the whole batch (see the fidelity note).
     pub fn lt_batch(&mut self, pairs: &[(RingElem, RingElem)]) -> PartyResult<Vec<RingElem>> {
-        self.counts.comparisons += pairs.len() as u64;
+        self.sess.counts.comparisons += pairs.len() as u64;
         self.compare_batch(pairs, "lt", |x, y| i64::from(x < y))
     }
 
     /// Oblivious equality over a batch of pairs: shared `1` where `x == y`.
     pub fn eq_batch(&mut self, pairs: &[(RingElem, RingElem)]) -> PartyResult<Vec<RingElem>> {
-        self.counts.equalities += pairs.len() as u64;
+        self.sess.counts.equalities += pairs.len() as u64;
         self.compare_batch(pairs, "eq", |x, y| i64::from(x == y))
+    }
+
+    /// Oblivious equality over **several independent batches at once**: all
+    /// groups' operand openings are coalesced into a single synchronous
+    /// round (via a [`RoundBatcher`]), where the per-column `eq_batch` loop
+    /// used to pay one round per group. Returns one flag vector per group.
+    pub fn eq_batch_groups(
+        &mut self,
+        groups: &[Vec<(RingElem, RingElem)>],
+    ) -> PartyResult<Vec<Vec<RingElem>>> {
+        self.sess.counts.equalities += groups.iter().map(|g| g.len() as u64).sum::<u64>();
+        self.compare_groups(groups, "eq", |x, y| i64::from(x == y))
+    }
+
+    /// Coalesced comparison: stages every group's masked operand pairs,
+    /// exchanges them in one round, then re-shares each result bit from the
+    /// common stream exactly like [`StepCtx::compare_batch`].
+    fn compare_groups(
+        &mut self,
+        groups: &[Vec<(RingElem, RingElem)>],
+        label: &str,
+        bit: fn(i64, i64) -> i64,
+    ) -> PartyResult<Vec<Vec<RingElem>>> {
+        if groups.iter().all(|g| g.is_empty()) {
+            return Ok(groups.iter().map(|_| Vec::new()).collect());
+        }
+        let mut batcher = RoundBatcher::new();
+        let mut flat = Vec::new();
+        let mut handles = Vec::with_capacity(groups.len());
+        for g in groups {
+            flat.clear();
+            flat.reserve(g.len() * 2);
+            for &(x, y) in g {
+                flat.push(x.0);
+                flat.push(y.0);
+            }
+            handles.push(batcher.stage(&flat));
+        }
+        let tag = self.next_tag();
+        let sums = batcher.exchange_summed(self.sess.net, tag, MessageKind::Control, label)?;
+        let mut out = Vec::with_capacity(groups.len());
+        for (g, h) in groups.iter().zip(handles) {
+            let opened = sums.segment(h);
+            let mut bits = Vec::with_capacity(g.len());
+            for i in 0..g.len() {
+                let b = bit(
+                    RingElem(opened[2 * i]).to_i64(),
+                    RingElem(opened[2 * i + 1]).to_i64(),
+                );
+                bits.push(self.sess.reshare_from_common(RingElem::from_i64(b)));
+            }
+            out.push(bits);
+        }
+        Ok(out)
     }
 
     /// Oblivious less-than of one pair.
@@ -386,7 +602,7 @@ impl<'n> PartyProtocol<'n> {
         let mut out = Vec::with_capacity(pairs.len());
         for i in 0..pairs.len() {
             let b = bit(opened[2 * i].to_i64(), opened[2 * i + 1].to_i64());
-            out.push(self.reshare_from_common(RingElem::from_i64(b)));
+            out.push(self.sess.reshare_from_common(RingElem::from_i64(b)));
         }
         Ok(out)
     }
@@ -413,33 +629,28 @@ impl<'n> PartyProtocol<'n> {
 
     /// Charges the cost of obliviously shuffling `elements` field elements.
     pub fn charge_shuffle(&mut self, elements: u64) {
-        self.counts.shuffled_elems += elements;
+        self.sess.counts.shuffled_elems += elements;
     }
 
     /// Adds externally-derived primitive counts (for operators whose real
     /// cost is charged analytically, mirroring the in-process engine).
     pub fn charge(&mut self, extra: &PrimitiveCounts) {
-        self.counts.merge(extra);
+        self.sess.counts.merge(extra);
     }
 
     /// A random permutation of `0..n` from the common stream — identical on
     /// every party, so a shuffle needs no index exchange.
     pub fn random_permutation(&mut self, n: usize) -> Vec<usize> {
-        let mut perm: Vec<usize> = (0..n).collect();
-        for i in (1..n).rev() {
-            let j = self.common.gen_range(0..=i);
-            perm.swap(i, j);
-        }
-        perm
+        self.sess.random_permutation(n)
     }
 }
 
-impl fmt::Debug for PartyProtocol<'_> {
+impl fmt::Debug for StepCtx<'_, '_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("PartyProtocol")
+        f.debug_struct("StepCtx")
             .field("party", &self.party())
-            .field("parties", &self.parties())
-            .field("counts", &self.counts)
+            .field("step", &self.step)
+            .field("stream", &self.next_stream)
             .finish()
     }
 }
@@ -544,7 +755,7 @@ impl PartyRelation {
 /// Collective sharing of a whole relation owned by `owner`. The owner passes
 /// the cleartext relation; everyone passes the (public) schema and row count.
 pub fn share_relation(
-    proto: &mut PartyProtocol,
+    proto: &mut StepCtx,
     owner: u32,
     cleartext: Option<&Relation>,
     schema: &Schema,
@@ -586,18 +797,93 @@ pub fn share_relation(
 }
 
 /// Opens a whole shared relation to every party: one broadcast round.
-pub fn open_relation(proto: &mut PartyProtocol, rel: &PartyRelation) -> PartyResult<Relation> {
-    let cols = rel.num_cols();
-    let flat: Vec<RingElem> = rel.rows.iter().flatten().copied().collect();
-    let opened = proto.open_column(&flat)?;
-    let rows = opened
+pub fn open_relation(proto: &mut StepCtx, rel: &PartyRelation) -> PartyResult<Relation> {
+    let pending = begin_open_relation(proto, rel)?;
+    finish_open_relation(proto.session(), pending)
+}
+
+/// A relation open whose broadcast has been **sent** but whose peer shares
+/// have not yet been collected. Produced by [`begin_open_relation`]; redeem
+/// with [`finish_open_relation`]. Holding one is what lets a party worker
+/// pipeline: the next step's rounds can start while this open is in flight.
+#[derive(Debug)]
+pub struct PendingOpen {
+    tag: StreamTag,
+    schema: Schema,
+    num_rows: usize,
+    /// This party's flattened share words (row-major), summed in place as
+    /// peers' broadcasts arrive.
+    local: Vec<u64>,
+}
+
+/// First half of a relation open: broadcasts this party's shares on a fresh
+/// stream of `proto`'s step and returns the pending handle without waiting
+/// for the peers.
+pub fn begin_open_relation(proto: &mut StepCtx, rel: &PartyRelation) -> PartyResult<PendingOpen> {
+    proto.session().counts.opened_elems += rel.num_elems();
+    let tag = proto.next_tag();
+    let local: Vec<u64> = rel.rows.iter().flatten().map(|s| s.0).collect();
+    if !local.is_empty() {
+        proto
+            .session()
+            .net()
+            .send_all_tagged(tag, MessageKind::Reveal, "open", &local)?;
+    }
+    Ok(PendingOpen {
+        tag,
+        schema: rel.schema.clone(),
+        num_rows: rel.num_rows(),
+        local,
+    })
+}
+
+/// Second half of a relation open: collects every peer's broadcast for the
+/// pending stream (frames that raced ahead of other streams were buffered by
+/// the transport), reconstructs the cleartext relation, and records the
+/// round.
+pub fn finish_open_relation(
+    sess: &mut PartySession,
+    pending: PendingOpen,
+) -> PartyResult<Relation> {
+    let PendingOpen {
+        tag,
+        schema,
+        num_rows,
+        mut local,
+    } = pending;
+    let cols = schema.len();
+    if !local.is_empty() {
+        for peer in 0..sess.parties() {
+            if peer == sess.party() {
+                continue;
+            }
+            let env = sess.net().recv_tagged(peer, tag)?;
+            if env.payload.len() != local.len() {
+                return Err(PartyError::Proto(format!(
+                    "P{peer} sent {} words in an open of {}",
+                    env.payload.len(),
+                    local.len()
+                )));
+            }
+            for (acc, word) in local.iter_mut().zip(&env.payload) {
+                *acc = acc.wrapping_add(*word);
+            }
+        }
+        sess.net().record_round();
+    }
+    let rows = local
         .chunks(cols.max(1))
-        .take(rel.num_rows())
-        .map(|chunk| chunk.iter().map(|&v| Value::Int(v)).collect())
+        .take(num_rows)
+        .map(|chunk| {
+            chunk
+                .iter()
+                .map(|&w| Value::Int(RingElem(w).to_i64()))
+                .collect()
+        })
         .collect();
     // Reconstructed cells are integers; coerce Bool columns like the
     // in-process `SharedRelation::reconstruct` does.
-    let mut schema = rel.schema.clone();
+    let mut schema = schema;
     for col in &mut schema.columns {
         if col.dtype == DataType::Bool {
             col.dtype = DataType::Int;
@@ -609,7 +895,7 @@ pub fn open_relation(proto: &mut PartyProtocol, rel: &PartyRelation) -> PartyRes
 /// Obliviously shuffles the relation: the permutation comes from the common
 /// randomness stream (standing in for a resharing-based shuffle), the moved
 /// elements are charged like the in-process implementation.
-pub fn shuffle(proto: &mut PartyProtocol, rel: &PartyRelation) -> PartyRelation {
+pub fn shuffle(proto: &mut StepCtx, rel: &PartyRelation) -> PartyRelation {
     proto.charge_shuffle(rel.num_elems());
     let perm = proto.random_permutation(rel.num_rows());
     rel.permute(&perm)
@@ -618,7 +904,7 @@ pub fn shuffle(proto: &mut PartyProtocol, rel: &PartyRelation) -> PartyRelation 
 /// One oblivious compare-exchange across all columns: one comparison round
 /// plus one (batched) multiplexer round.
 fn compare_exchange(
-    proto: &mut PartyProtocol,
+    proto: &mut StepCtx,
     rows: &mut [Vec<RingElem>],
     i: usize,
     j: usize,
@@ -680,7 +966,7 @@ fn batcher_pairs(n: usize) -> Vec<(usize, usize)> {
 
 /// Obliviously sorts by the named column with a Batcher network.
 pub fn sort_by(
-    proto: &mut PartyProtocol,
+    proto: &mut StepCtx,
     rel: &PartyRelation,
     column: &str,
     ascending: bool,
@@ -705,7 +991,7 @@ pub fn sort_by(
 /// [`crate::oblivious::aggregate_sorted`]: a linear accumulation scan, then a
 /// shuffle-and-reveal of the group-boundary flags.
 pub fn aggregate_sorted(
-    proto: &mut PartyProtocol,
+    proto: &mut StepCtx,
     rel: &PartyRelation,
     group_by: &[String],
     func: AggFunc,
@@ -768,24 +1054,24 @@ pub fn aggregate_sorted(
     }
 
     // Group-boundary flags: eq[i-1] = 1 iff row i is in the same group as
-    // row i-1 (all key columns equal). Batched per key column, combined with
-    // batched multiplications.
-    let mut eq: Vec<RingElem> = {
-        let pairs: Vec<(RingElem, RingElem)> = (1..n)
-            .map(|i| (rel.rows[i][key_cols[0]], rel.rows[i - 1][key_cols[0]]))
-            .collect();
-        proto.eq_batch(&pairs)?
-    };
-    for &k in key_cols.iter().skip(1) {
-        let pairs: Vec<(RingElem, RingElem)> = (1..n)
-            .map(|i| (rel.rows[i][k], rel.rows[i - 1][k]))
-            .collect();
-        let flags = proto.eq_batch(&pairs)?;
+    // row i-1 (all key columns equal). The per-column equality openings are
+    // coalesced into ONE round, then combined with batched multiplications.
+    let groups: Vec<Vec<(RingElem, RingElem)>> = key_cols
+        .iter()
+        .map(|&k| {
+            (1..n)
+                .map(|i| (rel.rows[i][k], rel.rows[i - 1][k]))
+                .collect()
+        })
+        .collect();
+    let mut per_col = proto.eq_batch_groups(&groups)?.into_iter();
+    let mut eq: Vec<RingElem> = per_col.next().expect("at least one key column");
+    for flags in per_col {
         let products: Vec<(RingElem, RingElem)> = eq.iter().copied().zip(flags).collect();
         eq = proto.mul_batch(&products)?;
     }
 
-    let init = |proto: &PartyProtocol, row: &[RingElem]| -> RingElem {
+    let init = |proto: &StepCtx, row: &[RingElem]| -> RingElem {
         match func {
             AggFunc::Count => proto.constant(1),
             _ => row[over_col.expect("checked above")],
@@ -848,7 +1134,7 @@ pub fn aggregate_sorted(
 /// [`crate::oblivious::cartesian_join`]. All pair flags are computed in one
 /// batched round per key column, then opened in one round.
 pub fn cartesian_join(
-    proto: &mut PartyProtocol,
+    proto: &mut StepCtx,
     left: &PartyRelation,
     right: &PartyRelation,
     left_keys: &[String],
@@ -880,19 +1166,20 @@ pub fn cartesian_join(
     }
 
     // match[i*m + j] = 1 iff all key columns of (left i, right j) agree.
-    let mut matched: Vec<RingElem> = {
-        let pairs: Vec<(RingElem, RingElem)> = (0..n)
-            .flat_map(|i| (0..m).map(move |j| (i, j)))
-            .map(|(i, j)| (left.rows[i][lk[0]], right.rows[j][rk[0]]))
-            .collect();
-        proto.eq_batch(&pairs)?
-    };
-    for (&lc, &rc) in lk.iter().zip(&rk).skip(1) {
-        let pairs: Vec<(RingElem, RingElem)> = (0..n)
-            .flat_map(|i| (0..m).map(move |j| (i, j)))
-            .map(|(i, j)| (left.rows[i][lc], right.rows[j][rc]))
-            .collect();
-        let flags = proto.eq_batch(&pairs)?;
+    // All key columns' equality openings cross the wire in one round.
+    let groups: Vec<Vec<(RingElem, RingElem)>> = lk
+        .iter()
+        .zip(&rk)
+        .map(|(&lc, &rc)| {
+            (0..n)
+                .flat_map(|i| (0..m).map(move |j| (i, j)))
+                .map(|(i, j)| (left.rows[i][lc], right.rows[j][rc]))
+                .collect()
+        })
+        .collect();
+    let mut per_col = proto.eq_batch_groups(&groups)?.into_iter();
+    let mut matched: Vec<RingElem> = per_col.next().expect("at least one key column");
+    for flags in per_col {
         let products: Vec<(RingElem, RingElem)> = matched.iter().copied().zip(flags).collect();
         matched = proto.mul_batch(&products)?;
     }
@@ -918,7 +1205,7 @@ pub fn cartesian_join(
 /// Evaluates a (restricted) predicate over every row at once, producing a
 /// shared 0/1 flag per row. Each expression node costs one batched round.
 fn eval_predicate(
-    proto: &mut PartyProtocol,
+    proto: &mut StepCtx,
     rel: &PartyRelation,
     expr: &Expr,
 ) -> PartyResult<Vec<RingElem>> {
@@ -973,7 +1260,7 @@ fn eval_predicate(
 }
 
 fn eval_operand(
-    proto: &mut PartyProtocol,
+    proto: &mut StepCtx,
     rel: &PartyRelation,
     expr: &Expr,
 ) -> PartyResult<Vec<RingElem>> {
@@ -1000,7 +1287,7 @@ fn eval_operand(
 /// shuffle, open the flags, keep the selected rows (leaking only the output
 /// size).
 pub fn filter(
-    proto: &mut PartyProtocol,
+    proto: &mut StepCtx,
     rel: &PartyRelation,
     predicate: &Expr,
 ) -> PartyResult<PartyRelation> {
@@ -1048,7 +1335,7 @@ pub fn filter(
 /// mirroring the in-process `mpc_multiply` (one batched Beaver round per
 /// extra factor).
 pub fn multiply_columns(
-    proto: &mut PartyProtocol,
+    proto: &mut StepCtx,
     rel: &PartyRelation,
     out: &str,
     operands: &[Operand],
@@ -1106,24 +1393,24 @@ pub fn multiply_columns(
 /// Removes duplicate adjacent rows from a key-sorted relation (the core of
 /// `distinct`), mirroring the in-process implementation: adjacent all-column
 /// equality flags, opened directly.
-fn distinct_sorted(proto: &mut PartyProtocol, rel: &PartyRelation) -> PartyResult<PartyRelation> {
+fn distinct_sorted(proto: &mut StepCtx, rel: &PartyRelation) -> PartyResult<PartyRelation> {
     let n = rel.num_rows();
     if n == 0 {
         return Ok(rel.clone());
     }
     let cols = rel.num_cols();
-    // all_eq[i-1] = 1 iff row i equals row i-1 on every column.
-    let mut all_eq: Vec<RingElem> = {
-        let pairs: Vec<(RingElem, RingElem)> = (1..n)
-            .map(|i| (rel.rows[i][0], rel.rows[i - 1][0]))
-            .collect();
-        proto.eq_batch(&pairs)?
-    };
-    for c in 1..cols {
-        let pairs: Vec<(RingElem, RingElem)> = (1..n)
-            .map(|i| (rel.rows[i][c], rel.rows[i - 1][c]))
-            .collect();
-        let flags = proto.eq_batch(&pairs)?;
+    // all_eq[i-1] = 1 iff row i equals row i-1 on every column. One coalesced
+    // equality round covers every column.
+    let groups: Vec<Vec<(RingElem, RingElem)>> = (0..cols)
+        .map(|c| {
+            (1..n)
+                .map(|i| (rel.rows[i][c], rel.rows[i - 1][c]))
+                .collect()
+        })
+        .collect();
+    let mut per_col = proto.eq_batch_groups(&groups)?.into_iter();
+    let mut all_eq: Vec<RingElem> = per_col.next().expect("at least one column");
+    for flags in per_col {
         let products: Vec<(RingElem, RingElem)> = all_eq.iter().copied().zip(flags).collect();
         all_eq = proto.mul_batch(&products)?;
     }
@@ -1151,7 +1438,7 @@ fn distinct_sorted(proto: &mut PartyProtocol, rel: &PartyRelation) -> PartyResul
 /// for the oblivious-indexing sub-protocol, whose cost is charged) and each
 /// party selects its own shares of the addressed rows.
 pub fn oblivious_select(
-    proto: &mut PartyProtocol,
+    proto: &mut StepCtx,
     data: &PartyRelation,
     indexes: &PartyRelation,
     index_column: &str,
@@ -1192,7 +1479,7 @@ pub fn oblivious_select(
 /// operator. `presorted_aggregate` skips the oblivious sort in front of a
 /// grouped aggregation (the §5.4 sort-elimination pay-off).
 pub fn execute_party_op(
-    proto: &mut PartyProtocol,
+    proto: &mut StepCtx,
     op: &Operator,
     inputs: &[&PartyRelation],
     presorted_aggregate: bool,
@@ -1348,7 +1635,7 @@ mod tests {
     fn run_parties<R, F>(n: u32, seed: u64, f: F) -> Vec<R>
     where
         R: Send,
-        F: Fn(&mut PartyProtocol) -> PartyResult<R> + Sync,
+        F: Fn(&mut StepCtx) -> PartyResult<R> + Sync,
     {
         let mesh = ChannelTransport::mesh(n);
         std::thread::scope(|s| {
@@ -1357,7 +1644,8 @@ mod tests {
                 .map(|t| {
                     let f = &f;
                     s.spawn(move || {
-                        let mut proto = PartyProtocol::new(&t, seed);
+                        let mut sess = PartySession::new(&t, seed);
+                        let mut proto = sess.step(0);
                         f(&mut proto)
                     })
                 })
@@ -1382,7 +1670,7 @@ mod tests {
 
     /// The owner's view of a relation: `Some` on the owning party, `None`
     /// elsewhere (hoisted out of call expressions for borrow-check clarity).
-    fn mine<'a>(proto: &PartyProtocol, owner: u32, rel: &'a Relation) -> Option<&'a Relation> {
+    fn mine<'a>(proto: &StepCtx, owner: u32, rel: &'a Relation) -> Option<&'a Relation> {
         (proto.party() == owner).then_some(rel)
     }
 
@@ -1447,7 +1735,8 @@ mod tests {
                     .into_iter()
                     .map(|t| {
                         s.spawn(move || {
-                            let proto = PartyProtocol::new(&t, 3);
+                            let mut sess = PartySession::new(&t, 3);
+                            let proto = sess.step(0);
                             let a = proto.constant(10);
                             let b = proto.constant(4);
                             let _ = proto.add(a, b);
@@ -1702,7 +1991,8 @@ mod tests {
                 .map(|t| {
                     let rel = &rel;
                     s.spawn(move || {
-                        let mut proto = PartyProtocol::new(&t, 16);
+                        let mut sess = PartySession::new(&t, 16);
+                        let mut proto = sess.step(0);
                         let data = mine(&proto, 0, rel);
                         let shared =
                             share_relation(&mut proto, 0, data, &rel.schema, rel.num_rows())

@@ -16,16 +16,19 @@
 //!   loopback queues), so the cost-model path and the measured path share
 //!   one interface.
 
+pub mod mesh;
 pub mod message;
 pub mod model;
 pub mod sim;
 pub mod stats;
 pub mod transport;
 
+pub use mesh::{BatchSums, Mesh, RoundBatcher};
 pub use message::{Message, MessageKind};
 pub use model::NetworkModel;
 pub use sim::SimNetwork;
 pub use stats::{LinkStats, NetStats};
 pub use transport::{
-    merge_mesh_stats, ChannelTransport, Envelope, TcpTransport, Transport, TransportError,
+    merge_mesh_stats, ChannelTransport, Envelope, StreamTag, TcpTransport, Transport,
+    TransportError,
 };

@@ -22,6 +22,10 @@ pub struct NetStats {
     pub bytes_by_kind: BTreeMap<String, u64>,
     /// Number of synchronous protocol rounds recorded.
     pub rounds: u64,
+    /// Number of transport meshes constructed (TCP handshakes / channel
+    /// allocation). A plan-scoped runtime builds exactly one mesh per query;
+    /// a value above one means per-step meshes crept back in.
+    pub mesh_builds: u64,
 }
 
 impl NetStats {
@@ -41,6 +45,14 @@ impl NetStats {
     /// Records `rounds` synchronous protocol rounds.
     pub fn record_rounds(&mut self, rounds: u64) {
         self.rounds += rounds;
+    }
+
+    /// Records the construction of one transport mesh this endpoint belongs
+    /// to (called once per endpoint by the mesh constructors; merging the
+    /// endpoints of one mesh keeps the count at one, see
+    /// [`crate::merge_mesh_stats`]).
+    pub fn record_mesh_build(&mut self) {
+        self.mesh_builds += 1;
     }
 
     /// Total bytes across all links.
@@ -81,6 +93,7 @@ impl NetStats {
             *self.bytes_by_kind.entry(k.clone()).or_default() += b;
         }
         self.rounds += other.rounds;
+        self.mesh_builds += other.mesh_builds;
     }
 }
 

@@ -16,6 +16,18 @@
 //! *cost-model* path and the *measured* path share one interface: MPC code
 //! written against `&dyn Transport` runs unchanged over either.
 //!
+//! # Logical streams
+//!
+//! A mesh is built **once per query** (see [`crate::Mesh`]) and shared by
+//! every protocol step of the plan, so frames from different steps can be in
+//! flight on one connection at the same time — e.g. a step's final open is
+//! still awaiting its peers while the next step's Beaver round has already
+//! been sent. Every frame therefore carries a [`StreamTag`] — a
+//! `(step, stream)` pair — and receivers call [`Transport::recv_tagged`] to
+//! ask for *their* exchange: a frame that arrives early for a different
+//! stream is buffered per link and handed out when its exchange comes due.
+//! Within one logical stream, frames still arrive in order.
+//!
 //! Every transport records the traffic it **sends** into a [`NetStats`]
 //! (observed wire bytes, not modeled ones); merging the per-party snapshots
 //! after a run yields the full per-link picture.
@@ -23,14 +35,16 @@
 use crate::message::MessageKind;
 use crate::stats::NetStats;
 use parking_lot::Mutex;
+use std::collections::VecDeque;
 use std::fmt;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Fixed per-frame overhead charged on every message: 4 bytes sender id,
-/// 1 byte kind, 2 bytes label length, 4 bytes payload length.
-pub const FRAME_HEADER_BYTES: u64 = 11;
+/// 1 byte kind, 4 + 4 bytes stream tag (step id, stream id), 2 bytes label
+/// length, 4 bytes payload length.
+pub const FRAME_HEADER_BYTES: u64 = 19;
 
 /// Default bound on blocking receives: a peer that stays silent this long is
 /// assumed dead, so a failed party cannot hang the whole mesh.
@@ -41,14 +55,44 @@ pub const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(10);
 /// than an allocation request.
 pub const MAX_FRAME_WORDS: usize = 1 << 24;
 
-/// One typed message as it crosses a transport: sender, payload kind, a
-/// protocol-step label for tracing, and the raw `Z_{2^64}` payload words.
+/// Identifies the logical stream a frame belongs to when several protocol
+/// steps multiplex one long-lived connection: the plan-level MPC step that
+/// produced it plus an exchange counter within that step. Receivers match on
+/// the tag ([`Transport::recv_tagged`]), so a frame that arrives early for a
+/// later exchange is buffered instead of being mis-delivered to whatever
+/// `recv` happens to be blocked.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct StreamTag {
+    /// Plan-level MPC step id.
+    pub step: u32,
+    /// Exchange counter within the step.
+    pub stream: u32,
+}
+
+impl StreamTag {
+    /// Creates a tag for stream `stream` of plan step `step`.
+    pub fn new(step: u32, stream: u32) -> Self {
+        StreamTag { step, stream }
+    }
+}
+
+impl fmt::Display for StreamTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}.{}", self.step, self.stream)
+    }
+}
+
+/// One typed message as it crosses a transport: sender, payload kind, the
+/// logical stream it belongs to, a protocol-step label for tracing, and the
+/// raw `Z_{2^64}` payload words.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Envelope {
     /// Sending party id.
     pub from: u32,
     /// What the payload semantically is (shares, reveal, control…).
     pub kind: MessageKind,
+    /// Logical `(step, stream)` the frame belongs to.
+    pub tag: StreamTag,
     /// Free-form protocol-step label (for tracing and debugging).
     pub label: String,
     /// Payload: ring elements / masked values as raw 64-bit words.
@@ -56,11 +100,23 @@ pub struct Envelope {
 }
 
 impl Envelope {
-    /// Creates an envelope.
+    /// Creates an envelope on the default stream (single-stream transports).
     pub fn new(from: u32, kind: MessageKind, label: impl Into<String>, payload: Vec<u64>) -> Self {
+        Envelope::tagged(from, StreamTag::default(), kind, label, payload)
+    }
+
+    /// Creates an envelope on a specific logical stream.
+    pub fn tagged(
+        from: u32,
+        tag: StreamTag,
+        kind: MessageKind,
+        label: impl Into<String>,
+        payload: Vec<u64>,
+    ) -> Self {
         Envelope {
             from,
             kind,
+            tag,
             label: label.into(),
             payload,
         }
@@ -165,6 +221,47 @@ pub trait Transport: Send {
         }
         Ok(())
     }
+
+    /// Sends a typed payload on a specific logical stream. The default
+    /// forwards to [`Transport::send_to`] and drops the tag — transports
+    /// that multiplex concurrent steps over one connection override this.
+    fn send_tagged(
+        &self,
+        to: u32,
+        tag: StreamTag,
+        kind: MessageKind,
+        label: &str,
+        payload: &[u64],
+    ) -> Result<(), TransportError> {
+        let _ = tag;
+        self.send_to(to, kind, label, payload)
+    }
+
+    /// Receives the next message from `from` on the given logical stream,
+    /// buffering (not discarding) frames that belong to other streams. The
+    /// default forwards to [`Transport::recv_from`] without checking the tag
+    /// — correct for single-stream transports that deliver strictly in
+    /// order, like the simulated network.
+    fn recv_tagged(&self, from: u32, tag: StreamTag) -> Result<Envelope, TransportError> {
+        let _ = tag;
+        self.recv_from(from)
+    }
+
+    /// Sends the same payload to every other party on a logical stream.
+    fn send_all_tagged(
+        &self,
+        tag: StreamTag,
+        kind: MessageKind,
+        label: &str,
+        payload: &[u64],
+    ) -> Result<(), TransportError> {
+        for p in 0..self.parties() {
+            if p != self.party() {
+                self.send_tagged(p, tag, kind, label, payload)?;
+            }
+        }
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -181,6 +278,8 @@ pub struct ChannelTransport {
     parties: u32,
     senders: Vec<Option<Sender<Envelope>>>,
     receivers: Vec<Option<Receiver<Envelope>>>,
+    /// Per-link buffers of frames received ahead of their stream's turn.
+    pending: Vec<Mutex<VecDeque<Envelope>>>,
     stats: Mutex<NetStats>,
     timeout: Duration,
 }
@@ -206,13 +305,18 @@ impl ChannelTransport {
         txs.into_iter()
             .zip(rxs)
             .enumerate()
-            .map(|(party, (senders, receivers))| ChannelTransport {
-                party: party as u32,
-                parties: n,
-                senders,
-                receivers,
-                stats: Mutex::new(NetStats::new()),
-                timeout: DEFAULT_RECV_TIMEOUT,
+            .map(|(party, (senders, receivers))| {
+                let mut stats = NetStats::new();
+                stats.record_mesh_build();
+                ChannelTransport {
+                    party: party as u32,
+                    parties: n,
+                    senders,
+                    receivers,
+                    pending: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
+                    stats: Mutex::new(stats),
+                    timeout: DEFAULT_RECV_TIMEOUT,
+                }
             })
             .collect()
     }
@@ -240,12 +344,23 @@ impl Transport for ChannelTransport {
         label: &str,
         payload: &[u64],
     ) -> Result<(), TransportError> {
+        self.send_tagged(to, StreamTag::default(), kind, label, payload)
+    }
+
+    fn send_tagged(
+        &self,
+        to: u32,
+        tag: StreamTag,
+        kind: MessageKind,
+        label: &str,
+        payload: &[u64],
+    ) -> Result<(), TransportError> {
         let sender = self
             .senders
             .get(to as usize)
             .and_then(|s| s.as_ref())
             .ok_or(TransportError::InvalidPeer { party: to })?;
-        let env = Envelope::new(self.party, kind, label, payload.to_vec());
+        let env = Envelope::tagged(self.party, tag, kind, label, payload.to_vec());
         self.stats
             .lock()
             .record(self.party, to, env.wire_bytes(), kind);
@@ -260,10 +375,42 @@ impl Transport for ChannelTransport {
             .get(from as usize)
             .and_then(|r| r.as_ref())
             .ok_or(TransportError::InvalidPeer { party: from })?;
+        if let Some(env) = self.pending[from as usize].lock().pop_front() {
+            return Ok(env);
+        }
         receiver.recv_timeout(self.timeout).map_err(|e| match e {
             RecvTimeoutError::Timeout => TransportError::Timeout { from },
             RecvTimeoutError::Disconnected => TransportError::Disconnected { party: from },
         })
+    }
+
+    fn recv_tagged(&self, from: u32, tag: StreamTag) -> Result<Envelope, TransportError> {
+        let receiver = self
+            .receivers
+            .get(from as usize)
+            .and_then(|r| r.as_ref())
+            .ok_or(TransportError::InvalidPeer { party: from })?;
+        {
+            let mut pending = self.pending[from as usize].lock();
+            if let Some(pos) = pending.iter().position(|e| e.tag == tag) {
+                return Ok(pending.remove(pos).expect("position just found"));
+            }
+        }
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(TransportError::Timeout { from });
+            }
+            match receiver.recv_timeout(remaining) {
+                Ok(env) if env.tag == tag => return Ok(env),
+                Ok(env) => self.pending[from as usize].lock().push_back(env),
+                Err(RecvTimeoutError::Timeout) => return Err(TransportError::Timeout { from }),
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(TransportError::Disconnected { party: from })
+                }
+            }
+        }
     }
 
     fn record_round(&self) {
@@ -279,14 +426,33 @@ impl Transport for ChannelTransport {
 // TCP transport.
 // ---------------------------------------------------------------------------
 
-/// TCP transport: one dedicated socket per party pair, length-prefixed binary
-/// framing, blocking reads bounded by a timeout. Suitable for genuine
-/// multi-process deployments; [`TcpTransport::localhost_mesh`] builds an
-/// ephemeral-port mesh for single-machine runs and tests.
+/// One directed TCP link plus its reusable frame write buffer: frames are
+/// encoded into `wbuf` in place, so steady-state sends allocate nothing.
+struct TcpLink {
+    stream: TcpStream,
+    wbuf: Vec<u8>,
+}
+
+impl TcpLink {
+    fn new(stream: TcpStream) -> Mutex<TcpLink> {
+        Mutex::new(TcpLink {
+            stream,
+            wbuf: Vec::new(),
+        })
+    }
+}
+
+/// TCP transport: one dedicated socket per party pair (`TCP_NODELAY`, reused
+/// per-link write buffers), length-prefixed binary framing, blocking reads
+/// bounded by a timeout. Suitable for genuine multi-process deployments;
+/// [`TcpTransport::localhost_mesh`] builds an ephemeral-port mesh for
+/// single-machine runs and tests.
 pub struct TcpTransport {
     party: u32,
     parties: u32,
-    streams: Vec<Option<Mutex<TcpStream>>>,
+    links: Vec<Option<Mutex<TcpLink>>>,
+    /// Per-link buffers of frames received ahead of their stream's turn.
+    pending: Vec<Mutex<VecDeque<Envelope>>>,
     stats: Mutex<NetStats>,
 }
 
@@ -308,7 +474,7 @@ impl TcpTransport {
         if party >= n || n < 2 {
             return Err(TransportError::InvalidPeer { party });
         }
-        let mut streams: Vec<Option<Mutex<TcpStream>>> = (0..n).map(|_| None).collect();
+        let mut streams: Vec<Option<Mutex<TcpLink>>> = (0..n).map(|_| None).collect();
         // Dial every lower-numbered party (their listeners are already bound).
         for peer in 0..party {
             let mut stream =
@@ -316,7 +482,7 @@ impl TcpTransport {
             stream.set_nodelay(true)?;
             stream.write_all(&party.to_le_bytes())?;
             stream.set_read_timeout(Some(DEFAULT_RECV_TIMEOUT))?;
-            streams[peer as usize] = Some(Mutex::new(stream));
+            streams[peer as usize] = Some(TcpLink::new(stream));
         }
         // Accept one connection from every higher-numbered party, polling a
         // non-blocking listener so a peer that never dials in produces a
@@ -347,13 +513,16 @@ impl TcpTransport {
                     "unexpected handshake from party {peer}"
                 )));
             }
-            streams[peer as usize] = Some(Mutex::new(stream));
+            streams[peer as usize] = Some(TcpLink::new(stream));
         }
+        let mut stats = NetStats::new();
+        stats.record_mesh_build();
         Ok(TcpTransport {
             party,
             parties: n,
-            streams,
-            stats: Mutex::new(NetStats::new()),
+            links: streams,
+            pending: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
+            stats: Mutex::new(stats),
         })
     }
 
@@ -388,27 +557,36 @@ impl TcpTransport {
         Ok(endpoints.into_iter().map(|e| e.expect("filled")).collect())
     }
 
-    fn stream(&self, peer: u32) -> Result<&Mutex<TcpStream>, TransportError> {
-        self.streams
+    fn link(&self, peer: u32) -> Result<&Mutex<TcpLink>, TransportError> {
+        self.links
             .get(peer as usize)
             .and_then(|s| s.as_ref())
             .ok_or(TransportError::InvalidPeer { party: peer })
     }
 }
 
-/// Encodes one envelope into its wire frame.
-fn encode_frame(env: &Envelope) -> Vec<u8> {
-    let label = env.label.as_bytes();
-    let mut buf = Vec::with_capacity(env.wire_bytes() as usize);
-    buf.extend_from_slice(&env.from.to_le_bytes());
-    buf.push(env.kind.code());
+/// Encodes one frame into `buf` (cleared first, so a per-link buffer can be
+/// reused across sends) and returns its wire length in bytes.
+fn encode_frame_into(
+    buf: &mut Vec<u8>,
+    from: u32,
+    tag: StreamTag,
+    kind: MessageKind,
+    label: &str,
+    payload: &[u64],
+) -> u64 {
+    buf.clear();
+    buf.extend_from_slice(&from.to_le_bytes());
+    buf.push(kind.code());
+    buf.extend_from_slice(&tag.step.to_le_bytes());
+    buf.extend_from_slice(&tag.stream.to_le_bytes());
     buf.extend_from_slice(&(label.len() as u16).to_le_bytes());
-    buf.extend_from_slice(label);
-    buf.extend_from_slice(&(env.payload.len() as u32).to_le_bytes());
-    for word in &env.payload {
+    buf.extend_from_slice(label.as_bytes());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    for word in payload {
         buf.extend_from_slice(&word.to_le_bytes());
     }
-    buf
+    buf.len() as u64
 }
 
 /// Reads one envelope frame from a stream.
@@ -420,6 +598,11 @@ fn decode_frame(stream: &mut TcpStream) -> Result<Envelope, TransportError> {
     stream.read_exact(&mut kind_buf).map_err(map_read_err)?;
     let kind = MessageKind::from_code(kind_buf[0])
         .ok_or_else(|| TransportError::Io(format!("bad message kind code {}", kind_buf[0])))?;
+    let mut tag_buf = [0u8; 4];
+    stream.read_exact(&mut tag_buf).map_err(map_read_err)?;
+    let step = u32::from_le_bytes(tag_buf);
+    stream.read_exact(&mut tag_buf).map_err(map_read_err)?;
+    let tag = StreamTag::new(step, u32::from_le_bytes(tag_buf));
     let mut u16buf = [0u8; 2];
     stream.read_exact(&mut u16buf).map_err(map_read_err)?;
     let mut label_bytes = vec![0u8; u16::from_le_bytes(u16buf) as usize];
@@ -443,6 +626,7 @@ fn decode_frame(stream: &mut TcpStream) -> Result<Envelope, TransportError> {
     Ok(Envelope {
         from,
         kind,
+        tag,
         label,
         payload,
     })
@@ -475,22 +659,68 @@ impl Transport for TcpTransport {
         label: &str,
         payload: &[u64],
     ) -> Result<(), TransportError> {
-        let env = Envelope::new(self.party, kind, label, payload.to_vec());
-        let frame = encode_frame(&env);
+        self.send_tagged(to, StreamTag::default(), kind, label, payload)
+    }
+
+    fn send_tagged(
+        &self,
+        to: u32,
+        tag: StreamTag,
+        kind: MessageKind,
+        label: &str,
+        payload: &[u64],
+    ) -> Result<(), TransportError> {
+        let bytes;
         {
-            let mut stream = self.stream(to)?.lock();
-            stream.write_all(&frame)?;
+            let mut link = self.link(to)?.lock();
+            let TcpLink { stream, wbuf } = &mut *link;
+            bytes = encode_frame_into(wbuf, self.party, tag, kind, label, payload);
+            stream.write_all(wbuf)?;
             stream.flush()?;
         }
-        self.stats
-            .lock()
-            .record(self.party, to, frame.len() as u64, kind);
+        self.stats.lock().record(self.party, to, bytes, kind);
         Ok(())
     }
 
     fn recv_from(&self, from: u32) -> Result<Envelope, TransportError> {
-        let mut stream = self.stream(from)?.lock();
-        let env = decode_frame(&mut stream).map_err(|e| match e {
+        self.link(from)?;
+        if let Some(env) = self.pending[from as usize].lock().pop_front() {
+            return Ok(env);
+        }
+        self.recv_frame(from)
+    }
+
+    fn recv_tagged(&self, from: u32, tag: StreamTag) -> Result<Envelope, TransportError> {
+        self.link(from)?;
+        {
+            let mut pending = self.pending[from as usize].lock();
+            if let Some(pos) = pending.iter().position(|e| e.tag == tag) {
+                return Ok(pending.remove(pos).expect("position just found"));
+            }
+        }
+        loop {
+            let env = self.recv_frame(from)?;
+            if env.tag == tag {
+                return Ok(env);
+            }
+            self.pending[from as usize].lock().push_back(env);
+        }
+    }
+
+    fn record_round(&self) {
+        self.stats.lock().record_rounds(1);
+    }
+
+    fn stats(&self) -> NetStats {
+        self.stats.lock().clone()
+    }
+}
+
+impl TcpTransport {
+    /// Reads the next raw frame off the `from` link, normalizing I/O errors.
+    fn recv_frame(&self, from: u32) -> Result<Envelope, TransportError> {
+        let mut link = self.link(from)?.lock();
+        let env = decode_frame(&mut link.stream).map_err(|e| match e {
             TransportError::Timeout { .. } => TransportError::Timeout { from },
             TransportError::Disconnected { .. } => TransportError::Disconnected { party: from },
             other => other,
@@ -503,30 +733,27 @@ impl Transport for TcpTransport {
         }
         Ok(env)
     }
-
-    fn record_round(&self) {
-        self.stats.lock().record_rounds(1);
-    }
-
-    fn stats(&self) -> NetStats {
-        self.stats.lock().clone()
-    }
 }
 
 /// Merges per-party endpoint statistics into one mesh-wide view: links are
 /// summed (each endpoint records only what *it* sent, so every directed link
-/// is counted exactly once) while rounds are taken as the maximum (every
-/// party counts the same synchronous rounds).
+/// is counted exactly once) while rounds and mesh builds are taken as the
+/// maximum (every party counts the same synchronous rounds, and every
+/// endpoint of one mesh reports that same mesh's construction).
 pub fn merge_mesh_stats<I: IntoIterator<Item = NetStats>>(endpoints: I) -> NetStats {
     let mut merged = NetStats::new();
     let mut rounds = 0;
+    let mut mesh_builds = 0;
     for stats in endpoints {
         rounds = rounds.max(stats.rounds);
+        mesh_builds = mesh_builds.max(stats.mesh_builds);
         let mut links_only = stats;
         links_only.rounds = 0;
+        links_only.mesh_builds = 0;
         merged.merge(&links_only);
     }
     merged.rounds = rounds;
+    merged.mesh_builds = mesh_builds;
     merged
 }
 
@@ -649,6 +876,53 @@ mod tests {
         assert_eq!(merged.total_messages(), 3);
         assert_eq!(merged.links[&(0, 1)].messages, 1);
         assert_eq!(merged.links[&(1, 0)].messages, 1);
+    }
+
+    /// Frames for a later stream sent *first* must not be handed to an
+    /// earlier stream's receive: the transport buffers them per link and
+    /// delivers each exchange by tag.
+    fn exercise_stream_demux<T: Transport>(a: &T, b: &T) {
+        let early = StreamTag::new(2, 0); // next step's round, sent first
+        let late = StreamTag::new(1, 3); // previous step's final open
+        a.send_tagged(b.party(), early, MessageKind::SecretShare, "d_e", &[7])
+            .unwrap();
+        a.send_tagged(b.party(), late, MessageKind::Reveal, "open", &[1, 2])
+            .unwrap();
+        let open = b.recv_tagged(a.party(), late).unwrap();
+        assert_eq!(open.payload, vec![1, 2]);
+        assert_eq!(open.tag, late);
+        let beaver = b.recv_tagged(a.party(), early).unwrap();
+        assert_eq!(beaver.payload, vec![7]);
+        assert_eq!(beaver.tag, early);
+    }
+
+    #[test]
+    fn channel_demultiplexes_concurrent_streams() {
+        let mesh = ChannelTransport::mesh(2);
+        exercise_stream_demux(&mesh[0], &mesh[1]);
+    }
+
+    #[test]
+    fn tcp_demultiplexes_concurrent_streams() {
+        let mesh = TcpTransport::localhost_mesh(2).unwrap();
+        exercise_stream_demux(&mesh[0], &mesh[1]);
+    }
+
+    #[test]
+    fn untagged_recv_still_drains_buffered_frames() {
+        let mesh = ChannelTransport::mesh(2);
+        let t1 = StreamTag::new(1, 0);
+        let t2 = StreamTag::new(2, 0);
+        mesh[0]
+            .send_tagged(1, t1, MessageKind::Control, "a", &[1])
+            .unwrap();
+        mesh[0]
+            .send_tagged(1, t2, MessageKind::Control, "b", &[2])
+            .unwrap();
+        // Pull the second stream first, parking the first in the buffer…
+        assert_eq!(mesh[1].recv_tagged(0, t2).unwrap().payload, vec![2]);
+        // …then an untagged receive must still surface the parked frame.
+        assert_eq!(mesh[1].recv_from(0).unwrap().payload, vec![1]);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! Run with: `cargo run --example multi_party_demo [channel|tcp|both]`
 //! (default: `both`; CI runs `channel` as a smoke test).
 
-use conclave::mpc::runtime::PartyProtocol;
+use conclave::mpc::runtime::PartySession;
 use conclave::mpc::RingElem;
 use conclave::net::{merge_mesh_stats, TcpTransport, Transport};
 use conclave::prelude::*;
@@ -52,10 +52,12 @@ fn bind(session: Session) -> Session {
 fn print_measured(report: &RunReport) {
     assert!(report.net_measured, "party runtime must measure traffic");
     println!(
-        "  measured: {} bytes over {} messages in {} synchronous rounds",
+        "  measured: {} bytes over {} messages; {} rounds/query on {} \
+         transport mesh build(s)",
         report.net.total_bytes(),
         report.net.total_messages(),
-        report.net.rounds
+        report.rounds_per_query(),
+        report.mesh_builds(),
     );
     for ((from, to), link) in &report.net.links {
         println!(
@@ -94,7 +96,8 @@ fn run_tcp_two_party() {
             .into_iter()
             .map(|transport| {
                 s.spawn(move || {
-                    let mut proto = PartyProtocol::new(&transport, 2024);
+                    let mut sess = PartySession::new(&transport, 2024);
+                    let mut proto = sess.step(0);
                     // Party 0 contributes 21, party 1 contributes 2.
                     let party = proto.party();
                     let mine0 = (party == 0).then_some([21i64]);

@@ -12,11 +12,12 @@
 use conclave::core::config::PartyRuntime;
 use conclave::core::party_exec::execute_op_distributed;
 use conclave::mpc::backend::{MpcBackendConfig, MpcEngine};
-use conclave::mpc::runtime::{PartyProtocol, PartyResult};
+use conclave::mpc::runtime::{PartyResult, PartySession, StepCtx};
 use conclave::mpc::RingElem;
 use conclave::net::{ChannelTransport, TcpTransport, Transport};
 use conclave::prelude::*;
-use conclave_ir::ops::Operator;
+use conclave_ir::expr::Expr;
+use conclave_ir::ops::{Operand, Operator};
 use proptest::prelude::*;
 
 /// Runs the same per-party program on every endpoint of a mesh and returns
@@ -25,7 +26,7 @@ fn run_mesh<T, R, F>(mesh: Vec<T>, seed: u64, f: F) -> Vec<R>
 where
     T: Transport,
     R: Send,
-    F: Fn(&mut PartyProtocol) -> PartyResult<R> + Sync,
+    F: Fn(&mut StepCtx) -> PartyResult<R> + Sync,
 {
     std::thread::scope(|s| {
         let handles: Vec<_> = mesh
@@ -33,7 +34,8 @@ where
             .map(|t| {
                 let f = &f;
                 s.spawn(move || {
-                    let mut proto = PartyProtocol::new(&t, seed);
+                    let mut sess = PartySession::new(&t, seed);
+                    let mut proto = sess.step(0);
                     f(&mut proto)
                 })
             })
@@ -54,7 +56,7 @@ where
 fn run_both_transports<R, F>(parties: u32, seed: u64, f: F) -> Vec<(&'static str, Vec<R>)>
 where
     R: Send,
-    F: Fn(&mut PartyProtocol) -> PartyResult<R> + Sync,
+    F: Fn(&mut StepCtx) -> PartyResult<R> + Sync,
 {
     let chan = run_mesh(ChannelTransport::mesh(parties), seed, &f);
     let tcp = run_mesh(
@@ -67,11 +69,7 @@ where
 
 /// Shares `values` from its owner, opens them again, and returns the opened
 /// vector (exercises share → open round trips over real messages).
-fn share_open_program(
-    proto: &mut PartyProtocol,
-    owner: u32,
-    values: &[i64],
-) -> PartyResult<Vec<i64>> {
+fn share_open_program(proto: &mut StepCtx, owner: u32, values: &[i64]) -> PartyResult<Vec<i64>> {
     let own = (proto.party() == owner).then_some(values);
     let shares = proto.input_column(owner, own, values.len())?;
     proto.open_column(&shares)
@@ -110,7 +108,7 @@ proptest! {
                 oracle.open(&prod)
             })
             .collect();
-        let program = |proto: &mut PartyProtocol| -> PartyResult<Vec<i64>> {
+        let program = |proto: &mut StepCtx| -> PartyResult<Vec<i64>> {
             let own = proto.party() == 0;
             let xs: Vec<i64> = pairs.iter().map(|p| p.0).collect();
             let ys: Vec<i64> = pairs.iter().map(|p| p.1).collect();
@@ -221,6 +219,89 @@ fn empty_relation_share_open_and_aggregate() {
     });
     for out in outs {
         assert!(out.is_empty());
+    }
+}
+
+/// The canonical 3-step MPC pipeline (filter → multiply → scalar aggregate
+/// over a concat), compiled so every step runs under MPC.
+fn pipeline_query() -> (conclave_ir::builder::Query, Party) {
+    let pa = Party::new(1, "a");
+    let pb = Party::new(2, "b");
+    let schema = Schema::ints(&["k", "v"]);
+    let mut q = QueryBuilder::new();
+    let a = q.input("ta", schema.clone(), pa.clone());
+    let b = q.input("tb", schema, pb);
+    let all = q.concat(&[a, b]);
+    let pos = q.filter(all, Expr::col("v").gt(Expr::lit(0)));
+    let scaled = q.multiply(pos, "w", vec![Operand::col("v"), Operand::lit(3)]);
+    let total = q.aggregate_scalar(scaled, "total", AggFunc::Sum, "w");
+    q.collect(total, std::slice::from_ref(&pa));
+    (q.build().unwrap(), pa)
+}
+
+fn run_pipeline(runtime: Option<PartyRuntime>, ta: Relation, tb: Relation) -> RunReport {
+    let mut config = ConclaveConfig::mpc_only().with_sequential_local();
+    if let Some(rt) = runtime {
+        config = config.with_party_runtime(rt);
+    }
+    Session::new(config)
+        .bind("ta", ta)
+        .bind("tb", tb)
+        .run(&pipeline_query().0)
+        .unwrap()
+}
+
+fn pipeline_rows(n: i64, salt: i64) -> Relation {
+    Relation::from_ints(
+        &["k", "v"],
+        &(0..n)
+            .map(|i| vec![i % 3, (i * 17 + salt) % 50 - 10])
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Pins the plan-level round and mesh-build counts of the canonical 3-step
+/// query: one mesh for the whole plan, and the same (exact) number of
+/// synchronous rounds on the channel and TCP runtimes. A regression here
+/// means the runtime started re-building meshes or paying extra rounds.
+#[test]
+fn pipeline_round_and_mesh_counts_are_pinned() {
+    let mut seen = Vec::new();
+    for runtime in [PartyRuntime::Channel, PartyRuntime::Tcp] {
+        let report = run_pipeline(Some(runtime), pipeline_rows(8, 1), pipeline_rows(8, 2));
+        assert_eq!(
+            report.net.mesh_builds, 1,
+            "{runtime:?}: one transport mesh per query"
+        );
+        assert_eq!(
+            report.net.rounds, 3,
+            "{runtime:?}: synchronous round count of the 3-step pipeline"
+        );
+        seen.push(report.net.rounds);
+    }
+    assert_eq!(seen[0], seen[1], "transports must agree on round structure");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The pipelined runtime (resident shares, deferred opens) reveals
+    /// cell-identical results to the in-process simulated oracle on random
+    /// multi-step workloads.
+    #[test]
+    fn pipelined_execution_matches_the_simulated_oracle(
+        na in 0i64..12, nb in 0i64..12, salt_a in any::<i64>(), salt_b in any::<i64>()) {
+        let ta = pipeline_rows(na, salt_a % 1000);
+        let tb = pipeline_rows(nb, salt_b % 1000);
+        let oracle = run_pipeline(None, ta.clone(), tb.clone());
+        prop_assert!(!oracle.net_measured);
+        let piped = run_pipeline(Some(PartyRuntime::Channel), ta, tb);
+        prop_assert!(piped.net_measured);
+        prop_assert_eq!(piped.net.mesh_builds, 1);
+        let expected = oracle.output_for(1).unwrap();
+        let got = piped.output_for(1).unwrap();
+        prop_assert!(got.same_rows_unordered(expected),
+                     "pipelined runtime diverged:\n{}\nvs oracle\n{}", got, expected);
     }
 }
 

@@ -26,6 +26,13 @@
 //!    [`NetStats`] into one measured per-link byte/round picture for
 //!    [`crate::report::RunReport::net`].
 //!
+//! Comparison-bearing steps (sorts, joins, filters) run the bit-decomposed
+//! circuits of [`conclave_mpc::circuits`], so their [`StepOutcome::counts`]
+//! additionally report `bit_ands` (binary Beaver AND gates) and
+//! `circuit_rounds` (masked-open / gate-level synchronous rounds); both are
+//! batch-size-dependent only, so the cross-party equality check in step 5
+//! covers them too.
+//!
 //! The in-process [`conclave_mpc::Protocol`] path remains the default and the
 //! differential-testing oracle: a transport-executed plan must reveal
 //! cell-identical results. [`execute_op_distributed`] survives as a
@@ -585,6 +592,30 @@ mod tests {
         // Equal payload flow, different framing is allowed; both measured.
         assert!(tcp.net.total_bytes() > 0);
         assert_eq!(chan.net.rounds, tcp.net.rounds);
+    }
+
+    #[test]
+    fn comparison_steps_report_circuit_gate_counts() {
+        let table = sales_table();
+        let op = Operator::SortBy {
+            column: "price".into(),
+            ascending: true,
+        };
+        let outcome =
+            execute_op_distributed(&op, &[&table], 3, 7, PartyRuntime::Channel, false).unwrap();
+        // Sorting drives bit-decomposed less-than circuits: the step's counts
+        // must carry the measured AND gates and gate-level rounds, not just
+        // the flat comparison tally. (Cross-party equality of these counts is
+        // enforced by `collect_step` for every run, this test included.)
+        assert!(outcome.counts.comparisons > 0);
+        assert!(
+            outcome.counts.bit_ands > 0,
+            "circuit comparisons must tally binary AND gates"
+        );
+        assert!(
+            outcome.counts.circuit_rounds > 0,
+            "circuit comparisons must tally gate-level rounds"
+        );
     }
 
     #[test]

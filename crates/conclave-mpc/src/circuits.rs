@@ -1,0 +1,453 @@
+//! Oblivious comparison circuits over additively-shared `Z_{2^64}` values.
+//!
+//! The party runtime used to *simulate* obliviousness for `lt`/`eq`: it
+//! opened both operands to every party, compared locally, and re-shared the
+//! bit. That leaks exactly the column values MPC is supposed to hide — an
+//! observer summing the broadcast shares of one opening reconstructs the
+//! cleartext. This module replaces that path with real bit-decomposed
+//! comparison circuits computed **entirely on shares**; the only values that
+//! ever cross the wire are uniformly-masked (`x − r` for a fresh dealer mask
+//! `r`, or `x ⊕ a` for a fresh binary Beaver mask `a`), so a wire observer
+//! learns nothing about the operands (see `tests/wire_privacy.rs`).
+//!
+//! # Protocol
+//!
+//! 1. **Bit decomposition** ([`bit_decompose` internally]): for a shared
+//!    `z`, take a dealer mask `r` held in *dual* representation (XOR-shared
+//!    bits + additive share), open the uniform value `c = z − r`, and
+//!    compute the bits of `z = c + r` with a Kogge-Stone parallel-prefix
+//!    adder on the XOR-shared bits of `r` against the public bits of `c`.
+//!    Every 64-bit value packs into one machine word per party, so the
+//!    adder's six carry levels cost six batched AND rounds *for the whole
+//!    batch*, not per value.
+//! 2. **Binary AND** ([`and_words` internally]): AND of two XOR-shared
+//!    words via a binary Beaver triple word `(a, b, c = a & b)`: open
+//!    `d = x ⊕ a`, `e = y ⊕ b`, then `z = c ⊕ (d ∧ b) ⊕ (e ∧ a)` with
+//!    party 0 adding `d ∧ e`. XOR is free (local).
+//! 3. **Signed less-than** ([`lt_batch`]): with `sa = msb(a)`,
+//!    `sb = msb(b)`, `sd = msb(a − b)` (two's-complement sign bits from the
+//!    decomposition), `a < b ⟺ (sa ∧ ¬sb) ⊕ (¬(sa ⊕ sb) ∧ sd)`. Same-sign
+//!    subtraction cannot wrap, so `sd` is the true comparison there, and the
+//!    mixed-sign term handles `i64::MIN`/`i64::MAX` correctly.
+//! 4. **Equality** ([`eq_batch`]): `z = x − y` is zero iff the dealer mask
+//!    `r` equals `−c` where `c = z − r` was opened; `t = ¬(r ⊕ (−c))` is
+//!    local, then an AND-fold of `t`'s 64 bits (`t ∧= t >> s` for
+//!    `s = 32,16,8,4,2,1`) leaves the all-bits AND in bit 0. Only that bit
+//!    is extracted and converted; the fold's intermediate bits are
+//!    secret-dependent and never opened.
+//! 5. **Bit-to-arithmetic** ([`bits_to_additive` internally]): a *daBit*
+//!    (random bit ρ held both XOR-shared and additively shared) converts
+//!    each XOR-shared result bit `t` to an additive sharing: open
+//!    `v = t ⊕ ρ` (uniform), then `[t] = v + (1 − 2v)·[ρ]` locally.
+//!
+//! # Round complexity
+//!
+//! For a batch of any size: `lt_batch` = 1 masked-open + 6 Kogge-Stone
+//! levels + 1 sign-combine AND + 1 bit-to-arithmetic open = **9 rounds**;
+//! `eq_batch` = 1 masked-open + 6 AND-folds + 1 bit-to-arithmetic open =
+//! **8 rounds**. All per-level ANDs across the batch coalesce into one
+//! exchange, preserving the round-coalescing the runtime's callers (sorting
+//! network, filter, join, aggregate) rely on.
+//!
+//! # What is still simulated
+//!
+//! The masks and triples come from the session's *common-seed dealer* (the
+//! same fidelity substitution the arithmetic Beaver triples already use): a
+//! party that knows the dealer seed could reconstruct the masks. The
+//! *online* protocol — what actually crosses the wire — is the real circuit
+//! protocol, which is what the wire-privacy test pins. See
+//! `docs/SECURITY.md` for the full leakage statement.
+
+use crate::ring::RingElem;
+use crate::runtime::{PartyResult, StepCtx};
+
+/// Kogge-Stone carry-prefix shift schedule for 64-bit words.
+const KS_SHIFTS: [u32; 6] = [1, 2, 4, 8, 16, 32];
+
+/// AND-fold shift schedule reducing 64 bits to their conjunction in bit 0.
+const EQ_FOLDS: [u32; 6] = [32, 16, 8, 4, 2, 1];
+
+/// Batched signed less-than on shares: returns an additive sharing of `1`
+/// where `x < y` (as `i64`), `0` elsewhere. 9 rounds for the whole batch.
+pub fn lt_batch(ctx: &mut StepCtx, pairs: &[(RingElem, RingElem)]) -> PartyResult<Vec<RingElem>> {
+    let m = pairs.len();
+    if m == 0 {
+        return Ok(Vec::new());
+    }
+    // Decompose a, b and d = a − b in one shot: [a₀..aₘ, b₀..bₘ, d₀..dₘ].
+    let mut values = Vec::with_capacity(3 * m);
+    values.extend(pairs.iter().map(|&(x, _)| x));
+    values.extend(pairs.iter().map(|&(_, y)| y));
+    values.extend(pairs.iter().map(|&(x, y)| x - y));
+    let bits = bit_decompose(ctx, &values)?;
+
+    // Pack the three sign bits across the batch: bit j of word j/64.
+    let words = m.div_ceil(64);
+    let mut sa = vec![0u64; words];
+    let mut sb = vec![0u64; words];
+    let mut sd = vec![0u64; words];
+    for j in 0..m {
+        sa[j / 64] |= (bits[j] >> 63) << (j % 64);
+        sb[j / 64] |= (bits[m + j] >> 63) << (j % 64);
+        sd[j / 64] |= (bits[2 * m + j] >> 63) << (j % 64);
+    }
+
+    // lt = (sa ∧ ¬sb) ⊕ (¬(sa ⊕ sb) ∧ sd). Complements are public-constant
+    // XORs (party 0 flips); both ANDs share one exchange. Padding bits past
+    // `m` stay structurally zero: ¬ makes the padding of one operand all-ones
+    // but the other side is a shared zero, so the AND result's padding is a
+    // shared zero again.
+    let party0 = ctx.party() == 0;
+    let mut not_sb = sb.clone();
+    let mut nxor: Vec<u64> = sa.iter().zip(&sb).map(|(a, b)| a ^ b).collect();
+    if party0 {
+        for w in &mut not_sb {
+            *w = !*w;
+        }
+        for w in &mut nxor {
+            *w = !*w;
+        }
+    }
+    let mut lhs = Vec::with_capacity(2 * words);
+    lhs.extend_from_slice(&sa);
+    lhs.extend_from_slice(&nxor);
+    let mut rhs = Vec::with_capacity(2 * words);
+    rhs.extend_from_slice(&not_sb);
+    rhs.extend_from_slice(&sd);
+    let anded = and_words(ctx, &lhs, &rhs, "lt sign combine")?;
+    let lt_bits: Vec<u64> = (0..words).map(|w| anded[w] ^ anded[words + w]).collect();
+    bits_to_additive(ctx, &lt_bits, m)
+}
+
+/// Batched equality on shares: returns an additive sharing of `1` where
+/// `x == y`, `0` elsewhere. 8 rounds for the whole batch.
+pub fn eq_batch(ctx: &mut StepCtx, pairs: &[(RingElem, RingElem)]) -> PartyResult<Vec<RingElem>> {
+    let m = pairs.len();
+    if m == 0 {
+        return Ok(Vec::new());
+    }
+    // z = x − y; z == 0 ⟺ r == −c for the opened mask c = z − r.
+    let z: Vec<RingElem> = pairs.iter().map(|&(x, y)| x - y).collect();
+    let masks = ctx.take_shared_bits(m);
+    let masked: Vec<RingElem> = z
+        .iter()
+        .zip(&masks)
+        .map(|(&zi, &(_, r_add))| zi - r_add)
+        .collect();
+    let c = ctx.open_masked(&masked, "eq mask open")?;
+
+    // t = ¬(r ⊕ (−c)): all 64 bits of t are 1 iff r == −c. Local.
+    let party0 = ctx.party() == 0;
+    let mut t: Vec<u64> = masks.iter().map(|&(r_bits, _)| r_bits).collect();
+    if party0 {
+        for (ti, ci) in t.iter_mut().zip(&c) {
+            *ti ^= (RingElem::ZERO - *ci).0 ^ u64::MAX;
+        }
+    }
+    // AND-fold the 64 bits down to bit 0. The fold's upper bits hold
+    // secret-dependent partial conjunctions — they are never opened; only
+    // bit 0 is extracted (a local public-mask AND) and packed below.
+    for &s in &EQ_FOLDS {
+        let shifted: Vec<u64> = t.iter().map(|w| w >> s).collect();
+        t = and_words(ctx, &t, &shifted, "eq fold")?;
+    }
+    let words = m.div_ceil(64);
+    let mut packed = vec![0u64; words];
+    for (j, tw) in t.iter().enumerate() {
+        packed[j / 64] |= (tw & 1) << (j % 64);
+    }
+    bits_to_additive(ctx, &packed, m)
+}
+
+/// Opens `c = z − r` for dealer masks `r` (uniform, reveals nothing on the
+/// wire) and runs the carry adder to produce one XOR-shared word of the bits
+/// of each `z`.
+fn bit_decompose(ctx: &mut StepCtx, values: &[RingElem]) -> PartyResult<Vec<u64>> {
+    let masks = ctx.take_shared_bits(values.len());
+    let masked: Vec<RingElem> = values
+        .iter()
+        .zip(&masks)
+        .map(|(&z, &(_, r_add))| z - r_add)
+        .collect();
+    let c = ctx.open_masked(&masked, "bitdec mask open")?;
+    let c_words: Vec<u64> = c.iter().map(|e| e.0).collect();
+    let r_words: Vec<u64> = masks.iter().map(|&(r_bits, _)| r_bits).collect();
+    add_public_bits(ctx, &c_words, &r_words)
+}
+
+/// Kogge-Stone addition of a public word `c` to an XOR-shared word `r`,
+/// element-wise over the batch: returns XOR-shared words of `c + r`
+/// (mod 2^64). Six AND levels; the final level only needs the carry term,
+/// not the propagate update.
+///
+/// The generate/propagate pair stays *exclusive* (`G ∧ P = 0` per bit) at
+/// every level, which is what lets the carry merge use ⊕ instead of ∨ on
+/// XOR shares.
+fn add_public_bits(ctx: &mut StepCtx, c: &[u64], r: &[u64]) -> PartyResult<Vec<u64>> {
+    let party0 = ctx.party() == 0;
+    // p = r ⊕ c (public XOR, party 0), g = r ∧ c (public mask, local).
+    let p0: Vec<u64> = if party0 {
+        r.iter().zip(c).map(|(ri, ci)| ri ^ ci).collect()
+    } else {
+        r.to_vec()
+    };
+    let g0: Vec<u64> = r.iter().zip(c).map(|(ri, ci)| ri & ci).collect();
+    let n = r.len();
+    let mut gg = g0;
+    let mut pp = p0.clone();
+    for (level, &s) in KS_SHIFTS.iter().enumerate() {
+        let gs: Vec<u64> = gg.iter().map(|w| w << s).collect();
+        if level + 1 == KS_SHIFTS.len() {
+            // Last level: the propagate span is never consumed again.
+            let t = and_words(ctx, &pp, &gs, "ks carry")?;
+            for (g, ti) in gg.iter_mut().zip(t) {
+                *g ^= ti;
+            }
+        } else {
+            let ps: Vec<u64> = pp.iter().map(|w| w << s).collect();
+            let mut lhs = Vec::with_capacity(2 * n);
+            lhs.extend_from_slice(&pp);
+            lhs.extend_from_slice(&pp);
+            let mut rhs = Vec::with_capacity(2 * n);
+            rhs.extend_from_slice(&gs);
+            rhs.extend_from_slice(&ps);
+            let anded = and_words(ctx, &lhs, &rhs, "ks level")?;
+            for (g, ti) in gg.iter_mut().zip(&anded[..n]) {
+                *g ^= ti;
+            }
+            pp = anded[n..].to_vec();
+        }
+    }
+    // sum = p ⊕ (G << 1): the carry into bit i is the prefix generate of
+    // bit i−1; bit 0 has no carry-in (structural zero shifted in).
+    Ok(p0.iter().zip(&gg).map(|(pi, gi)| pi ^ (gi << 1)).collect())
+}
+
+/// Batched AND of XOR-shared words via binary Beaver triples: one masked
+/// XOR-opening round for the whole batch.
+fn and_words(ctx: &mut StepCtx, x: &[u64], y: &[u64], label: &str) -> PartyResult<Vec<u64>> {
+    debug_assert_eq!(x.len(), y.len());
+    if x.is_empty() {
+        return Ok(Vec::new());
+    }
+    let triples = ctx.take_bit_triples(x.len());
+    let mut masked = Vec::with_capacity(2 * x.len());
+    for (i, t) in triples.iter().enumerate() {
+        masked.push(x[i] ^ t.0);
+        masked.push(y[i] ^ t.1);
+    }
+    let opened = ctx.open_xor_words(&masked, label)?;
+    ctx.tally_bit_ands(64 * x.len() as u64);
+    let party0 = ctx.party() == 0;
+    Ok(triples
+        .iter()
+        .enumerate()
+        .map(|(i, &(a, b, cw))| {
+            let d = opened[2 * i];
+            let e = opened[2 * i + 1];
+            let mut zw = cw ^ (d & b) ^ (e & a);
+            if party0 {
+                zw ^= d & e;
+            }
+            zw
+        })
+        .collect())
+}
+
+/// Converts packed XOR-shared bits (the low `nbits` across `words`) into
+/// additive sharings of 0/1 using daBits: one masked XOR-opening round.
+fn bits_to_additive(ctx: &mut StepCtx, words: &[u64], nbits: usize) -> PartyResult<Vec<RingElem>> {
+    let dabits = ctx.take_dabits(words.len());
+    let masked: Vec<u64> = words
+        .iter()
+        .zip(&dabits)
+        .map(|(w, (rho_bits, _))| w ^ rho_bits)
+        .collect();
+    let v = ctx.open_xor_words(&masked, "bit2a open")?;
+    let party0 = ctx.party() == 0;
+    let mut out = Vec::with_capacity(nbits);
+    for k in 0..nbits {
+        let w = k / 64;
+        let bit = (v[w] >> (k % 64)) & 1;
+        let rho = dabits[w].1[k % 64];
+        // [t] = v + (1 − 2v)·[ρ]: v = 0 keeps ρ, v = 1 takes 1 − ρ.
+        out.push(if bit == 1 {
+            if party0 {
+                RingElem::from_i64(1) - rho
+            } else {
+                RingElem::ZERO - rho
+            }
+        } else {
+            rho
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::PartySession;
+    use conclave_net::ChannelTransport;
+
+    fn run_parties<R, F>(n: u32, seed: u64, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut StepCtx) -> PartyResult<R> + Sync,
+    {
+        let mesh = ChannelTransport::mesh(n);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = mesh
+                .into_iter()
+                .map(|t| {
+                    let f = &f;
+                    s.spawn(move || {
+                        let mut sess = PartySession::new(&t, seed);
+                        let mut proto = sess.step(0);
+                        f(&mut proto)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .expect("party thread panicked")
+                        .expect("party failed")
+                })
+                .collect()
+        })
+    }
+
+    /// The boundary matrix naive unsigned bit-decomposition gets wrong.
+    const EDGE: [i64; 8] = [i64::MIN, i64::MIN + 1, -2, -1, 0, 1, 2, i64::MAX];
+
+    #[test]
+    fn circuit_lt_matches_signed_semantics_on_boundaries() {
+        let mut pairs_clear = Vec::new();
+        for &a in &EDGE {
+            for &b in &EDGE {
+                pairs_clear.push((a, b));
+            }
+        }
+        let outs = run_parties(3, 41, |proto| {
+            let owner = 0;
+            let xs: Vec<i64> = pairs_clear.iter().map(|p| p.0).collect();
+            let ys: Vec<i64> = pairs_clear.iter().map(|p| p.1).collect();
+            let own = proto.party() == owner;
+            let sx = proto.input_column(owner, own.then_some(xs.as_slice()), xs.len())?;
+            let sy = proto.input_column(owner, own.then_some(ys.as_slice()), ys.len())?;
+            let pairs: Vec<(RingElem, RingElem)> = sx.into_iter().zip(sy).collect();
+            let bits = proto.lt_batch(&pairs)?;
+            proto.open_column(&bits)
+        });
+        let expected: Vec<i64> = pairs_clear.iter().map(|&(a, b)| i64::from(a < b)).collect();
+        for out in &outs {
+            assert_eq!(out, &expected);
+        }
+    }
+
+    #[test]
+    fn circuit_eq_matches_on_boundaries() {
+        let mut pairs_clear = Vec::new();
+        for &a in &EDGE {
+            for &b in &EDGE {
+                pairs_clear.push((a, b));
+            }
+        }
+        let outs = run_parties(2, 42, |proto| {
+            let owner = 1;
+            let xs: Vec<i64> = pairs_clear.iter().map(|p| p.0).collect();
+            let ys: Vec<i64> = pairs_clear.iter().map(|p| p.1).collect();
+            let own = proto.party() == owner;
+            let sx = proto.input_column(owner, own.then_some(xs.as_slice()), xs.len())?;
+            let sy = proto.input_column(owner, own.then_some(ys.as_slice()), ys.len())?;
+            let pairs: Vec<(RingElem, RingElem)> = sx.into_iter().zip(sy).collect();
+            let bits = proto.eq_batch(&pairs)?;
+            proto.open_column(&bits)
+        });
+        let expected: Vec<i64> = pairs_clear
+            .iter()
+            .map(|&(a, b)| i64::from(a == b))
+            .collect();
+        for out in &outs {
+            assert_eq!(out, &expected);
+        }
+    }
+
+    #[test]
+    fn batches_larger_than_one_word_pack_correctly() {
+        // 150 pairs spans three 64-bit packing words, exercising the
+        // bit-extraction paths on non-multiple-of-64 batch sizes.
+        let pairs_clear: Vec<(i64, i64)> = (0..150)
+            .map(|i| (i64::from(i % 13) - 6, i64::from(i % 7) - 3))
+            .collect();
+        let outs = run_parties(3, 43, |proto| {
+            let owner = 2;
+            let xs: Vec<i64> = pairs_clear.iter().map(|p| p.0).collect();
+            let ys: Vec<i64> = pairs_clear.iter().map(|p| p.1).collect();
+            let own = proto.party() == owner;
+            let sx = proto.input_column(owner, own.then_some(xs.as_slice()), xs.len())?;
+            let sy = proto.input_column(owner, own.then_some(ys.as_slice()), ys.len())?;
+            let pairs: Vec<(RingElem, RingElem)> = sx.into_iter().zip(sy).collect();
+            let lt = proto.lt_batch(&pairs)?;
+            let eq = proto.eq_batch(&pairs)?;
+            Ok((proto.open_column(&lt)?, proto.open_column(&eq)?))
+        });
+        let want_lt: Vec<i64> = pairs_clear.iter().map(|&(a, b)| i64::from(a < b)).collect();
+        let want_eq: Vec<i64> = pairs_clear
+            .iter()
+            .map(|&(a, b)| i64::from(a == b))
+            .collect();
+        for (lt, eq) in &outs {
+            assert_eq!(lt, &want_lt);
+            assert_eq!(eq, &want_eq);
+        }
+    }
+
+    #[test]
+    fn circuit_rounds_are_batch_size_independent() {
+        for batch in [1usize, 5, 100] {
+            let counts = run_parties(2, 44, |proto| {
+                let owner = 0;
+                let xs: Vec<i64> = (0..batch as i64).collect();
+                let ys: Vec<i64> = (0..batch as i64).rev().collect();
+                let own = proto.party() == owner;
+                let sx = proto.input_column(owner, own.then_some(xs.as_slice()), xs.len())?;
+                let sy = proto.input_column(owner, own.then_some(ys.as_slice()), ys.len())?;
+                let pairs: Vec<(RingElem, RingElem)> = sx.into_iter().zip(sy).collect();
+                let before = proto.counts();
+                proto.lt_batch(&pairs)?;
+                let lt_rounds = proto.counts().since(&before).circuit_rounds;
+                let before = proto.counts();
+                proto.eq_batch(&pairs)?;
+                let eq_rounds = proto.counts().since(&before).circuit_rounds;
+                Ok((lt_rounds, eq_rounds))
+            });
+            for &(lt_rounds, eq_rounds) in &counts {
+                assert_eq!(lt_rounds, 9, "lt rounds for batch {batch}");
+                assert_eq!(eq_rounds, 8, "eq rounds for batch {batch}");
+            }
+        }
+    }
+
+    #[test]
+    fn bit_and_tallies_follow_the_gate_count() {
+        let counts = run_parties(2, 45, |proto| {
+            let owner = 0;
+            let xs = [7i64, -9];
+            let own = proto.party() == owner;
+            let sx = proto.input_column(owner, own.then_some(xs.as_slice()), 2)?;
+            let before = proto.counts();
+            proto.lt_batch(&[(sx[0], sx[1])])?;
+            Ok(proto.counts().since(&before))
+        });
+        for c in &counts {
+            assert_eq!(c.comparisons, 1);
+            // 3 decomposed values × (5 levels × 2 + 1 level × 1) AND-words
+            // × 64 bits, plus 2 sign-combine AND-words.
+            assert_eq!(c.bit_ands, (3 * 11 + 2) * 64);
+            assert_eq!(c.circuit_rounds, 9);
+        }
+    }
+}

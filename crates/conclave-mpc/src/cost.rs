@@ -42,6 +42,15 @@ pub struct PrimitiveCounts {
     pub equalities: u64,
     /// Elements moved by oblivious shuffles (rows × columns).
     pub shuffled_elems: u64,
+    /// Binary AND gates evaluated on XOR-shared bits (comparison circuits).
+    /// Zero on the in-process oracle path, which charges a flat amortized
+    /// `comparisons`/`equalities` tally instead; the party runtime tallies
+    /// both the flat count *and* the per-bit gates it actually evaluated.
+    pub bit_ands: u64,
+    /// Communication rounds spent inside comparison circuits (masked
+    /// openings, prefix-adder levels, bit-to-arithmetic conversions). Like
+    /// [`PrimitiveCounts::bit_ands`], only the circuit path reports these.
+    pub circuit_rounds: u64,
 }
 
 impl PrimitiveCounts {
@@ -53,6 +62,8 @@ impl PrimitiveCounts {
         self.comparisons += other.comparisons;
         self.equalities += other.equalities;
         self.shuffled_elems += other.shuffled_elems;
+        self.bit_ands += other.bit_ands;
+        self.circuit_rounds += other.circuit_rounds;
     }
 
     /// The counts accumulated since `baseline` was snapshotted (field-wise
@@ -66,6 +77,8 @@ impl PrimitiveCounts {
             comparisons: self.comparisons - baseline.comparisons,
             equalities: self.equalities - baseline.equalities,
             shuffled_elems: self.shuffled_elems - baseline.shuffled_elems,
+            bit_ands: self.bit_ands - baseline.bit_ands,
+            circuit_rounds: self.circuit_rounds - baseline.circuit_rounds,
         }
     }
 
@@ -78,8 +91,23 @@ impl PrimitiveCounts {
     /// Approximate bytes exchanged between parties for these primitives
     /// (per-party, one direction): every non-linear op opens two masked
     /// values, every input/open moves one share.
+    ///
+    /// When the counts come from the circuit path (`bit_ands > 0`), the
+    /// flat 16-byte-per-comparison estimate is replaced by the measured
+    /// gate count: each word-packed binary AND opens two masked 8-byte
+    /// words per 64 gates (0.25 B/gate), and each comparison additionally
+    /// pays one masked decomposition opening plus one bit-to-arithmetic
+    /// opening. With `bit_ands == 0` this reduces to the original flat
+    /// formula, so oracle-path estimates and calibration anchors are
+    /// unchanged.
     pub fn bytes(&self) -> u64 {
-        16 * self.nonlinear_ops()
+        let compare_bytes = if self.bit_ands > 0 {
+            self.bit_ands / 4 + 16 * (self.comparisons + self.equalities)
+        } else {
+            16 * (self.comparisons + self.equalities)
+        };
+        16 * self.mults
+            + compare_bytes
             + 8 * (self.input_elems + self.opened_elems)
             + 8 * self.shuffled_elems
     }
@@ -94,6 +122,12 @@ pub struct SecretShareCostModel {
     pub per_comparison: f64,
     /// Seconds per oblivious equality test.
     pub per_equality: f64,
+    /// Seconds per binary AND gate on XOR-shared bits. Used instead of the
+    /// flat `per_comparison`/`per_equality` charges when a count set carries
+    /// measured circuit gates (`bit_ands > 0`); calibrated so a 64-bit
+    /// Kogge-Stone less-than (~2100 gates across its three decomposed
+    /// values) lands near the 150 µs flat anchor.
+    pub per_bit_and: f64,
     /// Seconds per element secret-shared into the MPC (import + storage).
     pub per_input_elem: f64,
     /// Seconds per element opened out of the MPC.
@@ -111,6 +145,7 @@ impl Default for SecretShareCostModel {
             per_mult: 5.0e-6,
             per_comparison: 150.0e-6,
             per_equality: 35.0e-6,
+            per_bit_and: 7.0e-8,
             per_input_elem: 60.0e-6,
             per_open_elem: 60.0e-6,
             per_shuffle_elem: 20.0e-6,
@@ -125,13 +160,23 @@ impl SecretShareCostModel {
     /// computation- and bandwidth-bound; round latency is amortized by
     /// batching, which Sharemind does aggressively).
     pub fn time(&self, counts: &PrimitiveCounts, net: &NetworkModel) -> Duration {
+        // Counts that carry measured circuit gates (`bit_ands > 0`) also
+        // carry the flat `comparisons`/`equalities` tallies for the same
+        // operations; charge the measured gates *instead of* the flat
+        // amortized rates so the two views never double-bill.
+        let compare_compute = if counts.bit_ands > 0 {
+            counts.bit_ands as f64 * self.per_bit_and
+        } else {
+            counts.comparisons as f64 * self.per_comparison
+                + counts.equalities as f64 * self.per_equality
+        };
         let compute = counts.mults as f64 * self.per_mult
-            + counts.comparisons as f64 * self.per_comparison
-            + counts.equalities as f64 * self.per_equality
+            + compare_compute
             + counts.input_elems as f64 * self.per_input_elem
             + counts.opened_elems as f64 * self.per_open_elem
             + counts.shuffled_elems as f64 * self.per_shuffle_elem;
-        let comm = counts.bytes() as f64 / net.bandwidth_bps;
+        let comm = counts.bytes() as f64 / net.bandwidth_bps
+            + counts.circuit_rounds as f64 * net.latency_s;
         Duration::from_secs_f64(self.job_overhead + compute + comm)
     }
 
@@ -225,11 +270,47 @@ mod tests {
             input_elems: 3,
             opened_elems: 4,
             shuffled_elems: 5,
+            bit_ands: 0,
+            circuit_rounds: 0,
         };
         a.merge(&b);
         assert_eq!(a.mults, 11);
         assert_eq!(a.nonlinear_ops(), 11 + 5 + 2);
         assert_eq!(a.bytes(), 16 * 18 + 8 * 7 + 8 * 5);
+    }
+
+    #[test]
+    fn circuit_counts_replace_flat_comparison_charges() {
+        let lan = NetworkModel::lan();
+        let model = SecretShareCostModel::default();
+        let flat = PrimitiveCounts {
+            comparisons: 1000,
+            ..Default::default()
+        };
+        // The same 1000 comparisons as measured by the circuit path: ~2100
+        // AND gates each, plus the log-depth rounds actually spent.
+        let measured = PrimitiveCounts {
+            comparisons: 1000,
+            bit_ands: 2100 * 1000,
+            circuit_rounds: 9,
+            ..Default::default()
+        };
+        // Measured gates substitute for (not stack on) the flat rate, so the
+        // two estimates stay within the same order of magnitude.
+        let t_flat = model.time_no_overhead(&flat, &lan).as_secs_f64();
+        let t_measured = model.time_no_overhead(&measured, &lan).as_secs_f64();
+        assert!(
+            t_measured < 2.0 * t_flat && t_measured > 0.5 * t_flat,
+            "flat {t_flat:.4} s vs measured {t_measured:.4} s"
+        );
+        // Circuit bytes reflect the per-gate masked openings.
+        assert!(measured.bytes() > flat.bytes());
+        // merge/since round-trip the new counters.
+        let mut acc = flat;
+        acc.merge(&measured);
+        assert_eq!(acc.bit_ands, 2100 * 1000);
+        assert_eq!(acc.circuit_rounds, 9);
+        assert_eq!(acc.since(&flat), measured);
     }
 
     #[test]

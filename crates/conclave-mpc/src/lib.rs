@@ -31,8 +31,14 @@
 //!   stream, recording observed (not modeled) traffic. The in-process
 //!   [`Protocol`] remains the fast path and the differential-testing oracle
 //!   for it.
+//! * [`circuits`] — bit-decomposed comparison circuits for the party
+//!   runtime: signed less-than and equality computed entirely on shares
+//!   (Kogge-Stone carry adders over XOR-shared bits, binary Beaver ANDs,
+//!   daBit bit-to-arithmetic conversion), so no operand value ever crosses
+//!   the wire unmasked.
 
 pub mod backend;
+pub mod circuits;
 pub mod cost;
 pub mod garbled;
 pub mod oblivious;

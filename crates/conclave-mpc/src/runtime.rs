@@ -42,20 +42,24 @@
 //!
 //! ## Fidelity note
 //!
-//! Two substitutions mirror the ones documented on the in-process protocol:
+//! One substitution mirrors the one documented on the in-process protocol:
+//! **preprocessing**. Beaver triples (arithmetic and binary), dual-shared
+//! bit-decomposition masks and daBits all come from a *common-seed dealer* —
+//! every party derives the identical dealer stream from the shared RNG seed
+//! and keeps its own share, standing in for the offline preprocessing phase
+//! (like Sharemind's deployment model). The *online* phase is exchanged for
+//! real: Beaver `d`/`e` openings, and the comparison circuits' masked
+//! openings and AND rounds, all cross the transport as
+//! [`MessageKind::MaskedOpen`] traffic.
 //!
-//! 1. **Triples**: Beaver triples come from a *common-seed dealer* — every
-//!    party derives the identical triple stream from the shared RNG seed and
-//!    keeps its own share, standing in for the offline preprocessing phase
-//!    (like Sharemind's deployment model). The *online* phase — the `d`/`e`
-//!    mask openings — is exchanged for real.
-//! 2. **Comparisons**: `lt`/`eq` open their operands (a real broadcast
-//!    round standing in for the bit-decomposition sub-protocol's
-//!    communication), compare locally, and deterministically re-share the
-//!    result bit, so inputs and outputs remain secret-shared and the data
-//!    flow matches the real protocol.
+//! Comparisons are **not** simulated: `lt`/`eq` run the bit-decomposed
+//! comparison circuits of [`crate::circuits`] entirely on shares (9 rounds
+//! for a less-than batch, 8 for an equality batch, independent of batch
+//! size). No operand, bit, or intermediate ever appears on the wire
+//! unmasked — `tests/wire_privacy.rs` pins this against a sniffing
+//! transport.
 //!
-//! Both substitutions preserve exact `Z_{2^64}` arithmetic, which is what the
+//! The substitution preserves exact `Z_{2^64}` arithmetic, which is what the
 //! transport-equivalence test suite pins against the in-process oracle.
 
 use crate::cost::PrimitiveCounts;
@@ -65,7 +69,7 @@ use conclave_ir::expr::{BinOp, Expr};
 use conclave_ir::ops::{aggregate_schema, join_schema, AggFunc, Operand, Operator};
 use conclave_ir::schema::{ColumnDef, Schema};
 use conclave_ir::types::{DataType, Value};
-use conclave_net::{MessageKind, RoundBatcher, StreamTag, Transport, TransportError};
+use conclave_net::{MessageKind, StreamTag, Transport, TransportError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
@@ -112,6 +116,16 @@ pub type PartyResult<T> = Result<T, PartyError>;
 /// Number of Beaver triples derived from the common stream per cache refill.
 const TRIPLE_BLOCK: usize = 1024;
 
+/// Binary (bitwise) Beaver triple words per cache refill. One word carries
+/// 64 AND gates, so a block covers ~16 k gates.
+const BIT_TRIPLE_BLOCK: usize = 256;
+
+/// Dual-shared bit-decomposition masks per cache refill.
+const SHARED_BITS_BLOCK: usize = 256;
+
+/// daBit words (64 dual-shared random bits each) per cache refill.
+const DABIT_BLOCK: usize = 16;
+
 /// One party's **session-lifetime** protocol state: identity, dealer state
 /// (the common and private randomness streams), the Beaver triple cache and
 /// the transport endpoint. A session lives as long as the query — shares it
@@ -137,6 +151,15 @@ pub struct PartySession<'n> {
     private: StdRng,
     /// Beaver triple shares pre-derived from the common stream in blocks.
     triples: std::collections::VecDeque<(RingElem, RingElem, RingElem)>,
+    /// Binary Beaver triple words `(a, b, c = a & b)`, XOR-shared: each word
+    /// feeds 64 AND gates of the comparison circuits.
+    bit_triples: std::collections::VecDeque<(u64, u64, u64)>,
+    /// Bit-decomposition masks in dual representation: the mask's 64 bits
+    /// XOR-shared as one word, plus an additive share of the same value.
+    shared_bits: std::collections::VecDeque<(u64, RingElem)>,
+    /// daBits, word-packed: 64 random bits XOR-shared as one word, with an
+    /// additive share of each individual bit (for bit-to-arithmetic).
+    dabits: std::collections::VecDeque<(u64, Vec<RingElem>)>,
     counts: PrimitiveCounts,
 }
 
@@ -150,6 +173,9 @@ impl<'n> PartySession<'n> {
             common: StdRng::seed_from_u64(seed),
             private: StdRng::seed_from_u64(seed ^ (party + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
             triples: std::collections::VecDeque::new(),
+            bit_triples: std::collections::VecDeque::new(),
+            shared_bits: std::collections::VecDeque::new(),
+            dabits: std::collections::VecDeque::new(),
             counts: PrimitiveCounts::default(),
         }
     }
@@ -223,6 +249,74 @@ impl<'n> PartySession<'n> {
             }
         }
         self.triples.pop_front().expect("refilled above")
+    }
+
+    /// Draws XOR shares of `value` from the common stream and returns this
+    /// party's word. The binary analogue of
+    /// [`PartySession::reshare_from_common`].
+    fn xor_share_from_common(&mut self, value: u64) -> u64 {
+        let n = self.parties() as usize;
+        let mut acc = 0u64;
+        let mut own = 0u64;
+        for p in 0..n - 1 {
+            let r = self.common.gen::<u64>();
+            if p == self.party() as usize {
+                own = r;
+            }
+            acc ^= r;
+        }
+        if self.party() as usize == n - 1 {
+            own = value ^ acc;
+        }
+        own
+    }
+
+    /// Takes `n` binary Beaver triple words, refilling whole blocks from the
+    /// common stream when the cache runs dry (same alignment argument as
+    /// [`PartySession::next_triple`]).
+    fn take_bit_triples(&mut self, n: usize) -> Vec<(u64, u64, u64)> {
+        while self.bit_triples.len() < n {
+            for _ in 0..BIT_TRIPLE_BLOCK {
+                let a = self.common.gen::<u64>();
+                let b = self.common.gen::<u64>();
+                let c = a & b;
+                let a_i = self.xor_share_from_common(a);
+                let b_i = self.xor_share_from_common(b);
+                let c_i = self.xor_share_from_common(c);
+                self.bit_triples.push_back((a_i, b_i, c_i));
+            }
+        }
+        self.bit_triples.drain(..n).collect()
+    }
+
+    /// Takes `n` dual-shared bit-decomposition masks (XOR-shared bits plus
+    /// an additive share of the same 64-bit value).
+    fn take_shared_bits(&mut self, n: usize) -> Vec<(u64, RingElem)> {
+        while self.shared_bits.len() < n {
+            for _ in 0..SHARED_BITS_BLOCK {
+                let r = self.common.gen::<u64>();
+                let bits_i = self.xor_share_from_common(r);
+                let add_i = self.reshare_from_common(RingElem(r));
+                self.shared_bits.push_back((bits_i, add_i));
+            }
+        }
+        self.shared_bits.drain(..n).collect()
+    }
+
+    /// Takes `n` daBit words: 64 random bits per word, XOR-shared as a word
+    /// and additively shared bit by bit.
+    fn take_dabits(&mut self, n: usize) -> Vec<(u64, Vec<RingElem>)> {
+        while self.dabits.len() < n {
+            for _ in 0..DABIT_BLOCK {
+                let rho = self.common.gen::<u64>();
+                let bits_i = self.xor_share_from_common(rho);
+                let adds: Vec<RingElem> = (0..64)
+                    .map(|k| self.reshare_from_common(RingElem((rho >> k) & 1)))
+                    .collect();
+                self.dabits.push_back((bits_i, adds));
+            }
+        }
+        self.dabits.drain(..n).collect()
     }
 
     /// A random permutation of `0..n` from the common stream — identical on
@@ -427,6 +521,74 @@ impl<'n> StepCtx<'_, 'n> {
     }
 
     // ------------------------------------------------------------------
+    // Circuit support (used by `crate::circuits`).
+    // ------------------------------------------------------------------
+
+    /// Opens masked ring values (`x − r` for dealer masks `r`): an additive
+    /// exchange attributed as [`MessageKind::MaskedOpen`] and counted as a
+    /// circuit round.
+    pub(crate) fn open_masked(
+        &mut self,
+        shares: &[RingElem],
+        label: &str,
+    ) -> PartyResult<Vec<RingElem>> {
+        self.sess.counts.circuit_rounds += 1;
+        self.exchange_and_sum(shares, MessageKind::MaskedOpen, label)
+    }
+
+    /// Opens masked XOR-shared words (`x ⊕ a` for binary Beaver masks `a`):
+    /// broadcast and XOR-combine, one synchronous round.
+    pub(crate) fn open_xor_words(&mut self, words: &[u64], label: &str) -> PartyResult<Vec<u64>> {
+        if words.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.sess.counts.circuit_rounds += 1;
+        let tag = self.next_tag();
+        self.sess
+            .net
+            .send_all_tagged(tag, MessageKind::MaskedOpen, label, words)?;
+        let mut acc = words.to_vec();
+        for peer in 0..self.parties() {
+            if peer == self.party() {
+                continue;
+            }
+            let env = self.sess.net.recv_tagged(peer, tag)?;
+            if env.payload.len() != words.len() {
+                return Err(PartyError::Proto(format!(
+                    "P{peer} sent {} words in a {label} round of {}",
+                    env.payload.len(),
+                    words.len()
+                )));
+            }
+            for (a, w) in acc.iter_mut().zip(&env.payload) {
+                *a ^= w;
+            }
+        }
+        self.sess.net.record_round();
+        Ok(acc)
+    }
+
+    /// Takes binary Beaver triple words from the dealer cache.
+    pub(crate) fn take_bit_triples(&mut self, n: usize) -> Vec<(u64, u64, u64)> {
+        self.sess.take_bit_triples(n)
+    }
+
+    /// Takes dual-shared bit-decomposition masks from the dealer cache.
+    pub(crate) fn take_shared_bits(&mut self, n: usize) -> Vec<(u64, RingElem)> {
+        self.sess.take_shared_bits(n)
+    }
+
+    /// Takes daBit words from the dealer cache.
+    pub(crate) fn take_dabits(&mut self, n: usize) -> Vec<(u64, Vec<RingElem>)> {
+        self.sess.take_dabits(n)
+    }
+
+    /// Tallies evaluated binary AND gates.
+    pub(crate) fn tally_bit_ands(&mut self, gates: u64) {
+        self.sess.counts.bit_ands += gates;
+    }
+
+    // ------------------------------------------------------------------
     // Linear operations (local).
     // ------------------------------------------------------------------
 
@@ -487,7 +649,7 @@ impl<'n> StepCtx<'_, 'n> {
             b_shares.push(b_i);
             c_shares.push(c_i);
         }
-        let opened = self.exchange_and_sum(&masked, MessageKind::Control, "beaver d/e")?;
+        let opened = self.exchange_and_sum(&masked, MessageKind::MaskedOpen, "beaver d/e")?;
         let mut out = Vec::with_capacity(pairs.len());
         for i in 0..pairs.len() {
             let d = opened[2 * i];
@@ -507,71 +669,39 @@ impl<'n> StepCtx<'_, 'n> {
         Ok(self.mul_batch(&[(x, y)])?[0])
     }
 
-    /// Oblivious less-than over a batch of pairs: shared `1` where `x < y`.
-    /// One broadcast round for the whole batch (see the fidelity note).
+    /// Oblivious less-than over a batch of pairs: shared `1` where `x < y`
+    /// as signed 64-bit values. Runs the bit-decomposed comparison circuit
+    /// of [`crate::circuits`] entirely on shares — 9 synchronous rounds for
+    /// the whole batch, independent of its size.
     pub fn lt_batch(&mut self, pairs: &[(RingElem, RingElem)]) -> PartyResult<Vec<RingElem>> {
         self.sess.counts.comparisons += pairs.len() as u64;
-        self.compare_batch(pairs, "lt", |x, y| i64::from(x < y))
+        crate::circuits::lt_batch(self, pairs)
     }
 
     /// Oblivious equality over a batch of pairs: shared `1` where `x == y`.
+    /// Runs the equality circuit of [`crate::circuits`] on shares — 8
+    /// synchronous rounds for the whole batch, independent of its size.
     pub fn eq_batch(&mut self, pairs: &[(RingElem, RingElem)]) -> PartyResult<Vec<RingElem>> {
         self.sess.counts.equalities += pairs.len() as u64;
-        self.compare_batch(pairs, "eq", |x, y| i64::from(x == y))
+        crate::circuits::eq_batch(self, pairs)
     }
 
     /// Oblivious equality over **several independent batches at once**: all
-    /// groups' operand openings are coalesced into a single synchronous
-    /// round (via a [`RoundBatcher`]), where the per-column `eq_batch` loop
-    /// used to pay one round per group. Returns one flag vector per group.
+    /// groups flatten into a single circuit execution, so the whole set
+    /// costs the same 8 rounds as one `eq_batch` call, where a per-group
+    /// loop would pay 8 rounds per group. Returns one flag vector per group.
     pub fn eq_batch_groups(
         &mut self,
         groups: &[Vec<(RingElem, RingElem)>],
     ) -> PartyResult<Vec<Vec<RingElem>>> {
         self.sess.counts.equalities += groups.iter().map(|g| g.len() as u64).sum::<u64>();
-        self.compare_groups(groups, "eq", |x, y| i64::from(x == y))
-    }
-
-    /// Coalesced comparison: stages every group's masked operand pairs,
-    /// exchanges them in one round, then re-shares each result bit from the
-    /// common stream exactly like [`StepCtx::compare_batch`].
-    fn compare_groups(
-        &mut self,
-        groups: &[Vec<(RingElem, RingElem)>],
-        label: &str,
-        bit: fn(i64, i64) -> i64,
-    ) -> PartyResult<Vec<Vec<RingElem>>> {
-        if groups.iter().all(|g| g.is_empty()) {
-            return Ok(groups.iter().map(|_| Vec::new()).collect());
-        }
-        let mut batcher = RoundBatcher::new();
-        let mut flat = Vec::new();
-        let mut handles = Vec::with_capacity(groups.len());
-        for g in groups {
-            flat.clear();
-            flat.reserve(g.len() * 2);
-            for &(x, y) in g {
-                flat.push(x.0);
-                flat.push(y.0);
-            }
-            handles.push(batcher.stage(&flat));
-        }
-        let tag = self.next_tag();
-        let sums = batcher.exchange_summed(self.sess.net, tag, MessageKind::Control, label)?;
-        let mut out = Vec::with_capacity(groups.len());
-        for (g, h) in groups.iter().zip(handles) {
-            let opened = sums.segment(h);
-            let mut bits = Vec::with_capacity(g.len());
-            for i in 0..g.len() {
-                let b = bit(
-                    RingElem(opened[2 * i]).to_i64(),
-                    RingElem(opened[2 * i + 1]).to_i64(),
-                );
-                bits.push(self.sess.reshare_from_common(RingElem::from_i64(b)));
-            }
-            out.push(bits);
-        }
-        Ok(out)
+        let flat: Vec<(RingElem, RingElem)> = groups.iter().flatten().copied().collect();
+        let bits = crate::circuits::eq_batch(self, &flat)?;
+        let mut bits = bits.into_iter();
+        Ok(groups
+            .iter()
+            .map(|g| bits.by_ref().take(g.len()).collect())
+            .collect())
     }
 
     /// Oblivious less-than of one pair.
@@ -582,29 +712,6 @@ impl<'n> StepCtx<'_, 'n> {
     /// Oblivious equality of one pair.
     pub fn eq(&mut self, x: RingElem, y: RingElem) -> PartyResult<RingElem> {
         Ok(self.eq_batch(&[(x, y)])?[0])
-    }
-
-    fn compare_batch(
-        &mut self,
-        pairs: &[(RingElem, RingElem)],
-        label: &str,
-        bit: fn(i64, i64) -> i64,
-    ) -> PartyResult<Vec<RingElem>> {
-        if pairs.is_empty() {
-            return Ok(Vec::new());
-        }
-        let mut flat = Vec::with_capacity(pairs.len() * 2);
-        for &(x, y) in pairs {
-            flat.push(x);
-            flat.push(y);
-        }
-        let opened = self.exchange_and_sum(&flat, MessageKind::Control, label)?;
-        let mut out = Vec::with_capacity(pairs.len());
-        for i in 0..pairs.len() {
-            let b = bit(opened[2 * i].to_i64(), opened[2 * i + 1].to_i64());
-            out.push(self.sess.reshare_from_common(RingElem::from_i64(b)));
-        }
-        Ok(out)
     }
 
     /// Oblivious multiplexer batch: element-wise `b + c·(a − b)`.

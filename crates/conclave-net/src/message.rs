@@ -16,6 +16,14 @@ pub enum MessageKind {
     Cleartext,
     /// Protocol control traffic (round synchronization, triple distribution).
     Control,
+    /// Masked protocol openings: values of the form `x - r` for a uniformly
+    /// random mask `r` (Beaver `d`/`e` terms, circuit bit-decomposition
+    /// openings). These carry data-plane bytes but reveal nothing about the
+    /// underlying secrets; they are attributed separately from genuine
+    /// [`MessageKind::Reveal`] traffic so per-kind byte stats distinguish
+    /// "opened on purpose" from "opened because the protocol math says it is
+    /// uniform".
+    MaskedOpen,
 }
 
 impl MessageKind {
@@ -26,6 +34,7 @@ impl MessageKind {
             MessageKind::Reveal => 1,
             MessageKind::Cleartext => 2,
             MessageKind::Control => 3,
+            MessageKind::MaskedOpen => 4,
         }
     }
 
@@ -36,6 +45,7 @@ impl MessageKind {
             1 => Some(MessageKind::Reveal),
             2 => Some(MessageKind::Cleartext),
             3 => Some(MessageKind::Control),
+            4 => Some(MessageKind::MaskedOpen),
             _ => None,
         }
     }
@@ -48,6 +58,7 @@ impl fmt::Display for MessageKind {
             MessageKind::Reveal => "reveal",
             MessageKind::Cleartext => "cleartext",
             MessageKind::Control => "control",
+            MessageKind::MaskedOpen => "masked-open",
         };
         f.write_str(s)
     }
@@ -117,6 +128,7 @@ mod tests {
         assert_eq!(MessageKind::SecretShare.to_string(), "share");
         assert_eq!(MessageKind::Cleartext.to_string(), "cleartext");
         assert_eq!(MessageKind::Control.to_string(), "control");
+        assert_eq!(MessageKind::MaskedOpen.to_string(), "masked-open");
     }
 
     #[test]
@@ -126,6 +138,7 @@ mod tests {
             MessageKind::Reveal,
             MessageKind::Cleartext,
             MessageKind::Control,
+            MessageKind::MaskedOpen,
         ] {
             assert_eq!(MessageKind::from_code(kind.code()), Some(kind));
         }

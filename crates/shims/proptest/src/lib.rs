@@ -85,6 +85,45 @@ pub mod strategy {
         }
     }
 
+    /// Weighted union of strategies over one value type, behind
+    /// [`crate::prop_oneof!`]: each generation picks an arm with probability
+    /// proportional to its weight.
+    pub struct Union<T> {
+        arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union from `(weight, strategy)` arms. Panics on an empty
+        /// arm list or all-zero weights.
+        pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+            assert!(
+                arms.iter().map(|(w, _)| *w).sum::<u32>() > 0,
+                "prop_oneof! needs at least one arm with non-zero weight"
+            );
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let total: u32 = self.arms.iter().map(|(w, _)| *w).sum();
+            let mut pick = rng.gen_range(0..total);
+            for (w, s) in &self.arms {
+                if pick < *w {
+                    return s.generate(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weight bookkeeping above covers the full range")
+        }
+    }
+
+    /// Boxes a strategy into a trait object (the `prop_oneof!` arm form).
+    pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(s)
+    }
+
     /// Strategy behind [`any`]: samples the type's full value space.
     pub struct Any<T>(std::marker::PhantomData<T>);
 
@@ -138,7 +177,21 @@ pub mod prelude {
     pub use crate::prop;
     pub use crate::strategy::{any, Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Mirrors `proptest::prop_oneof!`: a union of strategies producing one
+/// value type, with optional `weight => strategy` arms.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof!($(1 => $strat),+)
+    };
 }
 
 #[macro_export]

@@ -1,0 +1,250 @@
+//! Wire-privacy regression test for the comparison circuits.
+//!
+//! The pre-circuit party runtime "compared" shared values by broadcasting
+//! both operands' shares and letting every party sum them up — so a passive
+//! observer on the wire could reconstruct every compared column value by
+//! element-wise summing the broadcasts of one logical stream across its
+//! senders. This suite mounts exactly that attack through a sniffing
+//! [`Transport`] wrapper: it runs lt/eq/sort over secret sentinel values and
+//! asserts that no envelope payload — taken raw, summed across senders, or
+//! XOR-combined across senders — ever contains a secret operand. On the
+//! pre-circuit runtime the summed reconstruction recovers the operands and
+//! the test fails; on the circuit path everything that crosses the wire is
+//! either a share or a uniformly-masked value.
+
+use conclave::mpc::runtime::{share_relation, sort_by, PartyResult, PartySession, StepCtx};
+use conclave::mpc::RingElem;
+use conclave::net::{
+    ChannelTransport, Envelope, MessageKind, NetStats, StreamTag, Transport, TransportError,
+};
+use conclave::prelude::*;
+use std::sync::{Arc, Mutex};
+
+/// One captured directed frame.
+#[derive(Debug, Clone)]
+struct SniffedFrame {
+    from: u32,
+    tag: StreamTag,
+    payload: Vec<u64>,
+}
+
+/// A [`Transport`] wrapper that records every outgoing envelope into a log
+/// shared across all parties — the view of a passive network observer who
+/// does *not* know the dealer seed.
+struct SniffTransport {
+    inner: ChannelTransport,
+    log: Arc<Mutex<Vec<SniffedFrame>>>,
+}
+
+impl Transport for SniffTransport {
+    fn party(&self) -> u32 {
+        self.inner.party()
+    }
+
+    fn parties(&self) -> u32 {
+        self.inner.parties()
+    }
+
+    fn send_to(
+        &self,
+        to: u32,
+        kind: MessageKind,
+        label: &str,
+        payload: &[u64],
+    ) -> Result<(), TransportError> {
+        self.send_tagged(to, StreamTag::default(), kind, label, payload)
+    }
+
+    fn send_tagged(
+        &self,
+        to: u32,
+        tag: StreamTag,
+        kind: MessageKind,
+        label: &str,
+        payload: &[u64],
+    ) -> Result<(), TransportError> {
+        self.log.lock().unwrap().push(SniffedFrame {
+            from: self.party(),
+            tag,
+            payload: payload.to_vec(),
+        });
+        self.inner.send_tagged(to, tag, kind, label, payload)
+    }
+
+    fn recv_from(&self, from: u32) -> Result<Envelope, TransportError> {
+        self.inner.recv_from(from)
+    }
+
+    fn recv_tagged(&self, from: u32, tag: StreamTag) -> Result<Envelope, TransportError> {
+        self.inner.recv_tagged(from, tag)
+    }
+
+    fn record_round(&self) {
+        self.inner.record_round()
+    }
+
+    fn stats(&self) -> NetStats {
+        self.inner.stats()
+    }
+}
+
+/// Distinctive operand sentinels: values a uniformly-masked word matches
+/// with probability 2^-64, so any hit in the capture is a leak.
+const SECRETS_X: [i64; 4] = [
+    123_456_789_123_456_789,
+    -987_654_321_987_654_321,
+    444_555_666_777_888_999,
+    -111_222_333_444_555_666,
+];
+const SECRETS_Y: [i64; 4] = [
+    135_791_357_913_579_135,
+    -246_802_468_024_680_246,
+    444_555_666_777_888_999, // equal pair against SECRETS_X[2]
+    999_888_777_666_555_444,
+];
+
+/// Runs lt/eq/sort over the sentinels on a sniffed 3-party mesh and returns
+/// the complete wire capture plus the (correct) opened comparison bits.
+fn capture_comparison_traffic() -> (Vec<SniffedFrame>, Vec<Vec<i64>>) {
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let mesh: Vec<SniffTransport> = ChannelTransport::mesh(3)
+        .into_iter()
+        .map(|inner| SniffTransport {
+            inner,
+            log: Arc::clone(&log),
+        })
+        .collect();
+    let opened = std::thread::scope(|s| {
+        let handles: Vec<_> = mesh
+            .into_iter()
+            .map(|t| {
+                s.spawn(move || -> PartyResult<Vec<i64>> {
+                    let mut sess = PartySession::new(&t, 2024);
+                    let mut proto = sess.step(0);
+                    program(&mut proto)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("party panicked").expect("party failed"))
+            .collect::<Vec<_>>()
+    });
+    let frames = log.lock().unwrap().clone();
+    (frames, opened)
+}
+
+/// The party program: share the sentinels, compare them (lt + eq), sort a
+/// relation keyed by them, and open **only the comparison bits** — the
+/// operands themselves stay shared, so nothing on the wire may expose them.
+fn program(proto: &mut StepCtx) -> PartyResult<Vec<i64>> {
+    let own0 = proto.party() == 0;
+    let own1 = proto.party() == 1;
+    let sx = proto.input_column(0, own0.then_some(SECRETS_X.as_slice()), SECRETS_X.len())?;
+    let sy = proto.input_column(1, own1.then_some(SECRETS_Y.as_slice()), SECRETS_Y.len())?;
+    let pairs: Vec<(RingElem, RingElem)> = sx.iter().copied().zip(sy.iter().copied()).collect();
+    let lt = proto.lt_batch(&pairs)?;
+    let eq = proto.eq_batch(&pairs)?;
+
+    // Sort a relation keyed by the secret column; keep the result shared.
+    let rel = Relation::from_ints(
+        &["s"],
+        &SECRETS_X.iter().map(|&v| vec![v]).collect::<Vec<_>>(),
+    );
+    let shared = share_relation(
+        proto,
+        0,
+        own0.then_some(&rel),
+        &Schema::ints(&["s"]),
+        SECRETS_X.len(),
+    )?;
+    let sorted = sort_by(proto, &shared, "s", true)?;
+    assert_eq!(sorted.num_rows(), SECRETS_X.len());
+
+    let mut bits = lt;
+    bits.extend(eq);
+    proto.open_column(&bits)
+}
+
+/// Every u64 bit pattern that would constitute an operand leak.
+fn secret_patterns() -> Vec<u64> {
+    SECRETS_X
+        .iter()
+        .chain(SECRETS_Y.iter())
+        .map(|&v| RingElem::from_i64(v).0)
+        .collect()
+}
+
+#[test]
+fn comparison_traffic_never_carries_operands() {
+    let (frames, opened) = capture_comparison_traffic();
+    assert!(!frames.is_empty(), "the sniffer must observe traffic");
+
+    // Sanity: the protocol still computes the right answers.
+    let mut expected: Vec<i64> = SECRETS_X
+        .iter()
+        .zip(&SECRETS_Y)
+        .map(|(&x, &y)| i64::from(x < y))
+        .collect();
+    expected.extend(
+        SECRETS_X
+            .iter()
+            .zip(&SECRETS_Y)
+            .map(|(&x, &y)| i64::from(x == y)),
+    );
+    for out in &opened {
+        assert_eq!(out, &expected);
+    }
+
+    let patterns = secret_patterns();
+
+    // Attack 1: raw payload scan — no frame may carry an operand verbatim.
+    for f in &frames {
+        for w in &f.payload {
+            assert!(
+                !patterns.contains(w),
+                "raw payload of P{} on {:?} contains a secret operand",
+                f.from,
+                f.tag
+            );
+        }
+    }
+
+    // Attack 2: reconstruction. Broadcast exchanges send each party's words
+    // to every peer on one logical stream, so an observer holds every
+    // sender's contribution per stream tag. Element-wise summing them is
+    // exactly how the pre-circuit runtime's comparison openings reconstruct
+    // (additive shares); XOR-combining covers the binary-shared exchanges.
+    let mut tags: Vec<StreamTag> = frames.iter().map(|f| f.tag).collect();
+    tags.sort_unstable_by_key(|t| format!("{t:?}"));
+    tags.dedup();
+    for tag in tags {
+        // One contribution per sender (broadcasts repeat the same words to
+        // every receiver).
+        let mut per_sender: Vec<(u32, &[u64])> = Vec::new();
+        for f in frames.iter().filter(|f| f.tag == tag) {
+            if !per_sender.iter().any(|(from, _)| *from == f.from) {
+                per_sender.push((f.from, &f.payload));
+            }
+        }
+        let len = per_sender.iter().map(|(_, p)| p.len()).max().unwrap_or(0);
+        for i in 0..len {
+            let mut sum = 0u64;
+            let mut xor = 0u64;
+            for (_, payload) in &per_sender {
+                let w = payload.get(i).copied().unwrap_or(0);
+                sum = sum.wrapping_add(w);
+                xor ^= w;
+            }
+            assert!(
+                !patterns.contains(&sum),
+                "summing senders' words on {tag:?} reconstructs a secret operand \
+                 (the pre-circuit comparison leak)"
+            );
+            assert!(
+                !patterns.contains(&xor),
+                "xor-combining senders' words on {tag:?} reconstructs a secret operand"
+            );
+        }
+    }
+}

@@ -200,7 +200,23 @@ impl Driver {
         plan: &PhysicalPlan,
         inputs: &HashMap<String, Table>,
     ) -> Result<RunReport, DriverError> {
-        let mut report = RunReport::default();
+        // Re-verify the plan before executing a single node: even a plan
+        // tampered with after compilation (or built by hand) must pass the
+        // static leakage linter, and its certified report rides on the run
+        // report for the differential wire checks.
+        let static_leakage =
+            crate::passes::leakage::run(&plan.dag, &plan.parties).map_err(|e| match e {
+                crate::plan::CompileError::Leakage(v) => DriverError::UnauthorizedReveal {
+                    node: v.node,
+                    to_party: v.party,
+                    what: format!("column `{}`", v.column),
+                },
+                other => DriverError::Compile(other),
+            })?;
+        let mut report = RunReport {
+            static_leakage: Some(static_leakage),
+            ..RunReport::default()
+        };
         let mut results: HashMap<NodeId, Table> = HashMap::new();
         // Every table that enters the result store, with its conversion
         // counter at insertion time: the per-run conversion tally is the sum

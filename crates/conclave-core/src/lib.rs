@@ -13,10 +13,13 @@
 //!    operators when the trust annotations authorize a selectively-trusted
 //!    party ([`passes::hybrid`]),
 //! 4. eliminates redundant oblivious sorts ([`passes::sort_elim`]),
-//! 5. partitions the DAG into local, STP and MPC stages and produces a
+//! 5. statically certifies the final plan with the leakage linter
+//!    ([`passes::leakage`]): every cleartext placement and reveal is proven
+//!    to honor the trust annotations, or compilation fails,
+//! 6. partitions the DAG into local, STP and MPC stages and produces a
 //!    [`plan::PhysicalPlan`] plus per-backend job descriptions ([`codegen`]),
 //!    and
-//! 6. executes the plan with the [`driver::Driver`], which combines the
+//! 7. executes the plan with the [`driver::Driver`], which combines the
 //!    cleartext engines (`conclave-engine`, `conclave-parallel`) with the MPC
 //!    substrates (`conclave-mpc`) and reports results, simulated runtime and
 //!    a leakage audit ([`report`]).
@@ -32,6 +35,10 @@
 //! For paper-scale inputs that cannot be materialized, [`cardinality`]
 //! propagates row counts through the compiled plan and converts them into
 //! simulated runtimes using the same cost models the driver charges.
+
+// Also enforced workspace-wide via [workspace.lints]; stated here so the
+// guarantee is visible at the crate root.
+#![forbid(unsafe_code)]
 
 pub mod analysis;
 pub mod cardinality;
@@ -49,6 +56,7 @@ pub use analysis::{propagate_ownership, propagate_trust};
 pub use cardinality::{CardinalityEstimator, RuntimeEstimate, WorkloadStats};
 pub use config::{ConclaveConfig, PartyRuntime};
 pub use driver::Driver;
+pub use passes::leakage::{Disclosure, DisclosureKind, LeakageReport, LeakageViolation};
 pub use plan::{compile, CompileError, CompileResult, PhysicalPlan};
 pub use report::RunReport;
 pub use session::{Session, SessionError};

@@ -11,6 +11,7 @@
 //! | 3 | [`pushup`] | moves reversible operators *above* the frontier, into cleartext at the output recipient |
 //! | 4 | [`hybrid`] | splits expensive MPC joins/aggregations into MPC + selectively-trusted-party cleartext halves |
 //! | 5 | [`sort_elim`] | deletes oblivious sorts whose input is already sorted and annotates order for MPC aggregations |
+//! | 6 | [`leakage`] | *verifies* (never rewrites): proves every cleartext placement and reveal honors the trust annotations, or rejects the plan |
 //!
 //! Each pass returns a human-readable log of the rewrites it applied; the
 //! logs surface in [`crate::plan::PhysicalPlan::transformations`] and in the
@@ -25,6 +26,7 @@
 //! DAG, so the passes neither know nor care which surface produced it.
 
 pub mod hybrid;
+pub mod leakage;
 pub mod pushdown;
 pub mod pushup;
 pub mod sites;

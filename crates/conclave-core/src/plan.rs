@@ -4,6 +4,7 @@
 use crate::analysis;
 use crate::config::ConclaveConfig;
 use crate::passes;
+use crate::passes::leakage::{LeakageReport, LeakageViolation};
 use conclave_ir::builder::Query;
 use conclave_ir::dag::{NodeId, OpDag};
 use conclave_ir::error::IrError;
@@ -18,6 +19,9 @@ pub enum CompileError {
     Ir(IrError),
     /// The query cannot be compiled under the given configuration.
     Unsupported(String),
+    /// The leakage linter proved the plan would disclose a column to a party
+    /// outside its trust set.
+    Leakage(LeakageViolation),
 }
 
 impl fmt::Display for CompileError {
@@ -25,6 +29,7 @@ impl fmt::Display for CompileError {
         match self {
             CompileError::Ir(e) => write!(f, "compilation failed: {e}"),
             CompileError::Unsupported(s) => write!(f, "unsupported query: {s}"),
+            CompileError::Leakage(v) => write!(f, "leakage check failed: {v}"),
         }
     }
 }
@@ -61,6 +66,9 @@ pub struct PhysicalPlan {
     pub transformations: Vec<String>,
     /// The compiler configuration used.
     pub config: ConclaveConfig,
+    /// The statically certified per-party leakage account of the plan,
+    /// produced by the mandatory [`passes::leakage`] pass.
+    pub leakage: LeakageReport,
 }
 
 impl PhysicalPlan {
@@ -147,11 +155,17 @@ pub fn compile(query: &Query, config: &ConclaveConfig) -> CompileResult<Physical
 
     dag.validate()?;
 
+    // Stage 6 (mandatory): the leakage linter. Every plan the pipeline emits
+    // carries a static proof that its cleartext placements and reveals honor
+    // the trust annotations — or compilation fails here.
+    let leakage = passes::leakage::run(&dag, &universe)?;
+
     Ok(PhysicalPlan {
         dag,
         parties: universe,
         transformations,
         config: config.clone(),
+        leakage,
     })
 }
 

@@ -1,5 +1,6 @@
 //! Execution reports: results, simulated runtime breakdown and leakage audit.
 
+use crate::passes::leakage::LeakageReport;
 use conclave_engine::{ConversionCounts, Relation};
 use conclave_ir::ops::ExecSite;
 use conclave_ir::party::PartyId;
@@ -54,8 +55,13 @@ pub struct RunReport {
     pub net_measured: bool,
     /// Aggregated MPC statistics (primitive counts, gates, memory).
     pub mpc_stats: MpcStepStats,
-    /// Leakage audit log.
+    /// Leakage audit log (dynamic: recorded as reveals actually happen).
     pub leakage: Vec<LeakageEvent>,
+    /// The plan's statically certified leakage report, attached by the
+    /// driver before execution. Every dynamic [`RunReport::leakage`] event
+    /// must be covered by a disclosure in here — the differential tests
+    /// assert exactly that.
+    pub static_leakage: Option<LeakageReport>,
     /// Per-node simulated runtimes, for detailed breakdowns.
     pub per_node: Vec<(usize, ExecSite, Duration)>,
     /// Row↔columnar conversions the run's data plane performed. With the
@@ -162,6 +168,9 @@ impl fmt::Display for RunReport {
         }
         for (party, rel) in &self.outputs {
             writeln!(f, "output for P{party}: {} rows", rel.num_rows())?;
+        }
+        if let Some(static_report) = &self.static_leakage {
+            write!(f, "{static_report}")?;
         }
         Ok(())
     }

@@ -16,6 +16,7 @@
 
 use crate::config::ConclaveConfig;
 use crate::driver::{Driver, DriverError};
+use crate::passes::leakage::LeakageReport;
 use crate::plan::{compile, CompileError, PhysicalPlan};
 use crate::report::RunReport;
 use conclave_engine::Table;
@@ -180,6 +181,26 @@ impl Session {
         self.run_plan(&plan)
     }
 
+    /// Compiles the query and returns its statically certified per-party
+    /// leakage report without executing anything — the programmatic form of
+    /// SQL `EXPLAIN LEAKAGE`.
+    ///
+    /// Fails with [`SessionError::Compile`] (carrying
+    /// [`CompileError::Leakage`]) if the linter proves the plan would
+    /// disclose a column to a party outside its trust set.
+    pub fn explain_leakage(&self, query: &Query) -> Result<LeakageReport, SessionError> {
+        Ok(self.compile(query)?.leakage)
+    }
+
+    /// Parses and compiles a SQL script and returns the plan's statically
+    /// certified leakage report without executing it (the script does not
+    /// need an `EXPLAIN LEAKAGE` prefix; `run_sql` handles scripts that
+    /// carry one).
+    pub fn explain_leakage_sql(&self, sql: &str) -> Result<LeakageReport, SessionError> {
+        let query = self.sql_query(sql)?;
+        self.explain_leakage(&query)
+    }
+
     /// Compiles and executes a SQL script over the bound inputs.
     ///
     /// The script's `CREATE TABLE … WITH OWNER` declarations name the input
@@ -229,7 +250,17 @@ impl Session {
     /// assert!(out.same_rows_unordered(&expected));
     /// ```
     pub fn run_sql(&self, sql: &str) -> Result<RunReport, SessionError> {
-        let query = self.sql_query(sql)?;
+        let script = self.parse_and_check(sql)?;
+        let query = conclave_sql::lower_script(&script).map_err(|e| located(e, sql))?;
+        if script.explain_leakage {
+            // `EXPLAIN LEAKAGE`: compile (which runs the leakage linter) and
+            // return the statically certified report without executing.
+            let report = self.explain_leakage(&query)?;
+            return Ok(RunReport {
+                static_leakage: Some(report),
+                ..RunReport::default()
+            });
+        }
         self.run(&query)
     }
 
@@ -237,6 +268,13 @@ impl Session {
     /// executing it, checking each declared table against the session's
     /// bound data (names and types) along the way.
     pub fn sql_query(&self, sql: &str) -> Result<Query, SessionError> {
+        let script = self.parse_and_check(sql)?;
+        conclave_sql::lower_script(&script).map_err(|e| located(e, sql))
+    }
+
+    /// Parses a SQL script and cross-checks each declared table against the
+    /// session's bound data (column names and types must match).
+    fn parse_and_check(&self, sql: &str) -> Result<conclave_sql::Script, SessionError> {
         let script = conclave_sql::parse_script(sql).map_err(|e| located(e, sql))?;
         for decl in &script.tables {
             let Some(bound) = self.bindings.get(&decl.name) else {
@@ -273,7 +311,7 @@ impl Session {
                 }
             }
         }
-        conclave_sql::lower_script(&script).map_err(|e| located(e, sql))
+        Ok(script)
     }
 
     /// Executes an already-compiled plan over the bound inputs.
@@ -384,6 +422,27 @@ mod tests {
             .unwrap_err();
         assert!(err.to_string().contains("declared STR"));
         assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn explain_leakage_sql_reports_without_executing() {
+        // No bindings at all: EXPLAIN LEAKAGE must not touch input data.
+        let session = Session::new(ConclaveConfig::standard().with_sequential_local());
+        let sql = "
+            CREATE TABLE ta (k INT, v INT) WITH OWNER p1;
+            CREATE TABLE tb (k INT, v INT) WITH OWNER p2;
+            EXPLAIN LEAKAGE
+            SELECT k, SUM(v) AS total FROM (ta UNION ALL tb) GROUP BY k REVEAL TO p1;
+        ";
+        let report = session.run_sql(sql).unwrap();
+        assert!(report.outputs.is_empty());
+        assert!(report.leakage.is_empty());
+        let static_report = report.static_leakage.expect("explain attaches the report");
+        assert!(!static_report.for_party(1).is_empty());
+        assert!(static_report.render().contains("query-output"));
+        // The programmatic form returns the same report.
+        let direct = session.explain_leakage_sql(sql).unwrap();
+        assert_eq!(direct, static_report);
     }
 
     #[test]

@@ -60,15 +60,18 @@ impl CreditGenerator {
         use std::collections::HashMap;
         let mut zip_of: HashMap<i64, i64> = HashMap::new();
         for row in &demographics.rows {
-            zip_of.insert(row[0].as_int().unwrap(), row[1].as_int().unwrap());
+            zip_of.insert(
+                row[0].as_int().expect("credit data is integer-typed"),
+                row[1].as_int().expect("credit data is integer-typed"),
+            );
         }
         let mut sums: HashMap<i64, (f64, f64)> = HashMap::new();
         for rel in scores {
             for row in &rel.rows {
-                let ssn = row[0].as_int().unwrap();
+                let ssn = row[0].as_int().expect("credit data is integer-typed");
                 if let Some(&zip) = zip_of.get(&ssn) {
                     let e = sums.entry(zip).or_insert((0.0, 0.0));
-                    e.0 += row[1].as_int().unwrap() as f64;
+                    e.0 += row[1].as_int().expect("credit data is integer-typed") as f64;
                     e.1 += 1.0;
                 }
             }

@@ -106,13 +106,13 @@ impl HealthGenerator {
             .iter()
             .flat_map(|r| r.rows.iter())
             .filter(|row| row[1].as_int() == Some(HEART_DISEASE))
-            .map(|row| row[0].as_int().unwrap())
+            .map(|row| row[0].as_int().expect("health data is integer-typed"))
             .collect();
         let medicated: HashSet<i64> = medications
             .iter()
             .flat_map(|r| r.rows.iter())
             .filter(|row| row[1].as_int() == Some(ASPIRIN))
-            .map(|row| row[0].as_int().unwrap())
+            .map(|row| row[0].as_int().expect("health data is integer-typed"))
             .collect();
         diagnosed.intersection(&medicated).count() as i64
     }
@@ -124,7 +124,9 @@ impl HealthGenerator {
         let mut counts: HashMap<i64, i64> = HashMap::new();
         for rel in diagnoses {
             for row in &rel.rows {
-                *counts.entry(row[1].as_int().unwrap()).or_default() += 1;
+                *counts
+                    .entry(row[1].as_int().expect("health data is integer-typed"))
+                    .or_default() += 1;
             }
         }
         let mut v: Vec<(i64, i64)> = counts.into_iter().collect();

@@ -7,6 +7,10 @@
 //! on — row counts, key cardinalities, cross-party overlap and group-size
 //! distributions — so every figure's workload can be regenerated at any scale.
 
+// Also enforced workspace-wide via [workspace.lints]; stated here so the
+// guarantee is visible at the crate root.
+#![forbid(unsafe_code)]
+
 pub mod credit;
 pub mod health;
 pub mod synthetic;

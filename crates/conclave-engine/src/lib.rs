@@ -25,6 +25,10 @@
 //! conversion only at genuine domain boundaries instead of at every
 //! operator edge.
 
+// Also enforced workspace-wide via [workspace.lints]; stated here so the
+// guarantee is visible at the crate root.
+#![forbid(unsafe_code)]
+
 pub mod columnar;
 pub mod cost;
 pub mod csvio;

@@ -490,7 +490,12 @@ pub fn apply_binop_batch(op: BinOp, l: &ValueBatch, r: &ValueBatch) -> ValueBatc
                 ValueBatch::Int((0..n).map(|i| a.get(i).wrapping_mul(b.get(i))).collect())
             }
             BinOp::Div => div_batch(
-                FloatViewPair(float_view(l).unwrap(), float_view(r).unwrap()),
+                // Both operands have int views, and every int batch also has
+                // a float view, so these cannot fail.
+                FloatViewPair(
+                    float_view(l).expect("int batches have float views"),
+                    float_view(r).expect("int batches have float views"),
+                ),
                 n,
             ),
             BinOp::Eq => ValueBatch::Bool((0..n).map(|i| a.get(i) == b.get(i)).collect()),

@@ -37,6 +37,10 @@
 //!   daBit bit-to-arithmetic conversion), so no operand value ever crosses
 //!   the wire unmasked.
 
+// Also enforced workspace-wide via [workspace.lints]; stated here so the
+// guarantee is visible at the crate root.
+#![forbid(unsafe_code)]
+
 pub mod backend;
 pub mod circuits;
 pub mod cost;

@@ -16,6 +16,10 @@
 //!   loopback queues), so the cost-model path and the measured path share
 //!   one interface.
 
+// Also enforced workspace-wide via [workspace.lints]; stated here so the
+// guarantee is visible at the crate root.
+#![forbid(unsafe_code)]
+
 pub mod mesh;
 pub mod message;
 pub mod model;

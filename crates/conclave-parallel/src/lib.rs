@@ -11,6 +11,10 @@
 //! slower than plain Python on tiny inputs but vastly faster on large ones
 //! (the crossover visible in Figures 1 and 4).
 
+// Also enforced workspace-wide via [workspace.lints]; stated here so the
+// guarantee is visible at the crate root.
+#![forbid(unsafe_code)]
+
 pub mod cluster;
 pub mod cost;
 pub mod exec;

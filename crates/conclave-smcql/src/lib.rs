@@ -16,6 +16,9 @@
 //! The crate provides an executable baseline for the aspirin-count and
 //! comorbidity queries plus analytic estimators used by the Figure 7 benches.
 
+// Also enforced workspace-wide via [workspace.lints]; stated here so the
+// guarantee is visible at the crate root.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod planner;

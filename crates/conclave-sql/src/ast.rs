@@ -13,11 +13,15 @@ use conclave_ir::ops::AggFunc;
 use std::fmt;
 
 /// A full SQL script: zero or more `CREATE TABLE` declarations followed by
-/// exactly one revealed `SELECT` query.
+/// exactly one revealed `SELECT` query, optionally prefixed with
+/// `EXPLAIN LEAKAGE`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Script {
     /// Input-table declarations, in source order.
     pub tables: Vec<CreateTable>,
+    /// `EXPLAIN LEAKAGE` prefix on the query: compile the plan and emit its
+    /// statically certified per-party leakage report instead of executing.
+    pub explain_leakage: bool,
     /// The query itself (must end in `REVEAL TO`).
     pub query: SelectStmt,
 }
@@ -539,6 +543,9 @@ impl fmt::Display for Script {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for t in &self.tables {
             writeln!(f, "{t};")?;
+        }
+        if self.explain_leakage {
+            write!(f, "EXPLAIN LEAKAGE ")?;
         }
         write!(f, "{};", self.query)
     }

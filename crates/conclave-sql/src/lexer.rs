@@ -118,6 +118,10 @@ pub enum Tok {
     BoolType,
     /// `TEXT` / `STRING` (column type)
     TextType,
+    /// `EXPLAIN`
+    Explain,
+    /// `LEAKAGE`
+    Leakage,
     /// `SUM`
     Sum,
     /// `COUNT`
@@ -192,6 +196,8 @@ fn keyword_text(tok: &Tok) -> &'static str {
         Tok::FloatType => "FLOAT",
         Tok::BoolType => "BOOL",
         Tok::TextType => "TEXT",
+        Tok::Explain => "EXPLAIN",
+        Tok::Leakage => "LEAKAGE",
         Tok::Sum => "SUM",
         Tok::Count => "COUNT",
         Tok::Min => "MIN",
@@ -238,6 +244,8 @@ fn keyword(word: &str) -> Option<Tok> {
         "FLOAT" | "DOUBLE" => Tok::FloatType,
         "BOOL" | "BOOLEAN" => Tok::BoolType,
         "TEXT" | "STRING" | "STR" => Tok::TextType,
+        "EXPLAIN" => Tok::Explain,
+        "LEAKAGE" => Tok::Leakage,
         "SUM" => Tok::Sum,
         "COUNT" => Tok::Count,
         "MIN" => Tok::Min,

@@ -68,6 +68,9 @@
 //! assert_eq!(query.dag.leaves().len(), 1);
 //! ```
 
+// Also enforced workspace-wide via [workspace.lints]; stated here so the
+// guarantee is visible at the crate root.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ast;
@@ -527,6 +530,54 @@ mod tests {
         let err =
             compile_sql(&format!("{decl} SELECT a AS renamed FROM t REVEAL TO p1")).unwrap_err();
         assert!(err.message.contains("renaming"));
+    }
+
+    #[test]
+    fn explain_leakage_prefix_parses_and_round_trips() {
+        let sql = "CREATE TABLE t (a INT) WITH OWNER p1;
+                   EXPLAIN LEAKAGE SELECT a FROM t REVEAL TO p1;";
+        let script = parse_script(sql).unwrap();
+        assert!(script.explain_leakage);
+        let printed = script.to_string();
+        assert!(printed.contains("EXPLAIN LEAKAGE SELECT"));
+        // Spans shift between the original and the printed text, so compare
+        // the canonical printed forms.
+        assert_eq!(parse_script(&printed).unwrap().to_string(), printed);
+        assert!(parse_script(&printed).unwrap().explain_leakage);
+        // Plain scripts do not carry the flag.
+        let script = parse_script("SELECT a FROM t REVEAL TO p1").unwrap();
+        assert!(!script.explain_leakage);
+        // EXPLAIN must be followed by LEAKAGE.
+        let err = parse_script("EXPLAIN SELECT a FROM t REVEAL TO p1").unwrap_err();
+        assert!(err.message.contains("LEAKAGE"));
+        // The explained script still lowers like the plain one.
+        let query = compile_sql(
+            "CREATE TABLE t (a INT) WITH OWNER p1;
+             EXPLAIN LEAKAGE SELECT a FROM t REVEAL TO p1;",
+        )
+        .unwrap();
+        assert!(query.dag.validate().is_ok());
+    }
+
+    #[test]
+    fn undeclared_reveal_target_is_a_spanned_error() {
+        let sql = "CREATE TABLE t (a INT) WITH OWNER p1;\nSELECT a FROM t REVEAL TO p9;";
+        let err = compile_sql(sql).unwrap_err();
+        assert!(err.message.contains("undeclared party"), "{}", err.message);
+        assert_eq!(err.line, Some(2));
+        // The caret points at the party reference, not the whole statement.
+        assert_eq!(err.span.start, sql.find("p9").unwrap());
+        // A TRUSTED BY annotation declares the party…
+        let sql = "CREATE TABLE t (a INT TRUSTED BY (p9)) WITH OWNER p1;
+                   SELECT a FROM t REVEAL TO p9;";
+        assert!(compile_sql(sql).is_ok());
+        // …as does an owner entry in an external catalog…
+        let catalog = Catalog::new().with_table("t", Schema::ints(&["a"]), Party::new(9, "ext"));
+        assert!(compile_sql_with_catalog("SELECT a FROM t REVEAL TO p9", &catalog).is_ok());
+        // …or an explicit endpoint in the reveal clause itself.
+        let sql = "CREATE TABLE t (a INT) WITH OWNER p1;
+                   SELECT a FROM t REVEAL TO p9 AT 'ext.example';";
+        assert!(compile_sql(sql).is_ok());
     }
 
     #[test]

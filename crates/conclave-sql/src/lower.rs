@@ -138,12 +138,49 @@ pub fn lower_script_with_catalog(script: &Script, external: &Catalog) -> SqlResu
         catalog,
     };
     lowerer.lower_select(&script.query)?;
+    // Checked after lowering so unresolved table/column references (which
+    // the reveal clause may depend on) report first.
+    check_reveal_targets(script, &lowerer.catalog)?;
     lowerer.builder.build().map_err(|e| {
         SqlError::at(
             script.query.span,
             format!("query failed to validate after lowering: {e}"),
         )
     })
+}
+
+/// Validates the query's `REVEAL TO` targets against the parties the script
+/// actually declares, so a typo'd recipient fails here with a caret into the
+/// reveal clause instead of surfacing as a late driver failure.
+///
+/// A party is *declared* if it owns a catalog table (script `CREATE TABLE`
+/// or external registration), appears in a `TRUSTED BY` annotation of any
+/// catalog column, or carries its own endpoint declaration in the reveal
+/// clause itself (`REVEAL TO p9 AT 'host'`).
+fn check_reveal_targets(script: &Script, catalog: &Catalog) -> SqlResult<()> {
+    let mut declared: Vec<u32> = Vec::new();
+    for (_, schema, owner) in catalog.iter() {
+        declared.push(owner.id);
+        for col in &schema.columns {
+            if let Some(ps) = col.trust.parties() {
+                declared.extend(ps.iter());
+            }
+        }
+    }
+    for p in &script.query.reveal_to {
+        if p.host.is_none() && !declared.contains(&p.id) {
+            return Err(SqlError::at(
+                p.span,
+                format!(
+                    "`REVEAL TO p{id}` names an undeclared party: p{id} owns no input \
+                     table and appears in no TRUSTED BY annotation (declare an endpoint \
+                     with `REVEAL TO p{id} AT 'host'` if the recipient is external)",
+                    id = p.id
+                ),
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// The provenance of one output column during lowering: its current (output)

@@ -17,7 +17,8 @@ use conclave_ir::expr::BinOp;
 use conclave_ir::ops::AggFunc;
 
 /// Parses a full script: zero or more `CREATE TABLE` statements followed by
-/// one `SELECT … REVEAL TO …` query. Statements are separated by `;`.
+/// one `SELECT … REVEAL TO …` query, optionally prefixed with
+/// `EXPLAIN LEAKAGE`. Statements are separated by `;`.
 pub fn parse_script(src: &str) -> SqlResult<Script> {
     let tokens = lex(src)?;
     let mut p = Parser {
@@ -30,6 +31,16 @@ pub fn parse_script(src: &str) -> SqlResult<Script> {
         tables.push(p.create_table()?);
         p.expect(&Tok::Semi, "`;` after CREATE TABLE")?;
     }
+    let explain_leakage = if p.peek_is(&Tok::Explain) {
+        p.advance();
+        p.expect(
+            &Tok::Leakage,
+            "`LEAKAGE` after EXPLAIN (only EXPLAIN LEAKAGE is supported)",
+        )?;
+        true
+    } else {
+        false
+    };
     let query = p.select_stmt(true)?;
     if p.peek_is(&Tok::Semi) {
         p.advance();
@@ -40,7 +51,11 @@ pub fn parse_script(src: &str) -> SqlResult<Script> {
             format!("expected end of input, found {}", t.tok),
         ));
     }
-    Ok(Script { tables, query })
+    Ok(Script {
+        tables,
+        explain_leakage,
+        query,
+    })
 }
 
 /// Parses a single `SELECT` statement (with a mandatory `REVEAL TO` clause).

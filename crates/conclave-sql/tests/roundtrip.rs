@@ -260,6 +260,7 @@ fn gen_script(rng: &mut StdRng) -> Script {
         tables: (0..rng.gen_range(0..3usize))
             .map(|i| gen_create_table(rng, i))
             .collect(),
+        explain_leakage: rng.gen_range(0..4) == 0,
         query: gen_select(rng, 2, true),
     }
 }

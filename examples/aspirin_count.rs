@@ -12,6 +12,10 @@
 //!
 //! Run with: `cargo run --release --example aspirin_count`
 
+// Demo/test target: panicking on bad setup is the desired behavior here
+// (the workspace-level clippy::unwrap_used lint targets library code).
+#![allow(clippy::unwrap_used)]
+
 use conclave::prelude::*;
 use conclave_data::health::{ASPIRIN, HEART_DISEASE};
 use conclave_ir::expr::Expr;

@@ -7,6 +7,10 @@
 //!
 //! Run with: `cargo run --release --example comorbidity`
 
+// Demo/test target: panicking on bad setup is the desired behavior here
+// (the workspace-level clippy::unwrap_used lint targets library code).
+#![allow(clippy::unwrap_used)]
+
 use conclave::prelude::*;
 use conclave_smcql::queries as smcql;
 use conclave_smcql::SmcqlPlanner;

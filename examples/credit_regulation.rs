@@ -8,6 +8,10 @@
 //!
 //! Run with: `cargo run --release --example credit_regulation`
 
+// Demo/test target: panicking on bad setup is the desired behavior here
+// (the workspace-level clippy::unwrap_used lint targets library code).
+#![allow(clippy::unwrap_used)]
+
 use conclave::prelude::*;
 use conclave_ir::ops::Operand;
 use conclave_ir::trust::TrustSet;

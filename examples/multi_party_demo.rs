@@ -13,6 +13,10 @@
 //! Run with: `cargo run --example multi_party_demo [channel|tcp|both]`
 //! (default: `both`; CI runs `channel` as a smoke test).
 
+// Demo/test target: panicking on bad setup is the desired behavior here
+// (the workspace-level clippy::unwrap_used lint targets library code).
+#![allow(clippy::unwrap_used)]
+
 use conclave::mpc::runtime::PartySession;
 use conclave::mpc::RingElem;
 use conclave::net::{merge_mesh_stats, TcpTransport, Transport};

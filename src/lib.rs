@@ -54,6 +54,10 @@
 //! assert!(query.dag.node_count() >= 4);
 //! ```
 
+// Also enforced workspace-wide via [workspace.lints]; stated here so the
+// guarantee is visible at the crate root.
+#![forbid(unsafe_code)]
+
 pub use conclave_core as core;
 pub use conclave_data as data;
 pub use conclave_engine as engine;
@@ -67,8 +71,9 @@ pub use conclave_sql as sql;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use conclave_core::{
-        compile, config::ConclaveConfig, config::PartyRuntime, driver::Driver, plan::PhysicalPlan,
-        report::RunReport, session::Session, session::SessionError,
+        compile, config::ConclaveConfig, config::PartyRuntime, driver::Driver, plan::CompileError,
+        plan::PhysicalPlan, report::RunReport, session::Session, session::SessionError, Disclosure,
+        DisclosureKind, LeakageReport, LeakageViolation,
     };
     pub use conclave_data::{
         credit::CreditGenerator, health::HealthGenerator, taxi::TaxiGenerator,
@@ -83,6 +88,7 @@ pub mod prelude {
         ops::AggFunc,
         party::Party,
         schema::{ColumnDef, Schema},
+        trust::TrustSet,
         types::{DataType, Value},
     };
     pub use conclave_mpc::backend::{BackendKind, MpcBackendConfig};

@@ -2,6 +2,10 @@
 //! to end over generated data and check the results against independent
 //! cleartext references, under every backend configuration.
 
+// Demo/test target: panicking on bad setup is the desired behavior here
+// (the workspace-level clippy::unwrap_used lint targets library code).
+#![allow(clippy::unwrap_used)]
+
 use conclave::prelude::*;
 use conclave_core::config::LocalBackend;
 use conclave_data::{CreditGenerator, HealthGenerator, TaxiGenerator};

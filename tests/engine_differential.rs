@@ -8,6 +8,10 @@
 //! same schema, same rows in the same order — or the same error disposition.
 //! Each operator class runs at least 64 generated cases.
 
+// Demo/test target: panicking on bad setup is the desired behavior here
+// (the workspace-level clippy::unwrap_used lint targets library code).
+#![allow(clippy::unwrap_used)]
+
 use conclave_engine::{execute, execute_vectorized, Relation};
 use conclave_ir::expr::Expr;
 use conclave_ir::ops::{AggFunc, JoinKind, Operand, Operator};

@@ -1,0 +1,153 @@
+//! Plan-lint golden corpus: `EXPLAIN LEAKAGE` over the example queries.
+//!
+//! Every query in the example corpus is compiled under the standard
+//! configuration and its statically certified [`LeakageReport`] is rendered
+//! and diffed against a checked-in golden file in `tests/golden/`. A diff
+//! means the compiler changed what some party learns — which must be a
+//! conscious, reviewed decision, never an accident.
+//!
+//! CI runs this suite as the `plan-lint` job. To refresh the goldens after
+//! an intentional change, run:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test plan_lint
+//! ```
+//!
+//! and review the resulting diff like any other code change.
+
+// Demo/test target: panicking on bad setup is the desired behavior here
+// (the workspace-level clippy::unwrap_used lint targets library code).
+#![allow(clippy::unwrap_used)]
+
+use conclave::data::health::{ASPIRIN, HEART_DISEASE};
+use conclave::ir::ops::Operand;
+use conclave::prelude::*;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.leakage.txt"))
+}
+
+/// Diffs a rendered report against its golden file (or rewrites the golden
+/// when `UPDATE_GOLDEN=1`).
+fn check_golden(name: &str, rendered: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, rendered).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+    assert_eq!(
+        rendered, expected,
+        "leakage report for `{name}` changed — a party now learns something \
+         different; if intentional, refresh with UPDATE_GOLDEN=1 and review \
+         the diff"
+    );
+}
+
+fn lint_sql(name: &str, sql: &str) {
+    let report = Session::new(ConclaveConfig::standard())
+        .explain_leakage_sql(sql)
+        .unwrap_or_else(|e| panic!("{name} failed the leakage lint: {e}"));
+    check_golden(name, &report.render());
+}
+
+fn lint_query(name: &str, query: &conclave::ir::builder::Query) {
+    let plan = compile(query, &ConclaveConfig::standard())
+        .unwrap_or_else(|e| panic!("{name} failed the leakage lint: {e}"));
+    check_golden(name, &plan.leakage.render());
+}
+
+#[test]
+fn comorbidity_leakage_is_pinned() {
+    lint_sql(
+        "comorbidity",
+        "CREATE TABLE diagnoses1 (patientID INT PUBLIC, diagnosis INT)
+             WITH OWNER p1 AT 'hospital-a.org';
+         CREATE TABLE diagnoses2 (patientID INT PUBLIC, diagnosis INT)
+             WITH OWNER p2 AT 'hospital-b.org';
+         SELECT diagnosis, COUNT(*) AS cnt
+         FROM (diagnoses1 UNION ALL diagnoses2)
+         GROUP BY diagnosis
+         ORDER BY cnt DESC
+         LIMIT 10
+         REVEAL TO p1;",
+    );
+}
+
+#[test]
+fn aspirin_count_leakage_is_pinned() {
+    lint_sql(
+        "aspirin_count",
+        &format!(
+            "CREATE TABLE diagnoses1 (patientID INT PUBLIC, diagnosis INT)
+                 WITH OWNER p1 AT 'hospital-a.org';
+             CREATE TABLE diagnoses2 (patientID INT PUBLIC, diagnosis INT)
+                 WITH OWNER p2 AT 'hospital-b.org';
+             CREATE TABLE medications1 (patientID INT PUBLIC, medication INT)
+                 WITH OWNER p1 AT 'hospital-a.org';
+             CREATE TABLE medications2 (patientID INT PUBLIC, medication INT)
+                 WITH OWNER p2 AT 'hospital-b.org';
+             SELECT COUNT(DISTINCT patientID) AS num_patients
+             FROM (diagnoses1 UNION ALL diagnoses2)
+                  JOIN (medications1 UNION ALL medications2) ON patientID = patientID
+             WHERE diagnosis = {HEART_DISEASE} AND medication = {ASPIRIN}
+             REVEAL TO p1;"
+        ),
+    );
+}
+
+/// The credit-regulation query of §2.1/§7.3 (builder form, SSN trust
+/// annotation on — the hybrid-join configuration).
+#[test]
+fn credit_regulation_leakage_is_pinned() {
+    let regulator = Party::new(1, "mpc.ftc.gov");
+    let agency_a = Party::new(2, "mpc.a.com");
+    let agency_b = Party::new(3, "mpc.b.cash");
+    let demo_schema = Schema::new(vec![
+        ColumnDef::new("ssn", DataType::Int),
+        ColumnDef::with_trust("zip", DataType::Int, TrustSet::of([1])),
+    ]);
+    let agency_schema = Schema::new(vec![
+        ColumnDef::with_trust("ssn", DataType::Int, TrustSet::of([1])),
+        ColumnDef::new("score", DataType::Int),
+    ]);
+    let mut q = QueryBuilder::new();
+    let demographics = q.input("demographics", demo_schema, regulator.clone());
+    let scores1 = q.input("scores1", agency_schema.clone(), agency_a);
+    let scores2 = q.input("scores2", agency_schema, agency_b);
+    let scores = q.concat(&[scores1, scores2]);
+    let joined = q.join(demographics, scores, &["ssn"], &["ssn"]);
+    let by_zip = q.count(joined, "count", &["zip"]);
+    let totals = q.aggregate(joined, "total", AggFunc::Sum, &["zip"], "score");
+    let combined = q.join(totals, by_zip, &["zip"], &["zip"]);
+    let avg = q.divide(
+        combined,
+        "avg_score",
+        Operand::col("total"),
+        Operand::col("count"),
+    );
+    q.collect(avg, &[regulator]);
+    lint_query("credit_regulation", &q.build().unwrap());
+}
+
+/// The two-party sales aggregation of `examples/multi_party_demo.rs`.
+#[test]
+fn multi_party_demo_leakage_is_pinned() {
+    let org_a = Party::new(1, "mpc.org-a.example");
+    let org_b = Party::new(2, "mpc.org-b.example");
+    let schema = Schema::new(vec![
+        ColumnDef::new("region", DataType::Int),
+        ColumnDef::new("amount", DataType::Int),
+    ]);
+    let mut q = QueryBuilder::new();
+    let sales_a = q.input("sales_a", schema.clone(), org_a.clone());
+    let sales_b = q.input("sales_b", schema, org_b);
+    let all_sales = q.concat(&[sales_a, sales_b]);
+    let by_region = q.aggregate(all_sales, "total", AggFunc::Sum, &["region"], "amount");
+    q.collect(by_region, &[org_a]);
+    lint_query("multi_party_demo", &q.build().unwrap());
+}

@@ -6,6 +6,10 @@
 //! one-shot conversion cache must hand back pointer-identical data on
 //! repeated access, and clones must share cache and conversion counters.
 
+// Demo/test target: panicking on bad setup is the desired behavior here
+// (the workspace-level clippy::unwrap_used lint targets library code).
+#![allow(clippy::unwrap_used)]
+
 use conclave::prelude::*;
 use conclave_engine::{ColumnarRelation, Relation, Table};
 use proptest::prelude::*;

@@ -9,6 +9,10 @@
 //! oblivious shuffle (the permutation streams differ), so relation-valued
 //! results are compared as multisets, exactly like the driver-level suites.
 
+// Demo/test target: panicking on bad setup is the desired behavior here
+// (the workspace-level clippy::unwrap_used lint targets library code).
+#![allow(clippy::unwrap_used)]
+
 use conclave::core::config::PartyRuntime;
 use conclave::core::party_exec::execute_op_distributed;
 use conclave::mpc::backend::{MpcBackendConfig, MpcEngine};

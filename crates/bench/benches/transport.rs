@@ -13,7 +13,7 @@
 //! runtime measures.
 
 use conclave_mpc::runtime::{PartyResult, PartySession, StepCtx};
-use conclave_mpc::{Protocol, RingElem};
+use conclave_mpc::{AuthShare, Protocol};
 use conclave_net::ChannelTransport;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -105,7 +105,7 @@ fn bench_multiply(c: &mut Criterion) {
                 on_mesh(|proto| {
                     let own = (proto.party() == 0).then_some(vals.as_slice());
                     let shares = proto.input_column(0, own, vals.len())?;
-                    let pairs: Vec<(RingElem, RingElem)> = shares
+                    let pairs: Vec<(AuthShare, AuthShare)> = shares
                         .chunks(2)
                         .filter_map(|c| match c {
                             [x, y] => Some((*x, *y)),

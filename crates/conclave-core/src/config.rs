@@ -41,6 +41,27 @@ impl PartyRuntime {
     }
 }
 
+/// Where the distributed party runtime's offline material (SPDZ MAC key
+/// shares, authenticated Beaver triples, binary triples, shared bits, daBits)
+/// comes from. Only meaningful when [`ConclaveConfig::party_runtime`] is
+/// distributed; the simulated engine models no offline phase.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum DealerMode {
+    /// Synthesize material in-process from the mesh seed (default). The
+    /// offline phase is elided; shares still carry MACs and every reveal is
+    /// still checked.
+    #[default]
+    Seeded,
+    /// Load pregenerated per-party `party-{i}.dealer` files from this
+    /// directory, as written by the `conclave-dealer` binary
+    /// ([`conclave_mpc::dealer::write_party_files`]).
+    File(std::path::PathBuf),
+    /// Stream blocks on demand from a dealer endpoint over a dedicated
+    /// per-party link ([`conclave_mpc::dealer::serve_party`]); the dealer's
+    /// traffic is accounted separately in the run report.
+    Streamed,
+}
+
 /// Configuration of a Conclave compilation and execution.
 ///
 /// The boolean toggles correspond to the individual optimizations the paper
@@ -74,6 +95,8 @@ pub struct ConclaveConfig {
     /// How MPC plan steps execute: simulated in-process (default) or as a
     /// real per-party mesh over a transport.
     pub party_runtime: PartyRuntime,
+    /// Where the distributed runtime's offline material comes from.
+    pub dealer: DealerMode,
 }
 
 impl ConclaveConfig {
@@ -93,6 +116,7 @@ impl ConclaveConfig {
             cluster: ClusterSpec::paper_party_cluster(),
             mpc: MpcBackendConfig::sharemind(),
             party_runtime: PartyRuntime::Simulated,
+            dealer: DealerMode::Seeded,
         }
     }
 
@@ -160,6 +184,23 @@ impl ConclaveConfig {
     pub fn with_tcp_runtime(self) -> Self {
         self.with_party_runtime(PartyRuntime::Tcp)
     }
+
+    /// Returns a copy drawing offline material from the given dealer source.
+    pub fn with_dealer(mut self, dealer: DealerMode) -> Self {
+        self.dealer = dealer;
+        self
+    }
+
+    /// Returns a copy loading per-party dealer files from `dir`.
+    pub fn with_dealer_files(self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.with_dealer(DealerMode::File(dir.into()))
+    }
+
+    /// Returns a copy streaming offline material from a dealer endpoint over
+    /// dedicated per-party links.
+    pub fn with_streamed_dealer(self) -> Self {
+        self.with_dealer(DealerMode::Streamed)
+    }
 }
 
 impl Default for ConclaveConfig {
@@ -220,5 +261,20 @@ mod tests {
         assert!(c.party_runtime.is_distributed());
         let c = ConclaveConfig::standard().with_party_runtime(PartyRuntime::default());
         assert_eq!(c.party_runtime, PartyRuntime::Simulated);
+    }
+
+    #[test]
+    fn dealer_modes() {
+        assert_eq!(ConclaveConfig::standard().dealer, DealerMode::Seeded);
+        assert_eq!(DealerMode::default(), DealerMode::Seeded);
+        let c = ConclaveConfig::standard().with_streamed_dealer();
+        assert_eq!(c.dealer, DealerMode::Streamed);
+        let c = ConclaveConfig::standard().with_dealer_files("/tmp/material");
+        assert_eq!(
+            c.dealer,
+            DealerMode::File(std::path::PathBuf::from("/tmp/material"))
+        );
+        let c = c.with_dealer(DealerMode::Seeded);
+        assert_eq!(c.dealer, DealerMode::Seeded);
     }
 }

@@ -255,10 +255,11 @@ impl Driver {
             let node = plan.dag.node(id)?;
             if pipelined(node) {
                 if mesh_rt.is_none() {
-                    mesh_rt = Some(party_exec::PartyMeshRuntime::new(
+                    mesh_rt = Some(party_exec::PartyMeshRuntime::with_dealer(
                         self.mpc.config().kind.parties(),
                         self.config.mpc.seed,
                         self.config.party_runtime,
+                        &self.config.dealer,
                     )?);
                 }
                 let rt = mesh_rt.as_mut().expect("just created");
@@ -460,6 +461,7 @@ impl Driver {
             report.net.merge(&summary.net);
             report.network_bytes += summary.net.total_bytes();
             report.net_measured = true;
+            report.dealer_net = summary.dealer_net;
         }
         // Tally per-run conversions. Clones share one counter, so count each
         // distinct cache once, from its earliest baseline.

@@ -54,7 +54,7 @@ pub mod session;
 
 pub use analysis::{propagate_ownership, propagate_trust};
 pub use cardinality::{CardinalityEstimator, RuntimeEstimate, WorkloadStats};
-pub use config::{ConclaveConfig, PartyRuntime};
+pub use config::{ConclaveConfig, DealerMode, PartyRuntime};
 pub use driver::Driver;
 pub use passes::leakage::{Disclosure, DisclosureKind, LeakageReport, LeakageViolation};
 pub use plan::{compile, CompileError, CompileResult, PhysicalPlan};

@@ -38,21 +38,28 @@
 //! cell-identical results. [`execute_op_distributed`] survives as a
 //! single-step convenience wrapper over the runtime.
 
-use crate::config::PartyRuntime;
+use crate::config::{DealerMode, PartyRuntime};
 use crate::driver::DriverError;
 use conclave_engine::{Relation, Table};
 use conclave_ir::ops::Operator;
 use conclave_ir::schema::Schema;
 use conclave_mpc::cost::PrimitiveCounts;
+use conclave_mpc::dealer::{load_party_file, serve_party, DealerSource};
 use conclave_mpc::runtime::{
     begin_open_relation, execute_party_op, finish_open_relation, share_relation, PartyError,
     PartyRelation, PartySession, PendingOpen,
 };
 use conclave_mpc::MpcError;
-use conclave_net::{merge_mesh_stats, Mesh, NetStats, Transport};
+use conclave_net::{merge_mesh_stats, ChannelTransport, Mesh, NetStats, Transport};
 use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::thread::JoinHandle;
+
+/// Sentinel party id standing for the dealer endpoint in
+/// [`MeshSummary::dealer_net`] link keys: each party's dedicated offline link
+/// is re-keyed `(party, DEALER_ID)` / `(DEALER_ID, party)`.
+pub const DEALER_ID: u32 = u32::MAX;
 
 /// Whether the party-runtime protocol drivers execute this operator.
 ///
@@ -105,6 +112,11 @@ pub struct MeshSummary {
     pub steps: Vec<StepOutcome>,
     /// Per-link bytes/messages, synchronous rounds, and mesh builds.
     pub net: NetStats,
+    /// Traffic on the dedicated per-party dealer links (the offline phase),
+    /// present only under [`DealerMode::Streamed`]. Link keys use
+    /// [`DEALER_ID`] for the dealer endpoint; this traffic is accounted
+    /// separately from the online mesh in [`MeshSummary::net`].
+    pub dealer_net: Option<NetStats>,
 }
 
 /// A step as shipped to one worker: the owning parties' copies carry the
@@ -134,16 +146,37 @@ enum WorkMsg {
 
 type WorkerReply = (u32, Result<StepOutcome, PartyError>);
 
+/// What one worker thread needs to set up its session's offline feed.
+enum WorkerDealer {
+    /// Synthesize material from the mesh seed in-process.
+    Seeded,
+    /// Load this party's pregenerated dealer file.
+    File(PathBuf),
+    /// Stream blocks over this dedicated link (the party holds endpoint 0,
+    /// the dealer server endpoint 1).
+    Link(Box<dyn Transport>),
+}
+
 struct WorkerHandle {
     work: Sender<WorkMsg>,
     replies: Receiver<WorkerReply>,
-    join: Option<JoinHandle<NetStats>>,
+    join: Option<JoinHandle<(NetStats, Option<NetStats>)>>,
 }
+
+/// A streamed-mode dealer server thread: yields whether serving succeeded
+/// and the traffic observed on the dealer's end of the link.
+type DealerServerHandle = JoinHandle<(Result<(), PartyError>, NetStats)>;
 
 /// The query-lifetime distributed runtime: one mesh, one worker thread and
 /// one [`PartySession`] per party, a pipelined work queue of plan steps.
+/// Under a non-seeded [`DealerMode`] the offline phase runs first: per-party
+/// dealer files are loaded, or a dealer server thread per party streams
+/// blocks over a dedicated link for the lifetime of the query.
 pub struct PartyMeshRuntime {
     workers: Vec<WorkerHandle>,
+    /// In-process dealer servers (streamed mode), one per party, joined at
+    /// [`PartyMeshRuntime::finish`] once the workers drop their link ends.
+    dealer_servers: Vec<(u32, DealerServerHandle)>,
     next_step: u32,
     /// Replies received out of order, per worker, keyed by step.
     buffered: Vec<HashMap<u32, StepOutcome>>,
@@ -152,8 +185,19 @@ pub struct PartyMeshRuntime {
 }
 
 impl PartyMeshRuntime {
-    /// Builds the mesh (once) and spawns the per-party workers (once).
+    /// Builds the mesh (once) and spawns the per-party workers (once),
+    /// synthesizing offline material from the seed ([`DealerMode::Seeded`]).
     pub fn new(parties: u32, seed: u64, runtime: PartyRuntime) -> Result<Self, DriverError> {
+        Self::with_dealer(parties, seed, runtime, &DealerMode::Seeded)
+    }
+
+    /// Builds the mesh and workers with an explicit offline-material source.
+    pub fn with_dealer(
+        parties: u32,
+        seed: u64,
+        runtime: PartyRuntime,
+        dealer: &DealerMode,
+    ) -> Result<Self, DriverError> {
         let mesh = match runtime {
             PartyRuntime::Simulated => {
                 return Err(DriverError::Mpc(MpcError::Exec(
@@ -163,13 +207,39 @@ impl PartyMeshRuntime {
             PartyRuntime::Channel => Mesh::channel(parties),
             PartyRuntime::Tcp => Mesh::tcp_localhost(parties).map_err(DriverError::Transport)?,
         };
+        let mut dealer_servers = Vec::new();
         let workers: Vec<WorkerHandle> = mesh
             .into_endpoints()
             .into_iter()
-            .map(|net| {
+            .enumerate()
+            .map(|(i, net)| {
+                let feed = match dealer {
+                    DealerMode::Seeded => WorkerDealer::Seeded,
+                    DealerMode::File(dir) => {
+                        WorkerDealer::File(dir.join(format!("party-{i}.dealer")))
+                    }
+                    DealerMode::Streamed => {
+                        // One dedicated 2-endpoint link per party: the party
+                        // keeps endpoint 0, the dealer server thread serves
+                        // on endpoint 1 until the party drops its end.
+                        let mut ends = ChannelTransport::mesh(2).into_iter();
+                        let party_end = ends.next().expect("two endpoints");
+                        let dealer_end = ends.next().expect("two endpoints");
+                        let party = i as u32;
+                        dealer_servers.push((
+                            party,
+                            std::thread::spawn(move || {
+                                let served = serve_party(&dealer_end, party, parties, seed);
+                                (served, dealer_end.stats())
+                            }),
+                        ));
+                        WorkerDealer::Link(Box::new(party_end))
+                    }
+                };
                 let (work_tx, work_rx) = std::sync::mpsc::channel();
                 let (reply_tx, reply_rx) = std::sync::mpsc::channel();
-                let join = std::thread::spawn(move || worker_main(net, seed, work_rx, reply_tx));
+                let join =
+                    std::thread::spawn(move || worker_main(net, seed, feed, work_rx, reply_tx));
                 WorkerHandle {
                     work: work_tx,
                     replies: reply_rx,
@@ -180,6 +250,7 @@ impl PartyMeshRuntime {
         let buffered = workers.iter().map(|_| HashMap::new()).collect();
         Ok(PartyMeshRuntime {
             workers,
+            dealer_servers,
             next_step: 0,
             buffered,
             completed: BTreeMap::new(),
@@ -266,18 +337,39 @@ impl PartyMeshRuntime {
             }
         }
         // Join every worker even on error, so no thread outlives the query.
-        let stats: Vec<NetStats> = self
-            .workers
-            .iter_mut()
-            .filter_map(|w| w.join.take())
-            .map(|j| j.join().expect("party worker panicked"))
-            .collect();
+        let mut mesh_stats = Vec::new();
+        let mut dealer_net: Option<NetStats> = None;
+        for (i, w) in self.workers.iter_mut().enumerate() {
+            if let Some(j) = w.join.take() {
+                let (net, dealer) = j.join().expect("party worker panicked");
+                mesh_stats.push(net);
+                if let Some(d) = dealer {
+                    dealer_net
+                        .get_or_insert_with(NetStats::default)
+                        .merge(&remap_dealer_stats(i as u32, d));
+                }
+            }
+        }
+        // The workers dropped their link ends above, so the dealer servers
+        // have observed the disconnect and returned.
+        for (party, j) in self.dealer_servers.drain(..) {
+            let (served, stats) = j.join().expect("dealer server panicked");
+            if let Err(e) = served {
+                if first_err.is_none() {
+                    first_err = Some(party_to_driver_error(e));
+                }
+            }
+            dealer_net
+                .get_or_insert_with(NetStats::default)
+                .merge(&remap_dealer_stats(party, stats));
+        }
         if let Some(e) = first_err {
             return Err(e);
         }
         Ok(MeshSummary {
             steps: std::mem::take(&mut self.completed).into_values().collect(),
-            net: merge_mesh_stats(stats),
+            net: merge_mesh_stats(mesh_stats),
+            dealer_net,
         })
     }
 
@@ -345,7 +437,29 @@ impl Drop for PartyMeshRuntime {
                 let _ = j.join();
             }
         }
+        // Dealer servers exit once their party's worker (link owner) is gone.
+        for (_, j) in self.dealer_servers.drain(..) {
+            let _ = j.join();
+        }
     }
+}
+
+/// Re-keys one party's 2-endpoint dealer-link stats (party = endpoint 0,
+/// dealer = endpoint 1) into mesh-wide ids: the party's real id and
+/// [`DEALER_ID`]. `mesh_builds` is dropped — the dedicated links are part of
+/// the offline phase, not extra online mesh constructions.
+fn remap_dealer_stats(party: u32, stats: NetStats) -> NetStats {
+    let mut out = NetStats {
+        rounds: stats.rounds,
+        bytes_by_kind: stats.bytes_by_kind,
+        ..NetStats::default()
+    };
+    for ((from, to), link) in stats.links {
+        let f = if from == 1 { DEALER_ID } else { party };
+        let t = if to == 1 { DEALER_ID } else { party };
+        out.links.insert((f, t), link);
+    }
+    out
 }
 
 /// A reveal whose broadcast went out when the step executed, still waiting
@@ -357,13 +471,39 @@ struct DeferredOpen {
 
 /// The per-party worker: one [`PartySession`] for the whole query, resident
 /// shares between steps, deferred opens flushed when the queue runs dry.
+/// Returns the online mesh stats plus, in streamed-dealer mode, this
+/// endpoint's request traffic on its dedicated dealer link.
 fn worker_main(
     net: Box<dyn Transport>,
     seed: u64,
+    dealer: WorkerDealer,
     work: Receiver<WorkMsg>,
     replies: Sender<WorkerReply>,
-) -> NetStats {
-    let mut sess = PartySession::new(&*net, seed);
+) -> (NetStats, Option<NetStats>) {
+    let source = match dealer {
+        WorkerDealer::Seeded => Ok(DealerSource::Seeded),
+        WorkerDealer::File(path) => {
+            load_party_file(&path).map(|b| DealerSource::Preloaded(Box::new(b)))
+        }
+        WorkerDealer::Link(link) => Ok(DealerSource::Streamed { link, dealer: 1 }),
+    };
+    let mut sess = match source.and_then(|s| PartySession::with_dealer(&*net, seed, s)) {
+        Ok(sess) => sess,
+        Err(e) => {
+            // The offline phase failed (unreadable file, dead dealer): fail
+            // every queued step so the driver surfaces it, then exit.
+            let msg = format!("offline phase failed: {e}");
+            while let Ok(m) = work.recv() {
+                match m {
+                    WorkMsg::Finish => break,
+                    WorkMsg::Step(spec) => {
+                        let _ = replies.send((spec.step, Err(PartyError::Proto(msg.clone()))));
+                    }
+                }
+            }
+            return (net.stats(), None);
+        }
+    };
     let mut resident: HashMap<u32, PartyRelation> = HashMap::new();
     let mut deferred: Vec<DeferredOpen> = Vec::new();
     loop {
@@ -413,7 +553,8 @@ fn worker_main(
         }
     }
     flush_opens(&mut sess, &mut deferred, &replies);
-    net.stats()
+    let dealer_net = sess.dealer_stats();
+    (net.stats(), dealer_net)
 }
 
 /// Shares fresh inputs, resolves resident ones, executes the operator, and —
@@ -474,7 +615,11 @@ fn run_step(
 }
 
 /// Collects every deferred open (FIFO — all parties flush in enqueue order,
-/// keeping receives aligned) and reports the completed outcomes.
+/// keeping receives aligned), runs the deferred SPDZ MAC check over
+/// everything opened since the last check, and reports the completed
+/// outcomes. Every reveal boundary passes through
+/// [`PartySession::check_integrity`] — a tampered or mis-MAC'd open turns
+/// into [`PartyError::Integrity`] here instead of leaking a wrong value.
 fn flush_opens(
     sess: &mut PartySession,
     deferred: &mut Vec<DeferredOpen>,
@@ -482,10 +627,17 @@ fn flush_opens(
 ) {
     for d in deferred.drain(..) {
         let step = d.outcome.step;
-        let reply = match finish_open_relation(sess, d.pending) {
+        let before = sess.counts();
+        let reply = match finish_open_relation(sess, d.pending)
+            .and_then(|rel| sess.check_integrity().map(|()| rel))
+        {
             Ok(rel) => {
                 let mut outcome = d.outcome;
                 outcome.opened = Some(rel);
+                // The collected open and its MAC check run outside the step
+                // context; fold their counts into the revealing step so the
+                // cross-party counts-equality check still covers them.
+                outcome.counts.merge(&sess.counts().since(&before));
                 Ok(outcome)
             }
             Err(e) => Err(e),
@@ -542,6 +694,9 @@ fn party_to_driver_error(e: PartyError) -> DriverError {
         PartyError::Net(t) => DriverError::Transport(t),
         PartyError::Proto(s) => DriverError::Mpc(MpcError::Exec(s)),
         PartyError::Unsupported(s) => DriverError::Mpc(MpcError::Unsupported(s)),
+        PartyError::Integrity(s) => {
+            DriverError::Mpc(MpcError::Exec(format!("integrity violation: {s}")))
+        }
     }
 }
 
@@ -640,6 +795,102 @@ mod tests {
             execute_op_distributed(&op, &[&table], 3, 1, PartyRuntime::Channel, false),
             Err(DriverError::Mpc(MpcError::Unsupported(_)))
         ));
+    }
+
+    fn run_with_dealer(dealer: &DealerMode) -> (Relation, MeshSummary) {
+        let table = sales_table();
+        let op = Operator::Aggregate {
+            group_by: vec!["companyID".into()],
+            func: AggFunc::Sum,
+            over: Some("price".into()),
+            out: "rev".into(),
+        };
+        let mut rt = PartyMeshRuntime::with_dealer(3, 42, PartyRuntime::Channel, dealer).unwrap();
+        let step = rt
+            .enqueue(
+                &op,
+                vec![StepInput::Table(table.as_rows().clone())],
+                false,
+                true,
+            )
+            .unwrap();
+        let opened = rt.wait_opened(step).unwrap();
+        let summary = rt.finish().unwrap();
+        (opened, summary)
+    }
+
+    #[test]
+    fn dealer_file_mode_matches_the_seeded_runtime() {
+        let dir = std::env::temp_dir().join(format!(
+            "conclave-dealer-files-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        conclave_mpc::dealer::write_party_files(&dir, 42, 3, Default::default()).unwrap();
+        let (seeded, seeded_summary) = run_with_dealer(&DealerMode::Seeded);
+        let (filed, filed_summary) = run_with_dealer(&DealerMode::File(dir.clone()));
+        std::fs::remove_dir_all(&dir).ok();
+        // Same result set (row order may differ: the seeded mode's α draw
+        // shifts the common stream, so shuffle permutations differ).
+        assert!(seeded.same_rows_unordered(&filed), "got\n{filed}");
+        // Pregenerated files involve no dedicated links and no extra mesh.
+        assert!(filed_summary.dealer_net.is_none());
+        assert_eq!(filed_summary.net.mesh_builds, 1);
+        // Both modes check the reveal: the MAC check is part of the step.
+        for s in [&seeded_summary, &filed_summary] {
+            assert!(
+                s.steps[0].counts.mac_checks >= 1,
+                "reveal boundary must run the deferred MAC check"
+            );
+        }
+    }
+
+    #[test]
+    fn streamed_dealer_attributes_offline_traffic_separately() {
+        let (seeded, _) = run_with_dealer(&DealerMode::Seeded);
+        let (streamed, summary) = run_with_dealer(&DealerMode::Streamed);
+        assert!(seeded.same_rows_unordered(&streamed), "got\n{streamed}");
+        assert_eq!(summary.net.mesh_builds, 1, "dealer links are not a mesh");
+        let dealer = summary.dealer_net.expect("streamed mode measures links");
+        assert!(dealer.total_bytes() > 0, "offline blocks crossed the links");
+        assert!(
+            dealer
+                .links
+                .keys()
+                .any(|&(f, t)| f == DEALER_ID || t == DEALER_ID),
+            "dealer traffic is keyed by the dealer sentinel: {:?}",
+            dealer.links.keys().collect::<Vec<_>>()
+        );
+        // Offline traffic never leaks into the online accounting.
+        assert!(summary
+            .net
+            .links
+            .keys()
+            .all(|&(f, t)| f != DEALER_ID && t != DEALER_ID));
+    }
+
+    #[test]
+    fn missing_dealer_files_surface_as_errors() {
+        let dir = std::env::temp_dir().join("conclave-no-such-dealer-dir");
+        let table = sales_table();
+        let op = Operator::Shuffle;
+        let mut rt =
+            PartyMeshRuntime::with_dealer(3, 42, PartyRuntime::Channel, &DealerMode::File(dir))
+                .unwrap();
+        let step = rt
+            .enqueue(
+                &op,
+                vec![StepInput::Table(table.as_rows().clone())],
+                false,
+                true,
+            )
+            .unwrap();
+        let err = rt.wait_opened(step).unwrap_err();
+        assert!(
+            format!("{err:?}").contains("offline phase failed"),
+            "got {err:?}"
+        );
     }
 
     #[test]

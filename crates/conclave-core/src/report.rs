@@ -53,6 +53,12 @@ pub struct RunReport {
     /// True when [`RunReport::net`] holds measured transport statistics
     /// (i.e. MPC steps ran on the distributed party runtime).
     pub net_measured: bool,
+    /// Traffic on the dedicated per-party dealer links (the offline phase),
+    /// present only when the run streamed its material from a dealer. Link
+    /// keys use [`crate::party_exec::DEALER_ID`] for the dealer endpoint;
+    /// kept separate from [`RunReport::net`] so offline bytes never blur the
+    /// online round/byte accounting the paper's cost model is about.
+    pub dealer_net: Option<NetStats>,
     /// Aggregated MPC statistics (primitive counts, gates, memory).
     pub mpc_stats: MpcStepStats,
     /// Leakage audit log (dynamic: recorded as reveals actually happen).
@@ -144,6 +150,36 @@ impl fmt::Display for RunReport {
                     f,
                     "  link P{from} -> P{to}: {} B in {} messages",
                     link.bytes, link.messages
+                )?;
+            }
+            writeln!(
+                f,
+                "integrity: {} deferred MAC check(s) at reveal boundaries",
+                self.mpc_stats.counts.mac_checks
+            )?;
+        }
+        if let Some(dealer) = &self.dealer_net {
+            writeln!(
+                f,
+                "offline (dealer) traffic: {} B over {} messages",
+                dealer.total_bytes(),
+                dealer.total_messages()
+            )?;
+            for ((from, to), link) in &dealer.links {
+                let name = |p: &u32| {
+                    if *p == crate::party_exec::DEALER_ID {
+                        "dealer".to_string()
+                    } else {
+                        format!("P{p}")
+                    }
+                };
+                writeln!(
+                    f,
+                    "  link {} -> {}: {} B in {} messages",
+                    name(from),
+                    name(to),
+                    link.bytes,
+                    link.messages
                 )?;
             }
         }

@@ -49,17 +49,20 @@
 //! exchange, preserving the round-coalescing the runtime's callers (sorting
 //! network, filter, join, aggregate) rely on.
 //!
-//! # What is still simulated
+//! # Where the masks come from
 //!
-//! The masks and triples come from the session's *common-seed dealer* (the
-//! same fidelity substitution the arithmetic Beaver triples already use): a
-//! party that knows the dealer seed could reconstruct the masks. The
+//! The masks and triples come from the session's [`crate::dealer`] source:
+//! per-party files or a dedicated dealer link in the real offline/online
+//! split, or the seeded in-process substitute (where a party that knows the
+//! dealer seed could reconstruct the masks — see `docs/SECURITY.md`). The
 //! *online* protocol — what actually crosses the wire — is the real circuit
-//! protocol, which is what the wire-privacy test pins. See
-//! `docs/SECURITY.md` for the full leakage statement.
+//! protocol, which is what the wire-privacy test pins, and every arithmetic
+//! opening carries its SPDZ MAC share into the session's deferred
+//! integrity check.
 
 use crate::ring::RingElem;
 use crate::runtime::{PartyResult, StepCtx};
+use crate::share::AuthShare;
 
 /// Kogge-Stone carry-prefix shift schedule for 64-bit words.
 const KS_SHIFTS: [u32; 6] = [1, 2, 4, 8, 16, 32];
@@ -69,7 +72,10 @@ const EQ_FOLDS: [u32; 6] = [32, 16, 8, 4, 2, 1];
 
 /// Batched signed less-than on shares: returns an additive sharing of `1`
 /// where `x < y` (as `i64`), `0` elsewhere. 9 rounds for the whole batch.
-pub fn lt_batch(ctx: &mut StepCtx, pairs: &[(RingElem, RingElem)]) -> PartyResult<Vec<RingElem>> {
+pub fn lt_batch(
+    ctx: &mut StepCtx,
+    pairs: &[(AuthShare, AuthShare)],
+) -> PartyResult<Vec<AuthShare>> {
     let m = pairs.len();
     if m == 0 {
         return Ok(Vec::new());
@@ -121,15 +127,18 @@ pub fn lt_batch(ctx: &mut StepCtx, pairs: &[(RingElem, RingElem)]) -> PartyResul
 
 /// Batched equality on shares: returns an additive sharing of `1` where
 /// `x == y`, `0` elsewhere. 8 rounds for the whole batch.
-pub fn eq_batch(ctx: &mut StepCtx, pairs: &[(RingElem, RingElem)]) -> PartyResult<Vec<RingElem>> {
+pub fn eq_batch(
+    ctx: &mut StepCtx,
+    pairs: &[(AuthShare, AuthShare)],
+) -> PartyResult<Vec<AuthShare>> {
     let m = pairs.len();
     if m == 0 {
         return Ok(Vec::new());
     }
     // z = x − y; z == 0 ⟺ r == −c for the opened mask c = z − r.
-    let z: Vec<RingElem> = pairs.iter().map(|&(x, y)| x - y).collect();
-    let masks = ctx.take_shared_bits(m);
-    let masked: Vec<RingElem> = z
+    let z: Vec<AuthShare> = pairs.iter().map(|&(x, y)| x - y).collect();
+    let masks = ctx.take_shared_bits(m)?;
+    let masked: Vec<AuthShare> = z
         .iter()
         .zip(&masks)
         .map(|(&zi, &(_, r_add))| zi - r_add)
@@ -162,9 +171,9 @@ pub fn eq_batch(ctx: &mut StepCtx, pairs: &[(RingElem, RingElem)]) -> PartyResul
 /// Opens `c = z − r` for dealer masks `r` (uniform, reveals nothing on the
 /// wire) and runs the carry adder to produce one XOR-shared word of the bits
 /// of each `z`.
-fn bit_decompose(ctx: &mut StepCtx, values: &[RingElem]) -> PartyResult<Vec<u64>> {
-    let masks = ctx.take_shared_bits(values.len());
-    let masked: Vec<RingElem> = values
+fn bit_decompose(ctx: &mut StepCtx, values: &[AuthShare]) -> PartyResult<Vec<u64>> {
+    let masks = ctx.take_shared_bits(values.len())?;
+    let masked: Vec<AuthShare> = values
         .iter()
         .zip(&masks)
         .map(|(&z, &(_, r_add))| z - r_add)
@@ -230,7 +239,7 @@ fn and_words(ctx: &mut StepCtx, x: &[u64], y: &[u64], label: &str) -> PartyResul
     if x.is_empty() {
         return Ok(Vec::new());
     }
-    let triples = ctx.take_bit_triples(x.len());
+    let triples = ctx.take_bit_triples(x.len())?;
     let mut masked = Vec::with_capacity(2 * x.len());
     for (i, t) in triples.iter().enumerate() {
         masked.push(x[i] ^ t.0);
@@ -256,27 +265,23 @@ fn and_words(ctx: &mut StepCtx, x: &[u64], y: &[u64], label: &str) -> PartyResul
 
 /// Converts packed XOR-shared bits (the low `nbits` across `words`) into
 /// additive sharings of 0/1 using daBits: one masked XOR-opening round.
-fn bits_to_additive(ctx: &mut StepCtx, words: &[u64], nbits: usize) -> PartyResult<Vec<RingElem>> {
-    let dabits = ctx.take_dabits(words.len());
+fn bits_to_additive(ctx: &mut StepCtx, words: &[u64], nbits: usize) -> PartyResult<Vec<AuthShare>> {
+    let dabits = ctx.take_dabits(words.len())?;
     let masked: Vec<u64> = words
         .iter()
         .zip(&dabits)
         .map(|(w, (rho_bits, _))| w ^ rho_bits)
         .collect();
     let v = ctx.open_xor_words(&masked, "bit2a open")?;
-    let party0 = ctx.party() == 0;
     let mut out = Vec::with_capacity(nbits);
     for k in 0..nbits {
         let w = k / 64;
         let bit = (v[w] >> (k % 64)) & 1;
         let rho = dabits[w].1[k % 64];
-        // [t] = v + (1 − 2v)·[ρ]: v = 0 keeps ρ, v = 1 takes 1 − ρ.
+        // [t] = v + (1 − 2v)·[ρ]: v = 0 keeps ρ, v = 1 takes 1 − ρ (a
+        // public-constant subtraction, so the MAC adjusts by α_i·1).
         out.push(if bit == 1 {
-            if party0 {
-                RingElem::from_i64(1) - rho
-            } else {
-                RingElem::ZERO - rho
-            }
+            ctx.constant_elem(RingElem::ONE) - rho
         } else {
             rho
         });
@@ -337,7 +342,7 @@ mod tests {
             let own = proto.party() == owner;
             let sx = proto.input_column(owner, own.then_some(xs.as_slice()), xs.len())?;
             let sy = proto.input_column(owner, own.then_some(ys.as_slice()), ys.len())?;
-            let pairs: Vec<(RingElem, RingElem)> = sx.into_iter().zip(sy).collect();
+            let pairs: Vec<(AuthShare, AuthShare)> = sx.into_iter().zip(sy).collect();
             let bits = proto.lt_batch(&pairs)?;
             proto.open_column(&bits)
         });
@@ -362,7 +367,7 @@ mod tests {
             let own = proto.party() == owner;
             let sx = proto.input_column(owner, own.then_some(xs.as_slice()), xs.len())?;
             let sy = proto.input_column(owner, own.then_some(ys.as_slice()), ys.len())?;
-            let pairs: Vec<(RingElem, RingElem)> = sx.into_iter().zip(sy).collect();
+            let pairs: Vec<(AuthShare, AuthShare)> = sx.into_iter().zip(sy).collect();
             let bits = proto.eq_batch(&pairs)?;
             proto.open_column(&bits)
         });
@@ -389,7 +394,7 @@ mod tests {
             let own = proto.party() == owner;
             let sx = proto.input_column(owner, own.then_some(xs.as_slice()), xs.len())?;
             let sy = proto.input_column(owner, own.then_some(ys.as_slice()), ys.len())?;
-            let pairs: Vec<(RingElem, RingElem)> = sx.into_iter().zip(sy).collect();
+            let pairs: Vec<(AuthShare, AuthShare)> = sx.into_iter().zip(sy).collect();
             let lt = proto.lt_batch(&pairs)?;
             let eq = proto.eq_batch(&pairs)?;
             Ok((proto.open_column(&lt)?, proto.open_column(&eq)?))
@@ -415,7 +420,7 @@ mod tests {
                 let own = proto.party() == owner;
                 let sx = proto.input_column(owner, own.then_some(xs.as_slice()), xs.len())?;
                 let sy = proto.input_column(owner, own.then_some(ys.as_slice()), ys.len())?;
-                let pairs: Vec<(RingElem, RingElem)> = sx.into_iter().zip(sy).collect();
+                let pairs: Vec<(AuthShare, AuthShare)> = sx.into_iter().zip(sy).collect();
                 let before = proto.counts();
                 proto.lt_batch(&pairs)?;
                 let lt_rounds = proto.counts().since(&before).circuit_rounds;

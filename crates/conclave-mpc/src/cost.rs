@@ -51,6 +51,10 @@ pub struct PrimitiveCounts {
     /// openings, prefix-adder levels, bit-to-arithmetic conversions). Like
     /// [`PrimitiveCounts::bit_ands`], only the circuit path reports these.
     pub circuit_rounds: u64,
+    /// Deferred SPDZ MAC checks performed at reveal boundaries (each costs
+    /// two synchronous rounds: a commitment broadcast and a sigma opening).
+    /// Zero on the in-process oracle path and in unauthenticated sessions.
+    pub mac_checks: u64,
 }
 
 impl PrimitiveCounts {
@@ -64,6 +68,7 @@ impl PrimitiveCounts {
         self.shuffled_elems += other.shuffled_elems;
         self.bit_ands += other.bit_ands;
         self.circuit_rounds += other.circuit_rounds;
+        self.mac_checks += other.mac_checks;
     }
 
     /// The counts accumulated since `baseline` was snapshotted (field-wise
@@ -79,6 +84,7 @@ impl PrimitiveCounts {
             shuffled_elems: self.shuffled_elems - baseline.shuffled_elems,
             bit_ands: self.bit_ands - baseline.bit_ands,
             circuit_rounds: self.circuit_rounds - baseline.circuit_rounds,
+            mac_checks: self.mac_checks - baseline.mac_checks,
         }
     }
 
@@ -272,9 +278,11 @@ mod tests {
             shuffled_elems: 5,
             bit_ands: 0,
             circuit_rounds: 0,
+            mac_checks: 1,
         };
         a.merge(&b);
         assert_eq!(a.mults, 11);
+        assert_eq!(a.mac_checks, 1);
         assert_eq!(a.nonlinear_ops(), 11 + 5 + 2);
         assert_eq!(a.bytes(), 16 * 18 + 8 * 7 + 8 * 5);
     }

@@ -1,0 +1,961 @@
+//! The offline phase: a standalone dealer producing authenticated correlated
+//! randomness for the online party runtime.
+//!
+//! Production SPDZ-family deployments split work into an **offline phase**
+//! that pregenerates correlated randomness — Beaver triples, binary triples,
+//! shared random bits, daBits, input masks — and a fast **online phase** that
+//! only consumes it. This module implements the dealer side of that split for
+//! the party runtime in [`crate::runtime`]:
+//!
+//! * [`DealerStream`] derives the material deterministically from a dealer
+//!   seed, with a domain-separated RNG per material type so independent
+//!   consumers (one per party link) generate identical global streams no
+//!   matter how block requests interleave across types.
+//! * Every arithmetic value is dealt as a SPDZ-authenticated sharing
+//!   ([`crate::share::AuthShare`]): additive shares of the value plus
+//!   additive shares of its MAC `α·x` under the dealer's global key `α`.
+//! * Material reaches a party either **preloaded** — written to per-party
+//!   files by [`write_party_files`] and loaded with [`load_party_file`] — or
+//!   **streamed** on demand over a dedicated two-endpoint link served by
+//!   [`serve_party`] (wire kind [`MessageKind::Dealer`]).
+//!
+//! The trusted-dealer trust model itself is unchanged from the paper's
+//! Sharemind-style deployment (see `docs/SECURITY.md`); what the split buys
+//! is that *computing parties no longer hold the dealer seed*, so no computing
+//! party can unmask another party's masked openings, and the MACs extend the
+//! guarantee from "passive observer learns nothing" to "active tampering is
+//! detected before any result is revealed".
+
+use crate::ring::RingElem;
+use crate::runtime::{PartyError, PartyResult};
+use crate::share::AuthShare;
+use conclave_net::{MessageKind, Transport, TransportError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::fmt;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Block-request code: the requesting party's share of the MAC key `α`.
+pub const REQ_ALPHA: u64 = 0;
+/// Block-request code: arithmetic Beaver triples.
+pub const REQ_TRIPLES: u64 = 1;
+/// Block-request code: binary (bitwise-AND) Beaver triples.
+pub const REQ_BIT_TRIPLES: u64 = 2;
+/// Block-request code: shared random bits (XOR shares + authenticated
+/// arithmetic shares of the same value).
+pub const REQ_SHARED_BITS: u64 = 3;
+/// Block-request code: daBits (XOR-shared random bits with authenticated
+/// arithmetic shares of each bit).
+pub const REQ_DABITS: u64 = 4;
+/// Block-request code: input masks for one owner (`[code, owner, count]`).
+pub const REQ_INPUT_MASKS: u64 = 5;
+
+const DOMAIN_ALPHA: u64 = 1;
+const DOMAIN_TRIPLES: u64 = 2;
+const DOMAIN_BIT_TRIPLES: u64 = 3;
+const DOMAIN_SHARED_BITS: u64 = 4;
+const DOMAIN_DABITS: u64 = 5;
+const DOMAIN_INPUT_MASKS: u64 = 6;
+
+/// Words on the wire / in a file per Beaver triple share.
+const TRIPLE_WORDS: usize = 6;
+/// Words per binary triple share.
+const BIT_TRIPLE_WORDS: usize = 3;
+/// Words per shared-bit share.
+const SHARED_BIT_WORDS: usize = 3;
+/// Words per daBit share: the XOR-share word plus 64 (value, MAC) pairs.
+const DABIT_WORDS: usize = 1 + 2 * 64;
+
+fn domain_rng(seed: u64, tag: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+fn additive_share(rng: &mut StdRng, value: RingElem, n: usize) -> Vec<RingElem> {
+    let mut shares = Vec::with_capacity(n);
+    let mut acc = RingElem::ZERO;
+    for _ in 0..n - 1 {
+        let r = RingElem(rng.gen::<u64>());
+        shares.push(r);
+        acc += r;
+    }
+    shares.push(value - acc);
+    shares
+}
+
+fn xor_share(rng: &mut StdRng, value: u64, n: usize) -> Vec<u64> {
+    let mut shares = Vec::with_capacity(n);
+    let mut acc = 0u64;
+    for _ in 0..n - 1 {
+        let r = rng.gen::<u64>();
+        shares.push(r);
+        acc ^= r;
+    }
+    shares.push(value ^ acc);
+    shares
+}
+
+/// One party's slice of an input mask: the authenticated sharing of a random
+/// `r`, plus — for the owner of the input column only — `r` in the clear so
+/// the owner can broadcast `δ = x − r`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InputMask {
+    /// This party's authenticated share of the random mask `r`.
+    pub share: AuthShare,
+    /// The mask value itself; `Some` only in the owner's material.
+    pub clear: Option<RingElem>,
+}
+
+/// Deterministic generator for all offline material, seeded by the dealer
+/// seed. Each material type draws from its own domain-separated RNG, so two
+/// `DealerStream`s with the same seed produce identical global streams even
+/// when their callers request blocks in different type interleavings — the
+/// property that lets one independent server thread per party link stay
+/// share-consistent with its siblings.
+#[derive(Debug)]
+pub struct DealerStream {
+    parties: usize,
+    alpha: RingElem,
+    alpha_shares: Vec<RingElem>,
+    triples: StdRng,
+    bit_triples: StdRng,
+    shared_bits: StdRng,
+    dabits: StdRng,
+    input_masks: Vec<StdRng>,
+}
+
+impl DealerStream {
+    /// Creates a stream for `parties` computing parties from the dealer seed.
+    pub fn new(seed: u64, parties: usize) -> Self {
+        assert!(parties >= 2, "need at least two parties");
+        let mut alpha_rng = domain_rng(seed, DOMAIN_ALPHA);
+        let alpha = RingElem(alpha_rng.gen::<u64>());
+        let alpha_shares = additive_share(&mut alpha_rng, alpha, parties);
+        DealerStream {
+            parties,
+            alpha,
+            alpha_shares,
+            triples: domain_rng(seed, DOMAIN_TRIPLES),
+            bit_triples: domain_rng(seed, DOMAIN_BIT_TRIPLES),
+            shared_bits: domain_rng(seed, DOMAIN_SHARED_BITS),
+            dabits: domain_rng(seed, DOMAIN_DABITS),
+            input_masks: (0..parties)
+                .map(|p| domain_rng(seed, DOMAIN_INPUT_MASKS + p as u64))
+                .collect(),
+        }
+    }
+
+    /// Number of computing parties this stream deals for.
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+
+    /// The global MAC key (dealer-side only; parties hold additive shares).
+    pub fn alpha(&self) -> RingElem {
+        self.alpha
+    }
+
+    /// Party `p`'s additive share of the MAC key.
+    pub fn alpha_share(&self, p: usize) -> RingElem {
+        self.alpha_shares[p]
+    }
+
+    fn auth_shares(
+        &mut self,
+        value: RingElem,
+        which: fn(&mut Self) -> &mut StdRng,
+    ) -> Vec<AuthShare> {
+        let alpha = self.alpha;
+        let n = self.parties;
+        let rng = which(self);
+        let vs = additive_share(rng, value, n);
+        let ms = additive_share(rng, alpha * value, n);
+        vs.into_iter()
+            .zip(ms)
+            .map(|(v, m)| AuthShare::new(v, m))
+            .collect()
+    }
+
+    /// Generates `count` authenticated Beaver triples; result is indexed
+    /// `[party][i]`.
+    pub fn triples(&mut self, count: usize) -> Vec<Vec<(AuthShare, AuthShare, AuthShare)>> {
+        let mut out = vec![Vec::with_capacity(count); self.parties];
+        for _ in 0..count {
+            let a = RingElem(self.triples.gen::<u64>());
+            let b = RingElem(self.triples.gen::<u64>());
+            let c = a * b;
+            let sa = self.auth_shares(a, |s| &mut s.triples);
+            let sb = self.auth_shares(b, |s| &mut s.triples);
+            let sc = self.auth_shares(c, |s| &mut s.triples);
+            for p in 0..self.parties {
+                out[p].push((sa[p], sb[p], sc[p]));
+            }
+        }
+        out
+    }
+
+    /// Generates `count` binary triples (`c = a & b`, XOR-shared words);
+    /// indexed `[party][i]`.
+    pub fn bit_triples(&mut self, count: usize) -> Vec<Vec<(u64, u64, u64)>> {
+        let mut out = vec![Vec::with_capacity(count); self.parties];
+        for _ in 0..count {
+            let a = self.bit_triples.gen::<u64>();
+            let b = self.bit_triples.gen::<u64>();
+            let c = a & b;
+            let sa = xor_share(&mut self.bit_triples, a, self.parties);
+            let sb = xor_share(&mut self.bit_triples, b, self.parties);
+            let sc = xor_share(&mut self.bit_triples, c, self.parties);
+            for p in 0..self.parties {
+                out[p].push((sa[p], sb[p], sc[p]));
+            }
+        }
+        out
+    }
+
+    /// Generates `count` shared random bits: a word of XOR shares of the bit
+    /// pattern `r` together with an authenticated arithmetic sharing of the
+    /// same 64-bit value; indexed `[party][i]`.
+    pub fn shared_bits(&mut self, count: usize) -> Vec<Vec<(u64, AuthShare)>> {
+        let mut out = vec![Vec::with_capacity(count); self.parties];
+        for _ in 0..count {
+            let r = self.shared_bits.gen::<u64>();
+            let bits = xor_share(&mut self.shared_bits, r, self.parties);
+            let adds = self.auth_shares(RingElem(r), |s| &mut s.shared_bits);
+            for p in 0..self.parties {
+                out[p].push((bits[p], adds[p]));
+            }
+        }
+        out
+    }
+
+    /// Generates `count` daBits: a word of 64 XOR-shared random bits together
+    /// with an authenticated arithmetic sharing of each individual bit;
+    /// indexed `[party][i]`.
+    pub fn dabits(&mut self, count: usize) -> Vec<Vec<(u64, Vec<AuthShare>)>> {
+        let mut out = vec![Vec::with_capacity(count); self.parties];
+        for _ in 0..count {
+            let rho = self.dabits.gen::<u64>();
+            let bits = xor_share(&mut self.dabits, rho, self.parties);
+            let mut adds: Vec<Vec<AuthShare>> = vec![Vec::with_capacity(64); self.parties];
+            for k in 0..64 {
+                let bit = RingElem((rho >> k) & 1);
+                let shares = self.auth_shares(bit, |s| &mut s.dabits);
+                for p in 0..self.parties {
+                    adds[p].push(shares[p]);
+                }
+            }
+            for (p, word) in bits.iter().enumerate() {
+                out[p].push((*word, std::mem::take(&mut adds[p])));
+            }
+        }
+        out
+    }
+
+    /// Generates `count` input masks for `owner`: each is `(r, shares)` where
+    /// `shares[p]` is party `p`'s authenticated share of the random `r`. The
+    /// caller must forward `r` in the clear **only** to the owner.
+    pub fn input_masks(&mut self, owner: usize, count: usize) -> Vec<(RingElem, Vec<AuthShare>)> {
+        let alpha = self.alpha;
+        let n = self.parties;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let rng = &mut self.input_masks[owner];
+            let r = RingElem(rng.gen::<u64>());
+            let vs = additive_share(rng, r, n);
+            let ms = additive_share(rng, alpha * r, n);
+            let shares = vs
+                .into_iter()
+                .zip(ms)
+                .map(|(v, m)| AuthShare::new(v, m))
+                .collect();
+            out.push((r, shares));
+        }
+        out
+    }
+}
+
+/// How much material to pregenerate per party (counts, not bytes). The
+/// defaults cover the integration-test query mixes with headroom; size them
+/// explicitly for bigger workloads — preloaded sessions fail with a `Proto`
+/// error when the stock runs dry rather than silently reusing material.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaterialSpec {
+    /// Arithmetic Beaver triples.
+    pub triples: usize,
+    /// Binary triples (each covers 64 bit-ANDs).
+    pub bit_triples: usize,
+    /// Shared random bits (each covers one 64-bit mask).
+    pub shared_bits: usize,
+    /// daBits (each covers 64 bit-to-arithmetic conversions).
+    pub dabits: usize,
+    /// Input masks per owning party.
+    pub input_masks: usize,
+}
+
+impl Default for MaterialSpec {
+    fn default() -> Self {
+        MaterialSpec {
+            triples: 4096,
+            bit_triples: 8192,
+            shared_bits: 2048,
+            dabits: 512,
+            input_masks: 2048,
+        }
+    }
+}
+
+/// One party's preloaded stock of offline material, as produced by
+/// [`generate_blocks`] or loaded from a dealer file.
+#[derive(Debug, Clone, Default)]
+pub struct MaterialBlocks {
+    /// The party this stock belongs to.
+    pub party: u32,
+    /// Number of computing parties the material was dealt for.
+    pub parties: u32,
+    /// This party's additive share of the MAC key `α`.
+    pub alpha: RingElem,
+    /// Authenticated Beaver triples.
+    pub triples: VecDeque<(AuthShare, AuthShare, AuthShare)>,
+    /// Binary triples.
+    pub bit_triples: VecDeque<(u64, u64, u64)>,
+    /// Shared random bits.
+    pub shared_bits: VecDeque<(u64, AuthShare)>,
+    /// daBits.
+    pub dabits: VecDeque<(u64, Vec<AuthShare>)>,
+    /// Input masks, indexed by owning party.
+    pub input_masks: Vec<VecDeque<InputMask>>,
+}
+
+/// Generates every party's [`MaterialBlocks`] for one dealer seed and spec.
+pub fn generate_blocks(seed: u64, parties: usize, spec: MaterialSpec) -> Vec<MaterialBlocks> {
+    let mut stream = DealerStream::new(seed, parties);
+    let triples = stream.triples(spec.triples);
+    let bit_triples = stream.bit_triples(spec.bit_triples);
+    let shared_bits = stream.shared_bits(spec.shared_bits);
+    let dabits = stream.dabits(spec.dabits);
+    let mut masks: Vec<Vec<(RingElem, Vec<AuthShare>)>> = Vec::with_capacity(parties);
+    for owner in 0..parties {
+        masks.push(stream.input_masks(owner, spec.input_masks));
+    }
+    let mut out = Vec::with_capacity(parties);
+    for ((((p, t), bt), sb), db) in (0..parties)
+        .zip(triples)
+        .zip(bit_triples)
+        .zip(shared_bits)
+        .zip(dabits)
+    {
+        let input_masks = masks
+            .iter()
+            .enumerate()
+            .map(|(owner, per_owner)| {
+                per_owner
+                    .iter()
+                    .map(|(r, shares)| InputMask {
+                        share: shares[p],
+                        clear: if owner == p { Some(*r) } else { None },
+                    })
+                    .collect()
+            })
+            .collect();
+        out.push(MaterialBlocks {
+            party: p as u32,
+            parties: parties as u32,
+            alpha: stream.alpha_share(p),
+            triples: t.into_iter().collect(),
+            bit_triples: bt.into_iter().collect(),
+            shared_bits: sb.into_iter().collect(),
+            dabits: db.into_iter().collect(),
+            input_masks,
+        });
+    }
+    out
+}
+
+fn io_err(what: &str, e: std::io::Error) -> PartyError {
+    PartyError::Proto(format!("dealer file {what}: {e}"))
+}
+
+/// Writes one dealer file per party under `dir` (created if missing) and
+/// returns the paths, indexed by party. Each file holds only that party's
+/// shares; the cleartext mask values appear only in the owning party's file.
+pub fn write_party_files(
+    dir: &Path,
+    seed: u64,
+    parties: usize,
+    spec: MaterialSpec,
+) -> PartyResult<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir).map_err(|e| io_err("create dir", e))?;
+    let blocks = generate_blocks(seed, parties, spec);
+    let mut paths = Vec::with_capacity(parties);
+    for b in &blocks {
+        let mut s = String::new();
+        let _ = writeln!(s, "conclave-dealer v1");
+        let _ = writeln!(s, "party {} of {}", b.party, b.parties);
+        let _ = writeln!(s, "alpha {}", b.alpha.0);
+        let _ = writeln!(s, "triples {}", b.triples.len());
+        for (a, x, c) in &b.triples {
+            let _ = writeln!(
+                s,
+                "{} {} {} {} {} {}",
+                a.v.0, a.m.0, x.v.0, x.m.0, c.v.0, c.m.0
+            );
+        }
+        let _ = writeln!(s, "bit-triples {}", b.bit_triples.len());
+        for (a, x, c) in &b.bit_triples {
+            let _ = writeln!(s, "{a} {x} {c}");
+        }
+        let _ = writeln!(s, "shared-bits {}", b.shared_bits.len());
+        for (bits, add) in &b.shared_bits {
+            let _ = writeln!(s, "{} {} {}", bits, add.v.0, add.m.0);
+        }
+        let _ = writeln!(s, "dabits {}", b.dabits.len());
+        for (bits, adds) in &b.dabits {
+            let _ = write!(s, "{bits}");
+            for a in adds {
+                let _ = write!(s, " {} {}", a.v.0, a.m.0);
+            }
+            let _ = writeln!(s);
+        }
+        for (owner, masks) in b.input_masks.iter().enumerate() {
+            let _ = writeln!(s, "input-masks {} {}", owner, masks.len());
+            for m in masks {
+                match m.clear {
+                    Some(r) => {
+                        let _ = writeln!(s, "{} {} {}", m.share.v.0, m.share.m.0, r.0);
+                    }
+                    None => {
+                        let _ = writeln!(s, "{} {}", m.share.v.0, m.share.m.0);
+                    }
+                }
+            }
+        }
+        let path = dir.join(format!("party-{}.dealer", b.party));
+        std::fs::write(&path, s).map_err(|e| io_err("write", e))?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+struct Tokens<'a> {
+    it: std::str::SplitWhitespace<'a>,
+}
+
+impl<'a> Tokens<'a> {
+    fn word(&mut self) -> PartyResult<&'a str> {
+        self.it
+            .next()
+            .ok_or_else(|| PartyError::Proto("dealer file truncated".into()))
+    }
+
+    fn num(&mut self) -> PartyResult<u64> {
+        let w = self.word()?;
+        w.parse::<u64>()
+            .map_err(|_| PartyError::Proto(format!("dealer file: expected number, got {w:?}")))
+    }
+
+    fn expect(&mut self, want: &str) -> PartyResult<()> {
+        let w = self.word()?;
+        if w == want {
+            Ok(())
+        } else {
+            Err(PartyError::Proto(format!(
+                "dealer file: expected {want:?}, got {w:?}"
+            )))
+        }
+    }
+}
+
+/// Loads one party's [`MaterialBlocks`] from a file written by
+/// [`write_party_files`].
+pub fn load_party_file(path: &Path) -> PartyResult<MaterialBlocks> {
+    let text = std::fs::read_to_string(path).map_err(|e| io_err("read", e))?;
+    let mut t = Tokens {
+        it: text.split_whitespace(),
+    };
+    t.expect("conclave-dealer")?;
+    t.expect("v1")?;
+    t.expect("party")?;
+    let party = t.num()? as u32;
+    t.expect("of")?;
+    let parties = t.num()? as u32;
+    t.expect("alpha")?;
+    let alpha = RingElem(t.num()?);
+    t.expect("triples")?;
+    let n = t.num()? as usize;
+    let mut triples = VecDeque::with_capacity(n);
+    for _ in 0..n {
+        let a = AuthShare::new(RingElem(t.num()?), RingElem(t.num()?));
+        let b = AuthShare::new(RingElem(t.num()?), RingElem(t.num()?));
+        let c = AuthShare::new(RingElem(t.num()?), RingElem(t.num()?));
+        triples.push_back((a, b, c));
+    }
+    t.expect("bit-triples")?;
+    let n = t.num()? as usize;
+    let mut bit_triples = VecDeque::with_capacity(n);
+    for _ in 0..n {
+        bit_triples.push_back((t.num()?, t.num()?, t.num()?));
+    }
+    t.expect("shared-bits")?;
+    let n = t.num()? as usize;
+    let mut shared_bits = VecDeque::with_capacity(n);
+    for _ in 0..n {
+        let bits = t.num()?;
+        let add = AuthShare::new(RingElem(t.num()?), RingElem(t.num()?));
+        shared_bits.push_back((bits, add));
+    }
+    t.expect("dabits")?;
+    let n = t.num()? as usize;
+    let mut dabits = VecDeque::with_capacity(n);
+    for _ in 0..n {
+        let bits = t.num()?;
+        let mut adds = Vec::with_capacity(64);
+        for _ in 0..64 {
+            adds.push(AuthShare::new(RingElem(t.num()?), RingElem(t.num()?)));
+        }
+        dabits.push_back((bits, adds));
+    }
+    let mut input_masks: Vec<VecDeque<InputMask>> = (0..parties).map(|_| VecDeque::new()).collect();
+    for _ in 0..parties {
+        t.expect("input-masks")?;
+        let owner = t.num()? as usize;
+        if owner >= parties as usize {
+            return Err(PartyError::Proto(format!(
+                "dealer file: input-mask owner {owner} out of range"
+            )));
+        }
+        let n = t.num()? as usize;
+        let is_owner = owner == party as usize;
+        let mut masks = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            let share = AuthShare::new(RingElem(t.num()?), RingElem(t.num()?));
+            let clear = if is_owner {
+                Some(RingElem(t.num()?))
+            } else {
+                None
+            };
+            masks.push_back(InputMask { share, clear });
+        }
+        input_masks[owner] = masks;
+    }
+    Ok(MaterialBlocks {
+        party,
+        parties,
+        alpha,
+        triples,
+        bit_triples,
+        shared_bits,
+        dabits,
+        input_masks,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Wire encoding for the streamed dealer protocol.
+// ---------------------------------------------------------------------------
+
+pub(crate) fn encode_triples(ts: &[(AuthShare, AuthShare, AuthShare)]) -> Vec<u64> {
+    let mut w = Vec::with_capacity(ts.len() * TRIPLE_WORDS);
+    for (a, b, c) in ts {
+        w.extend_from_slice(&[a.v.0, a.m.0, b.v.0, b.m.0, c.v.0, c.m.0]);
+    }
+    w
+}
+
+pub(crate) fn decode_triples(w: &[u64]) -> PartyResult<Vec<(AuthShare, AuthShare, AuthShare)>> {
+    if !w.len().is_multiple_of(TRIPLE_WORDS) {
+        return Err(PartyError::Proto("misframed dealer triple block".into()));
+    }
+    Ok(w.chunks_exact(TRIPLE_WORDS)
+        .map(|c| {
+            (
+                AuthShare::new(RingElem(c[0]), RingElem(c[1])),
+                AuthShare::new(RingElem(c[2]), RingElem(c[3])),
+                AuthShare::new(RingElem(c[4]), RingElem(c[5])),
+            )
+        })
+        .collect())
+}
+
+pub(crate) fn encode_bit_triples(ts: &[(u64, u64, u64)]) -> Vec<u64> {
+    let mut w = Vec::with_capacity(ts.len() * BIT_TRIPLE_WORDS);
+    for (a, b, c) in ts {
+        w.extend_from_slice(&[*a, *b, *c]);
+    }
+    w
+}
+
+pub(crate) fn decode_bit_triples(w: &[u64]) -> PartyResult<Vec<(u64, u64, u64)>> {
+    if !w.len().is_multiple_of(BIT_TRIPLE_WORDS) {
+        return Err(PartyError::Proto(
+            "misframed dealer bit-triple block".into(),
+        ));
+    }
+    Ok(w.chunks_exact(BIT_TRIPLE_WORDS)
+        .map(|c| (c[0], c[1], c[2]))
+        .collect())
+}
+
+pub(crate) fn encode_shared_bits(ts: &[(u64, AuthShare)]) -> Vec<u64> {
+    let mut w = Vec::with_capacity(ts.len() * SHARED_BIT_WORDS);
+    for (bits, add) in ts {
+        w.extend_from_slice(&[*bits, add.v.0, add.m.0]);
+    }
+    w
+}
+
+pub(crate) fn decode_shared_bits(w: &[u64]) -> PartyResult<Vec<(u64, AuthShare)>> {
+    if !w.len().is_multiple_of(SHARED_BIT_WORDS) {
+        return Err(PartyError::Proto(
+            "misframed dealer shared-bit block".into(),
+        ));
+    }
+    Ok(w.chunks_exact(SHARED_BIT_WORDS)
+        .map(|c| (c[0], AuthShare::new(RingElem(c[1]), RingElem(c[2]))))
+        .collect())
+}
+
+pub(crate) fn encode_dabits(ts: &[(u64, Vec<AuthShare>)]) -> Vec<u64> {
+    let mut w = Vec::with_capacity(ts.len() * DABIT_WORDS);
+    for (bits, adds) in ts {
+        w.push(*bits);
+        for a in adds {
+            w.extend_from_slice(&[a.v.0, a.m.0]);
+        }
+    }
+    w
+}
+
+pub(crate) fn decode_dabits(w: &[u64]) -> PartyResult<Vec<(u64, Vec<AuthShare>)>> {
+    if !w.len().is_multiple_of(DABIT_WORDS) {
+        return Err(PartyError::Proto("misframed dealer daBit block".into()));
+    }
+    Ok(w.chunks_exact(DABIT_WORDS)
+        .map(|c| {
+            let adds = c[1..]
+                .chunks_exact(2)
+                .map(|p| AuthShare::new(RingElem(p[0]), RingElem(p[1])))
+                .collect();
+            (c[0], adds)
+        })
+        .collect())
+}
+
+pub(crate) fn encode_input_masks(ms: &[InputMask], include_clear: bool) -> Vec<u64> {
+    let width = if include_clear { 3 } else { 2 };
+    let mut w = Vec::with_capacity(ms.len() * width);
+    for m in ms {
+        w.extend_from_slice(&[m.share.v.0, m.share.m.0]);
+        if include_clear {
+            // Encoding a clear value the material does not carry would be a
+            // dealer-side bug, not a recoverable wire condition.
+            w.push(m.clear.map(|r| r.0).unwrap_or_default());
+        }
+    }
+    w
+}
+
+pub(crate) fn decode_input_masks(w: &[u64], has_clear: bool) -> PartyResult<Vec<InputMask>> {
+    let width = if has_clear { 3 } else { 2 };
+    if !w.len().is_multiple_of(width) {
+        return Err(PartyError::Proto(
+            "misframed dealer input-mask block".into(),
+        ));
+    }
+    Ok(w.chunks_exact(width)
+        .map(|c| InputMask {
+            share: AuthShare::new(RingElem(c[0]), RingElem(c[1])),
+            clear: if has_clear {
+                Some(RingElem(c[2]))
+            } else {
+                None
+            },
+        })
+        .collect())
+}
+
+/// Serves one party's offline material over a dedicated two-endpoint link
+/// until the party drops its end. `link` is the **dealer's** endpoint;
+/// `party`/`parties` identify the served party within the computing mesh
+/// (the link's own ids are just `0`/`1`).
+///
+/// The protocol is pull-based: the party sends a [`MessageKind::Dealer`]
+/// request `[code, ...]` (see the `REQ_*` constants) and the dealer answers
+/// with one block. Because every server derives the same deterministic
+/// [`DealerStream`], independent per-party servers stay share-consistent as
+/// long as the parties consume blocks in the same collective order — which
+/// the synchronous online protocol guarantees.
+pub fn serve_party(link: &dyn Transport, party: u32, parties: u32, seed: u64) -> PartyResult<()> {
+    let peer = 1 - link.party();
+    let mut stream = DealerStream::new(seed, parties as usize);
+    loop {
+        let env = match link.recv_from(peer) {
+            Ok(env) => env,
+            // The session dropped its end of the link: offline phase over.
+            Err(TransportError::Disconnected { .. }) => return Ok(()),
+            // An idle party is not an error; keep serving until disconnect.
+            Err(TransportError::Timeout { .. }) => continue,
+            Err(e) => return Err(e.into()),
+        };
+        if env.kind != MessageKind::Dealer || env.payload.is_empty() {
+            return Err(PartyError::Proto(format!(
+                "unexpected frame on dealer link: kind {}, {} words",
+                env.kind,
+                env.payload.len()
+            )));
+        }
+        let count = env.payload.get(1).copied().unwrap_or(0) as usize;
+        let words = match env.payload[0] {
+            REQ_ALPHA => vec![stream.alpha_share(party as usize).0],
+            REQ_TRIPLES => encode_triples(&stream.triples(count)[party as usize]),
+            REQ_BIT_TRIPLES => encode_bit_triples(&stream.bit_triples(count)[party as usize]),
+            REQ_SHARED_BITS => encode_shared_bits(&stream.shared_bits(count)[party as usize]),
+            REQ_DABITS => encode_dabits(&stream.dabits(count)[party as usize]),
+            REQ_INPUT_MASKS => {
+                let owner = env.payload.get(1).copied().unwrap_or(0) as usize;
+                let count = env.payload.get(2).copied().unwrap_or(0) as usize;
+                if owner >= parties as usize {
+                    return Err(PartyError::Proto(format!(
+                        "dealer request names owner {owner} outside the mesh"
+                    )));
+                }
+                let masks: Vec<InputMask> = stream
+                    .input_masks(owner, count)
+                    .into_iter()
+                    .map(|(r, shares)| InputMask {
+                        share: shares[party as usize],
+                        clear: if owner == party as usize {
+                            Some(r)
+                        } else {
+                            None
+                        },
+                    })
+                    .collect();
+                encode_input_masks(&masks, owner == party as usize)
+            }
+            other => {
+                return Err(PartyError::Proto(format!(
+                    "unknown dealer request code {other}"
+                )))
+            }
+        };
+        link.send_to(peer, MessageKind::Dealer, "dealer block", &words)?;
+    }
+}
+
+/// Where a [`crate::runtime::PartySession`] obtains its offline material.
+pub enum DealerSource {
+    /// Derive material on the fly from the session's common seed — the
+    /// original semi-honest development mode, in which every party can
+    /// recompute the dealer. Kept as the default for differential testing.
+    Seeded,
+    /// Consume pregenerated per-party material (e.g. loaded from a dealer
+    /// file with [`load_party_file`]). Requests beyond the preloaded stock
+    /// fail with [`PartyError::Proto`] instead of silently reusing material.
+    Preloaded(Box<MaterialBlocks>),
+    /// Pull blocks on demand from a dealer served by [`serve_party`] over a
+    /// dedicated two-endpoint link.
+    Streamed {
+        /// This party's endpoint of the party↔dealer link.
+        link: Box<dyn Transport>,
+        /// The dealer's id on that link (normally `1 - link.party()`).
+        dealer: u32,
+    },
+}
+
+impl fmt::Debug for DealerSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DealerSource::Seeded => f.write_str("Seeded"),
+            DealerSource::Preloaded(b) => f
+                .debug_struct("Preloaded")
+                .field("party", &b.party)
+                .field("triples", &b.triples.len())
+                .finish(),
+            DealerSource::Streamed { dealer, .. } => {
+                f.debug_struct("Streamed").field("dealer", dealer).finish()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    // Reconstruction asserts index the same correlation slot across every
+    // party's block; an indexed loop mirrors that access pattern directly.
+    #![allow(clippy::needless_range_loop)]
+
+    use super::*;
+    use conclave_net::ChannelTransport;
+
+    fn reconstruct(shares: impl IntoIterator<Item = AuthShare>) -> (RingElem, RingElem) {
+        shares
+            .into_iter()
+            .fold((RingElem::ZERO, RingElem::ZERO), |(v, m), s| {
+                (v + s.v, m + s.m)
+            })
+    }
+
+    #[test]
+    fn dealt_material_is_consistent_and_authenticated() {
+        let mut stream = DealerStream::new(77, 3);
+        let alpha = stream.alpha();
+        assert_eq!(
+            (0..3)
+                .map(|p| stream.alpha_share(p))
+                .fold(RingElem::ZERO, |a, s| a + s),
+            alpha
+        );
+
+        let triples = stream.triples(8);
+        for i in 0..8 {
+            let (av, am) = reconstruct((0..3).map(|p| triples[p][i].0));
+            let (bv, bm) = reconstruct((0..3).map(|p| triples[p][i].1));
+            let (cv, cm) = reconstruct((0..3).map(|p| triples[p][i].2));
+            assert_eq!(cv, av * bv, "triple {i} is not multiplicative");
+            assert_eq!(am, alpha * av);
+            assert_eq!(bm, alpha * bv);
+            assert_eq!(cm, alpha * cv);
+        }
+
+        let bits = stream.bit_triples(4);
+        for i in 0..4 {
+            let a = (0..3).fold(0u64, |acc, p| acc ^ bits[p][i].0);
+            let b = (0..3).fold(0u64, |acc, p| acc ^ bits[p][i].1);
+            let c = (0..3).fold(0u64, |acc, p| acc ^ bits[p][i].2);
+            assert_eq!(c, a & b);
+        }
+
+        let sb = stream.shared_bits(4);
+        for i in 0..4 {
+            let r = (0..3).fold(0u64, |acc, p| acc ^ sb[p][i].0);
+            let (v, m) = reconstruct((0..3).map(|p| sb[p][i].1));
+            assert_eq!(v, RingElem(r), "XOR and arithmetic views disagree");
+            assert_eq!(m, alpha * v);
+        }
+
+        let db = stream.dabits(2);
+        for i in 0..2 {
+            let rho = (0..3).fold(0u64, |acc, p| acc ^ db[p][i].0);
+            for k in 0..64 {
+                let (v, m) = reconstruct((0..3).map(|p| db[p][i].1[k]));
+                assert_eq!(v, RingElem((rho >> k) & 1));
+                assert_eq!(m, alpha * v);
+            }
+        }
+
+        let masks = stream.input_masks(1, 4);
+        for (r, shares) in masks {
+            let (v, m) = reconstruct(shares);
+            assert_eq!(v, r);
+            assert_eq!(m, alpha * v);
+        }
+    }
+
+    #[test]
+    fn type_interleaving_does_not_change_the_streams() {
+        // One consumer asks triples-then-bits, the other bits-then-triples;
+        // the per-type streams must be identical.
+        let mut a = DealerStream::new(9, 2);
+        let mut b = DealerStream::new(9, 2);
+        let ta = a.triples(3);
+        let ba = a.bit_triples(2);
+        let bb = b.bit_triples(2);
+        let tb = b.triples(3);
+        assert_eq!(ta, tb);
+        assert_eq!(ba, bb);
+    }
+
+    #[test]
+    fn files_round_trip_and_hide_foreign_clear_masks() {
+        let dir = std::env::temp_dir().join(format!("conclave-dealer-test-{}", std::process::id()));
+        let spec = MaterialSpec {
+            triples: 5,
+            bit_triples: 3,
+            shared_bits: 2,
+            dabits: 1,
+            input_masks: 2,
+        };
+        let paths = write_party_files(&dir, 123, 3, spec).unwrap();
+        let blocks = generate_blocks(123, 3, spec);
+        for (p, path) in paths.iter().enumerate() {
+            let loaded = load_party_file(path).unwrap();
+            assert_eq!(loaded.party, p as u32);
+            assert_eq!(loaded.parties, 3);
+            assert_eq!(loaded.alpha, blocks[p].alpha);
+            assert_eq!(loaded.triples, blocks[p].triples);
+            assert_eq!(loaded.bit_triples, blocks[p].bit_triples);
+            assert_eq!(loaded.shared_bits, blocks[p].shared_bits);
+            assert_eq!(loaded.dabits, blocks[p].dabits);
+            assert_eq!(loaded.input_masks, blocks[p].input_masks);
+            for (owner, masks) in loaded.input_masks.iter().enumerate() {
+                for m in masks {
+                    assert_eq!(
+                        m.clear.is_some(),
+                        owner == p,
+                        "clear mask must exist only in the owner's file"
+                    );
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_or_corrupt_files_are_rejected() {
+        let dir =
+            std::env::temp_dir().join(format!("conclave-dealer-corrupt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.dealer");
+        std::fs::write(
+            &path,
+            "conclave-dealer v1\nparty 0 of 2\nalpha 7\ntriples 1\n1 2 3\n",
+        )
+        .unwrap();
+        let err = load_party_file(&path).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "got: {err}");
+        std::fs::write(&path, "not-a-dealer-file").unwrap();
+        assert!(load_party_file(&path).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn independent_servers_deal_consistent_shares() {
+        // One server thread per party link, each with its own DealerStream;
+        // the shares pulled across links must still reconstruct.
+        let parties = 3u32;
+        let seed = 4242;
+        let mut party_ends = Vec::new();
+        let mut handles = Vec::new();
+        for p in 0..parties {
+            let mut mesh = ChannelTransport::mesh(2);
+            let dealer_end = mesh.pop().unwrap();
+            party_ends.push(mesh.pop().unwrap());
+            handles.push(std::thread::spawn(move || {
+                serve_party(&dealer_end, p, parties, seed)
+            }));
+        }
+        let mut pulled = Vec::new();
+        for link in &party_ends {
+            link.send_to(1, MessageKind::Dealer, "dealer request", &[REQ_TRIPLES, 2])
+                .unwrap();
+            let env = link.recv_from(1).unwrap();
+            assert_eq!(env.kind, MessageKind::Dealer);
+            pulled.push(decode_triples(&env.payload).unwrap());
+        }
+        let stream = DealerStream::new(seed, parties as usize);
+        let alpha = stream.alpha();
+        for i in 0..2 {
+            let (av, am) = reconstruct((0..parties as usize).map(|p| pulled[p][i].0));
+            let (bv, _) = reconstruct((0..parties as usize).map(|p| pulled[p][i].1));
+            let (cv, _) = reconstruct((0..parties as usize).map(|p| pulled[p][i].2));
+            assert_eq!(cv, av * bv);
+            assert_eq!(am, alpha * av);
+        }
+        drop(party_ends);
+        for h in handles {
+            h.join().unwrap().unwrap();
+        }
+    }
+}

@@ -36,6 +36,13 @@
 //!   (Kogge-Stone carry adders over XOR-shared bits, binary Beaver ANDs,
 //!   daBit bit-to-arithmetic conversion), so no operand value ever crosses
 //!   the wire unmasked.
+//! * [`dealer`] — the **offline phase**: a standalone dealer that
+//!   pregenerates SPDZ-authenticated Beaver triples, binary triples, dual
+//!   bit masks, daBits, and input masks, delivered to the online parties as
+//!   per-party files ([`dealer::write_party_files`]), over a dedicated
+//!   dealer link ([`dealer::serve_party`]), or synthesized in-process from
+//!   the session seed. Online shares carry SPDZ MACs ([`share::AuthShare`])
+//!   checked at every reveal boundary.
 
 // Also enforced workspace-wide via [workspace.lints]; stated here so the
 // guarantee is visible at the crate root.
@@ -44,6 +51,7 @@
 pub mod backend;
 pub mod circuits;
 pub mod cost;
+pub mod dealer;
 pub mod garbled;
 pub mod oblivious;
 pub mod protocol;
@@ -55,8 +63,12 @@ pub mod triples;
 
 pub use backend::{BackendKind, MpcBackendConfig, MpcEngine, MpcError, MpcResult, MpcStepStats};
 pub use cost::{GarbledCostModel, PrimitiveCounts, SecretShareCostModel};
+pub use dealer::{
+    generate_blocks, load_party_file, serve_party, write_party_files, DealerSource, DealerStream,
+    InputMask, MaterialBlocks, MaterialSpec,
+};
 pub use protocol::Protocol;
 pub use relation::SharedRelation;
 pub use ring::RingElem;
 pub use runtime::{PartyError, PartyRelation, PartyResult, PartySession, PendingOpen, StepCtx};
-pub use share::Shares;
+pub use share::{AuthShare, Shares};

@@ -25,6 +25,7 @@ pub mod message;
 pub mod model;
 pub mod sim;
 pub mod stats;
+pub mod tamper;
 pub mod transport;
 
 pub use mesh::{BatchSums, Mesh, RoundBatcher};
@@ -32,6 +33,7 @@ pub use message::{Message, MessageKind};
 pub use model::NetworkModel;
 pub use sim::SimNetwork;
 pub use stats::{LinkStats, NetStats};
+pub use tamper::{Fault, FaultSpec, TamperingTransport};
 pub use transport::{
     merge_mesh_stats, ChannelTransport, Envelope, StreamTag, TcpTransport, Transport,
     TransportError,

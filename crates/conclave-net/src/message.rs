@@ -24,6 +24,15 @@ pub enum MessageKind {
     /// "opened on purpose" from "opened because the protocol math says it is
     /// uniform".
     MaskedOpen,
+    /// Offline-phase dealer traffic: correlated-randomness blocks (Beaver
+    /// triples, bit-triples, daBits, input masks) streamed from a dealer to
+    /// one party, plus the parties' block requests. Attributed separately so
+    /// per-kind stats split the offline phase from online data-plane bytes.
+    Dealer,
+    /// SPDZ MAC-check traffic: commitments to and openings of the parties'
+    /// MAC-difference shares at integrity-check boundaries. Carries no
+    /// data-plane payload — only the zero-sum check values.
+    MacCheck,
 }
 
 impl MessageKind {
@@ -35,6 +44,8 @@ impl MessageKind {
             MessageKind::Cleartext => 2,
             MessageKind::Control => 3,
             MessageKind::MaskedOpen => 4,
+            MessageKind::Dealer => 5,
+            MessageKind::MacCheck => 6,
         }
     }
 
@@ -46,6 +57,8 @@ impl MessageKind {
             2 => Some(MessageKind::Cleartext),
             3 => Some(MessageKind::Control),
             4 => Some(MessageKind::MaskedOpen),
+            5 => Some(MessageKind::Dealer),
+            6 => Some(MessageKind::MacCheck),
             _ => None,
         }
     }
@@ -59,6 +72,8 @@ impl fmt::Display for MessageKind {
             MessageKind::Cleartext => "cleartext",
             MessageKind::Control => "control",
             MessageKind::MaskedOpen => "masked-open",
+            MessageKind::Dealer => "dealer",
+            MessageKind::MacCheck => "mac-check",
         };
         f.write_str(s)
     }
@@ -129,6 +144,8 @@ mod tests {
         assert_eq!(MessageKind::Cleartext.to_string(), "cleartext");
         assert_eq!(MessageKind::Control.to_string(), "control");
         assert_eq!(MessageKind::MaskedOpen.to_string(), "masked-open");
+        assert_eq!(MessageKind::Dealer.to_string(), "dealer");
+        assert_eq!(MessageKind::MacCheck.to_string(), "mac-check");
     }
 
     #[test]
@@ -139,6 +156,8 @@ mod tests {
             MessageKind::Cleartext,
             MessageKind::Control,
             MessageKind::MaskedOpen,
+            MessageKind::Dealer,
+            MessageKind::MacCheck,
         ] {
             assert_eq!(MessageKind::from_code(kind.code()), Some(kind));
         }

@@ -18,7 +18,7 @@
 #![allow(clippy::unwrap_used)]
 
 use conclave::mpc::runtime::PartySession;
-use conclave::mpc::RingElem;
+use conclave::mpc::AuthShare;
 use conclave::net::{merge_mesh_stats, TcpTransport, Transport};
 use conclave::prelude::*;
 
@@ -112,7 +112,7 @@ fn run_tcp_two_party() {
                     let y = proto
                         .input_column(1, mine1.as_ref().map(|a| a.as_slice()), 1)
                         .expect("share y");
-                    let product: RingElem = proto.mul(x[0], y[0]).expect("beaver multiply");
+                    let product: AuthShare = proto.mul(x[0], y[0]).expect("beaver multiply");
                     let opened = proto.open(product).expect("open");
                     (opened, transport.stats())
                 })

@@ -71,9 +71,9 @@ pub use conclave_sql as sql;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use conclave_core::{
-        compile, config::ConclaveConfig, config::PartyRuntime, driver::Driver, plan::CompileError,
-        plan::PhysicalPlan, report::RunReport, session::Session, session::SessionError, Disclosure,
-        DisclosureKind, LeakageReport, LeakageViolation,
+        compile, config::ConclaveConfig, config::DealerMode, config::PartyRuntime, driver::Driver,
+        plan::CompileError, plan::PhysicalPlan, report::RunReport, session::Session,
+        session::SessionError, Disclosure, DisclosureKind, LeakageReport, LeakageViolation,
     };
     pub use conclave_data::{
         credit::CreditGenerator, health::HealthGenerator, taxi::TaxiGenerator,

@@ -1,0 +1,213 @@
+//! Active-adversary certification of the SPDZ-MACed online phase.
+//!
+//! The offline/online split claims *malicious security for opened values*:
+//! every share carries a MAC under a secret-shared global key α, every opened
+//! value is logged, and reveal boundaries run a deferred `check_integrity`
+//! that aborts on any additive forgery. This suite certifies the claim with
+//! the [`TamperingTransport`] man-in-the-middle harness from `conclave-net`:
+//!
+//! * a property test tampers **one** online message — a Beaver `d`/`e`
+//!   opening, a circuit masked opening, or a reveal broadcast — at one
+//!   receiver with a random fault, and asserts the whole mesh aborts with
+//!   [`PartyError::Integrity`] instead of accepting a wrong opening;
+//! * a pinned pair of tests mounts the *consistent additive lie*: every
+//!   receiver offsets its successor's reveal frames by the same Δ, so all
+//!   parties reconstruct the **same** wrong value and every cross-party
+//!   equality check passes. On the pre-MAC runtime shape (commit `79e4f04`,
+//!   reproduced bit-for-bit by [`PartySession::unauthenticated`]) the attack
+//!   succeeds silently — the mesh returns `expected + Δ` with no error — and
+//!   on the authenticated runtime the very same attack aborts on every party.
+
+// Demo/test target: panicking on bad setup is the desired behavior here
+// (the workspace-level clippy::unwrap_used lint targets library code).
+#![allow(clippy::unwrap_used)]
+
+use conclave::mpc::runtime::{PartyError, PartyResult, PartySession};
+use conclave::mpc::AuthShare;
+use conclave::net::{ChannelTransport, Fault, FaultSpec, MessageKind, TamperingTransport};
+use proptest::prelude::*;
+use std::sync::atomic::Ordering;
+
+/// Input sentinels: the adversary wins if a forged opening of these is
+/// accepted.
+const INPUTS_X: [i64; 3] = [1_000_003, -77, 40_000];
+const INPUTS_Y: [i64; 3] = [12, 5_000_011, -40_001];
+
+/// The honest result of [`party_program`]: the pairwise products followed by
+/// the pairwise less-than bits.
+fn honest_output() -> Vec<i64> {
+    let mut out: Vec<i64> = INPUTS_X
+        .iter()
+        .zip(&INPUTS_Y)
+        .map(|(&x, &y)| x * y)
+        .collect();
+    out.extend(
+        INPUTS_X
+            .iter()
+            .zip(&INPUTS_Y)
+            .map(|(&x, &y)| i64::from(x < y)),
+    );
+    out
+}
+
+/// Shares both input columns, multiplies and compares them, opens everything
+/// and — on the authenticated runtime — runs the deferred MAC check, exactly
+/// like the party runtime's reveal boundary does.
+fn party_program(sess: &mut PartySession) -> PartyResult<Vec<i64>> {
+    let mut proto = sess.step(0);
+    let own0 = proto.party() == 0;
+    let own1 = proto.party() == 1;
+    let sx = proto.input_column(0, own0.then_some(INPUTS_X.as_slice()), INPUTS_X.len())?;
+    let sy = proto.input_column(1, own1.then_some(INPUTS_Y.as_slice()), INPUTS_Y.len())?;
+    let pairs: Vec<(AuthShare, AuthShare)> = sx.iter().copied().zip(sy.iter().copied()).collect();
+    let mut vals = proto.mul_batch(&pairs)?;
+    vals.extend(proto.lt_batch(&pairs)?);
+    let out = proto.open_column(&vals)?;
+    proto.session().check_integrity()?;
+    Ok(out)
+}
+
+/// Runs [`party_program`] on a 3-party channel mesh wrapped by the tamper
+/// harness. Returns each party's result plus whether each endpoint's armed
+/// fault actually fired.
+fn run_attacked_mesh(
+    authenticated: bool,
+    spec_for: impl FnMut(u32) -> Option<FaultSpec>,
+) -> (Vec<PartyResult<Vec<i64>>>, Vec<bool>) {
+    let mesh = TamperingTransport::wrap_mesh(ChannelTransport::mesh(3), spec_for);
+    let fired: Vec<_> = mesh.iter().map(|t| t.fired_handle()).collect();
+    let results = std::thread::scope(|s| {
+        let handles: Vec<_> = mesh
+            .into_iter()
+            .map(|t| {
+                s.spawn(move || -> PartyResult<Vec<i64>> {
+                    let mut sess = if authenticated {
+                        PartySession::new(&t, 555)
+                    } else {
+                        PartySession::unauthenticated(&t, 555)
+                    };
+                    party_program(&mut sess)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("party thread panicked"))
+            .collect::<Vec<_>>()
+    });
+    let fired = fired.iter().map(|f| f.load(Ordering::SeqCst)).collect();
+    (results, fired)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Tampering any single online open — a Beaver/circuit masked opening or
+    /// a reveal broadcast — at any receiver, from any sender, with any
+    /// payload corruption, makes the deferred MAC check abort on **every**
+    /// party. No party ever accepts a wrong opening.
+    #[test]
+    fn any_single_online_tamper_aborts_the_whole_mesh(
+        target in 0u32..3,
+        from in 0u32..3,
+        masked in any::<bool>(),
+        offset in any::<bool>(),
+        corruption in 1u64..u64::MAX,
+        skip in 0usize..6,
+    ) {
+        let kind = if masked { MessageKind::MaskedOpen } else { MessageKind::Reveal };
+        let fault = if offset {
+            Fault::Offset { delta: corruption }
+        } else {
+            Fault::FlipBits { mask: corruption }
+        };
+        let (results, fired) = run_attacked_mesh(true, |p| {
+            (p == target).then(|| FaultSpec::new(fault).kind(kind).from(from).skip(skip))
+        });
+        if fired.iter().any(|&f| f) {
+            // The attack landed: nobody may accept. The tampered receiver's
+            // σ-share (or XOR digest) breaks the global MAC relation, so the
+            // collective check fails everywhere.
+            for (p, r) in results.iter().enumerate() {
+                prop_assert!(r.is_err(), "P{p} accepted a tampered opening: {r:?}");
+            }
+            prop_assert!(
+                results
+                    .iter()
+                    .any(|r| matches!(r, Err(PartyError::Integrity(_)))),
+                "the abort must be an integrity violation, got {results:?}"
+            );
+        } else {
+            // The spec matched nothing (e.g. self-directed fault or skip past
+            // the end of the stream): the run must be byte-for-byte honest.
+            for r in results {
+                prop_assert_eq!(r.unwrap(), honest_output());
+            }
+        }
+    }
+}
+
+/// The coordinated man-in-the-middle: every receiver adds Δ to the reveal
+/// frames of its successor peer, so each party reconstructs `value + Δ` —
+/// the *same* wrong value everywhere.
+fn consistent_lie(delta: u64) -> impl FnMut(u32) -> Option<FaultSpec> {
+    move |p| {
+        Some(
+            FaultSpec::new(Fault::Offset { delta })
+                .kind(MessageKind::Reveal)
+                .from((p + 1) % 3),
+        )
+    }
+}
+
+/// **Pinned regression — the attack this PR exists to kill.** On the pre-MAC
+/// runtime shape (commit `79e4f04`: unauthenticated shares, no opened-value
+/// log, no reveal-boundary check — preserved bit-for-bit by
+/// [`PartySession::unauthenticated`]) the consistent additive lie succeeds
+/// *silently*: every party completes, every cross-party equality check would
+/// pass (all parties hold identical outputs), and the accepted result is
+/// wrong by exactly Δ in every opened word. If this test ever fails, the
+/// unauthenticated baseline stopped reproducing the historical runtime and
+/// the malicious-security suite lost its falsifier.
+#[test]
+fn the_pre_mac_runtime_accepts_the_consistent_lie_silently() {
+    const DELTA: u64 = 5;
+    let (results, fired) = run_attacked_mesh(false, consistent_lie(DELTA));
+    assert!(
+        fired.iter().all(|&f| f),
+        "the attack must land on every link"
+    );
+    let forged: Vec<Vec<i64>> = results
+        .into_iter()
+        .map(|r| r.expect("the unauthenticated runtime accepts the forgery"))
+        .collect();
+    let expected_forgery: Vec<i64> = honest_output()
+        .into_iter()
+        .map(|v| v + DELTA as i64)
+        .collect();
+    for out in &forged {
+        assert_eq!(
+            out, &expected_forgery,
+            "every party silently accepts the same forged opening"
+        );
+    }
+}
+
+/// The same coordinated attack against the authenticated runtime: the forged
+/// opening is consistent across parties — cross-party equality cannot see it
+/// — but `Σ m_i − α·x'` is off by `α·Δ`, so the deferred MAC check aborts on
+/// every party.
+#[test]
+fn the_authenticated_runtime_aborts_the_same_consistent_lie() {
+    let (results, fired) = run_attacked_mesh(true, consistent_lie(5));
+    assert!(
+        fired.iter().all(|&f| f),
+        "the attack must land on every link"
+    );
+    for (p, r) in results.iter().enumerate() {
+        assert!(
+            matches!(r, Err(PartyError::Integrity(_))),
+            "P{p} must abort with an integrity violation, got {r:?}"
+        );
+    }
+}

@@ -17,7 +17,7 @@ use conclave::core::config::PartyRuntime;
 use conclave::core::party_exec::execute_op_distributed;
 use conclave::mpc::backend::{MpcBackendConfig, MpcEngine};
 use conclave::mpc::runtime::{PartyResult, PartySession, StepCtx};
-use conclave::mpc::RingElem;
+use conclave::mpc::AuthShare;
 use conclave::net::{ChannelTransport, TcpTransport, Transport};
 use conclave::prelude::*;
 use conclave_ir::expr::Expr;
@@ -118,7 +118,7 @@ proptest! {
             let ys: Vec<i64> = pairs.iter().map(|p| p.1).collect();
             let sx = proto.input_column(0, own.then_some(xs.as_slice()), xs.len())?;
             let sy = proto.input_column(0, own.then_some(ys.as_slice()), ys.len())?;
-            let ps: Vec<(RingElem, RingElem)> = sx.into_iter().zip(sy).collect();
+            let ps: Vec<(AuthShare, AuthShare)> = sx.into_iter().zip(sy).collect();
             let prod = proto.mul_batch(&ps)?;
             proto.open_column(&prod)
         };
@@ -174,7 +174,7 @@ proptest! {
             let ys: Vec<i64> = pairs.iter().map(|p| p.1).collect();
             let sx = proto.input_column(0, own.then_some(xs.as_slice()), xs.len())?;
             let sy = proto.input_column(0, own.then_some(ys.as_slice()), ys.len())?;
-            let ps: Vec<(RingElem, RingElem)> = sx.into_iter().zip(sy).collect();
+            let ps: Vec<(AuthShare, AuthShare)> = sx.into_iter().zip(sy).collect();
             let lt = proto.lt_batch(&ps)?;
             let eq = proto.eq_batch(&ps)?;
             let mut interleaved = Vec::with_capacity(2 * ps.len());
@@ -353,8 +353,11 @@ fn pipeline_rows(n: i64, salt: i64) -> Relation {
 /// (1 masked decomposition open + 6 Kogge-Stone carry levels + 1
 /// sign-combine AND + 1 bit-to-arithmetic open) instead of a 1-round
 /// cleartext opening, while the flag open and final reveal still cost 1
-/// round each. The multiply step stays round-free (literal factor →
-/// local `mul_public`). Still independent of row count.
+/// round each. SPDZ MAC authentication raised it to **13**: every opened
+/// value is now logged and the plan's single reveal boundary pays one
+/// deferred `check_integrity` (a commitment round plus a σ-opening round)
+/// covering everything opened since the query began. Still independent of
+/// row count.
 #[test]
 fn pipeline_round_and_mesh_counts_are_pinned() {
     let mut seen = Vec::new();
@@ -365,12 +368,72 @@ fn pipeline_round_and_mesh_counts_are_pinned() {
             "{runtime:?}: one transport mesh per query"
         );
         assert_eq!(
-            report.net.rounds, 11,
+            report.net.rounds, 13,
             "{runtime:?}: synchronous round count of the 3-step pipeline"
+        );
+        assert_eq!(
+            report.mpc_stats.counts.mac_checks, 1,
+            "{runtime:?}: one deferred MAC check at the single reveal boundary"
         );
         seen.push(report.net.rounds);
     }
     assert_eq!(seen[0], seen[1], "transports must agree on round structure");
+}
+
+/// Offline-material equivalence matrix: the same plan over every
+/// `{seeded, file, streamed} × {channel, tcp}` combination must reveal the
+/// same result multiset as the in-process simulated oracle. Where the
+/// material comes from (synthesized, pregenerated files, or a dealer
+/// streaming over dedicated links) must never change what the online phase
+/// computes — only who paid for the offline phase, and when.
+#[test]
+fn dealer_modes_match_the_oracle_on_every_transport() {
+    let ta = pipeline_rows(8, 1);
+    let tb = pipeline_rows(8, 2);
+    let oracle = run_pipeline(None, ta.clone(), tb.clone());
+    let expected = oracle.output_for(1).unwrap();
+
+    let dir = std::env::temp_dir().join(format!("conclave-dealer-matrix-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    // The plan-scoped mesh has 3 computing parties (Sharemind-like backend);
+    // the dealer seed is independent of the mesh seed.
+    conclave::mpc::dealer::write_party_files(&dir, 99, 3, Default::default()).unwrap();
+
+    for runtime in [PartyRuntime::Channel, PartyRuntime::Tcp] {
+        for dealer in [
+            DealerMode::Seeded,
+            DealerMode::File(dir.clone()),
+            DealerMode::Streamed,
+        ] {
+            let config = ConclaveConfig::mpc_only()
+                .with_sequential_local()
+                .with_party_runtime(runtime)
+                .with_dealer(dealer.clone());
+            let report = Session::new(config)
+                .bind("ta", ta.clone())
+                .bind("tb", tb.clone())
+                .run(&pipeline_query().0)
+                .unwrap();
+            let got = report.output_for(1).unwrap();
+            assert!(
+                got.same_rows_unordered(expected),
+                "{runtime:?}/{dealer:?} diverged:\n{got}\nvs oracle\n{expected}"
+            );
+            assert!(report.net_measured);
+            assert_eq!(
+                report.dealer_net.is_some(),
+                dealer == DealerMode::Streamed,
+                "{runtime:?}/{dealer:?}: dealer traffic is measured iff streamed"
+            );
+            if let Some(dealer_net) = &report.dealer_net {
+                assert!(
+                    dealer_net.total_bytes() > 0,
+                    "{runtime:?}: streamed offline blocks must be accounted"
+                );
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 proptest! {

@@ -16,8 +16,9 @@
 // (the workspace-level clippy::unwrap_used lint targets library code).
 #![allow(clippy::unwrap_used)]
 
+use conclave::mpc::dealer::{serve_party, DealerSource};
 use conclave::mpc::runtime::{share_relation, sort_by, PartyResult, PartySession, StepCtx};
-use conclave::mpc::RingElem;
+use conclave::mpc::{AuthShare, RingElem};
 use conclave::net::{
     ChannelTransport, Envelope, MessageKind, NetStats, StreamTag, Transport, TransportError,
 };
@@ -28,6 +29,7 @@ use std::sync::{Arc, Mutex};
 #[derive(Debug, Clone)]
 struct SniffedFrame {
     from: u32,
+    kind: MessageKind,
     tag: StreamTag,
     payload: Vec<u64>,
 }
@@ -69,6 +71,7 @@ impl Transport for SniffTransport {
     ) -> Result<(), TransportError> {
         self.log.lock().unwrap().push(SniffedFrame {
             from: self.party(),
+            kind,
             tag,
             payload: payload.to_vec(),
         });
@@ -146,7 +149,7 @@ fn program(proto: &mut StepCtx) -> PartyResult<Vec<i64>> {
     let own1 = proto.party() == 1;
     let sx = proto.input_column(0, own0.then_some(SECRETS_X.as_slice()), SECRETS_X.len())?;
     let sy = proto.input_column(1, own1.then_some(SECRETS_Y.as_slice()), SECRETS_Y.len())?;
-    let pairs: Vec<(RingElem, RingElem)> = sx.iter().copied().zip(sy.iter().copied()).collect();
+    let pairs: Vec<(AuthShare, AuthShare)> = sx.iter().copied().zip(sy.iter().copied()).collect();
     let lt = proto.lt_batch(&pairs)?;
     let eq = proto.eq_batch(&pairs)?;
 
@@ -214,11 +217,16 @@ fn comparison_traffic_never_carries_operands() {
         }
     }
 
-    // Attack 2: reconstruction. Broadcast exchanges send each party's words
-    // to every peer on one logical stream, so an observer holds every
-    // sender's contribution per stream tag. Element-wise summing them is
-    // exactly how the pre-circuit runtime's comparison openings reconstruct
-    // (additive shares); XOR-combining covers the binary-shared exchanges.
+    // Attack 2: cross-sender reconstruction.
+    assert_no_cross_sender_reconstruction(&frames, &patterns);
+}
+
+/// Reconstruction attack: broadcast exchanges send each party's words to
+/// every peer on one logical stream, so an observer holds every sender's
+/// contribution per stream tag. Element-wise summing them is exactly how the
+/// pre-circuit runtime's comparison openings reconstruct (additive shares);
+/// XOR-combining covers the binary-shared exchanges.
+fn assert_no_cross_sender_reconstruction(frames: &[SniffedFrame], patterns: &[u64]) {
     let mut tags: Vec<StreamTag> = frames.iter().map(|f| f.tag).collect();
     tags.sort_unstable_by_key(|t| format!("{t:?}"));
     tags.dedup();
@@ -249,6 +257,169 @@ fn comparison_traffic_never_carries_operands() {
                 !patterns.contains(&xor),
                 "xor-combining senders' words on {tag:?} reconstructs a secret operand"
             );
+        }
+    }
+}
+
+/// The party program of the dealer-stream sniff: party 0 feeds the sentinels
+/// through dealer input masks (δ = x − r broadcast), the mesh compares them
+/// pairwise, and only the comparison bits are opened.
+fn dealer_program(proto: &mut StepCtx) -> PartyResult<Vec<i64>> {
+    let own0 = proto.party() == 0;
+    let sx = proto.input_column(0, own0.then_some(SECRETS_X.as_slice()), SECRETS_X.len())?;
+    let rev: Vec<AuthShare> = sx.iter().rev().copied().collect();
+    let pairs: Vec<(AuthShare, AuthShare)> = sx.iter().copied().zip(rev).collect();
+    let lt = proto.lt_batch(&pairs)?;
+    proto.open_column(&lt)
+}
+
+/// Runs a streamed-dealer session on a sniffed 3-party mesh, additionally
+/// tapping the dedicated dealer links of the two **non-owning** parties.
+/// The owner's own dealer link stays private — it delivers the owner's clear
+/// input masks and the model treats it exactly as secret as the owner's
+/// memory. Returns (mesh capture, per-link dealer capture, opened bits).
+#[allow(clippy::type_complexity)]
+fn capture_dealer_traffic() -> (Vec<SniffedFrame>, Vec<(u32, SniffedFrame)>, Vec<Vec<i64>>) {
+    let mesh_log = Arc::new(Mutex::new(Vec::new()));
+    let mesh: Vec<SniffTransport> = ChannelTransport::mesh(3)
+        .into_iter()
+        .map(|inner| SniffTransport {
+            inner,
+            log: Arc::clone(&mesh_log),
+        })
+        .collect();
+    let mut link_logs: Vec<(u32, Arc<Mutex<Vec<SniffedFrame>>>)> = Vec::new();
+    let opened = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (i, t) in mesh.into_iter().enumerate() {
+            let mut ends = ChannelTransport::mesh(2).into_iter();
+            let party_end = ends.next().unwrap();
+            let dealer_end = ends.next().unwrap();
+            let link_log = Arc::new(Mutex::new(Vec::new()));
+            if i != 0 {
+                link_logs.push((i as u32, Arc::clone(&link_log)));
+            }
+            let party = i as u32;
+            s.spawn(move || {
+                // The observer taps the dealer's side of every non-owner
+                // link: all block payloads (triples, masks, daBits) that the
+                // dealer ships to parties 1 and 2 land in the capture.
+                let tapped = SniffTransport {
+                    inner: dealer_end,
+                    log: link_log,
+                };
+                serve_party(&tapped, party, 3, 4242).expect("dealer server failed");
+            });
+            handles.push(s.spawn(move || -> PartyResult<Vec<i64>> {
+                let link: Box<dyn Transport> = Box::new(party_end);
+                let mut sess = PartySession::with_dealer(
+                    &t,
+                    2024,
+                    DealerSource::Streamed { link, dealer: 1 },
+                )?;
+                let mut proto = sess.step(0);
+                dealer_program(&mut proto)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("party panicked").expect("party failed"))
+            .collect::<Vec<_>>()
+    });
+    let mesh_frames = mesh_log.lock().unwrap().clone();
+    let dealer_frames: Vec<(u32, SniffedFrame)> = link_logs
+        .iter()
+        .flat_map(|(p, log)| {
+            let frames = log.lock().unwrap().clone();
+            frames.into_iter().map(move |f| (*p, f))
+        })
+        .collect();
+    (mesh_frames, dealer_frames, opened)
+}
+
+/// Sniffing the dealer stream: an observer who taps the whole online mesh
+/// **plus** the dealer links of every non-owning party still cannot recover
+/// party 0's inputs. The input broadcast is δ = x − r where the clear mask
+/// `r` travels only on the owner's private dealer link; the tapped links
+/// carry the other parties' *shares* of `r` (plus their triple/daBit
+/// blocks), and no combination — raw, summed per stream, XORed, or δ
+/// recombined with any tapped word or any same-position pair across the two
+/// tapped links — yields an operand.
+#[test]
+fn dealer_stream_traffic_never_exposes_inputs() {
+    let (mesh_frames, dealer_frames, opened) = capture_dealer_traffic();
+    assert!(!mesh_frames.is_empty(), "the sniffer must observe the mesh");
+    assert!(
+        dealer_frames
+            .iter()
+            .map(|(_, f)| f.payload.len())
+            .sum::<usize>()
+            > 0,
+        "the sniffer must observe dealer blocks"
+    );
+
+    // Sanity: the protocol still computes the right answers.
+    let expected: Vec<i64> = (0..SECRETS_X.len())
+        .map(|i| i64::from(SECRETS_X[i] < SECRETS_X[SECRETS_X.len() - 1 - i]))
+        .collect();
+    for out in &opened {
+        assert_eq!(out, &expected);
+    }
+
+    let patterns = secret_patterns();
+
+    // Attack 1: raw payload scan over everything captured.
+    for f in mesh_frames
+        .iter()
+        .chain(dealer_frames.iter().map(|(_, f)| f))
+    {
+        for w in &f.payload {
+            assert!(
+                !patterns.contains(w),
+                "raw captured payload (kind {:?}) contains a secret operand",
+                f.kind
+            );
+        }
+    }
+
+    // Attack 2: cross-sender reconstruction on the online mesh.
+    assert_no_cross_sender_reconstruction(&mesh_frames, &patterns);
+
+    // Attack 3: δ recombination. The only SecretShare frames this program
+    // broadcasts are the input offsets δ = x − r; combine each δ word with
+    // every tapped dealer word (x = δ + r would need the owner's clear r).
+    let deltas: Vec<u64> = mesh_frames
+        .iter()
+        .filter(|f| f.kind == MessageKind::SecretShare)
+        .flat_map(|f| f.payload.iter().copied())
+        .collect();
+    assert!(!deltas.is_empty(), "the input broadcast must be captured");
+    for &d in &deltas {
+        for (_, f) in &dealer_frames {
+            for &r in &f.payload {
+                assert!(!patterns.contains(&d.wrapping_add(r)));
+                assert!(!patterns.contains(&d.wrapping_sub(r)));
+            }
+        }
+    }
+    // Colluding taps: same-position words across the two tapped links (the
+    // non-owners' shares of the same dealt element) still miss the owner's
+    // share of r.
+    let by_link = |p: u32| -> Vec<&SniffedFrame> {
+        dealer_frames
+            .iter()
+            .filter(|(lp, _)| *lp == p)
+            .map(|(_, f)| f)
+            .collect()
+    };
+    let (l1, l2) = (by_link(1), by_link(2));
+    for (f1, f2) in l1.iter().zip(&l2) {
+        for (w1, w2) in f1.payload.iter().zip(&f2.payload) {
+            let pair = w1.wrapping_add(*w2);
+            for &d in &deltas {
+                assert!(!patterns.contains(&d.wrapping_add(pair)));
+                assert!(!patterns.contains(&d.wrapping_sub(pair)));
+            }
         }
     }
 }

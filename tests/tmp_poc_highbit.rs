@@ -1,0 +1,62 @@
+//! Temporary review PoC: high-valuation tampering vs the MAC check.
+#![allow(clippy::unwrap_used)]
+
+use conclave::mpc::runtime::{PartyError, PartyResult, PartySession};
+use conclave::mpc::AuthShare;
+use conclave::net::{ChannelTransport, Fault, FaultSpec, MessageKind, TamperingTransport};
+
+const INPUTS_X: [i64; 3] = [1_000_003, -77, 40_000];
+const INPUTS_Y: [i64; 3] = [12, 5_000_011, -40_001];
+
+fn party_program(sess: &mut PartySession) -> PartyResult<Vec<i64>> {
+    let mut proto = sess.step(0);
+    let own0 = proto.party() == 0;
+    let own1 = proto.party() == 1;
+    let sx = proto.input_column(0, own0.then_some(INPUTS_X.as_slice()), INPUTS_X.len())?;
+    let sy = proto.input_column(1, own1.then_some(INPUTS_Y.as_slice()), INPUTS_Y.len())?;
+    let pairs: Vec<(AuthShare, AuthShare)> = sx.iter().copied().zip(sy.iter().copied()).collect();
+    let vals = proto.mul_batch(&pairs)?;
+    let out = proto.open_column(&vals)?;
+    proto.session().check_integrity()?;
+    Ok(out)
+}
+
+#[test]
+fn high_bit_consistent_lie_sometimes_escapes() {
+    const DELTA: u64 = 1 << 63;
+    let mut escaped = 0;
+    let mut caught = 0;
+    for seed in 0..40u64 {
+        let mesh = TamperingTransport::wrap_mesh(ChannelTransport::mesh(3), |p| {
+            Some(
+                FaultSpec::new(Fault::Offset { delta: DELTA })
+                    .kind(MessageKind::Reveal)
+                    .from((p + 1) % 3),
+            )
+        });
+        let results = std::thread::scope(|s| {
+            let handles: Vec<_> = mesh
+                .into_iter()
+                .map(|t| {
+                    s.spawn(move || -> PartyResult<Vec<i64>> {
+                        let mut sess = PartySession::new(&t, 1000 + seed);
+                        party_program(&mut sess)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+        });
+        let any_integrity = results
+            .iter()
+            .any(|r| matches!(r, Err(PartyError::Integrity(_))));
+        if any_integrity {
+            caught += 1;
+        } else if results.iter().all(|r| r.is_ok()) {
+            escaped += 1;
+        }
+    }
+    panic!("escaped={escaped} caught={caught} out of 40");
+}

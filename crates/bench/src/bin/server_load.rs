@@ -1,0 +1,233 @@
+//! Load generator and soak check for the multi-tenant `conclave-server`.
+//!
+//! Drives ≥1000 small MPC queries through one [`ConclaveServer`] from many
+//! concurrent clients spread across several tenants, then prints latency
+//! percentiles and the serving-layer counters as JSON (reference numbers
+//! are committed in `BENCH_server.json`).
+//!
+//! Every tenant is seeded with *tenant-specific* data, so each query has a
+//! tenant-specific expected answer; any cross-tenant leak (a cached plan or
+//! a mesh serving the wrong tenant's bindings) is an immediate mismatch and
+//! the binary **exits 1**. The same applies if any query is rejected or
+//! errors under a configuration sized to never shed load.
+//!
+//! Usage: `server_load [queries] [--check]`
+//!
+//! `--check` re-reads the committed `BENCH_server.json` and exits 1 if the
+//! measured p99 regressed to more than 2x the committed reference — the CI
+//! `server` job runs exactly this.
+
+use conclave_core::config::ConclaveConfig;
+use conclave_engine::relation::Relation;
+use conclave_mpc::dealer::{MaterialPool, MaterialSpec};
+use conclave_server::{AdmissionLimits, ConclaveServer, ServerConfig, ServerHandle};
+use conclave_sql::Catalog;
+use std::time::Instant;
+
+const TENANTS: usize = 4;
+const CLIENTS: usize = 16;
+
+/// One tenant's two-owner aggregation query: tiny on purpose — the load
+/// profile of a serving deployment is many small queries, not one big one.
+const SUM_SQL: &str = "CREATE TABLE ta (k INT, v INT) WITH OWNER p1;
+     CREATE TABLE tb (k INT, v INT) WITH OWNER p2;
+     SELECT k, SUM(v) AS total FROM (ta UNION ALL tb)
+     GROUP BY k
+     REVEAL TO p1;";
+
+fn tenant_name(t: usize) -> String {
+    format!("tenant-{t}")
+}
+
+/// Per-tenant inputs chosen so no two tenants share an answer: the totals
+/// are 113·t + 3, pairwise distinct.
+fn tenant_inputs(t: usize) -> (Relation, Relation) {
+    let t = t as i64;
+    (
+        Relation::from_ints(&["k", "v"], &[vec![1, 10 * t + 1], vec![1, 3 * t]]),
+        Relation::from_ints(&["k", "v"], &[vec![1, 100 * t + 2]]),
+    )
+}
+
+fn expected_total(t: usize) -> i64 {
+    113 * t as i64 + 3
+}
+
+/// Runs one query and returns (latency, ok). A result is `ok` only if it is
+/// exactly this tenant's expected single row — anything else is a
+/// cross-tenant mix-up or a corruption.
+fn one_query(server: &ServerHandle, t: usize) -> (f64, bool) {
+    let start = Instant::now();
+    let outcome = server.query(&tenant_name(t), SUM_SQL);
+    let secs = start.elapsed().as_secs_f64();
+    let ok = match outcome {
+        Ok(outcome) => {
+            let expected = Relation::from_ints(&["k", "total"], &[vec![1, expected_total(t)]]);
+            outcome
+                .report
+                .output_for(1)
+                .is_some_and(|out| out.same_rows_unordered(&expected))
+        }
+        Err(e) => {
+            eprintln!("FAIL: {} query errored: {e}", tenant_name(t));
+            false
+        }
+    };
+    (secs, ok)
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let ix = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[ix]
+}
+
+/// Pulls the committed `"p99_ms": <number>` out of BENCH_server.json without
+/// a JSON dependency.
+fn committed_p99(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let at = text.find("\"p99_ms\":")?;
+    let rest = text[at + "\"p99_ms\":".len()..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let mut queries: usize = 1024;
+    let mut check = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--check" {
+            check = true;
+        } else {
+            queries = arg.parse().expect("usage: server_load [queries] [--check]");
+        }
+    }
+    let per_client = queries.div_ceil(CLIENTS);
+    let queries = per_client * CLIENTS;
+
+    // One pool shared by every tenant: 3 parties (the MPC backend's mesh
+    // size), kept a few bundles deep by the background refiller.
+    let spec = MaterialSpec {
+        triples: 256,
+        bit_triples: 512,
+        shared_bits: 256,
+        dabits: 64,
+        input_masks: 128,
+    };
+    let pool = MaterialPool::start(42, 3, spec, 8);
+    let config = ServerConfig::new(
+        ConclaveConfig::standard()
+            .with_sequential_local()
+            .with_channel_runtime(),
+    )
+    .with_pool(pool)
+    // Sized to queue, never shed: at most CLIENTS/TENANTS clients target one
+    // tenant, all of which fit in the wait queue.
+    .with_limits(AdmissionLimits {
+        max_in_flight: 2,
+        queue_depth: CLIENTS,
+    });
+    let server = ConclaveServer::start(config);
+
+    for t in 0..TENANTS {
+        let name = tenant_name(t);
+        server
+            .register_tenant(&name, Catalog::new())
+            .expect("fresh tenant");
+        let (ta, tb) = tenant_inputs(t);
+        server.bind(&name, "ta", ta).expect("bind ta");
+        server.bind(&name, "tb", tb).expect("bind tb");
+    }
+
+    let start = Instant::now();
+    let (latencies, failures): (Vec<Vec<f64>>, Vec<usize>) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let server = server.clone();
+                s.spawn(move || {
+                    let tenant = c % TENANTS;
+                    let mut lats = Vec::with_capacity(per_client);
+                    let mut failed = 0usize;
+                    for _ in 0..per_client {
+                        let (secs, ok) = one_query(&server, tenant);
+                        lats.push(secs * 1e3);
+                        if !ok {
+                            failed += 1;
+                        }
+                    }
+                    (lats, failed)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .unzip()
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+
+    let mut all_ms: Vec<f64> = latencies.into_iter().flatten().collect();
+    all_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let failed: usize = failures.iter().sum();
+    let p50 = percentile(&all_ms, 0.50);
+    let p99 = percentile(&all_ms, 0.99);
+
+    let stats = server.stats();
+    let (mut hits, mut misses, mut rejected) = (0u64, 0u64, 0u64);
+    for t in stats.tenants.values() {
+        hits += t.cache.hits;
+        misses += t.cache.misses;
+        rejected += t.rejected;
+    }
+    let pool_stats = stats.pool.expect("the load config always has a pool");
+
+    println!("{{");
+    println!("  \"bench\": \"server_load\",");
+    println!("  \"tenants\": {TENANTS}, \"clients\": {CLIENTS}, \"queries\": {queries},");
+    println!(
+        "  \"wall_s\": {wall_s:.2}, \"qps\": {:.0}, \"p50_ms\": {p50:.1}, \"p99_ms\": {p99:.1},",
+        queries as f64 / wall_s
+    );
+    println!("  \"cache\": {{ \"hits\": {hits}, \"misses\": {misses} }},");
+    println!(
+        "  \"pool\": {{ \"dealt\": {}, \"taken\": {}, \"starved\": {} }},",
+        pool_stats.dealt, pool_stats.taken, pool_stats.starved
+    );
+    println!("  \"failed\": {failed}, \"rejected\": {rejected}");
+    println!("}}");
+
+    if failed > 0 {
+        eprintln!(
+            "FAIL: {failed} queries returned a wrong or missing result (cross-tenant mix-up?)"
+        );
+        std::process::exit(1);
+    }
+    if rejected > 0 {
+        eprintln!("FAIL: {rejected} queries were shed under a no-shed configuration");
+        std::process::exit(1);
+    }
+    // Every tenant compiles its plan exactly once; everything else must hit.
+    if misses != TENANTS as u64 || hits != (queries - TENANTS) as u64 {
+        eprintln!("FAIL: plan cache did not amortize (hits={hits} misses={misses})");
+        std::process::exit(1);
+    }
+    if check {
+        match committed_p99("BENCH_server.json") {
+            Some(reference) if p99 > 2.0 * reference => {
+                eprintln!("FAIL: p99 {p99:.1}ms regressed past 2x the committed {reference:.1}ms");
+                std::process::exit(1);
+            }
+            Some(reference) => {
+                eprintln!("check: p99 {p99:.1}ms within 2x of committed {reference:.1}ms");
+            }
+            None => {
+                eprintln!("FAIL: --check needs a committed BENCH_server.json with a p99_ms field");
+                std::process::exit(1);
+            }
+        }
+    }
+}

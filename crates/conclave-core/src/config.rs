@@ -2,6 +2,7 @@
 
 use conclave_engine::EngineMode;
 use conclave_mpc::backend::MpcBackendConfig;
+use conclave_mpc::dealer::MaterialPool;
 use conclave_parallel::ClusterSpec;
 
 /// Which cleartext backend each party uses for local processing (§4.1: Spark
@@ -45,7 +46,7 @@ impl PartyRuntime {
 /// shares, authenticated Beaver triples, binary triples, shared bits, daBits)
 /// comes from. Only meaningful when [`ConclaveConfig::party_runtime`] is
 /// distributed; the simulated engine models no offline phase.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Default)]
 pub enum DealerMode {
     /// Synthesize material in-process from the mesh seed (default). The
     /// offline phase is elided; shares still carry MACs and every reveal is
@@ -60,7 +61,29 @@ pub enum DealerMode {
     /// per-party link ([`conclave_mpc::dealer::serve_party`]); the dealer's
     /// traffic is accounted separately in the run report.
     Streamed,
+    /// Draw preloaded bundles from a shared, background-refilled
+    /// [`MaterialPool`] — the serving-layer mode: the pool amortizes the
+    /// offline phase across queries (and tenants), and a long-lived mesh is
+    /// topped up with a fresh bundle per query.
+    Pooled(MaterialPool),
 }
+
+// Manual impl because `MaterialPool` compares by pool identity (two handles
+// are equal iff they share the same underlying pool), which `derive` can't
+// express.
+impl PartialEq for DealerMode {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (DealerMode::Seeded, DealerMode::Seeded) => true,
+            (DealerMode::File(a), DealerMode::File(b)) => a == b,
+            (DealerMode::Streamed, DealerMode::Streamed) => true,
+            (DealerMode::Pooled(a), DealerMode::Pooled(b)) => a.same_pool(b),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for DealerMode {}
 
 /// Configuration of a Conclave compilation and execution.
 ///
@@ -201,6 +224,12 @@ impl ConclaveConfig {
     pub fn with_streamed_dealer(self) -> Self {
         self.with_dealer(DealerMode::Streamed)
     }
+
+    /// Returns a copy drawing offline material from a shared
+    /// background-refilled pool (the serving-layer mode).
+    pub fn with_pooled_dealer(self, pool: MaterialPool) -> Self {
+        self.with_dealer(DealerMode::Pooled(pool))
+    }
 }
 
 impl Default for ConclaveConfig {
@@ -276,5 +305,12 @@ mod tests {
         );
         let c = c.with_dealer(DealerMode::Seeded);
         assert_eq!(c.dealer, DealerMode::Seeded);
+        // Pooled mode compares by pool identity: clones of one pool are
+        // equal, distinct pools (even with identical parameters) are not.
+        let pool = MaterialPool::start(1, 2, Default::default(), 1);
+        let c = ConclaveConfig::standard().with_pooled_dealer(pool.clone());
+        assert_eq!(c.dealer, DealerMode::Pooled(pool));
+        let other = MaterialPool::start(1, 2, Default::default(), 1);
+        assert_ne!(c.dealer, DealerMode::Pooled(other));
     }
 }

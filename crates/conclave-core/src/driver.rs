@@ -131,6 +131,12 @@ pub struct Driver {
     /// Executor for STP/helper steps of hybrid protocols (always sequential:
     /// the trusted party runs them single-site).
     stp_exec: Box<dyn Executor + Send + Sync>,
+    /// When [`Driver::retain_mesh`] is on: the party mesh kept alive between
+    /// [`Driver::run_tables`] calls, so repeated queries reuse one set of
+    /// workers, sessions and MAC key (`mesh_builds` stays at 1). Errors drop
+    /// it — the next run starts from a clean mesh.
+    persistent_mesh: Option<party_exec::PartyMeshRuntime>,
+    retain_mesh: bool,
 }
 
 impl Driver {
@@ -149,7 +155,34 @@ impl Driver {
             mpc,
             local_exec,
             stp_exec,
+            persistent_mesh: None,
+            retain_mesh: false,
         }
+    }
+
+    /// Keeps the distributed party mesh alive across [`Driver::run_tables`]
+    /// calls (the serving-layer mode): the first MPC-bearing plan builds the
+    /// mesh, later plans reuse its workers and sessions via
+    /// [`party_exec::PartyMeshRuntime::begin_query`]/`end_query`, and each
+    /// run's report carries only that query's traffic. Any run error discards
+    /// the mesh, so a failed query can never leave stale shares or a
+    /// desynchronized work queue behind.
+    pub fn retain_mesh(&mut self, keep: bool) {
+        self.retain_mesh = keep;
+        if !keep {
+            self.persistent_mesh = None;
+        }
+    }
+
+    /// Drops the retained party mesh (if any), joining its workers. The next
+    /// run builds a fresh one.
+    pub fn reset_mesh(&mut self) {
+        self.persistent_mesh = None;
+    }
+
+    /// Whether a retained party mesh is currently alive.
+    pub fn has_live_mesh(&self) -> bool {
+        self.persistent_mesh.is_some()
     }
 
     /// The executor used for local cleartext steps.
@@ -232,7 +265,13 @@ impl Driver {
         // on the workers as shares and are opened only at reveal boundaries.
         let distributed = self.config.party_runtime.is_distributed()
             && self.mpc.config().kind.is_secret_sharing();
-        let mut mesh_rt: Option<party_exec::PartyMeshRuntime> = None;
+        // A retained mesh from an earlier run is taken (not borrowed): if
+        // this run errors out anywhere below, the mesh is dropped with it and
+        // the driver is back in a defined, mesh-less state.
+        let mut mesh_rt: Option<party_exec::PartyMeshRuntime> = self.persistent_mesh.take();
+        // Whether this plan actually opened a query on the mesh (built it
+        // fresh, or called `begin_query` on a reused one).
+        let mut query_started = false;
         // Node → enqueued step id, for wiring resident inputs and reveals.
         let mut mpc_steps: HashMap<NodeId, u32> = HashMap::new();
         // Step id → index into `report.per_node` whose duration is patched
@@ -254,13 +293,23 @@ impl Driver {
         for id in order {
             let node = plan.dag.node(id)?;
             if pipelined(node) {
-                if mesh_rt.is_none() {
-                    mesh_rt = Some(party_exec::PartyMeshRuntime::with_dealer(
-                        self.mpc.config().kind.parties(),
-                        self.config.mpc.seed,
-                        self.config.party_runtime,
-                        &self.config.dealer,
-                    )?);
+                match mesh_rt.as_mut() {
+                    None => {
+                        mesh_rt = Some(party_exec::PartyMeshRuntime::with_dealer(
+                            self.mpc.config().kind.parties(),
+                            self.config.mpc.seed,
+                            self.config.party_runtime,
+                            &self.config.dealer,
+                        )?);
+                        query_started = true;
+                    }
+                    Some(rt) if !query_started => {
+                        // Reusing a retained mesh: top up pooled material for
+                        // this query before the first step lands on it.
+                        rt.begin_query()?;
+                        query_started = true;
+                    }
+                    Some(_) => {}
                 }
                 let rt = mesh_rt.as_mut().expect("just created");
                 let reveal = consumers.get(&id).is_none_or(|cs| {
@@ -444,24 +493,36 @@ impl Driver {
         // Wind down the party mesh: flush in-flight opens, collect every
         // step's primitive counts (patching the per-node duration
         // placeholders), and account the observed wire traffic exactly once.
-        if let Some(rt) = mesh_rt {
-            let summary = rt.finish()?;
-            for outcome in &summary.steps {
-                let stats = self.mpc.stats_from_counts(
-                    outcome.counts,
-                    outcome.input_rows,
-                    outcome.output_rows,
-                );
-                report.mpc_time += stats.simulated_time;
-                report.mpc_stats.merge(&stats);
-                if let Some(&idx) = step_nodes.get(&outcome.step) {
-                    report.per_node[idx].2 = stats.simulated_time;
+        if let Some(mut rt) = mesh_rt {
+            if !query_started {
+                // The plan never touched the mesh (no pipelined MPC steps):
+                // stash the retained mesh back untouched.
+                self.persistent_mesh = Some(rt);
+            } else {
+                let summary = if self.retain_mesh {
+                    let summary = rt.end_query()?;
+                    self.persistent_mesh = Some(rt);
+                    summary
+                } else {
+                    rt.finish()?
+                };
+                for outcome in &summary.steps {
+                    let stats = self.mpc.stats_from_counts(
+                        outcome.counts,
+                        outcome.input_rows,
+                        outcome.output_rows,
+                    );
+                    report.mpc_time += stats.simulated_time;
+                    report.mpc_stats.merge(&stats);
+                    if let Some(&idx) = step_nodes.get(&outcome.step) {
+                        report.per_node[idx].2 = stats.simulated_time;
+                    }
                 }
+                report.net.merge(&summary.net);
+                report.network_bytes += summary.net.total_bytes();
+                report.net_measured = true;
+                report.dealer_net = summary.dealer_net;
             }
-            report.net.merge(&summary.net);
-            report.network_bytes += summary.net.total_bytes();
-            report.net_measured = true;
-            report.dealer_net = summary.dealer_net;
         }
         // Tally per-run conversions. Clones share one counter, so count each
         // distinct cache once, from its earliest baseline.

@@ -59,4 +59,4 @@ pub use driver::Driver;
 pub use passes::leakage::{Disclosure, DisclosureKind, LeakageReport, LeakageViolation};
 pub use plan::{compile, CompileError, CompileResult, PhysicalPlan};
 pub use report::RunReport;
-pub use session::{Session, SessionError};
+pub use session::{PersistentSession, Session, SessionError};

@@ -44,7 +44,9 @@ use conclave_engine::{Relation, Table};
 use conclave_ir::ops::Operator;
 use conclave_ir::schema::Schema;
 use conclave_mpc::cost::PrimitiveCounts;
-use conclave_mpc::dealer::{load_party_file, serve_party, DealerSource};
+use conclave_mpc::dealer::{
+    load_party_file, serve_party, DealerSource, MaterialBlocks, MaterialPool,
+};
 use conclave_mpc::runtime::{
     begin_open_relation, execute_party_op, finish_open_relation, share_relation, PartyError,
     PartyRelation, PartySession, PendingOpen,
@@ -141,10 +143,27 @@ enum WorkerInput {
 
 enum WorkMsg {
     Step(Box<StepSpec>),
+    /// Ends the current query on a long-lived mesh: flush deferred opens,
+    /// drop resident relations, acknowledge with cumulative endpoint stats.
+    /// The worker (and its session, MAC key, dealer feed) stays alive for
+    /// the next query.
+    EndQuery,
+    /// Tops up the session's preloaded stock with a fresh pool bundle
+    /// (dealt under the same MAC key) before the next query runs.
+    Refill(Box<MaterialBlocks>),
     Finish,
 }
 
-type WorkerReply = (u32, Result<StepOutcome, PartyError>);
+enum WorkerReply {
+    Step(u32, Result<StepOutcome, PartyError>),
+    /// Acknowledges [`WorkMsg::EndQuery`]: this endpoint's *cumulative* mesh
+    /// stats (the runtime turns them into per-query deltas) plus, in
+    /// streamed-dealer mode, the cumulative dealer-link stats.
+    QueryEnd {
+        net: NetStats,
+        dealer: Option<NetStats>,
+    },
+}
 
 /// What one worker thread needs to set up its session's offline feed.
 enum WorkerDealer {
@@ -155,6 +174,9 @@ enum WorkerDealer {
     /// Stream blocks over this dedicated link (the party holds endpoint 0,
     /// the dealer server endpoint 1).
     Link(Box<dyn Transport>),
+    /// Preload this party's block of a pool bundle; later queries on the
+    /// same mesh are topped up via [`WorkMsg::Refill`].
+    Preloaded(Box<MaterialBlocks>),
 }
 
 struct WorkerHandle {
@@ -182,6 +204,17 @@ pub struct PartyMeshRuntime {
     buffered: Vec<HashMap<u32, StepOutcome>>,
     /// Cross-party-checked outcomes, keyed by step.
     completed: BTreeMap<u32, StepOutcome>,
+    /// The shared pool backing [`DealerMode::Pooled`]: each
+    /// [`PartyMeshRuntime::begin_query`] draws one fresh bundle from it.
+    pool: Option<MaterialPool>,
+    /// First step id of the current query (step ids keep counting across
+    /// queries on a long-lived mesh).
+    query_start: u32,
+    /// Per-worker cumulative-stats baselines as of the last
+    /// [`PartyMeshRuntime::end_query`], for per-query delta attribution.
+    net_base: Vec<NetStats>,
+    /// Same, for the worker-side dealer-link stats (streamed mode).
+    dealer_base: Vec<NetStats>,
 }
 
 impl PartyMeshRuntime {
@@ -208,6 +241,20 @@ impl PartyMeshRuntime {
             PartyRuntime::Tcp => Mesh::tcp_localhost(parties).map_err(DriverError::Transport)?,
         };
         let mut dealer_servers = Vec::new();
+        // Pooled mode draws the first bundle up front (blocking until the
+        // refiller has one ready — a starved pool delays, never corrupts).
+        let mut pool_bundle = match dealer {
+            DealerMode::Pooled(pool) => {
+                if pool.parties() != parties as usize {
+                    return Err(DriverError::Mpc(MpcError::Exec(format!(
+                        "dealer pool deals for {} parties, but the mesh has {parties}",
+                        pool.parties()
+                    ))));
+                }
+                Some(pool.take())
+            }
+            _ => None,
+        };
         let workers: Vec<WorkerHandle> = mesh
             .into_endpoints()
             .into_iter()
@@ -217,6 +264,10 @@ impl PartyMeshRuntime {
                     DealerMode::Seeded => WorkerDealer::Seeded,
                     DealerMode::File(dir) => {
                         WorkerDealer::File(dir.join(format!("party-{i}.dealer")))
+                    }
+                    DealerMode::Pooled(_) => {
+                        let bundle = pool_bundle.as_mut().expect("bundle taken above");
+                        WorkerDealer::Preloaded(Box::new(std::mem::take(&mut bundle[i])))
                     }
                     DealerMode::Streamed => {
                         // One dedicated 2-endpoint link per party: the party
@@ -248,12 +299,21 @@ impl PartyMeshRuntime {
             })
             .collect();
         let buffered = workers.iter().map(|_| HashMap::new()).collect();
+        let net_base = workers.iter().map(|_| NetStats::default()).collect();
+        let dealer_base = workers.iter().map(|_| NetStats::default()).collect();
         Ok(PartyMeshRuntime {
             workers,
             dealer_servers,
             next_step: 0,
             buffered,
             completed: BTreeMap::new(),
+            pool: match dealer {
+                DealerMode::Pooled(pool) => Some(pool.clone()),
+                _ => None,
+            },
+            query_start: 0,
+            net_base,
+            dealer_base,
         })
     }
 
@@ -322,15 +382,95 @@ impl PartyMeshRuntime {
         })
     }
 
+    /// Prepares a long-lived mesh for its next query: in pooled-dealer mode,
+    /// draws one fresh bundle from the pool (blocking if the refiller lags)
+    /// and tops up every worker's session. A no-op under other dealer modes
+    /// — their feeds are query-unbounded by construction.
+    pub fn begin_query(&mut self) -> Result<(), DriverError> {
+        let Some(pool) = self.pool.clone() else {
+            return Ok(());
+        };
+        let mut bundle = pool.take();
+        for (i, w) in self.workers.iter().enumerate() {
+            let blocks = std::mem::take(&mut bundle[i]);
+            w.work
+                .send(WorkMsg::Refill(Box::new(blocks)))
+                .map_err(|_| {
+                    DriverError::Mpc(MpcError::Exec(format!("party worker {i} exited early")))
+                })?;
+        }
+        Ok(())
+    }
+
+    /// Ends the current query **without** tearing down the mesh: flushes all
+    /// in-flight opens, drains this query's step outcomes, drops the workers'
+    /// resident relations, and returns a [`MeshSummary`] covering *only* the
+    /// traffic since the previous `end_query` (so `mesh_builds` is 1 for the
+    /// first query on a mesh and 0 for every later one). The workers, their
+    /// sessions and the MAC key survive for the next query.
+    pub fn end_query(&mut self) -> Result<MeshSummary, DriverError> {
+        for (i, w) in self.workers.iter().enumerate() {
+            w.work.send(WorkMsg::EndQuery).map_err(|_| {
+                DriverError::Mpc(MpcError::Exec(format!("party worker {i} exited early")))
+            })?;
+        }
+        for step in self.query_start..self.next_step {
+            self.collect_step(step)?;
+        }
+        let mut mesh_stats = Vec::new();
+        let mut dealer_net: Option<NetStats> = None;
+        for w in 0..self.workers.len() {
+            let (net, dealer) = self.take_query_end(w)?;
+            mesh_stats.push(net.since(&self.net_base[w]));
+            self.net_base[w] = net;
+            if let Some(d) = dealer {
+                let delta = d.since(&self.dealer_base[w]);
+                self.dealer_base[w] = d;
+                dealer_net
+                    .get_or_insert_with(NetStats::default)
+                    .merge(&remap_dealer_stats(w as u32, delta));
+            }
+        }
+        let steps: Vec<StepOutcome> = (self.query_start..self.next_step)
+            .filter_map(|s| self.completed.remove(&s))
+            .collect();
+        self.query_start = self.next_step;
+        Ok(MeshSummary {
+            steps,
+            net: merge_mesh_stats(mesh_stats),
+            dealer_net,
+        })
+    }
+
+    /// Receives worker `w`'s [`WorkerReply::QueryEnd`] acknowledgement,
+    /// buffering any step replies that are still in flight ahead of it.
+    fn take_query_end(&mut self, w: usize) -> Result<(NetStats, Option<NetStats>), DriverError> {
+        loop {
+            match self.workers[w].replies.recv() {
+                Ok(WorkerReply::QueryEnd { net, dealer }) => return Ok((net, dealer)),
+                Ok(WorkerReply::Step(s, Ok(outcome))) => {
+                    self.buffered[w].insert(s, outcome);
+                }
+                Ok(WorkerReply::Step(_, Err(e))) => return Err(party_to_driver_error(e)),
+                Err(_) => {
+                    return Err(DriverError::Mpc(MpcError::Exec(format!(
+                        "party worker {w} exited before acknowledging query end"
+                    ))))
+                }
+            }
+        }
+    }
+
     /// Flushes all in-flight opens, drains every outstanding step outcome,
     /// joins the workers, and returns the per-step outcomes together with
-    /// the merged measured traffic.
+    /// the merged measured traffic (since the last
+    /// [`PartyMeshRuntime::end_query`], if any was run).
     pub fn finish(mut self) -> Result<MeshSummary, DriverError> {
         for w in &self.workers {
             let _ = w.work.send(WorkMsg::Finish);
         }
         let mut first_err = None;
-        for step in 0..self.next_step {
+        for step in self.query_start..self.next_step {
             if let Err(e) = self.collect_step(step) {
                 first_err = Some(e);
                 break;
@@ -342,11 +482,14 @@ impl PartyMeshRuntime {
         for (i, w) in self.workers.iter_mut().enumerate() {
             if let Some(j) = w.join.take() {
                 let (net, dealer) = j.join().expect("party worker panicked");
-                mesh_stats.push(net);
+                // Baselines are empty unless `end_query` ran: a one-shot mesh
+                // reports its full traffic, a long-lived one only the
+                // residual since its last per-query summary.
+                mesh_stats.push(net.since(&self.net_base[i]));
                 if let Some(d) = dealer {
                     dealer_net
                         .get_or_insert_with(NetStats::default)
-                        .merge(&remap_dealer_stats(i as u32, d));
+                        .merge(&remap_dealer_stats(i as u32, d.since(&self.dealer_base[i])));
                 }
             }
         }
@@ -409,11 +552,19 @@ impl PartyMeshRuntime {
             return Ok(outcome);
         }
         loop {
-            let (s, result) = self.workers[w].replies.recv().map_err(|_| {
+            let reply = self.workers[w].replies.recv().map_err(|_| {
                 DriverError::Mpc(MpcError::Exec(format!(
                     "party worker {w} exited before reporting step {step}"
                 )))
             })?;
+            let (s, result) = match reply {
+                WorkerReply::Step(s, result) => (s, result),
+                WorkerReply::QueryEnd { .. } => {
+                    return Err(DriverError::Mpc(MpcError::Exec(format!(
+                        "party worker {w} ended the query before reporting step {step}"
+                    ))))
+                }
+            };
             let outcome = result.map_err(party_to_driver_error)?;
             if s == step {
                 return Ok(outcome);
@@ -486,6 +637,7 @@ fn worker_main(
             load_party_file(&path).map(|b| DealerSource::Preloaded(Box::new(b)))
         }
         WorkerDealer::Link(link) => Ok(DealerSource::Streamed { link, dealer: 1 }),
+        WorkerDealer::Preloaded(blocks) => Ok(DealerSource::Preloaded(blocks)),
     };
     let mut sess = match source.and_then(|s| PartySession::with_dealer(&*net, seed, s)) {
         Ok(sess) => sess,
@@ -497,8 +649,18 @@ fn worker_main(
                 match m {
                     WorkMsg::Finish => break,
                     WorkMsg::Step(spec) => {
-                        let _ = replies.send((spec.step, Err(PartyError::Proto(msg.clone()))));
+                        let _ = replies.send(WorkerReply::Step(
+                            spec.step,
+                            Err(PartyError::Proto(msg.clone())),
+                        ));
                     }
+                    WorkMsg::EndQuery => {
+                        let _ = replies.send(WorkerReply::QueryEnd {
+                            net: net.stats(),
+                            dealer: None,
+                        });
+                    }
+                    WorkMsg::Refill(_) => {}
                 }
             }
             return (net.stats(), None);
@@ -506,6 +668,11 @@ fn worker_main(
     };
     let mut resident: HashMap<u32, PartyRelation> = HashMap::new();
     let mut deferred: Vec<DeferredOpen> = Vec::new();
+    // A failed refill (wrong mesh, foreign MAC key) poisons the worker: the
+    // material in the session is still sound, but the driver's expectation
+    // ("this query was topped up") is not, so every subsequent step fails
+    // with the stored reason until the mesh is torn down.
+    let mut refill_err: Option<String> = None;
     loop {
         // Pipelining: only collect in-flight opens once no further step is
         // queued — the next step's protocol rounds take priority.
@@ -522,8 +689,26 @@ fn worker_main(
         };
         match msg {
             WorkMsg::Finish => break,
+            WorkMsg::EndQuery => {
+                flush_opens(&mut sess, &mut deferred, &replies);
+                resident.clear();
+                let _ = replies.send(WorkerReply::QueryEnd {
+                    net: net.stats(),
+                    dealer: sess.dealer_stats(),
+                });
+            }
+            WorkMsg::Refill(blocks) => {
+                if let Err(e) = sess.refill(*blocks) {
+                    refill_err = Some(format!("dealer refill failed: {e}"));
+                }
+            }
             WorkMsg::Step(spec) => {
                 let step = spec.step;
+                if let Some(msg) = &refill_err {
+                    let _ =
+                        replies.send(WorkerReply::Step(step, Err(PartyError::Proto(msg.clone()))));
+                    continue;
+                }
                 let before = sess.counts();
                 match run_step(&mut sess, &resident, &spec) {
                     Ok((input_rows, result, pending)) => {
@@ -538,7 +723,7 @@ fn worker_main(
                         match pending {
                             Some(pending) => deferred.push(DeferredOpen { outcome, pending }),
                             None => {
-                                let _ = replies.send((step, Ok(outcome)));
+                                let _ = replies.send(WorkerReply::Step(step, Ok(outcome)));
                             }
                         }
                     }
@@ -546,7 +731,7 @@ fn worker_main(
                         // Step failures are deterministic (validation happens
                         // before any communication), so every party fails the
                         // same step identically and the mesh stays aligned.
-                        let _ = replies.send((step, Err(e)));
+                        let _ = replies.send(WorkerReply::Step(step, Err(e)));
                     }
                 }
             }
@@ -642,7 +827,7 @@ fn flush_opens(
             }
             Err(e) => Err(e),
         };
-        let _ = replies.send((step, reply));
+        let _ = replies.send(WorkerReply::Step(step, reply));
     }
 }
 
@@ -891,6 +1076,63 @@ mod tests {
             format!("{err:?}").contains("offline phase failed"),
             "got {err:?}"
         );
+    }
+
+    #[test]
+    fn pooled_mesh_runs_many_queries_on_one_build() {
+        use conclave_mpc::dealer::MaterialSpec;
+        let table = sales_table();
+        let op = Operator::Aggregate {
+            group_by: vec!["companyID".into()],
+            func: AggFunc::Sum,
+            over: Some("price".into()),
+            out: "rev".into(),
+        };
+        let mut oracle = MpcEngine::new(MpcBackendConfig::sharemind());
+        let (expected, _) = oracle.execute_op(&op, &[table.as_rows()]).unwrap();
+        let spec = MaterialSpec {
+            triples: 256,
+            bit_triples: 512,
+            shared_bits: 256,
+            dabits: 64,
+            input_masks: 64,
+        };
+        let pool = MaterialPool::start(42, 3, spec, 2);
+        let mut rt = PartyMeshRuntime::with_dealer(
+            3,
+            42,
+            PartyRuntime::Channel,
+            &DealerMode::Pooled(pool.clone()),
+        )
+        .unwrap();
+        let mut mesh_builds = 0;
+        for q in 0..3 {
+            if q > 0 {
+                // Later queries top the long-lived sessions up with a fresh
+                // bundle (same MAC key) instead of rebuilding anything.
+                rt.begin_query().unwrap();
+            }
+            let step = rt
+                .enqueue(
+                    &op,
+                    vec![StepInput::Table(table.as_rows().clone())],
+                    false,
+                    true,
+                )
+                .unwrap();
+            let opened = rt.wait_opened(step).unwrap();
+            assert!(
+                opened.same_rows_unordered(&expected),
+                "query {q}:\n{opened}"
+            );
+            let summary = rt.end_query().unwrap();
+            assert_eq!(summary.steps.len(), 1, "per-query outcomes only");
+            assert!(summary.net.total_bytes() > 0, "each query is attributed");
+            mesh_builds += summary.net.mesh_builds;
+        }
+        assert_eq!(mesh_builds, 1, "one mesh for all queries, not one each");
+        drop(rt);
+        assert!(pool.stats().taken >= 3, "one bundle per query");
     }
 
     #[test]

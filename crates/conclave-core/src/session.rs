@@ -155,6 +155,10 @@ impl Session {
     /// Binds a named input relation to data. Accepts a [`Table`] or anything
     /// convertible into one ([`conclave_engine::Relation`],
     /// [`conclave_engine::ColumnarRelation`]).
+    ///
+    /// Binding a name that is already bound **replaces** the previous data
+    /// (last bind wins) — rebinding is the supported way to refresh an input
+    /// between runs, never an error or a silent no-op.
     pub fn bind(mut self, name: impl Into<String>, table: impl Into<Table>) -> Self {
         self.bindings.insert(name.into(), table.into());
         self
@@ -329,6 +333,116 @@ fn located(e: SqlError, sql: &str) -> SessionError {
     SessionError::Sql(e.located(sql))
 }
 
+/// A long-lived session for serving many queries: a [`Session`] plus one
+/// [`Driver`] with [`Driver::retain_mesh`] enabled, so consecutive runs reuse
+/// a single party mesh (workers, MAC key, resident dealer sessions —
+/// `mesh_builds` stays at 1 across queries).
+///
+/// Unlike [`Session`]'s consuming builder, bindings here are updated in
+/// place, because a serving tenant rebinds inputs between queries. The
+/// reuse contract is explicit:
+///
+/// * **Rebinding** a name replaces the previous table (last bind wins).
+/// * **A failed run leaves the session in a defined state**: the retained
+///   mesh is discarded on any error, so the next run starts from a fresh
+///   mesh instead of a desynchronized work queue, and bindings are
+///   untouched.
+pub struct PersistentSession {
+    session: Session,
+    driver: Driver,
+}
+
+impl fmt::Debug for PersistentSession {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PersistentSession")
+            .field("session", &self.session)
+            .field("live_mesh", &self.driver.has_live_mesh())
+            .finish()
+    }
+}
+
+impl PersistentSession {
+    /// Creates a persistent session with the given configuration and no
+    /// bindings. The mesh-retaining driver is created eagerly; the mesh
+    /// itself is built lazily by the first run that needs MPC.
+    pub fn new(config: ConclaveConfig) -> Self {
+        let mut driver = Driver::new(config.clone());
+        driver.retain_mesh(true);
+        PersistentSession {
+            session: Session::new(config),
+            driver,
+        }
+    }
+
+    /// Binds (or rebinds — last bind wins) a named input relation in place.
+    pub fn bind(&mut self, name: impl Into<String>, table: impl Into<Table>) -> &mut Self {
+        self.session.bindings.insert(name.into(), table.into());
+        self
+    }
+
+    /// Removes a binding, returning the previously bound table if any.
+    pub fn unbind(&mut self, name: &str) -> Option<Table> {
+        self.session.bindings.remove(name)
+    }
+
+    /// The underlying [`Session`] (configuration, bindings, compile/explain
+    /// helpers).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Whether a retained party mesh is currently alive from a prior run.
+    pub fn has_live_mesh(&self) -> bool {
+        self.driver.has_live_mesh()
+    }
+
+    /// Drops the retained party mesh (if any); the next run builds a fresh
+    /// one. Runs call this automatically on error.
+    pub fn reset_mesh(&mut self) {
+        self.driver.reset_mesh();
+    }
+
+    /// Executes an already-compiled plan over the bound inputs, reusing the
+    /// retained mesh. On error the mesh is discarded so the next run starts
+    /// clean.
+    pub fn run_plan(&mut self, plan: &PhysicalPlan) -> Result<RunReport, SessionError> {
+        let result = self
+            .driver
+            .run_tables(plan, &self.session.bindings)
+            .map_err(SessionError::from);
+        if result.is_err() {
+            // `run_tables` already drops the in-flight mesh on its own
+            // errors; this also covers future error paths so a failed run
+            // can never leave a stale mesh behind.
+            self.driver.reset_mesh();
+        }
+        result
+    }
+
+    /// Compiles and executes the query over the bound inputs, reusing the
+    /// retained mesh.
+    pub fn run(&mut self, query: &Query) -> Result<RunReport, SessionError> {
+        let plan = self.session.compile(query)?;
+        self.run_plan(&plan)
+    }
+
+    /// Compiles and executes a SQL script over the bound inputs, reusing the
+    /// retained mesh. Semantics match [`Session::run_sql`], including
+    /// `EXPLAIN LEAKAGE` scripts (which compile but do not execute).
+    pub fn run_sql(&mut self, sql: &str) -> Result<RunReport, SessionError> {
+        let script = self.session.parse_and_check(sql)?;
+        let query = conclave_sql::lower_script(&script).map_err(|e| located(e, sql))?;
+        if script.explain_leakage {
+            let report = self.session.explain_leakage(&query)?;
+            return Ok(RunReport {
+                static_leakage: Some(report),
+                ..RunReport::default()
+            });
+        }
+        self.run(&query)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -453,6 +567,84 @@ mod tests {
         let shown = err.to_string();
         assert!(shown.contains("line 1"));
         assert!(shown.contains('^'));
+    }
+
+    #[test]
+    fn rebinding_a_name_replaces_the_previous_table() {
+        let query = two_party_sum_query();
+        // The stale `ta` (v = 100) is replaced wholesale by the rebind.
+        let report = Session::new(ConclaveConfig::standard().with_sequential_local())
+            .bind("ta", Relation::from_ints(&["k", "v"], &[vec![1, 100]]))
+            .bind("tb", Relation::from_ints(&["k", "v"], &[vec![1, 3]]))
+            .bind("ta", Relation::from_ints(&["k", "v"], &[vec![1, 2]]))
+            .run(&query)
+            .unwrap();
+        let expected = Relation::from_ints(&["k", "total"], &[vec![1, 5]]);
+        assert!(report.output_for(1).unwrap().same_rows_unordered(&expected));
+    }
+
+    #[test]
+    fn persistent_session_recovers_after_a_failed_run() {
+        let query = two_party_sum_query();
+        let mut sess = PersistentSession::new(ConclaveConfig::standard().with_sequential_local());
+        sess.bind("ta", Relation::from_ints(&["k", "v"], &[vec![1, 2]]));
+        // `tb` is unbound: the run fails but leaves a defined state.
+        let err = sess.run(&query).unwrap_err();
+        assert!(matches!(err, SessionError::Driver(_)));
+        assert!(!sess.has_live_mesh());
+        assert_eq!(sess.session().bindings().len(), 1, "bindings survive");
+        // Bind the missing input (and rebind `ta`) and the same session runs.
+        sess.bind("ta", Relation::from_ints(&["k", "v"], &[vec![1, 7]]));
+        sess.bind("tb", Relation::from_ints(&["k", "v"], &[vec![1, 3]]));
+        let report = sess.run(&query).unwrap();
+        let expected = Relation::from_ints(&["k", "total"], &[vec![1, 10]]);
+        assert!(report.output_for(1).unwrap().same_rows_unordered(&expected));
+        assert!(sess.unbind("tb").is_some());
+        assert!(sess.unbind("tb").is_none());
+    }
+
+    #[test]
+    fn persistent_session_reuses_one_mesh_across_queries() {
+        use conclave_mpc::dealer::{MaterialPool, MaterialSpec};
+        let spec = MaterialSpec {
+            triples: 512,
+            bit_triples: 1024,
+            shared_bits: 512,
+            dabits: 128,
+            input_masks: 256,
+        };
+        // The mesh size follows the backend protocol (3 parties), not the
+        // query's owner count.
+        let pool = MaterialPool::start(7, 3, spec, 2);
+        let mut sess = PersistentSession::new(
+            ConclaveConfig::standard()
+                .with_sequential_local()
+                .with_channel_runtime()
+                .with_pooled_dealer(pool),
+        );
+        sess.bind("ta", Relation::from_ints(&["k", "v"], &[vec![1, 2]]));
+        sess.bind("tb", Relation::from_ints(&["k", "v"], &[vec![1, 3]]));
+        let mut total_builds = 0;
+        for run in 0..3 {
+            let report = sess.run_sql(SUM_SQL).unwrap();
+            let expected = Relation::from_ints(&["k", "total"], &[vec![1, 5]]);
+            assert!(
+                report.output_for(1).unwrap().same_rows_unordered(&expected),
+                "run {run}"
+            );
+            assert!(report.net_measured, "run {run} went over the channel mesh");
+            total_builds += report.mesh_builds();
+        }
+        assert_eq!(total_builds, 1, "one mesh serves all three queries");
+        assert!(sess.has_live_mesh());
+        // An error drops the mesh; the next run rebuilds exactly one.
+        sess.unbind("tb");
+        sess.run_sql(SUM_SQL).unwrap_err();
+        assert!(!sess.has_live_mesh());
+        sess.bind("tb", Relation::from_ints(&["k", "v"], &[vec![1, 3]]));
+        let report = sess.run_sql(SUM_SQL).unwrap();
+        assert_eq!(report.mesh_builds(), 1, "fresh mesh after the failure");
+        assert!(sess.has_live_mesh());
     }
 
     #[test]

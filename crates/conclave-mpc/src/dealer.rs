@@ -327,49 +327,61 @@ pub struct MaterialBlocks {
     pub input_masks: Vec<VecDeque<InputMask>>,
 }
 
+impl DealerStream {
+    /// Deals one bundle of [`MaterialBlocks`] — one block per party — drawn
+    /// from this stream's current position. The MAC key `α` and the per-party
+    /// `α`-shares are fixed at stream construction, so every bundle dealt by
+    /// the same stream authenticates under the same key: bundles from later
+    /// calls can safely [`refill`](crate::runtime::PartySession::refill) a
+    /// session initialized from an earlier one.
+    pub fn blocks(&mut self, spec: MaterialSpec) -> Vec<MaterialBlocks> {
+        let parties = self.parties();
+        let triples = self.triples(spec.triples);
+        let bit_triples = self.bit_triples(spec.bit_triples);
+        let shared_bits = self.shared_bits(spec.shared_bits);
+        let dabits = self.dabits(spec.dabits);
+        let mut masks: Vec<Vec<(RingElem, Vec<AuthShare>)>> = Vec::with_capacity(parties);
+        for owner in 0..parties {
+            masks.push(self.input_masks(owner, spec.input_masks));
+        }
+        let mut out = Vec::with_capacity(parties);
+        for ((((p, t), bt), sb), db) in (0..parties)
+            .zip(triples)
+            .zip(bit_triples)
+            .zip(shared_bits)
+            .zip(dabits)
+        {
+            let input_masks = masks
+                .iter()
+                .enumerate()
+                .map(|(owner, per_owner)| {
+                    per_owner
+                        .iter()
+                        .map(|(r, shares)| InputMask {
+                            share: shares[p],
+                            clear: if owner == p { Some(*r) } else { None },
+                        })
+                        .collect()
+                })
+                .collect();
+            out.push(MaterialBlocks {
+                party: p as u32,
+                parties: parties as u32,
+                alpha: self.alpha_share(p),
+                triples: t.into_iter().collect(),
+                bit_triples: bt.into_iter().collect(),
+                shared_bits: sb.into_iter().collect(),
+                dabits: db.into_iter().collect(),
+                input_masks,
+            });
+        }
+        out
+    }
+}
+
 /// Generates every party's [`MaterialBlocks`] for one dealer seed and spec.
 pub fn generate_blocks(seed: u64, parties: usize, spec: MaterialSpec) -> Vec<MaterialBlocks> {
-    let mut stream = DealerStream::new(seed, parties);
-    let triples = stream.triples(spec.triples);
-    let bit_triples = stream.bit_triples(spec.bit_triples);
-    let shared_bits = stream.shared_bits(spec.shared_bits);
-    let dabits = stream.dabits(spec.dabits);
-    let mut masks: Vec<Vec<(RingElem, Vec<AuthShare>)>> = Vec::with_capacity(parties);
-    for owner in 0..parties {
-        masks.push(stream.input_masks(owner, spec.input_masks));
-    }
-    let mut out = Vec::with_capacity(parties);
-    for ((((p, t), bt), sb), db) in (0..parties)
-        .zip(triples)
-        .zip(bit_triples)
-        .zip(shared_bits)
-        .zip(dabits)
-    {
-        let input_masks = masks
-            .iter()
-            .enumerate()
-            .map(|(owner, per_owner)| {
-                per_owner
-                    .iter()
-                    .map(|(r, shares)| InputMask {
-                        share: shares[p],
-                        clear: if owner == p { Some(*r) } else { None },
-                    })
-                    .collect()
-            })
-            .collect();
-        out.push(MaterialBlocks {
-            party: p as u32,
-            parties: parties as u32,
-            alpha: stream.alpha_share(p),
-            triples: t.into_iter().collect(),
-            bit_triples: bt.into_iter().collect(),
-            shared_bits: sb.into_iter().collect(),
-            dabits: db.into_iter().collect(),
-            input_masks,
-        });
-    }
-    out
+    DealerStream::new(seed, parties).blocks(spec)
 }
 
 fn io_err(what: &str, e: std::io::Error) -> PartyError {
@@ -466,8 +478,23 @@ impl<'a> Tokens<'a> {
     }
 }
 
+/// Upper bound used when pre-reserving from counts read out of a dealer
+/// file. A corrupted count must produce a parse error once the items run
+/// out, never an allocation the size of the lie (capacity-overflow aborts
+/// are panics, and loading untrusted bytes must stay panic-free).
+const MAX_FILE_PREALLOC: usize = 1 << 16;
+
+fn file_capacity(n: usize) -> usize {
+    n.min(MAX_FILE_PREALLOC)
+}
+
 /// Loads one party's [`MaterialBlocks`] from a file written by
 /// [`write_party_files`].
+///
+/// Never panics on malformed input: truncation, corruption, absurd counts,
+/// out-of-range party indices and trailing garbage all surface as
+/// [`PartyError`] values (the property tests in `tests/dealer_files.rs`
+/// fuzz exactly this contract).
 pub fn load_party_file(path: &Path) -> PartyResult<MaterialBlocks> {
     let text = std::fs::read_to_string(path).map_err(|e| io_err("read", e))?;
     let mut t = Tokens {
@@ -479,11 +506,16 @@ pub fn load_party_file(path: &Path) -> PartyResult<MaterialBlocks> {
     let party = t.num()? as u32;
     t.expect("of")?;
     let parties = t.num()? as u32;
+    if parties < 2 || party >= parties {
+        return Err(PartyError::Proto(format!(
+            "dealer file: party {party} of {parties} is not a valid endpoint"
+        )));
+    }
     t.expect("alpha")?;
     let alpha = RingElem(t.num()?);
     t.expect("triples")?;
     let n = t.num()? as usize;
-    let mut triples = VecDeque::with_capacity(n);
+    let mut triples = VecDeque::with_capacity(file_capacity(n));
     for _ in 0..n {
         let a = AuthShare::new(RingElem(t.num()?), RingElem(t.num()?));
         let b = AuthShare::new(RingElem(t.num()?), RingElem(t.num()?));
@@ -492,13 +524,13 @@ pub fn load_party_file(path: &Path) -> PartyResult<MaterialBlocks> {
     }
     t.expect("bit-triples")?;
     let n = t.num()? as usize;
-    let mut bit_triples = VecDeque::with_capacity(n);
+    let mut bit_triples = VecDeque::with_capacity(file_capacity(n));
     for _ in 0..n {
         bit_triples.push_back((t.num()?, t.num()?, t.num()?));
     }
     t.expect("shared-bits")?;
     let n = t.num()? as usize;
-    let mut shared_bits = VecDeque::with_capacity(n);
+    let mut shared_bits = VecDeque::with_capacity(file_capacity(n));
     for _ in 0..n {
         let bits = t.num()?;
         let add = AuthShare::new(RingElem(t.num()?), RingElem(t.num()?));
@@ -506,7 +538,7 @@ pub fn load_party_file(path: &Path) -> PartyResult<MaterialBlocks> {
     }
     t.expect("dabits")?;
     let n = t.num()? as usize;
-    let mut dabits = VecDeque::with_capacity(n);
+    let mut dabits = VecDeque::with_capacity(file_capacity(n));
     for _ in 0..n {
         let bits = t.num()?;
         let mut adds = Vec::with_capacity(64);
@@ -526,7 +558,7 @@ pub fn load_party_file(path: &Path) -> PartyResult<MaterialBlocks> {
         }
         let n = t.num()? as usize;
         let is_owner = owner == party as usize;
-        let mut masks = VecDeque::with_capacity(n);
+        let mut masks = VecDeque::with_capacity(file_capacity(n));
         for _ in 0..n {
             let share = AuthShare::new(RingElem(t.num()?), RingElem(t.num()?));
             let clear = if is_owner {
@@ -537,6 +569,11 @@ pub fn load_party_file(path: &Path) -> PartyResult<MaterialBlocks> {
             masks.push_back(InputMask { share, clear });
         }
         input_masks[owner] = masks;
+    }
+    if let Some(extra) = t.it.next() {
+        return Err(PartyError::Proto(format!(
+            "dealer file: trailing data starting at {extra:?}"
+        )));
     }
     Ok(MaterialBlocks {
         party,
@@ -779,6 +816,231 @@ impl fmt::Debug for DealerSource {
     }
 }
 
+/// Counters describing a [`MaterialPool`]'s activity so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Bundles dealt by the background refiller.
+    pub dealt: u64,
+    /// Bundles taken by consumers.
+    pub taken: u64,
+    /// `take` calls that found the pool empty and had to block.
+    pub starved: u64,
+}
+
+/// A `Mutex<T>` lock that shrugs off poisoning: a consumer panicking while
+/// holding the pool lock must not wedge every other tenant of the server.
+fn locked<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+struct PoolState {
+    ready: VecDeque<Vec<MaterialBlocks>>,
+    stats: PoolStats,
+    paused: bool,
+    closed: bool,
+}
+
+struct PoolInner {
+    state: std::sync::Mutex<PoolState>,
+    /// Signals consumers blocked in [`MaterialPool::take`].
+    bundle_ready: std::sync::Condvar,
+    /// Signals the refiller that capacity freed up or pause/close changed.
+    refill_needed: std::sync::Condvar,
+    depth: usize,
+    parties: usize,
+    alpha: RingElem,
+    alpha_shares: Vec<RingElem>,
+}
+
+/// A shared pool of dealer bundles refilled by a background thread, so the
+/// online phase draws MACed material without blocking on the offline phase.
+///
+/// The pool owns **one** persistent [`DealerStream`]: every bundle it deals
+/// authenticates under the same MAC key `α` with identical per-party
+/// `α`-shares, which is what makes it sound to top up a running
+/// [`crate::runtime::PartySession`] (via `refill`) with a later bundle. The
+/// refiller thread keeps up to `depth` bundles ready and parks when the pool
+/// is full; it holds only a weak reference, so dropping the last pool handle
+/// shuts it down.
+///
+/// Cloning the pool is cheap (an `Arc` bump); clones share the same stock.
+#[derive(Clone)]
+pub struct MaterialPool {
+    inner: std::sync::Arc<PoolInner>,
+}
+
+impl fmt::Debug for MaterialPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = locked(&self.inner.state);
+        f.debug_struct("MaterialPool")
+            .field("parties", &self.inner.parties)
+            .field("depth", &self.inner.depth)
+            .field("ready", &st.ready.len())
+            .field("stats", &st.stats)
+            .field("paused", &st.paused)
+            .finish()
+    }
+}
+
+impl MaterialPool {
+    /// Starts a pool dealing bundles of `spec`-sized material for `parties`
+    /// computing parties, keeping up to `depth` bundles ready.
+    pub fn start(seed: u64, parties: usize, spec: MaterialSpec, depth: usize) -> MaterialPool {
+        MaterialPool::spawn(seed, parties, spec, depth, false)
+    }
+
+    /// Like [`MaterialPool::start`], but the refiller begins paused: `take`
+    /// blocks until [`MaterialPool::resume`] is called. Test hook for
+    /// deterministic starvation scenarios ("the refiller lags").
+    pub fn start_paused(
+        seed: u64,
+        parties: usize,
+        spec: MaterialSpec,
+        depth: usize,
+    ) -> MaterialPool {
+        MaterialPool::spawn(seed, parties, spec, depth, true)
+    }
+
+    fn spawn(seed: u64, parties: usize, spec: MaterialSpec, depth: usize, paused: bool) -> Self {
+        assert!(parties >= 2, "a dealer needs at least 2 computing parties");
+        let stream = DealerStream::new(seed, parties);
+        let inner = std::sync::Arc::new(PoolInner {
+            state: std::sync::Mutex::new(PoolState {
+                ready: VecDeque::new(),
+                stats: PoolStats::default(),
+                paused,
+                closed: false,
+            }),
+            bundle_ready: std::sync::Condvar::new(),
+            refill_needed: std::sync::Condvar::new(),
+            depth: depth.max(1),
+            parties,
+            alpha: stream.alpha(),
+            alpha_shares: (0..parties).map(|p| stream.alpha_share(p)).collect(),
+        });
+        let weak = std::sync::Arc::downgrade(&inner);
+        std::thread::Builder::new()
+            .name("conclave-dealer-pool".into())
+            .spawn(move || MaterialPool::refiller(weak, stream, spec))
+            .unwrap_or_else(|e| panic!("failed to spawn dealer-pool refiller: {e}"));
+        MaterialPool { inner }
+    }
+
+    fn refiller(weak: std::sync::Weak<PoolInner>, mut stream: DealerStream, spec: MaterialSpec) {
+        loop {
+            // Holding only a weak reference between iterations (and a short
+            // timed wait while parked) keeps the refiller from pinning the
+            // pool alive: once the last handle drops, the next upgrade fails
+            // and the thread exits within one poll interval.
+            let deal = {
+                let Some(inner) = weak.upgrade() else { return };
+                let st = locked(&inner.state);
+                if st.closed {
+                    return;
+                }
+                if st.paused || st.ready.len() >= inner.depth {
+                    let _parked = inner
+                        .refill_needed
+                        .wait_timeout(st, std::time::Duration::from_millis(50))
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    false
+                } else {
+                    true
+                }
+            };
+            if !deal {
+                continue;
+            }
+            // Deal outside the lock: consumers can keep taking ready bundles
+            // while the next one is being generated.
+            let bundle = stream.blocks(spec);
+            let Some(inner) = weak.upgrade() else { return };
+            let mut st = locked(&inner.state);
+            if st.closed {
+                return;
+            }
+            st.ready.push_back(bundle);
+            st.stats.dealt += 1;
+            inner.bundle_ready.notify_all();
+        }
+    }
+
+    /// Number of computing parties each bundle covers.
+    pub fn parties(&self) -> usize {
+        self.inner.parties
+    }
+
+    /// The global MAC key `α` shared by every bundle this pool deals.
+    pub fn alpha(&self) -> RingElem {
+        self.inner.alpha
+    }
+
+    /// Party `p`'s additive share of `α` (identical in every bundle).
+    pub fn alpha_share(&self, p: usize) -> RingElem {
+        self.inner.alpha_shares[p]
+    }
+
+    /// Takes one bundle (one [`MaterialBlocks`] per party), blocking until
+    /// the refiller has one ready. Queries therefore *wait* on a starved pool
+    /// — they never run with partial material.
+    pub fn take(&self) -> Vec<MaterialBlocks> {
+        let mut st = locked(&self.inner.state);
+        if st.ready.is_empty() {
+            st.stats.starved += 1;
+        }
+        while st.ready.is_empty() {
+            st = self
+                .inner
+                .bundle_ready
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        let bundle = st.ready.pop_front().unwrap_or_default();
+        st.stats.taken += 1;
+        self.inner.refill_needed.notify_all();
+        bundle
+    }
+
+    /// Pauses the background refiller (already-dealt bundles remain takeable).
+    pub fn pause(&self) {
+        locked(&self.inner.state).paused = true;
+    }
+
+    /// Resumes a paused refiller.
+    pub fn resume(&self) {
+        locked(&self.inner.state).paused = false;
+        self.inner.refill_needed.notify_all();
+    }
+
+    /// Bundles currently ready to take.
+    pub fn ready(&self) -> usize {
+        locked(&self.inner.state).ready.len()
+    }
+
+    /// Activity counters (dealt / taken / starved).
+    pub fn stats(&self) -> PoolStats {
+        locked(&self.inner.state).stats
+    }
+
+    /// Whether `other` is a handle to this same pool.
+    pub fn same_pool(&self, other: &MaterialPool) -> bool {
+        std::sync::Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl Drop for MaterialPool {
+    fn drop(&mut self) {
+        // When the last handle drops, flag the pool closed and wake the
+        // refiller so it exits promptly; the timed wait in `refiller` is the
+        // fallback for the race where it briefly holds its own strong ref.
+        if std::sync::Arc::strong_count(&self.inner) == 1 {
+            let mut st = locked(&self.inner.state);
+            st.closed = true;
+            self.inner.refill_needed.notify_all();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #![allow(clippy::unwrap_used)]
@@ -957,5 +1219,61 @@ mod tests {
         for h in handles {
             h.join().unwrap().unwrap();
         }
+    }
+
+    fn tiny_spec() -> MaterialSpec {
+        MaterialSpec {
+            triples: 8,
+            bit_triples: 8,
+            shared_bits: 4,
+            dabits: 2,
+            input_masks: 4,
+        }
+    }
+
+    #[test]
+    fn pool_bundles_share_one_mac_key_and_reconstruct() {
+        let pool = MaterialPool::start(77, 3, tiny_spec(), 2);
+        let first = pool.take();
+        let second = pool.take();
+        assert_eq!(first.len(), 3);
+        // Same α-shares across bundles (the refill soundness requirement)…
+        for p in 0..3 {
+            assert_eq!(first[p].alpha, second[p].alpha);
+            assert_eq!(first[p].alpha, pool.alpha_share(p));
+        }
+        // …but fresh correlations: the streams advanced between bundles.
+        assert_ne!(first[0].triples[0].0.v, second[0].triples[0].0.v);
+        // Each bundle's triples reconstruct under the pool's global key.
+        for bundle in [&first, &second] {
+            let (av, am) = reconstruct((0..3).map(|p| bundle[p].triples[0].0));
+            let (bv, _) = reconstruct((0..3).map(|p| bundle[p].triples[0].1));
+            let (cv, _) = reconstruct((0..3).map(|p| bundle[p].triples[0].2));
+            assert_eq!(cv, av * bv);
+            assert_eq!(am, pool.alpha() * av);
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.taken, 2);
+        assert!(stats.dealt >= 2);
+    }
+
+    #[test]
+    fn paused_pool_starves_takers_until_resumed() {
+        let pool = MaterialPool::start_paused(9, 2, tiny_spec(), 1);
+        assert_eq!(pool.ready(), 0);
+        let taker = {
+            let pool = pool.clone();
+            std::thread::spawn(move || pool.take())
+        };
+        // The taker must block: no bundle can appear while paused.
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        assert!(!taker.is_finished());
+        assert_eq!(pool.stats().dealt, 0);
+        pool.resume();
+        let bundle = taker.join().unwrap();
+        assert_eq!(bundle.len(), 2);
+        let stats = pool.stats();
+        assert_eq!(stats.taken, 1);
+        assert_eq!(stats.starved, 1);
     }
 }

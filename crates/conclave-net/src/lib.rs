@@ -23,6 +23,7 @@
 pub mod mesh;
 pub mod message;
 pub mod model;
+pub mod serve;
 pub mod sim;
 pub mod stats;
 pub mod tamper;

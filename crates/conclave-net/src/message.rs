@@ -33,6 +33,17 @@ pub enum MessageKind {
     /// MAC-difference shares at integrity-check boundaries. Carries no
     /// data-plane payload — only the zero-sum check values.
     MacCheck,
+    /// Serving-layer request: an analyst submits an annotated SQL script to a
+    /// `conclave-server` endpoint. The envelope label carries the tenant
+    /// name; the payload is the UTF-8 query text packed into words.
+    SubmitSql,
+    /// Serving-layer response: the revealed result relations for a
+    /// [`MessageKind::SubmitSql`] request.
+    QueryResult,
+    /// Serving-layer response: a typed error (admission rejection, SQL or
+    /// compile failure, runtime abort) for a [`MessageKind::SubmitSql`]
+    /// request.
+    QueryError,
 }
 
 impl MessageKind {
@@ -46,6 +57,9 @@ impl MessageKind {
             MessageKind::MaskedOpen => 4,
             MessageKind::Dealer => 5,
             MessageKind::MacCheck => 6,
+            MessageKind::SubmitSql => 7,
+            MessageKind::QueryResult => 8,
+            MessageKind::QueryError => 9,
         }
     }
 
@@ -59,6 +73,9 @@ impl MessageKind {
             4 => Some(MessageKind::MaskedOpen),
             5 => Some(MessageKind::Dealer),
             6 => Some(MessageKind::MacCheck),
+            7 => Some(MessageKind::SubmitSql),
+            8 => Some(MessageKind::QueryResult),
+            9 => Some(MessageKind::QueryError),
             _ => None,
         }
     }
@@ -74,6 +91,9 @@ impl fmt::Display for MessageKind {
             MessageKind::MaskedOpen => "masked-open",
             MessageKind::Dealer => "dealer",
             MessageKind::MacCheck => "mac-check",
+            MessageKind::SubmitSql => "submit-sql",
+            MessageKind::QueryResult => "query-result",
+            MessageKind::QueryError => "query-error",
         };
         f.write_str(s)
     }
@@ -158,6 +178,9 @@ mod tests {
             MessageKind::MaskedOpen,
             MessageKind::Dealer,
             MessageKind::MacCheck,
+            MessageKind::SubmitSql,
+            MessageKind::QueryResult,
+            MessageKind::QueryError,
         ] {
             assert_eq!(MessageKind::from_code(kind.code()), Some(kind));
         }

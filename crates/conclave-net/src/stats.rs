@@ -95,6 +95,34 @@ impl NetStats {
         self.rounds += other.rounds;
         self.mesh_builds += other.mesh_builds;
     }
+
+    /// Returns the traffic recorded since `baseline` — the per-counter
+    /// difference `self − baseline`, saturating at zero. Used by the
+    /// multi-query party runtime to attribute a long-lived mesh's cumulative
+    /// counters to individual queries: snapshot at query start, `since` at
+    /// query end.
+    pub fn since(&self, baseline: &NetStats) -> NetStats {
+        let mut delta = NetStats::new();
+        for (k, l) in &self.links {
+            let base = baseline.links.get(k).copied().unwrap_or_default();
+            let diff = LinkStats {
+                messages: l.messages.saturating_sub(base.messages),
+                bytes: l.bytes.saturating_sub(base.bytes),
+            };
+            if diff.messages > 0 || diff.bytes > 0 {
+                delta.links.insert(*k, diff);
+            }
+        }
+        for (k, b) in &self.bytes_by_kind {
+            let base = baseline.bytes_by_kind.get(k).copied().unwrap_or(0);
+            if *b > base {
+                delta.bytes_by_kind.insert(k.clone(), b - base);
+            }
+        }
+        delta.rounds = self.rounds.saturating_sub(baseline.rounds);
+        delta.mesh_builds = self.mesh_builds.saturating_sub(baseline.mesh_builds);
+        delta
+    }
 }
 
 #[cfg(test)]
@@ -131,5 +159,31 @@ mod tests {
         assert_eq!(a.total_bytes(), 155);
         assert_eq!(a.links[&(1, 2)].bytes, 150);
         assert_eq!(a.rounds, 3);
+    }
+
+    #[test]
+    fn since_subtracts_a_baseline() {
+        let mut s = NetStats::new();
+        s.record(0, 1, 100, MessageKind::SecretShare);
+        s.record_rounds(2);
+        s.record_mesh_build();
+        let baseline = s.clone();
+        // since(self) is empty.
+        let none = s.since(&baseline);
+        assert_eq!(none.total_bytes(), 0);
+        assert_eq!(none.rounds, 0);
+        assert_eq!(none.mesh_builds, 0);
+        assert!(none.links.is_empty());
+        // Only post-baseline traffic survives.
+        s.record(0, 1, 40, MessageKind::SecretShare);
+        s.record(1, 0, 7, MessageKind::Reveal);
+        s.record_rounds(5);
+        let delta = s.since(&baseline);
+        assert_eq!(delta.links[&(0, 1)].bytes, 40);
+        assert_eq!(delta.links[&(0, 1)].messages, 1);
+        assert_eq!(delta.links[&(1, 0)].bytes, 7);
+        assert_eq!(delta.bytes_of_kind(MessageKind::SecretShare), 40);
+        assert_eq!(delta.rounds, 5);
+        assert_eq!(delta.mesh_builds, 0);
     }
 }

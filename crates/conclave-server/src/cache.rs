@@ -1,0 +1,185 @@
+//! The prepared-plan cache: fully optimized, leakage-certified
+//! [`PhysicalPlan`]s keyed by *(normalized query text, catalog fingerprint)*.
+//!
+//! Normalization ([`conclave_sql::normalize_sql`]) makes the key robust to
+//! whitespace and keyword-case differences, so `select a from t …` and a
+//! tidily formatted equivalent share one compiled plan. The catalog
+//! fingerprint covers every registered table's name, schema (types and trust
+//! annotations) and owner: any catalog change rotates the fingerprint, which
+//! orphans — and lazily evicts — every plan compiled under the old catalog.
+
+use conclave_core::plan::PhysicalPlan;
+use conclave_ir::party::Party;
+use conclave_ir::schema::Schema;
+use conclave_sql::Catalog;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache effectiveness counters, readable via tenant stats.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compile.
+    pub misses: u64,
+    /// Plans evicted because the catalog changed under them.
+    pub invalidations: u64,
+}
+
+/// FNV-1a over the catalog contents: table names, column names, types,
+/// trust sets and owners, in registration order.
+pub fn catalog_fingerprint(catalog: &Catalog) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for b in bytes {
+            hash ^= u64::from(*b);
+            hash = hash.wrapping_mul(0x1_0000_01b3);
+        }
+    };
+    for (name, schema, owner) in catalog.iter() {
+        eat(name.as_bytes());
+        eat(&[0xff]);
+        eat(render_schema(schema).as_bytes());
+        eat(&[0xfe]);
+        eat(render_owner(owner).as_bytes());
+        eat(&[0xfd]);
+    }
+    hash
+}
+
+fn render_schema(schema: &Schema) -> String {
+    // Debug output covers names, dtypes and trust sets deterministically.
+    format!("{schema:?}")
+}
+
+fn render_owner(owner: &Party) -> String {
+    format!("{owner:?}")
+}
+
+/// A per-tenant prepared-plan cache.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: HashMap<(u64, String), Arc<PhysicalPlan>>,
+    stats: CacheStats,
+}
+
+impl PlanCache {
+    /// Creates an empty cache.
+    pub fn new() -> PlanCache {
+        PlanCache::default()
+    }
+
+    /// Looks up a plan for `(fingerprint, normalized_sql)`, counting a hit
+    /// or a miss.
+    pub fn get(&mut self, fingerprint: u64, normalized_sql: &str) -> Option<Arc<PhysicalPlan>> {
+        let found = self
+            .plans
+            .get(&(fingerprint, normalized_sql.to_string()))
+            .cloned();
+        if found.is_some() {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        found
+    }
+
+    /// Stores a freshly compiled plan.
+    pub fn insert(&mut self, fingerprint: u64, normalized_sql: String, plan: Arc<PhysicalPlan>) {
+        self.plans.insert((fingerprint, normalized_sql), plan);
+    }
+
+    /// Evicts every plan compiled under a fingerprint other than `current`,
+    /// counting each as an invalidation. Called when the catalog changes.
+    pub fn invalidate_stale(&mut self, current: u64) {
+        let before = self.plans.len();
+        self.plans.retain(|(fp, _), _| *fp == current);
+        self.stats.invalidations += (before - self.plans.len()) as u64;
+    }
+
+    /// Cached plan count.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conclave_ir::types::DataType;
+
+    fn catalog() -> Catalog {
+        Catalog::new().with_table("t", Schema::ints(&["a", "b"]), Party::new(1, "p1"))
+    }
+
+    #[test]
+    fn fingerprint_tracks_catalog_contents() {
+        let base = catalog_fingerprint(&catalog());
+        assert_eq!(base, catalog_fingerprint(&catalog()), "deterministic");
+        let renamed = catalog().with_table("u", Schema::ints(&["a"]), Party::new(2, "p2"));
+        assert_ne!(base, catalog_fingerprint(&renamed), "new table changes it");
+        let retyped = Catalog::new().with_table(
+            "t",
+            Schema::new(vec![
+                conclave_ir::schema::ColumnDef::new("a", DataType::Int),
+                conclave_ir::schema::ColumnDef::new("b", DataType::Float),
+            ]),
+            Party::new(1, "p1"),
+        );
+        assert_ne!(
+            base,
+            catalog_fingerprint(&retyped),
+            "column type changes it"
+        );
+        let reowned =
+            Catalog::new().with_table("t", Schema::ints(&["a", "b"]), Party::new(2, "p2"));
+        assert_ne!(base, catalog_fingerprint(&reowned), "owner changes it");
+    }
+
+    fn tiny_plan() -> Arc<PhysicalPlan> {
+        let query =
+            conclave_sql::compile_sql_with_catalog("SELECT a FROM t REVEAL TO p1", &catalog())
+                .unwrap();
+        Arc::new(
+            conclave_core::compile(
+                &query,
+                &conclave_core::config::ConclaveConfig::standard().with_sequential_local(),
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn cache_counts_hits_misses_and_invalidations() {
+        let mut cache = PlanCache::new();
+        assert!(cache.get(1, "SELECT 1").is_none());
+        cache.insert(1, "SELECT 1".into(), tiny_plan());
+        assert!(cache.get(1, "SELECT 1").is_some());
+        assert!(
+            cache.get(2, "SELECT 1").is_none(),
+            "fingerprint is in the key"
+        );
+        cache.insert(2, "SELECT 1".into(), tiny_plan());
+        assert_eq!(cache.len(), 2);
+        cache.invalidate_stale(2);
+        assert_eq!(cache.len(), 1, "the fingerprint-1 plan is evicted");
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 2,
+                invalidations: 1
+            }
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Typed serving-layer errors, and their wire error codes.
+
+use conclave_core::session::SessionError;
+use std::fmt;
+
+/// Wire error code: the request frame itself was malformed (re-exported
+/// from [`conclave_net::serve::WIRE_ERR_MALFORMED`] numbering).
+pub const ERR_MALFORMED: u64 = conclave_net::serve::WIRE_ERR_MALFORMED;
+/// Wire error code for [`ServerError::UnknownTenant`].
+pub const ERR_UNKNOWN_TENANT: u64 = 1;
+/// Wire error code for [`ServerError::Rejected`].
+pub const ERR_REJECTED: u64 = 2;
+/// Wire error code for [`ServerError::Query`].
+pub const ERR_QUERY: u64 = 3;
+/// Wire error code for a result payload the client could not decode.
+pub const ERR_BAD_RESULT: u64 = 4;
+
+/// The admission limits a rejected query ran into, echoed in
+/// [`ServerError::Rejected`] so clients can tell *why* they were turned away
+/// and apply backpressure instead of retrying blindly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionSnapshot {
+    /// Queries of this tenant currently admitted (executing or waiting on
+    /// the tenant's executor).
+    pub in_flight: usize,
+    /// Queries currently parked in the tenant's wait queue.
+    pub queued: usize,
+    /// The tenant's concurrent-admission ceiling.
+    pub max_in_flight: usize,
+    /// The tenant's wait-queue capacity.
+    pub queue_depth: usize,
+}
+
+/// Errors raised by the query service.
+#[derive(Debug)]
+pub enum ServerError {
+    /// The request named a tenant the server has never registered.
+    UnknownTenant(String),
+    /// Admission control turned the query away: the tenant already has
+    /// `max_in_flight` queries admitted and its wait queue is full.
+    Rejected {
+        /// The tenant whose limits were hit.
+        tenant: String,
+        /// The limits and occupancy at rejection time.
+        limits: AdmissionSnapshot,
+    },
+    /// The query failed in the SQL frontend, the compiler or the runtime
+    /// (the session error preserves which, plus the underlying cause).
+    Query(SessionError),
+    /// A wire-level failure reported by the remote server (decoded from a
+    /// `QueryError` frame), or a reply the client could not decode.
+    Remote {
+        /// The wire error code (`ERR_*`).
+        code: u64,
+        /// Human-readable message from the server.
+        message: String,
+    },
+}
+
+impl ServerError {
+    /// The wire error code this error is framed as.
+    pub fn code(&self) -> u64 {
+        match self {
+            ServerError::UnknownTenant(_) => ERR_UNKNOWN_TENANT,
+            ServerError::Rejected { .. } => ERR_REJECTED,
+            ServerError::Query(_) => ERR_QUERY,
+            ServerError::Remote { code, .. } => *code,
+        }
+    }
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::UnknownTenant(name) => write!(f, "unknown tenant `{name}`"),
+            ServerError::Rejected { tenant, limits } => write!(
+                f,
+                "tenant `{tenant}` rejected the query: {} in flight (max {}), \
+                 {} queued (depth {})",
+                limits.in_flight, limits.max_in_flight, limits.queued, limits.queue_depth
+            ),
+            ServerError::Query(e) => write!(f, "query failed: {e}"),
+            ServerError::Remote { code, message } => {
+                write!(f, "server error (code {code}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SessionError> for ServerError {
+    fn from(e: SessionError) -> Self {
+        ServerError::Query(e)
+    }
+}

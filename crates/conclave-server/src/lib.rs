@@ -1,0 +1,63 @@
+//! `conclave-server`: a long-lived, multi-tenant Conclave query service.
+//!
+//! The rest of the workspace runs one query per process: build a
+//! [`Session`](conclave_core::Session), bind tables, run, exit. A serving
+//! deployment amortizes everything that setup pays per query:
+//!
+//! * **Prepared-plan cache** ([`cache`]) — optimized, leakage-certified
+//!   [`PhysicalPlan`](conclave_core::plan::PhysicalPlan)s keyed by
+//!   *(normalized SQL, catalog fingerprint)*, invalidated when the tenant's
+//!   catalog changes.
+//! * **Shared dealer pool** ([`conclave_mpc::dealer::MaterialPool`]) — a
+//!   background refiller keeps bundles of MACed preprocessed material ready,
+//!   so online queries never block on the offline phase while the pool has
+//!   stock (and *block, never corrupt* when it runs dry).
+//! * **Persistent party meshes** — each tenant's
+//!   [`PersistentSession`](conclave_core::session::PersistentSession) keeps
+//!   its worker mesh, MAC key and transport links alive across queries
+//!   (`mesh_builds` stays at 1 per tenant).
+//! * **Admission control** ([`admission`]) — per-tenant in-flight ceilings
+//!   and bounded wait queues, with typed [`ServerError::Rejected`] sheds.
+//!
+//! Clients reach the service in process via [`ServerHandle`], or over any
+//! [`conclave_net::Transport`] with the framed `SubmitSql`/`QueryResult`/
+//! `QueryError` protocol ([`conclave_net::serve`], codec in [`wire`]).
+//!
+//! # Example
+//!
+//! ```
+//! use conclave_server::{ConclaveServer, ServerConfig};
+//! use conclave_sql::Catalog;
+//! use conclave_engine::Relation;
+//!
+//! let server = ConclaveServer::start(ServerConfig::default());
+//! server.register_tenant("acme", Catalog::new()).unwrap();
+//! server.bind("acme", "t", Relation::from_ints(&["a"], &[vec![1], vec![2]])).unwrap();
+//! let outcome = server
+//!     .query(
+//!         "acme",
+//!         "CREATE TABLE t (a INT) WITH OWNER p1;
+//!          SELECT a, COUNT(*) AS n FROM t GROUP BY a REVEAL TO p1;",
+//!     )
+//!     .unwrap();
+//! assert_eq!(outcome.report.outputs[&1].num_rows(), 2);
+//! assert!(!outcome.cache_hit, "first submission compiles");
+//! ```
+
+// Also enforced workspace-wide via [workspace.lints]; stated here so the
+// guarantee is visible at the crate root.
+#![forbid(unsafe_code)]
+
+pub mod admission;
+pub mod cache;
+pub mod error;
+pub mod server;
+pub mod wire;
+
+pub use admission::{Admission, AdmissionGuard, AdmissionLimits};
+pub use cache::{catalog_fingerprint, CacheStats, PlanCache};
+pub use error::{AdmissionSnapshot, ServerError};
+pub use server::{
+    ConclaveServer, QueryOutcome, ServerConfig, ServerHandle, ServerStats, TenantStats,
+};
+pub use wire::{decode_outputs, encode_outputs, query_remote};

@@ -1,0 +1,516 @@
+//! The multi-tenant query service: tenants, the serving pipeline and the
+//! in-process [`ServerHandle`].
+//!
+//! Each registered tenant owns a SQL [`Catalog`], a set of bound input
+//! tables and a [`PersistentSession`] whose party mesh stays alive between
+//! queries. The shared serving pipeline for `query(tenant, sql)` is:
+//!
+//! 1. **Admission** — the tenant's [`Admission`] gate either grants a slot,
+//!    parks the query in a bounded queue, or sheds it with a typed
+//!    [`ServerError::Rejected`].
+//! 2. **Plan cache** — the SQL is normalized and looked up in the tenant's
+//!    [`PlanCache`] under the current catalog fingerprint; a miss compiles
+//!    (and leakage-certifies) a fresh
+//!    [`PhysicalPlan`](conclave_core::plan::PhysicalPlan) and caches it.
+//! 3. **Execution** — the plan runs on the tenant's persistent session,
+//!    drawing preprocessed MPC material from the server's shared
+//!    [`MaterialPool`] instead of blocking on the offline phase.
+
+use crate::admission::{Admission, AdmissionLimits};
+use crate::cache::{catalog_fingerprint, CacheStats, PlanCache};
+use crate::error::ServerError;
+use crate::wire::encode_outputs;
+use conclave_core::config::ConclaveConfig;
+use conclave_core::report::RunReport;
+use conclave_core::session::{PersistentSession, SessionError};
+use conclave_engine::Table;
+use conclave_mpc::dealer::{MaterialPool, PoolStats};
+use conclave_net::serve::serve_queries;
+use conclave_net::{Transport, TransportError};
+use conclave_sql::Catalog;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
+
+/// Server-wide configuration: the per-tenant session template, the shared
+/// dealer pool, and default admission limits.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Template [`ConclaveConfig`] each tenant's session is created from.
+    pub session: ConclaveConfig,
+    /// Shared preprocessed-material pool; when set, tenant sessions draw
+    /// their MACed triples from it ([`conclave_core::config::DealerMode::Pooled`]).
+    pub pool: Option<MaterialPool>,
+    /// Admission limits applied to every tenant.
+    pub limits: AdmissionLimits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            session: ConclaveConfig::standard().with_sequential_local(),
+            pool: None,
+            limits: AdmissionLimits::default(),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Starts from a session template.
+    pub fn new(session: ConclaveConfig) -> ServerConfig {
+        ServerConfig {
+            session,
+            ..ServerConfig::default()
+        }
+    }
+
+    /// Attaches a shared dealer-material pool.
+    pub fn with_pool(mut self, pool: MaterialPool) -> ServerConfig {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Overrides the per-tenant admission limits.
+    pub fn with_limits(mut self, limits: AdmissionLimits) -> ServerConfig {
+        self.limits = limits;
+        self
+    }
+
+    fn tenant_config(&self) -> ConclaveConfig {
+        match &self.pool {
+            Some(pool) => self.session.clone().with_pooled_dealer(pool.clone()),
+            None => self.session.clone(),
+        }
+    }
+}
+
+/// Catalog + plan cache, guarded together so a catalog swap and its cache
+/// invalidation are atomic.
+#[derive(Debug)]
+struct PlanState {
+    catalog: Catalog,
+    fingerprint: u64,
+    cache: PlanCache,
+}
+
+struct Tenant {
+    plans: Mutex<PlanState>,
+    /// The tenant's executor. One query at a time per tenant: the mesh and
+    /// its resident shares are single-query state.
+    exec: Mutex<PersistentSession>,
+    admission: Admission,
+    completed: AtomicU64,
+    /// Mirror of the executor's `has_live_mesh`, refreshed after every run.
+    /// Kept outside `exec` so stats never block behind an executing (or
+    /// pool-starved) query.
+    mesh_live: AtomicBool,
+}
+
+/// Point-in-time statistics for one tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Plan-cache hit/miss/invalidation counters.
+    pub cache: CacheStats,
+    /// Cached plans currently resident.
+    pub cached_plans: usize,
+    /// Queries admitted since registration.
+    pub admitted: u64,
+    /// Queries shed by admission control since registration.
+    pub rejected: u64,
+    /// Queries completed (successfully or not) since registration.
+    pub completed: u64,
+    /// Queries currently admitted.
+    pub in_flight: usize,
+    /// Queries currently parked in the admission queue.
+    pub queued: usize,
+    /// Whether the tenant's party mesh is currently alive.
+    pub mesh_live: bool,
+}
+
+/// Point-in-time statistics for the whole server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Per-tenant counters, keyed by tenant name.
+    pub tenants: BTreeMap<String, TenantStats>,
+    /// Shared dealer-pool counters, when a pool is attached.
+    pub pool: Option<PoolStats>,
+}
+
+/// The result of one served query.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The full run report (outputs, measured traffic, leakage audit).
+    pub report: RunReport,
+    /// Whether the plan came from the prepared-plan cache.
+    pub cache_hit: bool,
+    /// The cache key's normalized form of the submitted SQL.
+    pub normalized_sql: String,
+}
+
+/// The query service core. Construct with [`ConclaveServer::start`], which
+/// returns a cloneable [`ServerHandle`].
+pub struct ConclaveServer {
+    config: ServerConfig,
+    tenants: RwLock<HashMap<String, Arc<Tenant>>>,
+}
+
+fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl ConclaveServer {
+    /// Starts a server and returns its in-process handle.
+    pub fn start(config: ServerConfig) -> ServerHandle {
+        ServerHandle {
+            inner: Arc::new(ConclaveServer {
+                config,
+                tenants: RwLock::new(HashMap::new()),
+            }),
+        }
+    }
+}
+
+/// Cloneable in-process handle to a [`ConclaveServer`]; every clone serves
+/// the same tenants, caches and pool. This is also what the wire listener
+/// ([`ServerHandle::serve`]) dispatches into.
+#[derive(Clone)]
+pub struct ServerHandle {
+    inner: Arc<ConclaveServer>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("tenants", &self.tenant_names())
+            .finish()
+    }
+}
+
+impl ServerHandle {
+    /// Registers a tenant with its catalog. Fails if the name is taken —
+    /// tenants are isolated namespaces, not reconfigurable slots.
+    pub fn register_tenant(&self, name: &str, catalog: Catalog) -> Result<(), ServerError> {
+        let mut tenants = self
+            .inner
+            .tenants
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        if tenants.contains_key(name) {
+            return Err(ServerError::Remote {
+                code: crate::error::ERR_MALFORMED,
+                message: format!("tenant `{name}` is already registered"),
+            });
+        }
+        let fingerprint = catalog_fingerprint(&catalog);
+        tenants.insert(
+            name.to_string(),
+            Arc::new(Tenant {
+                plans: Mutex::new(PlanState {
+                    catalog,
+                    fingerprint,
+                    cache: PlanCache::new(),
+                }),
+                exec: Mutex::new(PersistentSession::new(self.inner.config.tenant_config())),
+                admission: Admission::new(self.inner.config.limits),
+                completed: AtomicU64::new(0),
+                mesh_live: AtomicBool::new(false),
+            }),
+        );
+        Ok(())
+    }
+
+    /// Registered tenant names, sorted.
+    pub fn tenant_names(&self) -> Vec<String> {
+        let tenants = self
+            .inner
+            .tenants
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
+        let mut names: Vec<String> = tenants.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    fn tenant(&self, name: &str) -> Result<Arc<Tenant>, ServerError> {
+        let tenants = self
+            .inner
+            .tenants
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
+        tenants
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServerError::UnknownTenant(name.to_string()))
+    }
+
+    /// Binds (or rebinds — last bind wins) an input table for a tenant.
+    /// Data changes do not touch the plan cache: plans depend on the catalog
+    /// and query text only, data is fed at run time.
+    pub fn bind(
+        &self,
+        tenant: &str,
+        table: &str,
+        data: impl Into<Table>,
+    ) -> Result<(), ServerError> {
+        let tenant = self.tenant(tenant)?;
+        locked(&tenant.exec).bind(table, data);
+        Ok(())
+    }
+
+    /// Replaces a tenant's catalog. The fingerprint rotation evicts every
+    /// plan compiled under the old catalog (counted as invalidations).
+    pub fn update_catalog(&self, tenant: &str, catalog: Catalog) -> Result<(), ServerError> {
+        let tenant = self.tenant(tenant)?;
+        let mut plans = locked(&tenant.plans);
+        plans.fingerprint = catalog_fingerprint(&catalog);
+        plans.catalog = catalog;
+        let fingerprint = plans.fingerprint;
+        plans.cache.invalidate_stale(fingerprint);
+        Ok(())
+    }
+
+    /// Serves one query for a tenant: admission → plan cache → execution.
+    pub fn query(&self, tenant_name: &str, sql: &str) -> Result<QueryOutcome, ServerError> {
+        let tenant = self.tenant(tenant_name)?;
+        let _slot = tenant
+            .admission
+            .admit()
+            .map_err(|limits| ServerError::Rejected {
+                tenant: tenant_name.to_string(),
+                limits,
+            })?;
+
+        let outcome = self.run_admitted(&tenant, sql);
+        tenant.completed.fetch_add(1, Ordering::Relaxed);
+        outcome
+    }
+
+    fn run_admitted(&self, tenant: &Tenant, sql: &str) -> Result<QueryOutcome, ServerError> {
+        // Parse once: the normalized text is the cache key, and the parsed
+        // script is reused on a miss so no query parses twice.
+        let script = conclave_sql::parse_script(sql)
+            .map_err(|e| SessionError::Sql(e.located(sql)))
+            .map_err(ServerError::from)?;
+        let normalized_sql = script.to_string();
+        let explain = script.explain_leakage;
+
+        let (plan, cache_hit) = {
+            let mut plans = locked(&tenant.plans);
+            let fingerprint = plans.fingerprint;
+            match plans.cache.get(fingerprint, &normalized_sql) {
+                Some(plan) => (plan, true),
+                None => {
+                    let query = conclave_sql::lower_script_with_catalog(&script, &plans.catalog)
+                        .map_err(|e| SessionError::Sql(e.located(sql)))
+                        .map_err(ServerError::from)?;
+                    let compiled = conclave_core::compile(&query, &self.inner.config.session)
+                        .map_err(SessionError::Compile)
+                        .map_err(ServerError::from)?;
+                    let plan = Arc::new(compiled);
+                    plans
+                        .cache
+                        .insert(fingerprint, normalized_sql.clone(), Arc::clone(&plan));
+                    (plan, false)
+                }
+            }
+        };
+
+        if explain {
+            // `EXPLAIN LEAKAGE` returns the plan's statically certified
+            // report without executing (the compile above ran the linter).
+            return Ok(QueryOutcome {
+                report: RunReport {
+                    static_leakage: Some(plan.leakage.clone()),
+                    ..RunReport::default()
+                },
+                cache_hit,
+                normalized_sql,
+            });
+        }
+
+        let result = {
+            let mut exec = locked(&tenant.exec);
+            let result = exec.run_plan(&plan);
+            tenant
+                .mesh_live
+                .store(exec.has_live_mesh(), Ordering::Relaxed);
+            result
+        };
+        Ok(QueryOutcome {
+            report: result?,
+            cache_hit,
+            normalized_sql,
+        })
+    }
+
+    /// Statistics for one tenant.
+    pub fn tenant_stats(&self, name: &str) -> Result<TenantStats, ServerError> {
+        let tenant = self.tenant(name)?;
+        let (cache, cached_plans) = {
+            let plans = locked(&tenant.plans);
+            (plans.cache.stats(), plans.cache.len())
+        };
+        let occupancy = tenant.admission.snapshot();
+        let (admitted, rejected) = tenant.admission.totals();
+        let mesh_live = tenant.mesh_live.load(Ordering::Relaxed);
+        Ok(TenantStats {
+            cache,
+            cached_plans,
+            admitted,
+            rejected,
+            completed: tenant.completed.load(Ordering::Relaxed),
+            in_flight: occupancy.in_flight,
+            queued: occupancy.queued,
+            mesh_live,
+        })
+    }
+
+    /// Statistics for every tenant plus the shared pool.
+    pub fn stats(&self) -> ServerStats {
+        let mut tenants = BTreeMap::new();
+        for name in self.tenant_names() {
+            if let Ok(stats) = self.tenant_stats(&name) {
+                tenants.insert(name, stats);
+            }
+        }
+        ServerStats {
+            tenants,
+            pool: self.inner.config.pool.as_ref().map(MaterialPool::stats),
+        }
+    }
+
+    /// The shared dealer pool, if one is attached.
+    pub fn pool(&self) -> Option<&MaterialPool> {
+        self.inner.config.pool.as_ref()
+    }
+
+    /// Runs the wire listener on an established two-endpoint link (the
+    /// server is party 1): decodes `SubmitSql` frames, dispatches into
+    /// [`ServerHandle::query`], and frames results/errors back until the
+    /// peer disconnects.
+    pub fn serve(&self, link: &dyn Transport) -> Result<(), TransportError> {
+        serve_queries(link, |tenant, sql| {
+            self.query(tenant, sql)
+                .map(|outcome| encode_outputs(&outcome.report.outputs))
+                .map_err(|e| (e.code(), e.to_string()))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::{ERR_QUERY, ERR_UNKNOWN_TENANT};
+    use crate::wire::query_remote;
+    use conclave_engine::Relation;
+    use conclave_net::ChannelTransport;
+
+    const SUM_SQL: &str = "
+        CREATE TABLE ta (k INT, v INT) WITH OWNER p1;
+        CREATE TABLE tb (k INT, v INT) WITH OWNER p2;
+        SELECT k, SUM(v) AS total FROM (ta UNION ALL tb) GROUP BY k REVEAL TO p1;
+    ";
+
+    fn sum_server() -> ServerHandle {
+        let server = ConclaveServer::start(ServerConfig::default());
+        server.register_tenant("acme", Catalog::new()).unwrap();
+        server
+            .bind(
+                "acme",
+                "ta",
+                Relation::from_ints(&["k", "v"], &[vec![1, 2]]),
+            )
+            .unwrap();
+        server
+            .bind(
+                "acme",
+                "tb",
+                Relation::from_ints(&["k", "v"], &[vec![1, 3]]),
+            )
+            .unwrap();
+        server
+    }
+
+    #[test]
+    fn serves_queries_with_a_plan_cache() {
+        let server = sum_server();
+        let first = server.query("acme", SUM_SQL).unwrap();
+        assert!(!first.cache_hit);
+        let expected = Relation::from_ints(&["k", "total"], &[vec![1, 5]]);
+        assert!(first.report.outputs[&1].same_rows_unordered(&expected));
+        // Same query, messier spelling: normalization makes it a cache hit.
+        let messy = SUM_SQL.to_lowercase().replace("select", "SELECT  \n ");
+        let second = server.query("acme", &messy).unwrap();
+        assert!(second.cache_hit, "normalized text shares the cached plan");
+        assert_eq!(second.normalized_sql, first.normalized_sql);
+        let stats = server.tenant_stats("acme").unwrap();
+        assert_eq!(stats.cache.hits, 1);
+        assert_eq!(stats.cache.misses, 1);
+        assert_eq!(stats.completed, 2);
+    }
+
+    #[test]
+    fn unknown_tenants_and_bad_sql_are_typed() {
+        let server = sum_server();
+        let err = server.query("ghost", SUM_SQL).unwrap_err();
+        assert!(matches!(err, ServerError::UnknownTenant(_)));
+        assert_eq!(err.code(), ERR_UNKNOWN_TENANT);
+        let err = server.query("acme", "SELECT FROM").unwrap_err();
+        assert!(matches!(err, ServerError::Query(SessionError::Sql(_))));
+        assert_eq!(err.code(), ERR_QUERY);
+        assert!(server.register_tenant("acme", Catalog::new()).is_err());
+    }
+
+    #[test]
+    fn catalog_update_invalidates_cached_plans() {
+        let server = sum_server();
+        server.query("acme", SUM_SQL).unwrap();
+        assert_eq!(server.tenant_stats("acme").unwrap().cached_plans, 1);
+        // A genuinely different catalog rotates the fingerprint.
+        let changed = Catalog::new().with_table(
+            "tc",
+            conclave_ir::schema::Schema::ints(&["x"]),
+            conclave_ir::party::Party::new(1, "p1"),
+        );
+        server.update_catalog("acme", changed).unwrap();
+        let stats = server.tenant_stats("acme").unwrap();
+        assert_eq!(stats.cache.invalidations, 1);
+        assert_eq!(stats.cached_plans, 0);
+        // The same text now misses and recompiles.
+        let again = server.query("acme", SUM_SQL).unwrap();
+        assert!(!again.cache_hit);
+    }
+
+    #[test]
+    fn wire_round_trip_results_and_errors() {
+        let server = sum_server();
+        let mut mesh = ChannelTransport::mesh(2);
+        let server_end = mesh.pop().unwrap();
+        let client = mesh.pop().unwrap();
+        let listener = {
+            let server = server.clone();
+            std::thread::spawn(move || server.serve(&server_end))
+        };
+        let outputs = query_remote(&client, "acme", SUM_SQL).unwrap();
+        let expected = Relation::from_ints(&["k", "total"], &[vec![1, 5]]);
+        assert!(outputs[&1].same_rows_unordered(&expected));
+        let err = query_remote(&client, "ghost", SUM_SQL).unwrap_err();
+        assert!(
+            matches!(err, ServerError::Remote { code, .. } if code == ERR_UNKNOWN_TENANT),
+            "{err}"
+        );
+        drop(client);
+        listener.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn explain_leakage_uses_the_cache_without_executing() {
+        let server = sum_server();
+        let explain = SUM_SQL.replace("SELECT k", "EXPLAIN LEAKAGE SELECT k");
+        let outcome = server.query("acme", &explain).unwrap();
+        assert!(outcome.report.outputs.is_empty());
+        assert!(outcome.report.static_leakage.is_some());
+        let second = server.query("acme", &explain).unwrap();
+        assert!(second.cache_hit);
+    }
+}

@@ -102,6 +102,22 @@ pub fn compile_sql_with_catalog(src: &str, catalog: &Catalog) -> SqlResult<Query
     lower_script_with_catalog(&script, catalog).map_err(|e| e.located(src))
 }
 
+/// Normalizes a SQL script to its canonical textual form: parse it and print
+/// the AST back through [`Script`]'s `Display` impl. Two scripts that differ
+/// only in whitespace, keyword case, optional parentheses or trailing
+/// semicolons normalize to the same string; scripts that differ semantically
+/// (different literals, columns, annotations, …) never collide, because the
+/// printer is a faithful rendering of the parsed AST.
+///
+/// `conclave-server` uses the normalized text as one half of its prepared-plan
+/// cache key (the other half is the tenant's catalog fingerprint), so the
+/// guarantees above are exactly what makes cache hits safe. The normal form is
+/// a fixed point: normalizing an already-normalized script is the identity.
+pub fn normalize_sql(src: &str) -> SqlResult<String> {
+    let script = parse_script(src).map_err(|e| e.located(src))?;
+    Ok(script.to_string())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -594,5 +610,40 @@ mod tests {
             other => panic!("expected collect, got {other}"),
         }
         assert_eq!(query.party(2).unwrap().host, "b.org");
+    }
+
+    #[test]
+    fn normalize_collapses_whitespace_and_keyword_case() {
+        let messy = "create table t (a int,\n\n   b INT)   with owner p1;\n
+                     select a,   sum(b) as total\nfrom t group by a reveal to p1";
+        let tidy = "CREATE TABLE t (a INT, b INT) WITH OWNER p1;
+                    SELECT a, SUM(b) AS total FROM t GROUP BY a REVEAL TO p1;";
+        let n1 = normalize_sql(messy).unwrap();
+        let n2 = normalize_sql(tidy).unwrap();
+        assert_eq!(n1, n2);
+        // The normal form is a fixed point of normalization.
+        assert_eq!(normalize_sql(&n1).unwrap(), n1);
+    }
+
+    #[test]
+    fn normalize_preserves_semantic_differences() {
+        let base =
+            "CREATE TABLE t (a INT) WITH OWNER p1; SELECT a FROM t WHERE a > 1 REVEAL TO p1;";
+        let other =
+            "CREATE TABLE t (a INT) WITH OWNER p1; SELECT a FROM t WHERE a > 2 REVEAL TO p1;";
+        assert_ne!(normalize_sql(base).unwrap(), normalize_sql(other).unwrap());
+        // Trust annotations are part of the normal form too: they change the
+        // compiled plan, so they must change the cache key.
+        let trusted =
+            "CREATE TABLE t (a INT TRUSTED BY (p2)) WITH OWNER p1; SELECT a FROM t WHERE a > 1 REVEAL TO p1;";
+        assert_ne!(
+            normalize_sql(base).unwrap(),
+            normalize_sql(trusted).unwrap()
+        );
+    }
+
+    #[test]
+    fn normalize_rejects_unparseable_text() {
+        assert!(normalize_sql("SELEC a FRM t").is_err());
     }
 }

@@ -65,6 +65,7 @@ pub use conclave_ir as ir;
 pub use conclave_mpc as mpc;
 pub use conclave_net as net;
 pub use conclave_parallel as parallel;
+pub use conclave_server as server;
 pub use conclave_smcql as smcql;
 pub use conclave_sql as sql;
 
@@ -72,8 +73,9 @@ pub use conclave_sql as sql;
 pub mod prelude {
     pub use conclave_core::{
         compile, config::ConclaveConfig, config::DealerMode, config::PartyRuntime, driver::Driver,
-        plan::CompileError, plan::PhysicalPlan, report::RunReport, session::Session,
-        session::SessionError, Disclosure, DisclosureKind, LeakageReport, LeakageViolation,
+        plan::CompileError, plan::PhysicalPlan, report::RunReport, session::PersistentSession,
+        session::Session, session::SessionError, Disclosure, DisclosureKind, LeakageReport,
+        LeakageViolation,
     };
     pub use conclave_data::{
         credit::CreditGenerator, health::HealthGenerator, taxi::TaxiGenerator,
@@ -92,5 +94,11 @@ pub mod prelude {
         types::{DataType, Value},
     };
     pub use conclave_mpc::backend::{BackendKind, MpcBackendConfig};
-    pub use conclave_sql::{compile_sql, compile_sql_with_catalog, Catalog, SqlError};
+    pub use conclave_mpc::dealer::{MaterialPool, MaterialSpec};
+    pub use conclave_server::{
+        AdmissionLimits, ConclaveServer, QueryOutcome, ServerConfig, ServerError, ServerHandle,
+    };
+    pub use conclave_sql::{
+        compile_sql, compile_sql_with_catalog, normalize_sql, Catalog, SqlError,
+    };
 }
